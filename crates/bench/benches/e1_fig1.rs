@@ -1,0 +1,54 @@
+//! E1 / Figure 1: exhaustive exploration of the Dekker fragment on each
+//! hardware configuration. Prints the regenerated figure once, then
+//! times each machine's state-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_mc::machines::{
+    CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
+    WriteBufferMachine,
+};
+use weakord_mc::{explore, Limits, Machine};
+use weakord_progs::litmus;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e1_figure1().render());
+    let lit = litmus::fig1_dekker();
+    let mut group = c.benchmark_group("e1_fig1_explore");
+    fn go<M: Machine>(m: &M, prog: &weakord_progs::Program) -> usize {
+        explore(m, prog, Limits::default()).outcomes.len()
+    }
+    group.bench_function("sc", |b| b.iter(|| go(&ScMachine, black_box(&lit.program))));
+    group.bench_function("write-buffer", |b| {
+        b.iter(|| go(&WriteBufferMachine, black_box(&lit.program)))
+    });
+    group.bench_function("net-reorder", |b| {
+        b.iter(|| go(&NetReorderMachine, black_box(&lit.program)))
+    });
+    group.bench_function("cache-delay", |b| {
+        b.iter(|| go(&CacheDelayMachine, black_box(&lit.program)))
+    });
+    group.bench_function("wo-def1", |b| b.iter(|| go(&WoDef1Machine, black_box(&lit.program))));
+    group.bench_function("wo-def2", |b| {
+        b.iter(|| go(&WoDef2Machine::default(), black_box(&lit.program)))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

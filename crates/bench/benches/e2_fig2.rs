@@ -1,0 +1,64 @@
+//! E2 / Figure 2: the DRF0 checker on the paper's executions, plus its
+//! scaling on synthetic executions of growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_core::{check_drf, detect_races, figures, ExecBuilder, HbMode, Loc, ProcId, Value};
+
+/// A synthetic well-synchronized execution: `procs` processors each do
+/// `rounds` of (write own slot, sync on a shared lock, read the
+/// neighbour's slot).
+fn synthetic(procs: u16, rounds: u32) -> weakord_core::IdealizedExecution {
+    let lock = Loc::new(0);
+    let slot = |p: u16| Loc::new(1 + p as u32);
+    let mut b = ExecBuilder::new(procs);
+    for r in 0..rounds {
+        for p in 0..procs {
+            b.sync_rmw(ProcId::new(p), lock);
+            b.data_write(ProcId::new(p), slot(p), Value::new(u64::from(r) + 1));
+            b.data_read(ProcId::new(p), slot((p + 1) % procs));
+            b.sync_write(ProcId::new(p), lock);
+        }
+    }
+    b.finish().expect("synthetic execution is well-formed")
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e2_figure2().render());
+    let mut group = c.benchmark_group("e2_fig2");
+    let fig_a = figures::figure_2a();
+    let fig_b = figures::figure_2b();
+    group.bench_function("check_drf/figure-2a", |b| {
+        b.iter(|| check_drf(black_box(&fig_a), HbMode::Drf0).is_race_free())
+    });
+    group.bench_function("check_drf/figure-2b", |b| {
+        b.iter(|| check_drf(black_box(&fig_b), HbMode::Drf0).races.len())
+    });
+    for rounds in [10u32, 50, 250] {
+        let exec = synthetic(8, rounds);
+        group.bench_with_input(
+            BenchmarkId::new("detect_races/8procs", exec.len()),
+            &exec,
+            |b, e| b.iter(|| detect_races(black_box(e), HbMode::Drf0).len()),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E3 / the Definition 2 contract: outcome-set inclusion checks and
+//! program-level DRF0 classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_core::HbMode;
+use weakord_mc::machines::{WoDef1Machine, WoDef2Machine};
+use weakord_mc::{appears_sc, check_program_drf, Limits, TraceLimits};
+use weakord_progs::{gen, litmus};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e3_contract(2).render());
+    let mut group = c.benchmark_group("e3_contract");
+    let sync = litmus::dekker_sync();
+    group.bench_function("appears_sc/wo-def1/dekker-sync", |b| {
+        b.iter(|| {
+            appears_sc(&WoDef1Machine, black_box(&sync.program), Limits::default()).appears_sc
+        })
+    });
+    group.bench_function("appears_sc/wo-def2/dekker-sync", |b| {
+        b.iter(|| {
+            appears_sc(&WoDef2Machine::default(), black_box(&sync.program), Limits::default())
+                .appears_sc
+        })
+    });
+    let mp = litmus::mp_sync();
+    group.bench_function("appears_sc/wo-def2/mp-sync", |b| {
+        b.iter(|| {
+            appears_sc(&WoDef2Machine::default(), black_box(&mp.program), Limits::default())
+                .appears_sc
+        })
+    });
+    let clean = gen::race_free(3, gen::GenParams::default());
+    let dirty = gen::racy(3, gen::GenParams::default());
+    group.bench_function("check_program_drf/race-free", |b| {
+        b.iter(|| {
+            check_program_drf(black_box(&clean), HbMode::Drf0, TraceLimits::default())
+                .is_race_free()
+        })
+    });
+    group.bench_function("check_program_drf/racy", |b| {
+        b.iter(|| {
+            check_program_drf(black_box(&dirty), HbMode::Drf0, TraceLimits::default())
+                .is_race_free()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E4 / Figure 3: full cycle-level runs of the release/acquire scenario
+//! under each ordering policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_coherence::{CoherentMachine, Config, Policy};
+use weakord_progs::workloads::{fig3_scenario, Fig3Params};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e4_figure3().render());
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 20,
+        work_after_release: 300,
+        extra_writes: 8,
+        consumer_work: 20,
+    });
+    let mut group = c.benchmark_group("e4_fig3_run");
+    for policy in [Policy::Sc, Policy::Def1, Policy::def2(), Policy::def2_drf1()] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let cfg = Config { policy, seed: 7, ..Config::default() };
+                CoherentMachine::new(black_box(&prog), cfg).run().expect("runs").cycles
+            })
+        });
+    }
+    // With Lemma 1 trace verification in the loop.
+    group.bench_function("def2+lemma1", |b| {
+        b.iter(|| {
+            let cfg =
+                Config { policy: Policy::def2(), seed: 7, record_trace: true, ..Config::default() };
+            let r = CoherentMachine::new(black_box(&prog), cfg).run().expect("runs");
+            r.check_appears_sc(weakord_core::HbMode::Drf0).expect("appears SC");
+            r.cycles
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5 / Section 6: the spin pathology and the DRF1 refinement on the
+//! broadcast spin and the full barrier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_coherence::{CoherentMachine, Config, Policy};
+use weakord_progs::workloads::{barrier, spin_broadcast, BarrierParams, SpinBroadcastParams};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e5_spin().render());
+    let mut group = c.benchmark_group("e5_spin");
+    for n in [2u16, 8] {
+        let prog = spin_broadcast(SpinBroadcastParams { n_spinners: n, release_after: 600 });
+        for policy in [Policy::def2(), Policy::def2_drf1()] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("broadcast/{}", policy.name()), n),
+                &prog,
+                |b, prog| {
+                    b.iter(|| {
+                        let cfg = Config { policy, seed: 5, ..Config::default() };
+                        CoherentMachine::new(black_box(prog), cfg).run().expect("runs").cycles
+                    })
+                },
+            );
+        }
+    }
+    let prog = barrier(BarrierParams { n_procs: 4, rounds: 2, work: 40 });
+    for policy in [Policy::Def1, Policy::def2(), Policy::def2_drf1()] {
+        group.bench_function(format!("barrier4/{}", policy.name()), |b| {
+            b.iter(|| {
+                let cfg = Config { policy, seed: 5, ..Config::default() };
+                CoherentMachine::new(black_box(&prog), cfg).run().expect("runs").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E6 / Section 5.3 termination: time the liveness sweep (every
+//! workload × policy finishing without deadlock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_coherence::{CoherentMachine, Config, Policy};
+use weakord_progs::workloads::{producer_consumer, spinlock, PcParams, SpinlockParams};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e6_termination(3).render());
+    let mut group = c.benchmark_group("e6_termination");
+    let spin = spinlock(SpinlockParams::default());
+    let pc = producer_consumer(PcParams::default());
+    for policy in [Policy::Def1, Policy::def2()] {
+        group.bench_function(format!("spinlock/{}", policy.name()), |b| {
+            b.iter(|| {
+                let cfg = Config { policy, seed: 3, ..Config::default() };
+                CoherentMachine::new(black_box(&spin), cfg).run().expect("terminates").cycles
+            })
+        });
+        group.bench_function(format!("producer-consumer/{}", policy.name()), |b| {
+            b.iter(|| {
+                let cfg = Config { policy, seed: 3, ..Config::default() };
+                CoherentMachine::new(black_box(&pc), cfg).run().expect("terminates").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

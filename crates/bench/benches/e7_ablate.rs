@@ -1,0 +1,74 @@
+//! E7 / ablations: strict vs parallel data forwarding, miss caps, and
+//! interconnect models on the Figure 3 scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use weakord_bench::experiments;
+use weakord_coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord_progs::workloads::{fig3_scenario, Fig3Params};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e7_ablations().render());
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 20,
+        work_after_release: 300,
+        extra_writes: 8,
+        consumer_work: 20,
+    });
+    let mut group = c.benchmark_group("e7_ablate");
+    for (name, strict) in [("parallel", false), ("strict", true)] {
+        group.bench_function(format!("forwarding/{name}"), |b| {
+            b.iter(|| {
+                let cfg = Config {
+                    policy: Policy::def2(),
+                    seed: 7,
+                    strict_data: strict,
+                    ..Config::default()
+                };
+                CoherentMachine::new(black_box(&prog), cfg).run().expect("runs").cycles
+            })
+        });
+    }
+    for (name, cap) in [("uncapped", None), ("cap1", Some(1))] {
+        group.bench_function(format!("miss-cap/{name}"), |b| {
+            b.iter(|| {
+                let cfg = Config {
+                    policy: Policy::Def2 { drf1_refined: false, miss_cap: cap },
+                    seed: 7,
+                    ..Config::default()
+                };
+                CoherentMachine::new(black_box(&prog), cfg).run().expect("runs").cycles
+            })
+        });
+    }
+    for (name, network) in [
+        ("bus", NetModel::Bus { cycles: 4 }),
+        ("crossbar", NetModel::Crossbar { cycles: 12 }),
+        ("general", NetModel::General { min: 20, max: 60 }),
+    ] {
+        group.bench_function(format!("network/{name}"), |b| {
+            b.iter(|| {
+                let cfg = Config { policy: Policy::def2(), network, seed: 7, ..Config::default() };
+                CoherentMachine::new(black_box(&prog), cfg).run().expect("runs").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep full-workspace bench runs quick: the quantities of interest
+    // (cycle counts, message counts) are deterministic; wall-clock
+    // timing is secondary.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates every figure of the paper as a table.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p weakord-bench --bin figures            # all experiments
+//! cargo run --release -p weakord-bench --bin figures -- e4 e5   # a subset
+//! cargo run --release -p weakord-bench --bin figures -- --csv   # machine-readable
+//! ```
+
+use weakord_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|a| *a == id);
+    let mut failed = 0usize;
+    let mut show = |id: &str, table: experiments::Table| {
+        if !want(id) {
+            return;
+        }
+        if csv {
+            println!("{}", table.render_csv());
+        } else {
+            println!("{}", table.render());
+        }
+        if !table.shape_holds() {
+            failed += 1;
+        }
+    };
+    show("e1", experiments::e1_figure1());
+    show("e2", experiments::e2_figure2());
+    show("e3", experiments::e3_contract(4));
+    show("e4", experiments::e4_figure3());
+    show("e5", experiments::e5_spin());
+    show("e5b", experiments::e5b_structures());
+    show("e6", experiments::e6_termination(5));
+    show("e7", experiments::e7_ablations());
+    show("e8", experiments::e8_state_census());
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed their shape check");
+        std::process::exit(1);
+    }
+}

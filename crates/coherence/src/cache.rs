@@ -1,0 +1,1191 @@
+//! The per-processor cache controller: lines, outstanding-access
+//! counter, and the Section 5.3 reserve bits.
+//!
+//! The counter implements the paper's rule exactly: it is incremented on
+//! every cache miss sent to memory, and decremented on (a) receipt of a
+//! line for a read, (b) receipt of a line for a write that was exclusive
+//! in some other cache (an ownership transfer needs no invalidations),
+//! and (c) the directory's [`Msg::GlobalAck`] indicating a write to a
+//! shared line has been observed by all processors. A positive counter
+//! therefore counts accesses that are not yet globally performed.
+//!
+//! When a synchronization operation commits while accesses are still
+//! outstanding, its line's **reserve bit** is set; forwarded
+//! *synchronization* requests for a reserved line wait in a queue (the
+//! paper offers queueing or NACKing — we queue); data requests are
+//! serviced regardless. Each reserve records the set of accesses that
+//! were outstanding at commit time and clears when exactly those have
+//! completed — the "more dynamic solution… distinguish accesses (and
+//! their acks) generated before a particular synchronization operation
+//! from those generated after" that Section 5.3 cites from [AdH89].
+//! (Clearing on a plain counter-zero instead can deadlock: two
+//! processors each holding a reserve while blocked on a synchronization
+//! miss stalled at the other's reserved line never drain. Our protocol
+//! fuzzer found exactly that cycle.)
+//!
+//! With a finite capacity, fills evict the least-recently-used eligible
+//! line: shared copies drop silently, dirty lines go through an
+//! [`Msg::Evict`] handshake (the copy is retained until the directory
+//! answers, so crossing forwards can still be served). Per the paper,
+//! **a line with its reserve bit set is never flushed**; a processor
+//! whose fill cannot find a victim stalls until its counter reads
+//! zero.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use weakord_core::{Loc, ProcId, Value};
+use weakord_progs::{Access, RmwOp};
+
+use crate::policy::Policy;
+use crate::proto::Msg;
+
+/// Where a cache-originated message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// The directory / memory controller.
+    Dir,
+    /// Another processor's cache (direct cache-to-cache data).
+    Cache(ProcId),
+}
+
+/// What the cache tells the core (the machine routes these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notice {
+    /// A read's value arrived (data read, or refined `Test`).
+    Value {
+        /// The line.
+        loc: Loc,
+        /// The value read.
+        value: Value,
+        /// Write-order version of the copy the value came from.
+        version: u64,
+    },
+    /// A write or synchronization operation committed in the local
+    /// cache; `read_value` carries the RMW's old value if any.
+    Commit {
+        /// The line.
+        loc: Loc,
+        /// Old value, for read-modify-writes.
+        read_value: Option<Value>,
+        /// Write-order version this commit created.
+        version: u64,
+    },
+    /// The operation on this line is globally performed.
+    Performed {
+        /// The line.
+        loc: Loc,
+    },
+    /// The outstanding-access counter reached zero (reserve bits
+    /// cleared, gates open).
+    CounterZero,
+    /// The pending transaction on this line retired (same-line stalls
+    /// can retry).
+    LineFree {
+        /// The line.
+        loc: Loc,
+    },
+}
+
+/// Outcome of asking the cache to issue an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// Completed immediately (cache hit); `read_value` carries the value
+    /// for read components.
+    Hit {
+        /// Value for the read component, if any.
+        read_value: Option<Value>,
+        /// Write-order version the access observed (reads) or created
+        /// (writes).
+        version: u64,
+    },
+    /// A miss was sent to the directory; completion arrives via
+    /// [`Notice`]s.
+    MissStarted,
+    /// A transaction for this line is already outstanding; retry when
+    /// [`Notice::LineFree`] fires.
+    BlockedSameLine,
+    /// The Section 5.3 miss cap is in force (a line is reserved and the
+    /// cap is reached); retry when the counter clears.
+    BlockedMissCap,
+    /// No cache slot can be freed for the fill (victims are reserved,
+    /// mid-transaction, or mid-eviction); retry when a line frees or the
+    /// counter clears (reserve bits are never flushed — Section 5.3).
+    BlockedCapacity,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    exclusive: bool,
+    value: Value,
+    /// Position of the last write to this copy in the line's global
+    /// write serialization order.
+    version: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PendingKind {
+    /// A plain fill: data read, or a refined `Test` on the shared path.
+    Read,
+    /// A read-only synchronization taking the line exclusive (the base
+    /// implementation treats all syncs as writes).
+    SyncReadExcl,
+    Write {
+        value: Value,
+        sync: bool,
+    },
+    Rmw {
+        op: RmwOp,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    kind: PendingKind,
+    committed: bool,
+    needs_global_ack: bool,
+    got_global_ack: bool,
+}
+
+/// The cache controller for one processor.
+#[derive(Debug, Clone)]
+pub struct CacheCtl {
+    proc: ProcId,
+    policy: Policy,
+    lines: HashMap<Loc, CacheLine>,
+    pending: HashMap<Loc, Pending>,
+    /// Reserved lines, each with the set of outstanding accesses (by
+    /// line) it waits on; the reserve clears when its set empties.
+    reserved: HashMap<Loc, BTreeSet<Loc>>,
+    counter: u32,
+    misses_while_reserved: u32,
+    stalled_fwds: VecDeque<Msg>,
+    /// Maximum number of resident lines (installed + pending fills +
+    /// retained eviction copies); `None` = unbounded.
+    capacity: Option<u32>,
+    /// Lines mid-eviction: `Some` retains the dirty copy (occupies a
+    /// slot) until the directory answers or a forward consumes it.
+    evicting: HashMap<Loc, Option<CacheLine>>,
+    /// LRU clock.
+    lru_tick: u64,
+    lru: HashMap<Loc, u64>,
+    /// Capacity evictions performed (statistics).
+    pub evictions: u64,
+    /// Cumulative count of forwarded requests that had to wait on a
+    /// reserve bit (statistics).
+    pub reserve_stalls: u64,
+}
+
+impl CacheCtl {
+    /// A cold, unbounded cache for `proc` under `policy`.
+    pub fn new(proc: ProcId, policy: Policy) -> Self {
+        CacheCtl::with_capacity(proc, policy, None)
+    }
+
+    /// A cold cache holding at most `capacity` lines (`None` =
+    /// unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)` or `Some(1)` — a fill plus a
+    /// retained eviction copy need at least two slots to make progress.
+    pub fn with_capacity(proc: ProcId, policy: Policy, capacity: Option<u32>) -> Self {
+        assert!(capacity.is_none_or(|c| c >= 2), "cache capacity must be at least 2 lines");
+        CacheCtl {
+            proc,
+            policy,
+            lines: HashMap::new(),
+            pending: HashMap::new(),
+            reserved: HashMap::new(),
+            counter: 0,
+            misses_while_reserved: 0,
+            stalled_fwds: VecDeque::new(),
+            capacity,
+            evicting: HashMap::new(),
+            lru_tick: 0,
+            lru: HashMap::new(),
+            evictions: 0,
+            reserve_stalls: 0,
+        }
+    }
+
+    fn touch(&mut self, loc: Loc) {
+        self.lru_tick += 1;
+        self.lru.insert(loc, self.lru_tick);
+    }
+
+    /// Slots currently in use: installed lines, outstanding fills whose
+    /// data has not arrived yet (an installed line awaiting its
+    /// `GlobalAck`, or an upgrade of a present shared line, already owns
+    /// its slot), and retained eviction copies.
+    fn slots_used(&self) -> usize {
+        self.lines.len()
+            + self.pending.keys().filter(|l| !self.lines.contains_key(l)).count()
+            + self.evicting.values().filter(|v| v.is_some()).count()
+    }
+
+    /// Frees one slot for an incoming fill, if needed. Returns `false`
+    /// when no eligible victim exists right now (the caller blocks).
+    fn ensure_capacity(&mut self, out: &mut Vec<(Dest, Msg)>) -> bool {
+        let Some(cap) = self.capacity else {
+            return true;
+        };
+        if self.slots_used() < cap as usize {
+            return true;
+        }
+        // One dirty eviction at a time: its retained copy still occupies
+        // a slot, so starting more would only cascade.
+        if self.evicting.values().any(|v| v.is_some()) {
+            return false;
+        }
+        // Reserve bits are never flushed; lines mid-transaction and
+        // retained copies are not eligible either.
+        let victim = self
+            .lines
+            .keys()
+            .filter(|l| !self.reserved.contains_key(l))
+            .filter(|l| !self.pending.contains_key(l) && !self.evicting.contains_key(l))
+            .min_by_key(|l| {
+                // Prefer clean (shared) victims, then LRU.
+                let dirty = self.lines[l].exclusive;
+                (dirty, self.lru.get(l).copied().unwrap_or(0))
+            })
+            .copied();
+        let Some(victim) = victim else {
+            return false;
+        };
+        let line = self.lines.remove(&victim).expect("victim installed");
+        self.lru.remove(&victim);
+        self.evictions += 1;
+        if line.exclusive {
+            // Dirty: handshake with the directory; retain the copy (it
+            // still occupies the slot) until the answer arrives.
+            self.evicting.insert(victim, Some(line));
+            out.push((
+                Dest::Dir,
+                Msg::Evict {
+                    proc: self.proc,
+                    loc: victim,
+                    value: line.value,
+                    version: line.version,
+                },
+            ));
+            // The slot is not free yet: the caller blocks and retries
+            // when the eviction completes.
+            return false;
+        }
+        // Shared copies drop silently (a late Inv is acknowledged
+        // without a copy).
+        true
+    }
+
+    /// The outstanding-access counter.
+    pub fn counter(&self) -> u32 {
+        self.counter
+    }
+
+    /// Returns `true` while any line is reserved.
+    pub fn has_reserved(&self) -> bool {
+        !self.reserved.is_empty()
+    }
+
+    /// Returns `true` if a transaction (fill or eviction) is outstanding
+    /// on `loc`.
+    pub fn line_busy(&self, loc: Loc) -> bool {
+        self.pending.contains_key(&loc) || self.evicting.contains_key(&loc)
+    }
+
+    /// Returns `true` if issuing `access` would miss (need a directory
+    /// transaction).
+    pub fn would_miss(&self, access: &Access) -> bool {
+        let loc = access.loc();
+        match self.lines.get(&loc) {
+            Some(line) => {
+                if self.needs_exclusive(access) {
+                    !line.exclusive
+                } else {
+                    false
+                }
+            }
+            None => true,
+        }
+    }
+
+    fn needs_exclusive(&self, access: &Access) -> bool {
+        if access.is_sync() {
+            self.policy.sync_takes_exclusive(access) || access.has_write()
+        } else {
+            access.has_write()
+        }
+    }
+
+    /// Issues an access from the core. On a miss, the request message is
+    /// appended to `out`.
+    pub fn issue(
+        &mut self,
+        access: &Access,
+        out: &mut Vec<(Dest, Msg)>,
+        notices: &mut Vec<Notice>,
+    ) -> IssueOutcome {
+        let loc = access.loc();
+        if self.line_busy(loc) {
+            return IssueOutcome::BlockedSameLine;
+        }
+        let exclusive_needed = self.needs_exclusive(access);
+        let hit = self.lines.get(&loc).is_some_and(|line| line.exclusive || !exclusive_needed);
+        if hit {
+            self.touch(loc);
+            let (read_value, version) = self.apply_local(access, notices);
+            return IssueOutcome::Hit { read_value, version };
+        }
+        // A miss: check the Section 5.3 cap.
+        if let Some(cap) = self.policy.miss_cap() {
+            if self.has_reserved() && self.misses_while_reserved >= cap {
+                return IssueOutcome::BlockedMissCap;
+            }
+        }
+        // Make room for the fill. An upgrade (line present in shared
+        // state) keeps its own slot.
+        if !self.lines.contains_key(&loc) && !self.ensure_capacity(out) {
+            return IssueOutcome::BlockedCapacity;
+        }
+        if self.has_reserved() {
+            self.misses_while_reserved += 1;
+        }
+        self.counter += 1;
+        let kind = match *access {
+            Access::Read { sync: false, .. } => PendingKind::Read,
+            // A Test: exclusive ("treated as a write") unless the DRF1
+            // refinement routes it through the shared path.
+            Access::Read { sync: true, .. } => {
+                if self.policy.sync_takes_exclusive(access) {
+                    PendingKind::SyncReadExcl
+                } else {
+                    PendingKind::Read
+                }
+            }
+            Access::Write { value, sync, .. } => PendingKind::Write { value, sync },
+            Access::Rmw { op, .. } => PendingKind::Rmw { op },
+        };
+        self.pending.insert(
+            loc,
+            Pending { kind, committed: false, needs_global_ack: false, got_global_ack: false },
+        );
+        let sync = access.is_sync();
+        out.push((
+            Dest::Dir,
+            if exclusive_needed {
+                Msg::GetX { proc: self.proc, loc, sync }
+            } else {
+                Msg::GetS { proc: self.proc, loc, sync }
+            },
+        ));
+        IssueOutcome::MissStarted
+    }
+
+    /// Applies a hitting access to the local line, returning the read
+    /// value (if any) and the version observed or created.
+    fn apply_local(&mut self, access: &Access, notices: &mut Vec<Notice>) -> (Option<Value>, u64) {
+        let loc = access.loc();
+        let line = self.lines.get_mut(&loc).expect("hit on absent line");
+        match *access {
+            Access::Read { sync, .. } => {
+                let v = line.value;
+                let version = line.version;
+                if sync && self.policy.sync_takes_exclusive(access) {
+                    // A hitting Test on an exclusively held line still
+                    // commits as a synchronization operation (reserve).
+                    self.after_sync_commit(access, loc, notices);
+                }
+                (Some(v), version)
+            }
+            Access::Write { value, .. } => {
+                debug_assert!(line.exclusive);
+                line.value = value;
+                line.version += 1;
+                let version = line.version;
+                self.after_sync_commit(access, loc, notices);
+                (None, version)
+            }
+            Access::Rmw { op, .. } => {
+                debug_assert!(line.exclusive);
+                let old = line.value;
+                line.value = op.apply(old);
+                line.version += 1;
+                let version = line.version;
+                self.after_sync_commit(access, loc, notices);
+                (Some(old), version)
+            }
+        }
+    }
+
+    /// Reserve-bit maintenance after a synchronization commit
+    /// (Section 5.3): if accesses are still outstanding, reserve the
+    /// line until exactly those accesses complete.
+    fn after_sync_commit(&mut self, access: &Access, loc: Loc, _notices: &mut Vec<Notice>) {
+        if access.is_sync() && self.policy.uses_reserve() {
+            let waits: BTreeSet<Loc> = self.pending.keys().copied().collect();
+            if !waits.is_empty() {
+                self.reserved.entry(loc).or_default().extend(waits);
+            }
+        }
+    }
+
+    /// Handles an incoming protocol message. Outgoing messages (to the
+    /// directory or another cache) go to `out`; core notifications to
+    /// `notices`.
+    pub fn handle(&mut self, msg: Msg, out: &mut Vec<(Dest, Msg)>, notices: &mut Vec<Notice>) {
+        match msg {
+            Msg::Data { loc, value, exclusive, acks_expected, version } => {
+                self.data(loc, value, exclusive, acks_expected, version, out, notices);
+            }
+            Msg::GlobalAck { loc } => self.global_ack(loc, out, notices),
+            Msg::Inv { loc } => {
+                self.lines.remove(&loc);
+                self.lru.remove(&loc);
+                out.push((Dest::Dir, Msg::InvAck { proc: self.proc, loc }));
+            }
+            Msg::EvictAck { loc, accepted } => {
+                let retained = self.evicting.remove(&loc).expect("EvictAck without eviction");
+                match (accepted, retained) {
+                    // Accepted: the copy (still here unless a crossing
+                    // forward consumed it, which cannot happen once the
+                    // directory took ownership back) is gone.
+                    (true, _) => {}
+                    // Rejected after a crossing forward consumed the
+                    // copy: nothing left to do.
+                    (false, None) => {}
+                    // Rejected with the copy intact: the directory was
+                    // still busy (e.g. our own fill's DataAck in flight)
+                    // or ownership moved with the forward not yet here.
+                    // Undo the eviction — re-install the line; a late
+                    // forward is then served by the normal path, and
+                    // capacity pressure will retry the eviction.
+                    (false, Some(line)) => {
+                        self.lines.insert(loc, line);
+                        self.touch(loc);
+                    }
+                }
+                notices.push(Notice::LineFree { loc });
+            }
+            Msg::FwdGetS { .. } | Msg::FwdGetX { .. } | Msg::Recall { .. } => {
+                let loc = msg.loc();
+                if let Some(retained) = self.evicting.get_mut(&loc) {
+                    // The forward crossed our eviction: serve it from the
+                    // retained copy (never reserved — reserved lines are
+                    // not evicted), then free the slot.
+                    let line = retained.take().expect("forward already consumed the copy");
+                    self.serve_from(line, msg, out);
+                    notices.push(Notice::LineFree { loc });
+                    return;
+                }
+                // Only synchronization requests wait on a reserve bit;
+                // ordinary data requests are serviced regardless
+                // (Section 5.3).
+                if msg.fwd_is_sync() && self.reserved.contains_key(&loc) {
+                    self.reserve_stalls += 1;
+                    self.stalled_fwds.push_back(msg);
+                } else {
+                    self.serve_fwd(msg, out);
+                }
+            }
+            other => unreachable!("cache received {other:?}"),
+        }
+    }
+
+    fn serve_fwd(&mut self, msg: Msg, out: &mut Vec<(Dest, Msg)>) {
+        let loc = msg.loc();
+        match msg {
+            Msg::Recall { .. } => {
+                let line = self.lines.remove(&loc).expect("recall to non-owner");
+                self.lru.remove(&loc);
+                debug_assert!(line.exclusive);
+                self.serve_from(line, msg, out);
+            }
+            Msg::FwdGetS { .. } => {
+                let line = self.lines.get_mut(&loc).expect("forward to non-owner");
+                debug_assert!(line.exclusive);
+                line.exclusive = false;
+                let line = *line;
+                self.serve_from(line, msg, out);
+            }
+            Msg::FwdGetX { .. } => {
+                let line = self.lines.remove(&loc).expect("forward to non-owner");
+                self.lru.remove(&loc);
+                debug_assert!(line.exclusive);
+                self.serve_from(line, msg, out);
+            }
+            other => unreachable!("not a forward: {other:?}"),
+        }
+    }
+
+    /// Answers a forwarded request with `line`'s contents (the line may
+    /// live in the cache proper or be an eviction-retained copy).
+    fn serve_from(&mut self, line: CacheLine, msg: Msg, out: &mut Vec<(Dest, Msg)>) {
+        match msg {
+            Msg::Recall { loc, .. } => {
+                // Hand the line back to the directory; it serves the
+                // requester from memory.
+                out.push((
+                    Dest::Dir,
+                    Msg::WriteBack {
+                        proc: self.proc,
+                        loc,
+                        value: line.value,
+                        version: line.version,
+                    },
+                ));
+            }
+            Msg::FwdGetS { requester, loc, .. } => {
+                out.push((
+                    Dest::Dir,
+                    Msg::WriteBack {
+                        proc: self.proc,
+                        loc,
+                        value: line.value,
+                        version: line.version,
+                    },
+                ));
+                out.push((
+                    Dest::Cache(requester),
+                    Msg::Data {
+                        loc,
+                        value: line.value,
+                        exclusive: false,
+                        acks_expected: 0,
+                        version: line.version,
+                    },
+                ));
+            }
+            Msg::FwdGetX { requester, loc, .. } => {
+                out.push((
+                    Dest::Cache(requester),
+                    Msg::Data {
+                        loc,
+                        value: line.value,
+                        exclusive: true,
+                        acks_expected: 0,
+                        version: line.version,
+                    },
+                ));
+            }
+            other => unreachable!("not a forward: {other:?}"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the Data message fields
+    fn data(
+        &mut self,
+        loc: Loc,
+        value: Value,
+        exclusive: bool,
+        acks_expected: u32,
+        version: u64,
+        out: &mut Vec<(Dest, Msg)>,
+        notices: &mut Vec<Notice>,
+    ) {
+        out.push((Dest::Dir, Msg::DataAck { proc: self.proc, loc }));
+        self.lines.insert(loc, CacheLine { exclusive, value, version });
+        self.touch(loc);
+        let mut pending = self.pending.remove(&loc).expect("data without pending fill");
+        debug_assert!(!pending.committed);
+        let access_for_reserve;
+        match pending.kind.clone() {
+            PendingKind::Read => {
+                // Reads complete (and count as performed) at line receipt.
+                notices.push(Notice::Value { loc, value, version });
+                self.complete_access(loc, out, notices);
+                notices.push(Notice::LineFree { loc });
+                return;
+            }
+            PendingKind::SyncReadExcl => {
+                debug_assert!(exclusive);
+                pending.committed = true;
+                notices.push(Notice::Commit { loc, read_value: Some(value), version });
+                access_for_reserve = Access::Read { loc, sync: true };
+            }
+            PendingKind::Write { value: v, sync } => {
+                let line = self.lines.get_mut(&loc).expect("just inserted");
+                debug_assert!(line.exclusive);
+                line.value = v;
+                line.version += 1;
+                let version = line.version;
+                pending.committed = true;
+                notices.push(Notice::Commit { loc, read_value: None, version });
+                access_for_reserve = Access::Write { loc, value: v, sync };
+            }
+            PendingKind::Rmw { op } => {
+                let line = self.lines.get_mut(&loc).expect("just inserted");
+                debug_assert!(line.exclusive);
+                let old = line.value;
+                line.value = op.apply(old);
+                line.version += 1;
+                let version = line.version;
+                pending.committed = true;
+                notices.push(Notice::Commit { loc, read_value: Some(old), version });
+                access_for_reserve = Access::Rmw { loc, op };
+            }
+        }
+        if acks_expected == 0 || pending.got_global_ack {
+            // Transfer from an exclusive owner (or the GlobalAck raced
+            // ahead of the data): globally performed now.
+            self.complete_access(loc, out, notices);
+            notices.push(Notice::Performed { loc });
+            notices.push(Notice::LineFree { loc });
+        } else {
+            pending.needs_global_ack = true;
+            self.pending.insert(loc, pending);
+        }
+        // The reserve bit is set at commit time if the counter is still
+        // positive (which includes this operation's own pending acks).
+        let mut scratch = Vec::new();
+        self.after_sync_commit(&access_for_reserve, loc, &mut scratch);
+        debug_assert!(scratch.is_empty());
+    }
+
+    fn global_ack(&mut self, loc: Loc, out: &mut Vec<(Dest, Msg)>, notices: &mut Vec<Notice>) {
+        match self.pending.get_mut(&loc) {
+            Some(p) if !p.committed => {
+                // The GlobalAck overtook the data in the network.
+                p.got_global_ack = true;
+            }
+            Some(_) => {
+                self.pending.remove(&loc);
+                self.complete_access(loc, out, notices);
+                notices.push(Notice::Performed { loc });
+                notices.push(Notice::LineFree { loc });
+            }
+            None => unreachable!("GlobalAck without pending write"),
+        }
+    }
+
+    /// Bookkeeping when the outstanding access on `done` completes:
+    /// decrement the counter, strike `done` from every reserve's wait
+    /// set, clear reserves whose set emptied, and serve any forwarded
+    /// synchronization requests that were stalled on them.
+    fn complete_access(
+        &mut self,
+        done: Loc,
+        out: &mut Vec<(Dest, Msg)>,
+        notices: &mut Vec<Notice>,
+    ) {
+        debug_assert!(self.counter > 0);
+        self.counter -= 1;
+        let mut cleared: Vec<Loc> = Vec::new();
+        self.reserved.retain(|&line, waits| {
+            waits.remove(&done);
+            if waits.is_empty() {
+                cleared.push(line);
+                false
+            } else {
+                true
+            }
+        });
+        if self.reserved.is_empty() {
+            self.misses_while_reserved = 0;
+        }
+        if self.counter == 0 {
+            notices.push(Notice::CounterZero);
+        }
+        if cleared.is_empty() {
+            return;
+        }
+        let mut still_stalled = VecDeque::new();
+        while let Some(msg) = self.stalled_fwds.pop_front() {
+            if cleared.contains(&msg.loc()) {
+                self.serve_fwd(msg, out);
+            } else {
+                still_stalled.push_back(msg);
+            }
+        }
+        self.stalled_fwds = still_stalled;
+    }
+
+    /// Reads the final value of a line this cache owns (for end-of-run
+    /// memory reconstruction).
+    pub fn owned_value(&self, loc: Loc) -> Option<Value> {
+        self.lines.get(&loc).filter(|l| l.exclusive).map(|l| l.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn read(loc: Loc) -> Access {
+        Access::Read { loc, sync: false }
+    }
+
+    fn write(loc: Loc, v: u64) -> Access {
+        Access::Write { loc, value: Value::new(v), sync: false }
+    }
+
+    fn tas(loc: Loc) -> Access {
+        Access::Rmw { loc, op: RmwOp::TestAndSet }
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&read(l(0)), &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(out, vec![(Dest::Dir, Msg::GetS { proc: P0, loc: l(0), sync: false })]);
+        assert_eq!(c.counter(), 1);
+        out.clear();
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::new(5),
+                exclusive: false,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(notices.contains(&Notice::Value { loc: l(0), value: Value::new(5), version: 0 }));
+        assert!(notices.contains(&Notice::CounterZero));
+        assert_eq!(out, vec![(Dest::Dir, Msg::DataAck { proc: P0, loc: l(0) })]);
+        assert_eq!(c.counter(), 0);
+        // Now it hits.
+        notices.clear();
+        out.clear();
+        assert_eq!(
+            c.issue(&read(l(0)), &mut out, &mut notices),
+            IssueOutcome::Hit { read_value: Some(Value::new(5)), version: 0 }
+        );
+    }
+
+    #[test]
+    fn write_miss_commits_on_data_and_performs_on_global_ack() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&write(l(0), 7), &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(out, vec![(Dest::Dir, Msg::GetX { proc: P0, loc: l(0), sync: false })]);
+        out.clear();
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 2,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(notices.contains(&Notice::Commit { loc: l(0), read_value: None, version: 1 }));
+        assert!(!notices.contains(&Notice::Performed { loc: l(0) }));
+        assert_eq!(c.counter(), 1, "still awaiting GlobalAck");
+        notices.clear();
+        c.handle(Msg::GlobalAck { loc: l(0) }, &mut out, &mut notices);
+        assert!(notices.contains(&Notice::Performed { loc: l(0) }));
+        assert!(notices.contains(&Notice::CounterZero));
+        assert_eq!(c.owned_value(l(0)), Some(Value::new(7)));
+    }
+
+    #[test]
+    fn global_ack_racing_ahead_of_data_is_tolerated() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&write(l(0), 7), &mut out, &mut notices);
+        c.handle(Msg::GlobalAck { loc: l(0) }, &mut out, &mut notices);
+        assert_eq!(c.counter(), 1);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 2,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(notices.contains(&Notice::Performed { loc: l(0) }));
+        assert_eq!(c.counter(), 0);
+    }
+
+    #[test]
+    fn sync_commit_with_positive_counter_reserves_the_line() {
+        let mut c = CacheCtl::new(P0, Policy::def2());
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        // Outstanding data write keeps the counter positive.
+        c.issue(&write(l(1), 7), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(1),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 3,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert_eq!(c.counter(), 1);
+        // The sync misses, commits, and reserves.
+        c.issue(&tas(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(c.has_reserved());
+        // A forwarded request now stalls…
+        out.clear();
+        c.handle(
+            Msg::FwdGetX { requester: ProcId::new(1), loc: l(0), sync: true },
+            &mut out,
+            &mut notices,
+        );
+        assert!(out.is_empty());
+        assert_eq!(c.reserve_stalls, 1);
+        // …until the outstanding write performs, which releases the
+        // reserve and serves the stalled request in the same step.
+        notices.clear();
+        c.handle(Msg::GlobalAck { loc: l(1) }, &mut out, &mut notices);
+        assert!(notices.contains(&Notice::CounterZero));
+        assert!(!c.has_reserved());
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Data { loc, exclusive: true, .. } if *loc == l(0))));
+    }
+
+    /// The AdH89 refinement the paper cites: a reserve waits only on the
+    /// accesses outstanding at commit time — a miss issued *after* the
+    /// synchronization does not extend the wait (and cannot deadlock a
+    /// pair of reserving processors).
+    #[test]
+    fn reserve_ignores_later_misses() {
+        let mut c = CacheCtl::new(P0, Policy::def2());
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        // Outstanding write, then the sync commit reserves on it.
+        c.issue(&write(l(1), 7), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(1),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 3,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        c.issue(&tas(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(c.has_reserved());
+        // A LATER miss on a fresh line keeps the counter positive…
+        c.issue(&read(l(2)), &mut out, &mut notices);
+        assert_eq!(c.counter(), 2);
+        // …but the reserve clears as soon as the PRIOR write performs,
+        // serving the stalled synchronization request.
+        out.clear();
+        c.handle(
+            Msg::FwdGetX { requester: ProcId::new(1), loc: l(0), sync: true },
+            &mut out,
+            &mut notices,
+        );
+        assert!(out.is_empty(), "stalled while reserved");
+        c.handle(Msg::GlobalAck { loc: l(1) }, &mut out, &mut notices);
+        assert!(!c.has_reserved());
+        assert!(c.counter() > 0, "the later miss is still outstanding");
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Data { loc, exclusive: true, .. } if *loc == l(0))));
+    }
+
+    #[test]
+    fn def1_policy_never_reserves() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&write(l(1), 7), &mut out, &mut notices);
+        c.issue(&tas(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(!c.has_reserved());
+    }
+
+    #[test]
+    fn miss_cap_blocks_new_misses_while_reserved() {
+        let policy = Policy::Def2 { drf1_refined: false, miss_cap: Some(1) };
+        let mut c = CacheCtl::new(P0, policy);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        // Outstanding write + committed sync: line reserved.
+        c.issue(&write(l(1), 7), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(1),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 3,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        c.issue(&tas(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(c.has_reserved());
+        // One more miss is allowed…
+        assert_eq!(c.issue(&read(l(2)), &mut out, &mut notices), IssueOutcome::MissStarted);
+        // …the next is capped.
+        assert_eq!(c.issue(&read(l(3)), &mut out, &mut notices), IssueOutcome::BlockedMissCap);
+    }
+
+    #[test]
+    fn same_line_transactions_are_blocked() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&write(l(0), 1), &mut out, &mut notices);
+        assert_eq!(c.issue(&read(l(0)), &mut out, &mut notices), IssueOutcome::BlockedSameLine);
+        assert_eq!(c.issue(&write(l(0), 2), &mut out, &mut notices), IssueOutcome::BlockedSameLine);
+    }
+
+    #[test]
+    fn invalidation_drops_the_line_and_acks() {
+        let mut c = CacheCtl::new(P0, Policy::Def1);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&read(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::new(3),
+                exclusive: false,
+                acks_expected: 0,
+                version: 1,
+            },
+            &mut out,
+            &mut notices,
+        );
+        out.clear();
+        c.handle(Msg::Inv { loc: l(0) }, &mut out, &mut notices);
+        assert_eq!(out, vec![(Dest::Dir, Msg::InvAck { proc: P0, loc: l(0) })]);
+        assert!(c.would_miss(&read(l(0))));
+    }
+
+    #[test]
+    fn refined_test_takes_the_shared_path() {
+        let mut c = CacheCtl::new(P0, Policy::def2_drf1());
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        let test = Access::Read { loc: l(0), sync: true };
+        assert_eq!(c.issue(&test, &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(
+            out,
+            vec![(Dest::Dir, Msg::GetS { proc: P0, loc: l(0), sync: true })],
+            "Test misses as GetS"
+        );
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::new(1),
+                exclusive: false,
+                acks_expected: 0,
+                version: 1,
+            },
+            &mut out,
+            &mut notices,
+        );
+        // Spinning now hits locally.
+        assert_eq!(
+            c.issue(&test, &mut out, &mut notices),
+            IssueOutcome::Hit { read_value: Some(Value::new(1)), version: 1 }
+        );
+        assert!(!c.has_reserved());
+    }
+
+    #[test]
+    fn plain_def2_test_takes_exclusive_and_serializes() {
+        let mut c = CacheCtl::new(P0, Policy::def2());
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        let test = Access::Read { loc: l(0), sync: true };
+        c.issue(&test, &mut out, &mut notices);
+        assert_eq!(
+            out,
+            vec![(Dest::Dir, Msg::GetX { proc: P0, loc: l(0), sync: true })],
+            "Test treated as a write"
+        );
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn read(loc: Loc) -> Access {
+        Access::Read { loc, sync: false }
+    }
+
+    fn write(loc: Loc, v: u64) -> Access {
+        Access::Write { loc, value: Value::new(v), sync: false }
+    }
+
+    fn fill(c: &mut CacheCtl, loc: Loc, exclusive: bool) {
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        let access = if exclusive { write(loc, 1) } else { read(loc) };
+        assert_eq!(c.issue(&access, &mut out, &mut notices), IssueOutcome::MissStarted);
+        c.handle(
+            Msg::Data { loc, value: Value::ZERO, exclusive, acks_expected: 0, version: 0 },
+            &mut out,
+            &mut notices,
+        );
+    }
+
+    #[test]
+    fn shared_victims_drop_silently() {
+        let mut c = CacheCtl::with_capacity(P0, Policy::Def1, Some(2));
+        fill(&mut c, l(0), false);
+        fill(&mut c, l(1), false);
+        // Third fill: the LRU shared line (loc0) drops without messages.
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&read(l(2)), &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(c.evictions, 1);
+        assert!(out.iter().all(|(_, m)| !matches!(m, Msg::Evict { .. })));
+        assert!(c.would_miss(&read(l(0))), "victim evicted");
+        assert!(!c.would_miss(&read(l(1))), "MRU line kept");
+    }
+
+    #[test]
+    fn dirty_victims_handshake_and_block_until_acked() {
+        let mut c = CacheCtl::with_capacity(P0, Policy::Def1, Some(2));
+        fill(&mut c, l(0), true); // dirty
+        fill(&mut c, l(1), true); // dirty
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&read(l(2)), &mut out, &mut notices), IssueOutcome::BlockedCapacity);
+        assert!(out
+            .iter()
+            .any(|(d, m)| *d == Dest::Dir && matches!(m, Msg::Evict { loc, .. } if *loc == l(0))));
+        // Retrying while the handshake is in flight stays blocked.
+        out.clear();
+        assert_eq!(c.issue(&read(l(2)), &mut out, &mut notices), IssueOutcome::BlockedCapacity);
+        assert!(out.is_empty(), "no duplicate eviction");
+        // The ack frees the slot.
+        c.handle(Msg::EvictAck { loc: l(0), accepted: true }, &mut out, &mut notices);
+        assert!(notices.contains(&Notice::LineFree { loc: l(0) }));
+        assert_eq!(c.issue(&read(l(2)), &mut out, &mut notices), IssueOutcome::MissStarted);
+    }
+
+    #[test]
+    fn reserved_lines_are_never_flushed() {
+        let mut c = CacheCtl::with_capacity(P0, Policy::def2(), Some(2));
+        // Outstanding write keeps the counter positive…
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&write(l(3), 1), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(3),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 2,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        // …so this sync commit reserves its line.
+        c.issue(&Access::Rmw { loc: l(0), op: RmwOp::TestAndSet }, &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(c.has_reserved());
+        // Cache now holds loc3 (dirty, pending GlobalAck — wait, it's
+        // installed) and loc0 (reserved). A new fill finds no victim:
+        // loc0 is reserved, loc3 is… eligible? loc3 is installed and
+        // unreserved, so it evicts. Fill a second reserved-or-busy slot
+        // to force the stall: make loc3 the reserved one too is not
+        // possible; instead verify loc0 is never chosen.
+        out.clear();
+        let r = c.issue(&read(l(2)), &mut out, &mut notices);
+        // Either the dirty loc3 handshake started (BlockedCapacity) —
+        // but never an eviction of the reserved loc0.
+        assert_eq!(r, IssueOutcome::BlockedCapacity);
+        assert!(out.iter().all(|(_, m)| !matches!(m, Msg::Evict { loc, .. } if *loc == l(0))));
+        assert!(!c.would_miss(&read(l(0))), "reserved line still resident");
+    }
+
+    #[test]
+    fn forward_crossing_an_eviction_is_served_from_the_retained_copy() {
+        let mut c = CacheCtl::with_capacity(P0, Policy::Def1, Some(2));
+        fill(&mut c, l(0), true);
+        fill(&mut c, l(1), true);
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.issue(&read(l(2)), &mut out, &mut notices); // starts evicting loc0
+        out.clear();
+        // A forward for loc0 crosses the eviction.
+        c.handle(
+            Msg::FwdGetX { requester: ProcId::new(1), loc: l(0), sync: false },
+            &mut out,
+            &mut notices,
+        );
+        assert!(out
+            .iter()
+            .any(|(d, m)| matches!(d, Dest::Cache(_)) && matches!(m, Msg::Data { .. })));
+        assert!(notices.contains(&Notice::LineFree { loc: l(0) }));
+        // The late rejection just clears the bookkeeping.
+        out.clear();
+        notices.clear();
+        c.handle(Msg::EvictAck { loc: l(0), accepted: false }, &mut out, &mut notices);
+        assert!(!c.line_busy(l(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn capacity_below_two_is_rejected() {
+        let _ = CacheCtl::with_capacity(P0, Policy::Def1, Some(1));
+    }
+}

@@ -1,0 +1,405 @@
+//! The in-order processor core.
+//!
+//! Executes its thread through the shared architectural stepper and
+//! hands every shared-memory access to the cache controller, waiting as
+//! much — and only as much — as the active [`Policy`] demands. Stall
+//! cycles are accounted per cause, which is what the Figure 3
+//! reproduction measures.
+
+use weakord_core::{ProcId, Value};
+use weakord_progs::{Access, Thread, ThreadState};
+use weakord_sim::{Cycle, Histogram};
+
+use crate::cache::Notice;
+
+/// Stall causes tracked per processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallCause {
+    /// Waiting for a read's data to return (plain miss latency).
+    ReadMiss,
+    /// Definition 1's issuer gate: waiting for the counter to reach
+    /// zero before issuing a synchronization operation.
+    SyncGate,
+    /// Waiting for a synchronization operation to commit (procure the
+    /// line exclusive and apply) — the only sync wait under Def. 2.
+    SyncCommit,
+    /// Waiting for an operation to be globally performed (Def. 1 syncs,
+    /// and every access under SC).
+    Performed,
+    /// Waiting for an earlier transaction on the same line.
+    SameLine,
+    /// The Section 5.3 miss cap: waiting for the counter so new misses
+    /// may issue.
+    MissCap,
+    /// A fill could not find an eviction victim (reserved lines are
+    /// never flushed; other slots were mid-transaction).
+    Capacity,
+    /// Draining before a context switch (Section 5.1: all reads
+    /// returned, all writes globally performed).
+    Migration,
+}
+
+impl StallCause {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::ReadMiss => "read-miss",
+            StallCause::SyncGate => "sync-gate",
+            StallCause::SyncCommit => "sync-commit",
+            StallCause::Performed => "performed",
+            StallCause::SameLine => "same-line",
+            StallCause::MissCap => "miss-cap",
+            StallCause::Capacity => "capacity",
+            StallCause::Migration => "migration",
+        }
+    }
+
+    /// Every cause, for table headers.
+    pub const ALL: [StallCause; 8] = [
+        StallCause::ReadMiss,
+        StallCause::SyncGate,
+        StallCause::SyncCommit,
+        StallCause::Performed,
+        StallCause::SameLine,
+        StallCause::MissCap,
+        StallCause::Capacity,
+        StallCause::Migration,
+    ];
+}
+
+/// Per-processor statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcStats {
+    /// Stall cycles by cause (indexed per [`StallCause::ALL`] order).
+    stall: [u64; 8],
+    /// Completed memory operations.
+    pub ops: u64,
+    /// Misses sent to the directory.
+    pub misses: u64,
+    /// Cycle at which this core halted.
+    pub halted_at: Option<Cycle>,
+    /// Distribution of individual synchronization waits (gate + commit +
+    /// perform), for latency analysis beyond the aggregate stall.
+    pub sync_wait: Histogram,
+}
+
+impl ProcStats {
+    fn idx(cause: StallCause) -> usize {
+        StallCause::ALL.iter().position(|c| *c == cause).expect("cause listed")
+    }
+
+    /// Stall cycles attributed to `cause`.
+    pub fn stall(&self, cause: StallCause) -> u64 {
+        self.stall[Self::idx(cause)]
+    }
+
+    /// Total stall cycles.
+    pub fn total_stall(&self) -> u64 {
+        self.stall.iter().sum()
+    }
+
+    fn add_stall(&mut self, cause: StallCause, cycles: u64) {
+        self.stall[Self::idx(cause)] += cycles;
+    }
+}
+
+/// What the core is waiting for (at most one thing at a time — the core
+/// is in-order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    /// A read value for the parked access.
+    Value(weakord_core::Loc),
+    /// Commit of the parked access; completes the instruction with the
+    /// commit's read value.
+    Commit(weakord_core::Loc),
+    /// Global perform of the parked access. `value_seen` stashes the
+    /// read value from the earlier commit notice (RMW under Def. 1/SC).
+    Perform {
+        loc: weakord_core::Loc,
+        value_seen: Option<Value>,
+        /// Whether the parked instruction was already completed
+        /// architecturally (writes complete at issue).
+        instr_done: bool,
+    },
+    /// Counter-zero gate before re-attempting the parked access.
+    CounterZero,
+    /// An earlier transaction on this line must retire first.
+    LineFree(weakord_core::Loc),
+    /// A cache slot must free up (any line retiring or the counter
+    /// clearing can create an eviction victim).
+    Capacity,
+}
+
+/// The core automaton. The machine owns the cache and the event queue;
+/// the core only decides *what to wait for*.
+#[derive(Debug)]
+pub struct Core {
+    /// This core's processor id.
+    pub proc: ProcId,
+    /// Architectural thread state.
+    pub ts: ThreadState,
+    waiting: Option<(Waiting, StallCause, Cycle)>,
+    /// Statistics.
+    pub stats: ProcStats,
+    halted: bool,
+}
+
+impl Core {
+    /// A fresh core.
+    pub fn new(proc: ProcId) -> Self {
+        Core {
+            proc,
+            ts: ThreadState::new(),
+            waiting: None,
+            stats: ProcStats::default(),
+            halted: false,
+        }
+    }
+
+    /// Returns `true` once the thread halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Returns `true` while blocked on a notice.
+    pub fn is_waiting(&self) -> bool {
+        self.waiting.is_some()
+    }
+
+    /// Marks the core halted at `now`.
+    pub fn set_halted(&mut self, now: Cycle) {
+        self.halted = true;
+        self.stats.halted_at = Some(now);
+    }
+
+    /// Begins a wait.
+    pub fn begin_wait(&mut self, what_value: WaitKind, cause: StallCause, now: Cycle) {
+        debug_assert!(self.waiting.is_none(), "core already waiting");
+        let waiting = match what_value {
+            WaitKind::Value(loc) => Waiting::Value(loc),
+            WaitKind::Commit(loc) => Waiting::Commit(loc),
+            WaitKind::Perform { loc, instr_done } => {
+                Waiting::Perform { loc, value_seen: None, instr_done }
+            }
+            WaitKind::CounterZero => Waiting::CounterZero,
+            WaitKind::LineFree(loc) => Waiting::LineFree(loc),
+            WaitKind::Capacity => Waiting::Capacity,
+        };
+        self.waiting = Some((waiting, cause, now));
+    }
+
+    /// Feeds a cache notice to the core. Returns `true` if the core
+    /// unblocked (the machine should schedule a tick); the core
+    /// completes the parked instruction itself where appropriate.
+    pub fn on_notice(&mut self, notice: &Notice, thread: &Thread, now: Cycle) -> bool {
+        let Some((waiting, cause, since)) = self.waiting else {
+            return false;
+        };
+        let unblock = |core: &mut Core| {
+            let waited = now.since(since);
+            core.stats.add_stall(cause, waited);
+            if matches!(
+                cause,
+                StallCause::SyncGate | StallCause::SyncCommit | StallCause::Performed
+            ) {
+                core.stats.sync_wait.record(waited);
+            }
+            core.waiting = None;
+        };
+        match (waiting, notice) {
+            (Waiting::Value(l), Notice::Value { loc, value, .. }) if l == *loc => {
+                self.ts.complete(thread, Some(*value));
+                self.stats.ops += 1;
+                unblock(self);
+                true
+            }
+            (Waiting::Commit(l), Notice::Commit { loc, read_value, .. }) if l == *loc => {
+                self.ts.complete(thread, *read_value);
+                self.stats.ops += 1;
+                unblock(self);
+                true
+            }
+            (
+                Waiting::Perform { loc: l, instr_done, .. },
+                Notice::Commit { loc, read_value, .. },
+            ) if l == *loc => {
+                // Stash the commit value; keep waiting for the perform.
+                if !instr_done {
+                    self.waiting = Some((
+                        Waiting::Perform { loc: l, value_seen: *read_value, instr_done },
+                        cause,
+                        since,
+                    ));
+                }
+                false
+            }
+            (Waiting::Perform { loc: l, value_seen, instr_done }, Notice::Performed { loc })
+                if l == *loc =>
+            {
+                if !instr_done {
+                    self.ts.complete(thread, value_seen);
+                }
+                self.stats.ops += 1;
+                unblock(self);
+                true
+            }
+            (
+                Waiting::Perform { loc: l, instr_done, value_seen },
+                Notice::Value { loc, value, .. },
+            ) if l == *loc => {
+                // A pure read under an SC-style perform wait: the value
+                // return *is* the perform.
+                debug_assert!(value_seen.is_none());
+                if !instr_done {
+                    self.ts.complete(thread, Some(*value));
+                }
+                self.stats.ops += 1;
+                unblock(self);
+                true
+            }
+            (Waiting::CounterZero, Notice::CounterZero) => {
+                unblock(self);
+                true
+            }
+            (Waiting::LineFree(l), Notice::LineFree { loc }) if l == *loc => {
+                unblock(self);
+                true
+            }
+            (Waiting::Capacity, Notice::LineFree { .. } | Notice::CounterZero) => {
+                unblock(self);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// What to wait for, as decided by the machine from policy + issue
+/// outcome (mirrors [`Waiting`] without the stash fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Wait for the read value.
+    Value(weakord_core::Loc),
+    /// Wait for local commit.
+    Commit(weakord_core::Loc),
+    /// Wait for global perform.
+    Perform {
+        /// The line.
+        loc: weakord_core::Loc,
+        /// Whether the instruction already completed architecturally.
+        instr_done: bool,
+    },
+    /// Wait for the counter to reach zero.
+    CounterZero,
+    /// Wait for the line's outstanding transaction to retire.
+    LineFree(weakord_core::Loc),
+    /// Wait for a cache slot to become evictable.
+    Capacity,
+}
+
+/// Classifies the stall cause of a wait decision.
+pub fn stall_cause(kind: &WaitKind, access: &Access) -> StallCause {
+    match kind {
+        WaitKind::Value(_) => StallCause::ReadMiss,
+        WaitKind::Commit(_) => StallCause::SyncCommit,
+        WaitKind::Perform { .. } => StallCause::Performed,
+        WaitKind::CounterZero => {
+            if access.is_sync() {
+                StallCause::SyncGate
+            } else {
+                StallCause::MissCap
+            }
+        }
+        WaitKind::LineFree(_) => StallCause::SameLine,
+        WaitKind::Capacity => StallCause::Capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakord_core::Loc;
+    use weakord_progs::{Reg, ThreadBuilder};
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn value_wait_completes_the_read() {
+        let mut t = ThreadBuilder::new();
+        t.read(Reg::new(0), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut core = Core::new(ProcId::new(0));
+        // Park the thread on its read.
+        let _ = core.ts.advance(&thread);
+        core.begin_wait(WaitKind::Value(l(0)), StallCause::ReadMiss, Cycle::new(5));
+        assert!(core.is_waiting());
+        // Unrelated notice: ignored.
+        assert!(!core.on_notice(
+            &Notice::Value { loc: l(1), value: Value::new(9), version: 0 },
+            &thread,
+            Cycle::new(7)
+        ));
+        // Matching notice: resumes and records the stall.
+        assert!(core.on_notice(
+            &Notice::Value { loc: l(0), value: Value::new(3), version: 0 },
+            &thread,
+            Cycle::new(25)
+        ));
+        assert!(!core.is_waiting());
+        assert_eq!(core.ts.reg(Reg::new(0)), Value::new(3));
+        assert_eq!(core.stats.stall(StallCause::ReadMiss), 20);
+        assert_eq!(core.stats.ops, 1);
+    }
+
+    #[test]
+    fn perform_wait_stashes_commit_value() {
+        let mut t = ThreadBuilder::new();
+        t.test_and_set(Reg::new(1), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut core = Core::new(ProcId::new(0));
+        let _ = core.ts.advance(&thread);
+        core.begin_wait(
+            WaitKind::Perform { loc: l(0), instr_done: false },
+            StallCause::Performed,
+            Cycle::new(0),
+        );
+        assert!(!core.on_notice(
+            &Notice::Commit { loc: l(0), read_value: Some(Value::ZERO), version: 1 },
+            &thread,
+            Cycle::new(10)
+        ));
+        assert!(core.is_waiting());
+        assert!(core.on_notice(&Notice::Performed { loc: l(0) }, &thread, Cycle::new(30)));
+        assert_eq!(core.ts.reg(Reg::new(1)), Value::ZERO);
+        assert_eq!(core.stats.stall(StallCause::Performed), 30);
+    }
+
+    #[test]
+    fn counter_zero_wait() {
+        let thread = ThreadBuilder::new().finish();
+        let mut core = Core::new(ProcId::new(0));
+        core.begin_wait(WaitKind::CounterZero, StallCause::SyncGate, Cycle::new(0));
+        assert!(!core.on_notice(&Notice::LineFree { loc: l(0) }, &thread, Cycle::new(1)));
+        assert!(core.on_notice(&Notice::CounterZero, &thread, Cycle::new(8)));
+        assert_eq!(core.stats.stall(StallCause::SyncGate), 8);
+    }
+
+    #[test]
+    fn stall_cause_classification() {
+        let sync = Access::Write { loc: l(0), value: Value::new(1), sync: true };
+        let data = Access::Read { loc: l(0), sync: false };
+        assert_eq!(stall_cause(&WaitKind::CounterZero, &sync), StallCause::SyncGate);
+        assert_eq!(stall_cause(&WaitKind::CounterZero, &data), StallCause::MissCap);
+        assert_eq!(stall_cause(&WaitKind::Value(l(0)), &data), StallCause::ReadMiss);
+        assert_eq!(stall_cause(&WaitKind::Commit(l(0)), &sync), StallCause::SyncCommit);
+        assert_eq!(
+            stall_cause(&WaitKind::Perform { loc: l(0), instr_done: true }, &sync),
+            StallCause::Performed
+        );
+        assert_eq!(stall_cause(&WaitKind::LineFree(l(0)), &data), StallCause::SameLine);
+    }
+}

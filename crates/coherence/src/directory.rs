@@ -1,0 +1,551 @@
+//! The blocking directory / memory controller.
+//!
+//! Holds per-line sharer sets and the memory copy of every line, and
+//! serializes transactions per line: while one request is in flight the
+//! directory queues later requests for the same line. Within a
+//! transaction the paper's parallelism is preserved — on a `GetX` the
+//! data goes to the requester *in parallel* with the invalidations —
+//! and the write's *globally performed* moment is the directory's
+//! [`Msg::GlobalAck`] after the last invalidation acknowledgement.
+
+use std::collections::VecDeque;
+
+use weakord_core::{Loc, ProcId, Value};
+
+use crate::proto::Msg;
+
+/// Where a line's up-to-date copies live, from the directory's view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// Memory holds the only copy.
+    Uncached,
+    /// Memory is current; these caches hold shared copies.
+    Shared(Vec<ProcId>),
+    /// One cache holds the line dirty; memory is stale.
+    Excl(ProcId),
+}
+
+/// An in-flight transaction on one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Txn {
+    requester: ProcId,
+    /// Invalidation acks still outstanding.
+    acks_left: u32,
+    /// Whether any invalidations were sent (a `GlobalAck` is owed).
+    had_acks: bool,
+    /// Waiting for the requester to confirm its fill.
+    awaiting_data_ack: bool,
+    /// Waiting for the previous owner's writeback (downgrade path).
+    awaiting_writeback: bool,
+    /// Under the strict (non-parallel) ablation: the data message held
+    /// back until every invalidation is acknowledged.
+    deferred_data: Option<Msg>,
+}
+
+#[derive(Debug, Clone)]
+struct DirLine {
+    state: DirState,
+    value: Value,
+    version: u64,
+    txn: Option<Txn>,
+    queue: VecDeque<(ProcId, bool, bool)>,
+}
+
+/// The directory controller. Mutating entry points return the messages
+/// to send (destinations are processor ids; the machine maps them to
+/// nodes).
+#[derive(Debug, Clone)]
+pub struct Directory {
+    lines: Vec<DirLine>,
+    /// `false` (the paper's protocol): on a `GetX` over shared copies,
+    /// data is forwarded to the requester *in parallel* with the
+    /// invalidations. `true` (ablation): data is withheld until all
+    /// invalidations are acknowledged.
+    strict: bool,
+    /// `false` (the paper's protocol): requests for an exclusively held
+    /// line are forwarded to the owner, which supplies the data
+    /// cache-to-cache. `true` (ablation): the directory *recalls* the
+    /// line (owner writes back and invalidates) and serves the requester
+    /// from memory — one more network hop on every ownership change.
+    no_forwarding: bool,
+}
+
+/// A message addressed to a processor's cache (`None` target = to the
+/// directory itself, which never happens from here).
+pub type Outbound = (ProcId, Msg);
+
+impl Directory {
+    /// A directory over `n_locs` lines, all uncached and zeroed, using
+    /// the paper's parallel data-with-invalidations protocol.
+    pub fn new(n_locs: usize) -> Self {
+        Directory::with_strict_data(n_locs, false)
+    }
+
+    /// Like [`Directory::new`] with the data-after-acks ablation toggle.
+    pub fn with_strict_data(n_locs: usize, strict: bool) -> Self {
+        Directory::with_options(n_locs, strict, false)
+    }
+
+    /// Full configuration: strict data delivery and/or recall-based
+    /// (no cache-to-cache) transfers.
+    pub fn with_options(n_locs: usize, strict: bool, no_forwarding: bool) -> Self {
+        Directory {
+            strict,
+            no_forwarding,
+            lines: (0..n_locs)
+                .map(|_| DirLine {
+                    state: DirState::Uncached,
+                    value: Value::ZERO,
+                    version: 0,
+                    txn: None,
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Handles one incoming protocol message.
+    pub fn handle(&mut self, msg: Msg, out: &mut Vec<Outbound>) {
+        match msg {
+            Msg::GetS { proc, loc, sync } => self.request(proc, loc, false, sync, out),
+            Msg::GetX { proc, loc, sync } => self.request(proc, loc, true, sync, out),
+            Msg::InvAck { loc, .. } => self.inv_ack(loc, out),
+            Msg::DataAck { loc, .. } => self.data_ack(loc, out),
+            Msg::WriteBack { loc, value, version, .. } => self.write_back(loc, value, version, out),
+            Msg::Evict { proc, loc, value, version } => self.evict(proc, loc, value, version, out),
+            other => unreachable!("directory received {other:?}"),
+        }
+    }
+
+    fn request(
+        &mut self,
+        proc: ProcId,
+        loc: Loc,
+        exclusive: bool,
+        sync: bool,
+        out: &mut Vec<Outbound>,
+    ) {
+        if self.lines[loc.index()].txn.is_some() {
+            self.lines[loc.index()].queue.push_back((proc, exclusive, sync));
+            return;
+        }
+        self.start(proc, loc, exclusive, sync, out);
+    }
+
+    fn start(
+        &mut self,
+        proc: ProcId,
+        loc: Loc,
+        exclusive: bool,
+        sync: bool,
+        out: &mut Vec<Outbound>,
+    ) {
+        let line = &mut self.lines[loc.index()];
+        debug_assert!(line.txn.is_none());
+        match line.state.clone() {
+            DirState::Uncached => {
+                out.push((
+                    proc,
+                    Msg::Data {
+                        loc,
+                        value: line.value,
+                        exclusive,
+                        acks_expected: 0,
+                        version: line.version,
+                    },
+                ));
+                line.state =
+                    if exclusive { DirState::Excl(proc) } else { DirState::Shared(vec![proc]) };
+                line.txn = Some(Txn {
+                    requester: proc,
+                    acks_left: 0,
+                    had_acks: false,
+                    awaiting_data_ack: true,
+                    awaiting_writeback: false,
+                    deferred_data: None,
+                });
+            }
+            DirState::Shared(sharers) => {
+                if exclusive {
+                    let others: Vec<ProcId> =
+                        sharers.iter().copied().filter(|&q| q != proc).collect();
+                    // Data to the requester in parallel with the
+                    // invalidations (the Section 5.2 protocol feature) —
+                    // or, under the strict ablation, only after every
+                    // acknowledgement is in.
+                    let data = Msg::Data {
+                        loc,
+                        value: line.value,
+                        exclusive: true,
+                        acks_expected: if self.strict { 0 } else { others.len() as u32 },
+                        version: line.version,
+                    };
+                    let mut deferred_data = None;
+                    if self.strict && !others.is_empty() {
+                        deferred_data = Some(data);
+                    } else {
+                        out.push((proc, data));
+                    }
+                    for &q in &others {
+                        out.push((q, Msg::Inv { loc }));
+                    }
+                    line.state = DirState::Excl(proc);
+                    line.txn = Some(Txn {
+                        requester: proc,
+                        acks_left: others.len() as u32,
+                        had_acks: !others.is_empty() && !self.strict,
+                        awaiting_data_ack: true,
+                        awaiting_writeback: false,
+                        deferred_data,
+                    });
+                } else {
+                    out.push((
+                        proc,
+                        Msg::Data {
+                            loc,
+                            value: line.value,
+                            exclusive: false,
+                            acks_expected: 0,
+                            version: line.version,
+                        },
+                    ));
+                    let mut sharers = sharers;
+                    if !sharers.contains(&proc) {
+                        sharers.push(proc);
+                    }
+                    line.state = DirState::Shared(sharers);
+                    line.txn = Some(Txn {
+                        requester: proc,
+                        acks_left: 0,
+                        had_acks: false,
+                        awaiting_data_ack: true,
+                        awaiting_writeback: false,
+                        deferred_data: None,
+                    });
+                }
+            }
+            DirState::Excl(owner) => {
+                debug_assert_ne!(owner, proc, "owner re-requesting its own line");
+                if self.no_forwarding {
+                    // Ablation: recall the line and serve from memory
+                    // once the owner's writeback arrives.
+                    out.push((owner, Msg::Recall { loc, sync }));
+                    line.state =
+                        if exclusive { DirState::Excl(proc) } else { DirState::Shared(vec![proc]) };
+                    line.txn = Some(Txn {
+                        requester: proc,
+                        acks_left: 0,
+                        had_acks: false,
+                        awaiting_data_ack: true,
+                        awaiting_writeback: true,
+                        deferred_data: Some(Msg::Data {
+                            loc,
+                            value: line.value, // patched when the writeback lands
+                            exclusive,
+                            acks_expected: 0,
+                            version: line.version,
+                        }),
+                    });
+                } else if exclusive {
+                    out.push((owner, Msg::FwdGetX { requester: proc, loc, sync }));
+                    line.state = DirState::Excl(proc);
+                    line.txn = Some(Txn {
+                        requester: proc,
+                        acks_left: 0,
+                        had_acks: false,
+                        awaiting_data_ack: true,
+                        awaiting_writeback: false,
+                        deferred_data: None,
+                    });
+                } else {
+                    out.push((owner, Msg::FwdGetS { requester: proc, loc, sync }));
+                    line.state = DirState::Shared(vec![owner, proc]);
+                    line.txn = Some(Txn {
+                        requester: proc,
+                        acks_left: 0,
+                        had_acks: false,
+                        awaiting_data_ack: true,
+                        awaiting_writeback: true,
+                        deferred_data: None,
+                    });
+                }
+            }
+        }
+    }
+
+    fn inv_ack(&mut self, loc: Loc, out: &mut Vec<Outbound>) {
+        let line = &mut self.lines[loc.index()];
+        let txn = line.txn.as_mut().expect("InvAck without transaction");
+        debug_assert!(txn.acks_left > 0);
+        txn.acks_left -= 1;
+        if txn.acks_left == 0 {
+            if let Some(data) = txn.deferred_data.take() {
+                // Strict ablation: release the withheld data now — the
+                // write is globally performed on arrival.
+                out.push((txn.requester, data));
+            }
+            if txn.had_acks {
+                // All copies have observed the write: globally performed.
+                out.push((txn.requester, Msg::GlobalAck { loc }));
+            }
+        }
+        self.maybe_finish(loc, out);
+    }
+
+    fn data_ack(&mut self, loc: Loc, out: &mut Vec<Outbound>) {
+        let line = &mut self.lines[loc.index()];
+        let txn = line.txn.as_mut().expect("DataAck without transaction");
+        debug_assert!(txn.awaiting_data_ack);
+        txn.awaiting_data_ack = false;
+        self.maybe_finish(loc, out);
+    }
+
+    fn write_back(&mut self, loc: Loc, value: Value, version: u64, out: &mut Vec<Outbound>) {
+        let line = &mut self.lines[loc.index()];
+        line.value = value;
+        line.version = version;
+        if let Some(txn) = line.txn.as_mut() {
+            txn.awaiting_writeback = false;
+            // Recall path: the writeback carries the data the requester
+            // is waiting for; release it now, with the fresh value.
+            if let Some(Msg::Data { loc: dl, exclusive, acks_expected, .. }) =
+                txn.deferred_data.take()
+            {
+                out.push((
+                    txn.requester,
+                    Msg::Data { loc: dl, value, exclusive, acks_expected, version },
+                ));
+            }
+        }
+        self.maybe_finish(loc, out);
+    }
+
+    fn evict(
+        &mut self,
+        proc: ProcId,
+        loc: Loc,
+        value: Value,
+        version: u64,
+        out: &mut Vec<Outbound>,
+    ) {
+        let line = &mut self.lines[loc.index()];
+        let still_owner = line.txn.is_none() && line.state == DirState::Excl(proc);
+        if still_owner {
+            line.value = value;
+            line.version = version;
+            line.state = DirState::Uncached;
+        }
+        // Rejected evictions mean a forward crossed the eviction in
+        // flight; the evictor serves it from its retained copy.
+        out.push((proc, Msg::EvictAck { loc, accepted: still_owner }));
+    }
+
+    fn maybe_finish(&mut self, loc: Loc, out: &mut Vec<Outbound>) {
+        let line = &mut self.lines[loc.index()];
+        let done = line
+            .txn
+            .as_ref()
+            .is_some_and(|t| t.acks_left == 0 && !t.awaiting_data_ack && !t.awaiting_writeback);
+        if !done {
+            return;
+        }
+        line.txn = None;
+        if let Some((proc, exclusive, sync)) = line.queue.pop_front() {
+            self.start(proc, loc, exclusive, sync, out);
+        }
+    }
+
+    /// Returns `true` while any line has an in-flight transaction or a
+    /// queued request (used for drain/termination checks).
+    pub fn is_quiescent(&self) -> bool {
+        self.lines.iter().all(|l| l.txn.is_none() && l.queue.is_empty())
+    }
+
+    /// The final value of a line once the system is quiescent: memory's
+    /// copy, unless a cache owns it exclusively (`None` then — ask the
+    /// owner).
+    pub fn final_value(&self, loc: Loc) -> Result<Value, ProcId> {
+        let line = &self.lines[loc.index()];
+        match line.state {
+            DirState::Excl(owner) => Err(owner),
+            _ => Ok(line.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+    const P2: ProcId = ProcId::new(2);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn uncached_gets_served_from_memory() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        d.handle(Msg::GetS { proc: P0, loc: l(0), sync: false }, &mut out);
+        assert_eq!(
+            out,
+            vec![(
+                P0,
+                Msg::Data {
+                    loc: l(0),
+                    value: Value::ZERO,
+                    exclusive: false,
+                    acks_expected: 0,
+                    version: 0
+                }
+            )]
+        );
+        assert!(!d.is_quiescent(), "blocking until DataAck");
+        out.clear();
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+    }
+
+    #[test]
+    fn getx_on_shared_sends_data_in_parallel_with_invs() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        // P0 and P1 get shared copies.
+        d.handle(Msg::GetS { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        d.handle(Msg::GetS { proc: P1, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
+        out.clear();
+        // P2 wants it exclusive: data + 2 invalidations at once.
+        d.handle(Msg::GetX { proc: P2, loc: l(0), sync: false }, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(
+            matches!(out[0], (p, Msg::Data { exclusive: true, acks_expected: 2, .. }) if p == P2)
+        );
+        assert!(out[1..].iter().all(|(_, m)| matches!(m, Msg::Inv { .. })));
+        out.clear();
+        // Acks trickle in; GlobalAck fires on the last one.
+        d.handle(Msg::InvAck { proc: P0, loc: l(0) }, &mut out);
+        assert!(out.is_empty());
+        d.handle(Msg::InvAck { proc: P1, loc: l(0) }, &mut out);
+        assert_eq!(out, vec![(P2, Msg::GlobalAck { loc: l(0) })]);
+        out.clear();
+        d.handle(Msg::DataAck { proc: P2, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+        assert_eq!(d.final_value(l(0)), Err(P2), "P2 owns the line");
+    }
+
+    #[test]
+    fn upgrade_from_sole_sharer_needs_no_acks() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        d.handle(Msg::GetS { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Msg::Data { exclusive: true, acks_expected: 0, .. }));
+    }
+
+    #[test]
+    fn requests_queue_while_a_transaction_is_in_flight() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        out.clear();
+        d.handle(Msg::GetS { proc: P1, loc: l(0), sync: false }, &mut out);
+        assert!(out.is_empty(), "queued behind P0's transaction");
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        // Now P1's GetS starts: P0 owns exclusively, so it's forwarded.
+        assert_eq!(out, vec![(P0, Msg::FwdGetS { requester: P1, loc: l(0), sync: false })]);
+    }
+
+    #[test]
+    fn downgrade_collects_the_writeback() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        d.handle(Msg::GetS { proc: P1, loc: l(0), sync: false }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::FwdGetS { requester: P1, loc: l(0), sync: false })]);
+        out.clear();
+        d.handle(
+            Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(9), version: 1 },
+            &mut out,
+        );
+        assert!(!d.is_quiescent(), "still awaiting P1's DataAck");
+        d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+        assert_eq!(d.final_value(l(0)), Ok(Value::new(9)));
+    }
+
+    #[test]
+    fn recall_mode_serves_from_memory_after_writeback() {
+        let mut d = Directory::with_options(1, false, true);
+        let mut out = Vec::new();
+        // P0 takes the line exclusive.
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        // P1's request triggers a recall instead of a forward.
+        d.handle(Msg::GetX { proc: P1, loc: l(0), sync: true }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::Recall { loc: l(0), sync: true })]);
+        out.clear();
+        // The owner's writeback releases the (patched) data to P1.
+        d.handle(Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(7), version: 3 }, &mut out);
+        assert_eq!(
+            out,
+            vec![(
+                P1,
+                Msg::Data {
+                    loc: l(0),
+                    value: Value::new(7),
+                    exclusive: true,
+                    acks_expected: 0,
+                    version: 3
+                }
+            )]
+        );
+        out.clear();
+        d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+        assert_eq!(d.final_value(l(0)), Err(P1));
+    }
+
+    #[test]
+    fn recall_for_a_shared_request_grants_shared() {
+        let mut d = Directory::with_options(1, false, true);
+        let mut out = Vec::new();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        d.handle(Msg::GetS { proc: P1, loc: l(0), sync: false }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::Recall { loc: l(0), sync: false })]);
+        out.clear();
+        d.handle(Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(2), version: 1 }, &mut out);
+        assert!(matches!(out[0], (p, Msg::Data { exclusive: false, .. }) if p == P1));
+        d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+        // Memory is current after the recall; P1 only shares.
+        assert_eq!(d.final_value(l(0)), Ok(Value::new(2)));
+    }
+
+    #[test]
+    fn transfer_between_owners() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        d.handle(Msg::GetX { proc: P1, loc: l(0), sync: false }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::FwdGetX { requester: P1, loc: l(0), sync: false })]);
+        out.clear();
+        d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
+        assert!(d.is_quiescent());
+        assert_eq!(d.final_value(l(0)), Err(P1));
+    }
+}

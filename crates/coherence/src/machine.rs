@@ -1,0 +1,778 @@
+//! The whole simulated multiprocessor: cores, caches, the directory and
+//! the interconnect, driven by a deterministic event queue.
+//!
+//! [`CoherentMachine::run`] executes a program to completion and returns
+//! the observable [`Outcome`], cycle counts, per-processor stall
+//! breakdowns, and (optionally) the committed-operation trace, which
+//! [`RunResult::check_appears_sc`] feeds to the Lemma 1 verifier — the
+//! timed implementation is checked against the paper's own correctness
+//! criterion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use weakord_core::{
+    check_appears_sc, HbMode, IdealizedExecution, Loc, MemOp, OpId, ProcId, ScViolation, Value,
+};
+use weakord_progs::{Access, Outcome, Program, ThreadEvent};
+use weakord_sim::{Counters, Cycle, EventQueue, GeneralNet, Interconnect, NodeId, SimRng};
+
+use crate::cache::{CacheCtl, Dest, IssueOutcome, Notice};
+use crate::core::{stall_cause, Core, ProcStats, StallCause, WaitKind};
+use crate::policy::{Policy, WaitFor};
+use crate::proto::Msg;
+
+/// Interconnect selection for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetModel {
+    /// Fixed-latency bus.
+    Bus {
+        /// Cycles per transaction.
+        cycles: u64,
+    },
+    /// Fixed-latency crossbar.
+    Crossbar {
+        /// Cycles per traversal.
+        cycles: u64,
+    },
+    /// General interconnection network with uniform random latency —
+    /// messages reorder freely.
+    General {
+        /// Minimum latency.
+        min: u64,
+        /// Maximum latency (inclusive).
+        max: u64,
+    },
+    /// A 2D mesh with Manhattan-distance latency plus jitter.
+    Mesh {
+        /// Grid width.
+        width: u32,
+        /// Cycles per hop.
+        per_hop: u64,
+        /// Max uniform jitter.
+        jitter: u64,
+    },
+    /// A general network with occasional congestion spikes (heavy-tailed
+    /// latencies).
+    Congested {
+        /// Minimum normal latency.
+        min: u64,
+        /// Maximum normal latency.
+        max: u64,
+        /// Congested-message latency.
+        spike: u64,
+        /// Congestion probability in permille.
+        spike_permille: u32,
+    },
+}
+
+impl NetModel {
+    fn latency(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> u64 {
+        match *self {
+            NetModel::Bus { cycles } => weakord_sim::AtomicBus { cycles }.latency(src, dst, rng),
+            NetModel::Crossbar { cycles } => {
+                weakord_sim::Crossbar { cycles }.latency(src, dst, rng)
+            }
+            NetModel::General { min, max } => GeneralNet { min, max }.latency(src, dst, rng),
+            NetModel::Mesh { width, per_hop, jitter } => {
+                weakord_sim::Mesh { width, per_hop, jitter }.latency(src, dst, rng)
+            }
+            NetModel::Congested { min, max, spike, spike_permille } => {
+                weakord_sim::CongestedNet { min, max, spike, spike_permille }.latency(src, dst, rng)
+            }
+        }
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// The processor ordering policy under test.
+    pub policy: Policy,
+    /// The interconnect model.
+    pub network: NetModel,
+    /// RNG seed (network latencies).
+    pub seed: u64,
+    /// Abort the run after this many cycles.
+    pub max_cycles: u64,
+    /// Record the committed-operation trace for Lemma 1 checking.
+    pub record_trace: bool,
+    /// Ablation: withhold `GetX` data until all invalidations are
+    /// acknowledged, instead of the paper's parallel forwarding.
+    pub strict_data: bool,
+    /// Ablation: replace cache-to-cache forwarding with directory
+    /// recalls (owner writes back; the directory serves from memory).
+    pub no_forwarding: bool,
+    /// Lines each cache can hold (`None` = unbounded). Must be ≥ 2.
+    pub cache_lines: Option<u32>,
+    /// Optional process migration: re-schedule one thread onto a spare
+    /// (cold) processor. Per Section 5.1, the context switch waits until
+    /// all the thread's previous reads have returned and all its writes
+    /// are globally performed (counter reads zero).
+    pub migration: Option<Migration>,
+    /// Number of interleaved memory modules / directory banks (lines are
+    /// distributed round-robin). More banks = more memory-side
+    /// parallelism and more network-path diversity, exactly the
+    /// "general interconnection network" setting of the paper. Must be
+    /// ≥ 1.
+    pub memory_banks: u32,
+}
+
+/// A process-migration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The thread to migrate.
+    pub thread: u16,
+    /// Earliest cycle at which the switch may happen.
+    pub at_cycle: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            policy: Policy::def2(),
+            network: NetModel::General { min: 20, max: 60 },
+            seed: 1,
+            max_cycles: 10_000_000,
+            record_trace: false,
+            strict_data: false,
+            no_forwarding: false,
+            cache_lines: None,
+            migration: None,
+            memory_banks: 1,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle budget ran out (possible livelock).
+    Timeout {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+    },
+    /// The event queue drained with unfinished processors — a deadlock
+    /// (the paper argues this cannot happen; we check).
+    Deadlock {
+        /// Time of the last event.
+        at: Cycle,
+        /// Which processors were stuck.
+        stuck: Vec<ProcId>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Timeout { max_cycles } => write!(f, "run exceeded {max_cycles} cycles"),
+            RunError::Deadlock { at, stuck } => {
+                write!(f, "deadlock {at}: stuck processors {stuck:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One committed memory operation as observed by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TraceOp {
+    proc: ProcId,
+    po_index: u32,
+    kind: weakord_core::OpKind,
+    loc: Loc,
+    read_value: Option<Value>,
+    written_value: Option<Value>,
+    version: u64,
+    commit_seq: u64,
+}
+
+/// Per-location protocol traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocStats {
+    /// Exclusive requests for the line.
+    pub getx: u64,
+    /// Shared requests.
+    pub gets: u64,
+    /// Invalidations sent to sharers.
+    pub invs: u64,
+    /// Ownership transfers (forwards + recalls).
+    pub transfers: u64,
+}
+
+impl LocStats {
+    /// Total protocol messages attributed to the line.
+    pub fn total(&self) -> u64 {
+        self.getx + self.gets + self.invs + self.transfers
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The observable outcome (final registers + memory).
+    pub outcome: Outcome,
+    /// Total cycles until the last processor halted and the system
+    /// drained.
+    pub cycles: u64,
+    /// Per-processor statistics.
+    pub proc_stats: Vec<ProcStats>,
+    /// Global message/event counters.
+    pub counters: Counters,
+    /// Per-location protocol traffic (indexed by location).
+    pub loc_stats: Vec<LocStats>,
+    /// The observed execution (commit order), when tracing was enabled.
+    pub execution: Option<IdealizedExecution>,
+}
+
+impl fmt::Display for RunResult {
+    /// A full human-readable report: total cycles, per-processor stall
+    /// breakdown, and message counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} cycles", self.cycles)?;
+        write!(f, "{:>6}", "proc")?;
+        for cause in StallCause::ALL {
+            write!(f, " {:>11}", cause.name())?;
+        }
+        writeln!(f, " {:>8} {:>8}  sync-wait", "ops", "misses")?;
+        for (p, st) in self.proc_stats.iter().enumerate() {
+            write!(f, "{p:>6}")?;
+            for cause in StallCause::ALL {
+                write!(f, " {:>11}", st.stall(cause))?;
+            }
+            writeln!(f, " {:>8} {:>8}  {}", st.ops, st.misses, st.sync_wait)?;
+        }
+        writeln!(f, "messages:")?;
+        write!(f, "{}", self.counters)
+    }
+}
+
+impl RunResult {
+    /// The `k` busiest locations, as `(location, stats)`, most traffic
+    /// first.
+    pub fn hotspots(&self, k: usize) -> Vec<(Loc, LocStats)> {
+        let mut v: Vec<(Loc, LocStats)> = self
+            .loc_stats
+            .iter()
+            .enumerate()
+            .map(|(l, s)| (Loc::new(l as u32), *s))
+            .filter(|(_, s)| s.total() > 0)
+            .collect();
+        v.sort_by_key(|(_, s)| std::cmp::Reverse(s.total()));
+        v.truncate(k);
+        v
+    }
+
+    /// Checks the observed execution against the Lemma 1 appears-SC
+    /// criterion (requires `record_trace`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not traced.
+    pub fn check_appears_sc(&self, mode: HbMode) -> Result<(), ScViolation> {
+        let exec = self.execution.as_ref().expect("run was not traced; set record_trace");
+        check_appears_sc(exec, mode)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Tick(usize),
+    MigrationCheck(usize),
+    DeliverCache(usize, Msg),
+    DeliverDir(usize, Msg),
+}
+
+/// The simulated multiprocessor.
+#[derive(Debug)]
+pub struct CoherentMachine<'p> {
+    prog: &'p Program,
+    config: Config,
+    cores: Vec<Core>,
+    caches: Vec<CacheCtl>,
+    dirs: Vec<crate::directory::Directory>,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    counters: Counters,
+    /// Thread → cache (changes on migration).
+    cache_of: Vec<usize>,
+    /// Cache → thread currently scheduled on it.
+    thread_of: Vec<Option<usize>>,
+    /// Thread with a pending context switch, and its target cache.
+    migrating: Option<(usize, usize)>,
+    loc_stats: Vec<LocStats>,
+    issued: HashMap<(usize, Loc), (usize, u32, Access)>,
+    po_counter: Vec<u32>,
+    trace: Vec<TraceOp>,
+    commit_seq: u64,
+}
+
+impl<'p> CoherentMachine<'p> {
+    /// Builds a machine for `prog` under `config`.
+    pub fn new(prog: &'p Program, config: Config) -> Self {
+        let n = prog.n_procs();
+        // One spare (cold) cache when a migration is planned.
+        let n_caches = n + usize::from(config.migration.is_some());
+        if let Some(m) = config.migration {
+            assert!((m.thread as usize) < n, "migration names a nonexistent thread");
+        }
+        let mut thread_of: Vec<Option<usize>> = (0..n).map(Some).collect();
+        thread_of.resize(n_caches, None);
+        CoherentMachine {
+            prog,
+            config,
+            cores: (0..n).map(|p| Core::new(ProcId::new(p as u16))).collect(),
+            caches: (0..n_caches)
+                .map(|p| {
+                    CacheCtl::with_capacity(
+                        ProcId::new(p as u16),
+                        config.policy,
+                        config.cache_lines,
+                    )
+                })
+                .collect(),
+            dirs: {
+                assert!(config.memory_banks >= 1, "at least one memory bank");
+                (0..config.memory_banks)
+                    .map(|_| {
+                        crate::directory::Directory::with_options(
+                            prog.n_locs as usize,
+                            config.strict_data,
+                            config.no_forwarding,
+                        )
+                    })
+                    .collect()
+            },
+            queue: EventQueue::new(),
+            rng: SimRng::new(config.seed),
+            counters: Counters::new(),
+            loc_stats: vec![LocStats::default(); prog.n_locs as usize],
+            cache_of: (0..n).collect(),
+            thread_of,
+            migrating: None,
+            issued: HashMap::new(),
+            po_counter: vec![0; n],
+            trace: Vec::new(),
+            commit_seq: 0,
+        }
+    }
+
+    /// The bank responsible for a line (round-robin interleaving).
+    fn bank_of(&self, loc: Loc) -> usize {
+        (loc.raw() % self.config.memory_banks) as usize
+    }
+
+    fn dir_node(&self, bank: usize) -> NodeId {
+        NodeId::new((self.caches.len() + bank) as u32)
+    }
+
+    fn tally(&mut self, msg: &Msg) {
+        self.counters.incr(msg.kind_name());
+        let Some(stats) = self.loc_stats.get_mut(msg.loc().index()) else {
+            return;
+        };
+        match msg {
+            Msg::GetX { .. } => stats.getx += 1,
+            Msg::GetS { .. } => stats.gets += 1,
+            Msg::Inv { .. } => stats.invs += 1,
+            Msg::FwdGetX { .. } | Msg::FwdGetS { .. } | Msg::Recall { .. } => stats.transfers += 1,
+            _ => {}
+        }
+    }
+
+    fn send_to_dir(&mut self, from: usize, msg: Msg) {
+        self.tally(&msg);
+        let bank = self.bank_of(msg.loc());
+        let lat = self.config.network.latency(
+            NodeId::new(from as u32),
+            self.dir_node(bank),
+            &mut self.rng,
+        );
+        self.queue.schedule_in(lat, Ev::DeliverDir(bank, msg));
+    }
+
+    fn send_to_cache(&mut self, from_dir: Option<usize>, from: usize, to: ProcId, msg: Msg) {
+        self.tally(&msg);
+        let src = match from_dir {
+            Some(bank) => self.dir_node(bank),
+            None => NodeId::new(from as u32),
+        };
+        let lat = self.config.network.latency(src, NodeId::new(to.raw() as u32), &mut self.rng);
+        self.queue.schedule_in(lat, Ev::DeliverCache(to.index(), msg));
+    }
+
+    fn route_cache_out(&mut self, p: usize, out: Vec<(Dest, Msg)>) {
+        for (dest, msg) in out {
+            match dest {
+                Dest::Dir => self.send_to_dir(p, msg),
+                Dest::Cache(q) => self.send_to_cache(None, p, q, msg),
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        thread: usize,
+        po_index: u32,
+        access: &Access,
+        read_value: Option<Value>,
+        version: u64,
+    ) {
+        if !self.config.record_trace {
+            return;
+        }
+        let written_value = match *access {
+            Access::Write { value, .. } => Some(value),
+            Access::Rmw { op, .. } => {
+                Some(op.apply(read_value.expect("rmw commit carries the old value")))
+            }
+            Access::Read { .. } => None,
+        };
+        self.trace.push(TraceOp {
+            proc: ProcId::new(thread as u16),
+            po_index,
+            kind: access.op_kind(),
+            loc: access.loc(),
+            read_value,
+            written_value,
+            version,
+            commit_seq: self.commit_seq,
+        });
+        self.commit_seq += 1;
+    }
+
+    fn process_notices(&mut self, cache: usize, notices: Vec<Notice>) {
+        for notice in notices {
+            // Trace recording first: completion of issued misses.
+            match notice {
+                Notice::Value { loc, value, version } => {
+                    if let Some((t, po, access)) = self.issued.remove(&(cache, loc)) {
+                        self.record(t, po, &access, Some(value), version);
+                    }
+                }
+                Notice::Commit { loc, read_value, version } => {
+                    if let Some((t, po, access)) = self.issued.remove(&(cache, loc)) {
+                        self.record(t, po, &access, read_value, version);
+                    }
+                }
+                _ => {}
+            }
+            // Wake the core currently scheduled on this cache, if any.
+            let Some(t) = self.thread_of[cache] else {
+                continue;
+            };
+            let thread = &self.prog.threads[t];
+            let now = self.queue.now();
+            if self.cores[t].on_notice(&notice, thread, now) {
+                self.queue.schedule_in(1, Ev::Tick(t));
+            }
+        }
+    }
+
+    /// Attempts a pending context switch for thread `p`: per
+    /// Section 5.1, the switch waits until every previous read has
+    /// returned (the core is not waiting) and every write is globally
+    /// performed (counter zero). Returns `false` if the caller should
+    /// stop (the core is now draining).
+    fn try_migrate(&mut self, p: usize, now: Cycle) -> bool {
+        let Some((mt, target)) = self.migrating else {
+            return true;
+        };
+        if mt != p {
+            return true;
+        }
+        let old = self.cache_of[p];
+        if self.caches[old].counter() > 0 {
+            self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::Migration, now);
+            return false;
+        }
+        self.thread_of[old] = None;
+        self.thread_of[target] = Some(p);
+        self.cache_of[p] = target;
+        self.migrating = None;
+        self.counters.incr("migrations");
+        true
+    }
+
+    fn tick(&mut self, p: usize) {
+        if self.cores[p].is_halted() || self.cores[p].is_waiting() {
+            return; // stale tick
+        }
+        let now = self.queue.now();
+        // A pending context switch takes effect between instructions.
+        if !self.try_migrate(p, now) {
+            return;
+        }
+        let thread = &self.prog.threads[p];
+        match self.cores[p].ts.advance(thread) {
+            ThreadEvent::Halted => {
+                self.cores[p].set_halted(now);
+            }
+            ThreadEvent::Delay(c) => {
+                self.cores[p].ts.complete(thread, None);
+                self.queue.schedule_in(c as u64 + 1, Ev::Tick(p));
+            }
+            ThreadEvent::Access(access) => {
+                // Definition 1's issuer gate.
+                let cache = self.cache_of[p];
+                if self.config.policy.gate_on_counter(&access) && self.caches[cache].counter() > 0 {
+                    self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::SyncGate, now);
+                    return;
+                }
+                let mut out = Vec::new();
+                let mut notices = Vec::new();
+                let outcome = self.caches[cache].issue(&access, &mut out, &mut notices);
+                self.route_cache_out(cache, out);
+                debug_assert!(notices.is_empty(), "issue produced notices");
+                match outcome {
+                    IssueOutcome::Hit { read_value, version } => {
+                        let po = self.po_counter[p];
+                        self.po_counter[p] += 1;
+                        self.record(p, po, &access, read_value, version);
+                        let v = if access.has_read() {
+                            Some(read_value.expect("hit on a read component carries a value"))
+                        } else {
+                            None
+                        };
+                        self.cores[p].ts.complete(thread, v);
+                        self.cores[p].stats.ops += 1;
+                        self.queue.schedule_in(1, Ev::Tick(p));
+                    }
+                    IssueOutcome::MissStarted => {
+                        self.cores[p].stats.misses += 1;
+                        let po = self.po_counter[p];
+                        self.po_counter[p] += 1;
+                        self.issued.insert((cache, access.loc()), (p, po, access));
+                        let wait = self.config.policy.wait_for(&access);
+                        let kind = match wait {
+                            WaitFor::Nothing => {
+                                // Architectural completion at issue.
+                                self.cores[p].ts.complete(thread, None);
+                                self.cores[p].stats.ops += 1;
+                                self.queue.schedule_in(1, Ev::Tick(p));
+                                return;
+                            }
+                            WaitFor::Value => WaitKind::Value(access.loc()),
+                            WaitFor::Commit => WaitKind::Commit(access.loc()),
+                            WaitFor::GloballyPerformed => {
+                                // Pure reads perform at value return; the
+                                // core treats the value notice as the
+                                // perform for them.
+                                WaitKind::Perform { loc: access.loc(), instr_done: false }
+                            }
+                        };
+                        let cause = stall_cause(&kind, &access);
+                        self.cores[p].begin_wait(kind, cause, now);
+                    }
+                    IssueOutcome::BlockedSameLine => {
+                        self.cores[p].begin_wait(
+                            WaitKind::LineFree(access.loc()),
+                            StallCause::SameLine,
+                            now,
+                        );
+                    }
+                    IssueOutcome::BlockedMissCap => {
+                        self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::MissCap, now);
+                    }
+                    IssueOutcome::BlockedCapacity => {
+                        self.cores[p].begin_wait(WaitKind::Capacity, StallCause::Capacity, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Timeout`] if the cycle budget is exhausted,
+    /// [`RunError::Deadlock`] if the system wedges (which the paper — and
+    /// our test suite — says must not happen).
+    pub fn run(mut self) -> Result<RunResult, RunError> {
+        for p in 0..self.prog.n_procs() {
+            self.queue.schedule_at(Cycle::ZERO, Ev::Tick(p));
+        }
+        if let Some(m) = self.config.migration {
+            self.queue.schedule_at(Cycle::new(m.at_cycle), Ev::MigrationCheck(m.thread as usize));
+        }
+        while let Some((at, ev)) = self.queue.pop() {
+            if at.get() > self.config.max_cycles {
+                if std::env::var_os("WEAKORD_DEBUG_TIMEOUT").is_some() {
+                    for (i, core) in self.cores.iter().enumerate() {
+                        eprintln!(
+                            "core {i}: halted={} waiting={:?}",
+                            core.is_halted(),
+                            core.is_waiting()
+                        );
+                    }
+                    for (i, cache) in self.caches.iter().enumerate() {
+                        eprintln!("cache {i}: {cache:?}");
+                    }
+                }
+                return Err(RunError::Timeout { max_cycles: self.config.max_cycles });
+            }
+            match ev {
+                Ev::Tick(p) => self.tick(p),
+                Ev::MigrationCheck(p) => {
+                    // Arm the pending switch now; it takes effect at the
+                    // first instruction boundary with a drained counter.
+                    let spare = self.caches.len() - 1;
+                    self.migrating = Some((p, spare));
+                    // Only attempt immediately if the core is between
+                    // instructions; never advance the thread (a Ready
+                    // core keeps its own scheduled tick).
+                    if !self.cores[p].is_halted() && !self.cores[p].is_waiting() {
+                        let now = self.queue.now();
+                        self.try_migrate(p, now);
+                    }
+                }
+                Ev::DeliverDir(bank, msg) => {
+                    let mut out = Vec::new();
+                    self.dirs[bank].handle(msg, &mut out);
+                    for (to, m) in out {
+                        self.send_to_cache(Some(bank), 0, to, m);
+                    }
+                }
+                Ev::DeliverCache(p, msg) => {
+                    let mut out = Vec::new();
+                    let mut notices = Vec::new();
+                    self.caches[p].handle(msg, &mut out, &mut notices);
+                    self.route_cache_out(p, out);
+                    self.process_notices(p, notices);
+                }
+            }
+        }
+        let stuck: Vec<ProcId> =
+            self.cores.iter().filter(|c| !c.is_halted()).map(|c| c.proc).collect();
+        if !stuck.is_empty() {
+            return Err(RunError::Deadlock { at: self.queue.now(), stuck });
+        }
+        debug_assert!(
+            self.dirs.iter().all(crate::directory::Directory::is_quiescent),
+            "drained queue with busy directory"
+        );
+        debug_assert!(self.caches.iter().all(|c| c.counter() == 0));
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> RunResult {
+        let memory: Vec<Value> = (0..self.prog.n_locs)
+            .map(|l| {
+                let loc = Loc::new(l);
+                let bank = self.bank_of(loc);
+                match self.dirs[bank].final_value(loc) {
+                    Ok(v) => v,
+                    Err(owner) => self.caches[owner.index()]
+                        .owned_value(loc)
+                        .expect("directory names an owner without the line"),
+                }
+            })
+            .collect();
+        let outcome = Outcome { regs: self.cores.iter().map(|c| c.ts.regs()).collect(), memory };
+        let reserve_stalls: u64 = self.caches.iter().map(|c| c.reserve_stalls).sum();
+        self.counters.add("reserve-stalls", reserve_stalls);
+        let evictions: u64 = self.caches.iter().map(|c| c.evictions).sum();
+        self.counters.add("evictions", evictions);
+        let cycles =
+            self.cores.iter().filter_map(|c| c.stats.halted_at).map(Cycle::get).max().unwrap_or(0);
+        let execution = self.config.record_trace.then(|| build_execution(self.prog, &self.trace));
+        RunResult {
+            outcome,
+            cycles,
+            proc_stats: self.cores.into_iter().map(|c| c.stats).collect(),
+            counters: self.counters,
+            loc_stats: self.loc_stats,
+            execution,
+        }
+    }
+}
+
+/// Orders the observed commits into an execution whose listing respects
+/// program order per processor and commit order among synchronization
+/// operations per location (`po ∪ so` is acyclic — see the module docs
+/// of `weakord-core`), then materializes it for the Lemma 1 checker.
+fn build_execution(prog: &Program, trace: &[TraceOp]) -> IdealizedExecution {
+    let mut ops: Vec<TraceOp> = trace.to_vec();
+    ops.sort_unstable_by_key(|o| o.commit_seq);
+    let n = ops.len();
+    // Adjacency lists + indegrees for Kahn's algorithm: O(n + e), which
+    // matters for spin-heavy traces with tens of thousands of
+    // operations.
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indeg: Vec<u32> = vec![0; n];
+    let add_edge = |succ: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>, a: usize, b: usize| {
+        succ[a].push(b as u32);
+        indeg[b] += 1;
+    };
+    // Program-order edges: consecutive ops per processor.
+    let mut last_of_proc: HashMap<ProcId, usize> = HashMap::new();
+    let mut by_po: Vec<usize> = (0..n).collect();
+    by_po.sort_unstable_by_key(|&i| (ops[i].proc, ops[i].po_index));
+    for &i in &by_po {
+        if let Some(&prev) = last_of_proc.get(&ops[i].proc) {
+            add_edge(&mut succ, &mut indeg, prev, i);
+        }
+        last_of_proc.insert(ops[i].proc, i);
+    }
+    // Synchronization-order edges: per location, the witness orders
+    // syncs along the line's write serialization — the write that
+    // created version v, then the read-only syncs that observed v (in
+    // commit order), then the write creating v+1. Ordering by raw commit
+    // time would mis-place a refined `Test` that read a stale shared
+    // copy after a newer version already committed elsewhere.
+    let mut sync_by_loc: HashMap<Loc, Vec<usize>> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if op.kind.is_sync() {
+            sync_by_loc.entry(op.loc).or_default().push(i);
+        }
+    }
+    for indices in sync_by_loc.values_mut() {
+        indices.sort_unstable_by_key(|&i| {
+            let o = &ops[i];
+            (o.version, u8::from(!o.kind.has_write()), o.commit_seq)
+        });
+        for w in indices.windows(2) {
+            add_edge(&mut succ, &mut indeg, w[0], w[1]);
+        }
+    }
+    // Kahn's algorithm with a min-heap keyed by commit_seq for a
+    // deterministic, commit-leaning order.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        (0..n).filter(|&i| indeg[i] == 0).map(|i| std::cmp::Reverse((ops[i].commit_seq, i))).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+        order.push(i);
+        for &j in &succ[i] {
+            let j = j as usize;
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                heap.push(std::cmp::Reverse((ops[j].commit_seq, j)));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "po ∪ so of an observed run is acyclic");
+    let mem_ops: Vec<MemOp> = order
+        .iter()
+        .map(|&i| {
+            let o = &ops[i];
+            MemOp {
+                id: OpId::new(0), // reassigned by from_observed
+                proc: o.proc,
+                po_index: o.po_index,
+                kind: o.kind,
+                loc: o.loc,
+                read_value: o.read_value,
+                written_value: o.written_value,
+                hypothetical: false,
+            }
+        })
+        .collect();
+    IdealizedExecution::from_observed(prog.n_procs() as u16, mem_ops)
+        .expect("observed trace is well-formed")
+}

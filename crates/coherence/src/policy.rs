@@ -1,0 +1,217 @@
+//! Processor ordering policies: who waits, and for what.
+//!
+//! The policies are the experimental axis of the reproduction:
+//!
+//! * [`Policy::Sc`] — the sufficient condition for sequential
+//!   consistency from Scheurich & Dubois: no access issues until the
+//!   previous access is globally performed.
+//! * [`Policy::Def1`] — Dubois/Scheurich/Briggs weak ordering
+//!   (Definition 1): data accesses overlap freely, but a
+//!   synchronization operation may not issue until all the processor's
+//!   previous accesses are globally performed, and nothing issues until
+//!   the synchronization operation is itself globally performed.
+//! * [`Policy::Def2`] — the paper's Section 5.3 implementation: the
+//!   issuing processor only waits for the synchronization operation to
+//!   *commit* (line procured exclusive, operation applied); if its
+//!   outstanding-access counter is positive the line is *reserved* and
+//!   the wait is exported to the next processor that synchronizes on the
+//!   same location. `drf1_refined` additionally takes read-only
+//!   synchronization through the shared-copy path (Section 6), and
+//!   `miss_cap` bounds misses issued while a reserve is held (the
+//!   bounded-increment fix of Section 5.3).
+
+use std::fmt;
+
+use weakord_progs::Access;
+
+/// How long the core must wait after issuing an access before executing
+/// the next instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitFor {
+    /// Continue immediately (completion tracked by the counter).
+    Nothing,
+    /// Wait until the read value returns (every read does at least this).
+    Value,
+    /// Wait until the operation commits in the local cache.
+    Commit,
+    /// Wait until the operation is globally performed.
+    GloballyPerformed,
+}
+
+/// A processor ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Strong sufficient condition for sequential consistency.
+    Sc,
+    /// Definition 1 weak ordering.
+    Def1,
+    /// The Section 5.3 implementation (Definition 2 w.r.t. DRF0).
+    Def2 {
+        /// Section 6 refinement: `Test` goes through the shared-copy
+        /// path, does not reserve, and does not serialize.
+        drf1_refined: bool,
+        /// Maximum misses the processor may send to memory while it
+        /// holds any reserved line (`None` = unlimited).
+        miss_cap: Option<u32>,
+    },
+}
+
+impl Policy {
+    /// The plain Section 5.3 implementation.
+    pub fn def2() -> Policy {
+        Policy::Def2 { drf1_refined: false, miss_cap: None }
+    }
+
+    /// The Section 6 refined implementation.
+    pub fn def2_drf1() -> Policy {
+        Policy::Def2 { drf1_refined: true, miss_cap: None }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Sc => "sc",
+            Policy::Def1 => "def1",
+            Policy::Def2 { drf1_refined: false, .. } => "def2",
+            Policy::Def2 { drf1_refined: true, .. } => "def2-drf1",
+        }
+    }
+
+    /// Must the core wait for the counter to read zero before *issuing*
+    /// this access? (Definition 1's stall-the-issuer rule; under SC the
+    /// per-access [`Policy::wait_for`] already serializes everything.)
+    pub fn gate_on_counter(&self, access: &Access) -> bool {
+        match self {
+            Policy::Sc => false,
+            Policy::Def1 => access.is_sync(),
+            Policy::Def2 { .. } => false,
+        }
+    }
+
+    /// What the core waits for after issuing the access.
+    pub fn wait_for(&self, access: &Access) -> WaitFor {
+        match self {
+            Policy::Sc => WaitFor::GloballyPerformed,
+            Policy::Def1 => {
+                if access.is_sync() {
+                    WaitFor::GloballyPerformed
+                } else if access.has_read() {
+                    WaitFor::Value
+                } else {
+                    WaitFor::Nothing
+                }
+            }
+            Policy::Def2 { drf1_refined, .. } => {
+                if *drf1_refined && matches!(access, Access::Read { sync: true, .. }) {
+                    // A Test is a plain shared-copy read.
+                    WaitFor::Value
+                } else if access.is_sync() {
+                    WaitFor::Commit
+                } else if access.has_read() {
+                    WaitFor::Value
+                } else {
+                    WaitFor::Nothing
+                }
+            }
+        }
+    }
+
+    /// Does this synchronization access procure the line exclusive and
+    /// set the reserve machinery in motion? (`false` routes it through
+    /// the ordinary read path.)
+    pub fn sync_takes_exclusive(&self, access: &Access) -> bool {
+        debug_assert!(access.is_sync());
+        match self {
+            Policy::Def2 { drf1_refined: true, .. } => {
+                !matches!(access, Access::Read { sync: true, .. })
+            }
+            _ => true,
+        }
+    }
+
+    /// Does a committed synchronization operation reserve its line while
+    /// the counter is positive? Only the Definition 2 implementation
+    /// uses reserve bits.
+    pub fn uses_reserve(&self) -> bool {
+        matches!(self, Policy::Def2 { .. })
+    }
+
+    /// The miss cap, if any.
+    pub fn miss_cap(&self) -> Option<u32> {
+        match self {
+            Policy::Def2 { miss_cap, .. } => *miss_cap,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakord_core::{Loc, Value};
+
+    fn data_write() -> Access {
+        Access::Write { loc: Loc::new(0), value: Value::new(1), sync: false }
+    }
+
+    fn data_read() -> Access {
+        Access::Read { loc: Loc::new(0), sync: false }
+    }
+
+    fn sync_write() -> Access {
+        Access::Write { loc: Loc::new(0), value: Value::new(1), sync: true }
+    }
+
+    fn test_op() -> Access {
+        Access::Read { loc: Loc::new(0), sync: true }
+    }
+
+    #[test]
+    fn sc_waits_for_global_perform_on_everything() {
+        assert_eq!(Policy::Sc.wait_for(&data_write()), WaitFor::GloballyPerformed);
+        assert_eq!(Policy::Sc.wait_for(&data_read()), WaitFor::GloballyPerformed);
+        assert!(!Policy::Sc.gate_on_counter(&sync_write()));
+    }
+
+    #[test]
+    fn def1_stalls_the_issuer_at_syncs_only() {
+        assert!(Policy::Def1.gate_on_counter(&sync_write()));
+        assert!(!Policy::Def1.gate_on_counter(&data_write()));
+        assert_eq!(Policy::Def1.wait_for(&data_write()), WaitFor::Nothing);
+        assert_eq!(Policy::Def1.wait_for(&data_read()), WaitFor::Value);
+        assert_eq!(Policy::Def1.wait_for(&sync_write()), WaitFor::GloballyPerformed);
+    }
+
+    #[test]
+    fn def2_waits_only_for_commit_at_syncs() {
+        let p = Policy::def2();
+        assert!(!p.gate_on_counter(&sync_write()));
+        assert_eq!(p.wait_for(&sync_write()), WaitFor::Commit);
+        assert_eq!(p.wait_for(&data_write()), WaitFor::Nothing);
+        assert!(p.uses_reserve());
+        assert!(p.sync_takes_exclusive(&test_op()));
+    }
+
+    #[test]
+    fn def2_drf1_demotes_tests_to_shared_reads() {
+        let p = Policy::def2_drf1();
+        assert_eq!(p.wait_for(&test_op()), WaitFor::Value);
+        assert!(!p.sync_takes_exclusive(&test_op()));
+        assert!(p.sync_takes_exclusive(&sync_write()));
+        assert_eq!(p.wait_for(&sync_write()), WaitFor::Commit);
+    }
+
+    #[test]
+    fn names_and_caps() {
+        assert_eq!(Policy::Sc.name(), "sc");
+        assert_eq!(Policy::def2().to_string(), "def2");
+        assert_eq!(Policy::Def2 { drf1_refined: false, miss_cap: Some(4) }.miss_cap(), Some(4));
+        assert_eq!(Policy::Def1.miss_cap(), None);
+    }
+}

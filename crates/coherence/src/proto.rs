@@ -1,0 +1,241 @@
+//! The coherence protocol message grammar.
+//!
+//! A straightforward directory-based write-back invalidation protocol in
+//! the style the paper assumes (Section 5.2, after Agarwal et al.):
+//!
+//! * Read misses send [`Msg::GetS`]; write and synchronization misses
+//!   send [`Msg::GetX`].
+//! * On a `GetX` for a line shared in other caches, the directory sends
+//!   the line to the requester **in parallel** with the invalidations —
+//!   the protocol feature the paper calls out. Each invalidated cache
+//!   acknowledges to the directory; when all acknowledgements are in,
+//!   the directory sends [`Msg::GlobalAck`] to the writer, which is the
+//!   moment the write is *globally performed*.
+//! * For a line exclusive in another cache, the directory forwards the
+//!   request to the owner ([`Msg::FwdGetS`]/[`Msg::FwdGetX`]), which
+//!   supplies the data directly. The owner is also where the Section 5.3
+//!   **reserve bit** lives: forwarded requests for a reserved line wait
+//!   at the owner until its outstanding-access counter reads zero.
+//! * The directory is *blocking*: it serializes transactions per line,
+//!   queueing later requests until the current transaction's data
+//!   delivery (and any invalidation acks) are confirmed.
+
+use weakord_core::{Loc, ProcId, Value};
+
+/// A protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// Cache → directory: read miss, requesting a shared copy.
+    GetS {
+        /// Requesting processor.
+        proc: ProcId,
+        /// Requested line.
+        loc: Loc,
+        /// `true` when the requesting access is a synchronization
+        /// operation — only such requests stall on a reserve bit
+        /// (Section 5.3: "when a synchronization request is routed to a
+        /// processor, it is serviced only if the reserve bit … is
+        /// reset").
+        sync: bool,
+    },
+    /// Cache → directory: write or synchronization miss, requesting the
+    /// line exclusive.
+    GetX {
+        /// Requesting processor.
+        proc: ProcId,
+        /// Requested line.
+        loc: Loc,
+        /// Whether the requesting access is a synchronization operation.
+        sync: bool,
+    },
+    /// Directory → owner: forward a read request to the exclusive owner.
+    FwdGetS {
+        /// Who wants the shared copy.
+        requester: ProcId,
+        /// The line.
+        loc: Loc,
+        /// Whether the request is a synchronization access.
+        sync: bool,
+    },
+    /// Directory → owner: forward an exclusive request to the owner.
+    FwdGetX {
+        /// Who wants the line.
+        requester: ProcId,
+        /// The line.
+        loc: Loc,
+        /// Whether the request is a synchronization access.
+        sync: bool,
+    },
+    /// Directory or owner → cache: the line's data.
+    Data {
+        /// The line.
+        loc: Loc,
+        /// Its value.
+        value: Value,
+        /// Granted exclusive (dirty) rather than shared.
+        exclusive: bool,
+        /// Number of invalidation acknowledgements the directory is
+        /// collecting for this transaction; `0` means the access is
+        /// globally performed the moment this data is consumed.
+        acks_expected: u32,
+        /// The line's position in its per-location write serialization
+        /// order (used to build the Lemma 1 witness execution).
+        version: u64,
+    },
+    /// Directory → sharer: invalidate your copy and acknowledge.
+    Inv {
+        /// The line.
+        loc: Loc,
+    },
+    /// Sharer → directory: invalidation done.
+    InvAck {
+        /// Acknowledging processor.
+        proc: ProcId,
+        /// The line.
+        loc: Loc,
+    },
+    /// Cache → directory: the data for my outstanding fill arrived
+    /// (lets the blocking directory retire the transaction).
+    DataAck {
+        /// Acknowledging processor.
+        proc: ProcId,
+        /// The line.
+        loc: Loc,
+    },
+    /// Directory → writer: all invalidations acknowledged; your write is
+    /// globally performed (the "ack from memory" the Section 5.3
+    /// counter waits for).
+    GlobalAck {
+        /// The line.
+        loc: Loc,
+    },
+    /// Former owner → directory: the dirty value, on a downgrade or
+    /// ownership transfer.
+    WriteBack {
+        /// Writing-back processor.
+        proc: ProcId,
+        /// The line.
+        loc: Loc,
+        /// The dirty value.
+        value: Value,
+        /// The line's write-order version.
+        version: u64,
+    },
+    /// Cache → directory: capacity eviction of a dirty (exclusive)
+    /// line. The cache keeps the data until the directory answers, so a
+    /// forwarded request crossing the eviction in flight can still be
+    /// served.
+    Evict {
+        /// Evicting processor.
+        proc: ProcId,
+        /// The line.
+        loc: Loc,
+        /// The dirty value.
+        value: Value,
+        /// The line's write-order version.
+        version: u64,
+    },
+    /// Directory → cache: answer to an [`Msg::Evict`]. `accepted` is
+    /// `false` when ownership had already been reassigned (a forward is
+    /// — or was — on its way to the evictor, which serves it from the
+    /// retained copy).
+    EvictAck {
+        /// The line.
+        loc: Loc,
+        /// Whether the directory took the value.
+        accepted: bool,
+    },
+    /// Directory → owner (no-forwarding ablation): give the line back —
+    /// invalidate your copy and write the dirty value to memory, so the
+    /// directory can serve the requester itself.
+    Recall {
+        /// The line.
+        loc: Loc,
+        /// Whether the waiting request is a synchronization access
+        /// (recalls for sync requests respect reserve bits, like
+        /// forwards).
+        sync: bool,
+    },
+}
+
+impl Msg {
+    /// For forwarded requests: whether the originating access is a
+    /// synchronization operation (stalls on reserve bits).
+    pub fn fwd_is_sync(&self) -> bool {
+        matches!(
+            self,
+            Msg::FwdGetS { sync: true, .. }
+                | Msg::FwdGetX { sync: true, .. }
+                | Msg::Recall { sync: true, .. }
+        )
+    }
+
+    /// The line the message concerns.
+    pub fn loc(&self) -> Loc {
+        match *self {
+            Msg::GetS { loc, .. }
+            | Msg::GetX { loc, .. }
+            | Msg::FwdGetS { loc, .. }
+            | Msg::FwdGetX { loc, .. }
+            | Msg::Data { loc, .. }
+            | Msg::Inv { loc }
+            | Msg::InvAck { loc, .. }
+            | Msg::DataAck { loc, .. }
+            | Msg::GlobalAck { loc }
+            | Msg::WriteBack { loc, .. }
+            | Msg::Evict { loc, .. }
+            | Msg::EvictAck { loc, .. }
+            | Msg::Recall { loc, .. } => loc,
+        }
+    }
+
+    /// Short kind tag for statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::GetS { .. } => "GetS",
+            Msg::GetX { .. } => "GetX",
+            Msg::FwdGetS { .. } => "FwdGetS",
+            Msg::FwdGetX { .. } => "FwdGetX",
+            Msg::Data { .. } => "Data",
+            Msg::Inv { .. } => "Inv",
+            Msg::InvAck { .. } => "InvAck",
+            Msg::DataAck { .. } => "DataAck",
+            Msg::GlobalAck { .. } => "GlobalAck",
+            Msg::WriteBack { .. } => "WriteBack",
+            Msg::Evict { .. } => "Evict",
+            Msg::EvictAck { .. } => "EvictAck",
+            Msg::Recall { .. } => "Recall",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_extraction_and_names() {
+        let l = Loc::new(3);
+        let msgs = [
+            Msg::GetS { proc: ProcId::new(0), loc: l, sync: false },
+            Msg::GetX { proc: ProcId::new(0), loc: l, sync: true },
+            Msg::FwdGetS { requester: ProcId::new(1), loc: l, sync: false },
+            Msg::FwdGetX { requester: ProcId::new(1), loc: l, sync: true },
+            Msg::Data { loc: l, value: Value::ZERO, exclusive: true, acks_expected: 2, version: 0 },
+            Msg::Inv { loc: l },
+            Msg::InvAck { proc: ProcId::new(2), loc: l },
+            Msg::DataAck { proc: ProcId::new(2), loc: l },
+            Msg::GlobalAck { loc: l },
+            Msg::WriteBack { proc: ProcId::new(2), loc: l, value: Value::ZERO, version: 0 },
+            Msg::Evict { proc: ProcId::new(2), loc: l, value: Value::ZERO, version: 0 },
+            Msg::EvictAck { loc: l, accepted: true },
+            Msg::Recall { loc: l, sync: false },
+        ];
+        let mut names: Vec<&str> = msgs.iter().map(Msg::kind_name).collect();
+        for m in &msgs {
+            assert_eq!(m.loc(), l);
+        }
+        names.dedup();
+        assert_eq!(names.len(), msgs.len(), "kind names are distinct");
+    }
+}

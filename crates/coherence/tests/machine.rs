@@ -1,0 +1,643 @@
+//! End-to-end tests of the cycle-level multiprocessor: functional
+//! correctness (Lemma 1 appears-SC on DRF0 programs), liveness (the
+//! Section 5.3 termination claim), determinism, and the performance
+//! shapes of Figure 3 and Section 6.
+
+use weakord_coherence::{CoherentMachine, Config, NetModel, Policy, RunResult, StallCause};
+use weakord_core::{HbMode, Value};
+use weakord_progs::workloads::{
+    barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts,
+    BarrierParams, Fig3Params, PcParams, SpinBroadcastParams, SpinlockParams,
+};
+use weakord_progs::{litmus, Program, Reg};
+
+fn all_policies() -> [Policy; 4] {
+    [Policy::Sc, Policy::Def1, Policy::def2(), Policy::def2_drf1()]
+}
+
+fn run(prog: &Program, policy: Policy, seed: u64) -> RunResult {
+    let cfg = Config { policy, seed, record_trace: true, ..Config::default() };
+    CoherentMachine::new(prog, cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {} (seed {seed}): {e}", prog.name, policy.name()))
+}
+
+#[test]
+fn every_policy_runs_every_litmus_program_to_completion() {
+    for lit in litmus::all() {
+        for policy in all_policies() {
+            for seed in [1, 7] {
+                let r = run(&lit.program, policy, seed);
+                assert!(r.cycles > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn drf0_litmus_programs_appear_sc_under_weak_ordering() {
+    for lit in litmus::all().iter().filter(|l| l.drf0) {
+        for policy in all_policies() {
+            for seed in 1..6 {
+                let r = run(&lit.program, policy, seed);
+                r.check_appears_sc(HbMode::Drf0)
+                    .unwrap_or_else(|v| panic!("{} under {}: {v}", lit.name, policy.name()));
+                assert!(
+                    !(lit.non_sc)(&r.outcome),
+                    "{} under {} produced its forbidden outcome",
+                    lit.name,
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sc_policy_appears_sc_even_on_racy_programs() {
+    for lit in litmus::all() {
+        for seed in 1..4 {
+            let r = run(&lit.program, Policy::Sc, seed);
+            assert!(
+                !(lit.non_sc)(&r.outcome),
+                "{} under sc (seed {seed}) produced a non-SC outcome",
+                lit.name
+            );
+        }
+    }
+}
+
+#[test]
+fn workloads_terminate_and_appear_sc_under_all_policies() {
+    let progs = vec![
+        fig3_scenario(Fig3Params::default()),
+        spinlock(SpinlockParams {
+            n_procs: 3,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 5,
+        }),
+        spinlock_tts(SpinlockParams {
+            n_procs: 3,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 5,
+        }),
+        barrier(BarrierParams { n_procs: 3, rounds: 2, work: 5 }),
+        producer_consumer(PcParams { items: 4, produce_work: 3, consume_work: 3 }),
+    ];
+    for prog in &progs {
+        for policy in all_policies() {
+            let r = run(prog, policy, 11);
+            // The refined implementation's contract is with respect to
+            // DRF1 (Section 6); the others promise DRF0.
+            let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+            r.check_appears_sc(mode)
+                .unwrap_or_else(|v| panic!("{} under {}: {v}", prog.name, policy.name()));
+        }
+    }
+}
+
+#[test]
+fn spinlock_critical_sections_count_correctly() {
+    // 3 procs × 3 sections, each incrementing 2 counters: final value 9 each.
+    let prog = spinlock(SpinlockParams {
+        n_procs: 3,
+        sections_per_proc: 3,
+        writes_per_section: 2,
+        think: 2,
+    });
+    for policy in all_policies() {
+        let r = run(&prog, policy, 3);
+        assert_eq!(r.outcome.memory[1], Value::new(9), "policy {}", policy.name());
+        assert_eq!(r.outcome.memory[2], Value::new(9), "policy {}", policy.name());
+        assert_eq!(r.outcome.memory[0], Value::ZERO, "lock released at the end");
+    }
+}
+
+#[test]
+fn producer_consumer_delivers_every_item() {
+    let prog = producer_consumer(PcParams { items: 6, produce_work: 2, consume_work: 2 });
+    for policy in all_policies() {
+        let r = run(&prog, policy, 5);
+        // The consumer's last item is R2's value at the final round (1).
+        assert_eq!(r.outcome.regs[1][Reg::new(1).index()], Value::new(1), "{}", policy.name());
+    }
+}
+
+#[test]
+fn runs_are_deterministic_in_the_seed() {
+    let prog = spinlock(SpinlockParams::default());
+    let a = run(&prog, Policy::def2(), 42);
+    let b = run(&prog, Policy::def2(), 42);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters, b.counters);
+    let c = run(&prog, Policy::def2(), 43);
+    // Different seed: the result must still be correct, and usually a
+    // different schedule.
+    assert_eq!(c.outcome.memory[1], a.outcome.memory[1]);
+}
+
+/// Figure 3's headline: the releaser (`P0`) does not stall at the
+/// release under the new implementation, while Definition 1 stalls it
+/// for the full global-perform latency of the outstanding writes.
+#[test]
+fn fig3_releaser_never_stalls_under_def2() {
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 0,
+        work_after_release: 50,
+        extra_writes: 6,
+        consumer_work: 0,
+    });
+    for seed in 1..6 {
+        let def1 = run(&prog, Policy::Def1, seed);
+        let def2 = run(&prog, Policy::def2(), seed);
+        let def1_gate = def1.proc_stats[0].stall(StallCause::SyncGate)
+            + def1.proc_stats[0].stall(StallCause::Performed);
+        let def2_gate = def2.proc_stats[0].stall(StallCause::SyncGate)
+            + def2.proc_stats[0].stall(StallCause::Performed);
+        assert!(def1_gate > 0, "seed {seed}: Def.1 must stall the releaser (got {def1_gate})");
+        assert_eq!(def2_gate, 0, "seed {seed}: Def.2 must not stall the releaser");
+    }
+}
+
+/// Both implementations stall the *acquirer* until the releaser's
+/// writes are globally performed; the acquirer's spin therefore takes
+/// a comparable time under both, and the release value hand-off is
+/// correct.
+#[test]
+fn fig3_acquirer_sees_the_data() {
+    let prog = fig3_scenario(Fig3Params::default());
+    for policy in all_policies() {
+        for seed in 1..4 {
+            let r = run(&prog, policy, seed);
+            assert_eq!(
+                r.outcome.regs[1][Reg::new(1).index()],
+                Value::new(1),
+                "{} seed {seed}: consumer read stale data",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Section 6: under the plain Def. 2 implementation every `Test` is
+/// treated as a write and takes the line exclusive, so concurrent
+/// spinners ping-pong the flag line; the DRF1 refinement lets them spin
+/// on shared copies. Refined spinning must generate far fewer exclusive
+/// requests and finish no slower.
+#[test]
+fn drf1_refinement_tames_spin_broadcast() {
+    let prog = spin_broadcast(SpinBroadcastParams { n_spinners: 4, release_after: 400 });
+    let plain = run(&prog, Policy::def2(), 9);
+    let refined = run(&prog, Policy::def2_drf1(), 9);
+    let getx = |r: &RunResult| r.counters.get("GetX");
+    assert!(
+        getx(&refined) < getx(&plain),
+        "refined GetX {} !< plain GetX {}",
+        getx(&refined),
+        getx(&plain)
+    );
+    assert!(
+        refined.cycles <= plain.cycles + 50,
+        "refined {} much slower than plain {}",
+        refined.cycles,
+        plain.cycles
+    );
+}
+
+#[test]
+fn miss_cap_bounds_work_but_preserves_correctness() {
+    let prog = fig3_scenario(Fig3Params { extra_writes: 6, ..Fig3Params::default() });
+    let capped = Policy::Def2 { drf1_refined: false, miss_cap: Some(1) };
+    let r = run(&prog, capped, 2);
+    r.check_appears_sc(HbMode::Drf0).unwrap();
+    assert_eq!(r.outcome.regs[1][Reg::new(1).index()], Value::new(1));
+}
+
+#[test]
+fn reserve_stalls_are_observed_under_def2() {
+    // The Fig. 3 scenario with many outstanding writes: P1's sync request
+    // must wait at P0's reserved line.
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 0,
+        work_after_release: 0,
+        extra_writes: 8,
+        consumer_work: 0,
+    });
+    let mut seen = 0;
+    for seed in 1..10 {
+        let r = run(&prog, Policy::def2(), seed);
+        seen += r.counters.get("reserve-stalls");
+    }
+    assert!(seen > 0, "no reserve stalls observed across seeds");
+}
+
+#[test]
+fn bus_and_crossbar_networks_also_work() {
+    let prog = fig3_scenario(Fig3Params::default());
+    for network in [
+        NetModel::Bus { cycles: 4 },
+        NetModel::Crossbar { cycles: 12 },
+        NetModel::General { min: 5, max: 80 },
+    ] {
+        let cfg =
+            Config { policy: Policy::def2(), network, record_trace: true, ..Config::default() };
+        let r = CoherentMachine::new(&prog, cfg).run().unwrap();
+        r.check_appears_sc(HbMode::Drf0).unwrap();
+    }
+}
+
+#[test]
+fn sc_policy_is_slowest_def2_fastest_on_fig3() {
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 10,
+        work_after_release: 100,
+        extra_writes: 4,
+        consumer_work: 10,
+    });
+    let sc = run(&prog, Policy::Sc, 4).cycles;
+    let def1 = run(&prog, Policy::Def1, 4).cycles;
+    let def2 = run(&prog, Policy::def2(), 4).cycles;
+    assert!(sc >= def1, "sc {sc} < def1 {def1}");
+    assert!(def1 >= def2, "def1 {def1} < def2 {def2}");
+}
+
+/// Finite caches: every workload stays correct (Lemma 1) under heavy
+/// capacity pressure, across policies.
+#[test]
+fn small_caches_preserve_correctness() {
+    let progs = vec![
+        fig3_scenario(Fig3Params { extra_writes: 6, ..Fig3Params::default() }),
+        spinlock(SpinlockParams {
+            n_procs: 3,
+            sections_per_proc: 2,
+            writes_per_section: 3,
+            think: 5,
+        }),
+        barrier(BarrierParams { n_procs: 3, rounds: 2, work: 5 }),
+        producer_consumer(PcParams { items: 4, produce_work: 3, consume_work: 3 }),
+    ];
+    for prog in &progs {
+        for policy in all_policies() {
+            for cache_lines in [2u32, 3, 4] {
+                let cfg = Config {
+                    policy,
+                    seed: 13,
+                    record_trace: true,
+                    cache_lines: Some(cache_lines),
+                    ..Config::default()
+                };
+                let r = CoherentMachine::new(prog, cfg).run().unwrap_or_else(|e| {
+                    panic!("{} under {} cap {cache_lines}: {e}", prog.name, policy.name())
+                });
+                let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+                r.check_appears_sc(mode).unwrap_or_else(|v| {
+                    panic!("{} under {} cap {cache_lines}: {v}", prog.name, policy.name())
+                });
+            }
+        }
+    }
+}
+
+/// Capacity pressure actually causes evictions (the machinery is
+/// exercised, not just present), and unbounded caches never evict.
+#[test]
+fn evictions_happen_only_under_pressure() {
+    let prog = fig3_scenario(Fig3Params { extra_writes: 8, ..Fig3Params::default() });
+    let run_with = |cache_lines| {
+        let cfg = Config { policy: Policy::def2(), seed: 3, cache_lines, ..Config::default() };
+        CoherentMachine::new(&prog, cfg).run().expect("runs")
+    };
+    assert_eq!(run_with(None).counters.get("evictions"), 0);
+    assert!(run_with(Some(2)).counters.get("evictions") > 0);
+}
+
+/// The paper's rule end to end: a processor holding a reserved line
+/// under capacity pressure stalls (StallCause::Capacity) but always
+/// completes once its counter drains.
+#[test]
+fn reserved_lines_survive_capacity_pressure() {
+    // P0 writes many shared lines (slow to perform) then syncs —
+    // reserving the sync line — then keeps reading fresh lines, forcing
+    // evictions while the reserve is held.
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 0,
+        work_after_release: 0,
+        extra_writes: 10,
+        consumer_work: 0,
+    });
+    let mut capacity_stall_seen = false;
+    for seed in 0..12 {
+        let cfg = Config {
+            policy: Policy::def2(),
+            seed,
+            record_trace: true,
+            cache_lines: Some(2),
+            ..Config::default()
+        };
+        let r = CoherentMachine::new(&prog, cfg).run().expect("completes despite pressure");
+        r.check_appears_sc(HbMode::Drf0).unwrap();
+        if r.proc_stats.iter().any(|s| s.stall(StallCause::Capacity) > 0) {
+            capacity_stall_seen = true;
+        }
+    }
+    assert!(capacity_stall_seen, "capacity pressure never stalled anyone");
+}
+
+/// Process migration (Section 5.1): a thread can be re-scheduled onto a
+/// spare processor once all its reads returned and writes are globally
+/// performed; correctness (Lemma 1) survives the cold cache.
+#[test]
+fn migration_preserves_correctness() {
+    use weakord_coherence::Migration;
+    let progs = vec![
+        fig3_scenario(Fig3Params::default()),
+        spinlock(SpinlockParams {
+            n_procs: 2,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 5,
+        }),
+        producer_consumer(PcParams { items: 4, produce_work: 3, consume_work: 3 }),
+    ];
+    for prog in &progs {
+        for policy in all_policies() {
+            for at_cycle in [50u64, 300, 900] {
+                let cfg = Config {
+                    policy,
+                    seed: 5,
+                    record_trace: true,
+                    migration: Some(Migration { thread: 0, at_cycle }),
+                    ..Config::default()
+                };
+                let r = CoherentMachine::new(prog, cfg).run().unwrap_or_else(|e| {
+                    panic!("{} under {} migrate@{at_cycle}: {e}", prog.name, policy.name())
+                });
+                let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+                r.check_appears_sc(mode).unwrap_or_else(|v| {
+                    panic!("{} under {} migrate@{at_cycle}: {v}", prog.name, policy.name())
+                });
+            }
+        }
+    }
+}
+
+/// The migration actually happens (counted) and drains the counter
+/// first when the thread has outstanding writes.
+#[test]
+fn migration_counts_and_drains() {
+    use weakord_coherence::Migration;
+    let prog = fig3_scenario(Fig3Params {
+        work_before_release: 200,
+        work_after_release: 0,
+        extra_writes: 6,
+        consumer_work: 0,
+    });
+    let mut migrated = 0;
+    let mut runs = 0;
+    let mut drain_stall_seen = false;
+    // Sweep the switch point into the window where thread 0 has
+    // outstanding shared-line writes.
+    for at_cycle in (400..1600).step_by(100) {
+        for seed in 0..4 {
+            runs += 1;
+            let cfg = Config {
+                policy: Policy::def2(),
+                seed,
+                migration: Some(Migration { thread: 0, at_cycle }),
+                ..Config::default()
+            };
+            let r = CoherentMachine::new(&prog, cfg).run().expect("terminates");
+            migrated += r.counters.get("migrations");
+            if r.proc_stats[0].stall(StallCause::Migration) > 0 {
+                drain_stall_seen = true;
+            }
+        }
+    }
+    assert!(migrated >= runs / 2, "only {migrated}/{runs} runs migrated");
+    assert!(drain_stall_seen, "the switch never had to drain");
+}
+
+/// The combining-tree barrier and the ticket lock run correctly under
+/// every policy (the ticket lock's critical sections must count
+/// exactly, proving FIFO mutual exclusion held).
+#[test]
+fn tree_barrier_and_ticket_lock_are_correct() {
+    use weakord_progs::workloads::{ticket_lock, tree_barrier, TreeBarrierParams};
+    let tree = tree_barrier(TreeBarrierParams { n_procs: 4, rounds: 3, work: 10 });
+    let ticket = ticket_lock(SpinlockParams {
+        n_procs: 4,
+        sections_per_proc: 3,
+        writes_per_section: 2,
+        think: 5,
+    });
+    for policy in all_policies() {
+        let r = run(&tree, policy, 9);
+        let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+        r.check_appears_sc(mode)
+            .unwrap_or_else(|v| panic!("tree-barrier under {}: {v}", policy.name()));
+        let r = run(&ticket, policy, 9);
+        r.check_appears_sc(mode)
+            .unwrap_or_else(|v| panic!("ticket-lock under {}: {v}", policy.name()));
+        assert_eq!(r.outcome.memory[2], Value::new(12), "{}", policy.name());
+        assert_eq!(r.outcome.memory[3], Value::new(12), "{}", policy.name());
+        assert_eq!(r.outcome.memory[0], Value::new(12), "12 tickets issued");
+        assert_eq!(r.outcome.memory[1], Value::new(12), "12 sections served");
+    }
+}
+
+/// Both read-spin structures benefit from the DRF1 refinement: fewer
+/// exclusive requests than under plain Def. 2 at the same seed.
+#[test]
+fn refinement_benefits_tree_barrier_and_ticket_lock() {
+    use weakord_progs::workloads::{ticket_lock, tree_barrier, TreeBarrierParams};
+    for prog in [
+        tree_barrier(TreeBarrierParams { n_procs: 8, rounds: 2, work: 30 }),
+        ticket_lock(SpinlockParams {
+            n_procs: 6,
+            sections_per_proc: 2,
+            writes_per_section: 1,
+            think: 40,
+        }),
+    ] {
+        let plain = run(&prog, Policy::def2(), 5);
+        let refined = run(&prog, Policy::def2_drf1(), 5);
+        assert!(
+            refined.counters.get("GetX") < plain.counters.get("GetX"),
+            "{}: refined GetX {} !< plain {}",
+            prog.name,
+            refined.counters.get("GetX"),
+            plain.counters.get("GetX")
+        );
+    }
+}
+
+/// Interleaved memory banks: correctness holds with any bank count, and
+/// the banked configuration is what the paper's "general interconnection
+/// network" with multiple memory modules looks like.
+#[test]
+fn memory_banks_preserve_correctness() {
+    let progs = vec![
+        fig3_scenario(Fig3Params::default()),
+        spinlock(SpinlockParams {
+            n_procs: 3,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 5,
+        }),
+        barrier(BarrierParams { n_procs: 3, rounds: 2, work: 5 }),
+    ];
+    for prog in &progs {
+        for banks in [1u32, 2, 4, 8] {
+            for policy in [Policy::Def1, Policy::def2()] {
+                let cfg = Config {
+                    policy,
+                    seed: 21,
+                    record_trace: true,
+                    memory_banks: banks,
+                    ..Config::default()
+                };
+                let r = CoherentMachine::new(prog, cfg).run().unwrap_or_else(|e| {
+                    panic!("{} under {} banks {banks}: {e}", prog.name, policy.name())
+                });
+                r.check_appears_sc(HbMode::Drf0).unwrap_or_else(|v| {
+                    panic!("{} under {} banks {banks}: {v}", prog.name, policy.name())
+                });
+            }
+        }
+    }
+}
+
+/// Section 3's asynchronous-algorithms expectation: a racy-by-design
+/// flooding computation terminates with the right answer on weakly
+/// ordered hardware — staleness delays it, never corrupts it.
+#[test]
+fn asynchronous_algorithms_get_reasonable_results() {
+    use weakord_progs::workloads::{async_flood, AsyncFloodParams};
+    let prog = async_flood(AsyncFloodParams { n_procs: 5, poll_work: 3 });
+    // The program is genuinely racy.
+    let verdict =
+        weakord_mc::check_program_drf(&prog, HbMode::Drf0, weakord_mc::TraceLimits::default());
+    assert!(!verdict.is_race_free(), "the flood is meant to race");
+    for policy in all_policies() {
+        for seed in 0..4 {
+            let r = run(&prog, policy, seed);
+            assert!(
+                r.outcome.memory.iter().all(|v| *v == Value::new(1)),
+                "{} seed {seed}: flood did not converge: {:?}",
+                policy.name(),
+                r.outcome.memory
+            );
+        }
+    }
+}
+
+/// Heavy stress sweep (run manually with `--ignored`): every workload ×
+/// policy × many seeds × tiny caches × congested network, with Lemma 1
+/// checks throughout.
+#[test]
+#[ignore = "long-running stress sweep; run with --ignored"]
+fn stress_sweep() {
+    use weakord_coherence::NetModel;
+    use weakord_progs::workloads::{ticket_lock, tree_barrier, TreeBarrierParams};
+    let progs = vec![
+        fig3_scenario(Fig3Params::default()),
+        spinlock(SpinlockParams {
+            n_procs: 6,
+            sections_per_proc: 3,
+            writes_per_section: 3,
+            think: 20,
+        }),
+        spinlock_tts(SpinlockParams {
+            n_procs: 6,
+            sections_per_proc: 3,
+            writes_per_section: 3,
+            think: 20,
+        }),
+        ticket_lock(SpinlockParams {
+            n_procs: 6,
+            sections_per_proc: 3,
+            writes_per_section: 3,
+            think: 20,
+        }),
+        barrier(BarrierParams { n_procs: 6, rounds: 3, work: 20 }),
+        tree_barrier(TreeBarrierParams { n_procs: 8, rounds: 3, work: 20 }),
+        producer_consumer(PcParams { items: 10, produce_work: 5, consume_work: 5 }),
+    ];
+    for prog in &progs {
+        for policy in all_policies() {
+            for seed in 0..20 {
+                for (cache_lines, network) in [
+                    (None, NetModel::General { min: 10, max: 80 }),
+                    (
+                        Some(3),
+                        NetModel::Congested { min: 10, max: 40, spike: 1_500, spike_permille: 40 },
+                    ),
+                ] {
+                    let cfg = Config {
+                        policy,
+                        seed,
+                        record_trace: true,
+                        cache_lines,
+                        network,
+                        ..Config::default()
+                    };
+                    let r = CoherentMachine::new(prog, cfg).run().unwrap_or_else(|e| {
+                        panic!("{} under {} seed {seed}: {e}", prog.name, policy.name())
+                    });
+                    let mode =
+                        if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+                    r.check_appears_sc(mode).unwrap_or_else(|v| {
+                        panic!("{} under {} seed {seed}: {v}", prog.name, policy.name())
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The cache-to-cache forwarding ablation: recall-based transfers stay
+/// correct under every policy, and the extra hop on every ownership
+/// change makes contended workloads slower.
+#[test]
+fn recall_based_transfers_are_correct_and_slower() {
+    let prog = spinlock(SpinlockParams {
+        n_procs: 4,
+        sections_per_proc: 3,
+        writes_per_section: 2,
+        think: 10,
+    });
+    let mut fwd_cycles = Vec::new();
+    let mut recall_cycles = Vec::new();
+    for policy in all_policies() {
+        for no_forwarding in [false, true] {
+            let cfg = Config {
+                policy,
+                seed: 17,
+                record_trace: true,
+                no_forwarding,
+                ..Config::default()
+            };
+            let r = CoherentMachine::new(&prog, cfg).run().unwrap_or_else(|e| {
+                panic!("{} fwd={} : {e}", policy.name(), !no_forwarding)
+            });
+            let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+            r.check_appears_sc(mode).unwrap_or_else(|v| panic!("{}: {v}", policy.name()));
+            assert_eq!(r.outcome.memory[1], Value::new(12));
+            if no_forwarding {
+                recall_cycles.push(r.cycles);
+            } else {
+                fwd_cycles.push(r.cycles);
+            }
+            if no_forwarding {
+                assert!(r.counters.get("Recall") > 0, "recalls actually happen");
+                assert_eq!(r.counters.get("FwdGetX"), 0, "no forwards in recall mode");
+            }
+        }
+    }
+    let fwd: u64 = fwd_cycles.iter().sum();
+    let recall: u64 = recall_cycles.iter().sum();
+    assert!(fwd < recall, "forwarding {fwd} !< recall {recall}");
+}

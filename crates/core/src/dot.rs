@@ -1,0 +1,114 @@
+//! Graphviz (DOT) rendering of executions and their happens-before
+//! structure, for debugging and teaching.
+//!
+//! The output groups operations by processor (one cluster per column of
+//! the paper's Figure 2 style diagrams), draws program order as solid
+//! edges and synchronization order as dashed edges, and highlights
+//! races in red.
+
+use std::fmt::Write as _;
+
+use crate::drf0::check_drf_preaugmented;
+use crate::exec::IdealizedExecution;
+use crate::hb::{po_edges, so_edges, HbMode};
+use crate::ids::ProcId;
+
+/// Renders an idealized execution as a DOT digraph: nodes per operation
+/// (clustered by processor), solid `po` edges, dashed `so` edges, and
+/// red undirected edges for every race under `mode`.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{execution_dot, ExecBuilder, HbMode, Loc, ProcId, Value};
+/// let mut b = ExecBuilder::new(2);
+/// b.data_write(ProcId::new(0), Loc::new(0), Value::new(1));
+/// b.data_read(ProcId::new(1), Loc::new(0));
+/// let dot = execution_dot(&b.finish()?, HbMode::Drf0);
+/// assert!(dot.starts_with("digraph execution {"));
+/// assert!(dot.contains("color=red"));
+/// # Ok::<(), weakord_core::ExecError>(())
+/// ```
+pub fn execution_dot(exec: &IdealizedExecution, mode: HbMode) -> String {
+    let mut out = String::from("digraph execution {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for p in 0..exec.n_procs() {
+        let ops = exec.proc_ops(ProcId::new(p as u16));
+        let _ = writeln!(out, "  subgraph cluster_p{p} {{\n    label=\"P{p}\";");
+        for &id in ops {
+            let op = exec.op(id);
+            let _ = writeln!(out, "    n{} [label=\"{}\"];", id.index(), op);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (a, b) in po_edges(exec).iter() {
+        let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+    }
+    // Only consecutive so edges, to keep the picture readable.
+    let so = so_edges(exec, mode);
+    let mut drawn = std::collections::HashSet::new();
+    for (a, b) in so.iter() {
+        // Skip transitively implied so edges (a -> c when a -> b -> c).
+        let direct = !so
+            .iter()
+            .any(|(x, y)| x == a && y != b && so.contains(y, b) && drawn.contains(&(x, y)));
+        if direct {
+            let _ = writeln!(out, "  n{} -> n{} [style=dashed, label=\"so\"];", a.index(), b.index());
+            drawn.insert((a, b));
+        }
+    }
+    for race in check_drf_preaugmented(exec, mode).races {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [dir=none, color=red, penwidth=2, label=\"race\"];",
+            race.first.index(),
+            race.second.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::ids::{Loc, Value};
+
+    #[test]
+    fn clean_execution_has_no_red_edges() {
+        let (x, s) = (Loc::new(0), Loc::new(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(ProcId::new(0), x, Value::new(1));
+        b.sync_rmw(ProcId::new(0), s);
+        b.sync_rmw(ProcId::new(1), s);
+        b.data_read(ProcId::new(1), x);
+        let dot = execution_dot(&b.finish().unwrap(), HbMode::Drf0);
+        assert!(dot.contains("subgraph cluster_p0"));
+        assert!(dot.contains("style=dashed"), "so edge rendered: {dot}");
+        assert!(!dot.contains("color=red"), "no race expected: {dot}");
+    }
+
+    #[test]
+    fn racy_execution_is_highlighted() {
+        let x = Loc::new(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(ProcId::new(0), x, Value::new(1));
+        b.data_read(ProcId::new(1), x);
+        let dot = execution_dot(&b.finish().unwrap(), HbMode::Drf0);
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("label=\"race\""));
+    }
+
+    #[test]
+    fn every_operation_gets_a_node() {
+        let mut b = ExecBuilder::new(3);
+        for p in 0..3 {
+            b.data_write(ProcId::new(p), Loc::new(u32::from(p)), Value::new(1));
+        }
+        let exec = b.finish().unwrap();
+        let dot = execution_dot(&exec, HbMode::Drf0);
+        for i in 0..exec.len() {
+            assert!(dot.contains(&format!("n{i} [label=")), "missing node {i}");
+        }
+    }
+}

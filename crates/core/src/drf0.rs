@@ -1,0 +1,281 @@
+//! The Data-Race-Free-0 synchronization model (Definition 3) and its
+//! checker.
+//!
+//! > A program obeys the synchronization model Data-Race-Free-0 (DRF0),
+//! > if and only if (1) all synchronization operations are recognizable
+//! > by the hardware and each accesses exactly one memory location, and
+//! > (2) for any execution on the idealized system (where all memory
+//! > accesses are executed atomically and in program order), all
+//! > conflicting accesses are ordered by the happens-before relation
+//! > corresponding to the execution.
+//!
+//! Condition (1) holds by construction in this framework (synchronization
+//! operations are explicit [`crate::OpKind`] variants on a single
+//! location). This module checks condition (2) for a given idealized
+//! execution; checking a *program* means checking every idealized
+//! execution, which the model checker in `weakord-mc` enumerates.
+
+use std::fmt;
+
+use crate::exec::IdealizedExecution;
+use crate::hb::{HappensBefore, HbMode};
+use crate::ids::{Loc, OpId};
+
+/// A pair of conflicting accesses left unordered by happens-before —
+/// a data race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Race {
+    /// The earlier access (by completion order in the witnessing
+    /// idealized execution).
+    pub first: OpId,
+    /// The later access.
+    pub second: OpId,
+    /// The location both access.
+    pub loc: Loc,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "race on {} between {} and {}", self.loc, self.first, self.second)
+    }
+}
+
+/// Outcome of checking one idealized execution against a data-race-free
+/// synchronization model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrfReport {
+    /// Every unordered conflicting pair found (empty = execution obeys
+    /// the model).
+    pub races: Vec<Race>,
+    /// Number of conflicting pairs examined.
+    pub conflicting_pairs: usize,
+}
+
+impl DrfReport {
+    /// Returns `true` if no races were found.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+impl fmt::Display for DrfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_race_free() {
+            write!(f, "race-free ({} conflicting pairs, all ordered)", self.conflicting_pairs)
+        } else {
+            writeln!(
+                f,
+                "{} race(s) among {} conflicting pairs:",
+                self.races.len(),
+                self.conflicting_pairs
+            )?;
+            for r in &self.races {
+                writeln!(f, "  {r}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks Definition 3 condition (2) for one idealized execution: every
+/// pair of conflicting accesses must be ordered by the happens-before
+/// relation corresponding to the execution.
+///
+/// Synchronization operations on the same location conflict too, but
+/// under [`HbMode::Drf0`] they are always ordered by `so ⊆ hb`; under
+/// [`HbMode::Drf1`] sync-sync pairs are exempt (the refined model
+/// deliberately leaves e.g. two `Test`s unordered without calling that a
+/// race — they are still hardware-recognizable synchronization).
+///
+/// The execution is augmented per Section 4 before checking, so races
+/// against the initial or final state of memory are found as well.
+pub fn check_drf(exec: &IdealizedExecution, mode: HbMode) -> DrfReport {
+    check_drf_preaugmented(&exec.augment(), mode)
+}
+
+/// Like [`check_drf`] but assumes `exec` was already augmented (or that
+/// initial/final-state races are not of interest). Race op ids refer to
+/// the supplied execution.
+pub fn check_drf_preaugmented(exec: &IdealizedExecution, mode: HbMode) -> DrfReport {
+    let hb = HappensBefore::compute(exec, mode);
+    // Group ops per location; only same-location pairs can conflict.
+    let mut per_loc: std::collections::HashMap<Loc, Vec<OpId>> = std::collections::HashMap::new();
+    for op in exec.ops() {
+        per_loc.entry(op.loc).or_default().push(op.id);
+    }
+    let mut races = Vec::new();
+    let mut conflicting_pairs = 0usize;
+    for ops in per_loc.values() {
+        for (i, &a) in ops.iter().enumerate() {
+            let oa = exec.op(a);
+            for &b in &ops[i + 1..] {
+                let ob = exec.op(b);
+                if !oa.conflicts_with(ob) {
+                    continue;
+                }
+                if mode == HbMode::Drf1 && oa.is_sync() && ob.is_sync() {
+                    continue;
+                }
+                conflicting_pairs += 1;
+                if !hb.ordered_either(a, b) {
+                    races.push(Race { first: a, second: b, loc: oa.loc });
+                }
+            }
+        }
+    }
+    races.sort_unstable_by_key(|r| (r.first, r.second));
+    DrfReport { races, conflicting_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::ids::{ProcId, Value};
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn loc(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn properly_synchronized_handoff_is_race_free() {
+        let (x, s) = (loc(0), loc(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_rmw(P0, s);
+        b.sync_rmw(P1, s);
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(report.is_race_free(), "{report}");
+        assert!(report.conflicting_pairs > 0);
+    }
+
+    #[test]
+    fn unsynchronized_write_read_races() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(!report.is_race_free());
+        // Exactly one race pair between the program's own accesses; the
+        // augmentation orders init/final ops so they add no races.
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].loc, x);
+    }
+
+    #[test]
+    fn write_write_race_detected() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.data_write(P1, x, Value::new(2));
+        let e = b.finish().unwrap();
+        assert!(!check_drf(&e, HbMode::Drf0).is_race_free());
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_read(P0, x);
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(report.is_race_free());
+    }
+
+    #[test]
+    fn same_processor_conflicts_ordered_by_po() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(1);
+        b.data_write(P0, x, Value::new(1));
+        b.data_read(P0, x);
+        b.data_write(P0, x, Value::new(2));
+        let e = b.finish().unwrap();
+        assert!(check_drf(&e, HbMode::Drf0).is_race_free());
+    }
+
+    #[test]
+    fn sync_data_mixed_access_to_same_location_races_without_ordering() {
+        // P0 writes x as data; P1 uses x as a sync location. The pair
+        // conflicts (not both reads) and nothing orders them: race.
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_rmw(P1, x);
+        let e = b.finish().unwrap();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(!report.is_race_free());
+    }
+
+    #[test]
+    fn drf1_exempts_sync_sync_pairs_but_keeps_data_races() {
+        // Two Tests on s from different procs: unordered under DRF1's hb
+        // but not a race (both are syncs).
+        let s = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.sync_read(P0, s);
+        b.sync_read(P1, s);
+        let e = b.finish().unwrap();
+        assert!(check_drf(&e, HbMode::Drf1).is_race_free());
+        // But a data race is still a race under DRF1.
+        let x = loc(1);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        assert!(!check_drf(&e, HbMode::Drf1).is_race_free());
+    }
+
+    #[test]
+    fn drf1_is_stricter_about_read_only_sync_releases() {
+        // Race-free under DRF0 (the Sr/Srw pair orders the data ops),
+        // racy under DRF1 (read-only sync does not release).
+        let (x, s) = (loc(0), loc(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_read(P0, s);
+        b.sync_rmw(P1, s);
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        assert!(check_drf(&e, HbMode::Drf0).is_race_free());
+        assert!(!check_drf(&e, HbMode::Drf1).is_race_free());
+    }
+
+    #[test]
+    fn figure_2a_obeys_drf0() {
+        let e = crate::figures::figure_2a();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(report.is_race_free(), "{report}");
+    }
+
+    #[test]
+    fn figure_2b_violates_drf0() {
+        let e = crate::figures::figure_2b();
+        let report = check_drf(&e, HbMode::Drf0);
+        assert!(!report.is_race_free());
+        assert!(report.races.len() >= 2, "{report}");
+    }
+
+    #[test]
+    fn report_display_formats() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        let report = check_drf(&e, HbMode::Drf0);
+        let s = report.to_string();
+        assert!(s.contains("race"), "{s}");
+        let mut b = ExecBuilder::new(1);
+        b.data_read(P0, x);
+        let clean = check_drf(&b.finish().unwrap(), HbMode::Drf0);
+        assert!(clean.to_string().contains("race-free"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Idealized executions.
+//!
+//! Section 4 of the paper defines the happens-before relation over an
+//! execution of a program "on an abstract, idealized architecture where
+//! all memory accesses are executed atomically and in program order".
+//! Such an execution is simply a total interleaving of the processors'
+//! operations; [`IdealizedExecution`] stores exactly that, in completion
+//! order.
+//!
+//! The paper further *augments* every idealized execution with
+//! hypothetical operations accounting for the initial and final state of
+//! memory; [`IdealizedExecution::augment`] performs that construction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::{Loc, OpId, ProcId, Value};
+use crate::op::MemOp;
+
+/// Error returned when assembling or validating an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A program operation used the reserved augmentation location.
+    ReservedLocation(OpId),
+    /// A processor id was out of range for the declared processor count.
+    ProcOutOfRange {
+        /// The offending operation.
+        op: OpId,
+        /// Its out-of-range processor.
+        proc: ProcId,
+        /// The declared processor count.
+        n_procs: u16,
+    },
+    /// A read returned a value inconsistent with atomic, in-order memory
+    /// semantics.
+    NotAtomic {
+        /// The offending read.
+        read: OpId,
+        /// The value it returned (`None` = no value recorded).
+        got: Option<Value>,
+        /// The value atomic memory would have supplied.
+        want: Value,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ReservedLocation(op) => {
+                write!(f, "operation {op} uses the reserved augmentation location")
+            }
+            ExecError::ProcOutOfRange { op, proc, n_procs } => {
+                write!(f, "operation {op} issued by {proc} but execution has {n_procs} processors")
+            }
+            ExecError::NotAtomic { read, got, want } => match got {
+                Some(got) => {
+                    write!(f, "read {read} returned {got} but atomic memory would supply {want}")
+                }
+                None => write!(f, "read {read} has no value; atomic memory would supply {want}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A total interleaving of atomically-executed memory operations.
+///
+/// Operations are stored in *completion order* — the order in which they
+/// executed on the idealized architecture. Program order per processor is
+/// the restriction of completion order to that processor (the idealized
+/// architecture executes each processor's accesses in program order).
+///
+/// # Examples
+///
+/// Build the passing Figure 2(a)-style execution fragment `W(x); S(a)`
+/// on `P0` followed by `S(a); R(x)` on `P1`:
+///
+/// ```
+/// use weakord_core::{ExecBuilder, Loc, ProcId, Value};
+/// let x = Loc::new(0);
+/// let a = Loc::new(1);
+/// let p0 = ProcId::new(0);
+/// let p1 = ProcId::new(1);
+/// let mut b = ExecBuilder::new(2);
+/// b.data_write(p0, x, Value::new(1));
+/// b.sync_rmw(p0, a);
+/// b.sync_rmw(p1, a);
+/// b.data_read(p1, x);
+/// let exec = b.finish()?;
+/// assert_eq!(exec.len(), 4);
+/// assert_eq!(exec.op(weakord_core::OpId::new(3)).read_value, Some(Value::new(1)));
+/// # Ok::<(), weakord_core::ExecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdealizedExecution {
+    ops: Vec<MemOp>,
+    n_procs: u16,
+    per_proc: Vec<Vec<OpId>>,
+}
+
+impl IdealizedExecution {
+    /// Number of operations in the execution.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the execution contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of processors the execution was declared with.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs as usize
+    }
+
+    /// All operations in completion order.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Looks up one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &MemOp {
+        &self.ops[id.index()]
+    }
+
+    /// The operations of `proc` in program order.
+    pub fn proc_ops(&self, proc: ProcId) -> &[OpId] {
+        &self.per_proc[proc.index()]
+    }
+
+    /// Iterates over the distinct data locations accessed (excluding the
+    /// reserved augmentation location), in ascending order.
+    pub fn locations(&self) -> Vec<Loc> {
+        let mut locs: Vec<Loc> =
+            self.ops.iter().map(|op| op.loc).filter(|l| !l.is_augment()).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs
+    }
+
+    /// Computes the final memory state: for every accessed location, the
+    /// value of the last write in completion order (locations never
+    /// written hold [`Value::ZERO`]).
+    pub fn final_memory(&self) -> BTreeMap<Loc, Value> {
+        let mut mem: BTreeMap<Loc, Value> =
+            self.locations().into_iter().map(|l| (l, Value::ZERO)).collect();
+        for op in &self.ops {
+            if op.loc.is_augment() {
+                continue;
+            }
+            if let Some(v) = op.written_value {
+                mem.insert(op.loc, v);
+            }
+        }
+        mem
+    }
+
+    /// Checks that every read returns the value of the last preceding
+    /// write to the same location in completion order (initial values are
+    /// [`Value::ZERO`]). This is what "executed atomically and in program
+    /// order" demands of the value function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NotAtomic`] naming the first offending read.
+    pub fn check_atomic_values(&self) -> Result<(), ExecError> {
+        let mut mem: BTreeMap<Loc, Value> = BTreeMap::new();
+        for op in &self.ops {
+            if op.kind.has_read() {
+                let want = mem.get(&op.loc).copied().unwrap_or(Value::ZERO);
+                if op.read_value != Some(want) {
+                    return Err(ExecError::NotAtomic { read: op.id, got: op.read_value, want });
+                }
+            }
+            if let Some(v) = op.written_value {
+                mem.insert(op.loc, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the augmented execution of Section 4: a hypothetical
+    /// prefix in which processor 0 initializes every location (with
+    /// [`Value::ZERO`]) and synchronizes on a special location, followed
+    /// by a synchronization on that location by every other processor;
+    /// and an analogous suffix of synchronizations followed by final
+    /// reads of every location by processor 0.
+    ///
+    /// The hypothetical synchronization operations are read-modify-writes
+    /// so that they order in both directions under refined models that
+    /// pair releases (write components) with acquires (read components).
+    #[must_use]
+    pub fn augment(&self) -> IdealizedExecution {
+        let locs = self.locations();
+        let n = self.n_procs.max(1);
+        let p0 = ProcId::new(0);
+        let aug = Loc::AUGMENT;
+        let mut b = ExecBuilder::with_capacity(n, self.ops.len() + 2 * locs.len() + 4 * n as usize);
+        b.allow_reserved = true;
+        let hyp = |mut op: MemOp| {
+            op.hypothetical = true;
+            op
+        };
+        // Prefix: init writes, then P0's sync, then everyone else's sync.
+        for &l in &locs {
+            b.push_raw(hyp(MemOp::data_write(p0, l, Value::ZERO)));
+        }
+        b.push_raw(hyp(rmw(p0, aug)));
+        for p in 1..n {
+            b.push_raw(hyp(rmw(ProcId::new(p), aug)));
+        }
+        // The actual execution, verbatim.
+        for op in &self.ops {
+            b.push_raw(*op);
+        }
+        // Suffix: everyone else's sync, then P0's sync, then final reads.
+        for p in 1..n {
+            b.push_raw(hyp(rmw(ProcId::new(p), aug)));
+        }
+        b.push_raw(hyp(rmw(p0, aug)));
+        for &l in &locs {
+            b.push_raw(hyp(MemOp::data_read(p0, l)));
+        }
+        b.finish().expect("augmentation of a valid execution is valid")
+    }
+
+    /// Constructs an execution directly from completed operations in
+    /// completion order, reassigning ids and program-order indices.
+    ///
+    /// Unlike [`ExecBuilder`], this does **not** recompute read values —
+    /// use it for executions observed on real (possibly non-atomic)
+    /// hardware whose value function is part of the observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operation uses the reserved location or an
+    /// out-of-range processor.
+    pub fn from_observed(n_procs: u16, ops: Vec<MemOp>) -> Result<Self, ExecError> {
+        let mut b = ExecBuilder::with_capacity(n_procs, ops.len());
+        b.fill_values = false;
+        for op in ops {
+            b.push_raw(op);
+        }
+        b.finish()
+    }
+}
+
+fn rmw(proc: ProcId, loc: Loc) -> MemOp {
+    MemOp { read_value: Some(Value::ZERO), ..MemOp::sync_rmw(proc, loc, Some(Value::ZERO)) }
+}
+
+/// Incremental builder for [`IdealizedExecution`].
+///
+/// Operations are appended in completion order; the builder assigns ids
+/// and per-processor program-order indices, and (by default) runs atomic
+/// memory semantics to fill in read values that were not supplied.
+#[derive(Debug, Clone)]
+pub struct ExecBuilder {
+    ops: Vec<MemOp>,
+    n_procs: u16,
+    fill_values: bool,
+    allow_reserved: bool,
+}
+
+impl ExecBuilder {
+    /// Creates a builder for an execution of `n_procs` processors.
+    pub fn new(n_procs: u16) -> Self {
+        ExecBuilder::with_capacity(n_procs, 16)
+    }
+
+    /// Like [`ExecBuilder::new`] with a capacity hint.
+    pub fn with_capacity(n_procs: u16, cap: usize) -> Self {
+        ExecBuilder {
+            ops: Vec::with_capacity(cap),
+            n_procs,
+            fill_values: true,
+            allow_reserved: false,
+        }
+    }
+
+    /// Disables atomic value filling; recorded values are kept as-is.
+    pub fn keep_values(&mut self) -> &mut Self {
+        self.fill_values = false;
+        self
+    }
+
+    /// Appends an operation as the next completed access.
+    pub fn push(&mut self, op: MemOp) -> &mut Self {
+        self.push_raw(op);
+        self
+    }
+
+    fn push_raw(&mut self, op: MemOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends a data read by `proc` on `loc`.
+    pub fn data_read(&mut self, proc: ProcId, loc: Loc) -> &mut Self {
+        self.push(MemOp::data_read(proc, loc))
+    }
+
+    /// Appends a data write.
+    pub fn data_write(&mut self, proc: ProcId, loc: Loc, value: Value) -> &mut Self {
+        self.push(MemOp::data_write(proc, loc, value))
+    }
+
+    /// Appends a read-only synchronization operation.
+    pub fn sync_read(&mut self, proc: ProcId, loc: Loc) -> &mut Self {
+        self.push(MemOp::sync_read(proc, loc))
+    }
+
+    /// Appends a write-only synchronization operation storing `1`.
+    pub fn sync_write(&mut self, proc: ProcId, loc: Loc) -> &mut Self {
+        self.push(MemOp::sync_write(proc, loc, Value::new(1)))
+    }
+
+    /// Appends a read-modify-write synchronization operation storing `1`
+    /// (a `TestAndSet`).
+    pub fn sync_rmw(&mut self, proc: ProcId, loc: Loc) -> &mut Self {
+        self.push(MemOp::sync_rmw(proc, loc, Some(Value::new(1))))
+    }
+
+    /// Finalizes the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any operation uses the reserved augmentation
+    /// location (unless building an augmentation) or an out-of-range
+    /// processor id.
+    pub fn finish(mut self) -> Result<IdealizedExecution, ExecError> {
+        let mut per_proc: Vec<Vec<OpId>> = vec![Vec::new(); self.n_procs as usize];
+        let mut mem: BTreeMap<Loc, Value> = BTreeMap::new();
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            let id = OpId::new(i as u32);
+            op.id = id;
+            if op.loc.is_augment() && !self.allow_reserved {
+                return Err(ExecError::ReservedLocation(id));
+            }
+            let p = op.proc;
+            let Some(slot) = per_proc.get_mut(p.index()) else {
+                return Err(ExecError::ProcOutOfRange { op: id, proc: p, n_procs: self.n_procs });
+            };
+            op.po_index = slot.len() as u32;
+            slot.push(id);
+            if self.fill_values {
+                if op.kind.has_read() && op.read_value.is_none() {
+                    op.read_value = Some(mem.get(&op.loc).copied().unwrap_or(Value::ZERO));
+                }
+                if let Some(v) = op.written_value {
+                    mem.insert(op.loc, v);
+                }
+            }
+        }
+        Ok(IdealizedExecution { ops: self.ops, n_procs: self.n_procs, per_proc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn x() -> Loc {
+        Loc::new(0)
+    }
+
+    fn s() -> Loc {
+        Loc::new(1)
+    }
+
+    #[test]
+    fn builder_assigns_ids_and_po_indices() {
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x(), Value::new(1));
+        b.data_read(P1, x());
+        b.data_read(P0, x());
+        let e = b.finish().unwrap();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.op(OpId::new(0)).po_index, 0);
+        assert_eq!(e.op(OpId::new(2)).po_index, 1); // P0's second op
+        assert_eq!(e.proc_ops(P0), &[OpId::new(0), OpId::new(2)]);
+        assert_eq!(e.proc_ops(P1), &[OpId::new(1)]);
+    }
+
+    #[test]
+    fn builder_fills_atomic_read_values() {
+        let mut b = ExecBuilder::new(2);
+        b.data_read(P1, x()); // before any write: initial value
+        b.data_write(P0, x(), Value::new(7));
+        b.data_read(P1, x());
+        let e = b.finish().unwrap();
+        assert_eq!(e.op(OpId::new(0)).read_value, Some(Value::ZERO));
+        assert_eq!(e.op(OpId::new(2)).read_value, Some(Value::new(7)));
+        e.check_atomic_values().unwrap();
+    }
+
+    #[test]
+    fn rmw_reads_and_writes() {
+        let mut b = ExecBuilder::new(1);
+        b.sync_rmw(P0, s());
+        b.sync_rmw(P0, s());
+        let e = b.finish().unwrap();
+        assert_eq!(e.op(OpId::new(0)).read_value, Some(Value::ZERO));
+        assert_eq!(e.op(OpId::new(1)).read_value, Some(Value::new(1)));
+    }
+
+    #[test]
+    fn reserved_location_rejected() {
+        let mut b = ExecBuilder::new(1);
+        b.push(MemOp::data_read(P0, Loc::AUGMENT));
+        assert!(matches!(b.finish(), Err(ExecError::ReservedLocation(_))));
+    }
+
+    #[test]
+    fn out_of_range_proc_rejected() {
+        let mut b = ExecBuilder::new(1);
+        b.data_read(P1, x());
+        assert!(matches!(b.finish(), Err(ExecError::ProcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn final_memory_is_last_write() {
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x(), Value::new(1));
+        b.data_write(P1, x(), Value::new(2));
+        b.data_read(P0, s());
+        let e = b.finish().unwrap();
+        let mem = e.final_memory();
+        assert_eq!(mem[&x()], Value::new(2));
+        assert_eq!(mem[&s()], Value::ZERO); // read but never written
+    }
+
+    #[test]
+    fn check_atomic_values_flags_stale_read() {
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, x(), Value::new(1)));
+        let mut r = MemOp::data_read(P1, x());
+        r.read_value = Some(Value::ZERO); // stale: should be 1
+        ops.push(r);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        let err = e.check_atomic_values().unwrap_err();
+        assert!(matches!(err, ExecError::NotAtomic { want, .. } if want == Value::new(1)));
+    }
+
+    #[test]
+    fn augment_brackets_the_execution() {
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x(), Value::new(1));
+        b.data_read(P1, x());
+        let e = b.finish().unwrap();
+        let a = e.augment();
+        // 1 loc init write + 2 syncs + 2 original + 2 syncs + 1 final read.
+        assert_eq!(a.len(), 8);
+        assert!(a.ops()[1].loc.is_augment());
+        assert!(a.ops()[2].loc.is_augment());
+        assert!(a.ops()[a.len() - 2].loc.is_augment());
+        // Locations report excludes the augmentation location.
+        assert_eq!(a.locations(), vec![x()]);
+        // Final memory unchanged by augmentation.
+        assert_eq!(a.final_memory(), e.final_memory());
+    }
+
+    #[test]
+    fn augment_of_empty_execution() {
+        let e = ExecBuilder::new(3).finish().unwrap();
+        let a = e.augment();
+        // No locations: just 3 prefix syncs + 3 suffix syncs.
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn from_observed_keeps_values() {
+        let mut r = MemOp::data_read(P0, x());
+        r.read_value = Some(Value::new(42)); // not atomic; kept verbatim
+        let e = IdealizedExecution::from_observed(1, vec![r]).unwrap();
+        assert_eq!(e.op(OpId::new(0)).read_value, Some(Value::new(42)));
+    }
+}

@@ -1,0 +1,447 @@
+//! Program order, synchronization order, and happens-before.
+//!
+//! Section 4 of the paper defines, for an execution on the idealized
+//! architecture:
+//!
+//! * `op1 --po--> op2` iff `op1` occurs before `op2` in program order for
+//!   some process;
+//! * `op1 --so--> op2` iff both are synchronization operations on the
+//!   same location and `op1` completes before `op2`;
+//! * `hb = (po ∪ so)⁺`, the irreflexive transitive closure.
+//!
+//! This module computes `hb` two ways: an `O(n · P)` vector-clock engine
+//! ([`HappensBefore`]) used everywhere, and naive [`Relation`]-based
+//! construction used to cross-check it in tests.
+//!
+//! [`HbMode::Drf1`] implements the Section 6 refinement: a read-only
+//! synchronization operation cannot be used to order its processor's
+//! previous accesses with respect to subsequent synchronization
+//! operations of other processors — synchronization edges only run
+//! *from* operations with a write component. Edges into any later
+//! synchronization operation on the location are kept, because the
+//! hardware still serializes exclusive-path synchronization (condition 5
+//! applies to every synchronization commit, not just acquires); only the
+//! read-only `Test` loses its ordering power as a source.
+
+use std::collections::HashMap;
+
+use crate::exec::IdealizedExecution;
+use crate::ids::{Loc, OpId, ProcId};
+use crate::relation::Relation;
+
+/// Which synchronization edges contribute to happens-before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HbMode {
+    /// DRF0 (Definition 3): every pair of synchronization operations on
+    /// the same location is ordered by completion time.
+    #[default]
+    Drf0,
+    /// The Section 6 refinement: only synchronization operations with a
+    /// write component order their processor's previous accesses with
+    /// respect to later synchronization on the location.
+    Drf1,
+}
+
+/// A per-processor vector timestamp. Component `p` counts how many of
+/// processor `p`'s operations happen-before (or are) the stamped point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The zero clock over `n` processors.
+    pub fn zero(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Component for processor `p`.
+    pub fn get(&self, p: ProcId) -> u32 {
+        self.0.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    pub(crate) fn set(&mut self, p: ProcId, v: u32) {
+        self.0[p.index()] = v;
+    }
+
+    /// Returns `true` if `self ≤ other` pointwise.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// The happens-before relation of one idealized execution, queryable in
+/// `O(1)` per pair after an `O(n · P)` construction.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{ExecBuilder, HappensBefore, HbMode, Loc, OpId, ProcId, Value};
+/// let (x, s) = (Loc::new(0), Loc::new(1));
+/// let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+/// let mut b = ExecBuilder::new(2);
+/// b.data_write(p0, x, Value::new(1)); // op0
+/// b.sync_rmw(p0, s);                  // op1
+/// b.sync_rmw(p1, s);                  // op2
+/// b.data_read(p1, x);                 // op3
+/// let exec = b.finish()?;
+/// let hb = HappensBefore::compute(&exec, HbMode::Drf0);
+/// assert!(hb.ordered(OpId::new(0), OpId::new(3))); // W(x) hb R(x) via the syncs
+/// assert!(!hb.ordered(OpId::new(3), OpId::new(0)));
+/// # Ok::<(), weakord_core::ExecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HappensBefore {
+    clocks: Vec<VectorClock>,
+    proc_of: Vec<ProcId>,
+    /// 1-based program-order position of each op within its processor.
+    pos_of: Vec<u32>,
+}
+
+impl HappensBefore {
+    /// Computes happens-before for `exec` under the given mode.
+    pub fn compute(exec: &IdealizedExecution, mode: HbMode) -> Self {
+        let n_procs = exec.n_procs();
+        let n = exec.len();
+        let mut proc_clock: Vec<VectorClock> = vec![VectorClock::zero(n_procs); n_procs];
+        // Per sync location: the join of the clocks of prior syncs whose
+        // edges the mode lets order a later acquire.
+        let mut release_clock: HashMap<Loc, VectorClock> = HashMap::new();
+        let mut clocks = Vec::with_capacity(n);
+        let mut proc_of = Vec::with_capacity(n);
+        let mut pos_of = Vec::with_capacity(n);
+        for op in exec.ops() {
+            let p = op.proc;
+            // Every synchronization operation joins the location's
+            // release clock; under DRF1 that clock only accumulates
+            // write-component syncs (see `releases` below).
+            let acquires = op.is_sync();
+            if acquires {
+                if let Some(rc) = release_clock.get(&op.loc) {
+                    proc_clock[p.index()].join(rc);
+                }
+            }
+            let pos = op.po_index + 1;
+            proc_clock[p.index()].set(p, pos);
+            let stamp = proc_clock[p.index()].clone();
+            let releases = match mode {
+                HbMode::Drf0 => op.is_sync(),
+                HbMode::Drf1 => op.is_sync() && op.kind.has_write(),
+            };
+            if releases {
+                release_clock
+                    .entry(op.loc)
+                    .and_modify(|rc| rc.join(&stamp))
+                    .or_insert_with(|| stamp.clone());
+            }
+            clocks.push(stamp);
+            proc_of.push(p);
+            pos_of.push(pos);
+        }
+        HappensBefore { clocks, proc_of, pos_of }
+    }
+
+    /// Returns `true` iff `a` happens-before `b` (irreflexive).
+    pub fn ordered(&self, a: OpId, b: OpId) -> bool {
+        a != b && self.clocks[b.index()].get(self.proc_of[a.index()]) >= self.pos_of[a.index()]
+    }
+
+    /// Returns `true` iff `a` and `b` are ordered one way or the other.
+    pub fn ordered_either(&self, a: OpId, b: OpId) -> bool {
+        self.ordered(a, b) || self.ordered(b, a)
+    }
+
+    /// The vector timestamp of an operation.
+    pub fn clock(&self, op: OpId) -> &VectorClock {
+        &self.clocks[op.index()]
+    }
+
+    /// Number of stamped operations.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns `true` if no operations were stamped.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+}
+
+/// Builds the program-order generator relation: an edge between each
+/// processor's consecutive operations (its transitive closure is full
+/// program order).
+pub fn po_edges(exec: &IdealizedExecution) -> Relation {
+    let mut r = Relation::new(exec.len());
+    for p in 0..exec.n_procs() {
+        let ops = exec.proc_ops(ProcId::new(p as u16));
+        for w in ops.windows(2) {
+            r.add(w[0], w[1]);
+        }
+    }
+    r
+}
+
+/// Builds the synchronization-order edge set under `mode`.
+///
+/// For [`HbMode::Drf0`] this is the per-location completion-time total
+/// order over synchronization operations (all pairs); for
+/// [`HbMode::Drf1`] only edges whose source has a write component are
+/// included.
+pub fn so_edges(exec: &IdealizedExecution, mode: HbMode) -> Relation {
+    let mut r = Relation::new(exec.len());
+    let mut per_loc: HashMap<Loc, Vec<OpId>> = HashMap::new();
+    for op in exec.ops() {
+        if op.is_sync() {
+            per_loc.entry(op.loc).or_default().push(op.id);
+        }
+    }
+    for ops in per_loc.values() {
+        for (i, &a) in ops.iter().enumerate() {
+            for &b in &ops[i + 1..] {
+                let include = match mode {
+                    HbMode::Drf0 => true,
+                    HbMode::Drf1 => exec.op(a).kind.has_write(),
+                };
+                if include {
+                    r.add(a, b);
+                }
+            }
+        }
+    }
+    r
+}
+
+/// Naive happens-before: `(po ∪ so)⁺` by explicit transitive closure.
+/// Quadratic in memory and cubic in time; used to validate
+/// [`HappensBefore`] on small executions.
+pub fn hb_relation(exec: &IdealizedExecution, mode: HbMode) -> Relation {
+    po_edges(exec).union(&so_edges(exec, mode)).transitive_closure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::ids::Value;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+    const P2: ProcId = ProcId::new(2);
+
+    fn loc(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn id(i: u32) -> OpId {
+        OpId::new(i)
+    }
+
+    /// The Section 4 chain: op(P1,x) S(P1,s) S(P2,t)? — we reproduce the
+    /// exact example: op(P1,x) --po--> S(P1,s) --so--> S(P2,s) --po-->
+    /// S(P2,t) --so--> S(P3,t) --po--> op(P3,x), hence
+    /// op(P1,x) hb op(P3,x).
+    #[test]
+    fn paper_section4_chain() {
+        let (x, s, t) = (loc(0), loc(1), loc(2));
+        let p3 = ProcId::new(2); // paper's P3; we use index 2
+        let mut b = ExecBuilder::new(3);
+        b.data_write(P0, x, Value::new(1)); // 0: op(P1,x) in paper numbering
+        b.sync_rmw(P0, s); //                  1: S(P1,s)
+        b.sync_rmw(P1, s); //                  2: S(P2,s)
+        b.sync_rmw(P1, t); //                  3: S(P2,t)
+        b.sync_rmw(p3, t); //                  4: S(P3,t)
+        b.data_read(p3, x); //                 5: op(P3,x)
+        let e = b.finish().unwrap();
+        let hb = HappensBefore::compute(&e, HbMode::Drf0);
+        assert!(hb.ordered(id(0), id(5)));
+        assert!(!hb.ordered(id(5), id(0)));
+        // And the naive construction agrees everywhere.
+        let naive = hb_relation(&e, HbMode::Drf0);
+        for a in 0..e.len() as u32 {
+            for b2 in 0..e.len() as u32 {
+                assert_eq!(
+                    hb.ordered(id(a), id(b2)),
+                    naive.contains(id(a), id(b2)),
+                    "disagree on ({a},{b2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn po_orders_same_processor() {
+        let mut b = ExecBuilder::new(1);
+        b.data_write(P0, loc(0), Value::new(1));
+        b.data_read(P0, loc(1));
+        let e = b.finish().unwrap();
+        let hb = HappensBefore::compute(&e, HbMode::Drf0);
+        assert!(hb.ordered(id(0), id(1)));
+        assert!(!hb.ordered(id(1), id(0)));
+        assert!(!hb.ordered(id(0), id(0)), "hb is irreflexive");
+    }
+
+    #[test]
+    fn unsynchronized_cross_processor_ops_are_unordered() {
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, loc(0), Value::new(1));
+        b.data_read(P1, loc(0));
+        let e = b.finish().unwrap();
+        let hb = HappensBefore::compute(&e, HbMode::Drf0);
+        assert!(!hb.ordered_either(id(0), id(1)));
+    }
+
+    #[test]
+    fn syncs_on_different_locations_do_not_order() {
+        let mut b = ExecBuilder::new(2);
+        b.sync_rmw(P0, loc(1));
+        b.sync_rmw(P1, loc(2));
+        let e = b.finish().unwrap();
+        let hb = HappensBefore::compute(&e, HbMode::Drf0);
+        assert!(!hb.ordered_either(id(0), id(1)));
+    }
+
+    #[test]
+    fn drf1_read_only_sync_does_not_release() {
+        // P0: W(x); Sr(s)        (read-only sync cannot release)
+        // P1: Srw(s); R(x)
+        let (x, s) = (loc(0), loc(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1)); // 0
+        b.sync_read(P0, s); //                 1
+        b.sync_rmw(P1, s); //                  2
+        b.data_read(P1, x); //                 3
+        let e = b.finish().unwrap();
+        let drf0 = HappensBefore::compute(&e, HbMode::Drf0);
+        let drf1 = HappensBefore::compute(&e, HbMode::Drf1);
+        // Under DRF0 semantics the two syncs order the data accesses.
+        assert!(drf0.ordered(id(0), id(3)));
+        // Under DRF1, a read-only sync is not a release.
+        assert!(!drf1.ordered(id(0), id(3)));
+        assert!(!drf1.ordered(id(1), id(2)), "Sr->Srw pair does not order in DRF1");
+    }
+
+    #[test]
+    fn drf1_write_sync_still_releases_to_acquire() {
+        let (x, s) = (loc(0), loc(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1)); // 0
+        b.sync_write(P0, s); //                1 (release)
+        b.sync_rmw(P1, s); //                  2 (acquire)
+        b.data_read(P1, x); //                 3
+        let e = b.finish().unwrap();
+        let drf1 = HappensBefore::compute(&e, HbMode::Drf1);
+        assert!(drf1.ordered(id(0), id(3)));
+    }
+
+    #[test]
+    fn drf1_write_syncs_order_each_other() {
+        // Write serialization on the synchronization location is kept by
+        // the refinement: condition 5 gates every exclusive-path sync.
+        let s = loc(1);
+        let mut b = ExecBuilder::new(2);
+        b.sync_write(P0, s); // 0: release
+        b.sync_write(P1, s); // 1: write-only — still ordered after 0
+        let e = b.finish().unwrap();
+        let drf1 = HappensBefore::compute(&e, HbMode::Drf1);
+        assert!(drf1.ordered(id(0), id(1)));
+        // But a read-only sync as the source still orders nothing.
+        let mut b = ExecBuilder::new(2);
+        b.sync_read(P0, s);
+        b.sync_write(P1, s);
+        let e = b.finish().unwrap();
+        let drf1 = HappensBefore::compute(&e, HbMode::Drf1);
+        assert!(!drf1.ordered_either(id(0), id(1)));
+    }
+
+    #[test]
+    fn so_is_total_per_location_under_drf0() {
+        let s = loc(0);
+        let mut b = ExecBuilder::new(3);
+        b.sync_rmw(P0, s);
+        b.sync_rmw(P1, s);
+        b.sync_rmw(P2, s);
+        let e = b.finish().unwrap();
+        let so = so_edges(&e, HbMode::Drf0);
+        assert!(so.contains(id(0), id(1)));
+        assert!(so.contains(id(1), id(2)));
+        assert!(so.contains(id(0), id(2)));
+        assert!(!so.contains(id(2), id(0)));
+    }
+
+    #[test]
+    fn transitive_release_chain_across_three_processors() {
+        // P0 releases s, P1 acquires s then releases t, P2 acquires t:
+        // P0's write must be ordered before P2's read under both modes.
+        let (x, s, t) = (loc(0), loc(1), loc(2));
+        let mut b = ExecBuilder::new(3);
+        b.data_write(P0, x, Value::new(1)); // 0
+        b.sync_write(P0, s); //                1
+        b.sync_rmw(P1, s); //                  2
+        b.sync_write(P1, t); //                3
+        b.sync_rmw(P2, t); //                  4
+        b.data_read(P2, x); //                 5
+        let e = b.finish().unwrap();
+        for mode in [HbMode::Drf0, HbMode::Drf1] {
+            let hb = HappensBefore::compute(&e, mode);
+            assert!(hb.ordered(id(0), id(5)), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn clock_join_and_le() {
+        let mut a = VectorClock::zero(3);
+        a.set(P0, 2);
+        let mut b2 = VectorClock::zero(3);
+        b2.set(P1, 5);
+        assert!(!a.le(&b2) && !b2.le(&a));
+        let mut j = a.clone();
+        j.join(&b2);
+        assert!(a.le(&j) && b2.le(&j));
+        assert_eq!(j.get(P0), 2);
+        assert_eq!(j.get(P1), 5);
+        assert_eq!(j.get(ProcId::new(9)), 0, "out-of-range component reads 0");
+    }
+
+    #[test]
+    fn empty_execution_has_empty_hb() {
+        let e = ExecBuilder::new(2).finish().unwrap();
+        let hb = HappensBefore::compute(&e, HbMode::Drf0);
+        assert!(hb.is_empty());
+        assert_eq!(hb.len(), 0);
+    }
+
+    #[test]
+    fn vector_clocks_match_naive_closure_on_mixed_example() {
+        // A denser example exercising both modes.
+        let (x, y, s, t) = (loc(0), loc(1), loc(2), loc(3));
+        let mut b = ExecBuilder::new(3);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_rmw(P0, s);
+        b.data_write(P1, y, Value::new(2));
+        b.sync_read(P1, s);
+        b.sync_write(P1, t);
+        b.sync_rmw(P2, t);
+        b.data_read(P2, x);
+        b.data_read(P2, y);
+        b.sync_rmw(P0, t);
+        let e = b.finish().unwrap();
+        for mode in [HbMode::Drf0, HbMode::Drf1] {
+            let hb = HappensBefore::compute(&e, mode);
+            let naive = hb_relation(&e, mode);
+            for a in 0..e.len() as u32 {
+                for c in 0..e.len() as u32 {
+                    assert_eq!(
+                        hb.ordered(id(a), id(c)),
+                        naive.contains(id(a), id(c)),
+                        "mode {mode:?} pair ({a},{c})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Newtype identifiers used throughout the memory-model framework.
+//!
+//! Each identifier wraps a small integer so that processors, memory
+//! locations, operations and values cannot be confused with one another
+//! ([C-NEWTYPE]). All types are `Copy` and implement the common traits.
+
+use std::fmt;
+
+/// Identifies a processor (a hardware context issuing memory operations).
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(u16);
+
+impl ProcId {
+    /// Creates a processor id from its index.
+    pub const fn new(index: u16) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the underlying index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u16` value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for ProcId {
+    fn from(v: u16) -> Self {
+        ProcId(v)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a shared-memory location.
+///
+/// Locations are abstract: the framework does not assume any particular
+/// address width or granularity. A location is exactly the unit to which
+/// the paper's "accesses to the same location" applies.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::Loc;
+/// let x = Loc::new(0);
+/// let y = Loc::new(1);
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// A reserved location used by the Section 4 augmentation: the
+    /// hypothetical synchronization location that orders the initializing
+    /// writes before the actual execution and the final reads after it.
+    ///
+    /// Programs must not use this location themselves; the execution
+    /// builder rejects it.
+    pub const AUGMENT: Loc = Loc(u32::MAX);
+
+    /// Creates a location from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is the reserved [`Loc::AUGMENT`] value.
+    pub const fn new(index: u32) -> Self {
+        assert!(index != u32::MAX, "Loc::new: u32::MAX is reserved");
+        Loc(index)
+    }
+
+    /// Returns the underlying index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the reserved augmentation location.
+    pub const fn is_augment(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl From<u32> for Loc {
+    fn from(v: u32) -> Self {
+        Loc::new(v)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_augment() {
+            write!(f, "loc[aug]")
+        } else {
+            write!(f, "loc{}", self.0)
+        }
+    }
+}
+
+/// Identifies a memory operation within one execution.
+///
+/// Operation ids are dense indices into the execution's operation vector,
+/// assigned in completion order (the order of the idealized interleaving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Creates an operation id from its index.
+    pub const fn new(index: u32) -> Self {
+        OpId(index)
+    }
+
+    /// Returns the underlying index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for OpId {
+    fn from(v: u32) -> Self {
+        OpId(v)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A value stored in or read from memory.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::Value;
+/// assert_eq!(Value::ZERO, Value::new(0));
+/// assert_eq!(Value::new(7).get(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(u64);
+
+impl Value {
+    /// The zero value; every location initially holds it (before the
+    /// hypothetical initializing writes overwrite it, also with zero).
+    pub const ZERO: Value = Value(0);
+
+    /// Creates a value.
+    pub const fn new(v: u64) -> Self {
+        Value(v)
+    }
+
+    /// Returns the underlying integer.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Wrapping addition, used by fetch-and-add synchronization primitives.
+    #[must_use]
+    pub const fn wrapping_add(self, rhs: u64) -> Value {
+        Value(self.0.wrapping_add(rhs))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_roundtrip() {
+        let p = ProcId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.raw(), 42);
+        assert_eq!(ProcId::from(42u16), p);
+        assert_eq!(p.to_string(), "P42");
+    }
+
+    #[test]
+    fn loc_display_and_augment() {
+        assert_eq!(Loc::new(5).to_string(), "loc5");
+        assert_eq!(Loc::AUGMENT.to_string(), "loc[aug]");
+        assert!(Loc::AUGMENT.is_augment());
+        assert!(!Loc::new(0).is_augment());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn loc_new_rejects_reserved() {
+        let _ = Loc::new(u32::MAX);
+    }
+
+    #[test]
+    fn op_id_ordering_is_index_ordering() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(OpId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn value_arithmetic() {
+        assert_eq!(Value::new(u64::MAX).wrapping_add(1), Value::ZERO);
+        assert_eq!(Value::new(3).wrapping_add(4), Value::new(7));
+        assert_eq!(Value::from(9u64).get(), 9);
+    }
+}

@@ -1,0 +1,77 @@
+//! # weakord-core — the formal framework of "Weak Ordering — A New Definition"
+//!
+//! This crate implements the formal machinery of Adve & Hill's paper:
+//!
+//! * **Idealized executions** ([`IdealizedExecution`]): total
+//!   interleavings of atomically-executed memory operations, augmented
+//!   with hypothetical operations for the initial and final state of
+//!   memory (Section 4).
+//! * **Happens-before** ([`HappensBefore`]): `hb = (po ∪ so)⁺`, computed
+//!   with vector clocks and cross-checked against an explicit transitive
+//!   closure ([`hb_relation`]).
+//! * **DRF0** ([`Drf0`], [`check_drf`]): Definition 3 — a program is
+//!   data-race-free iff every idealized execution orders all conflicting
+//!   accesses by happens-before. [`Drf1`] implements the Section 6
+//!   refinement distinguishing read-only synchronization.
+//! * **Sequential consistency** ([`ExecResult`], [`check_appears_sc`]):
+//!   the paper's notion of *result* and the Lemma 1 (Appendix A)
+//!   criterion for an execution to appear sequentially consistent.
+//! * **Race detection** ([`RaceDetector`]): an online vector-clock
+//!   detector in the Netzer–Miller tradition the paper cites.
+//!
+//! The hardware side of Definition 2 — machines that must *appear*
+//! sequentially consistent to conforming software — lives in the
+//! companion crates `weakord-mc` (exhaustive operational models) and
+//! `weakord-coherence` (the Section 5 timed implementation).
+//!
+//! ## Quick example
+//!
+//! Build the synchronized hand-off the paper uses throughout (`P0`
+//! writes `x` then releases `s`; `P1` acquires `s` then reads `x`) and
+//! check it is race-free and appears sequentially consistent:
+//!
+//! ```
+//! use weakord_core::{check_appears_sc, check_drf, ExecBuilder, HbMode, Loc, ProcId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (x, s) = (Loc::new(0), Loc::new(1));
+//! let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+//! let mut b = ExecBuilder::new(2);
+//! b.data_write(p0, x, Value::new(1));
+//! b.sync_rmw(p0, s);
+//! b.sync_rmw(p1, s);
+//! b.data_read(p1, x);
+//! let exec = b.finish()?;
+//! assert!(check_drf(&exec, HbMode::Drf0).is_race_free());
+//! check_appears_sc(&exec, HbMode::Drf0)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dot;
+mod drf0;
+mod exec;
+pub mod figures;
+mod hb;
+mod ids;
+mod monitor;
+mod op;
+mod race;
+mod relation;
+mod sc;
+mod sync_model;
+
+pub use dot::execution_dot;
+pub use drf0::{check_drf, check_drf_preaugmented, DrfReport, Race};
+pub use exec::{ExecBuilder, ExecError, IdealizedExecution};
+pub use hb::{hb_relation, po_edges, so_edges, HappensBefore, HbMode, VectorClock};
+pub use ids::{Loc, OpId, ProcId, Value};
+pub use monitor::{MonitorMap, MonitorModel, MonitorViolation, MonitorViolationKind};
+pub use op::{MemOp, OpKind};
+pub use race::{detect_races, AccessClass, RaceDetector, RaceEvent};
+pub use relation::Relation;
+pub use sc::{check_appears_sc, is_execution_serializable, ExecResult, ScViolation};
+pub use sync_model::{Drf0, Drf1, SynchronizationModel};

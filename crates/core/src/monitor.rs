@@ -1,0 +1,309 @@
+//! A monitor-discipline synchronization model — the paper's named
+//! future-work item.
+//!
+//! Section 7 suggests "the construction of other synchronization models
+//! optimized for particular software paradigms, such as sharing only
+//! through monitors". [`MonitorModel`] is such a model: every shared
+//! data location is owned by a monitor (a lock location), and a data
+//! access is legal only while the accessing processor *holds* the
+//! owning lock.
+//!
+//! The lock protocol is the workspace's standard one: a processor
+//! acquires a lock with a read-modify-write synchronization on the lock
+//! location that reads 0 (the lock was free — a failed `TestAndSet`
+//! that reads 1 acquires nothing), and releases it with a write-only
+//! synchronization storing 0. On the idealized architecture those
+//! semantics make holding exclusive, which is what lets conformance
+//! imply data-race-freedom outright.
+//!
+//! The payoff of the restriction is a simpler obligation: a
+//! monitor-conformant execution is automatically DRF0 (no happens-before
+//! computation needed), which `tests in this module` verify against the
+//! general checker.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::drf0::{DrfReport, Race};
+use crate::exec::IdealizedExecution;
+use crate::hb::HbMode;
+use crate::ids::{Loc, OpId, ProcId};
+use crate::sync_model::SynchronizationModel;
+
+/// Maps each data location to the lock (monitor) that owns it.
+///
+/// Locations not present in the map are *monitor-private*: only one
+/// processor may ever touch them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorMap {
+    owner: HashMap<Loc, Loc>,
+}
+
+impl MonitorMap {
+    /// An empty map (every location private).
+    pub fn new() -> Self {
+        MonitorMap::default()
+    }
+
+    /// Declares `lock` as the monitor owning `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data == lock` (a lock cannot guard itself as data).
+    pub fn guard(&mut self, data: Loc, lock: Loc) -> &mut Self {
+        assert_ne!(data, lock, "a monitor lock cannot be its own data");
+        self.owner.insert(data, lock);
+        self
+    }
+
+    /// The lock owning `data`, if any.
+    pub fn lock_of(&self, data: Loc) -> Option<Loc> {
+        self.owner.get(&data).copied()
+    }
+}
+
+/// The monitor-discipline model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorModel {
+    /// The data-to-lock assignment.
+    pub map: MonitorMap,
+}
+
+/// A violation of the monitor discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorViolation {
+    /// The offending operation.
+    pub op: OpId,
+    /// Its processor.
+    pub proc: ProcId,
+    /// What went wrong.
+    pub kind: MonitorViolationKind,
+}
+
+/// The ways an execution can break monitor discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorViolationKind {
+    /// A guarded data location was accessed without holding its lock.
+    AccessWithoutLock {
+        /// The required lock.
+        lock: Loc,
+    },
+    /// An unguarded ("private") location was touched by a second
+    /// processor.
+    PrivateShared {
+        /// The processor that touched it first.
+        first_owner: ProcId,
+    },
+}
+
+impl fmt::Display for MonitorViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MonitorViolationKind::AccessWithoutLock { lock } => {
+                write!(
+                    f,
+                    "{} accessed guarded data at {} without holding {}",
+                    self.proc, self.op, lock
+                )
+            }
+            MonitorViolationKind::PrivateShared { first_owner } => {
+                write!(
+                    f,
+                    "{} touched a private location at {} first used by {}",
+                    self.proc, self.op, first_owner
+                )
+            }
+        }
+    }
+}
+
+impl MonitorModel {
+    /// Creates a model from a data-to-lock assignment.
+    pub fn new(map: MonitorMap) -> Self {
+        MonitorModel { map }
+    }
+
+    /// Checks monitor discipline on one idealized execution, returning
+    /// every violation.
+    pub fn violations(&self, exec: &IdealizedExecution) -> Vec<MonitorViolation> {
+        let mut held: HashMap<(ProcId, Loc), bool> = HashMap::new();
+        let mut private_owner: HashMap<Loc, ProcId> = HashMap::new();
+        let mut out = Vec::new();
+        for op in exec.ops() {
+            if op.loc.is_augment() || op.hypothetical {
+                continue;
+            }
+            if op.is_sync() {
+                // Acquire: an RMW that observed the lock free; a failed
+                // attempt (read 1) acquires nothing. Release: a
+                // write-only synchronization (storing 0).
+                if op.kind == crate::op::OpKind::SyncRmw {
+                    if op.read_value == Some(crate::ids::Value::ZERO) {
+                        held.insert((op.proc, op.loc), true);
+                    }
+                } else if op.kind == crate::op::OpKind::SyncWrite {
+                    held.insert((op.proc, op.loc), false);
+                }
+                continue;
+            }
+            match self.map.lock_of(op.loc) {
+                Some(lock) => {
+                    if !held.get(&(op.proc, lock)).copied().unwrap_or(false) {
+                        out.push(MonitorViolation {
+                            op: op.id,
+                            proc: op.proc,
+                            kind: MonitorViolationKind::AccessWithoutLock { lock },
+                        });
+                    }
+                }
+                None => match private_owner.get(&op.loc) {
+                    None => {
+                        private_owner.insert(op.loc, op.proc);
+                    }
+                    Some(&owner) if owner == op.proc => {}
+                    Some(&owner) => out.push(MonitorViolation {
+                        op: op.id,
+                        proc: op.proc,
+                        kind: MonitorViolationKind::PrivateShared { first_owner: owner },
+                    }),
+                },
+            }
+        }
+        out
+    }
+}
+
+impl SynchronizationModel for MonitorModel {
+    fn name(&self) -> &'static str {
+        "monitors"
+    }
+
+    fn hb_mode(&self) -> HbMode {
+        HbMode::Drf0
+    }
+
+    fn check_execution(&self, exec: &IdealizedExecution) -> DrfReport {
+        // Report monitor violations in the DrfReport currency: each
+        // violating op paired with itself (the offended pair is not
+        // identified by this model — the discipline is per-access).
+        let violations = self.violations(exec);
+        DrfReport {
+            races: violations
+                .iter()
+                .map(|v| Race { first: v.op, second: v.op, loc: exec.op(v.op).loc })
+                .collect(),
+            conflicting_pairs: violations.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drf0::check_drf;
+    use crate::exec::ExecBuilder;
+    use crate::ids::Value;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn model() -> MonitorModel {
+        let mut map = MonitorMap::new();
+        map.guard(Loc::new(0), Loc::new(10));
+        MonitorModel::new(map)
+    }
+
+    /// A disciplined execution: both processors take the lock around
+    /// their accesses (acquire = TAS reading 0; release = store of 0).
+    fn disciplined() -> IdealizedExecution {
+        let (x, lock) = (Loc::new(0), Loc::new(10));
+        let mut b = ExecBuilder::new(2);
+        b.sync_rmw(P0, lock); // reads 0: acquired
+        b.data_write(P0, x, Value::new(1));
+        b.push(crate::op::MemOp::sync_write(P0, lock, Value::ZERO)); // release
+        b.sync_rmw(P1, lock); // reads 0: acquired
+        b.data_read(P1, x);
+        b.push(crate::op::MemOp::sync_write(P1, lock, Value::ZERO));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn disciplined_executions_pass() {
+        let m = model();
+        assert!(m.violations(&disciplined()).is_empty());
+        assert!(m.obeys(&disciplined()));
+    }
+
+    #[test]
+    fn monitor_conformance_implies_drf0() {
+        // The model's selling point: conformant executions are
+        // automatically data-race-free under the general checker.
+        assert!(check_drf(&disciplined(), HbMode::Drf0).is_race_free());
+    }
+
+    #[test]
+    fn unlocked_access_is_flagged() {
+        let (x, _lock) = (Loc::new(0), Loc::new(10));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1)); // no lock held
+        let e = b.finish().unwrap();
+        let v = model().violations(&e);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, MonitorViolationKind::AccessWithoutLock { .. }));
+        assert!(v[0].to_string().contains("without holding"));
+    }
+
+    #[test]
+    fn access_after_release_is_flagged() {
+        let (x, lock) = (Loc::new(0), Loc::new(10));
+        let mut b = ExecBuilder::new(1);
+        b.sync_rmw(P0, lock);
+        b.push(crate::op::MemOp::sync_write(P0, lock, Value::ZERO)); // release…
+        b.data_write(P0, x, Value::new(1)); // …then touch: violation
+        let e = b.finish().unwrap();
+        assert_eq!(model().violations(&e).len(), 1);
+    }
+
+    #[test]
+    fn failed_test_and_set_does_not_acquire() {
+        let (x, lock) = (Loc::new(0), Loc::new(10));
+        let mut b = ExecBuilder::new(2);
+        b.sync_rmw(P0, lock); // P0 acquires (reads 0)
+        b.sync_rmw(P1, lock); // P1's TAS reads 1: NOT an acquire
+        b.data_write(P1, x, Value::new(2)); // violation
+        let e = b.finish().unwrap();
+        let v = model().violations(&e);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].proc, P1);
+    }
+
+    #[test]
+    fn private_locations_must_stay_private() {
+        let y = Loc::new(5); // unguarded
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, y, Value::new(1));
+        b.data_read(P1, y);
+        let e = b.finish().unwrap();
+        let v = model().violations(&e);
+        assert_eq!(v.len(), 1);
+        assert!(
+            matches!(v[0].kind, MonitorViolationKind::PrivateShared { first_owner } if first_owner == P0)
+        );
+    }
+
+    #[test]
+    fn private_locations_used_by_one_processor_are_fine() {
+        let y = Loc::new(5);
+        let mut b = ExecBuilder::new(1);
+        b.data_write(P0, y, Value::new(1));
+        b.data_read(P0, y);
+        let e = b.finish().unwrap();
+        assert!(model().violations(&e).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "own data")]
+    fn a_lock_cannot_guard_itself() {
+        MonitorMap::new().guard(Loc::new(3), Loc::new(3));
+    }
+}

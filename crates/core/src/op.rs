@@ -1,0 +1,257 @@
+//! Memory operations: the atoms of an execution.
+//!
+//! The paper (Section 5.1 conventions) distinguishes *data* operations
+//! (ordinary reads and writes) from *synchronization* operations, and
+//! further distinguishes synchronization operations that only read
+//! (e.g. `Test`), only write (e.g. `Unset`) and both read and write
+//! (e.g. `TestAndSet`). [`OpKind`] captures exactly that taxonomy.
+
+use std::fmt;
+
+use crate::ids::{Loc, OpId, ProcId, Value};
+
+/// The kind of a memory operation.
+///
+/// DRF0 (Definition 3) requires synchronization operations to be
+/// recognizable by the hardware and to access exactly one memory
+/// location; all kinds here satisfy the single-location requirement by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// An ordinary data read.
+    DataRead,
+    /// An ordinary data write.
+    DataWrite,
+    /// A read-only synchronization operation (the `Test` of
+    /// Test-and-TestAndSet, or spinning on a barrier count).
+    SyncRead,
+    /// A write-only synchronization operation (e.g. `Unset`/`Set`).
+    SyncWrite,
+    /// A read-modify-write synchronization operation (e.g. `TestAndSet`,
+    /// fetch-and-add, swap). Its read and write components execute
+    /// atomically with respect to other synchronization operations on the
+    /// same location (Section 5.2 assumption).
+    SyncRmw,
+}
+
+impl OpKind {
+    /// Returns `true` if the operation has a read component.
+    pub const fn has_read(self) -> bool {
+        matches!(self, OpKind::DataRead | OpKind::SyncRead | OpKind::SyncRmw)
+    }
+
+    /// Returns `true` if the operation has a write component.
+    pub const fn has_write(self) -> bool {
+        matches!(self, OpKind::DataWrite | OpKind::SyncWrite | OpKind::SyncRmw)
+    }
+
+    /// Returns `true` for synchronization operations of any flavour.
+    pub const fn is_sync(self) -> bool {
+        matches!(self, OpKind::SyncRead | OpKind::SyncWrite | OpKind::SyncRmw)
+    }
+
+    /// Returns `true` for ordinary data operations.
+    pub const fn is_data(self) -> bool {
+        !self.is_sync()
+    }
+
+    /// Returns `true` if two operation kinds *conflict* when applied to
+    /// the same location: "Two accesses are said to conflict if they
+    /// access the same location and they are not both reads"
+    /// (Definition 3).
+    pub const fn conflicts_with(self, other: OpKind) -> bool {
+        self.has_write() || other.has_write()
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::DataRead => "R",
+            OpKind::DataWrite => "W",
+            OpKind::SyncRead => "Sr",
+            OpKind::SyncWrite => "Sw",
+            OpKind::SyncRmw => "Srw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One completed memory operation in an execution.
+///
+/// A `MemOp` records who issued it, what it did, and the values involved:
+/// `read_value` is the value its read component returned (if any), and
+/// `written_value` is the value its write component stored (if any).
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{Loc, MemOp, OpKind, ProcId, Value};
+/// let w = MemOp::data_write(ProcId::new(0), Loc::new(0), Value::new(1));
+/// let r = MemOp::data_read(ProcId::new(1), Loc::new(0));
+/// assert!(w.conflicts_with(&r));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Dense id within the owning execution; assigned by the execution
+    /// builder in completion order.
+    pub id: OpId,
+    /// The issuing processor.
+    pub proc: ProcId,
+    /// Zero-based position of this operation within its processor's
+    /// program order.
+    pub po_index: u32,
+    /// What the operation is.
+    pub kind: OpKind,
+    /// The single location accessed.
+    pub loc: Loc,
+    /// Value returned by the read component, if the kind has one and the
+    /// value is known.
+    pub read_value: Option<Value>,
+    /// Value stored by the write component, if the kind has one.
+    pub written_value: Option<Value>,
+    /// `true` for the hypothetical operations the Section 4 augmentation
+    /// inserts to account for the initial and final state of memory.
+    /// Hypothetical operations participate in happens-before and race
+    /// checking but are excluded from observable results.
+    pub hypothetical: bool,
+}
+
+impl MemOp {
+    /// Creates an unplaced operation (id and `po_index` are filled in by
+    /// the execution builder).
+    fn blank(proc: ProcId, kind: OpKind, loc: Loc) -> Self {
+        MemOp {
+            id: OpId::new(0),
+            proc,
+            po_index: 0,
+            kind,
+            loc,
+            read_value: None,
+            written_value: None,
+            hypothetical: false,
+        }
+    }
+
+    /// An ordinary data read.
+    pub fn data_read(proc: ProcId, loc: Loc) -> Self {
+        MemOp::blank(proc, OpKind::DataRead, loc)
+    }
+
+    /// An ordinary data write of `value`.
+    pub fn data_write(proc: ProcId, loc: Loc, value: Value) -> Self {
+        MemOp { written_value: Some(value), ..MemOp::blank(proc, OpKind::DataWrite, loc) }
+    }
+
+    /// A read-only synchronization operation.
+    pub fn sync_read(proc: ProcId, loc: Loc) -> Self {
+        MemOp::blank(proc, OpKind::SyncRead, loc)
+    }
+
+    /// A write-only synchronization operation storing `value`.
+    pub fn sync_write(proc: ProcId, loc: Loc, value: Value) -> Self {
+        MemOp { written_value: Some(value), ..MemOp::blank(proc, OpKind::SyncWrite, loc) }
+    }
+
+    /// A read-modify-write synchronization operation storing `value`
+    /// (the value actually stored may instead be computed from the value
+    /// read, in which case callers fill `written_value` after the read
+    /// value is known).
+    pub fn sync_rmw(proc: ProcId, loc: Loc, value: Option<Value>) -> Self {
+        MemOp { written_value: value, ..MemOp::blank(proc, OpKind::SyncRmw, loc) }
+    }
+
+    /// Returns `true` if this operation conflicts with `other`:
+    /// same location and not both reads (Definition 3).
+    pub fn conflicts_with(&self, other: &MemOp) -> bool {
+        self.loc == other.loc && self.kind.conflicts_with(other.kind)
+    }
+
+    /// Returns `true` if the operation has a read component.
+    pub fn has_read(&self) -> bool {
+        self.kind.has_read()
+    }
+
+    /// Returns `true` if the operation has a write component.
+    pub fn has_write(&self) -> bool {
+        self.kind.has_write()
+    }
+
+    /// Returns `true` for synchronization operations.
+    pub fn is_sync(&self) -> bool {
+        self.kind.is_sync()
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}({})", self.proc, self.kind, self.loc)?;
+        if let Some(v) = self.read_value {
+            write!(f, "->{v}")?;
+        }
+        if let Some(v) = self.written_value {
+            write!(f, "<-{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    #[test]
+    fn kind_components() {
+        assert!(OpKind::DataRead.has_read());
+        assert!(!OpKind::DataRead.has_write());
+        assert!(OpKind::DataWrite.has_write());
+        assert!(!OpKind::DataWrite.has_read());
+        assert!(OpKind::SyncRmw.has_read() && OpKind::SyncRmw.has_write());
+        assert!(OpKind::SyncRead.is_sync());
+        assert!(OpKind::DataWrite.is_data());
+    }
+
+    #[test]
+    fn conflicts_require_a_write() {
+        assert!(!OpKind::DataRead.conflicts_with(OpKind::DataRead));
+        assert!(!OpKind::DataRead.conflicts_with(OpKind::SyncRead));
+        assert!(OpKind::DataRead.conflicts_with(OpKind::DataWrite));
+        assert!(OpKind::DataWrite.conflicts_with(OpKind::DataWrite));
+        assert!(OpKind::SyncRmw.conflicts_with(OpKind::DataRead));
+    }
+
+    #[test]
+    fn memop_conflicts_need_same_location() {
+        let w = MemOp::data_write(P0, Loc::new(0), Value::new(1));
+        let r_same = MemOp::data_read(P1, Loc::new(0));
+        let r_other = MemOp::data_read(P1, Loc::new(1));
+        assert!(w.conflicts_with(&r_same));
+        assert!(!w.conflicts_with(&r_other));
+        // Reads never conflict with each other.
+        assert!(!r_same.conflicts_with(&r_same.clone()));
+    }
+
+    #[test]
+    fn constructors_fill_values() {
+        let w = MemOp::data_write(P0, Loc::new(3), Value::new(9));
+        assert_eq!(w.written_value, Some(Value::new(9)));
+        assert_eq!(w.read_value, None);
+        let r = MemOp::data_read(P0, Loc::new(3));
+        assert_eq!(r.written_value, None);
+        let s = MemOp::sync_rmw(P0, Loc::new(3), Some(Value::new(1)));
+        assert!(s.has_read() && s.has_write());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut w = MemOp::data_write(P0, Loc::new(2), Value::new(5));
+        w.id = OpId::new(7);
+        assert_eq!(w.to_string(), "P0:W(loc2)<-5");
+        let mut rmw = MemOp::sync_rmw(P1, Loc::new(0), Some(Value::new(1)));
+        rmw.read_value = Some(Value::ZERO);
+        assert_eq!(rmw.to_string(), "P1:Srw(loc0)->0<-1");
+    }
+}

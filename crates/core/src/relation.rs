@@ -1,0 +1,291 @@
+//! Dense binary relations over operation ids.
+//!
+//! The formal machinery of the paper is phrased in terms of relations:
+//! program order, synchronization order, their transitive closure
+//! (happens-before), and *consistency* of two relations ("A and B are
+//! consistent if and only if A ∪ B can be extended to a total ordering",
+//! footnote 6, after Shasha & Snir). [`Relation`] provides those
+//! operations on a dense bit-matrix representation, suitable for the
+//! litmus-scale executions we cross-check against the vector-clock
+//! engine in [`crate::hb`].
+
+use crate::ids::OpId;
+
+const WORD: usize = 64;
+
+/// A binary relation over `n` operation ids, stored as an `n × n`
+/// bit matrix.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{OpId, Relation};
+/// let mut r = Relation::new(3);
+/// r.add(OpId::new(0), OpId::new(1));
+/// r.add(OpId::new(1), OpId::new(2));
+/// let closed = r.transitive_closure();
+/// assert!(closed.contains(OpId::new(0), OpId::new(2)));
+/// assert!(closed.is_acyclic());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `n` elements.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD).max(1);
+        Relation { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Number of elements in the carrier set.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the carrier set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Adds the pair `(a, b)` to the relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add(&mut self, a: OpId, b: OpId) {
+        assert!(a.index() < self.n && b.index() < self.n, "Relation::add: id out of range");
+        self.row_mut(a.index())[b.index() / WORD] |= 1 << (b.index() % WORD);
+    }
+
+    /// Tests membership of the pair `(a, b)`.
+    pub fn contains(&self, a: OpId, b: OpId) -> bool {
+        if a.index() >= self.n || b.index() >= self.n {
+            return false;
+        }
+        self.row(a.index())[b.index() / WORD] & (1 << (b.index() % WORD)) != 0
+    }
+
+    /// Returns the union of this relation and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the carrier sizes differ.
+    #[must_use]
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "Relation::union: size mismatch");
+        let mut out = self.clone();
+        for (w, o) in out.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+        out
+    }
+
+    /// Computes the (irreflexive-input preserving) transitive closure
+    /// using a bit-parallel Floyd–Warshall: for each intermediate `k`,
+    /// every row that reaches `k` absorbs row `k`.
+    #[must_use]
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        let wpr = out.words_per_row;
+        for k in 0..out.n {
+            let (kw, kb) = (k / WORD, 1u64 << (k % WORD));
+            // Copy row k out to satisfy the borrow checker.
+            let krow: Vec<u64> = out.row(k).to_vec();
+            for i in 0..out.n {
+                let base = i * wpr;
+                if out.bits[base + kw] & kb != 0 {
+                    for (j, &kwj) in krow.iter().enumerate() {
+                        out.bits[base + j] |= kwj;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the relation (viewed as a digraph) has no cycle.
+    ///
+    /// A reflexive pair `(a, a)` counts as a cycle.
+    pub fn is_acyclic(&self) -> bool {
+        let closed = self.transitive_closure();
+        (0..self.n).all(|i| !closed.contains(OpId::new(i as u32), OpId::new(i as u32)))
+    }
+
+    /// Returns `true` if this relation and `other` are *consistent*:
+    /// their union can be extended to a total order, i.e. the union is
+    /// acyclic (footnote 6 of the paper, after Shasha & Snir).
+    pub fn consistent_with(&self, other: &Relation) -> bool {
+        self.union(other).is_acyclic()
+    }
+
+    /// Produces some topological order of the carrier set consistent with
+    /// the relation, or `None` if the relation is cyclic (a reflexive
+    /// pair counts as a cycle, consistently with
+    /// [`Relation::is_acyclic`]).
+    #[allow(clippy::needless_range_loop)] // a..b pairs index the bit matrix
+    pub fn topological_order(&self) -> Option<Vec<OpId>> {
+        if (0..self.n).any(|i| self.contains(OpId::new(i as u32), OpId::new(i as u32))) {
+            return None;
+        }
+        let mut indeg = vec![0usize; self.n];
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b && self.contains(OpId::new(a as u32), OpId::new(b as u32)) {
+                    indeg[b] += 1;
+                }
+            }
+        }
+        let mut stack: Vec<usize> = (0..self.n).filter(|&i| indeg[i] == 0).collect();
+        // Pop smallest-first for determinism.
+        stack.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out = Vec::with_capacity(self.n);
+        while let Some(a) = stack.pop() {
+            out.push(OpId::new(a as u32));
+            for b in 0..self.n {
+                if a != b && self.contains(OpId::new(a as u32), OpId::new(b as u32)) {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        stack.push(b);
+                    }
+                }
+            }
+            stack.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        (out.len() == self.n).then_some(out)
+    }
+
+    /// Iterates over all pairs in the relation.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        (0..self.n).flat_map(move |a| {
+            (0..self.n).filter_map(move |b| {
+                self.contains(OpId::new(a as u32), OpId::new(b as u32))
+                    .then_some((OpId::new(a as u32), OpId::new(b as u32)))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> OpId {
+        OpId::new(i)
+    }
+
+    #[test]
+    fn add_and_contains() {
+        let mut r = Relation::new(4);
+        assert!(!r.contains(id(0), id(1)));
+        r.add(id(0), id(1));
+        assert!(r.contains(id(0), id(1)));
+        assert!(!r.contains(id(1), id(0)));
+    }
+
+    #[test]
+    fn closure_chains() {
+        let mut r = Relation::new(5);
+        for i in 0..4 {
+            r.add(id(i), id(i + 1));
+        }
+        let c = r.transitive_closure();
+        assert!(c.contains(id(0), id(4)));
+        assert!(!c.contains(id(4), id(0)));
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn closure_on_wide_relation_crosses_word_boundary() {
+        // 130 elements: three u64 words per row.
+        let n = 130;
+        let mut r = Relation::new(n);
+        for i in 0..(n - 1) as u32 {
+            r.add(id(i), id(i + 1));
+        }
+        let c = r.transitive_closure();
+        assert!(c.contains(id(0), id((n - 1) as u32)));
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut r = Relation::new(3);
+        r.add(id(0), id(1));
+        r.add(id(1), id(2));
+        r.add(id(2), id(0));
+        assert!(!r.is_acyclic());
+        assert!(r.topological_order().is_none());
+    }
+
+    #[test]
+    fn reflexive_pair_is_a_cycle() {
+        let mut r = Relation::new(2);
+        r.add(id(1), id(1));
+        assert!(!r.is_acyclic());
+    }
+
+    #[test]
+    fn consistency_per_shasha_snir() {
+        let mut a = Relation::new(2);
+        a.add(id(0), id(1));
+        let mut b = Relation::new(2);
+        b.add(id(1), id(0));
+        assert!(!a.consistent_with(&b));
+        let empty = Relation::new(2);
+        assert!(a.consistent_with(&empty));
+    }
+
+    #[test]
+    fn union_merges_pairs() {
+        let mut a = Relation::new(3);
+        a.add(id(0), id(1));
+        let mut b = Relation::new(3);
+        b.add(id(1), id(2));
+        let u = a.union(&b);
+        assert!(u.contains(id(0), id(1)) && u.contains(id(1), id(2)));
+        assert!(!u.contains(id(0), id(2)));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut r = Relation::new(4);
+        r.add(id(3), id(1));
+        r.add(id(1), id(0));
+        r.add(id(3), id(2));
+        let order = r.topological_order().unwrap();
+        let pos = |x: OpId| order.iter().position(|&o| o == x).unwrap();
+        assert!(pos(id(3)) < pos(id(1)));
+        assert!(pos(id(1)) < pos(id(0)));
+        assert!(pos(id(3)) < pos(id(2)));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(0);
+        assert!(r.is_empty());
+        assert!(r.is_acyclic());
+        assert_eq!(r.topological_order(), Some(vec![]));
+    }
+
+    #[test]
+    fn iter_lists_all_pairs() {
+        let mut r = Relation::new(3);
+        r.add(id(2), id(0));
+        r.add(id(0), id(1));
+        let pairs: Vec<_> = r.iter().collect();
+        assert_eq!(pairs, vec![(id(0), id(1)), (id(2), id(0))]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Sequential consistency: results, legality, and the Lemma 1
+//! appears-SC check.
+//!
+//! The paper fixes Lamport's definition by interpreting *result* as "the
+//! union of the values returned by all the read operations in the
+//! execution and the final state of memory". [`ExecResult`] is that
+//! canonical observable; a machine *appears sequentially consistent* for
+//! a program iff every result it can produce is also producible by an
+//! interleaving machine (enumerated by `weakord-mc`).
+//!
+//! Lemma 1 (Appendix A) gives a per-execution criterion for DRF0
+//! programs: an execution appears SC iff there is a happens-before
+//! relation under which every read returns the value written by the
+//! *last* write on the same variable ordered before it (unique for
+//! DRF0). [`check_appears_sc`] implements that criterion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::exec::IdealizedExecution;
+use crate::hb::{HappensBefore, HbMode};
+use crate::ids::{Loc, OpId, ProcId, Value};
+
+/// The canonical observable result of an execution: every read's
+/// returned value (grouped per processor, in program order) plus the
+/// final state of memory.
+///
+/// Two executions of the same program with equal `ExecResult`s are
+/// indistinguishable under the paper's notion of result.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{ExecBuilder, ExecResult, Loc, ProcId, Value};
+/// let mut b = ExecBuilder::new(2);
+/// b.data_write(ProcId::new(0), Loc::new(0), Value::new(1));
+/// b.data_read(ProcId::new(1), Loc::new(0));
+/// let r = ExecResult::of(&b.finish()?);
+/// assert_eq!(r.reads[1], vec![Value::new(1)]);
+/// assert_eq!(r.memory, vec![(Loc::new(0), Value::new(1))]);
+/// # Ok::<(), weakord_core::ExecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExecResult {
+    /// `reads[p]` lists the values returned by processor `p`'s read
+    /// components, in program order. Hypothetical (augmentation) reads
+    /// are excluded.
+    pub reads: Vec<Vec<Value>>,
+    /// Final memory state over the locations the execution accessed,
+    /// sorted by location.
+    pub memory: Vec<(Loc, Value)>,
+}
+
+impl ExecResult {
+    /// Extracts the result of an execution. Reads with no recorded value
+    /// are reported as [`Value::ZERO`] (machines should always record
+    /// values; this keeps extraction total).
+    pub fn of(exec: &IdealizedExecution) -> Self {
+        let mut reads = vec![Vec::new(); exec.n_procs()];
+        for op in exec.ops() {
+            if op.hypothetical || op.loc.is_augment() {
+                continue;
+            }
+            if op.kind.has_read() {
+                reads[op.proc.index()].push(op.read_value.unwrap_or(Value::ZERO));
+            }
+        }
+        let memory = exec.final_memory().into_iter().collect();
+        ExecResult { reads, memory }
+    }
+}
+
+impl fmt::Display for ExecResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reads:")?;
+        for (p, vals) in self.reads.iter().enumerate() {
+            write!(f, " P{p}=[")?;
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, " mem:{{")?;
+        for (i, (l, v)) in self.memory.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Why an observed execution fails the Lemma 1 appears-SC criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScViolation {
+    /// A read did not return the value of the last happens-before-ordered
+    /// write on its location.
+    ReadValue {
+        /// The offending read (id within the *augmented* execution).
+        read: OpId,
+        /// Issuing processor of the read.
+        proc: ProcId,
+        /// The location read.
+        loc: Loc,
+        /// The value returned.
+        got: Option<Value>,
+        /// The value of the last hb-ordered write.
+        want: Value,
+    },
+    /// The last hb-ordered write was not unique — the execution's program
+    /// has a race on this location (DRF0 would forbid it), so Lemma 1's
+    /// uniqueness premise fails.
+    AmbiguousLastWrite {
+        /// The read whose source is ambiguous.
+        read: OpId,
+        /// The unordered maximal candidate writes.
+        candidates: Vec<OpId>,
+    },
+}
+
+impl fmt::Display for ScViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScViolation::ReadValue { read, proc, loc, got, want } => match got {
+                Some(got) => write!(
+                    f,
+                    "read {read} by {proc} on {loc} returned {got}, last hb-ordered write supplied {want}"
+                ),
+                None => write!(f, "read {read} by {proc} on {loc} has no value, expected {want}"),
+            },
+            ScViolation::AmbiguousLastWrite { read, candidates } => {
+                write!(f, "read {read} has {} unordered maximal writes (racy program)", candidates.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScViolation {}
+
+/// Checks the Lemma 1 criterion on an observed execution: under the
+/// happens-before relation induced by the observed synchronization
+/// completion order, every read must return the value of the last write
+/// on the same variable ordered before it by happens-before.
+///
+/// The execution is augmented (Section 4) first, so reads of the initial
+/// state have the hypothetical initializing write as their source, and
+/// the final state of memory is checked through the hypothetical final
+/// reads.
+///
+/// For executions of DRF0 programs this is *necessary and sufficient*
+/// for appearing sequentially consistent (Lemma 1). For racy programs
+/// the check may report [`ScViolation::AmbiguousLastWrite`].
+///
+/// # Errors
+///
+/// Returns the first violation found, scanning reads in completion
+/// order.
+pub fn check_appears_sc(exec: &IdealizedExecution, mode: HbMode) -> Result<(), ScViolation> {
+    let aug = exec.augment();
+    let hb = HappensBefore::compute(&aug, mode);
+    // Writes per location in completion order, and whether each
+    // location's writes are *totally* hb-ordered. The listing order of
+    // an idealized execution is consistent with hb, so totality follows
+    // from consecutive pairs being ordered — and with totality, the
+    // unique last hb-prior write of a read is the first hb-hit scanning
+    // backwards, turning the check linear for the (race-free) common
+    // case. Spin-heavy traces from the timed simulator need this.
+    let mut writes: HashMap<Loc, Vec<OpId>> = HashMap::new();
+    for op in aug.ops() {
+        if op.kind.has_write() {
+            writes.entry(op.loc).or_default().push(op.id);
+        }
+    }
+    let mut total: HashMap<Loc, bool> = HashMap::new();
+    for (loc, ws) in &writes {
+        total.insert(*loc, ws.windows(2).all(|w| hb.ordered(w[0], w[1])));
+    }
+    for op in aug.ops() {
+        if !op.kind.has_read() {
+            continue;
+        }
+        let empty = Vec::new();
+        let loc_writes = writes.get(&op.loc).unwrap_or(&empty);
+        // Only writes listed before the read can be hb-prior.
+        let before = loc_writes.partition_point(|w| *w < op.id);
+        let want = if total.get(&op.loc).copied().unwrap_or(true) {
+            // Fast path: writes totally ordered — the first hb-hit
+            // scanning backwards is the unique last write. The op's own
+            // write (RMW) does not precede its read (footnote 5: the
+            // read of a synchronization operation occurs before its
+            // write), and hb is irreflexive, so no special-casing.
+            loc_writes[..before]
+                .iter()
+                .rev()
+                .find(|&&w| hb.ordered(w, op.id))
+                .map_or(Value::ZERO, |&w| aug.op(w).written_value.unwrap_or(Value::ZERO))
+        } else {
+            // Slow path (racy location): compute the maximal
+            // hb-predecessor antichain.
+            let mut maximal: Vec<OpId> = Vec::new();
+            for &w in &loc_writes[..before] {
+                if w == op.id || !hb.ordered(w, op.id) {
+                    continue;
+                }
+                if maximal.iter().any(|&m| hb.ordered(w, m)) {
+                    continue;
+                }
+                maximal.retain(|&m| !hb.ordered(m, w));
+                maximal.push(w);
+            }
+            match maximal.len() {
+                0 => Value::ZERO, // no hb-prior write: initial value
+                1 => aug.op(maximal[0]).written_value.unwrap_or(Value::ZERO),
+                _ => {
+                    return Err(ScViolation::AmbiguousLastWrite {
+                        read: op.id,
+                        candidates: maximal,
+                    });
+                }
+            }
+        };
+        if op.read_value != Some(want) {
+            return Err(ScViolation::ReadValue {
+                read: op.id,
+                proc: op.proc,
+                loc: op.loc,
+                got: op.read_value,
+                want,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::op::MemOp;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn loc(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn atomic_interleavings_appear_sc() {
+        let (x, s) = (loc(0), loc(1));
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_rmw(P0, s);
+        b.sync_rmw(P1, s);
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        check_appears_sc(&e, HbMode::Drf0).unwrap();
+    }
+
+    #[test]
+    fn stale_read_across_release_fails() {
+        // P1 acquires after P0's release but reads the old value of x:
+        // not SC-appearing.
+        let (x, s) = (loc(0), loc(1));
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, x, Value::new(1)));
+        let mut rel = MemOp::sync_rmw(P0, s, Some(Value::new(1)));
+        rel.read_value = Some(Value::ZERO);
+        ops.push(rel);
+        let mut acq = MemOp::sync_rmw(P1, s, Some(Value::new(1)));
+        acq.read_value = Some(Value::new(1));
+        ops.push(acq);
+        let mut r = MemOp::data_read(P1, x);
+        r.read_value = Some(Value::ZERO); // stale!
+        ops.push(r);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        let err = check_appears_sc(&e, HbMode::Drf0).unwrap_err();
+        assert!(matches!(err, ScViolation::ReadValue { want, .. } if want == Value::new(1)));
+    }
+
+    #[test]
+    fn stale_read_without_synchronization_is_tolerated_for_racy_reads() {
+        // With no synchronization, the stale read has no hb-prior program
+        // write; its last hb write is the init write (value 0), so a read
+        // of 0 passes even though the write completed earlier. This is
+        // precisely why Definition 2 only promises SC to race-free
+        // software.
+        let x = loc(0);
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, x, Value::new(1)));
+        let mut r = MemOp::data_read(P1, x);
+        r.read_value = Some(Value::ZERO);
+        ops.push(r);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        check_appears_sc(&e, HbMode::Drf0).unwrap();
+    }
+
+    #[test]
+    fn unordered_writes_make_final_read_ambiguous() {
+        // Two unordered program writes to x: the hypothetical final read
+        // has two maximal hb-prior writes.
+        let x = loc(0);
+        let ops =
+            vec![MemOp::data_write(P0, x, Value::new(1)), MemOp::data_write(P1, x, Value::new(2))];
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        let err = check_appears_sc(&e, HbMode::Drf0).unwrap_err();
+        assert!(
+            matches!(err, ScViolation::AmbiguousLastWrite { candidates, .. } if candidates.len() == 2)
+        );
+    }
+
+    #[test]
+    fn rmw_read_precedes_its_own_write() {
+        // A single TestAndSet on a fresh location must read 0, not its
+        // own stored 1 (footnote 5).
+        let s = loc(0);
+        let mut b = ExecBuilder::new(1);
+        b.sync_rmw(P0, s);
+        let e = b.finish().unwrap();
+        assert_eq!(e.op(OpId::new(0)).read_value, Some(Value::ZERO));
+        check_appears_sc(&e, HbMode::Drf0).unwrap();
+    }
+
+    #[test]
+    fn exec_result_groups_reads_per_processor() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(3));
+        b.data_read(P1, x);
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        let r = ExecResult::of(&e);
+        assert_eq!(r.reads[0], Vec::<Value>::new());
+        assert_eq!(r.reads[1], vec![Value::new(3), Value::new(3)]);
+        assert_eq!(r.memory, vec![(x, Value::new(3))]);
+    }
+
+    #[test]
+    fn exec_result_excludes_augmentation_ops() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.data_read(P1, x);
+        let e = b.finish().unwrap();
+        assert_eq!(ExecResult::of(&e.augment()), ExecResult::of(&e));
+    }
+
+    #[test]
+    fn exec_result_display_is_informative() {
+        let x = loc(0);
+        let mut b = ExecBuilder::new(1);
+        b.data_write(P0, x, Value::new(2));
+        b.data_read(P0, x);
+        let r = ExecResult::of(&b.finish().unwrap());
+        let s = r.to_string();
+        assert!(s.contains("P0=[2]"), "{s}");
+        assert!(s.contains("loc0=2"), "{s}");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = ScViolation::ReadValue {
+            read: OpId::new(3),
+            proc: P1,
+            loc: loc(0),
+            got: Some(Value::ZERO),
+            want: Value::new(1),
+        };
+        assert!(v.to_string().contains("returned 0"));
+        let a = ScViolation::AmbiguousLastWrite {
+            read: OpId::new(2),
+            candidates: vec![OpId::new(0), OpId::new(1)],
+        };
+        assert!(a.to_string().contains("2 unordered"));
+    }
+}
+
+/// Decides whether an observed execution is *serializable*: does some
+/// total order of its operations, consistent with each processor's
+/// program order, replay atomically with exactly the observed read
+/// values and final memory?
+///
+/// This is the direct (exponential) form of Lamport's definition. It
+/// applies to **any** execution — including executions of racy programs,
+/// where the Lemma 1 criterion ([`check_appears_sc`]) may report an
+/// ambiguity instead. The search is exhaustive with memoization on
+/// (per-processor progress, memory) states; use it for litmus-scale
+/// executions only.
+///
+/// The execution's per-processor operation order is taken as program
+/// order (the order in `IdealizedExecution::proc_ops`).
+#[allow(clippy::needless_range_loop)] // `p` indexes two parallel per-processor structures
+pub fn is_execution_serializable(exec: &IdealizedExecution) -> bool {
+    use std::collections::HashSet;
+
+    let n_procs = exec.n_procs();
+    let per_proc: Vec<&[OpId]> =
+        (0..n_procs).map(|p| exec.proc_ops(ProcId::new(p as u16))).collect();
+    // Memory over the accessed locations only, in a dense vector.
+    let locs = exec.locations();
+    let loc_index = |l: Loc| locs.binary_search(&l).expect("accessed location");
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct St {
+        next: Vec<u32>,
+        mem: Vec<Value>,
+    }
+    let initial = St { next: vec![0; n_procs], mem: vec![Value::ZERO; locs.len()] };
+    let mut stack = vec![initial.clone()];
+    let mut seen: HashSet<St> = HashSet::new();
+    seen.insert(initial);
+    let total: usize = per_proc.iter().map(|v| v.len()).sum();
+    while let Some(st) = stack.pop() {
+        let placed: usize = st.next.iter().map(|&i| i as usize).sum();
+        if placed == total {
+            return true;
+        }
+        for p in 0..n_procs {
+            let Some(&op_id) = per_proc[p].get(st.next[p] as usize) else {
+                continue;
+            };
+            let op = exec.op(op_id);
+            let slot = loc_index(op.loc);
+            // The observed read value must match the replayed memory.
+            if op.kind.has_read() && op.read_value != Some(st.mem[slot]) {
+                continue;
+            }
+            let mut next = st.clone();
+            next.next[p] += 1;
+            if let Some(v) = op.written_value {
+                next.mem[slot] = v;
+            }
+            if seen.insert(next.clone()) {
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod serializable_tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::op::MemOp;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn loc(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn atomic_interleavings_are_serializable() {
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, loc(0), Value::new(1));
+        b.data_read(P1, loc(0));
+        b.data_write(P1, loc(1), Value::new(2));
+        b.data_read(P0, loc(1));
+        let e = b.finish().unwrap();
+        assert!(is_execution_serializable(&e));
+    }
+
+    #[test]
+    fn dekker_both_zero_is_not_serializable() {
+        // P0: W(x)=1; R(y)->0   P1: W(y)=1; R(x)->0
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, loc(0), Value::new(1)));
+        let mut r0 = MemOp::data_read(P0, loc(1));
+        r0.read_value = Some(Value::ZERO);
+        ops.push(r0);
+        ops.push(MemOp::data_write(P1, loc(1), Value::new(1)));
+        let mut r1 = MemOp::data_read(P1, loc(0));
+        r1.read_value = Some(Value::ZERO);
+        ops.push(r1);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        assert!(!is_execution_serializable(&e));
+    }
+
+    #[test]
+    fn one_stale_read_is_serializable_when_orderable() {
+        // P1 reads 0 from x although P0 wrote 1 "earlier" in real time:
+        // a serialization placing the read first explains it.
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, loc(0), Value::new(1)));
+        let mut r = MemOp::data_read(P1, loc(0));
+        r.read_value = Some(Value::ZERO);
+        ops.push(r);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        assert!(is_execution_serializable(&e));
+    }
+
+    #[test]
+    fn coherence_violation_is_not_serializable() {
+        // P1 reads 1 then 0 from the same location with only one write:
+        // no replay can un-write.
+        let mut ops = Vec::new();
+        ops.push(MemOp::data_write(P0, loc(0), Value::new(1)));
+        let mut r1 = MemOp::data_read(P1, loc(0));
+        r1.read_value = Some(Value::new(1));
+        ops.push(r1);
+        let mut r2 = MemOp::data_read(P1, loc(0));
+        r2.read_value = Some(Value::ZERO);
+        ops.push(r2);
+        let e = IdealizedExecution::from_observed(2, ops).unwrap();
+        assert!(!is_execution_serializable(&e));
+    }
+
+    #[test]
+    fn rmw_values_constrain_the_order() {
+        // Two TestAndSets both reading 0: impossible.
+        let mut a = MemOp::sync_rmw(P0, loc(0), Some(Value::new(1)));
+        a.read_value = Some(Value::ZERO);
+        let mut b = MemOp::sync_rmw(P1, loc(0), Some(Value::new(1)));
+        b.read_value = Some(Value::ZERO);
+        let e = IdealizedExecution::from_observed(2, vec![a, b]).unwrap();
+        assert!(!is_execution_serializable(&e));
+        // One winning, one losing: fine.
+        let mut a = MemOp::sync_rmw(P0, loc(0), Some(Value::new(1)));
+        a.read_value = Some(Value::ZERO);
+        let mut b = MemOp::sync_rmw(P1, loc(0), Some(Value::new(1)));
+        b.read_value = Some(Value::new(1));
+        let e = IdealizedExecution::from_observed(2, vec![a, b]).unwrap();
+        assert!(is_execution_serializable(&e));
+    }
+
+    #[test]
+    fn empty_execution_is_serializable() {
+        let e = ExecBuilder::new(0).finish().unwrap();
+        assert!(is_execution_serializable(&e));
+    }
+}

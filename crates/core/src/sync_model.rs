@@ -1,0 +1,154 @@
+//! Synchronization models: the software side of the weak-ordering
+//! contract.
+//!
+//! "Let a synchronization model be a set of constraints on memory
+//! accesses that specify how and when synchronization needs to be done"
+//! (Section 3). Definition 2 then reads: *hardware is weakly ordered
+//! with respect to a synchronization model if and only if it appears
+//! sequentially consistent to all software that obey the synchronization
+//! model.*
+//!
+//! [`SynchronizationModel`] captures the software obligation; the
+//! hardware obligation ("appears sequentially consistent") is checked by
+//! `weakord-mc`'s contract module, which quantifies over programs and
+//! executions.
+
+use std::fmt;
+
+use crate::drf0::{check_drf, DrfReport};
+use crate::exec::IdealizedExecution;
+use crate::hb::HbMode;
+
+/// A set of constraints on memory accesses specifying how and when
+/// synchronization must be done.
+///
+/// An implementation judges *executions on the idealized architecture*;
+/// a program obeys the model iff every one of its idealized executions
+/// does (Definition 3 quantifies over all such executions — the model
+/// checker in `weakord-mc` performs that quantification).
+pub trait SynchronizationModel: fmt::Debug {
+    /// Short human-readable name (e.g. `"DRF0"`).
+    fn name(&self) -> &'static str;
+
+    /// The happens-before construction this model uses.
+    fn hb_mode(&self) -> HbMode;
+
+    /// Checks one idealized execution against the model.
+    ///
+    /// The default checks Definition 3 condition (2): every conflicting
+    /// pair ordered by the model's happens-before relation (after
+    /// Section 4 augmentation).
+    fn check_execution(&self, exec: &IdealizedExecution) -> DrfReport {
+        check_drf(exec, self.hb_mode())
+    }
+
+    /// Convenience: `true` iff the execution obeys the model.
+    fn obeys(&self, exec: &IdealizedExecution) -> bool {
+        self.check_execution(exec).is_race_free()
+    }
+}
+
+/// Data-Race-Free-0 (Definition 3): every synchronization operation is
+/// hardware-recognizable and single-location (true by construction in
+/// this framework), and all conflicting accesses are ordered by
+/// happens-before in every idealized execution.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_core::{Drf0, ExecBuilder, Loc, ProcId, SynchronizationModel, Value};
+/// let mut b = ExecBuilder::new(2);
+/// b.data_write(ProcId::new(0), Loc::new(0), Value::new(1));
+/// b.sync_rmw(ProcId::new(0), Loc::new(1));
+/// b.sync_rmw(ProcId::new(1), Loc::new(1));
+/// b.data_read(ProcId::new(1), Loc::new(0));
+/// assert!(Drf0.obeys(&b.finish()?));
+/// # Ok::<(), weakord_core::ExecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Drf0;
+
+impl SynchronizationModel for Drf0 {
+    fn name(&self) -> &'static str {
+        "DRF0"
+    }
+
+    fn hb_mode(&self) -> HbMode {
+        HbMode::Drf0
+    }
+}
+
+/// The Section 6 refinement of DRF0: read-only synchronization
+/// operations cannot be used to order a processor's previous accesses
+/// with respect to subsequent synchronization operations of other
+/// processors. Happens-before edges run only from synchronization
+/// operations with a write component; sync-sync pairs are exempt from
+/// race reporting.
+///
+/// Every DRF1-conformant execution is trivially DRF0-checkable, but the
+/// converse fails: DRF1 is *stricter* about what software may rely on
+/// (fewer hb edges), which is exactly what buys the hardware the freedom
+/// not to serialize read-only synchronization (Section 6, and policy
+/// `Def2Drf1` in `weakord-coherence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Drf1;
+
+impl SynchronizationModel for Drf1 {
+    fn name(&self) -> &'static str {
+        "DRF1"
+    }
+
+    fn hb_mode(&self) -> HbMode {
+        HbMode::Drf1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecBuilder;
+    use crate::ids::{Loc, ProcId, Value};
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    #[test]
+    fn names_and_modes() {
+        assert_eq!(Drf0.name(), "DRF0");
+        assert_eq!(Drf0.hb_mode(), HbMode::Drf0);
+        assert_eq!(Drf1.name(), "DRF1");
+        assert_eq!(Drf1.hb_mode(), HbMode::Drf1);
+    }
+
+    #[test]
+    fn drf1_accepts_what_it_should_and_rejects_read_only_releases() {
+        let (x, s) = (Loc::new(0), Loc::new(1));
+        // Release with a write-component sync: fine under both models.
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_write(P0, s);
+        b.sync_rmw(P1, s);
+        b.data_read(P1, x);
+        let good = b.finish().unwrap();
+        assert!(Drf0.obeys(&good));
+        assert!(Drf1.obeys(&good));
+        // "Release" via a read-only sync: DRF0 accepts, DRF1 rejects.
+        let mut b = ExecBuilder::new(2);
+        b.data_write(P0, x, Value::new(1));
+        b.sync_read(P0, s);
+        b.sync_rmw(P1, s);
+        b.data_read(P1, x);
+        let sneaky = b.finish().unwrap();
+        assert!(Drf0.obeys(&sneaky));
+        assert!(!Drf1.obeys(&sneaky));
+    }
+
+    #[test]
+    fn models_are_usable_as_trait_objects() {
+        let models: Vec<Box<dyn SynchronizationModel>> = vec![Box::new(Drf0), Box::new(Drf1)];
+        let e = ExecBuilder::new(1).finish().unwrap();
+        for m in &models {
+            assert!(m.obeys(&e), "{} rejects the empty execution", m.name());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Property tests for the formal framework: the fast algorithms must
+//! agree with the naive reference constructions, and the paper's
+//! theorems must hold on random executions.
+
+use proptest::prelude::*;
+use weakord_core::{
+    check_appears_sc, check_drf_preaugmented, detect_races, hb_relation, ExecBuilder,
+    HappensBefore, HbMode, IdealizedExecution, Loc, MemOp, OpId, ProcId, Value,
+};
+
+/// One raw operation choice for the random-execution strategy.
+#[derive(Debug, Clone, Copy)]
+struct RawOp {
+    proc: u16,
+    kind: u8,
+    loc: u32,
+    value: u64,
+}
+
+fn raw_op(n_procs: u16, n_locs: u32) -> impl Strategy<Value = RawOp> {
+    (0..n_procs, 0u8..5, 0..n_locs, 1u64..4).prop_map(|(proc, kind, loc, value)| RawOp {
+        proc,
+        kind,
+        loc,
+        value,
+    })
+}
+
+fn build_exec(n_procs: u16, raw: &[RawOp]) -> IdealizedExecution {
+    let mut b = ExecBuilder::new(n_procs);
+    for r in raw {
+        let p = ProcId::new(r.proc);
+        let l = Loc::new(r.loc);
+        match r.kind {
+            0 => b.push(MemOp::data_read(p, l)),
+            1 => b.push(MemOp::data_write(p, l, Value::new(r.value))),
+            2 => b.push(MemOp::sync_read(p, l)),
+            3 => b.push(MemOp::sync_write(p, l, Value::new(r.value))),
+            _ => b.push(MemOp::sync_rmw(p, l, Some(Value::new(r.value)))),
+        };
+    }
+    b.finish().expect("random execution is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The vector-clock happens-before agrees with the explicit
+    /// transitive closure of po ∪ so on every pair, in both modes.
+    #[test]
+    fn hb_vector_clocks_match_naive_closure(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..24),
+    ) {
+        let exec = build_exec(3, &raw);
+        for mode in [HbMode::Drf0, HbMode::Drf1] {
+            let hb = HappensBefore::compute(&exec, mode);
+            let naive = hb_relation(&exec, mode);
+            for a in 0..exec.len() as u32 {
+                for b in 0..exec.len() as u32 {
+                    prop_assert_eq!(
+                        hb.ordered(OpId::new(a), OpId::new(b)),
+                        naive.contains(OpId::new(a), OpId::new(b)),
+                        "mode {:?} pair ({},{})", mode, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// The online detector and the pairwise Definition 3 checker agree
+    /// on whether an (augmented) execution is race-free.
+    #[test]
+    fn online_detector_agrees_with_pairwise_checker(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..32),
+    ) {
+        let exec = build_exec(3, &raw).augment();
+        for mode in [HbMode::Drf0, HbMode::Drf1] {
+            let pairwise = check_drf_preaugmented(&exec, mode).is_race_free();
+            let online = detect_races(&exec, mode).is_empty();
+            prop_assert_eq!(pairwise, online, "mode {:?}", mode);
+        }
+    }
+
+    /// Executions assembled by the builder satisfy atomic, in-order
+    /// memory semantics by construction.
+    #[test]
+    fn builder_fills_atomic_values(
+        raw in proptest::collection::vec(raw_op(4, 5), 0..40),
+    ) {
+        let exec = build_exec(4, &raw);
+        prop_assert!(exec.check_atomic_values().is_ok());
+    }
+
+    /// Lemma 1, soundness direction: an atomic (idealized) execution of
+    /// a race-free history always appears sequentially consistent.
+    #[test]
+    fn race_free_atomic_executions_appear_sc(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..28),
+    ) {
+        let exec = build_exec(3, &raw);
+        if check_drf_preaugmented(&exec.augment(), HbMode::Drf0).is_race_free() {
+            prop_assert!(check_appears_sc(&exec, HbMode::Drf0).is_ok());
+        }
+    }
+
+    /// Augmentation is observation-preserving: the final memory is
+    /// unchanged and the augmented execution is still atomic-legal.
+    #[test]
+    fn augmentation_preserves_observations(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..24),
+    ) {
+        let exec = build_exec(3, &raw);
+        let aug = exec.augment();
+        prop_assert_eq!(exec.final_memory(), aug.final_memory());
+        prop_assert!(aug.check_atomic_values().is_ok());
+        prop_assert_eq!(
+            weakord_core::ExecResult::of(&exec),
+            weakord_core::ExecResult::of(&aug)
+        );
+    }
+
+    /// DRF1's happens-before is a subrelation of DRF0's: anything DRF1
+    /// orders, DRF0 orders too.
+    #[test]
+    fn drf1_hb_is_subrelation_of_drf0_hb(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..24),
+    ) {
+        let exec = build_exec(3, &raw);
+        let hb0 = HappensBefore::compute(&exec, HbMode::Drf0);
+        let hb1 = HappensBefore::compute(&exec, HbMode::Drf1);
+        for a in 0..exec.len() as u32 {
+            for b in 0..exec.len() as u32 {
+                if hb1.ordered(OpId::new(a), OpId::new(b)) {
+                    prop_assert!(hb0.ordered(OpId::new(a), OpId::new(b)));
+                }
+            }
+        }
+    }
+
+    /// Happens-before never orders against completion time in an
+    /// idealized execution: if a hb b then a completed before b.
+    #[test]
+    fn hb_respects_completion_order(
+        raw in proptest::collection::vec(raw_op(3, 4), 0..24),
+    ) {
+        let exec = build_exec(3, &raw);
+        let hb = HappensBefore::compute(&exec, HbMode::Drf0);
+        for a in 0..exec.len() as u32 {
+            for b in 0..a {
+                // b completed before a, so a must not happen-before b... i.e.
+                // any hb pair (x, y) must have x.index() < y.index().
+                prop_assert!(!hb.ordered(OpId::new(a), OpId::new(b)));
+            }
+        }
+    }
+}
+
+fn random_relation() -> impl Strategy<Value = weakord_core::Relation> {
+    (1usize..24, proptest::collection::vec((0u32..24, 0u32..24), 0..60)).prop_map(|(n, pairs)| {
+        let mut r = weakord_core::Relation::new(n);
+        for (a, b) in pairs {
+            let (a, b) = (a as usize % n, b as usize % n);
+            r.add(OpId::new(a as u32), OpId::new(b as u32));
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transitive closure is idempotent and monotone.
+    #[test]
+    fn closure_laws(r in random_relation()) {
+        let c = r.transitive_closure();
+        prop_assert_eq!(c.transitive_closure(), c.clone());
+        for (a, b) in r.iter() {
+            prop_assert!(c.contains(a, b), "closure lost a pair");
+        }
+    }
+
+    /// A topological order exists iff the relation is acyclic, and when
+    /// it exists it respects every pair.
+    #[test]
+    fn topological_order_laws(r in random_relation()) {
+        match r.topological_order() {
+            None => prop_assert!(!r.is_acyclic()),
+            Some(order) => {
+                prop_assert!(r.is_acyclic());
+                prop_assert_eq!(order.len(), r.len());
+                let pos = |x: OpId| order.iter().position(|&o| o == x).unwrap();
+                for (a, b) in r.iter() {
+                    if a != b {
+                        prop_assert!(pos(a) < pos(b), "order violates ({a}, {b})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Union is commutative and closure distributes over consistency:
+    /// `consistent_with` is symmetric.
+    #[test]
+    fn union_and_consistency_are_symmetric(a in random_relation(), b in random_relation()) {
+        if a.len() == b.len() {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+            prop_assert_eq!(a.consistent_with(&b), b.consistent_with(&a));
+        }
+    }
+
+    /// Every atomic idealized execution is serializable (the identity
+    /// order witnesses it), whatever the program shape.
+    #[test]
+    fn atomic_executions_are_serializable(
+        raw in proptest::collection::vec(raw_op(3, 3), 0..14),
+    ) {
+        let exec = build_exec(3, &raw);
+        prop_assert!(weakord_core::is_execution_serializable(&exec));
+    }
+
+    /// Serializability is invariant under the interleaving chosen: any
+    /// reordering of an atomic execution that keeps per-processor order
+    /// and read values intact stays explainable... conversely, breaking
+    /// one read's value usually (not always) breaks it; at minimum the
+    /// checker never panics and stays deterministic.
+    #[test]
+    fn serializability_is_deterministic(
+        raw in proptest::collection::vec(raw_op(3, 3), 0..12),
+    ) {
+        let exec = build_exec(3, &raw);
+        let a = weakord_core::is_execution_serializable(&exec);
+        let b = weakord_core::is_execution_serializable(&exec);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,190 @@
+//! Exhaustive state-space exploration.
+//!
+//! Depth-first search with a visited set over a [`Machine`]'s state
+//! graph, collecting the set of reachable terminal [`Outcome`]s. Spin
+//! loops revisit states and are handled by deduplication, so unbounded
+//! spins do not prevent termination.
+
+use std::collections::{BTreeSet, HashSet};
+
+use weakord_progs::{Outcome, Program};
+
+use crate::machine::{Label, Machine};
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of distinct states to visit before giving up and
+    /// marking the exploration truncated.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_states: 4_000_000 }
+    }
+}
+
+/// The result of exploring one machine on one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Every reachable terminal outcome.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of deadlocked states (no transitions, not terminal).
+    pub deadlocks: usize,
+    /// `true` if the state cap was hit; `outcomes` is then a lower
+    /// bound.
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// Returns `true` if any deadlock was reached.
+    pub fn has_deadlock(&self) -> bool {
+        self.deadlocks > 0
+    }
+}
+
+/// Explores the full reachable state space of `machine` running `prog`.
+pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
+    let initial = machine.initial(prog);
+    let mut visited: HashSet<M::State> = HashSet::new();
+    let mut stack: Vec<M::State> = Vec::new();
+    let mut outcomes = BTreeSet::new();
+    let mut deadlocks = 0usize;
+    let mut truncated = false;
+    visited.insert(initial.clone());
+    stack.push(initial);
+    let mut succ: Vec<(Label, M::State)> = Vec::new();
+    while let Some(state) = stack.pop() {
+        if let Some(outcome) = machine.outcome(prog, &state) {
+            outcomes.insert(outcome);
+            continue;
+        }
+        succ.clear();
+        machine.successors(prog, &state, &mut succ);
+        if succ.is_empty() {
+            deadlocks += 1;
+            continue;
+        }
+        for (_, next) in succ.drain(..) {
+            if visited.len() >= limits.max_states {
+                truncated = true;
+                break;
+            }
+            if visited.insert(next.clone()) {
+                stack.push(next);
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+    Exploration { outcomes, states: visited.len(), deadlocks, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::ScMachine;
+    use weakord_progs::litmus;
+
+    #[test]
+    fn sc_dekker_has_three_read_combinations() {
+        let lit = litmus::fig1_dekker();
+        let ex = explore(&ScMachine, &lit.program, Limits::default());
+        assert!(!ex.truncated);
+        assert_eq!(ex.deadlocks, 0);
+        // SC allows (0,1), (1,0), (1,1) but never (0,0).
+        assert_eq!(ex.outcomes.len(), 3);
+        assert!(ex.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+    }
+
+    #[test]
+    fn state_cap_marks_truncation() {
+        let lit = litmus::iriw();
+        let ex = explore(&ScMachine, &lit.program, Limits { max_states: 3 });
+        assert!(ex.truncated);
+    }
+}
+
+/// A step of a witness trace: the label and a rendering of what it did.
+pub type Witness = Vec<Label>;
+
+/// Searches for a terminal state whose outcome satisfies `predicate`
+/// and returns the transition labels leading to it (a *witness
+/// interleaving*), or `None` if no reachable terminal outcome matches
+/// within the limits.
+///
+/// Breadth-first, so the witness is one of the shortest.
+pub fn find_witness<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    predicate: impl Fn(&Outcome) -> bool,
+) -> Option<Witness> {
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+
+    let initial = machine.initial(prog);
+    // parent[state] = (predecessor, label taking predecessor -> state)
+    let mut parent: HashMap<M::State, Option<(M::State, Label)>> = HashMap::new();
+    parent.insert(initial.clone(), None);
+    let mut queue = VecDeque::new();
+    queue.push_back(initial);
+    let mut succ: Vec<(Label, M::State)> = Vec::new();
+    while let Some(state) = queue.pop_front() {
+        if let Some(outcome) = machine.outcome(prog, &state) {
+            if predicate(&outcome) {
+                // Reconstruct the path.
+                let mut labels = Vec::new();
+                let mut cur = &state;
+                while let Some(Some((prev, label))) = parent.get(cur) {
+                    labels.push(*label);
+                    cur = prev;
+                }
+                labels.reverse();
+                return Some(labels);
+            }
+            continue;
+        }
+        succ.clear();
+        machine.successors(prog, &state, &mut succ);
+        for (label, next) in succ.drain(..) {
+            if parent.len() >= limits.max_states {
+                return None;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next.clone()) {
+                e.insert(Some((state.clone(), label)));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+    use crate::machines::{ScMachine, WriteBufferMachine};
+    use weakord_progs::litmus;
+
+    #[test]
+    fn witness_found_for_reachable_outcome() {
+        let lit = litmus::fig1_dekker();
+        let w =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .expect("write buffers can kill both processors");
+        // The witness contains both reads bypassing both writes.
+        let ops = w.iter().filter(|l| matches!(l, Label::Op(_))).count();
+        assert!(ops >= 4, "witness too short: {w:?}");
+    }
+
+    #[test]
+    fn no_witness_for_unreachable_outcome() {
+        let lit = litmus::fig1_dekker();
+        assert!(find_witness(&ScMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+            .is_none());
+    }
+}

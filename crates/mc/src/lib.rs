@@ -1,0 +1,49 @@
+//! # weakord-mc — exhaustive operational memory-model checking
+//!
+//! This crate mechanizes the paper's qualitative claims. It provides:
+//!
+//! * a [`Machine`] interface for nondeterministic operational models of
+//!   multiprocessor memory systems, and implementations for Lamport's
+//!   interleaving reference ([`machines::ScMachine`]), the four relaxed
+//!   configurations of Figure 1, Definition 1 weak ordering
+//!   ([`machines::WoDef1Machine`]) and the paper's new Section 5
+//!   implementation ([`machines::WoDef2Machine`]);
+//! * an exhaustive explorer ([`explore`]) collecting each machine's
+//!   reachable outcome set;
+//! * the weak-ordering **contract** checks ([`contract`]): a machine
+//!   appears sequentially consistent to a program iff its outcome set is
+//!   contained in the SC outcome set, and it is weakly ordered w.r.t. a
+//!   synchronization model iff that holds for every conforming program;
+//! * program-level DRF0 classification ([`check_program_drf`]) by
+//!   enumerating idealized executions with the online race detector.
+//!
+//! ## Example: Figure 1 in one assertion
+//!
+//! ```
+//! use weakord_mc::{explore, Limits};
+//! use weakord_mc::machines::{ScMachine, WriteBufferMachine};
+//! use weakord_progs::litmus;
+//!
+//! let dekker = litmus::fig1_dekker();
+//! let sc = explore(&ScMachine, &dekker.program, Limits::default());
+//! let wb = explore(&WriteBufferMachine, &dekker.program, Limits::default());
+//! assert!(sc.outcomes.iter().all(|o| !(dekker.non_sc)(o)));
+//! assert!(wb.outcomes.iter().any(|o| (dekker.non_sc)(o)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contract;
+mod explore;
+mod machine;
+pub mod machines;
+mod trace;
+
+pub use contract::{
+    appears_sc, check_weak_ordering, check_weak_ordering_model, ContractReport, ContractRow,
+    ScAppearance,
+};
+pub use explore::{explore, find_witness, Exploration, Limits, Witness};
+pub use machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+pub use trace::{check_program_conforms, check_program_drf, ProgramConformance, ProgramDrfVerdict, TraceLimits};

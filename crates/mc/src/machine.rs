@@ -1,0 +1,152 @@
+//! The operational machine-model interface.
+//!
+//! A [`Machine`] is a nondeterministic transition system over program
+//! states: the memory system decides *when* issued accesses become
+//! visible, and exhaustive exploration of those decisions (see
+//! [`crate::explore`]) yields every observable [`Outcome`] the hardware
+//! can produce for a program. Definition 2's "appears sequentially
+//! consistent" then becomes a set-inclusion check against the
+//! interleaving machine.
+
+use std::fmt;
+use std::hash::Hash;
+
+use weakord_core::{Loc, OpKind, ProcId, Value};
+use weakord_progs::{Outcome, Program, ThreadEvent, ThreadState};
+
+/// A memory operation as completed by a machine transition, for trace
+/// reconstruction and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Location accessed.
+    pub loc: Loc,
+    /// Value the read component returned, if any.
+    pub read_value: Option<Value>,
+    /// Value the write component stored, if any.
+    pub written_value: Option<Value>,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.proc)?;
+        match self.kind {
+            OpKind::DataRead => write!(f, "R({})", self.loc)?,
+            OpKind::SyncRead => write!(f, "Test({})", self.loc)?,
+            OpKind::DataWrite => write!(f, "W({})", self.loc)?,
+            OpKind::SyncWrite => write!(f, "Set({})", self.loc)?,
+            OpKind::SyncRmw => write!(f, "RMW({})", self.loc)?,
+        }
+        if let Some(v) = self.read_value {
+            write!(f, " -> {v}")?;
+        }
+        if let Some(v) = self.written_value {
+            write!(f, " <- {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What one transition did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// A thread's memory operation completed architecturally.
+    Op(OpRecord),
+    /// An internal hardware step (write-buffer drain, in-flight message
+    /// delivery, invalidation application).
+    Internal,
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Op(rec) => rec.fmt(f),
+            Label::Internal => f.write_str("(internal: delivery/drain)"),
+        }
+    }
+}
+
+/// An operational model of a multiprocessor memory system.
+///
+/// States must be canonical (`Eq`/`Hash` identify genuinely identical
+/// configurations) so exploration can deduplicate them.
+pub trait Machine {
+    /// The machine's state: thread states plus memory-system contents.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// Short display name, e.g. `"sc"` or `"wo-def2"`.
+    fn name(&self) -> &'static str;
+
+    /// The initial state for a program (threads at instruction 0, memory
+    /// zeroed, all queues empty).
+    fn initial(&self, prog: &Program) -> Self::State;
+
+    /// Appends every enabled transition from `state` to `out` (cleared
+    /// by the caller). An empty set on a non-final state is a deadlock.
+    fn successors(&self, prog: &Program, state: &Self::State, out: &mut Vec<(Label, Self::State)>);
+
+    /// Returns the observable outcome if `state` is terminal: all
+    /// threads halted *and* all internal queues drained (every write
+    /// performed everywhere).
+    fn outcome(&self, prog: &Program, state: &Self::State) -> Option<Outcome>;
+}
+
+/// Advances a thread, transparently completing `Delay` events (they are
+/// timing artifacts with no semantic content for exhaustive
+/// exploration). Returns the next real event.
+pub fn advance_skipping_delays(
+    ts: &mut ThreadState,
+    thread: &weakord_progs::Thread,
+) -> ThreadEvent {
+    loop {
+        match ts.advance(thread) {
+            ThreadEvent::Delay(_) => ts.complete(thread, None),
+            other => return other,
+        }
+    }
+}
+
+/// Builds an [`Outcome`] from halted thread states and a final-memory
+/// snapshot. Returns `None` unless every thread has halted.
+pub fn outcome_if_halted(threads: &[ThreadState], memory: Vec<Value>) -> Option<Outcome> {
+    threads
+        .iter()
+        .all(ThreadState::is_halted)
+        .then(|| Outcome { regs: threads.iter().map(ThreadState::regs).collect(), memory })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakord_progs::{Access, Reg, ThreadBuilder};
+
+    #[test]
+    fn delays_are_skipped() {
+        let mut t = ThreadBuilder::new();
+        t.delay(10);
+        t.delay(20);
+        t.read(Reg::new(0), Loc::new(0));
+        t.halt();
+        let thread = t.finish();
+        let mut ts = ThreadState::new();
+        match advance_skipping_delays(&mut ts, &thread) {
+            ThreadEvent::Access(Access::Read { .. }) => {}
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_requires_all_halted() {
+        let mut t = ThreadBuilder::new();
+        t.halt();
+        let thread = t.finish();
+        let mut halted = ThreadState::new();
+        assert_eq!(halted.advance(&thread), ThreadEvent::Halted);
+        let running = ThreadState::new();
+        assert!(outcome_if_halted(&[halted.clone()], vec![]).is_some());
+        assert!(outcome_if_halted(&[halted, running], vec![]).is_none());
+    }
+}

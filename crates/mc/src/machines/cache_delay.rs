@@ -1,0 +1,152 @@
+//! Figure 1, configuration 4: caches plus a general interconnection
+//! network. Accesses are issued and reach the memory system in program
+//! order, "but do not complete in program order": a write commits in the
+//! writer's cache while its invalidations to other copies are still in
+//! flight, so another processor can read its own stale copy.
+
+use weakord_core::ProcId;
+use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
+
+use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machines::substrate::CacheState;
+
+/// The cache-coherent relaxed machine with no synchronization support:
+/// writes commit locally and invalidate lazily; reads hit the local
+/// copy; RMWs execute atomically against the latest line (hardware RMW
+/// atomicity is assumed even here). This is exactly the situation of
+/// Figure 1's fourth configuration — "both processors initially have X
+/// and Y in their caches".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheDelayMachine;
+
+/// State of [`CacheDelayMachine`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CdState {
+    /// Architectural thread states.
+    pub threads: Vec<ThreadState>,
+    /// The cache ensemble.
+    pub cache: CacheState,
+}
+
+impl Machine for CacheDelayMachine {
+    type State = CdState;
+
+    fn name(&self) -> &'static str {
+        "cache-delay"
+    }
+
+    fn initial(&self, prog: &Program) -> CdState {
+        CdState {
+            threads: weakord_progs::initial_threads(prog),
+            cache: CacheState::new(prog.n_procs(), prog.n_locs as usize),
+        }
+    }
+
+    fn successors(&self, prog: &Program, state: &CdState, out: &mut Vec<(Label, CdState)>) {
+        for t in 0..state.threads.len() {
+            if state.threads[t].is_halted() {
+                continue;
+            }
+            let thread = &prog.threads[t];
+            let mut next = state.clone();
+            let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
+            else {
+                // The advance reached Halt: keep the halted thread state.
+                out.push((Label::Internal, next));
+                continue;
+            };
+            let proc = ProcId::new(t as u16);
+            let kind = access.op_kind();
+            let loc = access.loc();
+            match access {
+                Access::Read { .. } => {
+                    let v = next.cache.read_local(proc, loc);
+                    next.threads[t].complete(thread, Some(v));
+                    let rec =
+                        OpRecord { proc, kind, loc, read_value: Some(v), written_value: None };
+                    out.push((Label::Op(rec), next));
+                }
+                Access::Write { value, .. } => {
+                    next.cache.write_relaxed(proc, loc, value);
+                    next.threads[t].complete(thread, None);
+                    let rec =
+                        OpRecord { proc, kind, loc, read_value: None, written_value: Some(value) };
+                    out.push((Label::Op(rec), next));
+                }
+                Access::Rmw { op, .. } => {
+                    let old = next.cache.read_latest(loc);
+                    let new = op.apply(old);
+                    next.cache.write_atomic(loc, new);
+                    next.threads[t].complete(thread, Some(old));
+                    let rec = OpRecord {
+                        proc,
+                        kind,
+                        loc,
+                        read_value: Some(old),
+                        written_value: Some(new),
+                    };
+                    out.push((Label::Op(rec), next));
+                }
+            }
+        }
+        for i in 0..state.cache.pending_len() {
+            let mut next = state.clone();
+            next.cache.deliver(i);
+            out.push((Label::Internal, next));
+        }
+    }
+
+    fn outcome(&self, prog: &Program, state: &CdState) -> Option<Outcome> {
+        if state.cache.pending_len() > 0 {
+            return None;
+        }
+        let mem =
+            (0..prog.n_locs).map(|l| state.cache.read_latest(weakord_core::Loc::new(l))).collect();
+        outcome_if_halted(&state.threads, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Limits};
+    use crate::machines::ScMachine;
+    use weakord_progs::litmus;
+
+    #[test]
+    fn dekker_violation_is_possible_with_cached_copies() {
+        let lit = litmus::fig1_dekker();
+        let ex = explore(&CacheDelayMachine, &lit.program, Limits::default());
+        assert!(ex.outcomes.iter().any(|o| (lit.non_sc)(o)));
+        assert_eq!(ex.deadlocks, 0);
+    }
+
+    #[test]
+    fn iriw_violation_is_possible() {
+        // Invalidations reach the two readers in different orders: the
+        // writes are not atomic.
+        let lit = litmus::iriw();
+        let ex = explore(&CacheDelayMachine, &lit.program, Limits::default());
+        assert!(ex.outcomes.iter().any(|o| (lit.non_sc)(o)));
+    }
+
+    #[test]
+    fn coherence_is_never_violated() {
+        let lit = litmus::coherence_corr();
+        let ex = explore(&CacheDelayMachine, &lit.program, Limits::default());
+        assert!(ex.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+    }
+
+    #[test]
+    fn outcome_set_is_superset_of_sc() {
+        for lit in litmus::all() {
+            let sc = explore(&ScMachine, &lit.program, Limits::default());
+            let cd = explore(&CacheDelayMachine, &lit.program, Limits::default());
+            assert!(
+                cd.outcomes.is_superset(&sc.outcomes),
+                "{}: cache-delay lost SC outcomes",
+                lit.name
+            );
+        }
+    }
+}

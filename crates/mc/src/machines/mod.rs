@@ -1,0 +1,24 @@
+//! The operational machine models.
+//!
+//! | Machine | Paper artifact | Sync support |
+//! |---------|----------------|--------------|
+//! | [`ScMachine`] | Lamport's definition; the reference | n/a (everything atomic) |
+//! | [`WriteBufferMachine`] | Figure 1 configs 1 & 3 (bus, write buffers) | none |
+//! | [`NetReorderMachine`] | Figure 1 config 2 (network, no caches) | none |
+//! | [`CacheDelayMachine`] | Figure 1 config 4 (caches + network) | none |
+//! | [`WoDef1Machine`] | Definition 1 (Dubois/Scheurich/Briggs) | issuer stalls |
+//! | [`BnrMachine`] | BNR'89 timestamp scheme (Section 2.2) | global drain |
+//! | [`WoDef2Machine`] | Section 5 implementation (Definition 2 w.r.t. DRF0) | next synchronizer stalls |
+
+mod cache_delay;
+mod net_reorder;
+mod sc;
+pub mod substrate;
+mod wo;
+mod write_buffer;
+
+pub use cache_delay::{CacheDelayMachine, CdState};
+pub use net_reorder::{NetReorderMachine, NetState};
+pub use sc::{ScMachine, ScState};
+pub use wo::{BnrMachine, WoDef1Machine, WoDef2Machine, WoState};
+pub use write_buffer::{WbState, WriteBufferMachine};

@@ -1,0 +1,245 @@
+//! The shared cache-coherent substrate for the cache-based machines.
+//!
+//! Models the observable essence of the Section 5.2 system: every
+//! processor holds a copy of every location (we abstract away capacity
+//! misses — the timed simulator in `weakord-coherence` models them), a
+//! write bumps the location's global serialization order and updates the
+//! writer's copy immediately (*commit*), and an invalidation message to
+//! each other copy travels asynchronously; a write is *globally
+//! performed* once all its invalidations have been delivered. Writes to
+//! one location are totally ordered by version numbers, and a copy only
+//! ever moves forward in that order — condition 2 of Section 5.1 holds
+//! by construction.
+//!
+//! Version numbers are renormalized to dense ranks after every mutation
+//! so that states reached by value-identical histories (e.g. successive
+//! failed spin iterations) compare equal and exploration terminates.
+
+use weakord_core::{Loc, ProcId, Value};
+
+/// One cached copy: its position in the location's write order plus the
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Line {
+    /// Position in the location's global write serialization order.
+    pub version: u32,
+    /// The value.
+    pub value: Value,
+}
+
+/// An undelivered invalidation (update) message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Inv {
+    /// Processor whose write generated the invalidation: the write is
+    /// globally performed when no `Inv` with this source remains.
+    pub source: ProcId,
+    /// The cache it must be delivered to.
+    pub target: ProcId,
+    /// The location.
+    pub loc: Loc,
+    /// The written line.
+    pub line: Line,
+}
+
+/// The cache ensemble state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheState {
+    /// `caches[p][loc]`: processor `p`'s copy.
+    caches: Vec<Vec<Line>>,
+    /// The latest line per location (the tail of the write order).
+    latest: Vec<Line>,
+    /// Undelivered invalidations, kept sorted for canonical hashing.
+    pending: Vec<Inv>,
+}
+
+impl CacheState {
+    /// All copies zeroed, nothing pending.
+    pub fn new(n_procs: usize, n_locs: usize) -> Self {
+        let zero = Line { version: 0, value: Value::ZERO };
+        CacheState {
+            caches: vec![vec![zero; n_locs]; n_procs],
+            latest: vec![zero; n_locs],
+            pending: Vec::new(),
+        }
+    }
+
+    /// The value processor `p` sees for `loc` (its own copy).
+    pub fn read_local(&self, p: ProcId, loc: Loc) -> Value {
+        self.caches[p.index()][loc.index()].value
+    }
+
+    /// The globally latest value of `loc`.
+    pub fn read_latest(&self, loc: Loc) -> Value {
+        self.latest[loc.index()].value
+    }
+
+    /// A relaxed write: commits to `p`'s own copy and queues
+    /// invalidations to every other copy.
+    pub fn write_relaxed(&mut self, p: ProcId, loc: Loc, value: Value) {
+        let line = Line { version: self.latest[loc.index()].version + 1, value };
+        self.latest[loc.index()] = line;
+        self.caches[p.index()][loc.index()] = line;
+        for q in 0..self.caches.len() {
+            if q != p.index() {
+                self.pending.push(Inv { source: p, target: ProcId::new(q as u16), loc, line });
+            }
+        }
+        self.canonicalize();
+    }
+
+    /// An atomic write: commits and performs globally in one step (all
+    /// copies updated, no invalidations queued). Used for strongly
+    /// ordered synchronization operations.
+    pub fn write_atomic(&mut self, loc: Loc, value: Value) {
+        let line = Line { version: self.latest[loc.index()].version + 1, value };
+        self.latest[loc.index()] = line;
+        for cache in &mut self.caches {
+            cache[loc.index()] = line;
+        }
+        self.canonicalize();
+    }
+
+    /// Number of undelivered invalidations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` while any write by `p` is not yet globally
+    /// performed.
+    pub fn source_pending(&self, p: ProcId) -> bool {
+        self.pending.iter().any(|i| i.source == p)
+    }
+
+    /// Delivers pending invalidation `i` (indexes [`CacheState::pending_len`]).
+    /// A message older than the target's copy is acknowledged without
+    /// effect (its write was superseded at that copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn deliver(&mut self, i: usize) {
+        let inv = self.pending.remove(i);
+        let slot = &mut self.caches[inv.target.index()][inv.loc.index()];
+        if slot.version < inv.line.version {
+            *slot = inv.line;
+        }
+        self.canonicalize();
+    }
+
+    /// Renames version numbers to dense ranks per location, preserving
+    /// order, so histories that differ only by superseded writes compare
+    /// equal.
+    fn canonicalize(&mut self) {
+        let n_locs = self.latest.len();
+        let mut versions: Vec<u32> = Vec::new();
+        for loc in 0..n_locs {
+            versions.clear();
+            versions.push(self.latest[loc].version);
+            for cache in &self.caches {
+                versions.push(cache[loc].version);
+            }
+            for inv in &self.pending {
+                if inv.loc.index() == loc {
+                    versions.push(inv.line.version);
+                }
+            }
+            versions.sort_unstable();
+            versions.dedup();
+            let rank = |v: u32| versions.binary_search(&v).expect("version present") as u32;
+            self.latest[loc].version = rank(self.latest[loc].version);
+            for cache in &mut self.caches {
+                cache[loc].version = rank(cache[loc].version);
+            }
+            for inv in &mut self.pending {
+                if inv.loc.index() == loc {
+                    inv.line.version = rank(inv.line.version);
+                }
+            }
+        }
+        self.pending.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn relaxed_write_commits_locally_only() {
+        let mut c = CacheState::new(2, 1);
+        c.write_relaxed(P0, l(0), Value::new(1));
+        assert_eq!(c.read_local(P0, l(0)), Value::new(1));
+        assert_eq!(c.read_local(P1, l(0)), Value::ZERO); // stale copy
+        assert_eq!(c.read_latest(l(0)), Value::new(1));
+        assert!(c.source_pending(P0));
+        assert_eq!(c.pending_len(), 1);
+    }
+
+    #[test]
+    fn delivery_globally_performs_the_write() {
+        let mut c = CacheState::new(2, 1);
+        c.write_relaxed(P0, l(0), Value::new(1));
+        c.deliver(0);
+        assert_eq!(c.read_local(P1, l(0)), Value::new(1));
+        assert!(!c.source_pending(P0));
+    }
+
+    #[test]
+    fn stale_invalidation_is_a_no_op() {
+        let mut c = CacheState::new(2, 1);
+        c.write_relaxed(P0, l(0), Value::new(1)); // inv to P1 pending
+        c.write_atomic(l(0), Value::new(2)); //       supersedes it everywhere
+        assert_eq!(c.read_local(P1, l(0)), Value::new(2));
+        c.deliver(0); // the old inv arrives late
+        assert_eq!(c.read_local(P1, l(0)), Value::new(2), "must not regress");
+        assert!(!c.source_pending(P0));
+    }
+
+    #[test]
+    fn atomic_write_leaves_nothing_pending() {
+        let mut c = CacheState::new(3, 2);
+        c.write_atomic(l(1), Value::new(5));
+        assert_eq!(c.pending_len(), 0);
+        for p in 0..3 {
+            assert_eq!(c.read_local(ProcId::new(p), l(1)), Value::new(5));
+        }
+    }
+
+    #[test]
+    fn per_location_write_order_is_preserved_per_copy() {
+        // Two writes by different procs to one loc; deliveries in any
+        // order must leave every copy at the later write.
+        let mut a = CacheState::new(2, 1);
+        a.write_relaxed(P0, l(0), Value::new(1));
+        a.write_relaxed(P1, l(0), Value::new(2));
+        // P1's copy already has version of its own write; P0's pending inv
+        // to P1 is stale.
+        let mut b = a.clone();
+        // Order 1: deliver both in list order.
+        a.deliver(0);
+        a.deliver(0);
+        // Order 2: reversed.
+        b.deliver(1);
+        b.deliver(0);
+        assert_eq!(a.read_local(P0, l(0)), b.read_local(P0, l(0)));
+        assert_eq!(a.read_local(P1, l(0)), Value::new(2));
+    }
+
+    #[test]
+    fn canonicalization_makes_identical_histories_equal() {
+        // Writing the same value atomically twice must yield a state
+        // equal to writing it once (versions renormalize).
+        let mut once = CacheState::new(2, 1);
+        once.write_atomic(l(0), Value::new(0));
+        let mut twice = once.clone();
+        twice.write_atomic(l(0), Value::new(0));
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,374 @@
+//! The weakly ordered machines: Dubois/Scheurich/Briggs' Definition 1
+//! hardware and the paper's new Section 5 implementation, as operational
+//! models over the cache substrate.
+//!
+//! Both machines run *data* accesses exactly like
+//! [`crate::machines::CacheDelayMachine`] — writes commit locally with
+//! lazy invalidations — and differ only in how synchronization
+//! operations wait:
+//!
+//! * **Definition 1** ([`WoDef1Machine`]): a processor may not execute a
+//!   synchronization operation until all of its own previous accesses
+//!   are globally performed, and no later access is issued until the
+//!   synchronization operation is globally performed.
+//! * **Definition 2 implementation** ([`WoDef2Machine`], Section 5.3):
+//!   the issuing processor does **not** wait for its pending accesses —
+//!   it commits the synchronization operation and moves on. Instead, the
+//!   location is *reserved*: a subsequent synchronization operation by
+//!   another processor on the same location stalls until the reserving
+//!   processor's previous writes are globally performed (the counter +
+//!   reserve-bit mechanism; condition 5 of Section 5.1).
+//!
+//! In both machines a synchronization operation's own value management
+//! is atomic (commit and global perform coincide for the sync line
+//! itself) — a conservative simplification of the protocol's
+//! exclusive-ownership transfer; the cycle-level model in
+//! `weakord-coherence` implements the real message protocol.
+
+use weakord_core::ProcId;
+use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
+
+use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machines::substrate::CacheState;
+
+/// Definition 1 weak ordering (the old definition).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WoDef1Machine;
+
+/// The Section 5 implementation, weakly ordered w.r.t. DRF0 by
+/// Definition 2 but *not* allowed by Definition 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WoDef2Machine {
+    /// Apply the Section 6 refinement: read-only synchronization
+    /// operations (`Test`) do not reserve the location and so do not
+    /// stall later synchronizers on the issuer's pending accesses.
+    pub drf1_refined: bool,
+}
+
+/// Shared state of the weakly ordered machines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WoState {
+    /// Architectural thread states.
+    pub threads: Vec<ThreadState>,
+    /// The cache ensemble.
+    pub cache: CacheState,
+    /// Per location: the processor whose synchronization operation
+    /// committed last (the reserve owner for condition 5). Only used by
+    /// the Definition 2 machine.
+    pub last_sync: Vec<Option<ProcId>>,
+}
+
+fn initial(prog: &Program) -> WoState {
+    WoState {
+        threads: weakord_progs::initial_threads(prog),
+        cache: CacheState::new(prog.n_procs(), prog.n_locs as usize),
+        last_sync: vec![None; prog.n_locs as usize],
+    }
+}
+
+fn outcome(prog: &Program, state: &WoState) -> Option<Outcome> {
+    if state.cache.pending_len() > 0 {
+        return None;
+    }
+    let mem =
+        (0..prog.n_locs).map(|l| state.cache.read_latest(weakord_core::Loc::new(l))).collect();
+    outcome_if_halted(&state.threads, mem)
+}
+
+/// How synchronization operations gate on outstanding accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncRule {
+    /// Stall the *issuer* until its own accesses are globally performed.
+    Def1,
+    /// Stall the *next synchronizer* on the reserving processor's
+    /// outstanding accesses; `refine_read_only` exempts `Test`s from
+    /// reserving.
+    Def2 { refine_read_only: bool },
+    /// Stall the synchronizer until *no* access by *any* processor is
+    /// outstanding (the BNR timestamp scheme).
+    GlobalDrain,
+}
+
+fn successors(rule: SyncRule, prog: &Program, state: &WoState, out: &mut Vec<(Label, WoState)>) {
+    for t in 0..state.threads.len() {
+        if state.threads[t].is_halted() {
+            continue;
+        }
+        let thread = &prog.threads[t];
+        let mut next = state.clone();
+        let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
+        else {
+            // The advance reached Halt: keep the halted thread state.
+            out.push((Label::Internal, next));
+            continue;
+        };
+        let proc = ProcId::new(t as u16);
+        let kind = access.op_kind();
+        let loc = access.loc();
+        if access.is_sync() {
+            // Gate the synchronization operation.
+            let enabled = match rule {
+                SyncRule::Def1 => !next.cache.source_pending(proc),
+                SyncRule::Def2 { .. } => match next.last_sync[loc.index()] {
+                    Some(owner) if owner != proc => !next.cache.source_pending(owner),
+                    _ => true,
+                },
+                SyncRule::GlobalDrain => next.cache.pending_len() == 0,
+            };
+            if !enabled {
+                continue;
+            }
+            let reserves = match rule {
+                SyncRule::Def1 | SyncRule::GlobalDrain => false,
+                SyncRule::Def2 { refine_read_only } => {
+                    !(refine_read_only && matches!(access, Access::Read { .. }))
+                }
+            };
+            let record = match access {
+                Access::Read { .. } => {
+                    let v = next.cache.read_latest(loc);
+                    next.threads[t].complete(thread, Some(v));
+                    OpRecord { proc, kind, loc, read_value: Some(v), written_value: None }
+                }
+                Access::Write { value, .. } => {
+                    next.cache.write_atomic(loc, value);
+                    next.threads[t].complete(thread, None);
+                    OpRecord { proc, kind, loc, read_value: None, written_value: Some(value) }
+                }
+                Access::Rmw { op, .. } => {
+                    let old = next.cache.read_latest(loc);
+                    let new = op.apply(old);
+                    next.cache.write_atomic(loc, new);
+                    next.threads[t].complete(thread, Some(old));
+                    OpRecord { proc, kind, loc, read_value: Some(old), written_value: Some(new) }
+                }
+            };
+            if reserves {
+                next.last_sync[loc.index()] = Some(proc);
+            }
+            out.push((Label::Op(record), next));
+        } else {
+            // Data accesses: identical to the relaxed cache machine.
+            let record = match access {
+                Access::Read { .. } => {
+                    let v = next.cache.read_local(proc, loc);
+                    next.threads[t].complete(thread, Some(v));
+                    OpRecord { proc, kind, loc, read_value: Some(v), written_value: None }
+                }
+                Access::Write { value, .. } => {
+                    next.cache.write_relaxed(proc, loc, value);
+                    next.threads[t].complete(thread, None);
+                    OpRecord { proc, kind, loc, read_value: None, written_value: Some(value) }
+                }
+                Access::Rmw { .. } => unreachable!("RMW accesses are always synchronization"),
+            };
+            out.push((Label::Op(record), next));
+        }
+    }
+    for i in 0..state.cache.pending_len() {
+        let mut next = state.clone();
+        next.cache.deliver(i);
+        out.push((Label::Internal, next));
+    }
+}
+
+impl Machine for WoDef1Machine {
+    type State = WoState;
+
+    fn name(&self) -> &'static str {
+        "wo-def1"
+    }
+
+    fn initial(&self, prog: &Program) -> WoState {
+        initial(prog)
+    }
+
+    fn successors(&self, prog: &Program, state: &WoState, out: &mut Vec<(Label, WoState)>) {
+        successors(SyncRule::Def1, prog, state, out);
+    }
+
+    fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
+        outcome(prog, state)
+    }
+}
+
+impl Machine for WoDef2Machine {
+    type State = WoState;
+
+    fn name(&self) -> &'static str {
+        if self.drf1_refined {
+            "wo-def2-drf1"
+        } else {
+            "wo-def2"
+        }
+    }
+
+    fn initial(&self, prog: &Program) -> WoState {
+        initial(prog)
+    }
+
+    fn successors(&self, prog: &Program, state: &WoState, out: &mut Vec<(Label, WoState)>) {
+        successors(SyncRule::Def2 { refine_read_only: self.drf1_refined }, prog, state, out);
+    }
+
+    fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
+        outcome(prog, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Limits};
+    use crate::machines::ScMachine;
+    use weakord_progs::litmus;
+
+    fn outcomes<M: Machine>(m: &M, lit: &litmus::Litmus) -> crate::explore::Exploration {
+        let ex = explore(m, &lit.program, Limits::default());
+        assert!(!ex.truncated, "{} truncated on {}", m.name(), lit.name);
+        ex
+    }
+
+    #[test]
+    fn both_wo_machines_appear_sc_on_drf0_litmus_tests() {
+        for lit in litmus::all().iter().filter(|l| l.drf0) {
+            let sc = outcomes(&ScMachine, lit);
+            for (name, got) in [
+                ("def1", outcomes(&WoDef1Machine, lit)),
+                ("def2", outcomes(&WoDef2Machine::default(), lit)),
+                ("def2-drf1", outcomes(&WoDef2Machine { drf1_refined: true }, lit)),
+            ] {
+                assert_eq!(got.deadlocks, 0, "{name} deadlocked on {}", lit.name);
+                assert!(
+                    got.outcomes.is_subset(&sc.outcomes),
+                    "{name} shows non-SC outcomes on DRF0 program {}",
+                    lit.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wo_machines_still_relax_racy_programs() {
+        let lit = litmus::fig1_dekker();
+        for got in [outcomes(&WoDef1Machine, &lit), outcomes(&WoDef2Machine::default(), &lit)] {
+            assert!(got.outcomes.iter().any(|o| (lit.non_sc)(o)), "data races stay relaxed");
+        }
+    }
+
+    #[test]
+    fn racy_spy_separates_def1_from_def2() {
+        // Definition 1 hardware globally performs W(x) before the release
+        // commits anywhere, so the spy cannot see flag=1 ∧ x=0. The new
+        // implementation commits the release first.
+        let lit = litmus::racy_spy();
+        let def1 = outcomes(&WoDef1Machine, &lit);
+        let def2 = outcomes(&WoDef2Machine::default(), &lit);
+        assert!(def1.outcomes.iter().all(|o| !(lit.non_sc)(o)), "Def.1 forbids the spy outcome");
+        assert!(def2.outcomes.iter().any(|o| (lit.non_sc)(o)), "Def.2 impl allows the spy outcome");
+    }
+
+    #[test]
+    fn def1_outcomes_are_a_subset_of_def2_outcomes() {
+        // The new implementation strictly generalizes the old hardware's
+        // behaviours on our litmus suite.
+        for lit in litmus::all() {
+            let def1 = outcomes(&WoDef1Machine, &lit);
+            let def2 = outcomes(&WoDef2Machine::default(), &lit);
+            assert!(def1.outcomes.is_subset(&def2.outcomes), "{}: def1 ⊄ def2", lit.name);
+        }
+    }
+
+    #[test]
+    fn no_deadlocks_anywhere_on_the_suite() {
+        for lit in litmus::all() {
+            for dl in [
+                outcomes(&WoDef1Machine, &lit).deadlocks,
+                outcomes(&WoDef2Machine::default(), &lit).deadlocks,
+                outcomes(&WoDef2Machine { drf1_refined: true }, &lit).deadlocks,
+            ] {
+                assert_eq!(dl, 0, "deadlock on {}", lit.name);
+            }
+        }
+    }
+}
+
+/// The Bisiani–Nowatzyk–Ravishankar style implementation the paper
+/// discusses in Section 2.2: "timestamps ensure that a synchronization
+/// operation completes only after all accesses previously issued by
+/// **all** processors in the system are complete."
+///
+/// Operationally: a synchronization operation is enabled only when no
+/// invalidation is pending anywhere — a global drain, stronger than
+/// Definition 1's per-processor drain. It trivially satisfies
+/// Definition 2 w.r.t. DRF0 (its behaviours are a subset of the
+/// Definition 1 machine's), at an obvious scalability cost the paper's
+/// implementation avoids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnrMachine;
+
+impl Machine for BnrMachine {
+    type State = WoState;
+
+    fn name(&self) -> &'static str {
+        "wo-bnr"
+    }
+
+    fn initial(&self, prog: &Program) -> WoState {
+        initial(prog)
+    }
+
+    fn successors(&self, prog: &Program, state: &WoState, out: &mut Vec<(Label, WoState)>) {
+        successors(SyncRule::GlobalDrain, prog, state, out);
+    }
+
+    fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
+        outcome(prog, state)
+    }
+}
+
+#[cfg(test)]
+mod bnr_tests {
+    use super::*;
+    use crate::contract::check_weak_ordering;
+    use crate::explore::{explore, Limits};
+    use crate::machines::ScMachine;
+    use weakord_core::HbMode;
+    use weakord_progs::litmus;
+
+    #[test]
+    fn bnr_satisfies_the_contract() {
+        let progs: Vec<Program> = litmus::all().into_iter().map(|l| l.program).collect();
+        let report = check_weak_ordering(
+            &BnrMachine,
+            HbMode::Drf0,
+            &progs,
+            Limits::default(),
+            crate::trace::TraceLimits::default(),
+        );
+        assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn bnr_behaviours_are_a_subset_of_def1s() {
+        for lit in litmus::all() {
+            let bnr = explore(&BnrMachine, &lit.program, Limits::default());
+            let def1 = explore(&WoDef1Machine, &lit.program, Limits::default());
+            assert!(
+                bnr.outcomes.is_subset(&def1.outcomes),
+                "{}: BNR produced something Def.1 cannot",
+                lit.name
+            );
+            assert_eq!(bnr.deadlocks, 0, "{}", lit.name);
+        }
+    }
+
+    #[test]
+    fn bnr_still_relaxes_racy_data() {
+        let lit = litmus::fig1_dekker();
+        let ex = explore(&BnrMachine, &lit.program, Limits::default());
+        assert!(ex.outcomes.iter().any(|o| (lit.non_sc)(o)));
+        let sc = explore(&ScMachine, &lit.program, Limits::default());
+        assert!(ex.outcomes.is_superset(&sc.outcomes));
+    }
+}

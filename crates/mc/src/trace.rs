@@ -1,0 +1,348 @@
+//! Idealized-execution enumeration and program-level DRF0 checking.
+//!
+//! Definition 3 quantifies over **all** executions of a program on the
+//! idealized architecture. This module enumerates those executions —
+//! they are exactly the runs of [`ScMachine`] — and threads the online
+//! race detector through the search, so a program is judged racy as soon
+//! as any interleaving exhibits an unordered conflicting pair.
+//!
+//! Spin loops make the trace set infinite, so the search bounds the
+//! number of operations per thread; a truncated verdict means "no race
+//! found within the bound" rather than a proof. (State *results* don't
+//! need such bounds — see [`crate::explore`] — because outcome
+//! exploration deduplicates states; race history cannot be deduplicated
+//! the same way, hence the bound here.)
+
+use weakord_core::{HbMode, IdealizedExecution, MemOp, OpId, RaceDetector, RaceEvent};
+use weakord_progs::Program;
+
+use crate::machine::{Machine, OpRecord};
+use crate::machines::{ScMachine, ScState};
+
+/// Bounds for trace enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLimits {
+    /// Maximum operations executed per thread along one trace; longer
+    /// traces are cut (marking the verdict truncated).
+    pub max_ops_per_thread: u32,
+    /// Maximum complete traces to enumerate.
+    pub max_traces: usize,
+}
+
+impl Default for TraceLimits {
+    fn default() -> Self {
+        TraceLimits { max_ops_per_thread: 40, max_traces: 20_000 }
+    }
+}
+
+/// Program-level DRF verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramDrfVerdict {
+    /// Races found (empty = data-race-free within the explored bound).
+    pub races: Vec<RaceEvent>,
+    /// Complete (untruncated) traces enumerated.
+    pub traces: usize,
+    /// `true` if any bound was hit; a clean verdict is then
+    /// bounded-exhaustive rather than a proof.
+    pub truncated: bool,
+}
+
+impl ProgramDrfVerdict {
+    /// `true` iff no race was found.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+fn record_to_memop(rec: &OpRecord, id: u32, po_index: u32) -> MemOp {
+    MemOp {
+        id: OpId::new(id),
+        proc: rec.proc,
+        po_index,
+        kind: rec.kind,
+        loc: rec.loc,
+        read_value: rec.read_value,
+        written_value: rec.written_value,
+        hypothetical: false,
+    }
+}
+
+/// Checks whether `prog` obeys the data-race-free discipline under
+/// `mode`, by enumerating idealized executions up to the limits and
+/// running the vector-clock detector along each.
+///
+/// Returns as soon as one race is found (the program is racy; one
+/// witness suffices), otherwise exhausts the bounded trace set.
+pub fn check_program_drf(prog: &Program, mode: HbMode, limits: TraceLimits) -> ProgramDrfVerdict {
+    struct Search<'a> {
+        prog: &'a Program,
+        mode: HbMode,
+        limits: TraceLimits,
+        traces: usize,
+        truncated: bool,
+        races: Vec<RaceEvent>,
+        next_id: u32,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, state: &ScState, detector: &RaceDetector, ops_done: &[u32]) {
+            if !self.races.is_empty() || self.traces >= self.limits.max_traces {
+                if self.traces >= self.limits.max_traces {
+                    self.truncated = true;
+                }
+                return;
+            }
+            let mut advanced = false;
+            for t in 0..state.threads.len() {
+                if state.threads[t].is_halted() {
+                    continue;
+                }
+                let mut next = state.clone();
+                let Some(rec) = ScMachine::step_thread(self.prog, &mut next, t) else {
+                    continue;
+                };
+                advanced = true;
+                if ops_done[t] >= self.limits.max_ops_per_thread {
+                    self.truncated = true;
+                    continue;
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                let op = record_to_memop(&rec, id, ops_done[t]);
+                let mut det = detector.clone();
+                det.observe(&op);
+                if let Some(race) = det.races().first() {
+                    self.races.push(*race);
+                    return;
+                }
+                let mut done = ops_done.to_vec();
+                done[t] += 1;
+                self.dfs(&next, &det, &done);
+            }
+            if !advanced {
+                // Every live thread was halted: a complete trace.
+                self.traces += 1;
+            }
+        }
+    }
+
+    let mut search =
+        Search { prog, mode, limits, traces: 0, truncated: false, races: Vec::new(), next_id: 0 };
+    let detector = RaceDetector::new(prog.n_procs(), search.mode);
+    let initial = ScMachine.initial(prog);
+    let ops_done = vec![0u32; prog.n_procs()];
+    search.dfs(&initial, &detector, &ops_done);
+    ProgramDrfVerdict { races: search.races, traces: search.traces, truncated: search.truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakord_progs::{gen, litmus, workloads};
+
+    #[test]
+    fn litmus_drf0_annotations_are_correct() {
+        for lit in litmus::all() {
+            let verdict = check_program_drf(&lit.program, HbMode::Drf0, TraceLimits::default());
+            assert_eq!(
+                verdict.is_race_free(),
+                lit.drf0,
+                "{}: annotation says drf0={}, checker disagrees ({:?})",
+                lit.name,
+                lit.drf0,
+                verdict.races.first()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_race_free_programs_pass() {
+        for seed in 0..8 {
+            let prog = gen::race_free(seed, gen::GenParams::default());
+            let verdict = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+            assert!(verdict.is_race_free(), "{}: {:?}", prog.name, verdict.races.first());
+        }
+    }
+
+    #[test]
+    fn generated_racy_programs_usually_fail() {
+        let mut racy_found = 0;
+        for seed in 0..8 {
+            let prog = gen::racy(seed, gen::GenParams::default());
+            let verdict = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+            if !verdict.is_race_free() {
+                racy_found += 1;
+            }
+        }
+        assert!(racy_found >= 4, "only {racy_found}/8 racy programs detected");
+    }
+
+    #[test]
+    fn small_workloads_are_race_free() {
+        let spin = workloads::spinlock(workloads::SpinlockParams {
+            n_procs: 2,
+            sections_per_proc: 1,
+            writes_per_section: 1,
+            think: 0,
+        });
+        let verdict = check_program_drf(&spin, HbMode::Drf0, TraceLimits::default());
+        assert!(verdict.is_race_free(), "{:?}", verdict.races.first());
+
+        let pc = workloads::producer_consumer(workloads::PcParams {
+            items: 1,
+            produce_work: 0,
+            consume_work: 0,
+        });
+        let verdict = check_program_drf(&pc, HbMode::Drf0, TraceLimits::default());
+        assert!(verdict.is_race_free(), "{:?}", verdict.races.first());
+    }
+
+    #[test]
+    fn fig3_scenario_is_race_free() {
+        let prog = workloads::fig3_scenario(workloads::Fig3Params {
+            work_before_release: 0,
+            work_after_release: 0,
+            extra_writes: 1,
+            consumer_work: 0,
+        });
+        let verdict = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+        assert!(verdict.is_race_free(), "{:?}", verdict.races.first());
+    }
+}
+
+/// Conformance of a program to an arbitrary synchronization model,
+/// decided by enumerating (bounded) idealized executions and checking
+/// each with the model's own judge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramConformance {
+    /// Executions that violated the model (capped at the first few).
+    pub violating_traces: usize,
+    /// Complete traces enumerated.
+    pub traces: usize,
+    /// Whether a bound was hit.
+    pub truncated: bool,
+}
+
+impl ProgramConformance {
+    /// `true` iff no enumerated execution violated the model.
+    pub fn conforms(&self) -> bool {
+        self.violating_traces == 0
+    }
+}
+
+/// Checks whether `prog` obeys an arbitrary [`SynchronizationModel`]:
+/// Definition 3's quantification ("for any execution on the idealized
+/// system…") applied to the given model's per-execution judge.
+///
+/// Unlike [`check_program_drf`] — which fuses the race detector into
+/// the search — this materializes each complete idealized execution and
+/// asks the model, so it works for models whose judgement is not a
+/// happens-before race check (e.g. the monitor discipline of
+/// `weakord_core::MonitorModel`).
+pub fn check_program_conforms(
+    prog: &Program,
+    model: &dyn weakord_core::SynchronizationModel,
+    limits: TraceLimits,
+) -> ProgramConformance {
+    fn dfs(
+        prog: &Program,
+        model: &dyn weakord_core::SynchronizationModel,
+        limits: &TraceLimits,
+        state: &ScState,
+        ops: &mut Vec<MemOp>,
+        ops_done: &mut [u32],
+        next_id: &mut u32,
+        out: &mut ProgramConformance,
+    ) {
+        if out.traces >= limits.max_traces {
+            out.truncated = true;
+            return;
+        }
+        let mut advanced = false;
+        for t in 0..state.threads.len() {
+            if state.threads[t].is_halted() {
+                continue;
+            }
+            let mut next = state.clone();
+            let Some(rec) = ScMachine::step_thread(prog, &mut next, t) else {
+                continue;
+            };
+            advanced = true;
+            if ops_done[t] >= limits.max_ops_per_thread {
+                out.truncated = true;
+                continue;
+            }
+            let id = *next_id;
+            *next_id += 1;
+            ops.push(record_to_memop(&rec, id, ops_done[t]));
+            ops_done[t] += 1;
+            dfs(prog, model, limits, &next, ops, ops_done, next_id, out);
+            ops_done[t] -= 1;
+            ops.pop();
+        }
+        if !advanced {
+            out.traces += 1;
+            let exec = IdealizedExecution::from_observed(prog.n_procs() as u16, ops.clone())
+                .expect("enumerated execution is well-formed");
+            if !model.obeys(&exec) {
+                out.violating_traces += 1;
+            }
+        }
+    }
+
+    let mut out = ProgramConformance { violating_traces: 0, traces: 0, truncated: false };
+    let initial = ScMachine.initial(prog);
+    let mut ops = Vec::new();
+    let mut ops_done = vec![0u32; prog.n_procs()];
+    let mut next_id = 0u32;
+    dfs(prog, model, &limits, &initial, &mut ops, &mut ops_done, &mut next_id, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod conform_tests {
+    use super::*;
+    use weakord_core::{Drf0, MonitorModel};
+    use weakord_progs::gen;
+
+    fn limits() -> TraceLimits {
+        TraceLimits { max_ops_per_thread: 24, max_traces: 1_500 }
+    }
+
+    #[test]
+    fn conformance_agrees_with_the_fused_drf_checker() {
+        for seed in 0..6 {
+            for prog in [
+                gen::race_free(seed, gen::GenParams::default()),
+                gen::racy(seed, gen::GenParams::default()),
+            ] {
+                let fused = check_program_drf(&prog, HbMode::Drf0, limits());
+                let general = check_program_conforms(&prog, &Drf0, limits());
+                assert_eq!(
+                    fused.is_race_free(),
+                    general.conforms(),
+                    "{}: fused and general checkers disagree",
+                    prog.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_conformance_of_generated_programs() {
+        let params = gen::GenParams::default();
+        let model = MonitorModel::new(params.monitor_map());
+        for seed in 0..4 {
+            let clean = gen::race_free(seed, params);
+            assert!(check_program_conforms(&clean, &model, limits()).conforms(), "{}", clean.name);
+            let dirty = gen::racy(seed, params);
+            if dirty.name.starts_with("racy") {
+                assert!(
+                    !check_program_conforms(&dirty, &model, limits()).conforms(),
+                    "{}",
+                    dirty.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests over the operational machine models: the lattice of
+//! relaxations the paper's Figure 1 implies, checked on randomly
+//! generated programs rather than hand-picked litmus tests.
+
+use proptest::prelude::*;
+use weakord_core::HbMode;
+use weakord_mc::machines::{
+    BnrMachine, CacheDelayMachine, ScMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
+};
+use weakord_mc::{check_program_drf, explore, Limits, TraceLimits};
+use weakord_progs::gen::{race_free, racy, GenParams};
+
+fn small() -> GenParams {
+    GenParams {
+        n_procs: 2,
+        n_locks: 1,
+        data_per_lock: 1,
+        transactions_per_thread: 2,
+        accesses_per_transaction: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exploration is deterministic: same program, same outcome set and
+    /// state count.
+    #[test]
+    fn exploration_is_deterministic(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        let a = explore(&WoDef2Machine::default(), &prog, Limits::default());
+        let b = explore(&WoDef2Machine::default(), &prog, Limits::default());
+        prop_assert_eq!(a.outcomes, b.outcomes);
+        prop_assert_eq!(a.states, b.states);
+    }
+
+    /// Every machine's outcome set contains SC's (weakening hardware
+    /// only adds behaviours), for arbitrary generated programs.
+    #[test]
+    fn every_machine_is_a_superset_of_sc(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        let sc = explore(&ScMachine, &prog, Limits::default());
+        prop_assert!(!sc.truncated);
+        macro_rules! sup {
+            ($m:expr) => {{
+                let ex = explore(&$m, &prog, Limits::default());
+                prop_assert!(
+                    ex.outcomes.is_superset(&sc.outcomes),
+                    "{} lost SC outcomes on {}",
+                    weakord_mc::Machine::name(&$m),
+                    prog.name
+                );
+                prop_assert_eq!(ex.deadlocks, 0);
+            }};
+        }
+        sup!(WriteBufferMachine);
+        sup!(CacheDelayMachine);
+        sup!(BnrMachine);
+        sup!(WoDef1Machine);
+        sup!(WoDef2Machine::default());
+    }
+
+    /// The ordering-strength chain on every program:
+    /// BNR ⊆ Def1 ⊆ Def2 (each stronger machine's behaviours are
+    /// reproducible by the weaker one).
+    #[test]
+    fn strength_chain_bnr_def1_def2(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        let bnr = explore(&BnrMachine, &prog, Limits::default());
+        let d1 = explore(&WoDef1Machine, &prog, Limits::default());
+        let d2 = explore(&WoDef2Machine::default(), &prog, Limits::default());
+        prop_assert!(bnr.outcomes.is_subset(&d1.outcomes), "{}", prog.name);
+        prop_assert!(d1.outcomes.is_subset(&d2.outcomes), "{}", prog.name);
+    }
+
+    /// The contract on random programs: whenever the trace-level DRF0
+    /// check passes, both weakly ordered machines appear SC.
+    #[test]
+    fn contract_on_random_programs(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        let verdict = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+        if !verdict.is_race_free() {
+            return Ok(()); // the contract promises nothing
+        }
+        let sc = explore(&ScMachine, &prog, Limits::default());
+        for outcomes in [
+            explore(&WoDef1Machine, &prog, Limits::default()).outcomes,
+            explore(&WoDef2Machine::default(), &prog, Limits::default()).outcomes,
+        ] {
+            prop_assert!(outcomes.is_subset(&sc.outcomes), "{}", prog.name);
+        }
+        // The refined machine's contract is with respect to DRF1.
+        if check_program_drf(&prog, HbMode::Drf1, TraceLimits::default()).is_race_free() {
+            let refined = explore(&WoDef2Machine { drf1_refined: true }, &prog, Limits::default());
+            prop_assert!(refined.outcomes.is_subset(&sc.outcomes), "{}", prog.name);
+        }
+    }
+}

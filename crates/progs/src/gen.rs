@@ -1,0 +1,183 @@
+//! Seeded random program generators.
+//!
+//! The contract experiments (E3) quantify over *programs*: weakly
+//! ordered hardware must appear sequentially consistent to every DRF0
+//! program. These generators produce two families:
+//!
+//! * [`race_free`] — programs that obey DRF0 **by construction**: every
+//!   shared data location is owned by a lock, and threads only touch
+//!   data inside lock-protected transactions.
+//! * [`racy`] — the same skeleton, but some transactions skip the lock,
+//!   injecting data races.
+//!
+//! Generation is deterministic in the seed, so failures reproduce.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use weakord_core::Loc;
+
+use crate::ir::{Program, Reg, ThreadBuilder};
+
+/// Shape parameters for the generators.
+///
+/// Defaults are sized for exhaustive exploration (small state spaces);
+/// scale them up for the timed simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Number of threads.
+    pub n_procs: u16,
+    /// Number of locks (synchronization locations).
+    pub n_locks: u32,
+    /// Number of data locations per lock.
+    pub data_per_lock: u32,
+    /// Lock-protected transactions per thread.
+    pub transactions_per_thread: u32,
+    /// Data accesses inside each transaction.
+    pub accesses_per_transaction: u32,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            n_procs: 2,
+            n_locks: 2,
+            data_per_lock: 1,
+            transactions_per_thread: 2,
+            accesses_per_transaction: 2,
+        }
+    }
+}
+
+impl GenParams {
+    /// The monitor (data-location → lock) assignment the generator's
+    /// lock discipline follows — usable with
+    /// `weakord_core::MonitorModel` to check executions of generated
+    /// programs against the monitor synchronization model.
+    pub fn monitor_map(&self) -> weakord_core::MonitorMap {
+        let mut map = weakord_core::MonitorMap::new();
+        for lock in 0..self.n_locks {
+            for i in 0..self.data_per_lock {
+                map.guard(self.data(lock, i), self.lock(lock));
+            }
+        }
+        map
+    }
+
+    fn n_locs(&self) -> u32 {
+        self.n_locks * (1 + self.data_per_lock)
+    }
+
+    fn lock(&self, l: u32) -> Loc {
+        Loc::new(l)
+    }
+
+    fn data(&self, lock: u32, i: u32) -> Loc {
+        Loc::new(self.n_locks + lock * self.data_per_lock + i)
+    }
+}
+
+/// Generates a program that obeys DRF0 by construction: each thread runs
+/// `transactions_per_thread` transactions, each acquiring a random lock
+/// with a TestAndSet spin, performing random reads/writes of that lock's
+/// data, and releasing with a synchronization write.
+pub fn race_free(seed: u64, params: GenParams) -> Program {
+    build(seed, params, 0.0)
+}
+
+/// Like [`race_free`] but each transaction skips its lock with
+/// probability `race_prob` (default builders use 0.6), producing data
+/// races while keeping the same access skeleton.
+pub fn racy(seed: u64, params: GenParams) -> Program {
+    build(seed, params, 0.6)
+}
+
+fn build(seed: u64, params: GenParams, race_prob: f64) -> Program {
+    assert!(params.n_locks > 0, "generator needs at least one lock");
+    assert!(params.data_per_lock > 0, "generator needs data locations");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let r_lock = Reg::new(0);
+    let r_tmp = Reg::new(1);
+    let mut threads = Vec::with_capacity(params.n_procs as usize);
+    let mut any_unlocked = false;
+    for _ in 0..params.n_procs {
+        let mut t = ThreadBuilder::new();
+        for _ in 0..params.transactions_per_thread {
+            let lock = rng.random_range(0..params.n_locks);
+            let unlocked = rng.random_bool(race_prob);
+            any_unlocked |= unlocked;
+            if !unlocked {
+                // Acquire: spin TestAndSet until it returns 0 (free).
+                let attempt = t.here();
+                t.test_and_set(r_lock, params.lock(lock));
+                t.branch_non_zero(r_lock, attempt);
+            }
+            for _ in 0..params.accesses_per_transaction {
+                let d = params.data(lock, rng.random_range(0..params.data_per_lock));
+                if rng.random_bool(0.5) {
+                    t.read(r_tmp, d);
+                } else {
+                    let v = rng.random_range(1..4u64);
+                    t.write(d, v);
+                }
+            }
+            if !unlocked {
+                // Release.
+                t.sync_write(params.lock(lock), 0u64);
+            }
+        }
+        t.halt();
+        threads.push(t.finish());
+    }
+    let name = if race_prob > 0.0 && any_unlocked {
+        format!("racy-{seed}")
+    } else {
+        format!("race-free-{seed}")
+    };
+    Program::new(name, threads, params.n_locs()).expect("generated program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let p = GenParams::default();
+        assert_eq!(race_free(7, p), race_free(7, p));
+        assert_eq!(racy(7, p), racy(7, p));
+        assert_ne!(race_free(7, p).threads, race_free(8, p).threads);
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..20 {
+            race_free(seed, GenParams::default()).validate().unwrap();
+            racy(seed, GenParams::default()).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn race_free_programs_contain_lock_protocol() {
+        let p = race_free(3, GenParams::default());
+        // Every thread with a data access also has a TestAndSet and a
+        // sync release.
+        for t in &p.threads {
+            let has_data = t.instrs.iter().any(|i| {
+                matches!(i, crate::ir::Instr::Read { .. } | crate::ir::Instr::Write { .. })
+            });
+            let has_acquire =
+                t.instrs.iter().any(|i| matches!(i, crate::ir::Instr::SyncRmw { .. }));
+            let has_release =
+                t.instrs.iter().any(|i| matches!(i, crate::ir::Instr::SyncWrite { .. }));
+            if has_data {
+                assert!(has_acquire && has_release);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_parameters_scale_locations() {
+        let p = GenParams { n_locks: 3, data_per_lock: 2, ..GenParams::default() };
+        assert_eq!(race_free(0, p).n_locs, 9);
+    }
+}

@@ -1,0 +1,472 @@
+//! The architectural per-thread stepper.
+//!
+//! Every machine model — the exhaustive operational models in
+//! `weakord-mc` and the timed processors in `weakord-coherence` — drives
+//! threads through this one interpreter, so the *software* semantics is
+//! identical across all hardware models and only the *memory system*
+//! differs. A thread runs local instructions deterministically and
+//! surfaces each shared-memory access (or timed delay) to the machine,
+//! which decides when and how it completes.
+
+use std::fmt;
+
+use weakord_core::{Loc, Value};
+
+use crate::ir::{Instr, Operand, Program, Reg, RmwOp, Thread, N_REGS};
+
+/// Maximum local (non-memory) instructions executed per [`ThreadState::advance`]
+/// call before concluding the program has a local infinite loop.
+const LOCAL_FUEL: u32 = 100_000;
+
+/// A shared-memory access surfaced by a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Read of `loc`; `sync` distinguishes `Test` from a data read.
+    Read {
+        /// Location read.
+        loc: Loc,
+        /// `true` for a read-only synchronization operation.
+        sync: bool,
+    },
+    /// Write of `value` to `loc`; `sync` distinguishes `Set`/`Unset`
+    /// from a data write.
+    Write {
+        /// Location written.
+        loc: Loc,
+        /// Value stored.
+        value: Value,
+        /// `true` for a write-only synchronization operation.
+        sync: bool,
+    },
+    /// Atomic read-modify-write synchronization.
+    Rmw {
+        /// Location updated.
+        loc: Loc,
+        /// The update applied.
+        op: RmwOp,
+    },
+}
+
+impl Access {
+    /// Location the access touches.
+    pub fn loc(&self) -> Loc {
+        match *self {
+            Access::Read { loc, .. } | Access::Write { loc, .. } | Access::Rmw { loc, .. } => loc,
+        }
+    }
+
+    /// Returns `true` for synchronization accesses of any flavour.
+    pub fn is_sync(&self) -> bool {
+        match *self {
+            Access::Read { sync, .. } | Access::Write { sync, .. } => sync,
+            Access::Rmw { .. } => true,
+        }
+    }
+
+    /// Returns `true` if the access has a read component.
+    pub fn has_read(&self) -> bool {
+        matches!(self, Access::Read { .. } | Access::Rmw { .. })
+    }
+
+    /// Returns `true` if the access has a write component.
+    pub fn has_write(&self) -> bool {
+        matches!(self, Access::Write { .. } | Access::Rmw { .. })
+    }
+
+    /// The corresponding formal operation kind.
+    pub fn op_kind(&self) -> weakord_core::OpKind {
+        use weakord_core::OpKind;
+        match *self {
+            Access::Read { sync: false, .. } => OpKind::DataRead,
+            Access::Read { sync: true, .. } => OpKind::SyncRead,
+            Access::Write { sync: false, .. } => OpKind::DataWrite,
+            Access::Write { sync: true, .. } => OpKind::SyncWrite,
+            Access::Rmw { .. } => OpKind::SyncRmw,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Access::Read { loc, sync } => write!(f, "{}({loc})", if sync { "Test" } else { "R" }),
+            Access::Write { loc, value, sync } => {
+                write!(f, "{}({loc})={value}", if sync { "Set" } else { "W" })
+            }
+            Access::Rmw { loc, op } => write!(f, "{op}({loc})"),
+        }
+    }
+}
+
+/// What a thread did when advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadEvent {
+    /// The thread is at a shared-memory access; the machine must decide
+    /// its completion and call [`ThreadState::complete`].
+    Access(Access),
+    /// The thread wants to burn this many cycles of local work
+    /// (`Instr::Delay`); call [`ThreadState::complete`] when done.
+    Delay(u32),
+    /// The thread has halted.
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Status {
+    Ready,
+    AtAccess,
+    Halted,
+}
+
+/// The architectural state of one thread: program counter and register
+/// file. `Clone + Eq + Hash` so machine states embedding it can be
+/// deduplicated during exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadState {
+    pc: u32,
+    regs: [Value; N_REGS],
+    status: Status,
+}
+
+impl Default for ThreadState {
+    fn default() -> Self {
+        ThreadState::new()
+    }
+}
+
+impl ThreadState {
+    /// A fresh thread at instruction 0 with zeroed registers.
+    pub fn new() -> Self {
+        ThreadState { pc: 0, regs: [Value::ZERO; N_REGS], status: Status::Ready }
+    }
+
+    /// Returns `true` once the thread has executed `Halt` (or run off an
+    /// empty instruction list).
+    pub fn is_halted(&self) -> bool {
+        self.status == Status::Halted
+    }
+
+    /// Returns `true` while the thread is parked on an access returned
+    /// by [`ThreadState::advance`].
+    pub fn is_at_access(&self) -> bool {
+        self.status == Status::AtAccess
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, r: Reg) -> Value {
+        self.regs[r.index()]
+    }
+
+    /// The whole register file (used to assemble [`crate::Outcome`]s).
+    pub fn regs(&self) -> [Value; N_REGS] {
+        self.regs
+    }
+
+    fn eval(&self, op: Operand) -> Value {
+        match op {
+            Operand::Const(v) => v,
+            Operand::Reg(r) => self.regs[r.index()],
+        }
+    }
+
+    /// Runs local instructions until the next shared-memory access,
+    /// delay, or halt. Idempotent while parked: calling `advance` again
+    /// without [`ThreadState::complete`] returns the same event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread executes 100 000 local instructions
+    /// without reaching an access (a local infinite loop), or if `thread`
+    /// is not the thread this state was previously advanced with
+    /// (instruction indices out of range).
+    pub fn advance(&mut self, thread: &Thread) -> ThreadEvent {
+        match self.status {
+            Status::Halted => return ThreadEvent::Halted,
+            Status::AtAccess => return self.current_event(thread),
+            Status::Ready => {}
+        }
+        let mut fuel = LOCAL_FUEL;
+        loop {
+            let Some(instr) = thread.instrs.get(self.pc as usize) else {
+                self.status = Status::Halted;
+                return ThreadEvent::Halted;
+            };
+            match *instr {
+                Instr::Halt => {
+                    self.status = Status::Halted;
+                    return ThreadEvent::Halted;
+                }
+                Instr::Move { dst, src } => {
+                    self.regs[dst.index()] = self.eval(src);
+                    self.pc += 1;
+                }
+                Instr::Add { dst, src } => {
+                    let rhs = self.eval(src);
+                    let cur = self.regs[dst.index()];
+                    self.regs[dst.index()] = cur.wrapping_add(rhs.get());
+                    self.pc += 1;
+                }
+                Instr::Sub { dst, src } => {
+                    let rhs = self.eval(src);
+                    let cur = self.regs[dst.index()];
+                    self.regs[dst.index()] = cur.wrapping_add(rhs.get().wrapping_neg());
+                    self.pc += 1;
+                }
+                Instr::Jump { target } => self.pc = target,
+                Instr::BranchZero { reg, target } => {
+                    self.pc =
+                        if self.regs[reg.index()] == Value::ZERO { target } else { self.pc + 1 };
+                }
+                Instr::BranchNonZero { reg, target } => {
+                    self.pc =
+                        if self.regs[reg.index()] != Value::ZERO { target } else { self.pc + 1 };
+                }
+                Instr::Read { .. }
+                | Instr::Write { .. }
+                | Instr::SyncRead { .. }
+                | Instr::SyncWrite { .. }
+                | Instr::SyncRmw { .. }
+                | Instr::Delay { .. } => {
+                    self.status = Status::AtAccess;
+                    return self.current_event(thread);
+                }
+            }
+            fuel -= 1;
+            assert!(fuel > 0, "thread executed {LOCAL_FUEL} local instructions without a memory access; local infinite loop?");
+        }
+    }
+
+    fn current_event(&self, thread: &Thread) -> ThreadEvent {
+        match thread.instrs[self.pc as usize] {
+            Instr::Read { loc, .. } => ThreadEvent::Access(Access::Read { loc, sync: false }),
+            Instr::SyncRead { loc, .. } => ThreadEvent::Access(Access::Read { loc, sync: true }),
+            Instr::Write { loc, src } => {
+                ThreadEvent::Access(Access::Write { loc, value: self.eval(src), sync: false })
+            }
+            Instr::SyncWrite { loc, src } => {
+                ThreadEvent::Access(Access::Write { loc, value: self.eval(src), sync: true })
+            }
+            Instr::SyncRmw { loc, op, .. } => ThreadEvent::Access(Access::Rmw { loc, op }),
+            Instr::Delay { cycles } => ThreadEvent::Delay(cycles),
+            ref other => unreachable!("parked on non-access instruction {other:?}"),
+        }
+    }
+
+    /// Completes the access the thread is parked on. For accesses with a
+    /// read component, `read_value` must carry the value returned (for an
+    /// RMW, the *old* value); for writes and delays pass `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not parked on an access, or if the
+    /// presence of `read_value` does not match the access's read
+    /// component.
+    pub fn complete(&mut self, thread: &Thread, read_value: Option<Value>) {
+        assert_eq!(self.status, Status::AtAccess, "complete: thread is not parked on an access");
+        match thread.instrs[self.pc as usize] {
+            Instr::Read { dst, .. } | Instr::SyncRead { dst, .. } | Instr::SyncRmw { dst, .. } => {
+                let v = read_value.expect("complete: access with a read component needs a value");
+                self.regs[dst.index()] = v;
+            }
+            Instr::Write { .. } | Instr::SyncWrite { .. } | Instr::Delay { .. } => {
+                assert!(
+                    read_value.is_none(),
+                    "complete: access without a read component got a value"
+                );
+            }
+            ref other => unreachable!("parked on non-access instruction {other:?}"),
+        }
+        self.pc += 1;
+        self.status = Status::Ready;
+    }
+}
+
+/// Convenience: the initial thread states for a whole program.
+pub fn initial_threads(prog: &Program) -> Vec<ThreadState> {
+    prog.threads.iter().map(|_| ThreadState::new()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ThreadBuilder;
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn straight_line_thread_surfaces_accesses_in_order() {
+        let mut t = ThreadBuilder::new();
+        t.write(l(0), 1u64);
+        t.read(r(0), l(1));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        match st.advance(&thread) {
+            ThreadEvent::Access(Access::Write { loc, value, sync: false }) => {
+                assert_eq!(loc, l(0));
+                assert_eq!(value, Value::new(1));
+            }
+            e => panic!("unexpected event {e:?}"),
+        }
+        st.complete(&thread, None);
+        match st.advance(&thread) {
+            ThreadEvent::Access(Access::Read { loc, sync: false }) => assert_eq!(loc, l(1)),
+            e => panic!("unexpected event {e:?}"),
+        }
+        st.complete(&thread, Some(Value::new(7)));
+        assert_eq!(st.reg(r(0)), Value::new(7));
+        assert_eq!(st.advance(&thread), ThreadEvent::Halted);
+        assert!(st.is_halted());
+    }
+
+    #[test]
+    fn advance_is_idempotent_while_parked() {
+        let mut t = ThreadBuilder::new();
+        t.read(r(0), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        let first = st.advance(&thread);
+        let second = st.advance(&thread);
+        assert_eq!(first, second);
+        assert!(st.is_at_access());
+    }
+
+    #[test]
+    fn local_instructions_execute_inline() {
+        let mut t = ThreadBuilder::new();
+        t.mov(r(0), 5u64);
+        t.add(r(0), 3u64);
+        t.write(l(0), r(0));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        match st.advance(&thread) {
+            ThreadEvent::Access(Access::Write { value, .. }) => assert_eq!(value, Value::new(8)),
+            e => panic!("unexpected event {e:?}"),
+        }
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Count down from 3 with a loop; write the loop trip count.
+        let mut t = ThreadBuilder::new();
+        t.mov(r(0), 3u64);
+        t.mov(r(1), 0u64);
+        let top = t.here();
+        let exit = t.branch_zero_placeholder(r(0));
+        t.add(r(0), u64::MAX); // -1 (wrapping)
+        t.add(r(1), 1u64);
+        t.jump(top);
+        let after = t.here();
+        t.patch(exit, after);
+        t.write(l(0), r(1));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        match st.advance(&thread) {
+            ThreadEvent::Access(Access::Write { value, .. }) => assert_eq!(value, Value::new(3)),
+            e => panic!("unexpected event {e:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_accesses_carry_their_kind() {
+        let mut t = ThreadBuilder::new();
+        t.sync_read(r(0), l(0));
+        t.sync_write(l(0), 0u64);
+        t.test_and_set(r(1), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        let e = st.advance(&thread);
+        assert_eq!(e, ThreadEvent::Access(Access::Read { loc: l(0), sync: true }));
+        st.complete(&thread, Some(Value::ZERO));
+        let e = st.advance(&thread);
+        assert_eq!(
+            e,
+            ThreadEvent::Access(Access::Write { loc: l(0), value: Value::ZERO, sync: true })
+        );
+        st.complete(&thread, None);
+        match st.advance(&thread) {
+            ThreadEvent::Access(a @ Access::Rmw { op: RmwOp::TestAndSet, .. }) => {
+                assert!(a.is_sync() && a.has_read() && a.has_write());
+            }
+            e => panic!("unexpected event {e:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_surfaces_and_completes() {
+        let mut t = ThreadBuilder::new();
+        t.delay(42);
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        assert_eq!(st.advance(&thread), ThreadEvent::Delay(42));
+        st.complete(&thread, None);
+        assert_eq!(st.advance(&thread), ThreadEvent::Halted);
+    }
+
+    #[test]
+    fn empty_thread_halts_immediately() {
+        let thread = Thread::new();
+        let mut st = ThreadState::new();
+        assert_eq!(st.advance(&thread), ThreadEvent::Halted);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn completing_read_without_value_panics() {
+        let mut t = ThreadBuilder::new();
+        t.read(r(0), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        st.advance(&thread);
+        st.complete(&thread, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "local infinite loop")]
+    fn local_infinite_loop_detected() {
+        let mut t = ThreadBuilder::new();
+        t.jump(0);
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        st.advance(&thread);
+    }
+
+    #[test]
+    fn access_op_kind_mapping() {
+        use weakord_core::OpKind;
+        assert_eq!(Access::Read { loc: l(0), sync: false }.op_kind(), OpKind::DataRead);
+        assert_eq!(Access::Read { loc: l(0), sync: true }.op_kind(), OpKind::SyncRead);
+        assert_eq!(
+            Access::Write { loc: l(0), value: Value::ZERO, sync: false }.op_kind(),
+            OpKind::DataWrite
+        );
+        assert_eq!(
+            Access::Write { loc: l(0), value: Value::ZERO, sync: true }.op_kind(),
+            OpKind::SyncWrite
+        );
+        assert_eq!(Access::Rmw { loc: l(0), op: RmwOp::TestAndSet }.op_kind(), OpKind::SyncRmw);
+    }
+
+    #[test]
+    fn access_display() {
+        assert_eq!(Access::Read { loc: l(0), sync: false }.to_string(), "R(loc0)");
+        assert_eq!(Access::Read { loc: l(0), sync: true }.to_string(), "Test(loc0)");
+        assert_eq!(
+            Access::Write { loc: l(1), value: Value::new(2), sync: true }.to_string(),
+            "Set(loc1)=2"
+        );
+        assert_eq!(Access::Rmw { loc: l(2), op: RmwOp::TestAndSet }.to_string(), "tas(loc2)");
+    }
+}

@@ -1,0 +1,670 @@
+//! A small program representation for multiprocessor memory-model
+//! experiments.
+//!
+//! Programs are per-processor instruction sequences over a register file
+//! and shared memory locations. Memory is touched only through explicit
+//! [`Instr`] variants, and synchronization uses hardware-recognizable,
+//! single-location primitives — exactly the software DRF0
+//! (Definition 3, condition 1) talks about. Local computation (register
+//! moves, arithmetic, branches) lets litmus tests express conditional
+//! outcomes and lets workloads express spin loops, critical sections and
+//! barriers.
+
+use std::fmt;
+
+use weakord_core::{Loc, Value};
+
+/// Number of registers each thread owns.
+pub const N_REGS: usize = 8;
+
+/// A thread-local register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N_REGS`.
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < N_REGS, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A source operand: an immediate value or a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An immediate constant.
+    Const(Value),
+    /// The current content of a register.
+    Reg(Reg),
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Const(v)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Const(Value::new(v))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "#{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// The atomic update performed by a read-modify-write synchronization
+/// primitive. All variants read the old value and store a new one in a
+/// single indivisible step (with respect to other synchronization
+/// operations on the same location — the Section 5.2 assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `TestAndSet`: store 1, return the old value.
+    TestAndSet,
+    /// Fetch-and-add: store `old + k`, return the old value.
+    FetchAdd(u64),
+    /// Swap: store the operand's value, return the old value.
+    Swap(Value),
+}
+
+impl RmwOp {
+    /// Computes the stored value from the value read.
+    pub fn apply(self, old: Value) -> Value {
+        match self {
+            RmwOp::TestAndSet => Value::new(1),
+            RmwOp::FetchAdd(k) => old.wrapping_add(k),
+            RmwOp::Swap(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for RmwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmwOp::TestAndSet => write!(f, "tas"),
+            RmwOp::FetchAdd(k) => write!(f, "faa+{k}"),
+            RmwOp::Swap(v) => write!(f, "swap={v}"),
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant fields (dst/src/loc/target) are self-describing
+pub enum Instr {
+    /// Data read of `loc` into `dst`.
+    Read { dst: Reg, loc: Loc },
+    /// Data write of `src` to `loc`.
+    Write { loc: Loc, src: Operand },
+    /// Read-only synchronization (`Test`): reads `loc` into `dst`.
+    SyncRead { dst: Reg, loc: Loc },
+    /// Write-only synchronization (`Set`/`Unset`): stores `src` to `loc`.
+    SyncWrite { loc: Loc, src: Operand },
+    /// Read-modify-write synchronization; the old value lands in `dst`.
+    SyncRmw { dst: Reg, loc: Loc, op: RmwOp },
+    /// Branch to `target` if the register is zero.
+    BranchZero { reg: Reg, target: u32 },
+    /// Branch to `target` if the register is non-zero.
+    BranchNonZero { reg: Reg, target: u32 },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// `dst := src`.
+    Move { dst: Reg, src: Operand },
+    /// `dst := dst + src` (wrapping).
+    Add { dst: Reg, src: Operand },
+    /// `dst := dst - src` (wrapping).
+    Sub { dst: Reg, src: Operand },
+    /// Local work taking `cycles` processor cycles in the timed
+    /// simulator; a no-op for exhaustive exploration.
+    Delay { cycles: u32 },
+    /// Stop this thread.
+    Halt,
+}
+
+impl Instr {
+    /// Returns `true` if executing this instruction touches shared
+    /// memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Read { .. }
+                | Instr::Write { .. }
+                | Instr::SyncRead { .. }
+                | Instr::SyncWrite { .. }
+                | Instr::SyncRmw { .. }
+        )
+    }
+}
+
+/// Validation failure for a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch or jump target is past the end of the thread.
+    BadTarget {
+        /// Thread index.
+        thread: usize,
+        /// Instruction index.
+        instr: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A memory instruction names a location `>= n_locs`.
+    BadLocation {
+        /// Thread index.
+        thread: usize,
+        /// Instruction index.
+        instr: usize,
+        /// The offending location.
+        loc: Loc,
+    },
+    /// A thread does not end every path with `Halt` (the last
+    /// instruction must be `Halt`, `Jump`, or a branch).
+    MissingHalt {
+        /// Thread index.
+        thread: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BadTarget { thread, instr, target } => {
+                write!(
+                    f,
+                    "thread {thread} instruction {instr}: branch target {target} out of range"
+                )
+            }
+            ProgramError::BadLocation { thread, instr, loc } => {
+                write!(f, "thread {thread} instruction {instr}: location {loc} out of range")
+            }
+            ProgramError::MissingHalt { thread } => {
+                write!(f, "thread {thread} can run past the end of its instruction list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// One processor's instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Thread {
+    /// The instructions, executed from index 0.
+    pub instrs: Vec<Instr>,
+}
+
+impl Thread {
+    /// Creates an empty thread (equivalent to a single `Halt`).
+    pub fn new() -> Self {
+        Thread::default()
+    }
+}
+
+/// A whole multiprocessor program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Program {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// One [`Thread`] per processor.
+    pub threads: Vec<Thread>,
+    /// Number of shared memory locations; every location named by an
+    /// instruction must be `< n_locs`.
+    pub n_locs: u32,
+}
+
+impl Program {
+    /// Creates a program and validates it.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn new(
+        name: impl Into<String>,
+        threads: Vec<Thread>,
+        n_locs: u32,
+    ) -> Result<Self, ProgramError> {
+        let prog = Program { name: name.into(), threads, n_locs };
+        prog.validate()?;
+        Ok(prog)
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Re-checks the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for (t, thread) in self.threads.iter().enumerate() {
+            let n = thread.instrs.len() as u32;
+            for (i, instr) in thread.instrs.iter().enumerate() {
+                let target = match instr {
+                    Instr::BranchZero { target, .. }
+                    | Instr::BranchNonZero { target, .. }
+                    | Instr::Jump { target } => Some(*target),
+                    _ => None,
+                };
+                if let Some(target) = target {
+                    if target >= n {
+                        return Err(ProgramError::BadTarget { thread: t, instr: i, target });
+                    }
+                }
+                let loc = match instr {
+                    Instr::Read { loc, .. }
+                    | Instr::Write { loc, .. }
+                    | Instr::SyncRead { loc, .. }
+                    | Instr::SyncWrite { loc, .. }
+                    | Instr::SyncRmw { loc, .. } => Some(*loc),
+                    _ => None,
+                };
+                if let Some(loc) = loc {
+                    if loc.raw() >= self.n_locs {
+                        return Err(ProgramError::BadLocation { thread: t, instr: i, loc });
+                    }
+                }
+            }
+            // Every thread must end in an instruction that cannot fall
+            // through (Halt/Jump), so the interpreter never runs off the
+            // end. Branches can fall through, so they do not qualify.
+            match thread.instrs.last() {
+                None | Some(Instr::Halt) | Some(Instr::Jump { .. }) => {}
+                Some(_) => return Err(ProgramError::MissingHalt { thread: t }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Upper bound on the number of memory operations a straight-line
+    /// pass over each thread would perform (loops can exceed it; used
+    /// only for capacity hints).
+    pub fn memory_instr_count(&self) -> usize {
+        self.threads.iter().map(|t| t.instrs.iter().filter(|i| i.is_memory()).count()).sum()
+    }
+}
+
+/// Fluent assembler for a [`Thread`].
+///
+/// Forward branches are created with `*_placeholder` and patched once
+/// the target is known:
+///
+/// ```
+/// use weakord_progs::{Reg, ThreadBuilder};
+/// use weakord_core::Loc;
+/// let mut t = ThreadBuilder::new();
+/// let r0 = Reg::new(0);
+/// t.read(r0, Loc::new(0));
+/// let j = t.branch_zero_placeholder(r0);
+/// t.write(Loc::new(1), 1u64);
+/// let end = t.here();
+/// t.patch(j, end);
+/// t.halt();
+/// let thread = t.finish();
+/// assert_eq!(thread.instrs.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThreadBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl ThreadBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ThreadBuilder::default()
+    }
+
+    /// Index the next pushed instruction will get.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Pushes a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Data read of `loc` into `dst`.
+    pub fn read(&mut self, dst: Reg, loc: Loc) -> &mut Self {
+        self.push(Instr::Read { dst, loc })
+    }
+
+    /// Data write of `src` to `loc`.
+    pub fn write(&mut self, loc: Loc, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Write { loc, src: src.into() })
+    }
+
+    /// `Test`: read-only synchronization into `dst`.
+    pub fn sync_read(&mut self, dst: Reg, loc: Loc) -> &mut Self {
+        self.push(Instr::SyncRead { dst, loc })
+    }
+
+    /// `Set`/`Unset`: write-only synchronization storing `src`.
+    pub fn sync_write(&mut self, loc: Loc, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::SyncWrite { loc, src: src.into() })
+    }
+
+    /// `TestAndSet` into `dst`.
+    pub fn test_and_set(&mut self, dst: Reg, loc: Loc) -> &mut Self {
+        self.push(Instr::SyncRmw { dst, loc, op: RmwOp::TestAndSet })
+    }
+
+    /// Fetch-and-add `k`, old value into `dst`.
+    pub fn fetch_add(&mut self, dst: Reg, loc: Loc, k: u64) -> &mut Self {
+        self.push(Instr::SyncRmw { dst, loc, op: RmwOp::FetchAdd(k) })
+    }
+
+    /// Atomic swap storing `v`, old value into `dst`.
+    pub fn swap(&mut self, dst: Reg, loc: Loc, v: Value) -> &mut Self {
+        self.push(Instr::SyncRmw { dst, loc, op: RmwOp::Swap(v) })
+    }
+
+    /// Branch to `target` if `reg` is zero.
+    pub fn branch_zero(&mut self, reg: Reg, target: u32) -> &mut Self {
+        self.push(Instr::BranchZero { reg, target })
+    }
+
+    /// Branch to `target` if `reg` is non-zero.
+    pub fn branch_non_zero(&mut self, reg: Reg, target: u32) -> &mut Self {
+        self.push(Instr::BranchNonZero { reg, target })
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: u32) -> &mut Self {
+        self.push(Instr::Jump { target })
+    }
+
+    /// `dst := src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Move { dst, src: src.into() })
+    }
+
+    /// `dst := dst + src`.
+    pub fn add(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Add { dst, src: src.into() })
+    }
+
+    /// `dst := dst - src`.
+    pub fn sub(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Sub { dst, src: src.into() })
+    }
+
+    /// Local work of `cycles` cycles (timed simulator only).
+    pub fn delay(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instr::Delay { cycles })
+    }
+
+    /// Stop the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Pushes a branch-if-zero with a dummy target; patch it later.
+    pub fn branch_zero_placeholder(&mut self, reg: Reg) -> usize {
+        let at = self.instrs.len();
+        self.push(Instr::BranchZero { reg, target: 0 });
+        at
+    }
+
+    /// Pushes a branch-if-non-zero with a dummy target; patch it later.
+    pub fn branch_non_zero_placeholder(&mut self, reg: Reg) -> usize {
+        let at = self.instrs.len();
+        self.push(Instr::BranchNonZero { reg, target: 0 });
+        at
+    }
+
+    /// Pushes a jump with a dummy target; patch it later.
+    pub fn jump_placeholder(&mut self) -> usize {
+        let at = self.instrs.len();
+        self.push(Instr::Jump { target: 0 });
+        at
+    }
+
+    /// Rewrites the target of the branch/jump at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not hold a branch or jump.
+    pub fn patch(&mut self, at: usize, target: u32) -> &mut Self {
+        match &mut self.instrs[at] {
+            Instr::BranchZero { target: t, .. }
+            | Instr::BranchNonZero { target: t, .. }
+            | Instr::Jump { target: t } => *t = target,
+            other => panic!("patch: instruction at {at} is not a branch/jump: {other:?}"),
+        }
+        self
+    }
+
+    /// Finishes the thread.
+    pub fn finish(self) -> Thread {
+        Thread { instrs: self.instrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_rejects_out_of_range() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn rmw_apply() {
+        assert_eq!(RmwOp::TestAndSet.apply(Value::ZERO), Value::new(1));
+        assert_eq!(RmwOp::TestAndSet.apply(Value::new(9)), Value::new(1));
+        assert_eq!(RmwOp::FetchAdd(3).apply(Value::new(4)), Value::new(7));
+        assert_eq!(RmwOp::Swap(Value::new(5)).apply(Value::new(4)), Value::new(5));
+    }
+
+    #[test]
+    fn program_validation_accepts_well_formed() {
+        let mut t = ThreadBuilder::new();
+        t.write(l(0), 1u64);
+        t.read(Reg::new(0), l(1));
+        t.halt();
+        let p = Program::new("ok", vec![t.finish()], 2).unwrap();
+        assert_eq!(p.n_procs(), 1);
+        assert_eq!(p.memory_instr_count(), 2);
+    }
+
+    #[test]
+    fn program_rejects_bad_target() {
+        let mut t = ThreadBuilder::new();
+        t.jump(5);
+        let err = Program::new("bad", vec![t.finish()], 1).unwrap_err();
+        assert!(matches!(err, ProgramError::BadTarget { target: 5, .. }));
+    }
+
+    #[test]
+    fn program_rejects_bad_location() {
+        let mut t = ThreadBuilder::new();
+        t.write(l(3), 1u64);
+        t.halt();
+        let err = Program::new("bad", vec![t.finish()], 2).unwrap_err();
+        assert!(matches!(err, ProgramError::BadLocation { .. }));
+    }
+
+    #[test]
+    fn program_rejects_fallthrough_end() {
+        let mut t = ThreadBuilder::new();
+        t.write(l(0), 1u64);
+        let err = Program::new("bad", vec![t.finish()], 1).unwrap_err();
+        assert!(matches!(err, ProgramError::MissingHalt { thread: 0 }));
+    }
+
+    #[test]
+    fn empty_thread_is_valid() {
+        let p = Program::new("empty", vec![Thread::new()], 0).unwrap();
+        assert_eq!(p.memory_instr_count(), 0);
+    }
+
+    #[test]
+    fn branch_as_last_instruction_is_rejected() {
+        let mut t = ThreadBuilder::new();
+        t.branch_zero(Reg::new(0), 0);
+        let err = Program::new("bad", vec![t.finish()], 0).unwrap_err();
+        assert!(matches!(err, ProgramError::MissingHalt { .. }));
+    }
+
+    #[test]
+    fn placeholder_patching() {
+        let mut t = ThreadBuilder::new();
+        let j = t.jump_placeholder();
+        t.halt();
+        let end = t.here() - 1;
+        t.patch(j, end);
+        let th = t.finish();
+        assert_eq!(th.instrs[0], Instr::Jump { target: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a branch")]
+    fn patch_rejects_non_branch() {
+        let mut t = ThreadBuilder::new();
+        t.halt();
+        t.patch(0, 0);
+    }
+
+    #[test]
+    fn operand_conversions_and_display() {
+        assert_eq!(Operand::from(3u64), Operand::Const(Value::new(3)));
+        assert_eq!(Operand::from(Reg::new(2)), Operand::Reg(Reg::new(2)));
+        assert_eq!(Operand::Const(Value::new(3)).to_string(), "#3");
+        assert_eq!(Operand::Reg(Reg::new(2)).to_string(), "r2");
+    }
+
+    #[test]
+    fn is_memory_classification() {
+        assert!(Instr::Read { dst: Reg::new(0), loc: l(0) }.is_memory());
+        assert!(Instr::SyncRmw { dst: Reg::new(0), loc: l(0), op: RmwOp::TestAndSet }.is_memory());
+        assert!(!Instr::Halt.is_memory());
+        assert!(!Instr::Delay { cycles: 3 }.is_memory());
+        assert!(!Instr::Move { dst: Reg::new(0), src: Operand::from(1u64) }.is_memory());
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Read { dst, loc } => write!(f, "{dst} := read {loc}"),
+            Instr::Write { loc, src } => write!(f, "write {loc} := {src}"),
+            Instr::SyncRead { dst, loc } => write!(f, "{dst} := sync.test {loc}"),
+            Instr::SyncWrite { loc, src } => write!(f, "sync.set {loc} := {src}"),
+            Instr::SyncRmw { dst, loc, op } => write!(f, "{dst} := sync.{op} {loc}"),
+            Instr::BranchZero { reg, target } => write!(f, "bz {reg}, @{target}"),
+            Instr::BranchNonZero { reg, target } => write!(f, "bnz {reg}, @{target}"),
+            Instr::Jump { target } => write!(f, "jmp @{target}"),
+            Instr::Move { dst, src } => write!(f, "{dst} := {src}"),
+            Instr::Add { dst, src } => write!(f, "{dst} += {src}"),
+            Instr::Sub { dst, src } => write!(f, "{dst} -= {src}"),
+            Instr::Delay { cycles } => write!(f, "delay {cycles}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembles the whole program, one thread per column-block.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program `{}` ({} threads, {} locations)",
+            self.name,
+            self.threads.len(),
+            self.n_locs
+        )?;
+        for (t, thread) in self.threads.iter().enumerate() {
+            writeln!(f, "  thread {t}:")?;
+            if thread.instrs.is_empty() {
+                writeln!(f, "    (empty)")?;
+            }
+            for (i, instr) in thread.instrs.iter().enumerate() {
+                writeln!(f, "    @{i:<3} {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn instr_display_covers_all_variants() {
+        let r = Reg::new(1);
+        let l = Loc::new(2);
+        let cases = [
+            (Instr::Read { dst: r, loc: l }, "r1 := read loc2"),
+            (Instr::Write { loc: l, src: Operand::Const(Value::new(3)) }, "write loc2 := #3"),
+            (Instr::SyncRead { dst: r, loc: l }, "r1 := sync.test loc2"),
+            (Instr::SyncWrite { loc: l, src: Operand::Reg(r) }, "sync.set loc2 := r1"),
+            (Instr::SyncRmw { dst: r, loc: l, op: RmwOp::TestAndSet }, "r1 := sync.tas loc2"),
+            (Instr::BranchZero { reg: r, target: 4 }, "bz r1, @4"),
+            (Instr::BranchNonZero { reg: r, target: 4 }, "bnz r1, @4"),
+            (Instr::Jump { target: 9 }, "jmp @9"),
+            (Instr::Move { dst: r, src: Operand::Const(Value::new(1)) }, "r1 := #1"),
+            (Instr::Add { dst: r, src: Operand::Const(Value::new(1)) }, "r1 += #1"),
+            (Instr::Sub { dst: r, src: Operand::Const(Value::new(1)) }, "r1 -= #1"),
+            (Instr::Delay { cycles: 7 }, "delay 7"),
+            (Instr::Halt, "halt"),
+        ];
+        for (instr, want) in cases {
+            assert_eq!(instr.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn program_display_lists_threads() {
+        let mut t = ThreadBuilder::new();
+        t.write(Loc::new(0), 1u64);
+        t.halt();
+        let p = Program::new("demo", vec![t.finish(), Thread::new()], 1).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("program `demo` (2 threads, 1 locations)"), "{s}");
+        assert!(s.contains("@0   write loc0 := #1"), "{s}");
+        assert!(s.contains("(empty)"), "{s}");
+    }
+}

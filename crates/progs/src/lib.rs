@@ -1,0 +1,42 @@
+//! # weakord-progs — programs for memory-model experiments
+//!
+//! The software side of the weak-ordering contract needs programs to
+//! run: this crate provides a small instruction set ([`Instr`]) over
+//! registers and shared locations with explicit, hardware-recognizable
+//! synchronization primitives (`Test`, `Set`/`Unset`, `TestAndSet`,
+//! fetch-and-add, swap), an architectural stepper ([`ThreadState`])
+//! shared by every machine model in the workspace, a litmus-test library
+//! ([`litmus`]) annotated with SC-forbidden outcomes, parameterized
+//! workloads ([`workloads`]) for the performance experiments, and seeded
+//! random program generators ([`gen`]) for the contract sweeps.
+//!
+//! ## Example: assemble and step the Figure 1 fragment
+//!
+//! ```
+//! use weakord_progs::{litmus, Access, ThreadEvent, ThreadState};
+//!
+//! let dekker = litmus::fig1_dekker();
+//! let mut t0 = ThreadState::new();
+//! match t0.advance(&dekker.program.threads[0]) {
+//!     ThreadEvent::Access(Access::Write { .. }) => {} // X = 1
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delay;
+pub mod gen;
+mod interp;
+mod ir;
+pub mod litmus;
+mod outcome;
+mod parse;
+pub mod workloads;
+
+pub use interp::{initial_threads, Access, ThreadEvent, ThreadState};
+pub use ir::{Instr, Operand, Program, ProgramError, Reg, RmwOp, Thread, ThreadBuilder, N_REGS};
+pub use litmus::Litmus;
+pub use outcome::Outcome;
+pub use parse::{parse_program, unparse_program, ParseError};

@@ -1,0 +1,485 @@
+//! Named litmus tests, each annotated with its sequentially-consistency-
+//! forbidden outcome.
+//!
+//! The centerpiece is [`fig1_dekker`], the paper's Figure 1: the
+//! Dekker-style violation that is possible on all four relaxed hardware
+//! configurations but impossible under sequential consistency. The rest
+//! of the suite covers the classic shapes (message passing, load
+//! buffering, coherence, IRIW) plus properly synchronized variants that
+//! obey DRF0 — the programs to which weakly ordered hardware *must*
+//! appear sequentially consistent (Definition 2).
+
+use weakord_core::{Loc, Value};
+
+use crate::ir::{Program, Reg, ThreadBuilder};
+use crate::outcome::Outcome;
+
+/// A litmus test: a program plus the outcome sequential consistency
+/// forbids.
+#[derive(Debug, Clone)]
+pub struct Litmus {
+    /// Short name, e.g. `"fig1-dekker"`.
+    pub name: &'static str,
+    /// One-line description of what the test probes.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Recognizes the non-SC outcome.
+    pub non_sc: fn(&Outcome) -> bool,
+    /// `true` if the program obeys DRF0 — weakly ordered hardware must
+    /// then make the `non_sc` outcome unobservable (Definition 2).
+    pub drf0: bool,
+}
+
+const X: Loc = Loc::new(0);
+const Y: Loc = Loc::new(1);
+const R0: Reg = Reg::new(0);
+const R1: Reg = Reg::new(1);
+
+fn one() -> Value {
+    Value::new(1)
+}
+
+/// Figure 1: the Dekker-style mutual-exclusion fragment.
+///
+/// ```text
+/// Initially X = Y = 0
+/// P0: X = 1; if (Y == 0) kill P1    P1: Y = 1; if (X == 0) kill P0
+/// ```
+///
+/// The non-SC outcome is both processors reading 0 ("P0 and P1 are both
+/// killed"): no total order consistent with program order produces it.
+/// All accesses are ordinary data accesses, so the program is racy and
+/// weakly ordered hardware is free to exhibit the outcome.
+pub fn fig1_dekker() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, one());
+    t0.read(R0, Y);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.write(Y, one());
+    t1.read(R0, X);
+    t1.halt();
+    Litmus {
+        name: "fig1-dekker",
+        description: "Figure 1: both critical-section guards read 0",
+        program: Program::new("fig1-dekker", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(0, R0) == Value::ZERO && o.reg(1, R0) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// Figure 1 rewritten with hardware-recognizable synchronization: every
+/// access to `X` and `Y` is a synchronization operation, so the program
+/// obeys DRF0 (conflicting sync accesses to one location are always
+/// ordered by `so`). Weakly ordered hardware must forbid the both-zero
+/// outcome.
+pub fn dekker_sync() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.sync_write(X, one());
+    t0.sync_read(R0, Y);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.sync_write(Y, one());
+    t1.sync_read(R0, X);
+    t1.halt();
+    Litmus {
+        name: "dekker-sync",
+        description: "Dekker with synchronization accesses only (DRF0)",
+        program: Program::new("dekker-sync", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(0, R0) == Value::ZERO && o.reg(1, R0) == Value::ZERO,
+        drf0: true,
+    }
+}
+
+/// Message passing with plain data accesses: racy, so the stale-data
+/// outcome (`flag` observed set but `data` observed clear) is allowed on
+/// weak hardware.
+pub fn mp() -> Litmus {
+    let data = X;
+    let flag = Y;
+    let mut t0 = ThreadBuilder::new();
+    t0.write(data, one());
+    t0.write(flag, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(R0, flag);
+    t1.read(R1, data);
+    t1.halt();
+    Litmus {
+        name: "mp",
+        description: "message passing with data accesses only",
+        program: Program::new("mp", vec![t0.finish(), t1.finish()], 2).expect("litmus well-formed"),
+        non_sc: |o| o.reg(1, R0) == Value::new(1) && o.reg(1, R1) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// Message passing done right: the producer releases with a
+/// synchronization write, the consumer spins on a synchronization read.
+/// Obeys DRF0, so weakly ordered hardware must never deliver stale data
+/// after the spin exits.
+pub fn mp_sync() -> Litmus {
+    let data = X;
+    let flag = Y;
+    let mut t0 = ThreadBuilder::new();
+    t0.write(data, one());
+    t0.sync_write(flag, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    let top = t1.here();
+    t1.sync_read(R0, flag);
+    t1.branch_zero(R0, top);
+    t1.read(R1, data);
+    t1.halt();
+    Litmus {
+        name: "mp-sync",
+        description: "message passing through a synchronization flag (DRF0)",
+        program: Program::new("mp-sync", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        // The spin only exits after observing flag = 1 (r0 = 1 at halt);
+        // stale data in r1 after a successful spin is non-SC.
+        non_sc: |o| o.reg(1, R0) == Value::new(1) && o.reg(1, R1) == Value::ZERO,
+        drf0: true,
+    }
+}
+
+/// Load buffering: can both threads read the other's not-yet-issued
+/// write? Forbidden under SC; our operational models all satisfy
+/// intra-processor dependencies and blocking reads, so none exhibit it —
+/// included to check machines do not over-relax.
+pub fn lb() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.read(R0, X);
+    t0.write(Y, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(R0, Y);
+    t1.write(X, one());
+    t1.halt();
+    Litmus {
+        name: "lb",
+        description: "load buffering (forbidden by in-order issue of dependent ops)",
+        program: Program::new("lb", vec![t0.finish(), t1.finish()], 2).expect("litmus well-formed"),
+        non_sc: |o| o.reg(0, R0) == Value::new(1) && o.reg(1, R0) == Value::new(1),
+        drf0: false,
+    }
+}
+
+/// Coherence (CoRR): two reads of one location by one processor must not
+/// observe a write and then un-observe it. All our machines serialize
+/// writes per location (condition 2 of Section 5.1), so this must be
+/// impossible everywhere.
+pub fn coherence_corr() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(R0, X);
+    t1.read(R1, X);
+    t1.halt();
+    Litmus {
+        name: "coherence-corr",
+        description: "a processor must not read 1 then 0 from one location",
+        program: Program::new("coherence-corr", vec![t0.finish(), t1.finish()], 1)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(1, R0) == Value::new(1) && o.reg(1, R1) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// Independent reads of independent writes: do all processors observe
+/// the two writes in the same order? Exposes non-atomic stores.
+pub fn iriw() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.write(Y, one());
+    t1.halt();
+    let mut t2 = ThreadBuilder::new();
+    t2.read(R0, X);
+    t2.read(R1, Y);
+    t2.halt();
+    let mut t3 = ThreadBuilder::new();
+    t3.read(R0, Y);
+    t3.read(R1, X);
+    t3.halt();
+    Litmus {
+        name: "iriw",
+        description: "independent reads of independent writes (store atomicity)",
+        program: Program::new("iriw", vec![t0.finish(), t1.finish(), t2.finish(), t3.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| {
+            o.reg(2, R0) == Value::new(1)
+                && o.reg(2, R1) == Value::ZERO
+                && o.reg(3, R0) == Value::new(1)
+                && o.reg(3, R1) == Value::ZERO
+        },
+        drf0: false,
+    }
+}
+
+/// The Figure 3 sharing pattern as a litmus test: `P0` writes `x` and
+/// releases `s`; `P1` spins with an atomic swap until it consumes the
+/// release, then reads `x`. (The paper's polarity — `Unset` then
+/// `TestAndSet` — is flipped so the flag can start at the architectural
+/// initial value 0; the synchronization structure is identical.)
+/// Obeys DRF0; after a successful acquire the new value of `x` must be
+/// visible.
+pub fn fig3_handoff() -> Litmus {
+    let x = X;
+    let s = Y;
+    let mut t0 = ThreadBuilder::new();
+    t0.write(x, one());
+    t0.sync_write(s, one()); // the paper's Unset: the release
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    let top = t1.here();
+    t1.swap(R0, s, Value::ZERO); // consume the release; stores 0 back
+    t1.branch_zero(R0, top); //     keep trying until the swap returned 1
+    t1.read(R1, x);
+    t1.halt();
+    Litmus {
+        name: "fig3-handoff",
+        description: "Figure 3 scenario: release via Unset, acquire via TestAndSet (DRF0)",
+        program: Program::new("fig3-handoff", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(1, R0) == Value::new(1) && o.reg(1, R1) == Value::ZERO,
+        drf0: true,
+    }
+}
+
+/// The racy observation that separates the old Definition 1 hardware
+/// from the paper's new implementation: `P1` reads the synchronization
+/// location with a *data* read (a race), then reads `x`. Definition 1
+/// hardware globally performs `W(x)` before the `Unset` is issued, so
+/// `flag=1 ∧ x=0` is unobservable; the Definition 2 implementation
+/// commits the `Unset` while `W(x)` is still pending and can show it.
+pub fn racy_spy() -> Litmus {
+    let x = X;
+    let s = Y;
+    let mut t0 = ThreadBuilder::new();
+    t0.write(x, one());
+    t0.sync_write(s, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(R0, s); // data read of a sync location: a race
+    t1.read(R1, x);
+    t1.halt();
+    Litmus {
+        name: "racy-spy",
+        description: "data read spies on a sync location (racy; separates Def.1 from Def.2 hw)",
+        program: Program::new("racy-spy", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(1, R0) == Value::new(1) && o.reg(1, R1) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// Write-to-read causality: `P0` writes `x`; `P1` reads it and writes
+/// `y`; `P2` reads `y` then `x`. Under SC, observing `y = 1` implies
+/// `x = 1` is visible. Racy (no synchronization), so weak hardware with
+/// non-atomic stores may show the stale chain.
+pub fn wrc() -> Litmus {
+    let r2 = Reg::new(2);
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(R0, X);
+    let skip = t1.branch_zero_placeholder(R0);
+    t1.write(Y, one());
+    let end = t1.here();
+    t1.patch(skip, end);
+    t1.halt();
+    let mut t2 = ThreadBuilder::new();
+    t2.read(R1, Y);
+    t2.read(r2, X);
+    t2.halt();
+    Litmus {
+        name: "wrc",
+        description: "write-to-read causality across three processors",
+        program: Program::new("wrc", vec![t0.finish(), t1.finish(), t2.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(2, R1) == Value::new(1) && o.reg(2, Reg::new(2)) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// WRC with the hand-offs done through synchronization writes and a
+/// read-modify-write acquire chain: DRF0, so causality must hold on
+/// weakly ordered hardware.
+pub fn wrc_sync() -> Litmus {
+    let r2 = Reg::new(2);
+    let (s1, s2) = (Loc::new(2), Loc::new(3));
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, one());
+    t0.sync_write(s1, one());
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    let top = t1.here();
+    t1.swap(R0, s1, Value::ZERO);
+    t1.branch_zero(R0, top);
+    t1.sync_write(s2, one());
+    t1.halt();
+    let mut t2 = ThreadBuilder::new();
+    let top = t2.here();
+    t2.swap(R1, s2, Value::ZERO);
+    t2.branch_zero(R1, top);
+    t2.read(r2, X);
+    t2.halt();
+    Litmus {
+        name: "wrc-sync",
+        description: "transitive release/acquire chain across three processors (DRF0)",
+        program: Program::new("wrc-sync", vec![t0.finish(), t1.finish(), t2.finish()], 4)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(2, R1) == Value::new(1) && o.reg(2, Reg::new(2)) == Value::ZERO,
+        drf0: true,
+    }
+}
+
+/// The classic 2+2W shape: both processors write both locations in
+/// opposite orders (`P0: W(x)=1; W(y)=2` ∥ `P1: W(y)=1; W(x)=2`).
+/// Under SC some processor's *second* write is last somewhere, so the
+/// final state `x=1 ∧ y=1` — both first writes surviving — is
+/// forbidden. Exposes write-buffer/network reordering through the final
+/// state of memory alone, with no reads at all.
+pub fn two_plus_two_w() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, 1u64);
+    t0.write(Y, 2u64);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.write(Y, 1u64);
+    t1.write(X, 2u64);
+    t1.halt();
+    Litmus {
+        name: "2+2w",
+        description: "two writers, opposite orders: can both first writes survive?",
+        program: Program::new("2+2w", vec![t0.finish(), t1.finish()], 2)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.memory[0] == Value::new(1) && o.memory[1] == Value::new(1),
+        drf0: false,
+    }
+}
+
+/// Coherence CoWR: a processor writes a location and must read its own
+/// value back unless another write intervened — its read may never
+/// return an *older* value than its own write. All machines preserve
+/// intra-processor dependencies, so this must be impossible everywhere.
+pub fn coherence_cowr() -> Litmus {
+    let mut t0 = ThreadBuilder::new();
+    t0.write(X, 2u64);
+    t0.read(R0, X);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.write(X, 1u64);
+    t1.halt();
+    Litmus {
+        name: "coherence-cowr",
+        description: "a processor must not read a value older than its own write",
+        program: Program::new("coherence-cowr", vec![t0.finish(), t1.finish()], 1)
+            .expect("litmus well-formed"),
+        non_sc: |o| o.reg(0, R0) == Value::ZERO,
+        drf0: false,
+    }
+}
+
+/// Atomicity of read-modify-writes across processors: two fetch-and-adds
+/// must never both read the same value (lost update). Every machine
+/// implements RMW atomically, so the lost update must be impossible.
+pub fn rmw_atomicity() -> Litmus {
+    let mk = || {
+        let mut t = ThreadBuilder::new();
+        t.fetch_add(R0, X, 1);
+        t.halt();
+        t.finish()
+    };
+    Litmus {
+        name: "rmw-atomicity",
+        description: "two fetch-and-adds must not lose an update",
+        program: Program::new("rmw-atomicity", vec![mk(), mk()], 1).expect("litmus well-formed"),
+        non_sc: |o| o.mem(X) != Value::new(2),
+        drf0: true,
+    }
+}
+
+/// The whole suite, in a stable order.
+pub fn all() -> Vec<Litmus> {
+    vec![
+        fig1_dekker(),
+        dekker_sync(),
+        mp(),
+        mp_sync(),
+        lb(),
+        coherence_corr(),
+        coherence_cowr(),
+        iriw(),
+        wrc(),
+        wrc_sync(),
+        two_plus_two_w(),
+        rmw_atomicity(),
+        fig3_handoff(),
+        racy_spy(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_litmus_programs_validate() {
+        for lit in all() {
+            lit.program.validate().unwrap_or_else(|e| panic!("{}: {e}", lit.name));
+            assert!(!lit.name.is_empty());
+            assert!(!lit.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    fn outcome(reads: [[u64; 2]; 2]) -> Outcome {
+        let mut regs = vec![[Value::ZERO; crate::N_REGS]; 2];
+        for (t, rs) in reads.iter().enumerate() {
+            regs[t][0] = Value::new(rs[0]);
+            regs[t][1] = Value::new(rs[1]);
+        }
+        Outcome { regs, memory: vec![Value::new(1), Value::new(1)] }
+    }
+
+    #[test]
+    fn dekker_non_sc_predicate() {
+        let lit = fig1_dekker();
+        assert!((lit.non_sc)(&outcome([[0, 0], [0, 0]])));
+        assert!(!(lit.non_sc)(&outcome([[1, 0], [0, 0]])));
+    }
+
+    #[test]
+    fn mp_sync_predicate() {
+        let lit = mp_sync();
+        // Spin exited (r0 = 1) but data stale (r1 = 0): non-SC.
+        assert!((lit.non_sc)(&outcome([[0, 0], [1, 0]])));
+        assert!(!(lit.non_sc)(&outcome([[0, 0], [1, 1]])));
+    }
+
+    #[test]
+    fn drf0_flags() {
+        let suite = all();
+        let drf0: Vec<_> = suite.iter().filter(|l| l.drf0).map(|l| l.name).collect();
+        assert_eq!(
+            drf0,
+            vec!["dekker-sync", "mp-sync", "wrc-sync", "rmw-atomicity", "fig3-handoff"]
+        );
+    }
+}

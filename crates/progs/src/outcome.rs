@@ -1,0 +1,115 @@
+//! Observable outcomes of running a program on some machine.
+//!
+//! The paper defines the *result* of an execution as the union of the
+//! values returned by all reads plus the final state of memory. For
+//! exhaustive result-set comparison we use an equivalent but finitely
+//! representable observable: each thread's **final register file** plus
+//! the final memory. Registers are where a program keeps the read values
+//! it acts on, so any SC-visible difference a program can exhibit shows
+//! up here — and unlike the raw read log, the register file stays
+//! canonical across spin loops that re-read the same location
+//! arbitrarily many times (which would otherwise make the result set
+//! infinite).
+
+use std::fmt;
+
+use weakord_core::{Loc, Value};
+
+use crate::ir::N_REGS;
+
+/// The observable outcome of one terminated execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Outcome {
+    /// Final register file of each thread.
+    pub regs: Vec<[Value; N_REGS]>,
+    /// Final memory, indexed by location (length = the program's
+    /// `n_locs`).
+    pub memory: Vec<Value>,
+}
+
+impl Outcome {
+    /// Final value of thread `t`'s register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn reg(&self, t: usize, r: crate::ir::Reg) -> Value {
+        self.regs[t][r.index()]
+    }
+
+    /// Final value of a memory location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn mem(&self, loc: Loc) -> Value {
+        self.memory[loc.index()]
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, regs) in self.regs.iter().enumerate() {
+            if t > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "P{t}:")?;
+            let mut first = true;
+            for (i, v) in regs.iter().enumerate() {
+                if *v != Value::ZERO {
+                    if !first {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "r{i}={v}")?;
+                    first = false;
+                }
+            }
+            if first {
+                write!(f, "-")?;
+            }
+        }
+        write!(f, " mem:[")?;
+        for (i, v) in self.memory.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Reg;
+
+    #[test]
+    fn accessors() {
+        let mut regs = [Value::ZERO; N_REGS];
+        regs[1] = Value::new(7);
+        let o = Outcome { regs: vec![regs], memory: vec![Value::new(3), Value::ZERO] };
+        assert_eq!(o.reg(0, Reg::new(1)), Value::new(7));
+        assert_eq!(o.mem(Loc::new(0)), Value::new(3));
+    }
+
+    #[test]
+    fn display_highlights_nonzero_registers() {
+        let mut regs = [Value::ZERO; N_REGS];
+        regs[0] = Value::new(1);
+        let o = Outcome { regs: vec![regs, [Value::ZERO; N_REGS]], memory: vec![Value::new(2)] };
+        let s = o.to_string();
+        assert!(s.contains("P0:r0=1"), "{s}");
+        assert!(s.contains("P1:-"), "{s}");
+        assert!(s.contains("mem:[2]"), "{s}");
+    }
+
+    #[test]
+    fn outcomes_order_and_hash() {
+        use std::collections::BTreeSet;
+        let a = Outcome { regs: vec![[Value::ZERO; N_REGS]], memory: vec![Value::ZERO] };
+        let b = Outcome { regs: vec![[Value::new(1); N_REGS]], memory: vec![Value::ZERO] };
+        let set: BTreeSet<_> = [a.clone(), b.clone(), a.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,517 @@
+//! A small text format for litmus tests and programs.
+//!
+//! The format is line-oriented: a `name` line, then one `thread` block
+//! per processor. Locations are named and assigned indices in first-use
+//! order (or declared up front with `locs` to pin the order). Labels
+//! are written `label:` on their own line and referenced by name.
+//!
+//! ```text
+//! # Dekker, hand-written
+//! name my-dekker
+//! locs x y
+//!
+//! thread
+//!   write x 1
+//!   read  y r0
+//!   halt
+//!
+//! thread
+//!   write y 1
+//!   read  x r0
+//!   halt
+//! ```
+//!
+//! Instructions:
+//!
+//! | syntax | meaning |
+//! |--------|---------|
+//! | `read <loc> <reg>` | data read into a register |
+//! | `write <loc> <val\|reg>` | data write |
+//! | `test <loc> <reg>` | read-only synchronization |
+//! | `set <loc> <val\|reg>` | write-only synchronization |
+//! | `tas <loc> <reg>` | TestAndSet |
+//! | `faa <loc> <k> <reg>` | fetch-and-add `k` |
+//! | `swap <loc> <val> <reg>` | atomic swap |
+//! | `mov/add/sub <reg> <val\|reg>` | register arithmetic |
+//! | `bz/bnz <reg> <label>`, `jmp <label>` | control flow |
+//! | `delay <cycles>`, `halt` | timing / stop |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use weakord_core::{Loc, Value};
+
+use crate::ir::{Operand, Program, Reg, ThreadBuilder};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+#[derive(Default)]
+struct Locs {
+    by_name: HashMap<String, Loc>,
+    next: u32,
+}
+
+impl Locs {
+    fn get(&mut self, name: &str) -> Loc {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Loc::new(self.next);
+        self.next += 1;
+        self.by_name.insert(name.to_string(), l);
+        l
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let Some(n) = tok.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) else {
+        return err(line, format!("expected a register (r0..r7), got `{tok}`"));
+    };
+    if usize::from(n) >= crate::ir::N_REGS {
+        return err(line, format!("register `{tok}` out of range (r0..r7)"));
+    }
+    Ok(Reg::new(n))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if tok.starts_with('r') {
+        return Ok(Operand::Reg(parse_reg(tok, line)?));
+    }
+    match tok.parse::<u64>() {
+        Ok(v) => Ok(Operand::Const(Value::new(v))),
+        Err(_) => err(line, format!("expected a value or register, got `{tok}`")),
+    }
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseError> {
+    tok.parse().map_err(|_| ParseError { line, message: format!("expected a number, got `{tok}`") })
+}
+
+/// Parses a program from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for malformed
+/// input, undefined labels, or programs the IR validator rejects.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut locs = Locs::default();
+    let mut threads = Vec::new();
+    // Per-thread label bookkeeping.
+    let mut builder: Option<ThreadBuilder> = None;
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (instr at, label, line)
+
+    fn finish_thread(
+        builder: &mut Option<ThreadBuilder>,
+        labels: &mut HashMap<String, u32>,
+        fixups: &mut Vec<(usize, String, usize)>,
+        threads: &mut Vec<crate::ir::Thread>,
+    ) -> Result<(), ParseError> {
+        if let Some(mut b) = builder.take() {
+            for (at, label, line) in fixups.drain(..) {
+                match labels.get(&label) {
+                    Some(&target) => {
+                        b.patch(at, target);
+                    }
+                    None => return err(line, format!("undefined label `{label}`")),
+                }
+            }
+            labels.clear();
+            threads.push(b.finish());
+        }
+        Ok(())
+    }
+
+    for (i, raw) in input.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Label?
+        if let Some(label) = text.strip_suffix(':') {
+            let Some(b) = builder.as_ref() else {
+                return err(line, "label outside a thread block");
+            };
+            if labels.insert(label.trim().to_string(), b.here()).is_some() {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let argc = tokens.len() - 1;
+        let need = |n: usize| -> Result<(), ParseError> {
+            if argc == n {
+                Ok(())
+            } else {
+                err(line, format!("`{}` takes {n} operand(s), got {argc}", tokens[0]))
+            }
+        };
+        match tokens[0] {
+            "name" => {
+                need(1)?;
+                name = tokens[1].to_string();
+            }
+            "locs" => {
+                for t in &tokens[1..] {
+                    locs.get(t);
+                }
+            }
+            "thread" => {
+                need(0)?;
+                finish_thread(&mut builder, &mut labels, &mut fixups, &mut threads)?;
+                builder = Some(ThreadBuilder::new());
+            }
+            op => {
+                let Some(b) = builder.as_mut() else {
+                    return err(line, format!("`{op}` outside a thread block"));
+                };
+                match op {
+                    "read" => {
+                        need(2)?;
+                        let loc = locs.get(tokens[1]);
+                        b.read(parse_reg(tokens[2], line)?, loc);
+                    }
+                    "write" => {
+                        need(2)?;
+                        let loc = locs.get(tokens[1]);
+                        b.write(loc, parse_operand(tokens[2], line)?);
+                    }
+                    "test" => {
+                        need(2)?;
+                        let loc = locs.get(tokens[1]);
+                        b.sync_read(parse_reg(tokens[2], line)?, loc);
+                    }
+                    "set" => {
+                        need(2)?;
+                        let loc = locs.get(tokens[1]);
+                        b.sync_write(loc, parse_operand(tokens[2], line)?);
+                    }
+                    "tas" => {
+                        need(2)?;
+                        let loc = locs.get(tokens[1]);
+                        b.test_and_set(parse_reg(tokens[2], line)?, loc);
+                    }
+                    "faa" => {
+                        need(3)?;
+                        let loc = locs.get(tokens[1]);
+                        let k = parse_u64(tokens[2], line)?;
+                        b.fetch_add(parse_reg(tokens[3], line)?, loc, k);
+                    }
+                    "swap" => {
+                        need(3)?;
+                        let loc = locs.get(tokens[1]);
+                        let v = Value::new(parse_u64(tokens[2], line)?);
+                        b.swap(parse_reg(tokens[3], line)?, loc, v);
+                    }
+                    "mov" => {
+                        need(2)?;
+                        let dst = parse_reg(tokens[1], line)?;
+                        b.mov(dst, parse_operand(tokens[2], line)?);
+                    }
+                    "add" => {
+                        need(2)?;
+                        let dst = parse_reg(tokens[1], line)?;
+                        b.add(dst, parse_operand(tokens[2], line)?);
+                    }
+                    "sub" => {
+                        need(2)?;
+                        let dst = parse_reg(tokens[1], line)?;
+                        b.sub(dst, parse_operand(tokens[2], line)?);
+                    }
+                    "bz" | "bnz" => {
+                        need(2)?;
+                        let reg = parse_reg(tokens[1], line)?;
+                        let at = if op == "bz" {
+                            b.branch_zero_placeholder(reg)
+                        } else {
+                            b.branch_non_zero_placeholder(reg)
+                        };
+                        fixups.push((at, tokens[2].to_string(), line));
+                    }
+                    "jmp" => {
+                        need(1)?;
+                        let at = b.jump_placeholder();
+                        fixups.push((at, tokens[1].to_string(), line));
+                    }
+                    "delay" => {
+                        need(1)?;
+                        let c = parse_u64(tokens[1], line)?;
+                        b.delay(
+                            u32::try_from(c).map_err(|_| ParseError {
+                                line,
+                                message: "delay too large".into(),
+                            })?,
+                        );
+                    }
+                    "halt" => {
+                        need(0)?;
+                        b.halt();
+                    }
+                    other => return err(line, format!("unknown instruction `{other}`")),
+                }
+            }
+        }
+    }
+    finish_thread(&mut builder, &mut labels, &mut fixups, &mut threads)?;
+    if threads.is_empty() {
+        return err(input.lines().count().max(1), "no thread blocks");
+    }
+    Program::new(name, threads, locs.next)
+        .map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Instr;
+
+    const DEKKER: &str = "\n# Dekker\nname my-dekker\nlocs x y\n\nthread\n  write x 1\n  read y r0\n  halt\n\nthread\n  write y 1\n  read x r0\n  halt\n";
+
+    #[test]
+    fn parses_dekker() {
+        let p = parse_program(DEKKER).unwrap();
+        assert_eq!(p.name, "my-dekker");
+        assert_eq!(p.n_procs(), 2);
+        assert_eq!(p.n_locs, 2);
+        assert_eq!(p.threads[0].instrs.len(), 3);
+        assert!(matches!(p.threads[0].instrs[0], Instr::Write { .. }));
+    }
+
+    #[test]
+    fn parsed_dekker_matches_the_builtin() {
+        let p = parse_program(DEKKER).unwrap();
+        let builtin = crate::litmus::fig1_dekker().program;
+        assert_eq!(p.threads, builtin.threads);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src =
+            "name spin\nthread\nagain:\n  test flag r0\n  bz r0 again\n  read data r1\n  halt\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.threads[0].instrs[1], Instr::BranchZero { reg: Reg::new(0), target: 0 });
+    }
+
+    #[test]
+    fn forward_labels_work() {
+        let src = "name fwd\nthread\n  read x r0\n  bnz r0 end\n  write y 1\nend:\n  halt\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.threads[0].instrs[1], Instr::BranchNonZero { reg: Reg::new(0), target: 3 });
+    }
+
+    #[test]
+    fn rmw_forms() {
+        let src = "name rmws\nthread\n  tas l r0\n  faa c 2 r1\n  swap s 0 r2\n  halt\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.threads[0].instrs.len(), 4);
+        assert_eq!(p.n_locs, 3);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let src = "name bad\nthread\n  jmp nowhere\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("undefined label"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_instruction_is_an_error() {
+        let e = parse_program("name bad\nthread\n  frobnicate x\n").unwrap_err();
+        assert!(e.to_string().contains("unknown instruction"), "{e}");
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let e = parse_program("name bad\nthread\n  read x\n").unwrap_err();
+        assert!(e.message.contains("takes 2 operand(s)"), "{e}");
+    }
+
+    #[test]
+    fn instructions_outside_thread_are_an_error() {
+        let e = parse_program("name bad\nwrite x 1\n").unwrap_err();
+        assert!(e.message.contains("outside a thread block"), "{e}");
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        let e = parse_program("name bad\nthread\n  read x r9\n").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("name x\n").is_err());
+    }
+
+    #[test]
+    fn missing_halt_is_reported_via_validation() {
+        let e = parse_program("name bad\nthread\n  write x 1\n").unwrap_err();
+        assert!(e.message.contains("past the end"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let src = "# header\nname ok\n\nthread\n  halt  # stop\n";
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let src = "name bad\nthread\nl:\nl:\n  halt\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("duplicate label"), "{e}");
+    }
+
+    #[test]
+    fn locs_directive_pins_indices() {
+        let src = "name ok\nlocs b a\nthread\n  write a 1\n  write b 2\n  halt\n";
+        let p = parse_program(src).unwrap();
+        // `b` was declared first → index 0; the write order is a then b.
+        assert_eq!(
+            p.threads[0].instrs[0],
+            Instr::Write { loc: Loc::new(1), src: Operand::Const(Value::new(1)) }
+        );
+    }
+}
+
+/// Renders a program in the text format accepted by [`parse_program`]
+/// (labels are synthesized as `L<n>` at branch targets). The round trip
+/// `parse_program(&unparse_program(p))` reproduces `p` exactly up to
+/// location *indices* — names are `l<index>`, declared with `locs` in
+/// index order so indices survive.
+pub fn unparse_program(prog: &Program) -> String {
+    use crate::ir::Instr;
+    let mut out = String::new();
+    out.push_str(&format!("name {}\n", prog.name.replace(' ', "-")));
+    if prog.n_locs > 0 {
+        out.push_str("locs");
+        for l in 0..prog.n_locs {
+            out.push_str(&format!(" l{l}"));
+        }
+        out.push('\n');
+    }
+    let operand = |o: &Operand| match o {
+        Operand::Const(v) => v.to_string(),
+        Operand::Reg(r) => r.to_string(),
+    };
+    for thread in &prog.threads {
+        out.push_str("\nthread\n");
+        // Collect branch targets needing labels.
+        let mut targets: Vec<u32> = thread
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::BranchZero { target, .. }
+                | Instr::BranchNonZero { target, .. }
+                | Instr::Jump { target } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let label = |t: u32| format!("L{t}");
+        for (i, instr) in thread.instrs.iter().enumerate() {
+            if targets.contains(&(i as u32)) {
+                out.push_str(&format!("{}:\n", label(i as u32)));
+            }
+            let line = match instr {
+                Instr::Read { dst, loc } => format!("read l{} {dst}", loc.raw()),
+                Instr::Write { loc, src } => format!("write l{} {}", loc.raw(), operand(src)),
+                Instr::SyncRead { dst, loc } => format!("test l{} {dst}", loc.raw()),
+                Instr::SyncWrite { loc, src } => format!("set l{} {}", loc.raw(), operand(src)),
+                Instr::SyncRmw { dst, loc, op } => match op {
+                    crate::ir::RmwOp::TestAndSet => format!("tas l{} {dst}", loc.raw()),
+                    crate::ir::RmwOp::FetchAdd(k) => format!("faa l{} {k} {dst}", loc.raw()),
+                    crate::ir::RmwOp::Swap(v) => format!("swap l{} {v} {dst}", loc.raw()),
+                },
+                Instr::BranchZero { reg, target } => format!("bz {reg} {}", label(*target)),
+                Instr::BranchNonZero { reg, target } => format!("bnz {reg} {}", label(*target)),
+                Instr::Jump { target } => format!("jmp {}", label(*target)),
+                Instr::Move { dst, src } => format!("mov {dst} {}", operand(src)),
+                Instr::Add { dst, src } => format!("add {dst} {}", operand(src)),
+                Instr::Sub { dst, src } => format!("sub {dst} {}", operand(src)),
+                Instr::Delay { cycles } => format!("delay {cycles}"),
+                Instr::Halt => "halt".to_string(),
+            };
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        // A trailing label (target == instrs.len()) cannot occur: the
+        // validator requires targets in range.
+    }
+    out
+}
+
+#[cfg(test)]
+mod unparse_tests {
+    use super::*;
+    use crate::{gen, litmus, workloads};
+
+    fn roundtrip(prog: &Program) {
+        let text = unparse_program(prog);
+        let back = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", prog.name));
+        assert_eq!(back.threads, prog.threads, "{}\n{text}", prog.name);
+        assert_eq!(back.n_locs, prog.n_locs);
+    }
+
+    #[test]
+    fn litmus_suite_round_trips() {
+        for lit in litmus::all() {
+            roundtrip(&lit.program);
+        }
+    }
+
+    #[test]
+    fn workloads_round_trip() {
+        roundtrip(&workloads::fig3_scenario(Default::default()));
+        roundtrip(&workloads::spinlock(Default::default()));
+        roundtrip(&workloads::spinlock_tts(Default::default()));
+        roundtrip(&workloads::ticket_lock(Default::default()));
+        roundtrip(&workloads::barrier(Default::default()));
+        roundtrip(&workloads::tree_barrier(Default::default()));
+        roundtrip(&workloads::producer_consumer(Default::default()));
+        roundtrip(&workloads::spin_broadcast(Default::default()));
+        roundtrip(&workloads::async_flood(Default::default()));
+    }
+
+    #[test]
+    fn generated_programs_round_trip() {
+        for seed in 0..12 {
+            roundtrip(&gen::race_free(seed, gen::GenParams::default()));
+            roundtrip(&gen::racy(seed, gen::GenParams::default()));
+        }
+    }
+
+    #[test]
+    fn unparsed_text_is_readable() {
+        let text = unparse_program(&litmus::mp_sync().program);
+        assert!(text.contains("name mp-sync"));
+        assert!(text.contains("set l1 1"), "{text}");
+        assert!(text.contains("L0:"), "spin label synthesized: {text}");
+        assert!(text.contains("bz r0 L0"), "{text}");
+    }
+}

@@ -1,0 +1,669 @@
+//! Parameterized workloads: the programs behind the paper's performance
+//! discussion.
+//!
+//! * [`fig3_scenario`] — the exact Figure 3 interaction (release with
+//!   pending writes vs. acquiring spin).
+//! * [`spinlock`] / [`spinlock_tts`] — critical sections guarded by a
+//!   TestAndSet lock, plain or Test-and-TestAndSet (the Section 6
+//!   pathology for the new implementation).
+//! * [`barrier`] — a sense-reversing barrier spinning on a
+//!   synchronization read (the paper's "spinning on a barrier count").
+//! * [`producer_consumer`] — flag-synchronized hand-off of a stream of
+//!   items.
+//!
+//! All workloads obey DRF0 by construction (every shared data access is
+//! bracketed by hardware-recognizable synchronization), which tests
+//! verify by exhaustive exploration for small parameters.
+
+use weakord_core::{Loc, Value};
+
+use crate::ir::{Program, Reg, ThreadBuilder};
+
+const R0: Reg = Reg::new(0);
+const R1: Reg = Reg::new(1);
+const R2: Reg = Reg::new(2);
+const R3: Reg = Reg::new(3);
+
+/// Parameters for [`fig3_scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig3Params {
+    /// Cycles of local work `P0` does between `W(x)` and the release
+    /// ("does other work" in Figure 3).
+    pub work_before_release: u32,
+    /// Cycles of local work `P0` does after the release ("more work") —
+    /// the window in which Definition 1 hardware has `P0` stalled but
+    /// the new implementation lets it run.
+    pub work_after_release: u32,
+    /// Extra data locations `P0` writes *before* the release; each adds
+    /// an outstanding access the release must (Def. 1) or need not
+    /// (Def. 2) wait for.
+    pub extra_writes: u32,
+    /// Cycles of local work `P1` does between its acquire and `R(x)`.
+    pub consumer_work: u32,
+}
+
+impl Default for Fig3Params {
+    fn default() -> Self {
+        Fig3Params {
+            work_before_release: 20,
+            work_after_release: 200,
+            extra_writes: 4,
+            consumer_work: 20,
+        }
+    }
+}
+
+/// Builds the Figure 3 interaction.
+///
+/// Locations: `0..=extra_writes` hold the data (`x` is location 0),
+/// location `extra_writes + 1` is the synchronization variable `s`,
+/// location `extra_writes + 2` is `P0`-private post-release scratch,
+/// and the last location is a `ready` flag for the warm-up handshake.
+///
+/// The consumer first reads every data location (so the producer's
+/// writes later hit *shared* lines and need invalidation
+/// acknowledgements to be globally performed — Figure 3's "the write of
+/// x takes a long time to be globally performed"), then releases
+/// `ready`.
+///
+/// `P0`: spin-acquire `ready`; `W(x); W(extra…); work; Release(s);
+/// work; W(scratch)`.
+/// `P1`: `R(all data); Release(ready)`; spin `Swap(s, 0)` until it
+/// returns 1; `work; R(x)`.
+pub fn fig3_scenario(params: Fig3Params) -> Program {
+    let n_data = 1 + params.extra_writes;
+    let s = Loc::new(n_data);
+    let scratch = Loc::new(n_data + 1);
+    let ready = Loc::new(n_data + 2);
+    let x = Loc::new(0);
+
+    let mut t0 = ThreadBuilder::new();
+    let wait = t0.here();
+    t0.swap(R0, ready, Value::ZERO);
+    t0.branch_zero(R0, wait);
+    for i in 0..n_data {
+        t0.write(Loc::new(i), 1u64);
+    }
+    if params.work_before_release > 0 {
+        t0.delay(params.work_before_release);
+    }
+    t0.sync_write(s, 1u64);
+    if params.work_after_release > 0 {
+        t0.delay(params.work_after_release);
+    }
+    // The post-release work also touches memory so that a Def. 1 stall
+    // actually delays visible progress, not just idle cycles. It goes to
+    // a location only P0 touches, keeping the program DRF0.
+    t0.write(scratch, 2u64);
+    t0.halt();
+
+    let mut t1 = ThreadBuilder::new();
+    for i in 0..n_data {
+        t1.read(R1, Loc::new(i));
+    }
+    t1.sync_write(ready, 1u64);
+    let top = t1.here();
+    t1.swap(R0, s, Value::ZERO);
+    t1.branch_zero(R0, top);
+    if params.consumer_work > 0 {
+        t1.delay(params.consumer_work);
+    }
+    t1.read(R1, x);
+    t1.halt();
+    Program::new("fig3-scenario", vec![t0.finish(), t1.finish()], n_data + 3)
+        .expect("fig3 scenario is well-formed")
+}
+
+/// Parameters for [`spin_broadcast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinBroadcastParams {
+    /// Number of spinning processors (total processors = this + 1).
+    pub n_spinners: u16,
+    /// Cycles the releaser works before setting the flag — the window in
+    /// which everyone spins.
+    pub release_after: u32,
+}
+
+impl Default for SpinBroadcastParams {
+    fn default() -> Self {
+        SpinBroadcastParams { n_spinners: 4, release_after: 400 }
+    }
+}
+
+/// The paper's "spinning on a barrier count" pathology in isolation:
+/// `P0` works, then releases a flag with a synchronization write; every
+/// other processor spins on the flag with read-only synchronization
+/// (`Test`). Under the plain Section 5 implementation each `Test` is
+/// treated as a write and takes the line exclusive, so concurrent
+/// spinners ping-pong the line; under the Section 6 refinement they
+/// spin locally on shared copies.
+pub fn spin_broadcast(params: SpinBroadcastParams) -> Program {
+    let flag = Loc::new(0);
+    let mut threads = Vec::with_capacity(params.n_spinners as usize + 1);
+    let mut t0 = ThreadBuilder::new();
+    if params.release_after > 0 {
+        t0.delay(params.release_after);
+    }
+    t0.sync_write(flag, 1u64);
+    t0.halt();
+    threads.push(t0.finish());
+    for _ in 0..params.n_spinners {
+        let mut t = ThreadBuilder::new();
+        let top = t.here();
+        t.sync_read(R0, flag);
+        t.branch_zero(R0, top);
+        t.halt();
+        threads.push(t.finish());
+    }
+    Program::new("spin-broadcast", threads, 1).expect("spin-broadcast is well-formed")
+}
+
+/// Parameters for the spinlock workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinlockParams {
+    /// Number of contending processors.
+    pub n_procs: u16,
+    /// Critical sections each processor executes.
+    pub sections_per_proc: u32,
+    /// Data writes inside each critical section.
+    pub writes_per_section: u32,
+    /// Cycles of local work inside each critical section.
+    pub think: u32,
+}
+
+impl Default for SpinlockParams {
+    fn default() -> Self {
+        SpinlockParams { n_procs: 4, sections_per_proc: 2, writes_per_section: 2, think: 10 }
+    }
+}
+
+/// A TestAndSet spinlock protecting a shared counter region.
+///
+/// Location 0 is the lock (0 = free); locations `1..=writes_per_section`
+/// are the protected data. Acquire: `TestAndSet` until it returns 0.
+/// Release: synchronization write of 0. Every attempt is a read-write
+/// synchronization — under the Section 5 implementation each one
+/// serializes, which is exactly the pathology Section 6 discusses.
+pub fn spinlock(params: SpinlockParams) -> Program {
+    build_spinlock(params, false)
+}
+
+/// Test-and-TestAndSet: spin with a read-only synchronization (`Test`)
+/// until the lock looks free, then attempt the `TestAndSet`. Under DRF1
+/// the read-only spins need not serialize.
+pub fn spinlock_tts(params: SpinlockParams) -> Program {
+    build_spinlock(params, true)
+}
+
+fn build_spinlock(params: SpinlockParams, tts: bool) -> Program {
+    let lock = Loc::new(0);
+    let n_locs = 1 + params.writes_per_section;
+    let mut threads = Vec::with_capacity(params.n_procs as usize);
+    for p in 0..params.n_procs {
+        let mut t = ThreadBuilder::new();
+        t.mov(R2, params.sections_per_proc as u64);
+        let section_top = t.here();
+        let exit = t.branch_zero_placeholder(R2);
+        // Acquire.
+        let attempt = t.here();
+        if tts {
+            // Test phase: spin on a read-only synchronization until free.
+            let test = t.here();
+            t.sync_read(R0, lock);
+            t.branch_non_zero(R0, test);
+        }
+        t.test_and_set(R0, lock);
+        t.branch_non_zero(R0, attempt);
+        // Critical section: read-modify-write each protected location.
+        for i in 0..params.writes_per_section {
+            let d = Loc::new(1 + i);
+            t.read(R1, d);
+            t.add(R1, 1u64);
+            t.write(d, R1);
+        }
+        if params.think > 0 {
+            t.delay(params.think);
+        }
+        // Release.
+        t.sync_write(lock, 0u64);
+        t.sub(R2, 1u64);
+        t.jump(section_top);
+        let after = t.here();
+        t.patch(exit, after);
+        t.halt();
+        threads.push(t.finish());
+        let _ = p;
+    }
+    let name = if tts { "spinlock-tts" } else { "spinlock-tas" };
+    Program::new(name, threads, n_locs).expect("spinlock is well-formed")
+}
+
+/// Parameters for [`barrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierParams {
+    /// Number of participating processors.
+    pub n_procs: u16,
+    /// Number of barrier episodes.
+    pub rounds: u32,
+    /// Cycles of local work each processor does per round before the
+    /// barrier.
+    pub work: u32,
+}
+
+impl Default for BarrierParams {
+    fn default() -> Self {
+        BarrierParams { n_procs: 4, rounds: 2, work: 10 }
+    }
+}
+
+/// A centralized counter barrier with an epoch flag.
+///
+/// Location 0 is the arrival count (fetch-and-add), location 1 the epoch
+/// flag (synchronization write by the last arriver; spinning `Test` by
+/// the rest — the paper's "spinning on a barrier count"), and locations
+/// `2..2+n` a data array. Each round, processor `p` writes `data[p]`,
+/// crosses a barrier episode, reads `data[(p+1) % n]`, and crosses a
+/// second episode before the next round's write — two episodes per round
+/// keep the reads and the next round's writes race-free.
+///
+/// Register use: `R0` arrival position, `R1` flag/data reads, `R2`
+/// remaining rounds, `R3` comparison scratch, `R4` barrier epoch.
+pub fn barrier(params: BarrierParams) -> Program {
+    let count = Loc::new(0);
+    let epoch_flag = Loc::new(1);
+    let data = |p: u16| Loc::new(2 + p as u32);
+    let n = params.n_procs;
+    let epoch = Reg::new(4);
+
+    // Emits one barrier episode; `epoch` holds this episode's number and
+    // is incremented on exit.
+    let emit_episode = |t: &mut ThreadBuilder| {
+        t.fetch_add(R0, count, 1);
+        t.sub(R0, n as u64 - 1);
+        let not_last = t.branch_non_zero_placeholder(R0);
+        // Last arriver: reset the count, publish the epoch.
+        t.sync_write(count, 0u64);
+        t.sync_write(epoch_flag, epoch);
+        let join = t.jump_placeholder();
+        let spin = t.here();
+        t.patch(not_last, spin);
+        // Others: spin until the flag reaches our epoch.
+        t.sync_read(R1, epoch_flag);
+        t.mov(R3, R1);
+        t.sub(R3, epoch);
+        t.branch_non_zero(R3, spin);
+        let after = t.here();
+        t.patch(join, after);
+        t.add(epoch, 1u64);
+    };
+
+    let mut threads = Vec::with_capacity(n as usize);
+    for p in 0..n {
+        let mut t = ThreadBuilder::new();
+        t.mov(R2, params.rounds as u64);
+        t.mov(epoch, 1u64);
+        let round_top = t.here();
+        let exit = t.branch_zero_placeholder(R2);
+        // Publish this round's datum.
+        t.write(data(p), R2);
+        if params.work > 0 {
+            t.delay(params.work);
+        }
+        emit_episode(&mut t);
+        // Consume the neighbour's datum, then separate it from the next
+        // round's write with a second episode.
+        t.read(R1, data((p + 1) % n));
+        emit_episode(&mut t);
+        t.sub(R2, 1u64);
+        t.jump(round_top);
+        let done = t.here();
+        t.patch(exit, done);
+        t.halt();
+        threads.push(t.finish());
+    }
+    Program::new("barrier", threads, 2 + n as u32).expect("barrier is well-formed")
+}
+
+/// Parameters for [`producer_consumer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcParams {
+    /// Items transferred.
+    pub items: u32,
+    /// Producer-side work per item (cycles).
+    pub produce_work: u32,
+    /// Consumer-side work per item (cycles).
+    pub consume_work: u32,
+}
+
+impl Default for PcParams {
+    fn default() -> Self {
+        PcParams { items: 4, produce_work: 10, consume_work: 10 }
+    }
+}
+
+/// One-slot producer/consumer: the producer writes the item (data),
+/// releases `full`; the consumer consumes `full` with a swap, reads the
+/// item, releases `empty`; the producer consumes `empty` before the next
+/// item. DRF0 by construction.
+pub fn producer_consumer(params: PcParams) -> Program {
+    let slot = Loc::new(0);
+    let full = Loc::new(1);
+    let empty = Loc::new(2);
+    let mut prod = ThreadBuilder::new();
+    prod.mov(R2, params.items as u64);
+    let top = prod.here();
+    let exit = prod.branch_zero_placeholder(R2);
+    if params.produce_work > 0 {
+        prod.delay(params.produce_work);
+    }
+    prod.write(slot, R2);
+    prod.sync_write(full, 1u64);
+    // Wait for the consumer to hand the slot back (skip before first...
+    // simplest protocol: wait for `empty` after every item).
+    let wait = prod.here();
+    prod.swap(R0, empty, Value::ZERO);
+    prod.branch_zero(R0, wait);
+    prod.sub(R2, 1u64);
+    prod.jump(top);
+    let done = prod.here();
+    prod.patch(exit, done);
+    prod.halt();
+
+    let mut cons = ThreadBuilder::new();
+    cons.mov(R2, params.items as u64);
+    let top = cons.here();
+    let exit = cons.branch_zero_placeholder(R2);
+    let wait = cons.here();
+    cons.swap(R0, full, Value::ZERO);
+    cons.branch_zero(R0, wait);
+    cons.read(R1, slot);
+    if params.consume_work > 0 {
+        cons.delay(params.consume_work);
+    }
+    cons.sync_write(empty, 1u64);
+    cons.sub(R2, 1u64);
+    cons.jump(top);
+    let done = cons.here();
+    cons.patch(exit, done);
+    cons.halt();
+
+    Program::new("producer-consumer", vec![prod.finish(), cons.finish()], 3)
+        .expect("producer-consumer is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_scenario_validates() {
+        for extra in [0, 1, 4, 8] {
+            let p = fig3_scenario(Fig3Params { extra_writes: extra, ..Fig3Params::default() });
+            p.validate().unwrap();
+            assert_eq!(p.n_procs(), 2);
+        }
+    }
+
+    #[test]
+    fn spinlock_validates_across_params() {
+        for n in [1u16, 2, 4, 8] {
+            for tts in [false, true] {
+                let params = SpinlockParams { n_procs: n, ..SpinlockParams::default() };
+                let p = if tts { spinlock_tts(params) } else { spinlock(params) };
+                p.validate().unwrap();
+                assert_eq!(p.n_procs(), n as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_validates() {
+        for n in [2u16, 3, 4] {
+            let p = barrier(BarrierParams { n_procs: n, rounds: 2, work: 0 });
+            p.validate().unwrap();
+            assert_eq!(p.n_procs(), n as usize);
+        }
+    }
+
+    #[test]
+    fn spin_broadcast_validates() {
+        let p = spin_broadcast(SpinBroadcastParams::default());
+        p.validate().unwrap();
+        assert_eq!(p.n_procs(), 5);
+    }
+
+    #[test]
+    fn tree_barrier_validates() {
+        for n in [2u16, 4, 8] {
+            let p = tree_barrier(TreeBarrierParams { n_procs: n, rounds: 2, work: 0 });
+            p.validate().unwrap();
+            assert_eq!(p.n_procs(), n as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn tree_barrier_rejects_non_power_of_two() {
+        let _ = tree_barrier(TreeBarrierParams { n_procs: 3, rounds: 1, work: 0 });
+    }
+
+    #[test]
+    fn ticket_lock_validates() {
+        for n in [1u16, 2, 4] {
+            let p = ticket_lock(SpinlockParams { n_procs: n, ..SpinlockParams::default() });
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn async_flood_validates() {
+        let p = async_flood(AsyncFloodParams::default());
+        p.validate().unwrap();
+        assert_eq!(p.n_procs(), 4);
+        let single = async_flood(AsyncFloodParams { n_procs: 1, poll_work: 0 });
+        assert_eq!(single.n_procs(), 1);
+    }
+
+    #[test]
+    fn producer_consumer_validates() {
+        let p = producer_consumer(PcParams::default());
+        p.validate().unwrap();
+        assert_eq!(p.n_procs(), 2);
+    }
+}
+
+/// Parameters for [`tree_barrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeBarrierParams {
+    /// Number of participating processors; must be a power of two ≥ 2.
+    pub n_procs: u16,
+    /// Barrier episodes.
+    pub rounds: u32,
+    /// Cycles of local work per round before arriving.
+    pub work: u32,
+}
+
+impl Default for TreeBarrierParams {
+    fn default() -> Self {
+        TreeBarrierParams { n_procs: 4, rounds: 2, work: 10 }
+    }
+}
+
+/// A software combining-tree barrier (binary arrival tree, broadcast
+/// release).
+///
+/// Arrival: processors pair up at the leaves; the *second* arriver at
+/// each node (fetch-and-add returning 1) resets the node and ascends,
+/// the first goes to spin. The processor that wins the root publishes
+/// the round number to a release flag; everyone else spins on it with
+/// read-only synchronization. Contention per location is constant —
+/// the scalable alternative to [`barrier`]'s central counter.
+///
+/// Locations `0..n-1` are the tree nodes (level by level), location
+/// `n-1` is the release flag.
+///
+/// # Panics
+///
+/// Panics if `n_procs` is not a power of two or is less than 2.
+pub fn tree_barrier(params: TreeBarrierParams) -> Program {
+    let n = params.n_procs;
+    assert!(n >= 2 && n.is_power_of_two(), "tree barrier needs a power-of-two processor count");
+    let levels = n.trailing_zeros();
+    // Node index for (level, group): levels are packed consecutively,
+    // level 0 has n/2 nodes, level 1 has n/4, …
+    let node = |level: u32, group: u16| -> Loc {
+        let mut base = 0u32;
+        for l in 0..level {
+            base += u32::from(n) >> (l + 1);
+        }
+        Loc::new(base + u32::from(group))
+    };
+    let flag = Loc::new(u32::from(n) - 1);
+    let epoch = Reg::new(4);
+    let mut threads = Vec::with_capacity(n as usize);
+    for p in 0..n {
+        let mut t = ThreadBuilder::new();
+        t.mov(R2, params.rounds as u64);
+        t.mov(epoch, 1u64);
+        let round_top = t.here();
+        let exit = t.branch_zero_placeholder(R2);
+        if params.work > 0 {
+            t.delay(params.work);
+        }
+        // Ascend while winning.
+        let mut to_spin: Vec<usize> = Vec::new();
+        for level in 0..levels {
+            let group = p >> (level + 1);
+            t.fetch_add(R0, node(level, group), 1);
+            // First arriver (old = 0) goes to spin.
+            to_spin.push(t.branch_zero_placeholder(R0));
+            // Second arriver resets the node and ascends.
+            t.sync_write(node(level, group), 0u64);
+        }
+        // Root winner: publish the round.
+        t.sync_write(flag, epoch);
+        let join = t.jump_placeholder();
+        // Spin on the release flag with read-only synchronization.
+        let spin = t.here();
+        for b in to_spin {
+            t.patch(b, spin);
+        }
+        t.sync_read(R1, flag);
+        t.mov(R3, R1);
+        t.sub(R3, epoch);
+        t.branch_non_zero(R3, spin);
+        let after = t.here();
+        t.patch(join, after);
+        t.add(epoch, 1u64);
+        t.sub(R2, 1u64);
+        t.jump(round_top);
+        let done = t.here();
+        t.patch(exit, done);
+        t.halt();
+        threads.push(t.finish());
+    }
+    Program::new("tree-barrier", threads, u32::from(n)).expect("tree barrier is well-formed")
+}
+
+/// A FIFO ticket lock protecting the same counter region as
+/// [`spinlock`].
+///
+/// Acquire: fetch-and-add the ticket counter, then spin with read-only
+/// synchronization until `now_serving` reaches the ticket. Release: a
+/// synchronization write of `ticket + 1`. The read-only spin makes this
+/// the second Section 6 showcase: under plain Def. 2 every poll takes
+/// the line exclusive; under the DRF1 refinement waiters share it.
+pub fn ticket_lock(params: SpinlockParams) -> Program {
+    let next_ticket = Loc::new(0);
+    let now_serving = Loc::new(1);
+    let n_locs = 2 + params.writes_per_section;
+    let my_ticket = Reg::new(4);
+    let mut threads = Vec::with_capacity(params.n_procs as usize);
+    for _ in 0..params.n_procs {
+        let mut t = ThreadBuilder::new();
+        t.mov(R2, params.sections_per_proc as u64);
+        let section_top = t.here();
+        let exit = t.branch_zero_placeholder(R2);
+        // Acquire: take a ticket, wait for our turn.
+        t.fetch_add(my_ticket, next_ticket, 1);
+        let spin = t.here();
+        t.sync_read(R0, now_serving);
+        t.mov(R3, R0);
+        t.sub(R3, my_ticket);
+        t.branch_non_zero(R3, spin);
+        // Critical section.
+        for i in 0..params.writes_per_section {
+            let d = Loc::new(2 + i);
+            t.read(R1, d);
+            t.add(R1, 1u64);
+            t.write(d, R1);
+        }
+        if params.think > 0 {
+            t.delay(params.think);
+        }
+        // Release: pass the baton.
+        t.mov(R3, my_ticket);
+        t.add(R3, 1u64);
+        t.sync_write(now_serving, R3);
+        t.sub(R2, 1u64);
+        t.jump(section_top);
+        let after = t.here();
+        t.patch(exit, after);
+        t.halt();
+        threads.push(t.finish());
+    }
+    Program::new("ticket-lock", threads, n_locs).expect("ticket lock is well-formed")
+}
+
+/// Parameters for [`async_flood`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncFloodParams {
+    /// Number of processors (= cells in the chain).
+    pub n_procs: u16,
+    /// Cycles of local work between polls.
+    pub poll_work: u32,
+}
+
+impl Default for AsyncFloodParams {
+    fn default() -> Self {
+        AsyncFloodParams { n_procs: 4, poll_work: 5 }
+    }
+}
+
+/// An asynchronous algorithm in the sense of Section 3's caveat: "there
+/// are useful parallel programmer's models that are not easily
+/// expressed in terms of sequential consistency… used by the designers
+/// of asynchronous algorithms. (We expect, however, it will be
+/// straightforward to implement weakly ordered hardware to obtain
+/// reasonable results for asynchronous algorithms.)"
+///
+/// Value flooding along a chain: processor 0 marks its cell; every
+/// other processor polls its predecessor's cell with **ordinary data
+/// reads** (no synchronization whatsoever — the program is racy by
+/// design) and marks its own cell once it sees the mark. Staleness only
+/// delays convergence, never corrupts it, so the algorithm terminates
+/// with all cells set on every machine in this workspace — the
+/// "reasonable results" the paper expects.
+pub fn async_flood(params: AsyncFloodParams) -> Program {
+    let n = params.n_procs;
+    assert!(n >= 1, "flood needs at least one processor");
+    let cell = |p: u16| Loc::new(u32::from(p));
+    let mut threads = Vec::with_capacity(n as usize);
+    for p in 0..n {
+        let mut t = ThreadBuilder::new();
+        if p == 0 {
+            t.write(cell(0), 1u64);
+        } else {
+            let poll = t.here();
+            t.read(R0, cell(p - 1));
+            if params.poll_work > 0 {
+                t.delay(params.poll_work);
+            }
+            t.branch_zero(R0, poll);
+            t.write(cell(p), 1u64);
+        }
+        t.halt();
+        threads.push(t.finish());
+    }
+    Program::new("async-flood", threads, u32::from(n)).expect("flood is well-formed")
+}

@@ -1,0 +1,168 @@
+//! The event queue: the heart of the discrete-event kernel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same cycle pop in scheduling order (FIFO
+/// tie-breaking), so simulations are reproducible run-to-run.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_sim::{Cycle, EventQueue};
+/// let mut q = EventQueue::new();
+/// q.schedule_at(Cycle::new(5), "later");
+/// q.schedule_at(Cycle::new(1), "sooner");
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "sooner")));
+/// assert_eq!(q.now(), Cycle::new(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: Cycle::ZERO }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time (events cannot fire in
+    /// the past).
+    pub fn schedule_at(&mut self, at: Cycle, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Reverse(Entry { at, seq: self.seq, payload }));
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `delta` cycles from now.
+    pub fn schedule_in(&mut self, delta: u64, payload: E) {
+        self.schedule_at(self.now + delta, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// The time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(30), 3);
+        q.schedule_at(Cycle::new(10), 1);
+        q.schedule_at(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(Cycle::new(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((Cycle::new(5), i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), "a");
+        q.pop();
+        q.schedule_in(5, "b");
+        assert_eq!(q.pop(), Some((Cycle::new(15), "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), ());
+        q.pop();
+        q.schedule_at(Cycle::new(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(9), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(9)));
+        assert_eq!(q.now(), Cycle::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Interconnect models.
+//!
+//! The paper's implementation (Section 5.2) places "no restrictions …
+//! on the kind of interconnection network" and assumes no transaction
+//! atomicity. These models supply per-message latencies; combined with
+//! the event queue, messages with independent random latencies arrive
+//! out of order — the "general interconnection network" of Figure 1.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+
+/// Supplies a latency for each message between two nodes.
+pub trait Interconnect {
+    /// Human-readable model name.
+    fn name(&self) -> &'static str;
+
+    /// Latency in cycles for one message from `src` to `dst`.
+    fn latency(&mut self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> u64;
+}
+
+/// An atomic shared bus: every message takes one fixed hop, and (being
+/// a bus) delivery order equals send order. Suitable for the bus-based
+/// configurations of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicBus {
+    /// Cycles per bus transaction.
+    pub cycles: u64,
+}
+
+impl Default for AtomicBus {
+    fn default() -> Self {
+        AtomicBus { cycles: 4 }
+    }
+}
+
+impl Interconnect for AtomicBus {
+    fn name(&self) -> &'static str {
+        "bus"
+    }
+
+    fn latency(&mut self, _src: NodeId, _dst: NodeId, _rng: &mut SimRng) -> u64 {
+        self.cycles
+    }
+}
+
+/// A crossbar with uniform fixed latency: messages on different
+/// src/dst pairs do not interfere, and same-pair messages keep their
+/// order (equal latency + FIFO event queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossbar {
+    /// Cycles per traversal.
+    pub cycles: u64,
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Crossbar { cycles: 10 }
+    }
+}
+
+impl Interconnect for Crossbar {
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+
+    fn latency(&mut self, _src: NodeId, _dst: NodeId, _rng: &mut SimRng) -> u64 {
+        self.cycles
+    }
+}
+
+/// A general multistage interconnection network: every message draws an
+/// independent latency from `[min, max]`, so messages — even between
+/// the same pair of nodes — can arrive out of order. This is the
+/// network the paper's implementation is designed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneralNet {
+    /// Minimum latency (cycles).
+    pub min: u64,
+    /// Maximum latency (cycles), inclusive.
+    pub max: u64,
+}
+
+impl Default for GeneralNet {
+    fn default() -> Self {
+        GeneralNet { min: 20, max: 60 }
+    }
+}
+
+impl Interconnect for GeneralNet {
+    fn name(&self) -> &'static str {
+        "general-net"
+    }
+
+    fn latency(&mut self, _src: NodeId, _dst: NodeId, rng: &mut SimRng) -> u64 {
+        assert!(self.min <= self.max, "GeneralNet: min > max");
+        rng.range(self.min..=self.max)
+    }
+}
+
+/// A congested network: mostly behaves like [`GeneralNet`], but with a
+/// configurable probability any message hits congestion and takes
+/// `spike` cycles. Heavy-tailed latencies are what expose the windows
+/// weakly ordered hardware leaves open — a single delayed invalidation
+/// can lose the race against an arbitrarily long chain of fast
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CongestedNet {
+    /// Minimum normal latency.
+    pub min: u64,
+    /// Maximum normal latency (inclusive).
+    pub max: u64,
+    /// Latency of a congested message.
+    pub spike: u64,
+    /// Congestion probability in permille (0..=1000).
+    pub spike_permille: u32,
+}
+
+impl Default for CongestedNet {
+    fn default() -> Self {
+        CongestedNet { min: 10, max: 40, spike: 2_000, spike_permille: 30 }
+    }
+}
+
+impl Interconnect for CongestedNet {
+    fn name(&self) -> &'static str {
+        "congested-net"
+    }
+
+    fn latency(&mut self, _src: NodeId, _dst: NodeId, rng: &mut SimRng) -> u64 {
+        assert!(self.spike_permille <= 1000, "CongestedNet: permille > 1000");
+        if rng.range(0..=999) < u64::from(self.spike_permille) {
+            self.spike
+        } else {
+            rng.range(self.min..=self.max)
+        }
+    }
+}
+
+/// A 2D mesh: nodes are laid out row-major on a `width`-wide grid and a
+/// message's base latency is its Manhattan hop count times the per-hop
+/// cost, plus uniform jitter. Distant node pairs see systematically
+/// longer (and more reorderable) paths — the locality structure real
+/// multiprocessor interconnects have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    /// Grid width (nodes per row).
+    pub width: u32,
+    /// Cycles per hop.
+    pub per_hop: u64,
+    /// Maximum uniform jitter added per message.
+    pub jitter: u64,
+}
+
+impl Default for Mesh {
+    fn default() -> Self {
+        Mesh { width: 4, per_hop: 6, jitter: 8 }
+    }
+}
+
+impl Mesh {
+    fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let w = self.width.max(1);
+        let (ax, ay) = (a.index() as u32 % w, a.index() as u32 / w);
+        let (bx, by) = (b.index() as u32 % w, b.index() as u32 / w);
+        u64::from(ax.abs_diff(bx) + ay.abs_diff(by))
+    }
+}
+
+impl Interconnect for Mesh {
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn latency(&mut self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> u64 {
+        // Even a self-message crosses the router once.
+        let base = self.hops(src, dst).max(1) * self.per_hop;
+        base + if self.jitter > 0 { rng.range(0..=self.jitter) } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn fixed_models_are_fixed() {
+        let mut rng = SimRng::new(1);
+        let mut bus = AtomicBus { cycles: 3 };
+        let mut xbar = Crossbar { cycles: 7 };
+        for _ in 0..10 {
+            assert_eq!(bus.latency(n(0), n(1), &mut rng), 3);
+            assert_eq!(xbar.latency(n(2), n(3), &mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn general_net_samples_within_bounds_and_varies() {
+        let mut rng = SimRng::new(42);
+        let mut net = GeneralNet { min: 5, max: 50 };
+        let samples: Vec<u64> = (0..100).map(|_| net.latency(n(0), n(1), &mut rng)).collect();
+        assert!(samples.iter().all(|&l| (5..=50).contains(&l)));
+        assert!(samples.windows(2).any(|w| w[0] != w[1]), "latencies should vary");
+    }
+
+    #[test]
+    fn mesh_latency_scales_with_manhattan_distance() {
+        let mut rng = SimRng::new(2);
+        let mut mesh = Mesh { width: 4, per_hop: 10, jitter: 0 };
+        // Node 0 = (0,0); node 5 = (1,1); node 15 = (3,3).
+        assert_eq!(mesh.latency(n(0), n(5), &mut rng), 20);
+        assert_eq!(mesh.latency(n(0), n(15), &mut rng), 60);
+        assert_eq!(mesh.latency(n(3), n(3), &mut rng), 10, "local hop still pays the router");
+        let mut jittery = Mesh { jitter: 5, ..mesh };
+        let l = jittery.latency(n(0), n(5), &mut rng);
+        assert!((20..=25).contains(&l));
+    }
+
+    #[test]
+    fn congested_net_spikes_at_the_configured_rate() {
+        let mut rng = SimRng::new(11);
+        let mut net = CongestedNet { min: 1, max: 10, spike: 999, spike_permille: 200 };
+        let spikes = (0..1000).filter(|_| net.latency(n(0), n(1), &mut rng) == 999).count();
+        assert!((120..280).contains(&spikes), "spike count {spikes} far from 20%");
+        let mut never = CongestedNet { spike_permille: 0, ..net };
+        assert!((0..100).all(|_| never.latency(n(0), n(1), &mut rng) != 999));
+    }
+
+    #[test]
+    fn general_net_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = SimRng::new(seed);
+            let mut net = GeneralNet::default();
+            (0..20).map(|_| net.latency(n(0), n(1), &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

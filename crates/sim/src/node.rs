@@ -1,0 +1,38 @@
+//! Node addressing.
+
+use std::fmt;
+
+/// Identifies a component on the interconnect (a processor cache or the
+/// directory/memory controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(i: u32) -> Self {
+        NodeId(i)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(NodeId::new(4).index(), 4);
+        assert_eq!(NodeId::new(4).to_string(), "n4");
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,166 @@
+//! Lightweight simulation statistics: named counters and a latency
+//! histogram.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag of named monotonically increasing counters.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_sim::Counters;
+/// let mut c = Counters::new();
+/// c.add("messages", 3);
+/// c.incr("messages");
+/// assert_eq!(c.get("messages"), 4);
+/// assert_eq!(c.get("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to a counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k:<32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples (latencies,
+/// queue depths).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts
+    /// zeros and ones).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let bucket = (64 - sample.leading_zeros()) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} max={}", self.count, self.mean(), self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.incr("a");
+        c.add("a", 2);
+        c.incr("b");
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("b"), 1);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![("a", 3), ("b", 1)]);
+    }
+
+    #[test]
+    fn counters_display() {
+        let mut c = Counters::new();
+        c.add("msgs", 7);
+        assert!(c.to_string().contains("msgs"));
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for s in [0, 1, 2, 4, 9] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.sum(), 16);
+        assert!((h.mean() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

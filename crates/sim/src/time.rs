@@ -1,0 +1,98 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in processor cycles.
+///
+/// # Examples
+///
+/// ```
+/// use weakord_sim::Cycle;
+/// let t = Cycle::new(10) + 5;
+/// assert_eq!(t, Cycle::new(15));
+/// assert_eq!(t - Cycle::new(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a time point.
+    pub const fn new(t: u64) -> Self {
+        Cycle(t)
+    }
+
+    /// The raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference: `self - earlier`, or 0 if `earlier` is
+    /// later.
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.checked_sub(rhs.0).expect("Cycle subtraction underflow")
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(t: u64) -> Self {
+        Cycle(t)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Cycle::ZERO;
+        t += 7;
+        assert_eq!(t.get(), 7);
+        assert_eq!((t + 3) - t, 3);
+        assert_eq!(t.since(Cycle::new(10)), 0);
+        assert_eq!(Cycle::new(10).since(t), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "@42");
+    }
+}

@@ -1,0 +1,399 @@
+//! `weakord` — command-line driver for the reproduction.
+//!
+//! ```text
+//! weakord litmus                 list the litmus suite
+//! weakord litmus <name>          explore one test on every machine
+//! weakord litmus <name> --witness <machine>   print a forbidden-outcome interleaving
+//! weakord drf <name>             classify a litmus program against DRF0/DRF1
+//! weakord delay <name>           Shasha–Snir delay set of a litmus program
+//! weakord disasm <name>          disassemble a litmus program
+//! weakord dot <name>             Graphviz of a round-robin execution (po/so/races)
+//! weakord export <name>          emit a litmus program in the text format
+//! weakord check <file.litmus> [--witness <machine>]   analyze a litmus file
+//! weakord run <workload> [opts]  timed run on the cycle-level machine
+//!   workloads: fig3 | spinlock | spinlock-tts | ticket-lock | barrier |
+//!              tree-barrier | producer-consumer | spin-broadcast
+//!   opts: --policy sc|def1|def2|def2-drf1   --seed N   --cache N
+//!         --net bus|crossbar|general|mesh|congested   --migrate-at N   --banks N
+//! ```
+
+use std::process::exit;
+
+use weakord::coherence::{CoherentMachine, Config, Migration, NetModel, Policy};
+use weakord::core::HbMode;
+use weakord::mc::machines::{
+    CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
+    WriteBufferMachine,
+};
+use weakord::mc::{check_program_drf, explore, find_witness, Limits, Machine, TraceLimits};
+use weakord::progs::delay::delay_set;
+use weakord::progs::workloads::{
+    barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts, ticket_lock,
+    tree_barrier, BarrierParams, Fig3Params, PcParams, SpinBroadcastParams, SpinlockParams,
+    TreeBarrierParams,
+};
+use weakord::progs::{litmus, Litmus, Program};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"litmus", rest)) => cmd_litmus(rest),
+        Some((&"drf", rest)) => cmd_drf(rest),
+        Some((&"delay", rest)) => cmd_delay(rest),
+        Some((&"disasm", rest)) => cmd_disasm(rest),
+        Some((&"dot", rest)) => cmd_dot(rest),
+        Some((&"export", rest)) => cmd_export(rest),
+        Some((&"check", rest)) => cmd_check(rest),
+        Some((&"run", rest)) => cmd_run(rest),
+        _ => {
+            eprintln!("usage: weakord <litmus|drf|delay|disasm|check|run> …  (see the README)");
+            exit(2);
+        }
+    }
+}
+
+fn find_litmus(name: &str) -> Litmus {
+    litmus::all().into_iter().find(|l| l.name == name).unwrap_or_else(|| {
+        eprintln!("unknown litmus test `{name}`; `weakord litmus` lists them");
+        exit(2);
+    })
+}
+
+fn cmd_litmus(rest: &[&str]) {
+    match rest.first() {
+        None => {
+            println!("{:<16} {:<5}  description", "name", "DRF0");
+            for lit in litmus::all() {
+                println!(
+                    "{:<16} {:<5}  {}",
+                    lit.name,
+                    if lit.drf0 { "yes" } else { "no" },
+                    lit.description
+                );
+            }
+        }
+        Some(name) => {
+            let lit = find_litmus(name);
+            println!("{}\n", lit.program);
+            println!("{:<14} {:>8} {:>7}  forbidden outcome", "machine", "outcomes", "states");
+            fn row<M: Machine>(m: &M, lit: &Litmus) {
+                let ex = explore(m, &lit.program, Limits::default());
+                println!(
+                    "{:<14} {:>8} {:>7}  {}",
+                    m.name(),
+                    ex.outcomes.len(),
+                    ex.states,
+                    if ex.outcomes.iter().any(|o| (lit.non_sc)(o)) {
+                        "OBSERVED"
+                    } else {
+                        "impossible"
+                    }
+                );
+            }
+            row(&ScMachine, &lit);
+            row(&WriteBufferMachine, &lit);
+            row(&NetReorderMachine, &lit);
+            row(&CacheDelayMachine, &lit);
+            row(&WoDef1Machine, &lit);
+            row(&WoDef2Machine::default(), &lit);
+            row(&WoDef2Machine { drf1_refined: true }, &lit);
+            if let Some(machine) = flag(rest, "--witness") {
+                print_witness(&lit, &machine);
+            }
+        }
+    }
+}
+
+fn print_witness(lit: &Litmus, machine: &str) {
+    fn go<M: Machine>(m: &M, lit: &Litmus) {
+        match find_witness(m, &lit.program, Limits::default(), |o| (lit.non_sc)(o)) {
+            Some(w) => {
+                println!(
+                    "
+witness interleaving on `{}` for the forbidden outcome:",
+                    m.name()
+                );
+                for (i, label) in w.iter().enumerate() {
+                    println!("  {i:>3}. {label}");
+                }
+            }
+            None => println!(
+                "
+`{}` cannot produce the forbidden outcome.",
+                m.name()
+            ),
+        }
+    }
+    match machine {
+        "sc" => go(&ScMachine, lit),
+        "write-buffer" => go(&WriteBufferMachine, lit),
+        "net-reorder" => go(&NetReorderMachine, lit),
+        "cache-delay" => go(&CacheDelayMachine, lit),
+        "wo-def1" => go(&WoDef1Machine, lit),
+        "wo-def2" => go(&WoDef2Machine::default(), lit),
+        other => eprintln!("unknown machine `{other}`"),
+    }
+}
+
+fn cmd_drf(rest: &[&str]) {
+    let Some(name) = rest.first() else {
+        eprintln!("usage: weakord drf <litmus-name>");
+        exit(2);
+    };
+    let lit = find_litmus(name);
+    for mode in [HbMode::Drf0, HbMode::Drf1] {
+        let v = check_program_drf(&lit.program, mode, TraceLimits::default());
+        println!(
+            "{mode:?}: {} ({} complete traces{})",
+            if v.is_race_free() { "race-free" } else { "RACY" },
+            v.traces,
+            if v.truncated { ", bounded" } else { "" }
+        );
+        if let Some(race) = v.races.first() {
+            println!("  witness: {race}");
+        }
+    }
+}
+
+fn cmd_delay(rest: &[&str]) {
+    let Some(name) = rest.first() else {
+        eprintln!("usage: weakord delay <litmus-name>");
+        exit(2);
+    };
+    let lit = find_litmus(name);
+    print!("{}", delay_set(&lit.program));
+}
+
+fn cmd_disasm(rest: &[&str]) {
+    let Some(name) = rest.first() else {
+        eprintln!("usage: weakord disasm <litmus-name>");
+        exit(2);
+    };
+    print!("{}", find_litmus(name).program);
+}
+
+fn cmd_export(rest: &[&str]) {
+    let Some(name) = rest.first() else {
+        eprintln!("usage: weakord export <litmus-name>");
+        exit(2);
+    };
+    print!("{}", weakord::progs::unparse_program(&find_litmus(name).program));
+}
+
+fn cmd_dot(rest: &[&str]) {
+    let Some(name) = rest.first() else {
+        eprintln!("usage: weakord dot <litmus-name>");
+        exit(2);
+    };
+    let lit = find_litmus(name);
+    // Materialize one idealized execution by stepping the SC machine
+    // round-robin, then render po/so/races.
+    use weakord::core::{IdealizedExecution, MemOp, OpId};
+    use weakord::mc::machines::{ScMachine, ScState};
+    let mut state: ScState = weakord::mc::Machine::initial(&ScMachine, &lit.program);
+    let mut ops: Vec<MemOp> = Vec::new();
+    let mut po = vec![0u32; lit.program.n_procs()];
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for t in 0..lit.program.n_procs() {
+            if let Some(rec) = ScMachine::step_thread(&lit.program, &mut state, t) {
+                ops.push(MemOp {
+                    id: OpId::new(0),
+                    proc: rec.proc,
+                    po_index: po[t],
+                    kind: rec.kind,
+                    loc: rec.loc,
+                    read_value: rec.read_value,
+                    written_value: rec.written_value,
+                    hypothetical: false,
+                });
+                po[t] += 1;
+                progressed = true;
+            }
+        }
+    }
+    let exec = IdealizedExecution::from_observed(lit.program.n_procs() as u16, ops)
+        .expect("round-robin execution is well-formed");
+    print!("{}", weakord::core::execution_dot(&exec, weakord::core::HbMode::Drf0));
+}
+
+fn cmd_check(rest: &[&str]) {
+    let Some(path) = rest.first() else {
+        eprintln!("usage: weakord check <file.litmus> [--witness <machine>]");
+        exit(2);
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        exit(1);
+    });
+    let prog = weakord::progs::parse_program(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    });
+    println!("{prog}");
+    // DRF classification.
+    let v0 = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+    let v1 = check_program_drf(&prog, HbMode::Drf1, TraceLimits::default());
+    println!(
+        "DRF0: {}   DRF1: {}",
+        if v0.is_race_free() { "race-free" } else { "RACY" },
+        if v1.is_race_free() { "race-free" } else { "RACY" },
+    );
+    if let Some(race) = v0.races.first() {
+        println!("  witness race: {race}");
+    }
+    // Delay set.
+    let ds = delay_set(&prog);
+    print!("delay set: {ds}");
+    // Exploration across the machines.
+    println!(
+        "
+{:<14} {:>8} {:>7}",
+        "machine", "outcomes", "states"
+    );
+    fn row<M: Machine>(m: &M, prog: &Program) {
+        let ex = explore(m, prog, Limits::default());
+        println!(
+            "{:<14} {:>8} {:>7}{}",
+            m.name(),
+            ex.outcomes.len(),
+            ex.states,
+            if ex.has_deadlock() { "  DEADLOCK" } else { "" }
+        );
+    }
+    row(&ScMachine, &prog);
+    row(&WriteBufferMachine, &prog);
+    row(&NetReorderMachine, &prog);
+    row(&CacheDelayMachine, &prog);
+    row(&WoDef1Machine, &prog);
+    row(&WoDef2Machine::default(), &prog);
+    // Contract verdicts: does each weakly ordered machine appear SC?
+    for (name, ok) in [
+        ("wo-def1", weakord::mc::appears_sc(&WoDef1Machine, &prog, Limits::default()).appears_sc),
+        (
+            "wo-def2",
+            weakord::mc::appears_sc(&WoDef2Machine::default(), &prog, Limits::default()).appears_sc,
+        ),
+    ] {
+        println!("{name}: {}", if ok { "appears SC" } else { "non-SC outcomes reachable" });
+    }
+    if let Some(machine) = flag(rest, "--witness") {
+        // Witness any outcome the SC machine cannot produce.
+        let sc = explore(&ScMachine, &prog, Limits::default());
+        let lit_like = move |o: &weakord::progs::Outcome| !sc.outcomes.contains(o);
+        fn wit<M: Machine>(m: &M, prog: &Program, pred: impl Fn(&weakord::progs::Outcome) -> bool) {
+            match weakord::mc::find_witness(m, prog, Limits::default(), pred) {
+                Some(w) => {
+                    println!(
+                        "
+witness interleaving on `{}` for a non-SC outcome:",
+                        m.name()
+                    );
+                    for (i, label) in w.iter().enumerate() {
+                        println!("  {i:>3}. {label}");
+                    }
+                }
+                None => println!(
+                    "
+`{}` has no non-SC outcome.",
+                    m.name()
+                ),
+            }
+        }
+        match machine.as_str() {
+            "write-buffer" => wit(&WriteBufferMachine, &prog, lit_like),
+            "net-reorder" => wit(&NetReorderMachine, &prog, lit_like),
+            "cache-delay" => wit(&CacheDelayMachine, &prog, lit_like),
+            "wo-def1" => wit(&WoDef1Machine, &prog, lit_like),
+            "wo-def2" => wit(&WoDef2Machine::default(), &prog, lit_like),
+            other => eprintln!("unknown machine `{other}`"),
+        }
+    }
+}
+
+fn flag(rest: &[&str], name: &str) -> Option<String> {
+    rest.iter().position(|a| *a == name).and_then(|i| rest.get(i + 1)).map(|s| s.to_string())
+}
+
+fn cmd_run(rest: &[&str]) {
+    let Some(workload) = rest.first() else {
+        eprintln!("usage: weakord run <workload> [--policy P] [--seed N] [--net M] [--cache N] [--migrate-at N]");
+        exit(2);
+    };
+    let prog: Program = match *workload {
+        "fig3" => fig3_scenario(Fig3Params::default()),
+        "spinlock" => spinlock(SpinlockParams::default()),
+        "spinlock-tts" => spinlock_tts(SpinlockParams::default()),
+        "barrier" => barrier(BarrierParams::default()),
+        "producer-consumer" => producer_consumer(PcParams::default()),
+        "spin-broadcast" => spin_broadcast(SpinBroadcastParams::default()),
+        "ticket-lock" => ticket_lock(SpinlockParams::default()),
+        "tree-barrier" => tree_barrier(TreeBarrierParams::default()),
+        "async-flood" => weakord::progs::workloads::async_flood(Default::default()),
+        other => {
+            eprintln!("unknown workload `{other}`");
+            exit(2);
+        }
+    };
+    let policy = match flag(rest, "--policy").as_deref() {
+        None | Some("def2") => Policy::def2(),
+        Some("sc") => Policy::Sc,
+        Some("def1") => Policy::Def1,
+        Some("def2-drf1") => Policy::def2_drf1(),
+        Some(other) => {
+            eprintln!("unknown policy `{other}`");
+            exit(2);
+        }
+    };
+    let seed = flag(rest, "--seed").map_or(1, |s| s.parse().expect("--seed takes a number"));
+    let network = match flag(rest, "--net").as_deref() {
+        None | Some("general") => NetModel::General { min: 20, max: 60 },
+        Some("bus") => NetModel::Bus { cycles: 4 },
+        Some("crossbar") => NetModel::Crossbar { cycles: 12 },
+        Some("mesh") => NetModel::Mesh { width: 4, per_hop: 6, jitter: 8 },
+        Some("congested") => {
+            NetModel::Congested { min: 10, max: 40, spike: 2_000, spike_permille: 30 }
+        }
+        Some(other) => {
+            eprintln!("unknown network `{other}`");
+            exit(2);
+        }
+    };
+    let cache_lines = flag(rest, "--cache").map(|s| s.parse().expect("--cache takes a number"));
+    let memory_banks =
+        flag(rest, "--banks").map_or(1, |s| s.parse().expect("--banks takes a number"));
+    let no_forwarding = rest.contains(&"--no-forwarding");
+    let migration = flag(rest, "--migrate-at")
+        .map(|s| Migration { thread: 0, at_cycle: s.parse().expect("--migrate-at takes a cycle") });
+    let cfg = Config {
+        policy,
+        seed,
+        network,
+        cache_lines,
+        migration,
+        memory_banks,
+        no_forwarding,
+        record_trace: true,
+        ..Config::default()
+    };
+    let result = CoherentMachine::new(&prog, cfg).run().unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1);
+    });
+    println!("{} under {} (seed {seed}):", prog.name, policy.name());
+    println!("{result}");
+    println!("\nhottest lines:");
+    for (loc, st) in result.hotspots(5) {
+        println!(
+            "  {loc:<8} {:>5} GetX {:>5} GetS {:>5} Inv {:>5} transfers",
+            st.getx, st.gets, st.invs, st.transfers
+        );
+    }
+    let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+    match result.check_appears_sc(mode) {
+        Ok(()) => println!("\nLemma 1: the observed execution appears sequentially consistent."),
+        Err(v) => println!("\nLemma 1 VIOLATION: {v}"),
+    }
+}

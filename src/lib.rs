@@ -1,0 +1,53 @@
+//! # weakord — a reproduction of "Weak Ordering — A New Definition"
+//!
+//! This workspace reproduces Adve & Hill's paper end to end:
+//!
+//! * [`core`]: the formal framework — idealized executions,
+//!   happens-before, the DRF0/DRF1 synchronization models
+//!   (Definition 3), race detection, and the Lemma 1 appears-SC
+//!   criterion.
+//! * [`progs`]: a small program IR with hardware-recognizable
+//!   synchronization, the litmus suite (including Figure 1), the
+//!   workloads behind Figure 3 and Section 6, and random program
+//!   generators.
+//! * [`mc`]: exhaustive operational models — the SC reference, the four
+//!   relaxed configurations of Figure 1, Definition 1 weak ordering and
+//!   the new Section 5 implementation — plus the Definition 2 contract
+//!   checker ("appears sequentially consistent to all conforming
+//!   software").
+//! * [`sim`]: the deterministic discrete-event kernel.
+//! * [`coherence`]: the cycle-level directory-based multiprocessor
+//!   implementing Section 5.3's counters and reserve bits, with
+//!   ordering policies `sc` / `def1` / `def2` / `def2-drf1`.
+//!
+//! See the `examples/` directory for runnable walkthroughs, and
+//! `weakord-bench` for the figure-regeneration harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use weakord::mc::machines::{ScMachine, WoDef2Machine};
+//! use weakord::mc::{explore, Limits};
+//! use weakord::progs::litmus;
+//!
+//! // Definition 2 in action: the Section 5 implementation appears SC
+//! // to the DRF0 Dekker variant...
+//! let lit = litmus::dekker_sync();
+//! let sc = explore(&ScMachine, &lit.program, Limits::default());
+//! let wo = explore(&WoDef2Machine::default(), &lit.program, Limits::default());
+//! assert!(wo.outcomes.is_subset(&sc.outcomes));
+//!
+//! // ...but remains free to break the racy original (Figure 1).
+//! let racy = litmus::fig1_dekker();
+//! let wo = explore(&WoDef2Machine::default(), &racy.program, Limits::default());
+//! assert!(wo.outcomes.iter().any(|o| (racy.non_sc)(o)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use weakord_coherence as coherence;
+pub use weakord_core as core;
+pub use weakord_mc as mc;
+pub use weakord_progs as progs;
+pub use weakord_sim as sim;

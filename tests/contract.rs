@@ -1,0 +1,174 @@
+//! The headline theorem, end to end: Definition 2 holds for the weak
+//! ordering machines with respect to DRF0 (Appendix B), fails for the
+//! sync-oblivious relaxed machines, and the Section 5 implementation is
+//! strictly more permissive than Definition 1 hardware on racy code.
+
+use weakord::core::HbMode;
+use weakord::mc::machines::{
+    CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
+    WriteBufferMachine,
+};
+use weakord::mc::{
+    appears_sc, check_program_drf, check_weak_ordering, explore, Limits, TraceLimits,
+};
+use weakord::progs::{gen, litmus, Program};
+
+fn suite() -> Vec<Program> {
+    let mut programs: Vec<Program> = litmus::all().into_iter().map(|l| l.program).collect();
+    for seed in 0..6 {
+        programs.push(gen::race_free(seed, gen::GenParams::default()));
+        programs.push(gen::racy(seed, gen::GenParams::default()));
+    }
+    programs
+}
+
+#[test]
+fn weak_ordering_machines_satisfy_definition_2_wrt_drf0() {
+    let programs = suite();
+    for report in [
+        check_weak_ordering(
+            &WoDef1Machine,
+            HbMode::Drf0,
+            &programs,
+            Limits::default(),
+            TraceLimits::default(),
+        ),
+        check_weak_ordering(
+            &WoDef2Machine::default(),
+            HbMode::Drf0,
+            &programs,
+            Limits::default(),
+            TraceLimits::default(),
+        ),
+    ] {
+        assert!(report.holds(), "{report}");
+    }
+}
+
+#[test]
+fn refined_machine_satisfies_definition_2_wrt_drf1() {
+    let programs = suite();
+    let report = check_weak_ordering(
+        &WoDef2Machine { drf1_refined: true },
+        HbMode::Drf1,
+        &programs,
+        Limits::default(),
+        TraceLimits::default(),
+    );
+    assert!(report.holds(), "{report}");
+}
+
+#[test]
+fn sync_oblivious_machines_violate_the_contract() {
+    // dekker-sync obeys DRF0; hardware that cannot recognize
+    // synchronization breaks it.
+    let programs = vec![litmus::dekker_sync().program];
+    for (name, holds) in [
+        (
+            "write-buffer",
+            check_weak_ordering(
+                &WriteBufferMachine,
+                HbMode::Drf0,
+                &programs,
+                Limits::default(),
+                TraceLimits::default(),
+            )
+            .holds(),
+        ),
+        (
+            "net-reorder",
+            check_weak_ordering(
+                &NetReorderMachine,
+                HbMode::Drf0,
+                &programs,
+                Limits::default(),
+                TraceLimits::default(),
+            )
+            .holds(),
+        ),
+        (
+            "cache-delay",
+            check_weak_ordering(
+                &CacheDelayMachine,
+                HbMode::Drf0,
+                &programs,
+                Limits::default(),
+                TraceLimits::default(),
+            )
+            .holds(),
+        ),
+    ] {
+        assert!(!holds, "{name} unexpectedly satisfies the contract");
+    }
+}
+
+#[test]
+fn definition_1_hardware_is_weakly_ordered_by_definition_2() {
+    // Section 6's first claim: the old hardware satisfies the new
+    // contract (the converse of the paper's generality argument).
+    let report = check_weak_ordering(
+        &WoDef1Machine,
+        HbMode::Drf0,
+        &suite(),
+        Limits::default(),
+        TraceLimits::default(),
+    );
+    assert!(report.holds(), "{report}");
+}
+
+#[test]
+fn the_new_implementation_violates_definition_1s_observable_guarantees() {
+    // racy-spy: Definition 1 hardware can never show flag=1 ∧ x=0; the
+    // Section 5 implementation can — it is a legal Definition 2
+    // implementation that Definition 1 does not allow (the paper's
+    // generality demonstration).
+    let lit = litmus::racy_spy();
+    let def1 = explore(&WoDef1Machine, &lit.program, Limits::default());
+    let def2 = explore(&WoDef2Machine::default(), &lit.program, Limits::default());
+    assert!(def1.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+    assert!(def2.outcomes.iter().any(|o| (lit.non_sc)(o)));
+    // And def2's outcome set strictly contains def1's.
+    assert!(def1.outcomes.is_subset(&def2.outcomes));
+    assert!(def1.outcomes.len() < def2.outcomes.len());
+}
+
+#[test]
+fn every_machine_appears_sc_to_single_threaded_programs() {
+    // Uniprocessors are sequentially consistent "almost naturally":
+    // single-threaded programs admit exactly one SC result, and every
+    // machine must produce it.
+    use weakord::core::Loc;
+    use weakord::progs::{Reg, ThreadBuilder};
+    let mut t = ThreadBuilder::new();
+    t.write(Loc::new(0), 3u64);
+    t.read(Reg::new(0), Loc::new(0));
+    t.write(Loc::new(1), Reg::new(0));
+    t.test_and_set(Reg::new(1), Loc::new(2));
+    t.read(Reg::new(2), Loc::new(1));
+    t.halt();
+    let prog = Program::new("uni", vec![t.finish()], 3).unwrap();
+    macro_rules! check {
+        ($m:expr) => {
+            let r = appears_sc(&$m, &prog, Limits::default());
+            assert!(r.appears_sc, "{}: {r}", weakord::mc::Machine::name(&$m));
+            assert_eq!(r.machine.outcomes.len(), 1);
+        };
+    }
+    check!(ScMachine);
+    check!(WriteBufferMachine);
+    check!(NetReorderMachine);
+    check!(CacheDelayMachine);
+    check!(WoDef1Machine);
+    check!(WoDef2Machine::default());
+}
+
+#[test]
+fn drf0_classification_is_stable_between_detector_runs() {
+    for seed in 0..6 {
+        let prog = gen::racy(seed, gen::GenParams::default());
+        let a = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+        let b = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
+        assert_eq!(a.is_race_free(), b.is_race_free());
+        assert_eq!(a.races, b.races);
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-validation between the two hardware legs: the cycle-level
+//! machine's observable outcomes must be consistent with the exhaustive
+//! models, and its observed executions must satisfy the paper's own
+//! per-execution criterion (Lemma 1).
+
+use std::collections::BTreeSet;
+
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord::core::HbMode;
+use weakord::mc::machines::ScMachine;
+use weakord::mc::{explore, Limits};
+use weakord::progs::{gen, litmus, Outcome, Program};
+
+fn timed_outcomes(
+    prog: &Program,
+    policy: Policy,
+    seeds: std::ops::Range<u64>,
+) -> BTreeSet<Outcome> {
+    seeds
+        .map(|seed| {
+            let cfg = Config {
+                policy,
+                seed,
+                network: NetModel::General { min: 5, max: 90 },
+                ..Config::default()
+            };
+            CoherentMachine::new(prog, cfg).run().expect("terminates").outcome
+        })
+        .collect()
+}
+
+/// For DRF0 programs, every outcome the cycle-level machine produces —
+/// under any policy and schedule — must be an SC outcome (computed
+/// exhaustively by the model checker). This ties the two legs of the
+/// reproduction together.
+#[test]
+fn timed_outcomes_of_drf0_programs_are_sc_outcomes() {
+    for lit in litmus::all().iter().filter(|l| l.drf0) {
+        let sc = explore(&ScMachine, &lit.program, Limits::default());
+        assert!(!sc.truncated);
+        for policy in [Policy::Sc, Policy::Def1, Policy::def2(), Policy::def2_drf1()] {
+            let observed = timed_outcomes(&lit.program, policy, 0..8);
+            assert!(
+                observed.is_subset(&sc.outcomes),
+                "{} under {}: timed machine produced a non-SC outcome",
+                lit.name,
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Under the SC policy, even racy programs only show SC outcomes on the
+/// cycle-level machine.
+#[test]
+fn timed_sc_policy_is_sequentially_consistent_on_racy_programs() {
+    for lit in litmus::all() {
+        let sc = explore(&ScMachine, &lit.program, Limits::default());
+        let observed = timed_outcomes(&lit.program, Policy::Sc, 0..8);
+        assert!(
+            observed.is_subset(&sc.outcomes),
+            "{}: SC policy produced a non-SC outcome",
+            lit.name
+        );
+    }
+}
+
+/// Generated race-free programs: terminate, satisfy Lemma 1, and land
+/// inside the SC outcome set, across policies and seeds.
+#[test]
+fn generated_drf0_programs_cross_validate() {
+    let params = gen::GenParams::default();
+    for seed in 0..4 {
+        let prog = gen::race_free(seed, params);
+        let sc = explore(&ScMachine, &prog, Limits::default());
+        assert!(!sc.truncated, "{}", prog.name);
+        for policy in [Policy::Def1, Policy::def2()] {
+            for run_seed in 0..3 {
+                let cfg =
+                    Config { policy, seed: run_seed, record_trace: true, ..Config::default() };
+                let r = CoherentMachine::new(&prog, cfg).run().expect("terminates");
+                r.check_appears_sc(HbMode::Drf0)
+                    .unwrap_or_else(|v| panic!("{} under {}: {v}", prog.name, policy.name()));
+                assert!(
+                    sc.outcomes.contains(&r.outcome),
+                    "{} under {} seed {run_seed}: outcome not SC-reachable",
+                    prog.name,
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+/// The racy spy's Definition-1-impossible outcome is observable on the
+/// cycle-level Def. 2 machine — the timed leg agrees with the
+/// model-checking leg about the paper's generality claim.
+///
+/// In the protocol, the stale read needs `P1` to hold a shared copy of
+/// `x` whose invalidation is in flight while `P0`'s release becomes
+/// visible, so the spy warms `x` first and the run uses a heavy-tailed
+/// (congested) network where a single invalidation can lose the race
+/// against a chain of fast messages.
+#[test]
+fn timed_def2_exhibits_the_racy_spy_outcome() {
+    use weakord::core::{Loc, Value};
+    use weakord::progs::{Reg, ThreadBuilder};
+    let (x, s) = (Loc::new(0), Loc::new(1));
+    let (r0, r1, r2) = (Reg::new(0), Reg::new(1), Reg::new(2));
+    let mut t0 = ThreadBuilder::new();
+    t0.write(x, 1u64);
+    t0.sync_write(s, 1u64);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(r0, x); // warm a shared copy of x (reads 0 or 1)
+    let spin = t1.here();
+    t1.read(r1, s); // data read spying on the sync location: a race
+    t1.branch_zero(r1, spin);
+    t1.read(r2, x); // stale if our copy's invalidation is still in flight
+    t1.halt();
+    let prog = Program::new("warmed-spy", vec![t0.finish(), t1.finish()], 2).unwrap();
+    let spied_stale = |o: &Outcome| o.regs[1][2] == Value::ZERO && o.regs[1][1] == Value::new(1);
+    let network = NetModel::Congested { min: 10, max: 40, spike: 3_000, spike_permille: 60 };
+    let mut seen = false;
+    for seed in 0..200 {
+        let cfg = Config { policy: Policy::def2(), seed, network, ..Config::default() };
+        let r = CoherentMachine::new(&prog, cfg).run().expect("terminates");
+        if spied_stale(&r.outcome) {
+            seen = true;
+            break;
+        }
+    }
+    assert!(seen, "no schedule exhibited the spy outcome under def2");
+    // And never under Def. 1, whatever the schedule: the release cannot
+    // become visible anywhere before W(x) is globally performed.
+    for seed in 0..200 {
+        let cfg = Config { policy: Policy::Def1, seed, network, ..Config::default() };
+        let r = CoherentMachine::new(&prog, cfg).run().expect("terminates");
+        assert!(!spied_stale(&r.outcome), "Def.1 showed the spy outcome at seed {seed}");
+    }
+}

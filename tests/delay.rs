@@ -1,0 +1,137 @@
+//! Shasha & Snir meet Definition 2: enforcing a program's delay set by
+//! promoting the paired accesses to synchronization restores sequential
+//! consistency on weakly ordered hardware — and programs whose delay
+//! set is empty appear SC on *every* machine, because no critical cycle
+//! exists to break.
+
+use weakord::core::Loc;
+use weakord::mc::machines::{
+    CacheDelayMachine, NetReorderMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
+};
+use weakord::mc::{appears_sc, Limits, Machine};
+use weakord::progs::delay::{delay_set, enforce_delays};
+use weakord::progs::{litmus, Program, Reg, ThreadBuilder};
+
+fn assert_appears_sc<M: Machine>(m: &M, prog: &Program) {
+    let r = appears_sc(m, prog, Limits::default());
+    assert!(r.appears_sc, "{} on {}: {r}", m.name(), prog.name);
+    assert!(!r.machine.has_deadlock(), "{} deadlocked on {}", m.name(), prog.name);
+}
+
+/// Enforced racy litmus tests appear SC on the weakly ordered machines.
+#[test]
+fn enforced_delay_sets_restore_sc_on_weakly_ordered_hardware() {
+    for lit in litmus::all() {
+        let enforced = enforce_delays(&lit.program);
+        assert_appears_sc(&WoDef1Machine, &enforced);
+        assert_appears_sc(&WoDef2Machine::default(), &enforced);
+    }
+}
+
+/// Programs with an empty delay set appear SC on every machine — there
+/// is no critical cycle for any reordering to close (ShS88).
+#[test]
+fn empty_delay_sets_appear_sc_everywhere() {
+    let progs = vec![single_writer_single_reader(), disjoint_writers(), one_race_no_cycle()];
+    for prog in &progs {
+        assert!(delay_set(prog).is_empty(), "{}: delay set not empty", prog.name);
+        assert_appears_sc(&WriteBufferMachine, prog);
+        assert_appears_sc(&NetReorderMachine, prog);
+        assert_appears_sc(&CacheDelayMachine, prog);
+        assert_appears_sc(&WoDef1Machine, prog);
+        assert_appears_sc(&WoDef2Machine::default(), prog);
+    }
+}
+
+/// Soundness of the analysis against the machines: a litmus program
+/// with an *empty* delay set must never exhibit its forbidden outcome
+/// on any machine (there is no critical cycle to close).
+#[test]
+fn empty_delay_sets_forbid_the_non_sc_outcome() {
+    for lit in litmus::all() {
+        let ds = delay_set(&lit.program);
+        if !ds.pairs.is_empty() {
+            continue;
+        }
+        for violated in [
+            appears_sc(&WriteBufferMachine, &lit.program, Limits::default()),
+            appears_sc(&NetReorderMachine, &lit.program, Limits::default()),
+            appears_sc(&CacheDelayMachine, &lit.program, Limits::default()),
+            appears_sc(&WoDef2Machine::default(), &lit.program, Limits::default()),
+        ] {
+            assert!(
+                violated.machine.outcomes.iter().all(|o| !(lit.non_sc)(o)),
+                "{}: empty delay set but forbidden outcome reachable",
+                lit.name
+            );
+        }
+    }
+}
+
+fn single_writer_single_reader() -> Program {
+    let mut w = ThreadBuilder::new();
+    w.write(Loc::new(0), 1u64);
+    w.halt();
+    let mut r = ThreadBuilder::new();
+    r.read(Reg::new(0), Loc::new(0));
+    r.halt();
+    Program::new("one-race-one-loc", vec![w.finish(), r.finish()], 1).unwrap()
+}
+
+fn disjoint_writers() -> Program {
+    let mk = |l: u32| {
+        let mut t = ThreadBuilder::new();
+        t.write(Loc::new(l), 1u64);
+        t.read(Reg::new(0), Loc::new(l + 1));
+        t.halt();
+        t.finish()
+    };
+    Program::new("disjoint", vec![mk(0), mk(2)], 4).unwrap()
+}
+
+fn one_race_no_cycle() -> Program {
+    // P0 writes x twice; P1 reads x once: conflicts but no mixed cycle
+    // (P1 has a single access, P0's pair is same-location — coherence
+    // orders it).
+    let mut t0 = ThreadBuilder::new();
+    t0.write(Loc::new(0), 1u64);
+    t0.write(Loc::new(0), 2u64);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.read(Reg::new(0), Loc::new(0));
+    t1.halt();
+    Program::new("no-cycle", vec![t0.finish(), t1.finish()], 1).unwrap()
+}
+
+/// Shasha & Snir specialized to one machine: a program whose delay set
+/// has no W→R pair appears sequentially consistent on the write-buffer
+/// (TSO) machine — and the unsafe ones are exactly where it breaks.
+#[test]
+fn tso_safety_predicts_write_buffer_behaviour() {
+    use weakord::progs::delay::tso_safe;
+    use weakord::progs::gen;
+    let mut programs: Vec<Program> =
+        litmus::all().into_iter().map(|l| l.program).collect();
+    for seed in 0..6 {
+        programs.push(gen::race_free(seed, gen::GenParams::default()));
+        programs.push(gen::racy(seed, gen::GenParams::default()));
+    }
+    let mut safe_count = 0;
+    let mut unsafe_count = 0;
+    for prog in &programs {
+        let predicted_safe = tso_safe(prog);
+        let actual = appears_sc(&WriteBufferMachine, prog, Limits::default());
+        if predicted_safe {
+            safe_count += 1;
+            assert!(
+                actual.appears_sc,
+                "{}: predicted TSO-safe but the write-buffer machine broke it",
+                prog.name
+            );
+        } else {
+            unsafe_count += 1;
+        }
+    }
+    assert!(safe_count >= 5, "suite should contain TSO-safe programs");
+    assert!(unsafe_count >= 2, "suite should contain TSO-unsafe programs");
+}

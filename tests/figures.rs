@@ -1,0 +1,46 @@
+//! Every figure regeneration passes its shape check — the experiment
+//! harness is the executable form of EXPERIMENTS.md.
+
+use weakord_bench::experiments;
+
+#[test]
+fn e1_figure1_shape_holds() {
+    let t = experiments::e1_figure1();
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e2_figure2_shape_holds() {
+    let t = experiments::e2_figure2();
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e3_contract_shape_holds() {
+    let t = experiments::e3_contract(3);
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e4_figure3_shape_holds() {
+    let t = experiments::e4_figure3();
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e5_spin_shape_holds() {
+    let t = experiments::e5_spin();
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e6_termination_shape_holds() {
+    let t = experiments::e6_termination(3);
+    assert!(t.shape_holds(), "{}", t.render());
+}
+
+#[test]
+fn e7_ablations_shape_holds() {
+    let t = experiments::e7_ablations();
+    assert!(t.shape_holds(), "{}", t.render());
+}

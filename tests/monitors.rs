@@ -1,0 +1,79 @@
+//! The monitor synchronization model (the paper's Section 7 future-work
+//! item) against real executions: generated lock-disciplined programs
+//! conform in every schedule, lock-dropping programs are flagged, and
+//! conformance implies data-race-freedom — the simpler model's whole
+//! point.
+
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord::core::{check_drf, HbMode, IdealizedExecution, MonitorModel, SynchronizationModel};
+use weakord::progs::gen::{race_free, racy, GenParams};
+
+fn sc_execution(prog: &weakord::progs::Program, seed: u64) -> IdealizedExecution {
+    // The SC policy with tracing yields a legal idealized execution
+    // (serializable with the observed values; see props_sim.rs).
+    let cfg = Config {
+        policy: Policy::Sc,
+        seed,
+        network: NetModel::General { min: 5, max: 60 },
+        record_trace: true,
+        ..Config::default()
+    };
+    CoherentMachine::new(prog, cfg).run().expect("terminates").execution.expect("traced")
+}
+
+#[test]
+fn lock_disciplined_programs_conform_in_every_schedule() {
+    let params = GenParams::default();
+    let model = MonitorModel::new(params.monitor_map());
+    for prog_seed in 0..8 {
+        let prog = race_free(prog_seed, params);
+        for seed in 0..4 {
+            let exec = sc_execution(&prog, seed);
+            let violations = model.violations(&exec);
+            assert!(violations.is_empty(), "{} seed {seed}: {}", prog.name, violations[0]);
+            assert!(model.obeys(&exec));
+        }
+    }
+}
+
+#[test]
+fn lock_dropping_programs_are_flagged() {
+    let params = GenParams::default();
+    let model = MonitorModel::new(params.monitor_map());
+    let mut flagged = 0;
+    let mut racy_total = 0;
+    for prog_seed in 0..10 {
+        let prog = racy(prog_seed, params);
+        if !prog.name.starts_with("racy") {
+            continue; // this seed happened to keep every lock
+        }
+        racy_total += 1;
+        if !model.violations(&sc_execution(&prog, 1)).is_empty() {
+            flagged += 1;
+        }
+    }
+    assert!(racy_total > 0);
+    assert_eq!(flagged, racy_total, "every lock-dropping execution must violate the monitor model");
+}
+
+#[test]
+fn monitor_conformance_implies_drf0_on_real_executions() {
+    let params = GenParams { n_procs: 3, ..GenParams::default() };
+    let model = MonitorModel::new(params.monitor_map());
+    for prog_seed in 0..8 {
+        // Check the implication on BOTH program families: wherever the
+        // monitor model accepts an execution, DRF0 must accept it too.
+        for prog in [race_free(prog_seed, params), racy(prog_seed, params)] {
+            for seed in 0..3 {
+                let exec = sc_execution(&prog, seed);
+                if model.obeys(&exec) {
+                    assert!(
+                        check_drf(&exec, HbMode::Drf0).is_race_free(),
+                        "{}: monitor-conformant but racy?!",
+                        prog.name
+                    );
+                }
+            }
+        }
+    }
+}

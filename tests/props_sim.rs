@@ -1,0 +1,144 @@
+//! Property tests spanning the crates: the cycle-level machine is
+//! deterministic, terminates, respects Lemma 1 on race-free programs,
+//! and produces sequentially consistent results under the SC policy —
+//! for randomly generated programs, policies, seeds, and network
+//! parameters.
+
+use proptest::prelude::*;
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy, RunResult};
+use weakord::core::HbMode;
+use weakord::progs::gen::{race_free, racy, GenParams};
+use weakord::progs::Program;
+
+fn any_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Sc),
+        Just(Policy::Def1),
+        Just(Policy::def2()),
+        Just(Policy::def2_drf1()),
+        (1u32..4).prop_map(|cap| Policy::Def2 { drf1_refined: false, miss_cap: Some(cap) }),
+    ]
+}
+
+fn any_network() -> impl Strategy<Value = NetModel> {
+    prop_oneof![
+        (1u64..10).prop_map(|c| NetModel::Bus { cycles: c }),
+        (1u64..30).prop_map(|c| NetModel::Crossbar { cycles: c }),
+        (1u64..40, 40u64..200).prop_map(|(min, max)| NetModel::General { min, max }),
+    ]
+}
+
+fn run(prog: &Program, policy: Policy, network: NetModel, seed: u64, trace: bool) -> RunResult {
+    let cfg = Config { policy, network, seed, record_trace: trace, ..Config::default() };
+    CoherentMachine::new(prog, cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", prog.name, policy.name()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same program, policy, network and seed: identical results,
+    /// cycle counts and message counters.
+    #[test]
+    fn runs_are_deterministic(
+        prog_seed in 0u64..50,
+        policy in any_policy(),
+        network in any_network(),
+        seed in 0u64..1000,
+    ) {
+        let prog = race_free(prog_seed, GenParams::default());
+        let a = run(&prog, policy, network, seed, false);
+        let b = run(&prog, policy, network, seed, false);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.counters, b.counters);
+    }
+
+    /// Race-free programs appear sequentially consistent (Lemma 1) on
+    /// every policy, schedule and network.
+    #[test]
+    fn race_free_programs_satisfy_lemma_1(
+        prog_seed in 0u64..50,
+        policy in any_policy(),
+        network in any_network(),
+        seed in 0u64..1000,
+    ) {
+        let prog = race_free(prog_seed, GenParams::default());
+        let r = run(&prog, policy, network, seed, true);
+        let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
+        r.check_appears_sc(mode).unwrap();
+    }
+
+    /// Even racy programs terminate and leave the system drained.
+    #[test]
+    fn racy_programs_terminate(
+        prog_seed in 0u64..50,
+        policy in any_policy(),
+        seed in 0u64..1000,
+    ) {
+        let prog = racy(prog_seed, GenParams::default());
+        let r = run(&prog, policy, NetModel::General { min: 5, max: 100 }, seed, false);
+        prop_assert!(r.cycles > 0 || prog.memory_instr_count() == 0);
+    }
+
+    /// The SC policy satisfies Lemma 1 even for racy programs whose
+    /// races the witness can order (reads always return the latest
+    /// committed value when every access is globally performed in
+    /// order) — at minimum, it never deadlocks and matches its own
+    /// rerun.
+    #[test]
+    fn sc_policy_is_reproducible_on_racy_programs(
+        prog_seed in 0u64..50,
+        seed in 0u64..1000,
+    ) {
+        let prog = racy(prog_seed, GenParams::default());
+        let a = run(&prog, Policy::Sc, NetModel::General { min: 5, max: 100 }, seed, false);
+        let b = run(&prog, Policy::Sc, NetModel::General { min: 5, max: 100 }, seed, false);
+        prop_assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under the SC policy, the observed execution of ANY program —
+    /// including racy ones — must be directly serializable: some total
+    /// order consistent with program order replays the exact observed
+    /// read values. This checks the SC policy against Lamport's
+    /// definition itself, not just against outcome sets.
+    #[test]
+    fn sc_policy_executions_are_serializable(
+        prog_seed in 0u64..40,
+        seed in 0u64..500,
+        racy_prog in proptest::bool::ANY,
+    ) {
+        let prog = if racy_prog {
+            racy(prog_seed, GenParams::default())
+        } else {
+            race_free(prog_seed, GenParams::default())
+        };
+        let r = run(&prog, Policy::Sc, NetModel::General { min: 5, max: 60 }, seed, true);
+        let exec = r.execution.as_ref().expect("traced");
+        prop_assert!(
+            weakord::core::is_execution_serializable(exec),
+            "{}: SC policy produced a non-serializable execution",
+            prog.name
+        );
+    }
+
+    /// Agreement of the two per-execution criteria on race-free
+    /// programs: whenever Lemma 1 accepts a weakly-ordered run, the
+    /// execution is also directly serializable.
+    #[test]
+    fn lemma_1_acceptance_implies_serializability(
+        prog_seed in 0u64..40,
+        seed in 0u64..500,
+    ) {
+        let prog = race_free(prog_seed, GenParams::default());
+        let r = run(&prog, Policy::def2(), NetModel::General { min: 5, max: 60 }, seed, true);
+        r.check_appears_sc(HbMode::Drf0).unwrap();
+        let exec = r.execution.as_ref().expect("traced");
+        prop_assert!(weakord::core::is_execution_serializable(exec));
+    }
+}

@@ -1,0 +1,107 @@
+//! E6: the Section 5.3 deadlock-freedom argument, stress-tested.
+//!
+//! "Though processors can be stalled at various points for unbounded
+//! amounts of time, deadlock can never occur… a blocked processor will
+//! always unblock and termination is guaranteed."
+
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord::progs::workloads::{
+    barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts,
+    BarrierParams, Fig3Params, PcParams, SpinBroadcastParams, SpinlockParams,
+};
+use weakord::progs::{gen, Program};
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::Sc,
+        Policy::Def1,
+        Policy::def2(),
+        Policy::def2_drf1(),
+        Policy::Def2 { drf1_refined: false, miss_cap: Some(1) },
+        Policy::Def2 { drf1_refined: true, miss_cap: Some(2) },
+    ]
+}
+
+fn assert_terminates(prog: &Program, policy: Policy, seed: u64, network: NetModel) {
+    let cfg = Config { policy, seed, network, ..Config::default() };
+    CoherentMachine::new(prog, cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {} seed {seed}: {e}", prog.name, policy.name()));
+}
+
+#[test]
+fn workloads_terminate_across_policies_seeds_and_networks() {
+    let progs: Vec<Program> = vec![
+        fig3_scenario(Fig3Params::default()),
+        spinlock(SpinlockParams {
+            n_procs: 4,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 10,
+        }),
+        spinlock_tts(SpinlockParams {
+            n_procs: 4,
+            sections_per_proc: 2,
+            writes_per_section: 2,
+            think: 10,
+        }),
+        barrier(BarrierParams { n_procs: 4, rounds: 2, work: 10 }),
+        producer_consumer(PcParams { items: 4, produce_work: 5, consume_work: 5 }),
+        spin_broadcast(SpinBroadcastParams { n_spinners: 5, release_after: 200 }),
+    ];
+    let networks = [
+        NetModel::Bus { cycles: 3 },
+        NetModel::General { min: 10, max: 50 },
+        NetModel::General { min: 1, max: 300 },
+    ];
+    for prog in &progs {
+        for policy in policies() {
+            for (i, network) in networks.iter().enumerate() {
+                assert_terminates(prog, policy, 100 + i as u64, *network);
+            }
+        }
+        // And with tiny caches (heavy eviction traffic).
+        for cache_lines in [2u32, 3] {
+            let cfg = Config {
+                policy: Policy::def2(),
+                seed: 7,
+                network: NetModel::General { min: 10, max: 60 },
+                cache_lines: Some(cache_lines),
+                ..Config::default()
+            };
+            CoherentMachine::new(prog, cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("{} cap {cache_lines}: {e}", prog.name));
+        }
+    }
+}
+
+#[test]
+fn generated_programs_terminate_even_when_racy() {
+    // The termination argument does not depend on the program being
+    // well-synchronized: racy programs must not wedge the machine
+    // either (the hardware may return "random" values, not hang).
+    let params = gen::GenParams { n_procs: 3, ..gen::GenParams::default() };
+    for seed in 0..10 {
+        for prog in [gen::race_free(seed, params), gen::racy(seed, params)] {
+            for policy in [Policy::Def1, Policy::def2(), Policy::def2_drf1()] {
+                assert_terminates(&prog, policy, seed, NetModel::General { min: 5, max: 80 });
+            }
+        }
+    }
+}
+
+#[test]
+fn heavy_contention_spinlock_terminates() {
+    // Many processors, long critical sections, slow network: the worst
+    // case for the reserve-bit queueing.
+    let prog = spinlock(SpinlockParams {
+        n_procs: 8,
+        sections_per_proc: 3,
+        writes_per_section: 3,
+        think: 50,
+    });
+    for policy in [Policy::Def1, Policy::def2()] {
+        assert_terminates(&prog, policy, 1, NetModel::General { min: 40, max: 160 });
+    }
+}
