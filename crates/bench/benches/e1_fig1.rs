@@ -2,16 +2,23 @@
 //! hardware configuration. Prints the regenerated figure once, then
 //! times each machine's state-space exploration.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_mc::machines::{
     CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
     WriteBufferMachine,
 };
+#[cfg(feature = "bench")]
 use weakord_mc::{explore, Limits, Machine};
+#[cfg(feature = "bench")]
 use weakord_progs::litmus;
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e1_figure1().render());
     let lit = litmus::fig1_dekker();
@@ -36,6 +43,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -46,9 +54,18 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("bench `e1_fig1` is a no-op without `--features bench`; see crates/bench/Cargo.toml");
+}

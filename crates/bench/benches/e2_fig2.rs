@@ -1,14 +1,19 @@
 //! E2 / Figure 2: the DRF0 checker on the paper's executions, plus its
 //! scaling on synthetic executions of growing length.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_core::{check_drf, detect_races, figures, ExecBuilder, HbMode, Loc, ProcId, Value};
 
 /// A synthetic well-synchronized execution: `procs` processors each do
 /// `rounds` of (write own slot, sync on a shared lock, read the
 /// neighbour's slot).
+#[cfg(feature = "bench")]
 fn synthetic(procs: u16, rounds: u32) -> weakord_core::IdealizedExecution {
     let lock = Loc::new(0);
     let slot = |p: u16| Loc::new(1 + p as u32);
@@ -24,6 +29,7 @@ fn synthetic(procs: u16, rounds: u32) -> weakord_core::IdealizedExecution {
     b.finish().expect("synthetic execution is well-formed")
 }
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e2_figure2().render());
     let mut group = c.benchmark_group("e2_fig2");
@@ -46,6 +52,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -56,9 +63,18 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("bench `e2_fig2` is a no-op without `--features bench`; see crates/bench/Cargo.toml");
+}

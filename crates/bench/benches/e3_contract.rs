@@ -1,14 +1,22 @@
 //! E3 / the Definition 2 contract: outcome-set inclusion checks and
 //! program-level DRF0 classification.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_core::HbMode;
+#[cfg(feature = "bench")]
 use weakord_mc::machines::{WoDef1Machine, WoDef2Machine};
+#[cfg(feature = "bench")]
 use weakord_mc::{appears_sc, check_program_drf, Limits, TraceLimits};
+#[cfg(feature = "bench")]
 use weakord_progs::{gen, litmus};
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e3_contract(2).render());
     let mut group = c.benchmark_group("e3_contract");
@@ -48,6 +56,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -58,9 +67,20 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!(
+        "bench `e3_contract` is a no-op without `--features bench`; see crates/bench/Cargo.toml"
+    );
+}

@@ -1,12 +1,18 @@
 //! E4 / Figure 3: full cycle-level runs of the release/acquire scenario
 //! under each ordering policy.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_coherence::{CoherentMachine, Config, Policy};
+#[cfg(feature = "bench")]
 use weakord_progs::workloads::{fig3_scenario, Fig3Params};
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e4_figure3().render());
     let prog = fig3_scenario(Fig3Params {
@@ -37,6 +43,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -47,9 +54,18 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("bench `e4_fig3` is a no-op without `--features bench`; see crates/bench/Cargo.toml");
+}

@@ -1,12 +1,18 @@
 //! E6 / Section 5.3 termination: time the liveness sweep (every
 //! workload × policy finishing without deadlock).
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_coherence::{CoherentMachine, Config, Policy};
+#[cfg(feature = "bench")]
 use weakord_progs::workloads::{producer_consumer, spinlock, PcParams, SpinlockParams};
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e6_termination(3).render());
     let mut group = c.benchmark_group("e6_termination");
@@ -29,6 +35,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -39,9 +46,20 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!(
+        "bench `e6_termination` is a no-op without `--features bench`; see crates/bench/Cargo.toml"
+    );
+}

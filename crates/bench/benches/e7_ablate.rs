@@ -1,12 +1,18 @@
 //! E7 / ablations: strict vs parallel data forwarding, miss caps, and
 //! interconnect models on the Figure 3 scenario.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_bench::experiments;
+#[cfg(feature = "bench")]
 use weakord_coherence::{CoherentMachine, Config, NetModel, Policy};
+#[cfg(feature = "bench")]
 use weakord_progs::workloads::{fig3_scenario, Fig3Params};
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     println!("{}", experiments::e7_ablations().render());
     let prog = fig3_scenario(Fig3Params {
@@ -56,6 +62,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -66,9 +73,20 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!(
+        "bench `e7_ablate` is a no-op without `--features bench`; see crates/bench/Cargo.toml"
+    );
+}

@@ -2,16 +2,23 @@
 //! vector-clock happens-before engine, the online race detector, the
 //! relation closure, and the discrete-event queue.
 
+#[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[cfg(feature = "bench")]
 use std::hint::black_box;
+#[cfg(feature = "bench")]
 use weakord_core::{
     detect_races, hb_relation, is_execution_serializable, ExecBuilder, HappensBefore, HbMode, Loc,
     ProcId, Value,
 };
+#[cfg(feature = "bench")]
 use weakord_progs::delay::delay_set;
+#[cfg(feature = "bench")]
 use weakord_progs::litmus;
+#[cfg(feature = "bench")]
 use weakord_sim::{Cycle, EventQueue};
 
+#[cfg(feature = "bench")]
 fn chain_exec(procs: u16, per_proc: u32) -> weakord_core::IdealizedExecution {
     let mut b = ExecBuilder::new(procs);
     let lock = Loc::new(0);
@@ -24,6 +31,7 @@ fn chain_exec(procs: u16, per_proc: u32) -> weakord_core::IdealizedExecution {
     b.finish().expect("well-formed")
 }
 
+#[cfg(feature = "bench")]
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
     for per_proc in [25u32, 100] {
@@ -70,6 +78,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+#[cfg(feature = "bench")]
 fn config() -> Criterion {
     // Keep full-workspace bench runs quick: the quantities of interest
     // (cycle counts, message counts) are deterministic; wall-clock
@@ -80,9 +89,18 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
+#[cfg(feature = "bench")]
 criterion_group! {
     name = benches;
     config = config();
     targets = bench
 }
+#[cfg(feature = "bench")]
 criterion_main!(benches);
+
+/// Stub entry point for hermetic builds: the real harness needs the
+/// `bench` feature (and the criterion dev-dependency it documents).
+#[cfg(not(feature = "bench"))]
+fn main() {
+    eprintln!("bench `kernels` is a no-op without `--features bench`; see crates/bench/Cargo.toml");
+}

@@ -75,7 +75,8 @@ impl Table {
         };
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.title);
-        let _ = writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -542,26 +543,37 @@ pub fn e7_ablations() -> Table {
     // (a) parallel vs strict data forwarding. The parallelism puts the
     // write's *commit* ahead of its global perform; only policies for
     // which commit is on the critical path (Def. 2 gates sync commits on
-    // line procurement) are hurt when data is withheld.
-    let mut strict_cycles = Vec::new();
-    let mut parallel_cycles = Vec::new();
+    // line procurement) are hurt when data is withheld. The effect only
+    // appears when acknowledgements can lag the data (random
+    // per-message latencies), so it is averaged over seeds rather than
+    // read off a single noisy run.
+    let mut strict_cycles = 0u64;
+    let mut parallel_cycles = 0u64;
+    const FWD_SEEDS: std::ops::Range<u64> = 1..9;
     for strict in [false, true] {
         for policy in [Policy::Def1, Policy::def2()] {
-            let cfg = Config { policy, seed: 7, strict_data: strict, ..Config::default() };
-            let r = CoherentMachine::new(&prog, cfg).run().expect("runs");
+            let mut cycles = 0u64;
+            let mut stall = 0u64;
+            for seed in FWD_SEEDS {
+                let cfg = Config { policy, seed, strict_data: strict, ..Config::default() };
+                let r = CoherentMachine::new(&prog, cfg).run().expect("runs");
+                cycles += r.cycles;
+                stall += p0_stall(&r);
+            }
+            let n = FWD_SEEDS.end - FWD_SEEDS.start;
             if policy == Policy::def2() {
                 if strict {
-                    strict_cycles.push(r.cycles);
+                    strict_cycles = cycles;
                 } else {
-                    parallel_cycles.push(r.cycles);
+                    parallel_cycles = cycles;
                 }
             }
             t.row(vec![
                 "data forwarding".into(),
                 if strict { "after acks (strict)" } else { "parallel (paper)" }.into(),
                 policy.name().into(),
-                r.cycles.to_string(),
-                p0_stall(&r).to_string(),
+                (cycles / n).to_string(),
+                (stall / n).to_string(),
             ]);
         }
     }
@@ -625,7 +637,10 @@ pub fn e7_ablations() -> Table {
         ("general 20..60", NetModel::General { min: 20, max: 60 }),
         ("general 80..240", NetModel::General { min: 80, max: 240 }),
         ("mesh 4x/6", NetModel::Mesh { width: 4, per_hop: 6, jitter: 8 }),
-        ("congested 3%", NetModel::Congested { min: 20, max: 60, spike: 2_000, spike_permille: 30 }),
+        (
+            "congested 3%",
+            NetModel::Congested { min: 20, max: 60, spike: 2_000, spike_permille: 30 },
+        ),
     ] {
         let cfg = Config { policy: Policy::def2(), network, seed: 7, ..Config::default() };
         let r = CoherentMachine::new(&prog, cfg).run().expect("runs");
@@ -639,7 +654,7 @@ pub fn e7_ablations() -> Table {
     }
     t.check(
         "withholding data until acks slows Def. 2 (commit is on its critical path)",
-        parallel_cycles.iter().zip(&strict_cycles).all(|(p, s)| p < s),
+        parallel_cycles < strict_cycles,
     );
     t
 }
@@ -650,7 +665,17 @@ pub fn e7_ablations() -> Table {
 pub fn e8_state_census() -> Table {
     let mut t = Table::new(
         "E8 · exhaustive exploration census (outcomes / states)",
-        &["litmus", "DRF0", "sc", "write-buffer", "net-reorder", "cache-delay", "wo-bnr", "wo-def1", "wo-def2"],
+        &[
+            "litmus",
+            "DRF0",
+            "sc",
+            "write-buffer",
+            "net-reorder",
+            "cache-delay",
+            "wo-bnr",
+            "wo-def1",
+            "wo-def2",
+        ],
     );
     let lim = Limits::default();
     let mut wo_contained = true;

@@ -496,7 +496,10 @@ mod tests {
         assert_eq!(out, vec![(P0, Msg::Recall { loc: l(0), sync: true })]);
         out.clear();
         // The owner's writeback releases the (patched) data to P1.
-        d.handle(Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(7), version: 3 }, &mut out);
+        d.handle(
+            Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(7), version: 3 },
+            &mut out,
+        );
         assert_eq!(
             out,
             vec![(
@@ -526,7 +529,10 @@ mod tests {
         d.handle(Msg::GetS { proc: P1, loc: l(0), sync: false }, &mut out);
         assert_eq!(out, vec![(P0, Msg::Recall { loc: l(0), sync: false })]);
         out.clear();
-        d.handle(Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(2), version: 1 }, &mut out);
+        d.handle(
+            Msg::WriteBack { proc: P0, loc: l(0), value: Value::new(2), version: 1 },
+            &mut out,
+        );
         assert!(matches!(out[0], (p, Msg::Data { exclusive: false, .. }) if p == P1));
         d.handle(Msg::DataAck { proc: P1, loc: l(0) }, &mut out);
         assert!(d.is_quiescent());

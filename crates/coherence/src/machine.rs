@@ -743,8 +743,10 @@ fn build_execution(prog: &Program, trace: &[TraceOp]) -> IdealizedExecution {
     }
     // Kahn's algorithm with a min-heap keyed by commit_seq for a
     // deterministic, commit-leaning order.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
-        (0..n).filter(|&i| indeg[i] == 0).map(|i| std::cmp::Reverse((ops[i].commit_seq, i))).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| std::cmp::Reverse((ops[i].commit_seq, i)))
+        .collect();
     let mut order: Vec<usize> = Vec::with_capacity(n);
     while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
         order.push(i);

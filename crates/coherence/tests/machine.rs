@@ -613,16 +613,11 @@ fn recall_based_transfers_are_correct_and_slower() {
     let mut recall_cycles = Vec::new();
     for policy in all_policies() {
         for no_forwarding in [false, true] {
-            let cfg = Config {
-                policy,
-                seed: 17,
-                record_trace: true,
-                no_forwarding,
-                ..Config::default()
-            };
-            let r = CoherentMachine::new(&prog, cfg).run().unwrap_or_else(|e| {
-                panic!("{} fwd={} : {e}", policy.name(), !no_forwarding)
-            });
+            let cfg =
+                Config { policy, seed: 17, record_trace: true, no_forwarding, ..Config::default() };
+            let r = CoherentMachine::new(&prog, cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("{} fwd={} : {e}", policy.name(), !no_forwarding));
             let mode = if policy == Policy::def2_drf1() { HbMode::Drf1 } else { HbMode::Drf0 };
             r.check_appears_sc(mode).unwrap_or_else(|v| panic!("{}: {v}", policy.name()));
             assert_eq!(r.outcome.memory[1], Value::new(12));

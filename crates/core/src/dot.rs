@@ -30,7 +30,9 @@ use crate::ids::ProcId;
 /// # Ok::<(), weakord_core::ExecError>(())
 /// ```
 pub fn execution_dot(exec: &IdealizedExecution, mode: HbMode) -> String {
-    let mut out = String::from("digraph execution {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph execution {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for p in 0..exec.n_procs() {
         let ops = exec.proc_ops(ProcId::new(p as u16));
         let _ = writeln!(out, "  subgraph cluster_p{p} {{\n    label=\"P{p}\";");
@@ -52,7 +54,8 @@ pub fn execution_dot(exec: &IdealizedExecution, mode: HbMode) -> String {
             .iter()
             .any(|(x, y)| x == a && y != b && so.contains(y, b) && drawn.contains(&(x, y)));
         if direct {
-            let _ = writeln!(out, "  n{} -> n{} [style=dashed, label=\"so\"];", a.index(), b.index());
+            let _ =
+                writeln!(out, "  n{} -> n{} [style=dashed, label=\"so\"];", a.index(), b.index());
             drawn.insert((a, b));
         }
     }

@@ -11,11 +11,12 @@
 //! synchronization model.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use weakord_core::HbMode;
 use weakord_progs::{Outcome, Program};
 
-use crate::explore::{explore, Exploration, Limits};
+use crate::explore::{explore, Exploration, ExplorationStats, Limits};
 use crate::machine::Machine;
 use crate::machines::ScMachine;
 use crate::trace::{check_program_drf, TraceLimits};
@@ -39,10 +40,11 @@ impl fmt::Display for ScAppearance {
         if self.appears_sc {
             write!(
                 f,
-                "appears SC ({} outcomes ⊆ {} SC outcomes, {} states)",
+                "appears SC ({} outcomes ⊆ {} SC outcomes, {} states, {:.0} states/s)",
                 self.machine.outcomes.len(),
                 self.sc.outcomes.len(),
-                self.machine.states
+                self.machine.states,
+                self.machine.stats.states_per_sec()
             )
         } else {
             write!(
@@ -66,7 +68,7 @@ pub fn appears_sc<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Sc
 }
 
 /// One row of a weak-ordering contract check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ContractRow {
     /// Program name.
     pub program: String,
@@ -77,7 +79,21 @@ pub struct ContractRow {
     pub appears_sc: bool,
     /// Whether any deadlock was reached on the machine.
     pub deadlocked: bool,
+    /// Machine-side exploration diagnostics for this program (excluded
+    /// from equality: timing varies run to run).
+    pub stats: ExplorationStats,
 }
+
+impl PartialEq for ContractRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program
+            && self.conforming == other.conforming
+            && self.appears_sc == other.appears_sc
+            && self.deadlocked == other.deadlocked
+    }
+}
+
+impl Eq for ContractRow {}
 
 /// Outcome of checking a machine's weak-ordering contract over a
 /// program suite.
@@ -101,31 +117,77 @@ impl ContractReport {
     pub fn violations(&self) -> impl Iterator<Item = &ContractRow> {
         self.rows.iter().filter(|r| r.conforming && !r.appears_sc)
     }
+
+    /// Machine-side states explored across all rows.
+    pub fn total_states(&self) -> usize {
+        self.rows.iter().map(|r| r.stats.distinct_states).sum()
+    }
 }
 
 impl fmt::Display for ContractReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "weak-ordering contract for `{}`: {}",
+            "weak-ordering contract for `{}`: {} ({} machine states explored)",
             self.machine,
-            if self.holds() { "HOLDS" } else { "VIOLATED" }
+            if self.holds() { "HOLDS" } else { "VIOLATED" },
+            self.total_states(),
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:<24} {:<14} {}",
+                "  {:<24} {:<14} {:<16} {:>8} states {:>10.0}/s",
                 r.program,
                 if r.conforming { "conforming" } else { "non-conforming" },
                 match (r.appears_sc, r.deadlocked) {
                     (_, true) => "DEADLOCK",
                     (true, _) => "appears SC",
                     (false, _) => "non-SC outcomes",
-                }
+                },
+                r.stats.distinct_states,
+                r.stats.states_per_sec(),
             )?;
         }
         Ok(())
     }
+}
+
+/// Runs `row` over every program, fanning the programs out across
+/// `limits.resolved_threads()` sweep workers so all machine × program
+/// pairs are checked concurrently; row order matches program order.
+///
+/// Each pair's own explorations run single-threaded — with one worker
+/// per pair the cores are already saturated, and pair-level parallelism
+/// beats state-level parallelism on the small-state-space programs
+/// sweeps are made of.
+fn sweep<F>(programs: &[Program], limits: Limits, row: F) -> Vec<ContractRow>
+where
+    F: Fn(&Program, Limits) -> ContractRow + Sync,
+{
+    let pair_limits = Limits { threads: 1, ..limits };
+    let workers = limits.resolved_threads().min(programs.len()).max(1);
+    if workers == 1 {
+        return programs.iter().map(|p| row(p, pair_limits)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, ContractRow)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(prog) = programs.get(i) else { break };
+                        got.push((i, row(prog, pair_limits)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Checks Definition 2 for `machine` with respect to the data-race-free
@@ -138,19 +200,17 @@ pub fn check_weak_ordering<M: Machine>(
     limits: Limits,
     trace_limits: TraceLimits,
 ) -> ContractReport {
-    let rows = programs
-        .iter()
-        .map(|prog| {
-            let conforming = check_program_drf(prog, mode, trace_limits).is_race_free();
-            let sc = appears_sc(machine, prog, limits);
-            ContractRow {
-                program: prog.name.clone(),
-                conforming,
-                appears_sc: sc.appears_sc,
-                deadlocked: sc.machine.has_deadlock(),
-            }
-        })
-        .collect();
+    let rows = sweep(programs, limits, |prog, limits| {
+        let conforming = check_program_drf(prog, mode, trace_limits).is_race_free();
+        let sc = appears_sc(machine, prog, limits);
+        ContractRow {
+            program: prog.name.clone(),
+            conforming,
+            appears_sc: sc.appears_sc,
+            deadlocked: sc.machine.has_deadlock(),
+            stats: sc.machine.stats,
+        }
+    });
     ContractReport { machine: machine.name(), rows }
 }
 
@@ -259,25 +319,22 @@ mod tests {
 /// [`weakord_core::MonitorModel`].
 pub fn check_weak_ordering_model<M: Machine>(
     machine: &M,
-    model: &dyn weakord_core::SynchronizationModel,
+    model: &(dyn weakord_core::SynchronizationModel + Sync),
     programs: &[Program],
     limits: Limits,
     trace_limits: crate::trace::TraceLimits,
 ) -> ContractReport {
-    let rows = programs
-        .iter()
-        .map(|prog| {
-            let conforming =
-                crate::trace::check_program_conforms(prog, model, trace_limits).conforms();
-            let sc = appears_sc(machine, prog, limits);
-            ContractRow {
-                program: prog.name.clone(),
-                conforming,
-                appears_sc: sc.appears_sc,
-                deadlocked: sc.machine.has_deadlock(),
-            }
-        })
-        .collect();
+    let rows = sweep(programs, limits, |prog, limits| {
+        let conforming = crate::trace::check_program_conforms(prog, model, trace_limits).conforms();
+        let sc = appears_sc(machine, prog, limits);
+        ContractRow {
+            program: prog.name.clone(),
+            conforming,
+            appears_sc: sc.appears_sc,
+            deadlocked: sc.machine.has_deadlock(),
+            stats: sc.machine.stats,
+        }
+    });
     ContractReport { machine: machine.name(), rows }
 }
 
@@ -314,7 +371,8 @@ mod model_tests {
         ] {
             assert!(report.holds(), "{report}");
             assert!(
-                report.rows.iter().any(|r| r.conforming) && report.rows.iter().any(|r| !r.conforming),
+                report.rows.iter().any(|r| r.conforming)
+                    && report.rows.iter().any(|r| !r.conforming),
                 "suite should mix conforming and non-conforming programs"
             );
         }

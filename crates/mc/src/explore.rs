@@ -1,15 +1,42 @@
 //! Exhaustive state-space exploration.
 //!
-//! Depth-first search with a visited set over a [`Machine`]'s state
-//! graph, collecting the set of reachable terminal [`Outcome`]s. Spin
-//! loops revisit states and are handled by deduplication, so unbounded
-//! spins do not prevent termination.
+//! The engine enumerates a [`Machine`]'s reachable state graph and
+//! collects the set of terminal [`Outcome`]s. Spin loops revisit states
+//! and are handled by deduplication, so unbounded spins do not prevent
+//! termination.
+//!
+//! Two engines share one result type:
+//!
+//! * [`explore`] — the parallel engine: `limits.threads` workers under
+//!   [`std::thread::scope`], a visited set sharded [`N_SHARDS`] ways by
+//!   the top bits of each state's FxHash [`fingerprint`] (one mutex per
+//!   shard, so admission contention scales with shard count, not
+//!   worker count), per-worker frontier deques with work-stealing when
+//!   a local deque drains, and per-worker outcome/deadlock accumulators
+//!   merged at join.
+//! * [`explore_seq`] — the classic single-threaded DFS, kept as the
+//!   reference for differential testing.
+//!
+//! Both visit exactly the same set of states, so `outcomes` (an
+//! order-insensitive `BTreeSet`), `states`, and `deadlocks` are
+//! identical across engines and across runs whenever the exploration is
+//! not truncated. Run-specific diagnostics live in
+//! [`ExplorationStats`], which is deliberately excluded from
+//! [`Exploration`]'s equality.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use weakord_progs::{Outcome, Program};
 
+use crate::fxhash::{fingerprint, FxBuildHasher};
 use crate::machine::{Label, Machine};
+
+/// Number of visited-set shards. A power of two; the shard of a state
+/// is the top `log2(N_SHARDS)` bits of its fingerprint.
+pub const N_SHARDS: usize = 64;
 
 /// Exploration bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,16 +44,121 @@ pub struct Limits {
     /// Maximum number of distinct states to visit before giving up and
     /// marking the exploration truncated.
     pub max_states: usize,
+    /// Worker threads for [`explore`]; `0` means one per available
+    /// hardware thread ([`std::thread::available_parallelism`]).
+    pub threads: usize,
+    /// Wall-clock budget; exceeding it truncates the exploration
+    /// (`outcomes` is then a lower bound, like hitting `max_states`).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 4_000_000 }
+        Limits { max_states: 4_000_000, threads: 0, deadline: None }
+    }
+}
+
+impl Limits {
+    /// Default limits with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Limits { threads, ..Limits::default() }
+    }
+
+    /// Default limits with an explicit state cap.
+    pub fn with_max_states(max_states: usize) -> Self {
+        Limits { max_states, ..Limits::default() }
+    }
+
+    /// The worker count [`explore`] will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Why an exploration stopped before exhausting the state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// `Limits::max_states` distinct states were admitted and another
+    /// new state was reached.
+    StateCap,
+    /// `Limits::deadline` expired.
+    Deadline,
+}
+
+/// Run diagnostics for one exploration: throughput, dedup behavior, and
+/// parallel-engine counters.
+///
+/// Everything here varies run to run (timing, scheduling); semantic
+/// results live on [`Exploration`] itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplorationStats {
+    /// Distinct states admitted to the visited set.
+    pub distinct_states: usize,
+    /// Wall-clock time of the exploration.
+    pub duration: Duration,
+    /// Successor arcs that landed on an already-visited state.
+    pub dedup_hits: u64,
+    /// Total successor arcs probed against the visited set.
+    pub dedup_probes: u64,
+    /// Peak length of any single worker's frontier deque.
+    pub peak_frontier: usize,
+    /// Worker threads used (1 for [`explore_seq`]).
+    pub threads: usize,
+    /// Successful work-steals (0 for [`explore_seq`]).
+    pub steals: u64,
+    /// Why the exploration stopped early, if it did.
+    pub truncation: Option<TruncationReason>,
+}
+
+impl ExplorationStats {
+    /// Distinct states admitted per second of wall-clock time.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            self.distinct_states as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of successor arcs deduplicated away (`0.0` when nothing
+    /// was probed).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_probes > 0 {
+            self.dedup_hits as f64 / self.dedup_probes as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{})",
+            self.distinct_states,
+            self.duration,
+            self.states_per_sec(),
+            100.0 * self.dedup_hit_rate(),
+            self.peak_frontier,
+            self.threads,
+            self.steals,
+            match self.truncation {
+                None => String::new(),
+                Some(TruncationReason::StateCap) => ", TRUNCATED: state cap".into(),
+                Some(TruncationReason::Deadline) => ", TRUNCATED: deadline".into(),
+            }
+        )
     }
 }
 
 /// The result of exploring one machine on one program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Exploration {
     /// Every reachable terminal outcome.
     pub outcomes: BTreeSet<Outcome>,
@@ -34,10 +166,24 @@ pub struct Exploration {
     pub states: usize,
     /// Number of deadlocked states (no transitions, not terminal).
     pub deadlocks: usize,
-    /// `true` if the state cap was hit; `outcomes` is then a lower
-    /// bound.
+    /// `true` if the state cap or deadline was hit; `outcomes` is then
+    /// a lower bound.
     pub truncated: bool,
+    /// Run diagnostics (excluded from equality: timing and scheduling
+    /// vary run to run even when the semantic results are identical).
+    pub stats: ExplorationStats,
 }
+
+impl PartialEq for Exploration {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+            && self.states == other.states
+            && self.deadlocks == other.deadlocks
+            && self.truncated == other.truncated
+    }
+}
+
+impl Eq for Exploration {}
 
 impl Exploration {
     /// Returns `true` if any deadlock was reached.
@@ -46,18 +192,328 @@ impl Exploration {
     }
 }
 
-/// Explores the full reachable state space of `machine` running `prog`.
+/// How often a worker re-checks the wall-clock deadline, in processed
+/// states. Checking `Instant::now()` per state would dominate small
+/// machines' transition functions.
+const DEADLINE_CHECK_EVERY: u32 = 128;
+
+/// The visited set: [`N_SHARDS`] hash sets, each behind its own mutex,
+/// a state's shard chosen by the top bits of its fingerprint. Workers
+/// only contend when they probe states that fingerprint into the same
+/// shard at the same moment.
+struct ShardedSet<S> {
+    shards: Vec<Mutex<HashSet<S, FxBuildHasher>>>,
+    /// Distinct states admitted across all shards (the cap ledger:
+    /// incremented only when a slot under `max_states` is reserved).
+    admitted: AtomicUsize,
+    dedup_hits: AtomicU64,
+    dedup_probes: AtomicU64,
+}
+
+/// The verdict of probing one successor state against the visited set.
+enum Admit<S> {
+    /// New state, admitted under the cap; caller owns it and must
+    /// enqueue it.
+    New(S),
+    /// Already visited (or lost an admission race to another worker).
+    Seen,
+    /// New state, but the cap is full: the exploration is truncated.
+    Capped,
+}
+
+impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
+    fn new() -> Self {
+        ShardedSet {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashSet::default())).collect(),
+            admitted: AtomicUsize::new(0),
+            dedup_hits: AtomicU64::new(0),
+            dedup_probes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, fp: u64) -> &Mutex<HashSet<S, FxBuildHasher>> {
+        debug_assert!(N_SHARDS.is_power_of_two());
+        &self.shards[(fp >> (64 - N_SHARDS.trailing_zeros())) as usize]
+    }
+
+    /// Inserts the initial state unconditionally (mirrors the DFS,
+    /// which seeds its visited set before checking any cap).
+    fn admit_root(&self, state: S) {
+        let fp = fingerprint(&state);
+        self.shard_of(fp).lock().expect("shard lock").insert(state);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probes `state`: dedup against the shard, then reserve a slot
+    /// under `max_states`. The shard lock is held across both steps so
+    /// two workers can't admit the same state twice.
+    fn try_admit(&self, state: S, max_states: usize) -> Admit<S> {
+        self.dedup_probes.fetch_add(1, Ordering::Relaxed);
+        let fp = fingerprint(&state);
+        let mut shard = self.shard_of(fp).lock().expect("shard lock");
+        if shard.contains(&state) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Admit::Seen;
+        }
+        if self.admitted.fetch_add(1, Ordering::Relaxed) >= max_states {
+            self.admitted.fetch_sub(1, Ordering::Relaxed);
+            return Admit::Capped;
+        }
+        shard.insert(state.clone());
+        Admit::New(state)
+    }
+
+    fn len(&self) -> usize {
+        self.admitted.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the workers share.
+struct Engine<'a, M: Machine> {
+    machine: &'a M,
+    prog: &'a Program,
+    limits: Limits,
+    visited: ShardedSet<M::State>,
+    /// One frontier deque per worker. The owner pushes and pops at the
+    /// back (depth-first, cache-friendly); thieves take from the front,
+    /// where the shallowest — and therefore usually largest — subtrees
+    /// sit.
+    frontiers: Vec<Mutex<VecDeque<M::State>>>,
+    /// States enqueued or currently being expanded. Workers may only
+    /// retire when this reaches zero: an empty frontier alone does not
+    /// mean the exploration is done (a peer may be mid-expansion and
+    /// about to publish new work).
+    pending: AtomicUsize,
+    /// Set on truncation: everyone drains out immediately.
+    stop: AtomicBool,
+    capped: AtomicBool,
+    deadline_hit: AtomicBool,
+    deadline_at: Option<Instant>,
+    steals: AtomicU64,
+    peak_frontier: AtomicUsize,
+}
+
+/// What one worker accumulated locally; merged at join.
+struct WorkerResult {
+    outcomes: BTreeSet<Outcome>,
+    deadlocks: usize,
+}
+
+impl<'a, M: Machine> Engine<'a, M> {
+    fn new(machine: &'a M, prog: &'a Program, limits: Limits, workers: usize) -> Self {
+        Engine {
+            machine,
+            prog,
+            limits,
+            visited: ShardedSet::new(),
+            frontiers: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            capped: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            deadline_at: limits.deadline.map(|d| Instant::now() + d),
+            steals: AtomicU64::new(0),
+            peak_frontier: AtomicUsize::new(0),
+        }
+    }
+
+    fn push_work(&self, worker: usize, state: M::State) {
+        // Publish the obligation before the state becomes stealable, so
+        // `pending` never undercounts queued work.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let mut q = self.frontiers[worker].lock().expect("frontier lock");
+        q.push_back(state);
+        let len = q.len();
+        drop(q);
+        self.peak_frontier.fetch_max(len, Ordering::Relaxed);
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<M::State> {
+        self.frontiers[worker].lock().expect("frontier lock").pop_back()
+    }
+
+    /// Steals roughly half of the first non-empty victim deque (front
+    /// half: the shallowest states, whose subtrees amortize the steal),
+    /// moves it into the local deque, and returns one state to run.
+    fn steal_into(&self, worker: usize) -> Option<M::State> {
+        let n = self.frontiers.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            let mut booty: VecDeque<M::State> = {
+                let mut v = self.frontiers[victim].lock().expect("frontier lock");
+                let take = v.len().div_ceil(2);
+                if take == 0 {
+                    continue;
+                }
+                v.drain(..take).collect()
+            };
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            let first = booty.pop_front();
+            if !booty.is_empty() {
+                let mut local = self.frontiers[worker].lock().expect("frontier lock");
+                local.extend(booty.drain(..));
+            }
+            return first;
+        }
+        None
+    }
+
+    fn truncate(&self, reason: TruncationReason) {
+        match reason {
+            TruncationReason::StateCap => self.capped.store(true, Ordering::Relaxed),
+            TruncationReason::Deadline => self.deadline_hit.store(true, Ordering::Relaxed),
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// One worker's main loop.
+    fn run_worker(&self, worker: usize) -> WorkerResult {
+        let mut out = WorkerResult { outcomes: BTreeSet::new(), deadlocks: 0 };
+        let mut succ: Vec<(Label, M::State)> = Vec::new();
+        let mut until_deadline_check = DEADLINE_CHECK_EVERY;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Some(state) = self.pop_local(worker).or_else(|| self.steal_into(worker)) else {
+                if self.pending.load(Ordering::SeqCst) == 0 {
+                    break; // No queued work, no peer mid-expansion: done.
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            };
+            if let Some(deadline) = self.deadline_at {
+                until_deadline_check -= 1;
+                if until_deadline_check == 0 {
+                    until_deadline_check = DEADLINE_CHECK_EVERY;
+                    if Instant::now() >= deadline {
+                        self.truncate(TruncationReason::Deadline);
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            self.expand(worker, state, &mut succ, &mut out);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        out
+    }
+
+    /// Classifies one state and enqueues its unseen successors.
+    fn expand(
+        &self,
+        worker: usize,
+        state: M::State,
+        succ: &mut Vec<(Label, M::State)>,
+        out: &mut WorkerResult,
+    ) {
+        if let Some(outcome) = self.machine.outcome(self.prog, &state) {
+            out.outcomes.insert(outcome);
+            return;
+        }
+        succ.clear();
+        self.machine.successors(self.prog, &state, succ);
+        if succ.is_empty() {
+            out.deadlocks += 1;
+            return;
+        }
+        for (_, next) in succ.drain(..) {
+            match self.visited.try_admit(next, self.limits.max_states) {
+                Admit::New(next) => self.push_work(worker, next),
+                Admit::Seen => {}
+                Admit::Capped => {
+                    self.truncate(TruncationReason::StateCap);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn into_exploration(self, results: Vec<WorkerResult>, started: Instant) -> Exploration {
+        let mut outcomes = BTreeSet::new();
+        let mut deadlocks = 0;
+        for r in results {
+            outcomes.extend(r.outcomes);
+            deadlocks += r.deadlocks;
+        }
+        let truncation = if self.capped.load(Ordering::Relaxed) {
+            Some(TruncationReason::StateCap)
+        } else if self.deadline_hit.load(Ordering::Relaxed) {
+            Some(TruncationReason::Deadline)
+        } else {
+            None
+        };
+        let stats = ExplorationStats {
+            distinct_states: self.visited.len(),
+            duration: started.elapsed(),
+            dedup_hits: self.visited.dedup_hits.load(Ordering::Relaxed),
+            dedup_probes: self.visited.dedup_probes.load(Ordering::Relaxed),
+            peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
+            threads: self.frontiers.len(),
+            steals: self.steals.load(Ordering::Relaxed),
+            truncation,
+        };
+        Exploration {
+            outcomes,
+            states: stats.distinct_states,
+            deadlocks,
+            truncated: truncation.is_some(),
+            stats,
+        }
+    }
+}
+
+/// Explores the full reachable state space of `machine` running `prog`
+/// with `limits.threads` parallel workers (all available cores by
+/// default).
+///
+/// `outcomes`, `states`, `deadlocks`, and `truncated` are identical to
+/// [`explore_seq`]'s whenever the exploration is not truncated — the
+/// engines differ only in visit order, which the full-state visited set
+/// makes unobservable. Truncated explorations stop at the same state
+/// count but may retain a different (schedule-dependent) sample of
+/// outcomes; both are lower bounds.
 pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
+    let started = Instant::now();
+    let workers = limits.resolved_threads();
+    let engine = Engine::new(machine, prog, limits, workers);
+    engine.visited.admit_root(machine.initial(prog));
+    engine.push_work(0, machine.initial(prog));
+    let results = if workers == 1 {
+        // Run in place: spawning a lone scoped thread buys nothing.
+        vec![engine.run_worker(0)]
+    } else {
+        let engine = &engine;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..workers).map(|w| scope.spawn(move || engine.run_worker(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    };
+    engine.into_exploration(results, started)
+}
+
+/// Explores the full reachable state space of `machine` running `prog`
+/// with the reference single-threaded depth-first search.
+///
+/// Kept alongside [`explore`] for differential testing: both engines
+/// must produce identical `outcomes`, `states`, and `deadlocks`.
+pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
+    let started = Instant::now();
     let initial = machine.initial(prog);
-    let mut visited: HashSet<M::State> = HashSet::new();
+    let mut visited: HashSet<M::State, FxBuildHasher> = HashSet::default();
     let mut stack: Vec<M::State> = Vec::new();
     let mut outcomes = BTreeSet::new();
     let mut deadlocks = 0usize;
-    let mut truncated = false;
+    let mut truncation = None;
+    let mut dedup_hits = 0u64;
+    let mut dedup_probes = 0u64;
+    let mut peak_frontier = 0usize;
     visited.insert(initial.clone());
     stack.push(initial);
     let mut succ: Vec<(Label, M::State)> = Vec::new();
-    while let Some(state) = stack.pop() {
+    'search: while let Some(state) = stack.pop() {
         if let Some(outcome) = machine.outcome(prog, &state) {
             outcomes.insert(outcome);
             continue;
@@ -69,19 +525,37 @@ pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Explo
             continue;
         }
         for (_, next) in succ.drain(..) {
+            dedup_probes += 1;
+            if visited.contains(&next) {
+                dedup_hits += 1;
+                continue;
+            }
             if visited.len() >= limits.max_states {
-                truncated = true;
-                break;
+                truncation = Some(TruncationReason::StateCap);
+                break 'search;
             }
-            if visited.insert(next.clone()) {
-                stack.push(next);
-            }
-        }
-        if truncated {
-            break;
+            visited.insert(next.clone());
+            stack.push(next);
+            peak_frontier = peak_frontier.max(stack.len());
         }
     }
-    Exploration { outcomes, states: visited.len(), deadlocks, truncated }
+    let stats = ExplorationStats {
+        distinct_states: visited.len(),
+        duration: started.elapsed(),
+        dedup_hits,
+        dedup_probes,
+        peak_frontier,
+        threads: 1,
+        steals: 0,
+        truncation,
+    };
+    Exploration {
+        outcomes,
+        states: visited.len(),
+        deadlocks,
+        truncated: truncation.is_some(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -93,19 +567,62 @@ mod tests {
     #[test]
     fn sc_dekker_has_three_read_combinations() {
         let lit = litmus::fig1_dekker();
-        let ex = explore(&ScMachine, &lit.program, Limits::default());
-        assert!(!ex.truncated);
-        assert_eq!(ex.deadlocks, 0);
-        // SC allows (0,1), (1,0), (1,1) but never (0,0).
-        assert_eq!(ex.outcomes.len(), 3);
-        assert!(ex.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+        for ex in [
+            explore_seq(&ScMachine, &lit.program, Limits::default()),
+            explore(&ScMachine, &lit.program, Limits::default()),
+        ] {
+            assert!(!ex.truncated);
+            assert_eq!(ex.deadlocks, 0);
+            // SC allows (0,1), (1,0), (1,1) but never (0,0).
+            assert_eq!(ex.outcomes.len(), 3);
+            assert!(ex.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+        }
     }
 
     #[test]
     fn state_cap_marks_truncation() {
         let lit = litmus::iriw();
-        let ex = explore(&ScMachine, &lit.program, Limits { max_states: 3 });
+        for ex in [
+            explore_seq(&ScMachine, &lit.program, Limits::with_max_states(3)),
+            explore(&ScMachine, &lit.program, Limits::with_max_states(3)),
+        ] {
+            assert!(ex.truncated);
+            assert_eq!(ex.stats.truncation, Some(TruncationReason::StateCap));
+            assert_eq!(ex.states, 3);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_dekker() {
+        let lit = litmus::fig1_dekker();
+        let seq = explore_seq(&ScMachine, &lit.program, Limits::default());
+        for threads in [1, 2, 8] {
+            let par = explore(&ScMachine, &lit.program, Limits::with_threads(threads));
+            assert_eq!(par, seq, "{threads} threads");
+            assert_eq!(par.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn an_exhausted_deadline_truncates() {
+        let lit = litmus::iriw();
+        let limits = Limits { deadline: Some(Duration::ZERO), ..Limits::default() };
+        let ex = explore(&ScMachine, &lit.program, limits);
         assert!(ex.truncated);
+        assert_eq!(ex.stats.truncation, Some(TruncationReason::Deadline));
+    }
+
+    #[test]
+    fn stats_report_throughput_and_dedup() {
+        let lit = litmus::fig1_dekker();
+        let ex = explore(&ScMachine, &lit.program, Limits::with_threads(2));
+        assert_eq!(ex.stats.distinct_states, ex.states);
+        assert!(ex.stats.dedup_probes >= ex.stats.dedup_hits);
+        assert!(ex.stats.dedup_hit_rate() > 0.0, "dekker revisits states");
+        assert!(ex.stats.states_per_sec() > 0.0);
+        assert!(ex.stats.peak_frontier > 0);
+        let line = ex.stats.to_string();
+        assert!(line.contains("states/s"), "{line}");
     }
 }
 
@@ -125,7 +642,6 @@ pub fn find_witness<M: Machine>(
     predicate: impl Fn(&Outcome) -> bool,
 ) -> Option<Witness> {
     use std::collections::HashMap;
-    use std::collections::VecDeque;
 
     let initial = machine.initial(prog);
     // parent[state] = (predecessor, label taking predecessor -> state)

@@ -36,6 +36,7 @@
 
 pub mod contract;
 mod explore;
+pub mod fxhash;
 mod machine;
 pub mod machines;
 mod trace;
@@ -44,6 +45,11 @@ pub use contract::{
     appears_sc, check_weak_ordering, check_weak_ordering_model, ContractReport, ContractRow,
     ScAppearance,
 };
-pub use explore::{explore, find_witness, Exploration, Limits, Witness};
+pub use explore::{
+    explore, explore_seq, find_witness, Exploration, ExplorationStats, Limits, TruncationReason,
+    Witness, N_SHARDS,
+};
 pub use machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
-pub use trace::{check_program_conforms, check_program_drf, ProgramConformance, ProgramDrfVerdict, TraceLimits};
+pub use trace::{
+    check_program_conforms, check_program_drf, ProgramConformance, ProgramDrfVerdict, TraceLimits,
+};

@@ -73,9 +73,15 @@ impl fmt::Display for Label {
 ///
 /// States must be canonical (`Eq`/`Hash` identify genuinely identical
 /// configurations) so exploration can deduplicate them.
-pub trait Machine {
+///
+/// The `Sync` supertrait and the `Send + Sync` state bounds let the
+/// parallel explorer ([`crate::explore`]) share one machine across its
+/// worker threads and move states between their frontiers. Machine
+/// implementations and their states are plain data (no interior
+/// mutability, no shared handles), so both bounds auto-derive.
+pub trait Machine: Sync {
     /// The machine's state: thread states plus memory-system contents.
-    type State: Clone + Eq + Hash + fmt::Debug;
+    type State: Clone + Eq + Hash + fmt::Debug + Send + Sync;
 
     /// Short display name, e.g. `"sc"` or `"wo-def2"`.
     fn name(&self) -> &'static str;

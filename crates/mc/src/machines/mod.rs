@@ -22,3 +22,16 @@ pub use net_reorder::{NetReorderMachine, NetState};
 pub use sc::{ScMachine, ScState};
 pub use wo::{BnrMachine, WoDef1Machine, WoDef2Machine, WoState};
 pub use write_buffer::{WbState, WriteBufferMachine};
+
+/// The parallel explorer moves states between worker threads and shares
+/// machines across them, so every state type must stay `Send + Sync`
+/// (plain data, no interior mutability). Checked here at compile time
+/// so a regression fails this module, not a distant explorer bound.
+const _: () = {
+    const fn state<T: Send + Sync + Clone + Eq + std::hash::Hash>() {}
+    state::<ScState>();
+    state::<WbState>();
+    state::<NetState>();
+    state::<CdState>();
+    state::<WoState>();
+};

@@ -12,9 +12,8 @@
 //!
 //! Generation is deterministic in the seed, so failures reproduce.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use weakord_core::Loc;
+use weakord_sim::SimRng;
 
 use crate::ir::{Program, Reg, ThreadBuilder};
 
@@ -94,7 +93,7 @@ pub fn racy(seed: u64, params: GenParams) -> Program {
 fn build(seed: u64, params: GenParams, race_prob: f64) -> Program {
     assert!(params.n_locks > 0, "generator needs at least one lock");
     assert!(params.data_per_lock > 0, "generator needs data locations");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let r_lock = Reg::new(0);
     let r_tmp = Reg::new(1);
     let mut threads = Vec::with_capacity(params.n_procs as usize);
@@ -102,8 +101,8 @@ fn build(seed: u64, params: GenParams, race_prob: f64) -> Program {
     for _ in 0..params.n_procs {
         let mut t = ThreadBuilder::new();
         for _ in 0..params.transactions_per_thread {
-            let lock = rng.random_range(0..params.n_locks);
-            let unlocked = rng.random_bool(race_prob);
+            let lock = rng.range(0..=u64::from(params.n_locks) - 1) as u32;
+            let unlocked = rng.chance(race_prob);
             any_unlocked |= unlocked;
             if !unlocked {
                 // Acquire: spin TestAndSet until it returns 0 (free).
@@ -112,11 +111,12 @@ fn build(seed: u64, params: GenParams, race_prob: f64) -> Program {
                 t.branch_non_zero(r_lock, attempt);
             }
             for _ in 0..params.accesses_per_transaction {
-                let d = params.data(lock, rng.random_range(0..params.data_per_lock));
-                if rng.random_bool(0.5) {
+                let d =
+                    params.data(lock, rng.range(0..=u64::from(params.data_per_lock) - 1) as u32);
+                if rng.chance(0.5) {
                     t.read(r_tmp, d);
                 } else {
-                    let v = rng.random_range(1..4u64);
+                    let v = rng.range(1..=3u64);
                     t.write(d, v);
                 }
             }

@@ -76,14 +76,18 @@ fn cmd_litmus(rest: &[&str]) {
         Some(name) => {
             let lit = find_litmus(name);
             println!("{}\n", lit.program);
-            println!("{:<14} {:>8} {:>7}  forbidden outcome", "machine", "outcomes", "states");
+            println!(
+                "{:<14} {:>8} {:>7} {:>11}  forbidden outcome",
+                "machine", "outcomes", "states", "states/s"
+            );
             fn row<M: Machine>(m: &M, lit: &Litmus) {
                 let ex = explore(m, &lit.program, Limits::default());
                 println!(
-                    "{:<14} {:>8} {:>7}  {}",
+                    "{:<14} {:>8} {:>7} {:>11.0}  {}",
                     m.name(),
                     ex.outcomes.len(),
                     ex.states,
+                    ex.stats.states_per_sec(),
                     if ex.outcomes.iter().any(|o| (lit.non_sc)(o)) {
                         "OBSERVED"
                     } else {
@@ -250,16 +254,17 @@ fn cmd_check(rest: &[&str]) {
     // Exploration across the machines.
     println!(
         "
-{:<14} {:>8} {:>7}",
-        "machine", "outcomes", "states"
+{:<14} {:>8} {:>7} {:>11}",
+        "machine", "outcomes", "states", "states/s"
     );
     fn row<M: Machine>(m: &M, prog: &Program) {
         let ex = explore(m, prog, Limits::default());
         println!(
-            "{:<14} {:>8} {:>7}{}",
+            "{:<14} {:>8} {:>7} {:>11.0}{}",
             m.name(),
             ex.outcomes.len(),
             ex.states,
+            ex.stats.states_per_sec(),
             if ex.has_deadlock() { "  DEADLOCK" } else { "" }
         );
     }

@@ -110,8 +110,7 @@ fn one_race_no_cycle() -> Program {
 fn tso_safety_predicts_write_buffer_behaviour() {
     use weakord::progs::delay::tso_safe;
     use weakord::progs::gen;
-    let mut programs: Vec<Program> =
-        litmus::all().into_iter().map(|l| l.program).collect();
+    let mut programs: Vec<Program> = litmus::all().into_iter().map(|l| l.program).collect();
     for seed in 0..6 {
         programs.push(gen::race_free(seed, gen::GenParams::default()));
         programs.push(gen::racy(seed, gen::GenParams::default()));

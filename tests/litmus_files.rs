@@ -19,8 +19,7 @@ fn shipped_litmus_files_parse_and_explore() {
         }
         found += 1;
         let src = fs::read_to_string(&path).expect("readable");
-        let prog = parse_program(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let prog = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         prog.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         // Round-trip stability.
         let back = parse_program(&unparse_program(&prog)).expect("round trip");
@@ -31,7 +30,73 @@ fn shipped_litmus_files_parse_and_explore() {
         assert_eq!(ex.deadlocks, 0, "{}", path.display());
         assert!(!ex.outcomes.is_empty(), "{}", path.display());
     }
-    assert!(found >= 4, "expected the shipped sample files, found {found}");
+    assert!(found >= 6, "expected the shipped sample files, found {found}");
+}
+
+fn load(file: &str) -> weakord::progs::Program {
+    let path = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/litmus/{}"), file);
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_program(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// The IRIW split observation — each reader sees the *other* write as
+/// missing — is forbidden under SC but reachable on the Definition 2
+/// weak-ordering machine (the program is racy, so the contract makes
+/// no SC promise for it).
+#[test]
+fn iriw_split_forbidden_under_sc_allowed_under_wo() {
+    use weakord::core::Value;
+    use weakord::mc::machines::WoDef2Machine;
+    use weakord::progs::Reg;
+    let prog = load("iriw.litmus");
+    let (r0, r1) = (Reg::new(0), Reg::new(1));
+    let split = |o: &weakord::progs::Outcome| {
+        o.reg(2, r0) == Value::new(1)
+            && o.reg(2, r1) == Value::ZERO
+            && o.reg(3, r0) == Value::new(1)
+            && o.reg(3, r1) == Value::ZERO
+    };
+    let sc = explore(&ScMachine, &prog, Limits::default());
+    assert!(!sc.truncated);
+    assert!(!sc.outcomes.iter().any(split), "SC must forbid the IRIW split");
+    let wo = explore(&WoDef2Machine::default(), &prog, Limits::default());
+    assert!(!wo.truncated);
+    assert!(wo.outcomes.iter().any(split), "wo-def2 should reach the IRIW split");
+    // Everything the weak machine adds over SC is exactly that split.
+    let extra: Vec<_> = wo.outcomes.difference(&sc.outcomes).collect();
+    assert!(extra.iter().all(|o| split(o)), "unexpected non-SC outcomes: {extra:?}");
+}
+
+/// Coherence (per-location write serialization) holds on every machine:
+/// no reader may observe the second write to `x` and then the first.
+#[test]
+fn coherence_co_holds_on_all_machines() {
+    use weakord::core::Value;
+    use weakord::mc::machines::{
+        CacheDelayMachine, NetReorderMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
+    };
+    use weakord::mc::Machine;
+    use weakord::progs::Reg;
+    let prog = load("coherence-co.litmus");
+    let (r0, r1) = (Reg::new(0), Reg::new(1));
+    fn check<M: Machine>(
+        m: &M,
+        prog: &weakord::progs::Program,
+        backwards: impl Fn(&weakord::progs::Outcome) -> bool,
+    ) {
+        let ex = explore(m, prog, Limits::default());
+        assert!(!ex.truncated);
+        assert!(!ex.outcomes.iter().any(backwards), "{} violated per-location coherence", m.name());
+    }
+    let backwards = |o: &weakord::progs::Outcome| {
+        o.reg(1, r0) == Value::new(2) && o.reg(1, r1) == Value::new(1)
+    };
+    check(&ScMachine, &prog, backwards);
+    check(&WriteBufferMachine, &prog, backwards);
+    check(&NetReorderMachine, &prog, backwards);
+    check(&CacheDelayMachine, &prog, backwards);
+    check(&WoDef1Machine, &prog, backwards);
+    check(&WoDef2Machine::default(), &prog, backwards);
 }
 
 #[test]
