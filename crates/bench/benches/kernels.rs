@@ -1,6 +1,7 @@
 //! Microbenchmarks of the framework's computational kernels: the
 //! vector-clock happens-before engine, the online race detector, the
-//! relation closure, and the discrete-event queue.
+//! relation closure, the discrete-event queue, and the explorer with
+//! and without partial-order reduction.
 
 #[cfg(feature = "bench")]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -12,9 +13,15 @@ use weakord_core::{
     ProcId, Value,
 };
 #[cfg(feature = "bench")]
+use weakord_mc::machines::BnrMachine;
+#[cfg(feature = "bench")]
+use weakord_mc::{explore_reduced, explore_seq, Limits};
+#[cfg(feature = "bench")]
 use weakord_progs::delay::delay_set;
 #[cfg(feature = "bench")]
 use weakord_progs::litmus;
+#[cfg(feature = "bench")]
+use weakord_progs::workloads::{spinlock, SpinlockParams};
 #[cfg(feature = "bench")]
 use weakord_sim::{Cycle, EventQueue};
 
@@ -62,6 +69,20 @@ fn bench(c: &mut Criterion) {
         b.iter(|| delay_set(black_box(&dekker)).pairs.len())
     });
     group.bench_function("delay-set/iriw", |b| b.iter(|| delay_set(black_box(&iriw)).pairs.len()));
+    // Explorer with and without the sleep-set/persistent-set reduction,
+    // on the sync-heavy workload the reduction targets.
+    let spin = spinlock(SpinlockParams {
+        n_procs: 3,
+        sections_per_proc: 1,
+        writes_per_section: 2,
+        think: 0,
+    });
+    group.bench_function("explore/spinlock-bnr/full", |b| {
+        b.iter(|| explore_seq(&BnrMachine, black_box(&spin), Limits::default()).states)
+    });
+    group.bench_function("explore/spinlock-bnr/reduced", |b| {
+        b.iter(|| explore_reduced(&BnrMachine, black_box(&spin), Limits::default()).states)
+    });
     group.bench_function("event-queue/schedule+pop 10k", |b| {
         b.iter(|| {
             let mut q: EventQueue<u32> = EventQueue::new();

@@ -347,6 +347,59 @@ mod model_tests {
     use weakord_progs::gen;
 
     #[test]
+    fn contract_verdicts_survive_partial_order_reduction() {
+        // Definition 2 is a statement about outcome sets, which the
+        // ample-set reduction preserves — so the contract verdict (and
+        // every per-program row) must be identical under
+        // `Reduction::Ample`, while the reduced sweep prunes arcs.
+        use crate::machines::BnrMachine;
+        use weakord_core::HbMode;
+        use weakord_progs::litmus;
+        let programs: Vec<_> = litmus::all().into_iter().map(|l| l.program).collect();
+        for (full, reduced) in [
+            (
+                check_weak_ordering(
+                    &WoDef2Machine::default(),
+                    HbMode::Drf0,
+                    &programs,
+                    Limits::default(),
+                    TraceLimits::default(),
+                ),
+                check_weak_ordering(
+                    &WoDef2Machine::default(),
+                    HbMode::Drf0,
+                    &programs,
+                    Limits::reduced(),
+                    TraceLimits::default(),
+                ),
+            ),
+            (
+                check_weak_ordering(
+                    &BnrMachine,
+                    HbMode::Drf0,
+                    &programs,
+                    Limits::default(),
+                    TraceLimits::default(),
+                ),
+                check_weak_ordering(
+                    &BnrMachine,
+                    HbMode::Drf0,
+                    &programs,
+                    Limits::reduced(),
+                    TraceLimits::default(),
+                ),
+            ),
+        ] {
+            assert_eq!(full, reduced, "row verdicts must not depend on the reduction knob");
+            assert!(reduced.total_states() <= full.total_states());
+            assert!(
+                reduced.rows.iter().any(|r| r.stats.pruned_arcs > 0),
+                "the reduced sweep should prune at least one arc somewhere"
+            );
+        }
+    }
+
+    #[test]
     fn weak_ordering_holds_with_respect_to_the_monitor_model() {
         // Monitor-conformant programs are a subset of DRF0 programs, so
         // Definition 2 w.r.t. monitors follows from the DRF0 contract —

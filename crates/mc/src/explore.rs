@@ -33,6 +33,7 @@ use weakord_progs::{Outcome, Program};
 
 use crate::fxhash::{fingerprint, FxBuildHasher};
 use crate::machine::{Label, Machine};
+use crate::reduce::{ample_index, FutureTable};
 
 /// Number of visited-set shards. A power of two; the shard of a state
 /// is the top `log2(N_SHARDS)` bits of its fingerprint.
@@ -50,11 +51,38 @@ pub struct Limits {
     /// Wall-clock budget; exceeding it truncates the exploration
     /// (`outcomes` is then a lower bound, like hitting `max_states`).
     pub deadline: Option<Duration>,
+    /// Whether the engines prune the successor relation with the
+    /// partial-order reduction's persistent (ample) sets — see
+    /// [`crate::reduce`]. Outcome and deadlock sets are preserved;
+    /// `states` and `stats` shrink.
+    pub reduction: Reduction,
+}
+
+/// Successor-pruning mode for the exploration engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Expand every enabled transition (the exhaustive baseline).
+    #[default]
+    Full,
+    /// At each state, expand only a persistent (ample) subset of the
+    /// enabled transitions when the dependence analysis finds one
+    /// (see [`crate::reduce`]); outcome and deadlock sets are provably
+    /// unchanged.
+    Ample,
 }
 
 impl Default for Limits {
+    /// 4M states, one worker per hardware thread, no deadline, no
+    /// reduction. The state cap can be tightened (never raised) from
+    /// the environment via `WEAKORD_MAX_STATES` — CI uses this to turn
+    /// a state-space blowup into a fast failure instead of a timeout.
     fn default() -> Self {
-        Limits { max_states: 4_000_000, threads: 0, deadline: None }
+        let max_states = std::env::var("WEAKORD_MAX_STATES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .map_or(4_000_000, |n: usize| n.min(4_000_000));
+        Limits { max_states, threads: 0, deadline: None, reduction: Reduction::Full }
     }
 }
 
@@ -67,6 +95,11 @@ impl Limits {
     /// Default limits with an explicit state cap.
     pub fn with_max_states(max_states: usize) -> Self {
         Limits { max_states, ..Limits::default() }
+    }
+
+    /// Default limits with ample-set reduction enabled.
+    pub fn reduced() -> Self {
+        Limits { reduction: Reduction::Ample, ..Limits::default() }
     }
 
     /// The worker count [`explore`] will actually use.
@@ -110,6 +143,9 @@ pub struct ExplorationStats {
     pub threads: usize,
     /// Successful work-steals (0 for [`explore_seq`]).
     pub steals: u64,
+    /// Successor arcs the partial-order reduction pruned before they
+    /// were ever probed (0 when [`Reduction::Full`]).
+    pub pruned_arcs: u64,
     /// Why the exploration stopped early, if it did.
     pub truncation: Option<TruncationReason>,
 }
@@ -134,13 +170,27 @@ impl ExplorationStats {
             0.0
         }
     }
+
+    /// Fraction of successor arcs the partial-order reduction removed,
+    /// out of all arcs the unpruned expansion of the *visited* states
+    /// would have produced (`0.0` for a full exploration). Deterministic
+    /// for a given machine × program, even under the parallel engine:
+    /// the ample choice is a function of the state alone.
+    pub fn reduction_ratio(&self) -> f64 {
+        let total = self.pruned_arcs + self.dedup_probes;
+        if total > 0 {
+            self.pruned_arcs as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 impl std::fmt::Display for ExplorationStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{})",
+            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{}{})",
             self.distinct_states,
             self.duration,
             self.states_per_sec(),
@@ -148,6 +198,11 @@ impl std::fmt::Display for ExplorationStats {
             self.peak_frontier,
             self.threads,
             self.steals,
+            if self.pruned_arcs > 0 {
+                format!(", {:.0}% arcs pruned", 100.0 * self.reduction_ratio())
+            } else {
+                String::new()
+            },
             match self.truncation {
                 None => String::new(),
                 Some(TruncationReason::StateCap) => ", TRUNCATED: state cap".into(),
@@ -291,6 +346,11 @@ struct Engine<'a, M: Machine> {
     deadline_at: Option<Instant>,
     steals: AtomicU64,
     peak_frontier: AtomicUsize,
+    pruned_arcs: AtomicU64,
+    /// Static future-footprint table driving the ample-set choice;
+    /// `None` when the reduction is off (or unavailable for the
+    /// program).
+    reduction: Option<FutureTable>,
 }
 
 /// What one worker accumulated locally; merged at join.
@@ -314,6 +374,11 @@ impl<'a, M: Machine> Engine<'a, M> {
             deadline_at: limits.deadline.map(|d| Instant::now() + d),
             steals: AtomicU64::new(0),
             peak_frontier: AtomicUsize::new(0),
+            pruned_arcs: AtomicU64::new(0),
+            reduction: match limits.reduction {
+                Reduction::Full => None,
+                Reduction::Ample => FutureTable::new(prog),
+            },
         }
     }
 
@@ -418,6 +483,13 @@ impl<'a, M: Machine> Engine<'a, M> {
             out.deadlocks += 1;
             return;
         }
+        if let Some(table) = &self.reduction {
+            if let Some(keep) = ample_index(self.machine, &state, succ, table) {
+                self.pruned_arcs.fetch_add(succ.len() as u64 - 1, Ordering::Relaxed);
+                succ.swap(0, keep);
+                succ.truncate(1);
+            }
+        }
         for (_, next) in succ.drain(..) {
             match self.visited.try_admit(next, self.limits.max_states) {
                 Admit::New(next) => self.push_work(worker, next),
@@ -452,6 +524,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
             threads: self.frontiers.len(),
             steals: self.steals.load(Ordering::Relaxed),
+            pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
             truncation,
         };
         Exploration {
@@ -510,6 +583,11 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
     let mut dedup_hits = 0u64;
     let mut dedup_probes = 0u64;
     let mut peak_frontier = 0usize;
+    let mut pruned_arcs = 0u64;
+    let reduction = match limits.reduction {
+        Reduction::Full => None,
+        Reduction::Ample => FutureTable::new(prog),
+    };
     visited.insert(initial.clone());
     stack.push(initial);
     let mut succ: Vec<(Label, M::State)> = Vec::new();
@@ -523,6 +601,13 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
         if succ.is_empty() {
             deadlocks += 1;
             continue;
+        }
+        if let Some(table) = &reduction {
+            if let Some(keep) = ample_index(machine, &state, &succ, table) {
+                pruned_arcs += succ.len() as u64 - 1;
+                succ.swap(0, keep);
+                succ.truncate(1);
+            }
         }
         for (_, next) in succ.drain(..) {
             dedup_probes += 1;
@@ -547,6 +632,7 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
         peak_frontier,
         threads: 1,
         steals: 0,
+        pruned_arcs,
         truncation,
     };
     Exploration {
@@ -576,6 +662,34 @@ mod tests {
             // SC allows (0,1), (1,0), (1,1) but never (0,0).
             assert_eq!(ex.outcomes.len(), 3);
             assert!(ex.outcomes.iter().all(|o| !(lit.non_sc)(o)));
+        }
+    }
+
+    #[test]
+    fn witness_traces_name_their_internal_queues() {
+        // A write-buffer run reaching the Dekker violation must delay
+        // drains past the reads — and the printed trace says exactly
+        // which buffer drained where, never a bare "(internal)".
+        use crate::machines::{CacheDelayMachine, WriteBufferMachine};
+        let lit = litmus::fig1_dekker();
+        let wb =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .expect("write-buffer reaches the Dekker violation");
+        let printed: Vec<String> = wb.iter().map(|l| l.to_string()).collect();
+        assert!(
+            printed.iter().any(|s| s.contains("drains loc") && s.contains("to memory")),
+            "expected a named drain in {printed:?}"
+        );
+        let cd =
+            find_witness(&CacheDelayMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .expect("cache-delay reaches the Dekker violation");
+        let printed: Vec<String> = cd.iter().map(|l| l.to_string()).collect();
+        assert!(
+            printed.iter().any(|s| s.contains("delivered at")),
+            "expected a named delivery in {printed:?}"
+        );
+        for s in printed {
+            assert_ne!(s, "(internal)", "internal labels must name their queue");
         }
     }
 

@@ -39,6 +39,7 @@ mod explore;
 pub mod fxhash;
 mod machine;
 pub mod machines;
+mod reduce;
 mod trace;
 
 pub use contract::{
@@ -46,10 +47,14 @@ pub use contract::{
     ScAppearance,
 };
 pub use explore::{
-    explore, explore_seq, find_witness, Exploration, ExplorationStats, Limits, TruncationReason,
-    Witness, N_SHARDS,
+    explore, explore_seq, find_witness, Exploration, ExplorationStats, Limits, Reduction,
+    TruncationReason, Witness, N_SHARDS,
 };
-pub use machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+pub use machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, Footprint, InternalKind,
+    InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,
+};
+pub use reduce::explore_reduced;
 pub use trace::{
     check_program_conforms, check_program_drf, ProgramConformance, ProgramDrfVerdict, TraceLimits,
 };

@@ -50,22 +50,189 @@ impl fmt::Display for OpRecord {
     }
 }
 
+/// Which hardware queue an internal transition serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternalKind {
+    /// A thread ran off the end of its instruction stream.
+    Halt,
+    /// A buffered or in-flight write reached shared memory.
+    Drain,
+    /// An invalidation/update message was applied at a remote copy.
+    Deliver,
+}
+
+/// An internal hardware step, carrying enough of the serviced message
+/// to print a meaningful trace line and to compute a [`Footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalStep {
+    /// Processor whose queue was serviced: the write's *source* for
+    /// drains and deliveries, the halting thread for
+    /// [`InternalKind::Halt`].
+    pub proc: ProcId,
+    /// Remote processor whose copy the message updated
+    /// ([`InternalKind::Deliver`] only).
+    pub target: Option<ProcId>,
+    /// Location the step touched, if any.
+    pub loc: Option<Loc>,
+    /// Which kind of queue was serviced.
+    pub kind: InternalKind,
+}
+
+impl InternalStep {
+    /// A thread-halt step for `proc`.
+    pub fn halt(proc: ProcId) -> Self {
+        InternalStep { proc, target: None, loc: None, kind: InternalKind::Halt }
+    }
+
+    /// A buffer/network drain of `proc`'s write to `loc` into memory.
+    pub fn drain(proc: ProcId, loc: Loc) -> Self {
+        InternalStep { proc, target: None, loc: Some(loc), kind: InternalKind::Drain }
+    }
+
+    /// Delivery of `source`'s write to `loc` at `target`'s copy.
+    pub fn deliver(source: ProcId, target: ProcId, loc: Loc) -> Self {
+        InternalStep {
+            proc: source,
+            target: Some(target),
+            loc: Some(loc),
+            kind: InternalKind::Deliver,
+        }
+    }
+}
+
 /// What one transition did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Label {
     /// A thread's memory operation completed architecturally.
     Op(OpRecord),
     /// An internal hardware step (write-buffer drain, in-flight message
-    /// delivery, invalidation application).
-    Internal,
+    /// delivery, invalidation application, thread halt).
+    Internal(InternalStep),
+}
+
+impl Label {
+    /// The conflict-relevant shape of this transition, for the
+    /// partial-order reduction's independence relation
+    /// (see [`crate::reduce`]).
+    pub fn footprint(&self) -> Footprint {
+        match *self {
+            Label::Op(rec) => Footprint {
+                proc: rec.proc,
+                loc: Some(rec.loc),
+                writes: rec.written_value.is_some(),
+                sync: matches!(rec.kind, OpKind::SyncRead | OpKind::SyncWrite | OpKind::SyncRmw),
+                internal: false,
+            },
+            Label::Internal(step) => Footprint {
+                proc: step.proc,
+                loc: step.loc,
+                writes: step.loc.is_some(),
+                sync: false,
+                internal: true,
+            },
+        }
+    }
+}
+
+/// The conflict-relevant shape of one transition, as used by the
+/// independence relation of the partial-order reduction. Derived from
+/// the paper's conflict predicate: two operations conflict when they
+/// touch the same location and at least one writes, and program order
+/// makes same-processor steps dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Processor the step belongs to (the source, for internal steps).
+    pub proc: ProcId,
+    /// The single location touched, if any (halts touch none).
+    pub loc: Option<Loc>,
+    /// Whether the step has a write component (drains and deliveries
+    /// propagate a write, so they count).
+    pub writes: bool,
+    /// Whether the step is a synchronization access (sync ops may be
+    /// gated on queue contents, so they carry extra dependences).
+    pub sync: bool,
+    /// Whether the step is an internal queue service rather than an
+    /// architectural thread operation.
+    pub internal: bool,
 }
 
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Label::Op(rec) => rec.fmt(f),
-            Label::Internal => f.write_str("(internal: delivery/drain)"),
+            Label::Internal(step) => match step.kind {
+                InternalKind::Halt => write!(f, "(internal: {} halts)", step.proc),
+                InternalKind::Drain => match step.loc {
+                    Some(loc) => write!(f, "(internal: {} drains {} to memory)", step.proc, loc),
+                    None => write!(f, "(internal: {} drains)", step.proc),
+                },
+                InternalKind::Deliver => match (step.loc, step.target) {
+                    (Some(loc), Some(target)) => write!(
+                        f,
+                        "(internal: {}'s write to {} delivered at {})",
+                        step.proc, loc, target
+                    ),
+                    _ => write!(f, "(internal: delivery from {})", step.proc),
+                },
+            },
         }
+    }
+}
+
+/// How strongly a machine gates its synchronization accesses on queue
+/// contents, for the partial-order reduction's dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncGate {
+    /// Sync accesses never wait on *other* processors' queues (they may
+    /// wait on the issuer's own, which is a same-processor dependence
+    /// the reduction already accounts for).
+    None,
+    /// A sync access to `l` may wait for the queue of the processor
+    /// that last synchronized on `l` (Definition 2's per-location
+    /// ownership gate).
+    ReserveOwner,
+    /// A sync access waits for *all* queues to drain (the
+    /// baseline-necessary-requirements machine's global gate).
+    GlobalDrain,
+}
+
+/// What a non-halt internal transition (drain/delivery) affects, for
+/// the partial-order reduction's dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// The step writes the single shared memory (write-buffer drains,
+    /// network deliveries): it conflicts with any other access or
+    /// pending delivery to the same location.
+    Memory,
+    /// The step updates only the *target* processor's private copy
+    /// (cache-substrate invalidation delivery): versioned application
+    /// makes deliveries mutually commutative, so the only dependence is
+    /// the target's own local reads of that location.
+    TargetCopy {
+        /// Whether the machine serves sync *reads* from the local copy
+        /// too (the cache-delay machine does; the weak-ordering
+        /// machines read sync accesses from the latest value).
+        sync_reads_local: bool,
+    },
+}
+
+/// A machine's self-description for the partial-order reduction: which
+/// dependences its internal steps and sync gating introduce beyond the
+/// plain location-conflict relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionClass {
+    /// How sync accesses are gated on other processors' queues.
+    pub sync_gate: SyncGate,
+    /// What the machine's drain/delivery transitions affect.
+    pub delivery: DeliveryClass,
+}
+
+impl ReductionClass {
+    /// The safest assumption: sync accesses may wait on any queue, and
+    /// internal steps write shared memory. Sound for every machine in
+    /// this crate; machines override with something sharper.
+    pub fn conservative() -> Self {
+        ReductionClass { sync_gate: SyncGate::GlobalDrain, delivery: DeliveryClass::Memory }
     }
 }
 
@@ -98,6 +265,19 @@ pub trait Machine: Sync {
     /// threads halted *and* all internal queues drained (every write
     /// performed everywhere).
     fn outcome(&self, prog: &Program, state: &Self::State) -> Option<Outcome>;
+
+    /// The per-thread interpreter states inside `state`, so generic
+    /// analyses (the partial-order reduction's future-footprint lookup)
+    /// can see each thread's program counter and halt status.
+    fn threads<'a>(&self, state: &'a Self::State) -> &'a [ThreadState];
+
+    /// The machine's dependence self-description for the partial-order
+    /// reduction. The default is sound for any machine whose internal
+    /// steps write shared memory and whose sync accesses gate on queue
+    /// contents; machines with sharper structure override it.
+    fn reduction_class(&self) -> ReductionClass {
+        ReductionClass::conservative()
+    }
 }
 
 /// Advances a thread, transparently completing `Delay` events (they are
@@ -142,6 +322,44 @@ mod tests {
             ThreadEvent::Access(Access::Read { .. }) => {}
             e => panic!("unexpected {e:?}"),
         }
+    }
+
+    /// Pins the internal-step display format: witness traces must say
+    /// *which* queue drained where, not an opaque "delivery/drain".
+    #[test]
+    fn internal_labels_name_their_queue() {
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        let x = Loc::new(0);
+        assert_eq!(Label::Internal(InternalStep::halt(p1)).to_string(), "(internal: P1 halts)");
+        assert_eq!(
+            Label::Internal(InternalStep::drain(p0, x)).to_string(),
+            "(internal: P0 drains loc0 to memory)"
+        );
+        assert_eq!(
+            Label::Internal(InternalStep::deliver(p0, p1, x)).to_string(),
+            "(internal: P0's write to loc0 delivered at P1)"
+        );
+    }
+
+    #[test]
+    fn footprints_classify_ops_and_internals() {
+        let rec = OpRecord {
+            proc: ProcId::new(2),
+            kind: OpKind::SyncRmw,
+            loc: Loc::new(3),
+            read_value: Some(Value::ZERO),
+            written_value: Some(Value::new(1)),
+        };
+        let f = Label::Op(rec).footprint();
+        assert!(f.sync && f.writes && !f.internal);
+        assert_eq!(f.loc, Some(Loc::new(3)));
+        let h = Label::Internal(InternalStep::halt(ProcId::new(0))).footprint();
+        assert!(h.internal && !h.writes && h.loc.is_none());
+        let d = Label::Internal(InternalStep::deliver(ProcId::new(0), ProcId::new(1), Loc::new(2)))
+            .footprint();
+        assert!(d.internal && d.writes && !d.sync);
+        assert_eq!(d.proc, ProcId::new(0));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 use weakord_core::ProcId;
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
-use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
+    OpRecord, ReductionClass, SyncGate,
+};
 use crate::machines::substrate::CacheState;
 
 /// The cache-coherent relaxed machine with no synchronization support:
@@ -52,7 +55,7 @@ impl Machine for CacheDelayMachine {
             let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
             else {
                 // The advance reached Halt: keep the halted thread state.
-                out.push((Label::Internal, next));
+                out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
                 continue;
             };
             let proc = ProcId::new(t as u16);
@@ -90,9 +93,11 @@ impl Machine for CacheDelayMachine {
             }
         }
         for i in 0..state.cache.pending_len() {
+            let inv = state.cache.pending()[i];
             let mut next = state.clone();
             next.cache.deliver(i);
-            out.push((Label::Internal, next));
+            let step = InternalStep::deliver(inv.source, inv.target, inv.loc);
+            out.push((Label::Internal(step), next));
         }
     }
 
@@ -103,6 +108,19 @@ impl Machine for CacheDelayMachine {
         let mem =
             (0..prog.n_locs).map(|l| state.cache.read_latest(weakord_core::Loc::new(l))).collect();
         outcome_if_halted(&state.threads, mem)
+    }
+
+    fn threads<'a>(&self, state: &'a CdState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Nothing gates: sync ops behave like data accesses (reads hit
+        // the local copy too). Deliveries update only the target's copy.
+        ReductionClass {
+            sync_gate: SyncGate::None,
+            delivery: DeliveryClass::TargetCopy { sync_reads_local: true },
+        }
     }
 }
 

@@ -6,7 +6,10 @@
 use weakord_core::{Loc, ProcId, Value};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
-use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
+    OpRecord, ReductionClass, SyncGate,
+};
 
 /// In-order issue into an unordered network: writes travel as in-flight
 /// messages that arrive at memory in any order, except that messages
@@ -65,7 +68,7 @@ impl Machine for NetReorderMachine {
             let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
             else {
                 // The advance reached Halt: keep the halted thread state.
-                out.push((Label::Internal, next));
+                out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
                 continue;
             };
             let proc = ProcId::new(t as u16);
@@ -118,7 +121,7 @@ impl Machine for NetReorderMachine {
                 let mut next = state.clone();
                 next.in_flight[t].remove(i);
                 next.mem[loc.index()] = v;
-                out.push((Label::Internal, next));
+                out.push((Label::Internal(InternalStep::drain(ProcId::new(t as u16), loc)), next));
             }
         }
     }
@@ -128,6 +131,17 @@ impl Machine for NetReorderMachine {
             return None;
         }
         outcome_if_halted(&state.threads, state.mem.clone())
+    }
+
+    fn threads<'a>(&self, state: &'a NetState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // RMWs gate only on the issuer's own in-flight writes to the
+        // RMW's location (same-processor); deliveries write the single
+        // shared memory.
+        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
     }
 }
 

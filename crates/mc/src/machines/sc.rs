@@ -4,7 +4,10 @@
 use weakord_core::{ProcId, Value};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
-use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
+    OpRecord, ReductionClass, SyncGate,
+};
 
 /// Lamport's model: memory accesses of all processors execute atomically
 /// in some total order, each processor's in program order. Exploring all
@@ -82,13 +85,25 @@ impl Machine for ScMachine {
                 Some(record) => out.push((Label::Op(record), next)),
                 // The advance reached Halt: record the halting as an
                 // internal transition so terminal states are reachable.
-                None => out.push((Label::Internal, next)),
+                None => {
+                    out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next))
+                }
             }
         }
     }
 
     fn outcome(&self, _prog: &Program, state: &ScState) -> Option<Outcome> {
         outcome_if_halted(&state.threads, state.mem.clone())
+    }
+
+    fn threads<'a>(&self, state: &'a ScState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Atomic memory, no queues: sync accesses are never gated and
+        // there are no drains or deliveries to classify.
+        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
     }
 }
 

@@ -104,6 +104,13 @@ impl CacheState {
         self.pending.len()
     }
 
+    /// The pending invalidation messages, in canonical order (so
+    /// machines can label the delivery of `pending()[i]` with its
+    /// source, target, and location).
+    pub fn pending(&self) -> &[Inv] {
+        &self.pending
+    }
+
     /// Returns `true` while any write by `p` is not yet globally
     /// performed.
     pub fn source_pending(&self, p: ProcId) -> bool {

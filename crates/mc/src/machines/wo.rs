@@ -28,7 +28,10 @@
 use weakord_core::ProcId;
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
-use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
+    OpRecord, ReductionClass, SyncGate,
+};
 use crate::machines::substrate::CacheState;
 
 /// Definition 1 weak ordering (the old definition).
@@ -99,7 +102,7 @@ fn successors(rule: SyncRule, prog: &Program, state: &WoState, out: &mut Vec<(La
         let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
         else {
             // The advance reached Halt: keep the halted thread state.
-            out.push((Label::Internal, next));
+            out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
             continue;
         };
         let proc = ProcId::new(t as u16);
@@ -166,9 +169,11 @@ fn successors(rule: SyncRule, prog: &Program, state: &WoState, out: &mut Vec<(La
         }
     }
     for i in 0..state.cache.pending_len() {
+        let inv = state.cache.pending()[i];
         let mut next = state.clone();
         next.cache.deliver(i);
-        out.push((Label::Internal, next));
+        let step = InternalStep::deliver(inv.source, inv.target, inv.loc);
+        out.push((Label::Internal(step), next));
     }
 }
 
@@ -189,6 +194,20 @@ impl Machine for WoDef1Machine {
 
     fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
         outcome(prog, state)
+    }
+
+    fn threads<'a>(&self, state: &'a WoState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Definition 1 gates a sync only on the *issuer's* own pending
+        // writes (a same-processor dependence); deliveries update only
+        // the target's copy, and sync reads use the latest value.
+        ReductionClass {
+            sync_gate: SyncGate::None,
+            delivery: DeliveryClass::TargetCopy { sync_reads_local: false },
+        }
     }
 }
 
@@ -213,6 +232,19 @@ impl Machine for WoDef2Machine {
 
     fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
         outcome(prog, state)
+    }
+
+    fn threads<'a>(&self, state: &'a WoState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Condition 5: a sync on `l` may stall on the queue of the
+        // processor that last synchronized on `l`.
+        ReductionClass {
+            sync_gate: SyncGate::ReserveOwner,
+            delivery: DeliveryClass::TargetCopy { sync_reads_local: false },
+        }
     }
 }
 
@@ -324,6 +356,21 @@ impl Machine for BnrMachine {
 
     fn outcome(&self, prog: &Program, state: &WoState) -> Option<Outcome> {
         outcome(prog, state)
+    }
+
+    fn threads<'a>(&self, state: &'a WoState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // The timestamp scheme stalls every sync until *all* queues
+        // drain — which conversely means that while any message is
+        // pending no sync can fire anywhere, a fact the reduction
+        // exploits for its sync-shielded delivery rule.
+        ReductionClass {
+            sync_gate: SyncGate::GlobalDrain,
+            delivery: DeliveryClass::TargetCopy { sync_reads_local: false },
+        }
     }
 }
 

@@ -10,7 +10,10 @@ use std::collections::VecDeque;
 use weakord_core::{Loc, ProcId, Value};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
-use crate::machine::{advance_skipping_delays, outcome_if_halted, Label, Machine, OpRecord};
+use crate::machine::{
+    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
+    OpRecord, ReductionClass, SyncGate,
+};
 
 /// A TSO-style machine: writes enter a per-processor FIFO buffer and
 /// drain to memory asynchronously; reads consult the own buffer first
@@ -64,7 +67,7 @@ impl Machine for WriteBufferMachine {
             let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
             else {
                 // The advance reached Halt: keep the halted thread state.
-                out.push((Label::Internal, next));
+                out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
                 continue;
             };
             let proc = ProcId::new(t as u16);
@@ -114,7 +117,7 @@ impl Machine for WriteBufferMachine {
             let mut next = state.clone();
             let (loc, v) = next.buffers[t].pop_front().expect("non-empty");
             next.mem[loc.index()] = v;
-            out.push((Label::Internal, next));
+            out.push((Label::Internal(InternalStep::drain(ProcId::new(t as u16), loc)), next));
         }
     }
 
@@ -123,6 +126,16 @@ impl Machine for WriteBufferMachine {
             return None;
         }
         outcome_if_halted(&state.threads, state.mem.clone())
+    }
+
+    fn threads<'a>(&self, state: &'a WbState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // RMWs gate only on the issuer's *own* buffer (a same-processor
+        // dependence); drains write the single shared memory.
+        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
     }
 }
 

@@ -7,6 +7,12 @@
 //! thing allowed to differ, and the full-state visited set makes visit
 //! order unobservable.
 //!
+//! The partial-order-reduced searches ([`explore_reduced`] and the
+//! [`Reduction::Ample`] knob) join the same differential: they must
+//! produce the identical outcome set and deadlock count as the full
+//! sequential reference on every machine × program pair, while never
+//! visiting more states.
+//!
 //! Also pins down the truncation contract (`truncated` flips exactly
 //! when the state space exceeds `max_states`) and run-to-run
 //! determinism of the parallel engine.
@@ -18,7 +24,9 @@ use weakord_mc::machines::{
     BnrMachine, CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
     WriteBufferMachine,
 };
-use weakord_mc::{explore, explore_seq, Exploration, Limits, Machine, TruncationReason};
+use weakord_mc::{
+    explore, explore_reduced, explore_seq, Exploration, Limits, Machine, TruncationReason,
+};
 use weakord_progs::{gen, litmus, parse_program, Program};
 
 /// Worker counts every differential pair is exercised at.
@@ -87,6 +95,90 @@ fn every_machine_agrees_on_every_program() {
         assert_engines_agree(&WoDef2Machine::default(), &prog);
         assert_engines_agree(&WoDef2Machine { drf1_refined: true }, &prog);
     }
+}
+
+fn assert_reduction_agrees<M: Machine>(machine: &M, prog: &Program) {
+    let seq = explore_seq(machine, prog, Limits::default());
+    assert!(!seq.truncated, "{}/{}: suite programs must fit the cap", machine.name(), prog.name);
+    // The dedicated sleep-set engine, and the ample filter inside each
+    // of the two general engines: all three reduced searches must agree
+    // with the full search on everything observable, in no more states.
+    let red = explore_reduced(machine, prog, Limits::default());
+    let seq_ample = explore_seq(machine, prog, Limits::reduced());
+    let par_ample = explore(machine, prog, Limits { threads: 4, ..Limits::reduced() });
+    for (engine, ex) in [("reduced", &red), ("seq+ample", &seq_ample), ("par+ample", &par_ample)] {
+        assert_eq!(
+            ex.outcomes,
+            seq.outcomes,
+            "{} × {} ({engine}): outcome sets must be identical",
+            machine.name(),
+            prog.name,
+        );
+        assert_eq!(
+            ex.deadlocks,
+            seq.deadlocks,
+            "{} × {} ({engine}): deadlock counts must be identical",
+            machine.name(),
+            prog.name,
+        );
+        assert!(
+            ex.states <= seq.states,
+            "{} × {} ({engine}): reduced visited {} states, full only {}",
+            machine.name(),
+            prog.name,
+            ex.states,
+            seq.states,
+        );
+        assert!(!ex.truncated, "{} × {} ({engine})", machine.name(), prog.name);
+    }
+    // Sleep sets prune arcs the ample filter alone cannot, so the
+    // dedicated engine is never worse than the knob.
+    assert!(red.states <= seq_ample.states, "{} × {}", machine.name(), prog.name);
+}
+
+#[test]
+fn reduced_search_is_a_sound_differential_twin() {
+    for prog in suite() {
+        assert_reduction_agrees(&ScMachine, &prog);
+        assert_reduction_agrees(&WriteBufferMachine, &prog);
+        assert_reduction_agrees(&NetReorderMachine, &prog);
+        assert_reduction_agrees(&CacheDelayMachine, &prog);
+        assert_reduction_agrees(&BnrMachine, &prog);
+        assert_reduction_agrees(&WoDef1Machine, &prog);
+        assert_reduction_agrees(&WoDef2Machine::default(), &prog);
+        assert_reduction_agrees(&WoDef2Machine { drf1_refined: true }, &prog);
+    }
+}
+
+/// The committed reduction floor: on the contended spinlock the
+/// `wo-bnr` machine's reduced search must keep visiting at most a third
+/// of the full search's states, and at least a fifth of the expanded
+/// arcs must be pruned. A regression below either bound means an ample
+/// rule was weakened.
+#[test]
+fn reduction_ratio_floor_on_the_spinlock_kernel() {
+    use weakord_progs::workloads::{spinlock, SpinlockParams};
+    let prog = spinlock(SpinlockParams {
+        n_procs: 3,
+        sections_per_proc: 1,
+        writes_per_section: 2,
+        think: 0,
+    });
+    let full = explore_seq(&BnrMachine, &prog, Limits::default());
+    let red = explore_reduced(&BnrMachine, &prog, Limits::default());
+    assert_eq!(red.outcomes, full.outcomes);
+    assert_eq!(red.deadlocks, full.deadlocks);
+    assert!(
+        red.states * 3 <= full.states,
+        "reduction regressed: {} of {} states",
+        red.states,
+        full.states
+    );
+    assert!(
+        red.stats.reduction_ratio() >= 0.20,
+        "reduction ratio regressed below the committed floor: {:.2}",
+        red.stats.reduction_ratio()
+    );
 }
 
 #[test]

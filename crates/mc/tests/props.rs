@@ -12,7 +12,7 @@ use weakord_core::HbMode;
 use weakord_mc::machines::{
     BnrMachine, CacheDelayMachine, ScMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
 };
-use weakord_mc::{check_program_drf, explore, Limits, TraceLimits};
+use weakord_mc::{check_program_drf, explore, explore_reduced, explore_seq, Limits, TraceLimits};
 use weakord_progs::gen::{race_free, racy, GenParams};
 
 fn small() -> GenParams {
@@ -76,6 +76,53 @@ proptest! {
         let d2 = explore(&WoDef2Machine::default(), &prog, Limits::default());
         prop_assert!(bnr.outcomes.is_subset(&d1.outcomes), "{}", prog.name);
         prop_assert!(d1.outcomes.is_subset(&d2.outcomes), "{}", prog.name);
+    }
+
+    /// The partial-order reduction on random programs: for every seeded
+    /// generated program — race-free and racy alike — the reduced
+    /// search produces exactly the full search's outcome and deadlock
+    /// observations on every machine, in no more states.
+    #[test]
+    fn reduced_search_agrees_on_random_programs(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        macro_rules! agree {
+            ($m:expr) => {{
+                let full = explore_seq(&$m, &prog, Limits::default());
+                let red = explore_reduced(&$m, &prog, Limits::default());
+                prop_assert_eq!(&red.outcomes, &full.outcomes, "{} on {}",
+                    weakord_mc::Machine::name(&$m), prog.name);
+                prop_assert_eq!(red.deadlocks, full.deadlocks);
+                prop_assert!(red.states <= full.states);
+            }};
+        }
+        agree!(ScMachine);
+        agree!(WriteBufferMachine);
+        agree!(CacheDelayMachine);
+        agree!(BnrMachine);
+        agree!(WoDef1Machine);
+        agree!(WoDef2Machine::default());
+    }
+
+    /// Lock-disciplined (race-free) generated programs are sync-heavy,
+    /// which is what the ample rules exploit: the reduced search must
+    /// shrink strictly on at least one machine.
+    #[test]
+    fn race_free_programs_shrink_strictly_somewhere(seed in 0u64..200) {
+        let prog = race_free(seed, small());
+        macro_rules! shrinks {
+            ($m:expr) => {{
+                let full = explore_seq(&$m, &prog, Limits::default());
+                let red = explore_reduced(&$m, &prog, Limits::default());
+                red.states < full.states
+            }};
+        }
+        let any_shrank = shrinks!(ScMachine)
+            || shrinks!(WriteBufferMachine)
+            || shrinks!(CacheDelayMachine)
+            || shrinks!(BnrMachine)
+            || shrinks!(WoDef1Machine)
+            || shrinks!(WoDef2Machine::default());
+        prop_assert!(any_shrank, "no machine shrank on {}", prog.name);
     }
 
     /// The contract on random programs: whenever the trace-level DRF0

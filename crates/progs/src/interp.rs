@@ -162,6 +162,15 @@ impl ThreadState {
         self.regs
     }
 
+    /// The program counter: while parked on an access this indexes the
+    /// access instruction itself; otherwise the next unexecuted
+    /// instruction. Static analyses (e.g. the model checker's
+    /// partial-order reduction) use it to over-approximate the thread's
+    /// future memory footprint.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
     fn eval(&self, op: Operand) -> Value {
         match op {
             Operand::Const(v) => v,

@@ -3,13 +3,14 @@
 //! ```text
 //! weakord litmus                 list the litmus suite
 //! weakord litmus <name>          explore one test on every machine
+//! weakord litmus <name> --reduce              same, under partial-order reduction
 //! weakord litmus <name> --witness <machine>   print a forbidden-outcome interleaving
 //! weakord drf <name>             classify a litmus program against DRF0/DRF1
 //! weakord delay <name>           Shasha–Snir delay set of a litmus program
 //! weakord disasm <name>          disassemble a litmus program
 //! weakord dot <name>             Graphviz of a round-robin execution (po/so/races)
 //! weakord export <name>          emit a litmus program in the text format
-//! weakord check <file.litmus> [--witness <machine>]   analyze a litmus file
+//! weakord check <file.litmus> [--reduce] [--witness <machine>]   analyze a litmus file
 //! weakord run <workload> [opts]  timed run on the cycle-level machine
 //!   workloads: fig3 | spinlock | spinlock-tts | ticket-lock | barrier |
 //!              tree-barrier | producer-consumer | spin-broadcast
@@ -75,19 +76,22 @@ fn cmd_litmus(rest: &[&str]) {
         }
         Some(name) => {
             let lit = find_litmus(name);
+            let limits =
+                if rest.contains(&"--reduce") { Limits::reduced() } else { Limits::default() };
             println!("{}\n", lit.program);
             println!(
-                "{:<14} {:>8} {:>7} {:>11}  forbidden outcome",
-                "machine", "outcomes", "states", "states/s"
+                "{:<14} {:>8} {:>7} {:>11} {:>7}  forbidden outcome",
+                "machine", "outcomes", "states", "states/s", "pruned"
             );
-            fn row<M: Machine>(m: &M, lit: &Litmus) {
-                let ex = explore(m, &lit.program, Limits::default());
+            fn row<M: Machine>(m: &M, lit: &Litmus, limits: Limits) {
+                let ex = explore(m, &lit.program, limits);
                 println!(
-                    "{:<14} {:>8} {:>7} {:>11.0}  {}",
+                    "{:<14} {:>8} {:>7} {:>11.0} {:>6.0}%  {}",
                     m.name(),
                     ex.outcomes.len(),
                     ex.states,
                     ex.stats.states_per_sec(),
+                    ex.stats.reduction_ratio() * 100.0,
                     if ex.outcomes.iter().any(|o| (lit.non_sc)(o)) {
                         "OBSERVED"
                     } else {
@@ -95,13 +99,13 @@ fn cmd_litmus(rest: &[&str]) {
                     }
                 );
             }
-            row(&ScMachine, &lit);
-            row(&WriteBufferMachine, &lit);
-            row(&NetReorderMachine, &lit);
-            row(&CacheDelayMachine, &lit);
-            row(&WoDef1Machine, &lit);
-            row(&WoDef2Machine::default(), &lit);
-            row(&WoDef2Machine { drf1_refined: true }, &lit);
+            row(&ScMachine, &lit, limits);
+            row(&WriteBufferMachine, &lit, limits);
+            row(&NetReorderMachine, &lit, limits);
+            row(&CacheDelayMachine, &lit, limits);
+            row(&WoDef1Machine, &lit, limits);
+            row(&WoDef2Machine::default(), &lit, limits);
+            row(&WoDef2Machine { drf1_refined: true }, &lit, limits);
             if let Some(machine) = flag(rest, "--witness") {
                 print_witness(&lit, &machine);
             }
@@ -252,28 +256,30 @@ fn cmd_check(rest: &[&str]) {
     let ds = delay_set(&prog);
     print!("delay set: {ds}");
     // Exploration across the machines.
+    let limits = if rest.contains(&"--reduce") { Limits::reduced() } else { Limits::default() };
     println!(
         "
-{:<14} {:>8} {:>7} {:>11}",
-        "machine", "outcomes", "states", "states/s"
+{:<14} {:>8} {:>7} {:>11} {:>7}",
+        "machine", "outcomes", "states", "states/s", "pruned"
     );
-    fn row<M: Machine>(m: &M, prog: &Program) {
-        let ex = explore(m, prog, Limits::default());
+    fn row<M: Machine>(m: &M, prog: &Program, limits: Limits) {
+        let ex = explore(m, prog, limits);
         println!(
-            "{:<14} {:>8} {:>7} {:>11.0}{}",
+            "{:<14} {:>8} {:>7} {:>11.0} {:>6.0}%{}",
             m.name(),
             ex.outcomes.len(),
             ex.states,
             ex.stats.states_per_sec(),
+            ex.stats.reduction_ratio() * 100.0,
             if ex.has_deadlock() { "  DEADLOCK" } else { "" }
         );
     }
-    row(&ScMachine, &prog);
-    row(&WriteBufferMachine, &prog);
-    row(&NetReorderMachine, &prog);
-    row(&CacheDelayMachine, &prog);
-    row(&WoDef1Machine, &prog);
-    row(&WoDef2Machine::default(), &prog);
+    row(&ScMachine, &prog, limits);
+    row(&WriteBufferMachine, &prog, limits);
+    row(&NetReorderMachine, &prog, limits);
+    row(&CacheDelayMachine, &prog, limits);
+    row(&WoDef1Machine, &prog, limits);
+    row(&WoDef2Machine::default(), &prog, limits);
     // Contract verdicts: does each weakly ordered machine appear SC?
     for (name, ok) in [
         ("wo-def1", weakord::mc::appears_sc(&WoDef1Machine, &prog, Limits::default()).appears_sc),

@@ -99,6 +99,122 @@ fn coherence_co_holds_on_all_machines() {
     check(&WoDef2Machine::default(), &prog, backwards);
 }
 
+/// The full conformance matrix: every shipped `litmus/*.litmus` file ×
+/// every model-checked machine, pinned to the expected allowed/forbidden
+/// split for that file's characteristic relaxed outcome — and the split
+/// must be reproduced exactly by the partial-order-reduced search.
+///
+/// The rows tell the paper's story file by file: `dekker` needs only a
+/// write buffer to break; `iriw` additionally needs non-atomic stores
+/// (the cache substrate); `coherence-co` is per-location order, which
+/// every machine serializes; and the three synchronized programs
+/// (`counter`, `lock-handoff`, `mp-handshake`) are kept SC by every
+/// *weakly ordered* machine but break on the unordered `net-reorder`
+/// and `cache-delay` configurations, which honor no synchronization.
+#[test]
+fn conformance_matrix_on_every_machine_full_and_reduced() {
+    use weakord::core::Value;
+    use weakord::mc::machines::{
+        BnrMachine, CacheDelayMachine, NetReorderMachine, WoDef1Machine, WoDef2Machine,
+        WriteBufferMachine,
+    };
+    use weakord::mc::{explore_reduced, Machine};
+    use weakord::progs::{Outcome, Program, Reg};
+
+    // Machine order: sc, write-buffer, net-reorder, cache-delay,
+    // wo-def1, wo-def2, wo-def2-drf1, wo-bnr.
+    const N_MACHINES: usize = 8;
+    fn verdicts(
+        prog: &Program,
+        pred: &dyn Fn(&Outcome) -> bool,
+        reduce: bool,
+    ) -> [bool; N_MACHINES] {
+        fn one<M: Machine>(
+            m: &M,
+            prog: &Program,
+            pred: &dyn Fn(&Outcome) -> bool,
+            reduce: bool,
+        ) -> bool {
+            let limits = if reduce { Limits::reduced() } else { Limits::default() };
+            let ex = explore(m, prog, limits);
+            assert!(!ex.truncated, "{} truncated on `{}`", m.name(), prog.name);
+            assert_eq!(ex.deadlocks, 0, "{} deadlocked on `{}`", m.name(), prog.name);
+            if reduce {
+                // The dedicated sleep-set engine must agree with the
+                // ample-only knob exactly, file by file.
+                let red = explore_reduced(m, prog, Limits::default());
+                assert_eq!(red.outcomes, ex.outcomes, "{} on `{}`", m.name(), prog.name);
+                assert_eq!(red.deadlocks, 0, "{} on `{}`", m.name(), prog.name);
+            }
+            ex.outcomes.iter().any(pred)
+        }
+        [
+            one(&ScMachine, prog, pred, reduce),
+            one(&WriteBufferMachine, prog, pred, reduce),
+            one(&NetReorderMachine, prog, pred, reduce),
+            one(&CacheDelayMachine, prog, pred, reduce),
+            one(&WoDef1Machine, prog, pred, reduce),
+            one(&WoDef2Machine::default(), prog, pred, reduce),
+            one(&WoDef2Machine { drf1_refined: true }, prog, pred, reduce),
+            one(&BnrMachine, prog, pred, reduce),
+        ]
+    }
+
+    let (r0, r1) = (Reg::new(0), Reg::new(1));
+    let one = Value::new(1);
+    type Pred = Box<dyn Fn(&Outcome) -> bool>;
+    let rows: Vec<(&str, Pred, [bool; N_MACHINES])> = vec![
+        (
+            "dekker.litmus",
+            Box::new(move |o| o.reg(0, r0) == Value::ZERO && o.reg(1, r0) == Value::ZERO),
+            [false, true, true, true, true, true, true, true],
+        ),
+        (
+            "iriw.litmus",
+            Box::new(move |o| {
+                o.reg(2, r0) == one
+                    && o.reg(2, r1) == Value::ZERO
+                    && o.reg(3, r0) == one
+                    && o.reg(3, r1) == Value::ZERO
+            }),
+            [false, false, false, true, true, true, true, true],
+        ),
+        (
+            "coherence-co.litmus",
+            Box::new(move |o| o.reg(1, r0) == Value::new(2) && o.reg(1, r1) == one),
+            [false; N_MACHINES],
+        ),
+        (
+            "counter.litmus",
+            Box::new(|o| o.memory[1] != Value::new(2)),
+            [false, false, true, true, false, false, false, false],
+        ),
+        (
+            "lock-handoff.litmus",
+            Box::new(|o| o.memory[1] != Value::new(2)),
+            [false, false, true, true, false, false, false, false],
+        ),
+        (
+            "mp-handshake.litmus",
+            Box::new(move |o| o.reg(1, r1) != Value::new(42)),
+            [false, false, true, true, false, false, false, false],
+        ),
+    ];
+    assert_eq!(rows.len(), 6, "cover every shipped litmus file");
+    for (file, pred, expected) in &rows {
+        let prog = load(file);
+        for reduce in [false, true] {
+            let got = verdicts(&prog, pred.as_ref(), reduce);
+            assert_eq!(
+                &got,
+                expected,
+                "`{file}` {} verdicts [sc, wb, net, cd, def1, def2, def2-drf1, bnr]",
+                if reduce { "reduced" } else { "full" },
+            );
+        }
+    }
+}
+
 #[test]
 fn counter_litmus_always_counts_to_two_under_sc() {
     use weakord::core::Value;
