@@ -1,0 +1,136 @@
+//! Review probe: targeted soundness check for Rule 3 ample choices vs
+//! writes concealed behind a different-location FIFO head in another
+//! processor's write buffer. NOT for commit.
+
+use weakord_core::Loc;
+use weakord_mc::machines::WriteBufferMachine;
+use weakord_mc::{explore_reduced, explore_seq, Limits};
+use weakord_progs::{Program, Reg, ThreadBuilder};
+
+const L: Loc = Loc::new(0);
+const M: Loc = Loc::new(1);
+const Z: Loc = Loc::new(2);
+const R0: Reg = Reg::new(0);
+
+#[test]
+fn concealed_same_location_entry_direct() {
+    // P0: read L.  P1: write M=1; write L=1; read Z.  P2: read M.
+    let mut t0 = ThreadBuilder::new();
+    t0.read(R0, L);
+    t0.halt();
+    let mut t1 = ThreadBuilder::new();
+    t1.write(M, 1u64);
+    t1.write(L, 1u64);
+    t1.read(R0, Z);
+    t1.halt();
+    let mut t2 = ThreadBuilder::new();
+    t2.read(R0, M);
+    t2.halt();
+    let prog = Program::new("probe", vec![t0.finish(), t1.finish(), t2.finish()], 3).unwrap();
+    let full = explore_seq(&WriteBufferMachine, &prog, Limits::default());
+    let red = explore_reduced(&WriteBufferMachine, &prog, Limits::default());
+    let red_knob = explore_seq(&WriteBufferMachine, &prog, Limits::reduced());
+    assert_eq!(red.outcomes, full.outcomes, "sleep+ample engine lost outcomes");
+    assert_eq!(red_knob.outcomes, full.outcomes, "ample knob lost outcomes");
+    assert_eq!(red.deadlocks, full.deadlocks);
+}
+
+/// Enumerate small 3-thread straight-line programs over {L, M, Z}:
+/// each thread is a sequence of up to 3 ops, each op one of
+/// read L / read M / write L / write M / write Z. Compare outcome sets.
+#[test]
+fn concealed_entry_enumeration() {
+    // op codes: 0 = read L, 1 = read M, 2 = write L=1, 3 = write M=1, 4 = write Z=1
+    fn build_thread(ops: &[u8]) -> weakord_progs::Thread {
+        let mut t = ThreadBuilder::new();
+        for (k, &op) in ops.iter().enumerate() {
+            let r = Reg::new(k as u8);
+            match op {
+                0 => {
+                    t.read(r, L);
+                }
+                1 => {
+                    t.read(r, M);
+                }
+                2 => {
+                    t.write(L, 1u64);
+                }
+                3 => {
+                    t.write(M, 1u64);
+                }
+                _ => {
+                    t.write(Z, 1u64);
+                }
+            }
+        }
+        t.halt();
+        t.finish()
+    }
+
+    // Thread shapes: T1 always "write M; write L; <tail>" to create the
+    // concealed entry; T0 and T2 drawn from short read/write combos.
+    let singles: Vec<Vec<u8>> = (0..5u8).map(|a| vec![a]).collect();
+    let mut pairs: Vec<Vec<u8>> = Vec::new();
+    for a in 0..5u8 {
+        for b in 0..5u8 {
+            pairs.push(vec![a, b]);
+        }
+    }
+    let mut shapes = singles;
+    shapes.extend(pairs);
+
+    // T1 shapes: all 3-op sequences that issue writes to at least two
+    // distinct locations (the concealment precondition), plus some 4-op
+    // deep-buffer shapes.
+    let mut t1_shapes: Vec<Vec<u8>> = Vec::new();
+    for a in 0..5u8 {
+        for b in 0..5u8 {
+            for c in 0..5u8 {
+                let ops = vec![a, b, c];
+                let wl = ops.iter().any(|&o| o == 2);
+                let wm = ops.iter().any(|&o| o == 3);
+                let wz = ops.iter().any(|&o| o == 4);
+                if (wl as u8 + wm as u8 + wz as u8) >= 2 {
+                    t1_shapes.push(ops);
+                }
+            }
+        }
+    }
+    t1_shapes.push(vec![3, 3, 2, 0]);
+    t1_shapes.push(vec![3, 4, 2, 1]);
+    t1_shapes.push(vec![4, 3, 2, 2]);
+
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    for t1_ops in &t1_shapes {
+        let t1_ops = t1_ops.clone();
+        for s0 in &shapes {
+            for s2 in &shapes {
+                total += 1;
+                let prog = Program::new(
+                    "enum",
+                    vec![build_thread(s0), build_thread(&t1_ops), build_thread(s2)],
+                    3,
+                )
+                .unwrap();
+                let full = explore_seq(&WriteBufferMachine, &prog, Limits::default());
+                let red = explore_reduced(&WriteBufferMachine, &prog, Limits::default());
+                if red.outcomes != full.outcomes || red.deadlocks != full.deadlocks {
+                    bad += 1;
+                    if bad <= 5 {
+                        eprintln!(
+                            "MISMATCH t0={s0:?} t1={t1_ops:?} t2={s2:?}: full {} outcomes, reduced {}",
+                            full.outcomes.len(),
+                            red.outcomes.len()
+                        );
+                        for o in full.outcomes.difference(&red.outcomes) {
+                            eprintln!("  lost: {o:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("checked {total} programs, {bad} mismatches");
+    assert_eq!(bad, 0, "{bad}/{total} programs lost outcomes under reduction");
+}
