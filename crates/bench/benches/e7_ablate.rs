@@ -8,7 +8,7 @@ use std::hint::black_box;
 #[cfg(feature = "bench")]
 use weakord_bench::experiments;
 #[cfg(feature = "bench")]
-use weakord_coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord_coherence::{CoherentMachine, Config, NetModel, Policy, SyncPolicy};
 #[cfg(feature = "bench")]
 use weakord_progs::workloads::{fig3_scenario, Fig3Params};
 
@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("miss-cap/{name}"), |b| {
             b.iter(|| {
                 let cfg = Config {
-                    policy: Policy::Def2 { drf1_refined: false, miss_cap: cap },
+                    policy: Policy::Def2 {
+                        drf1_refined: false,
+                        miss_cap: cap,
+                        sync: SyncPolicy::Queue,
+                    },
                     seed: 7,
                     ..Config::default()
                 };

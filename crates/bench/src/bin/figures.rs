@@ -38,6 +38,7 @@ fn main() {
     show("e6", experiments::e6_termination(5));
     show("e7", experiments::e7_ablations());
     show("e8", experiments::e8_state_census());
+    show("e9", experiments::e9_faults(6));
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed their shape check");
         std::process::exit(1);

@@ -9,10 +9,13 @@
 //! | E5 | Section 6 spin pathology & DRF1 refinement | [`e5_spin`] |
 //! | E6 | Section 5.3 termination / deadlock freedom | [`e6_termination`] |
 //! | E7 | Ablations (parallel data, miss cap, networks) | [`e7_ablations`] |
+//! | E9 | Fault-injected interconnect & the NACK leg | [`e9_faults`] |
 
 use std::fmt::Write as _;
 
-use weakord_coherence::{CoherentMachine, Config, NetModel, Policy, RunResult, StallCause};
+use weakord_coherence::{
+    CoherentMachine, Config, NetModel, Policy, RunResult, StallCause, SyncPolicy,
+};
 use weakord_core::{check_drf, figures, HbMode};
 use weakord_mc::machines::{
     BnrMachine, CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
@@ -579,7 +582,7 @@ pub fn e7_ablations() -> Table {
     }
     // (b) miss cap sweep.
     for cap in [None, Some(1), Some(2), Some(8)] {
-        let policy = Policy::Def2 { drf1_refined: false, miss_cap: cap };
+        let policy = Policy::Def2 { drf1_refined: false, miss_cap: cap, sync: SyncPolicy::Queue };
         let cfg = Config { policy, seed: 7, ..Config::default() };
         let r = CoherentMachine::new(&prog, cfg).run().expect("runs");
         t.row(vec![
@@ -714,6 +717,69 @@ pub fn e8_state_census() -> Table {
     t
 }
 
+/// E9 / robustness: the fault-injected interconnect (drop, duplicate,
+/// reorder, delay-spike — all with eventual delivery) against both legs
+/// of Section 5.1 for sync requests to reserved lines: queueing and
+/// NACK/retry. Every run must terminate; DRF0 programs must stay inside
+/// the SC outcome set; the NACK leg should actually bounce on the
+/// hand-off workload.
+pub fn e9_faults(schedules: u64) -> Table {
+    use weakord_mc::sc_outcome_set;
+    use weakord_sim::FaultPlan;
+    let mut t = Table::new(
+        "E9 · fault-injected interconnect (Section 5.1 NACK vs. queue legs)",
+        &["program", "policy", "runs", "max cycles", "drops", "dups", "nacks", "retries"],
+    );
+    let progs: Vec<(Program, bool)> = litmus::all()
+        .into_iter()
+        .filter(|l| l.drf0)
+        .map(|l| (l.program, true))
+        .chain([(fig3_scenario(Fig3Params::default()), true)])
+        .collect();
+    let mut all_ok = true;
+    let mut all_sc = true;
+    let mut nack_fired = 0u64;
+    for (prog, drf0) in &progs {
+        let sc = drf0.then(|| sc_outcome_set(prog, Limits::default()));
+        for policy in [Policy::def2(), Policy::def2_nack()] {
+            let (mut max_cycles, mut drops, mut dups, mut nacks, mut retries) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            for i in 0..schedules {
+                let faults = FaultPlan::with_rates(0xE9 ^ (i * 0x9E37), 60, 60, 80, 30);
+                let cfg = Config { policy, seed: i, faults, ..Config::default() };
+                match CoherentMachine::new(prog, cfg).run() {
+                    Ok(r) => {
+                        max_cycles = max_cycles.max(r.cycles);
+                        drops += r.counters.get("fault-drops");
+                        dups += r.counters.get("fault-dups");
+                        nacks += r.counters.get("nacks");
+                        retries += r.proc_stats.iter().map(|p| p.nack_retries).sum::<u64>();
+                        if let Some(sc) = &sc {
+                            all_sc &= sc.contains(&r.outcome);
+                        }
+                    }
+                    Err(_) => all_ok = false,
+                }
+            }
+            nack_fired += nacks;
+            t.row(vec![
+                prog.name.clone(),
+                policy.name().to_string(),
+                schedules.to_string(),
+                max_cycles.to_string(),
+                drops.to_string(),
+                dups.to_string(),
+                nacks.to_string(),
+                retries.to_string(),
+            ]);
+        }
+    }
+    t.check("every faulted run terminates (eventual delivery ⇒ liveness)", all_ok);
+    t.check("DRF0 outcomes stay inside the SC set under faults", all_sc);
+    t.check("the NACK leg fires somewhere in the sweep", nack_fired > 0);
+    t
+}
+
 /// All experiments, in order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -726,6 +792,7 @@ pub fn all() -> Vec<Table> {
         e6_termination(5),
         e7_ablations(),
         e8_state_census(),
+        e9_faults(6),
     ]
 }
 

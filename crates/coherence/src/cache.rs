@@ -84,6 +84,13 @@ pub enum Notice {
         /// The line.
         loc: Loc,
     },
+    /// The outstanding synchronization miss on this line was NACKed by
+    /// the reserve holder; the fill is aborted and the core should back
+    /// off and re-issue the access.
+    Nacked {
+        /// The line.
+        loc: Loc,
+    },
 }
 
 /// Outcome of asking the cache to issue an access.
@@ -159,6 +166,12 @@ pub struct CacheCtl {
     counter: u32,
     misses_while_reserved: u32,
     stalled_fwds: VecDeque<Msg>,
+    /// NACKs sent per reserved line under [`SyncPolicy::Nack`]; once a
+    /// line's count exhausts the budget, further sync requests queue
+    /// (the starvation-fairness escape hatch). Cleared with the reserve.
+    ///
+    /// [`SyncPolicy::Nack`]: crate::policy::SyncPolicy::Nack
+    nacks_sent: HashMap<Loc, u32>,
     /// Maximum number of resident lines (installed + pending fills +
     /// retained eviction copies); `None` = unbounded.
     capacity: Option<u32>,
@@ -173,6 +186,9 @@ pub struct CacheCtl {
     /// Cumulative count of forwarded requests that had to wait on a
     /// reserve bit (statistics).
     pub reserve_stalls: u64,
+    /// Cumulative count of forwarded sync requests this cache NACKed
+    /// (statistics).
+    pub nacks: u64,
 }
 
 impl CacheCtl {
@@ -199,12 +215,14 @@ impl CacheCtl {
             counter: 0,
             misses_while_reserved: 0,
             stalled_fwds: VecDeque::new(),
+            nacks_sent: HashMap::new(),
             capacity,
             evicting: HashMap::new(),
             lru_tick: 0,
             lru: HashMap::new(),
             evictions: 0,
             reserve_stalls: 0,
+            nacks: 0,
         }
     }
 
@@ -286,6 +304,12 @@ impl CacheCtl {
     /// Returns `true` while any line is reserved.
     pub fn has_reserved(&self) -> bool {
         !self.reserved.is_empty()
+    }
+
+    /// Returns `true` while `loc`'s reserve bit is set (for stall
+    /// diagnosis: a sync request blocked on this cache names it).
+    pub fn is_reserved(&self, loc: Loc) -> bool {
+        self.reserved.contains_key(&loc)
     }
 
     /// Returns `true` if a transaction (fill or eviction) is outstanding
@@ -482,11 +506,38 @@ impl CacheCtl {
                 // ordinary data requests are serviced regardless
                 // (Section 5.3).
                 if msg.fwd_is_sync() && self.reserved.contains_key(&loc) {
+                    // Section 5.1: the request "may be NACKed or queued".
+                    // The NACK leg refuses it while the per-line budget
+                    // lasts; an exhausted budget queues instead, so a
+                    // long-lived reserve cannot starve the requester.
+                    if let Some(params) = self.policy.nack_params() {
+                        let sent = self.nacks_sent.entry(loc).or_insert(0);
+                        if *sent < params.budget {
+                            *sent += 1;
+                            self.nacks += 1;
+                            out.push((Dest::Dir, Msg::NackHome { owner: self.proc, loc }));
+                            return;
+                        }
+                    }
                     self.reserve_stalls += 1;
                     self.stalled_fwds.push_back(msg);
                 } else {
                     self.serve_fwd(msg, out);
                 }
+            }
+            Msg::Nack { loc } => {
+                // Our synchronization miss was refused by the reserve
+                // holder: abort the fill (the directory has already
+                // unwound its transaction) and tell the core to back off
+                // and re-issue from scratch.
+                let pending = self.pending.remove(&loc).expect("Nack without pending sync fill");
+                debug_assert!(!pending.committed, "a committed access cannot be NACKed");
+                // The aborted miss no longer counts against the
+                // Section 5.3 cap — its retry will claim a fresh slot.
+                self.misses_while_reserved = self.misses_while_reserved.saturating_sub(1);
+                self.complete_access(loc, out, notices);
+                notices.push(Notice::Nacked { loc });
+                notices.push(Notice::LineFree { loc });
             }
             other => unreachable!("cache received {other:?}"),
         }
@@ -688,6 +739,11 @@ impl CacheCtl {
         }
         if cleared.is_empty() {
             return;
+        }
+        // A cleared reserve resets its line's NACK budget: the next
+        // reserve on the line gets a fresh allowance.
+        for line in &cleared {
+            self.nacks_sent.remove(line);
         }
         let mut still_stalled = VecDeque::new();
         while let Some(msg) = self.stalled_fwds.pop_front() {
@@ -939,7 +995,11 @@ mod tests {
 
     #[test]
     fn miss_cap_blocks_new_misses_while_reserved() {
-        let policy = Policy::Def2 { drf1_refined: false, miss_cap: Some(1) };
+        let policy = Policy::Def2 {
+            drf1_refined: false,
+            miss_cap: Some(1),
+            sync: crate::policy::SyncPolicy::Queue,
+        };
         let mut c = CacheCtl::new(P0, policy);
         let (mut out, mut notices) = (Vec::new(), Vec::new());
         // Outstanding write + committed sync: line reserved.
@@ -1046,6 +1106,146 @@ mod tests {
             vec![(Dest::Dir, Msg::GetX { proc: P0, loc: l(0), sync: true })],
             "Test treated as a write"
         );
+    }
+}
+
+#[cfg(test)]
+mod nack_tests {
+    use super::*;
+    use crate::policy::{NackParams, SyncPolicy};
+
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn write(loc: Loc, v: u64) -> Access {
+        Access::Write { loc, value: Value::new(v), sync: false }
+    }
+
+    fn tas(loc: Loc) -> Access {
+        Access::Rmw { loc, op: RmwOp::TestAndSet }
+    }
+
+    fn def2_nack_budget(budget: u32) -> Policy {
+        Policy::Def2 {
+            drf1_refined: false,
+            miss_cap: None,
+            sync: SyncPolicy::Nack(NackParams { budget, ..NackParams::default() }),
+        }
+    }
+
+    /// Drives `c` into a reserve on loc0 (an outstanding write to
+    /// `scratch` — which must miss — keeps the counter positive across
+    /// the sync commit).
+    fn reserve_loc0(c: &mut CacheCtl, scratch: Loc) {
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&write(scratch, 7), &mut out, &mut notices), IssueOutcome::MissStarted);
+        c.handle(
+            Msg::Data {
+                loc: scratch,
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 3,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        c.issue(&tas(l(0)), &mut out, &mut notices);
+        c.handle(
+            Msg::Data {
+                loc: l(0),
+                value: Value::ZERO,
+                exclusive: true,
+                acks_expected: 0,
+                version: 0,
+            },
+            &mut out,
+            &mut notices,
+        );
+        assert!(c.has_reserved());
+    }
+
+    #[test]
+    fn reserve_holder_nacks_sync_forwards_until_the_budget_then_queues() {
+        let mut c = CacheCtl::new(P0, def2_nack_budget(2));
+        reserve_loc0(&mut c, l(1));
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        let fwd = Msg::FwdGetX { requester: P1, loc: l(0), sync: true };
+        // Two NACKs within budget…
+        for expected in 1..=2u64 {
+            out.clear();
+            c.handle(fwd, &mut out, &mut notices);
+            assert_eq!(out, vec![(Dest::Dir, Msg::NackHome { owner: P0, loc: l(0) })]);
+            assert_eq!(c.nacks, expected);
+        }
+        // …then the fairness escape hatch queues the third instead.
+        out.clear();
+        c.handle(fwd, &mut out, &mut notices);
+        assert!(out.is_empty(), "over-budget request queues, not NACKs");
+        assert_eq!(c.reserve_stalls, 1);
+        assert_eq!(c.nacks, 2, "budget is a hard cap");
+        // Clearing the reserve serves the queued request…
+        out.clear();
+        c.handle(Msg::GlobalAck { loc: l(1) }, &mut out, &mut notices);
+        assert!(!c.has_reserved());
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Data { loc, exclusive: true, .. } if *loc == l(0))));
+        // …and resets the budget for the next reserve on the line.
+        reserve_loc0(&mut c, l(2));
+        out.clear();
+        c.handle(fwd, &mut out, &mut notices);
+        assert_eq!(
+            out,
+            vec![(Dest::Dir, Msg::NackHome { owner: P0, loc: l(0) })],
+            "fresh reserve, fresh budget"
+        );
+    }
+
+    #[test]
+    fn zero_budget_behaves_exactly_like_the_queue_leg() {
+        let mut c = CacheCtl::new(P0, def2_nack_budget(0));
+        reserve_loc0(&mut c, l(1));
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        c.handle(Msg::FwdGetX { requester: P1, loc: l(0), sync: true }, &mut out, &mut notices);
+        assert!(out.is_empty(), "budget 0 never NACKs");
+        assert_eq!(c.nacks, 0);
+        assert_eq!(c.reserve_stalls, 1, "request queued like SyncPolicy::Queue");
+    }
+
+    #[test]
+    fn data_requests_are_served_even_under_the_nack_policy() {
+        let mut c = CacheCtl::new(P0, def2_nack_budget(4));
+        reserve_loc0(&mut c, l(1));
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        // A *data* forward for the reserved line is served regardless
+        // (Section 5.3 services data requests; only syncs are refused).
+        c.handle(Msg::FwdGetS { requester: P1, loc: l(0), sync: false }, &mut out, &mut notices);
+        assert!(out.iter().any(|(_, m)| matches!(m, Msg::Data { .. })));
+        assert_eq!(c.nacks, 0);
+    }
+
+    #[test]
+    fn nacked_requester_aborts_the_fill_and_frees_the_line() {
+        let mut c = CacheCtl::new(P0, def2_nack_budget(4));
+        let (mut out, mut notices) = (Vec::new(), Vec::new());
+        assert_eq!(c.issue(&tas(l(5)), &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(c.counter(), 1);
+        assert!(c.line_busy(l(5)));
+        notices.clear();
+        c.handle(Msg::Nack { loc: l(5) }, &mut out, &mut notices);
+        assert_eq!(c.counter(), 0, "aborted fill no longer outstanding");
+        assert!(!c.line_busy(l(5)), "slot freed for the retry");
+        assert!(notices.contains(&Notice::Nacked { loc: l(5) }));
+        assert!(notices.contains(&Notice::CounterZero));
+        // The retry is a fresh miss.
+        out.clear();
+        assert_eq!(c.issue(&tas(l(5)), &mut out, &mut notices), IssueOutcome::MissStarted);
+        assert_eq!(out, vec![(Dest::Dir, Msg::GetX { proc: P0, loc: l(5), sync: true })]);
     }
 }
 

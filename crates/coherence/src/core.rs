@@ -11,6 +11,7 @@ use weakord_progs::{Access, Thread, ThreadState};
 use weakord_sim::{Cycle, Histogram};
 
 use crate::cache::Notice;
+use crate::policy::NackParams;
 
 /// Stall causes tracked per processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +38,9 @@ pub enum StallCause {
     /// Draining before a context switch (Section 5.1: all reads
     /// returned, all writes globally performed).
     Migration,
+    /// Backing off after a NACKed synchronization request before
+    /// re-issuing it (the Section 5.1 NACK leg).
+    NackRetry,
 }
 
 impl StallCause {
@@ -51,11 +55,12 @@ impl StallCause {
             StallCause::MissCap => "miss-cap",
             StallCause::Capacity => "capacity",
             StallCause::Migration => "migration",
+            StallCause::NackRetry => "nack-retry",
         }
     }
 
     /// Every cause, for table headers.
-    pub const ALL: [StallCause; 8] = [
+    pub const ALL: [StallCause; 9] = [
         StallCause::ReadMiss,
         StallCause::SyncGate,
         StallCause::SyncCommit,
@@ -64,6 +69,7 @@ impl StallCause {
         StallCause::MissCap,
         StallCause::Capacity,
         StallCause::Migration,
+        StallCause::NackRetry,
     ];
 }
 
@@ -71,11 +77,14 @@ impl StallCause {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProcStats {
     /// Stall cycles by cause (indexed per [`StallCause::ALL`] order).
-    stall: [u64; 8],
+    stall: [u64; 9],
     /// Completed memory operations.
     pub ops: u64,
     /// Misses sent to the directory.
     pub misses: u64,
+    /// Synchronization requests of this core that were NACKed and
+    /// retried.
+    pub nack_retries: u64,
     /// Cycle at which this core halted.
     pub halted_at: Option<Cycle>,
     /// Distribution of individual synchronization waits (gate + commit +
@@ -139,6 +148,15 @@ pub struct Core {
     /// Architectural thread state.
     pub ts: ThreadState,
     waiting: Option<(Waiting, StallCause, Cycle)>,
+    /// Consecutive NACKs on the current synchronization attempt (feeds
+    /// the exponential backoff; reset when any wait completes).
+    consecutive_nacks: u32,
+    /// The line of the most recent NACK in the current streak (for
+    /// stall reports).
+    nacked_loc: Option<weakord_core::Loc>,
+    /// While `Some`, the core sits out ticks until this cycle before
+    /// re-issuing its NACKed synchronization access.
+    backoff_until: Option<Cycle>,
     /// Statistics.
     pub stats: ProcStats,
     halted: bool,
@@ -151,6 +169,9 @@ impl Core {
             proc,
             ts: ThreadState::new(),
             waiting: None,
+            consecutive_nacks: 0,
+            nacked_loc: None,
+            backoff_until: None,
             stats: ProcStats::default(),
             halted: false,
         }
@@ -205,6 +226,9 @@ impl Core {
                 core.stats.sync_wait.record(waited);
             }
             core.waiting = None;
+            // The attempt went through: the next NACK streak starts over.
+            core.consecutive_nacks = 0;
+            core.nacked_loc = None;
         };
         match (waiting, notice) {
             (Waiting::Value(l), Notice::Value { loc, value, .. }) if l == *loc => {
@@ -270,6 +294,89 @@ impl Core {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// The reserve holder NACKed this core's outstanding synchronization
+    /// access on `loc`: abandon the wait, charge the elapsed time plus
+    /// the exponential backoff to [`StallCause::NackRetry`], and report
+    /// the backoff delay. Returns `None` if the core was not actually
+    /// waiting on `loc` (the machine then ignores the stray NACK).
+    ///
+    /// The thread state is untouched: a parked access re-issues the same
+    /// event on the next [`ThreadState::advance`], which is exactly the
+    /// retry.
+    pub fn on_nack(
+        &mut self,
+        loc: weakord_core::Loc,
+        params: &NackParams,
+        now: Cycle,
+    ) -> Option<u64> {
+        let Some((waiting, _, since)) = self.waiting else {
+            return None;
+        };
+        let matches_loc = match waiting {
+            Waiting::Value(l) | Waiting::Commit(l) => l == loc,
+            Waiting::Perform { loc: l, .. } => l == loc,
+            Waiting::CounterZero | Waiting::LineFree(_) | Waiting::Capacity => false,
+        };
+        if !matches_loc {
+            return None;
+        }
+        let delay = params.backoff(self.consecutive_nacks);
+        self.consecutive_nacks += 1;
+        self.nacked_loc = Some(loc);
+        self.stats.nack_retries += 1;
+        // Both the abandoned wait and the (deterministic) backoff window
+        // are NACK-retry stall.
+        self.stats.add_stall(StallCause::NackRetry, now.since(since) + delay);
+        self.waiting = None;
+        self.backoff_until = Some(now + delay);
+        Some(delay)
+    }
+
+    /// Returns `true` while the core is sitting out a post-NACK backoff
+    /// window (it must not issue; the machine has a retry tick scheduled
+    /// for the window's end).
+    pub fn in_backoff(&self, now: Cycle) -> bool {
+        self.backoff_until.is_some_and(|until| until.since(now) > 0)
+    }
+
+    /// Clears an expired backoff window (call at tick time).
+    pub fn clear_backoff(&mut self, now: Cycle) {
+        if self.backoff_until.is_some_and(|until| until.since(now) == 0) {
+            self.backoff_until = None;
+        }
+    }
+
+    /// What the core is blocked on right now, for stall reports:
+    /// `(kind, cause, since)` — `None` when running, halted, or in a
+    /// backoff window.
+    pub fn wait_summary(&self) -> Option<(WaitKind, StallCause, Cycle)> {
+        self.waiting.map(|(waiting, cause, since)| {
+            let kind = match waiting {
+                Waiting::Value(l) => WaitKind::Value(l),
+                Waiting::Commit(l) => WaitKind::Commit(l),
+                Waiting::Perform { loc, instr_done, .. } => WaitKind::Perform { loc, instr_done },
+                Waiting::CounterZero => WaitKind::CounterZero,
+                Waiting::LineFree(l) => WaitKind::LineFree(l),
+                Waiting::Capacity => WaitKind::Capacity,
+            };
+            (kind, cause, since)
+        })
+    }
+
+    /// The NACK streak on the current attempt (for stall reports).
+    pub fn nack_streak(&self) -> u32 {
+        self.consecutive_nacks
+    }
+
+    /// The line and streak length of an in-progress NACK/retry cycle,
+    /// if any (for stall reports).
+    pub fn nacked_sync(&self) -> Option<(weakord_core::Loc, u32)> {
+        match (self.nacked_loc, self.consecutive_nacks) {
+            (Some(loc), n) if n > 0 => Some((loc, n)),
+            _ => None,
         }
     }
 }
@@ -386,6 +493,44 @@ mod tests {
         assert!(!core.on_notice(&Notice::LineFree { loc: l(0) }, &thread, Cycle::new(1)));
         assert!(core.on_notice(&Notice::CounterZero, &thread, Cycle::new(8)));
         assert_eq!(core.stats.stall(StallCause::SyncGate), 8);
+    }
+
+    #[test]
+    fn nack_abandons_the_wait_and_backs_off_exponentially() {
+        let mut t = ThreadBuilder::new();
+        t.test_and_set(Reg::new(0), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut core = Core::new(ProcId::new(0));
+        let params = NackParams { budget: 4, base_backoff: 8, max_exponent: 6 };
+        let ev_first = core.ts.advance(&thread);
+        core.begin_wait(WaitKind::Commit(l(0)), StallCause::SyncCommit, Cycle::new(0));
+        // A NACK for another line is a no-op.
+        assert_eq!(core.on_nack(l(9), &params, Cycle::new(4)), None);
+        assert!(core.is_waiting());
+        // The real NACK abandons the wait with the base backoff.
+        assert_eq!(core.on_nack(l(0), &params, Cycle::new(10)), Some(8));
+        assert!(!core.is_waiting());
+        assert!(core.in_backoff(Cycle::new(10)));
+        assert!(core.in_backoff(Cycle::new(17)));
+        assert!(!core.in_backoff(Cycle::new(18)));
+        core.clear_backoff(Cycle::new(18));
+        assert_eq!(core.stats.nack_retries, 1);
+        assert_eq!(core.stats.stall(StallCause::NackRetry), 10 + 8);
+        // The parked access re-issues the *same* event on retry.
+        assert_eq!(core.ts.advance(&thread), ev_first);
+        // A second consecutive NACK doubles the backoff…
+        core.begin_wait(WaitKind::Commit(l(0)), StallCause::SyncCommit, Cycle::new(18));
+        assert_eq!(core.on_nack(l(0), &params, Cycle::new(20)), Some(16));
+        // …and a completed wait resets the streak.
+        core.clear_backoff(Cycle::new(100));
+        core.begin_wait(WaitKind::Commit(l(0)), StallCause::SyncCommit, Cycle::new(100));
+        assert!(core.on_notice(
+            &Notice::Commit { loc: l(0), read_value: Some(Value::ZERO), version: 1 },
+            &thread,
+            Cycle::new(110)
+        ));
+        assert_eq!(core.nack_streak(), 0);
     }
 
     #[test]

@@ -113,6 +113,7 @@ impl Directory {
             Msg::DataAck { loc, .. } => self.data_ack(loc, out),
             Msg::WriteBack { loc, value, version, .. } => self.write_back(loc, value, version, out),
             Msg::Evict { proc, loc, value, version } => self.evict(proc, loc, value, version, out),
+            Msg::NackHome { owner, loc } => self.nack_home(owner, loc, out),
             other => unreachable!("directory received {other:?}"),
         }
     }
@@ -340,6 +341,23 @@ impl Directory {
         out.push((proc, Msg::EvictAck { loc, accepted: still_owner }));
     }
 
+    /// The reserve holder refused a forwarded synchronization request
+    /// (the Section 5.1 NACK leg): unwind the transaction. Nothing has
+    /// actually moved — the owner kept the line and sent no data — so
+    /// the directory restores `Excl(owner)`, drops any deferred (now
+    /// stale) data, bounces the requester with [`Msg::Nack`], and lets
+    /// the next queued request through.
+    fn nack_home(&mut self, owner: ProcId, loc: Loc, out: &mut Vec<Outbound>) {
+        let line = &mut self.lines[loc.index()];
+        let txn = line.txn.take().expect("NackHome without transaction");
+        debug_assert!(txn.awaiting_data_ack, "the NACKed requester never got data");
+        line.state = DirState::Excl(owner);
+        out.push((txn.requester, Msg::Nack { loc }));
+        if let Some((proc, exclusive, sync)) = line.queue.pop_front() {
+            self.start(proc, loc, exclusive, sync, out);
+        }
+    }
+
     fn maybe_finish(&mut self, loc: Loc, out: &mut Vec<Outbound>) {
         let line = &mut self.lines[loc.index()];
         let done = line
@@ -538,6 +556,51 @@ mod tests {
         assert!(d.is_quiescent());
         // Memory is current after the recall; P1 only shares.
         assert_eq!(d.final_value(l(0)), Ok(Value::new(2)));
+    }
+
+    #[test]
+    fn nack_unwinds_the_transaction_and_restores_the_owner() {
+        let mut d = Directory::new(1);
+        let mut out = Vec::new();
+        // P0 takes the line exclusive.
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        // P1's sync request is forwarded; P2 queues behind it.
+        d.handle(Msg::GetX { proc: P1, loc: l(0), sync: true }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::FwdGetX { requester: P1, loc: l(0), sync: true })]);
+        d.handle(Msg::GetS { proc: P2, loc: l(0), sync: false }, &mut out);
+        out.clear();
+        // P0 refuses: P1 is bounced, P0 owns again, and P2's queued data
+        // request goes through (to the restored owner).
+        d.handle(Msg::NackHome { owner: P0, loc: l(0) }, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                (P1, Msg::Nack { loc: l(0) }),
+                (P0, Msg::FwdGetS { requester: P2, loc: l(0), sync: false }),
+            ]
+        );
+        assert!(!d.is_quiescent(), "P2's forwarded transaction is now in flight");
+    }
+
+    #[test]
+    fn nack_after_recall_drops_the_stale_deferred_data() {
+        let mut d = Directory::with_options(1, false, true);
+        let mut out = Vec::new();
+        d.handle(Msg::GetX { proc: P0, loc: l(0), sync: false }, &mut out);
+        d.handle(Msg::DataAck { proc: P0, loc: l(0) }, &mut out);
+        out.clear();
+        // Recall mode defers the requester's data until the writeback.
+        d.handle(Msg::GetX { proc: P1, loc: l(0), sync: true }, &mut out);
+        assert_eq!(out, vec![(P0, Msg::Recall { loc: l(0), sync: true })]);
+        out.clear();
+        // P0 refuses the recall: only the Nack goes out — the deferred
+        // data must not leak.
+        d.handle(Msg::NackHome { owner: P0, loc: l(0) }, &mut out);
+        assert_eq!(out, vec![(P1, Msg::Nack { loc: l(0) })]);
+        assert!(d.is_quiescent());
+        assert_eq!(d.final_value(l(0)), Err(P0));
     }
 
     #[test]

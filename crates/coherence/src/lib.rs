@@ -50,6 +50,9 @@ mod proto;
 pub use crate::core::{Core, ProcStats, StallCause};
 pub use cache::{CacheCtl, Dest, IssueOutcome, Notice};
 pub use directory::Directory;
-pub use machine::{CoherentMachine, Config, LocStats, Migration, NetModel, RunError, RunResult};
-pub use policy::{Policy, WaitFor};
+pub use machine::{
+    BlockedReason, CoherentMachine, Config, LocStats, Migration, NetModel, ProcReport, RunError,
+    RunResult, StallReport,
+};
+pub use policy::{NackParams, Policy, SyncPolicy, WaitFor};
 pub use proto::Msg;

@@ -8,14 +8,16 @@
 //! timed implementation is checked against the paper's own correctness
 //! criterion.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use weakord_core::{
     check_appears_sc, HbMode, IdealizedExecution, Loc, MemOp, OpId, ProcId, ScViolation, Value,
 };
 use weakord_progs::{Access, Outcome, Program, ThreadEvent};
-use weakord_sim::{Counters, Cycle, EventQueue, GeneralNet, Interconnect, NodeId, SimRng};
+use weakord_sim::{
+    Counters, Cycle, EventQueue, FaultPlan, GeneralNet, Interconnect, NodeId, SimRng,
+};
 
 use crate::cache::{CacheCtl, Dest, IssueOutcome, Notice};
 use crate::core::{stall_cause, Core, ProcStats, StallCause, WaitKind};
@@ -116,6 +118,16 @@ pub struct Config {
     /// "general interconnection network" setting of the paper. Must be
     /// ≥ 1.
     pub memory_banks: u32,
+    /// Deterministic interconnect fault injection (drops as bounded
+    /// retransmissions, duplicates, reordering jitter, delay spikes).
+    /// The fault stream draws from its own seed, so a run with an inert
+    /// plan is cycle-identical to one without the fault layer.
+    pub faults: FaultPlan,
+    /// Livelock watchdog: if no processor completes an operation (or
+    /// halts) for this many cycles, abort with [`RunError::Stalled`]
+    /// carrying a [`StallReport`]. `None` disables the watchdog (the
+    /// `max_cycles` budget still applies).
+    pub stall_window: Option<u64>,
 }
 
 /// A process-migration request.
@@ -140,17 +152,155 @@ impl Default for Config {
             cache_lines: None,
             migration: None,
             memory_banks: 1,
+            faults: FaultPlan::none(),
+            stall_window: None,
         }
+    }
+}
+
+/// Why a processor is blocked, as diagnosed by the stall watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedReason {
+    /// Not blocked: the thread already halted.
+    Halted,
+    /// Not blocked: the core is between instructions with a tick
+    /// scheduled.
+    Running,
+    /// Waiting for the outstanding-access counter to reach zero
+    /// (Definition 1's sync gate, the Section 5.3 miss cap, or a
+    /// migration drain).
+    WaitingOnCounter {
+        /// The counter's current reading.
+        counter: u32,
+    },
+    /// A synchronization request is queued at (or bouncing off) another
+    /// processor that holds the line reserved.
+    WaitingOnReserveOwner {
+        /// The contested line.
+        loc: Loc,
+        /// The reserve holder.
+        owner: ProcId,
+    },
+    /// The core's synchronization request was NACKed and it is backing
+    /// off / re-issuing (the Section 5.1 NACK leg).
+    RetryingNackedSync {
+        /// The contested line.
+        loc: Loc,
+        /// Consecutive NACKs in the current streak.
+        retries: u32,
+    },
+    /// An ordinary protocol handshake (fill, global-perform ack) is in
+    /// flight for this line.
+    InFlightHandshake {
+        /// The line.
+        loc: Loc,
+    },
+    /// An earlier transaction on the same line must retire first.
+    WaitingOnLine {
+        /// The line.
+        loc: Loc,
+    },
+    /// No eviction victim is available for a fill (reserved lines are
+    /// never flushed).
+    WaitingOnCapacity,
+}
+
+impl fmt::Display for BlockedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BlockedReason::Halted => write!(f, "halted"),
+            BlockedReason::Running => write!(f, "running"),
+            BlockedReason::WaitingOnCounter { counter } => {
+                write!(f, "waiting-on-counter (counter={counter})")
+            }
+            BlockedReason::WaitingOnReserveOwner { loc, owner } => {
+                write!(f, "waiting-on-reserve-owner (loc{} held by P{})", loc.raw(), owner.raw())
+            }
+            BlockedReason::RetryingNackedSync { loc, retries } => {
+                write!(f, "retrying-NACKed-sync (loc{}, {retries} NACKs)", loc.raw())
+            }
+            BlockedReason::InFlightHandshake { loc } => {
+                write!(f, "in-flight handshake (loc{})", loc.raw())
+            }
+            BlockedReason::WaitingOnLine { loc } => {
+                write!(f, "waiting-on-line (loc{})", loc.raw())
+            }
+            BlockedReason::WaitingOnCapacity => write!(f, "waiting-on-capacity"),
+        }
+    }
+}
+
+/// One processor's entry in a [`StallReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcReport {
+    /// The processor.
+    pub proc: ProcId,
+    /// What it is blocked on.
+    pub reason: BlockedReason,
+    /// When the current wait began (`None` when not waiting).
+    pub since: Option<Cycle>,
+    /// The stall-accounting cause of the current wait, if any.
+    pub cause: Option<StallCause>,
+}
+
+/// A structured livelock/stall snapshot: every processor's
+/// blocked-reason at the moment the watchdog fired — the diagnosable
+/// replacement for an opaque timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// When the watchdog fired.
+    pub at: Cycle,
+    /// Per-processor diagnosis.
+    pub procs: Vec<ProcReport>,
+    /// Events still queued (0 with unfinished processors = deadlock;
+    /// large = the system is thrashing, not wedged).
+    pub pending_events: usize,
+}
+
+impl StallReport {
+    /// The processors that are actually blocked (not running/halted).
+    pub fn blocked(&self) -> impl Iterator<Item = &ProcReport> {
+        self.procs
+            .iter()
+            .filter(|p| !matches!(p.reason, BlockedReason::Halted | BlockedReason::Running))
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stall snapshot at {} ({} events pending):", self.at, self.pending_events)?;
+        for p in &self.procs {
+            write!(f, "  P{}: {}", p.proc.raw(), p.reason)?;
+            if let Some(since) = p.since {
+                write!(f, " since {}", since.get())?;
+            }
+            if let Some(cause) = p.cause {
+                write!(f, " [{}]", cause.name())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
 /// Why a run failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
-    /// The cycle budget ran out (possible livelock).
+    /// The cycle budget ran out (possible livelock); the report says
+    /// what every processor was blocked on.
     Timeout {
         /// The budget that was exhausted.
         max_cycles: u64,
+        /// Per-processor blocked-reason snapshot.
+        report: Box<StallReport>,
+    },
+    /// The livelock watchdog fired: no processor completed an operation
+    /// for a whole stall window.
+    Stalled {
+        /// The no-progress window that elapsed.
+        window: u64,
+        /// Per-processor blocked-reason snapshot.
+        report: Box<StallReport>,
     },
     /// The event queue drained with unfinished processors — a deadlock
     /// (the paper argues this cannot happen; we check).
@@ -162,10 +312,27 @@ pub enum RunError {
     },
 }
 
+impl RunError {
+    /// The stall report attached to a timeout or watchdog abort, if any.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        match self {
+            RunError::Timeout { report, .. } | RunError::Stalled { report, .. } => Some(report),
+            RunError::Deadlock { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Timeout { max_cycles } => write!(f, "run exceeded {max_cycles} cycles"),
+            RunError::Timeout { max_cycles, report } => {
+                writeln!(f, "run exceeded {max_cycles} cycles")?;
+                write!(f, "{report}")
+            }
+            RunError::Stalled { window, report } => {
+                writeln!(f, "no processor made progress for {window} cycles")?;
+                write!(f, "{report}")
+            }
             RunError::Deadlock { at, stuck } => {
                 write!(f, "deadlock {at}: stuck processors {stuck:?}")
             }
@@ -284,8 +451,11 @@ impl RunResult {
 enum Ev {
     Tick(usize),
     MigrationCheck(usize),
-    DeliverCache(usize, Msg),
-    DeliverDir(usize, Msg),
+    /// Deliver to a cache; the tag pairs a faulty duplicate with its
+    /// original so the receiver keeps only the first copy to arrive.
+    DeliverCache(usize, Msg, Option<u64>),
+    /// Deliver to a directory bank (same duplicate tag).
+    DeliverDir(usize, Msg, Option<u64>),
 }
 
 /// The simulated multiprocessor.
@@ -298,6 +468,17 @@ pub struct CoherentMachine<'p> {
     dirs: Vec<crate::directory::Directory>,
     queue: EventQueue<Ev>,
     rng: SimRng,
+    /// Separate stream for fault decisions, so enabling the fault layer
+    /// never shifts the base latency draws.
+    fault_rng: SimRng,
+    /// First-arrival-wins filter for duplicated messages: the protocol
+    /// is not idempotent, so the second copy of a pair is discarded
+    /// end-to-end (sequence numbers in real hardware).
+    dup_pending: HashSet<u64>,
+    next_dup_id: u64,
+    /// Last cycle at which any processor completed an operation or
+    /// halted (feeds the livelock watchdog).
+    last_progress: Cycle,
     counters: Counters,
     /// Thread → cache (changes on migration).
     cache_of: Vec<usize>,
@@ -350,6 +531,10 @@ impl<'p> CoherentMachine<'p> {
             },
             queue: EventQueue::new(),
             rng: SimRng::new(config.seed),
+            fault_rng: SimRng::new(config.faults.seed),
+            dup_pending: HashSet::new(),
+            next_dup_id: 0,
+            last_progress: Cycle::ZERO,
             counters: Counters::new(),
             loc_stats: vec![LocStats::default(); prog.n_locs as usize],
             cache_of: (0..n).collect(),
@@ -385,15 +570,64 @@ impl<'p> CoherentMachine<'p> {
         }
     }
 
+    /// Applies the fault plan to one message's delivery and schedules
+    /// the surviving copy (and any duplicate) via `make_ev`.
+    fn schedule_delivery(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        msg: Msg,
+        base_latency: u64,
+        make_ev: impl Fn(Msg, Option<u64>) -> Ev,
+    ) {
+        let d = self.config.faults.deliveries(
+            src,
+            dst,
+            msg.fault_class(),
+            base_latency,
+            &mut self.fault_rng,
+        );
+        self.counters.add("fault-drops", u64::from(d.drops));
+        if d.spiked {
+            self.counters.incr("fault-spikes");
+        }
+        if d.reordered {
+            self.counters.incr("fault-reorders");
+        }
+        match d.duplicate_delay {
+            Some(dup_delay) => {
+                self.counters.incr("fault-dups");
+                let id = self.next_dup_id;
+                self.next_dup_id += 1;
+                self.dup_pending.insert(id);
+                self.queue.schedule_in(d.delay, make_ev(msg, Some(id)));
+                self.queue.schedule_in(dup_delay, make_ev(msg, Some(id)));
+            }
+            None => self.queue.schedule_in(d.delay, make_ev(msg, None)),
+        }
+    }
+
+    /// First-arrival-wins duplicate filter: the first copy of a tagged
+    /// pair passes, the second is dropped. Untagged messages pass.
+    fn dup_passes(&mut self, tag: Option<u64>) -> bool {
+        let Some(id) = tag else {
+            return true;
+        };
+        if self.dup_pending.remove(&id) {
+            true
+        } else {
+            self.counters.incr("fault-dups-filtered");
+            false
+        }
+    }
+
     fn send_to_dir(&mut self, from: usize, msg: Msg) {
         self.tally(&msg);
         let bank = self.bank_of(msg.loc());
-        let lat = self.config.network.latency(
-            NodeId::new(from as u32),
-            self.dir_node(bank),
-            &mut self.rng,
-        );
-        self.queue.schedule_in(lat, Ev::DeliverDir(bank, msg));
+        let src = NodeId::new(from as u32);
+        let dst = self.dir_node(bank);
+        let lat = self.config.network.latency(src, dst, &mut self.rng);
+        self.schedule_delivery(src, dst, msg, lat, |m, tag| Ev::DeliverDir(bank, m, tag));
     }
 
     fn send_to_cache(&mut self, from_dir: Option<usize>, from: usize, to: ProcId, msg: Msg) {
@@ -402,8 +636,9 @@ impl<'p> CoherentMachine<'p> {
             Some(bank) => self.dir_node(bank),
             None => NodeId::new(from as u32),
         };
-        let lat = self.config.network.latency(src, NodeId::new(to.raw() as u32), &mut self.rng);
-        self.queue.schedule_in(lat, Ev::DeliverCache(to.index(), msg));
+        let dst = NodeId::new(to.raw() as u32);
+        let lat = self.config.network.latency(src, dst, &mut self.rng);
+        self.schedule_delivery(src, dst, msg, lat, |m, tag| Ev::DeliverCache(to.index(), m, tag));
     }
 
     fn route_cache_out(&mut self, p: usize, out: Vec<(Dest, Msg)>) {
@@ -460,6 +695,24 @@ impl<'p> CoherentMachine<'p> {
                         self.record(t, po, &access, read_value, version);
                     }
                 }
+                Notice::Nacked { loc } => {
+                    // The fill was aborted: nothing committed, nothing to
+                    // trace. The retry re-records under a fresh po slot
+                    // (gaps in po indices are fine — the execution
+                    // builder orders by index, not contiguity).
+                    self.issued.remove(&(cache, loc));
+                    self.counters.incr("nack-bounces");
+                    if let Some(t) = self.thread_of[cache] {
+                        let params = self.config.policy.nack_params().unwrap_or_default();
+                        let now = self.queue.now();
+                        if let Some(delay) = self.cores[t].on_nack(loc, &params, now) {
+                            // The retry tick lands exactly at the end of
+                            // the backoff window.
+                            self.queue.schedule_in(delay.max(1), Ev::Tick(t));
+                        }
+                    }
+                    continue;
+                }
                 _ => {}
             }
             // Wake the core currently scheduled on this cache, if any.
@@ -469,6 +722,7 @@ impl<'p> CoherentMachine<'p> {
             let thread = &self.prog.threads[t];
             let now = self.queue.now();
             if self.cores[t].on_notice(&notice, thread, now) {
+                self.last_progress = now;
                 self.queue.schedule_in(1, Ev::Tick(t));
             }
         }
@@ -504,6 +758,13 @@ impl<'p> CoherentMachine<'p> {
             return; // stale tick
         }
         let now = self.queue.now();
+        // A NACKed core sits out its backoff window; the retry tick was
+        // scheduled when the NACK arrived, so earlier stale ticks must
+        // not re-issue the access prematurely.
+        if self.cores[p].in_backoff(now) {
+            return;
+        }
+        self.cores[p].clear_backoff(now);
         // A pending context switch takes effect between instructions.
         if !self.try_migrate(p, now) {
             return;
@@ -511,6 +772,7 @@ impl<'p> CoherentMachine<'p> {
         let thread = &self.prog.threads[p];
         match self.cores[p].ts.advance(thread) {
             ThreadEvent::Halted => {
+                self.last_progress = now;
                 self.cores[p].set_halted(now);
             }
             ThreadEvent::Delay(c) => {
@@ -531,6 +793,7 @@ impl<'p> CoherentMachine<'p> {
                 debug_assert!(notices.is_empty(), "issue produced notices");
                 match outcome {
                     IssueOutcome::Hit { read_value, version } => {
+                        self.last_progress = now;
                         let po = self.po_counter[p];
                         self.po_counter[p] += 1;
                         self.record(p, po, &access, read_value, version);
@@ -552,6 +815,7 @@ impl<'p> CoherentMachine<'p> {
                         let kind = match wait {
                             WaitFor::Nothing => {
                                 // Architectural completion at issue.
+                                self.last_progress = now;
                                 self.cores[p].ts.complete(thread, None);
                                 self.cores[p].stats.ops += 1;
                                 self.queue.schedule_in(1, Ev::Tick(p));
@@ -603,19 +867,23 @@ impl<'p> CoherentMachine<'p> {
         }
         while let Some((at, ev)) = self.queue.pop() {
             if at.get() > self.config.max_cycles {
-                if std::env::var_os("WEAKORD_DEBUG_TIMEOUT").is_some() {
-                    for (i, core) in self.cores.iter().enumerate() {
-                        eprintln!(
-                            "core {i}: halted={} waiting={:?}",
-                            core.is_halted(),
-                            core.is_waiting()
-                        );
-                    }
-                    for (i, cache) in self.caches.iter().enumerate() {
-                        eprintln!("cache {i}: {cache:?}");
-                    }
+                return Err(RunError::Timeout {
+                    max_cycles: self.config.max_cycles,
+                    report: Box::new(self.build_stall_report()),
+                });
+            }
+            // Livelock watchdog: deliveries alone are not progress — a
+            // NACK/retry storm keeps the event queue busy forever while
+            // no processor completes anything. Completions and halts
+            // advance `last_progress`; a long dry spell trips here with
+            // a structured snapshot instead of burning the full budget.
+            if let Some(w) = self.config.stall_window {
+                if at.since(self.last_progress) > w {
+                    return Err(RunError::Stalled {
+                        window: w,
+                        report: Box::new(self.build_stall_report()),
+                    });
                 }
-                return Err(RunError::Timeout { max_cycles: self.config.max_cycles });
             }
             match ev {
                 Ev::Tick(p) => self.tick(p),
@@ -632,14 +900,20 @@ impl<'p> CoherentMachine<'p> {
                         self.try_migrate(p, now);
                     }
                 }
-                Ev::DeliverDir(bank, msg) => {
+                Ev::DeliverDir(bank, msg, tag) => {
+                    if !self.dup_passes(tag) {
+                        continue;
+                    }
                     let mut out = Vec::new();
                     self.dirs[bank].handle(msg, &mut out);
                     for (to, m) in out {
                         self.send_to_cache(Some(bank), 0, to, m);
                     }
                 }
-                Ev::DeliverCache(p, msg) => {
+                Ev::DeliverCache(p, msg, tag) => {
+                    if !self.dup_passes(tag) {
+                        continue;
+                    }
                     let mut out = Vec::new();
                     let mut notices = Vec::new();
                     self.caches[p].handle(msg, &mut out, &mut notices);
@@ -661,6 +935,72 @@ impl<'p> CoherentMachine<'p> {
         Ok(self.finish())
     }
 
+    /// Diagnoses what every processor is blocked on right now — the
+    /// structured replacement for staring at a bare timeout.
+    fn build_stall_report(&self) -> StallReport {
+        let procs = (0..self.prog.n_procs())
+            .map(|p| {
+                let core = &self.cores[p];
+                let proc = ProcId::new(p as u16);
+                if core.is_halted() {
+                    return ProcReport {
+                        proc,
+                        reason: BlockedReason::Halted,
+                        since: None,
+                        cause: None,
+                    };
+                }
+                // A NACK/retry cycle in progress outranks the wait kind:
+                // between the NACK and the retried issue the core is not
+                // "waiting" at all, it is bouncing.
+                if let Some((loc, retries)) = core.nacked_sync() {
+                    if core.wait_summary().is_none() {
+                        return ProcReport {
+                            proc,
+                            reason: BlockedReason::RetryingNackedSync { loc, retries },
+                            since: None,
+                            cause: Some(StallCause::NackRetry),
+                        };
+                    }
+                }
+                let Some((kind, cause, since)) = core.wait_summary() else {
+                    return ProcReport {
+                        proc,
+                        reason: BlockedReason::Running,
+                        since: None,
+                        cause: None,
+                    };
+                };
+                let reason = match kind {
+                    WaitKind::Value(loc)
+                    | WaitKind::Commit(loc)
+                    | WaitKind::Perform { loc, .. } => {
+                        // Does some other cache hold this line reserved?
+                        // Then the fill is parked behind the Section 5.3
+                        // reserve, not just in flight.
+                        let own = self.cache_of[p];
+                        match (0..self.caches.len())
+                            .find(|&c| c != own && self.caches[c].is_reserved(loc))
+                        {
+                            Some(c) => BlockedReason::WaitingOnReserveOwner {
+                                loc,
+                                owner: ProcId::new(c as u16),
+                            },
+                            None => BlockedReason::InFlightHandshake { loc },
+                        }
+                    }
+                    WaitKind::CounterZero => BlockedReason::WaitingOnCounter {
+                        counter: self.caches[self.cache_of[p]].counter(),
+                    },
+                    WaitKind::LineFree(loc) => BlockedReason::WaitingOnLine { loc },
+                    WaitKind::Capacity => BlockedReason::WaitingOnCapacity,
+                };
+                ProcReport { proc, reason, since: Some(since), cause: Some(cause) }
+            })
+            .collect();
+        StallReport { at: self.queue.now(), procs, pending_events: self.queue.len() }
+    }
+
     fn finish(mut self) -> RunResult {
         let memory: Vec<Value> = (0..self.prog.n_locs)
             .map(|l| {
@@ -679,6 +1019,8 @@ impl<'p> CoherentMachine<'p> {
         self.counters.add("reserve-stalls", reserve_stalls);
         let evictions: u64 = self.caches.iter().map(|c| c.evictions).sum();
         self.counters.add("evictions", evictions);
+        let nacks: u64 = self.caches.iter().map(|c| c.nacks).sum();
+        self.counters.add("nacks", nacks);
         let cycles =
             self.cores.iter().filter_map(|c| c.stats.halted_at).map(Cycle::get).max().unwrap_or(0);
         let execution = self.config.record_trace.then(|| build_execution(self.prog, &self.trace));

@@ -38,6 +38,52 @@ pub enum WaitFor {
     GloballyPerformed,
 }
 
+/// What the reserve holder does with a forwarded synchronization
+/// request for a reserved line — Section 5.1 says such requests may be
+/// "NACKed or queued", and both legs are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Queue the request at the owner until the reserve clears (the
+    /// original implementation; the requester simply waits).
+    #[default]
+    Queue,
+    /// Refuse the request: the owner NACKs it back through the
+    /// directory, the requester's core backs off exponentially and
+    /// retries, and a per-line NACK budget falls back to queueing so a
+    /// persistent reserve cannot starve the retrier.
+    Nack(NackParams),
+}
+
+/// Retry/backoff knobs for [`SyncPolicy::Nack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackParams {
+    /// NACKs the owner may send per reserved line before the fairness
+    /// escape hatch queues the request instead. `0` degenerates to
+    /// [`SyncPolicy::Queue`].
+    pub budget: u32,
+    /// Base retry delay in cycles (doubled per consecutive NACK).
+    pub base_backoff: u64,
+    /// Cap on the doubling: the delay is
+    /// `base_backoff << min(retries, max_exponent)`.
+    pub max_exponent: u32,
+}
+
+impl Default for NackParams {
+    fn default() -> Self {
+        NackParams { budget: 4, base_backoff: 8, max_exponent: 6 }
+    }
+}
+
+impl NackParams {
+    /// The backoff delay before retry number `retries` (0-based):
+    /// exponential, monotone until the cap, then flat — and saturating,
+    /// so no parameter choice can overflow.
+    pub fn backoff(&self, retries: u32) -> u64 {
+        let exp = retries.min(self.max_exponent);
+        self.base_backoff.max(1).saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+    }
+}
+
 /// A processor ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -53,18 +99,31 @@ pub enum Policy {
         /// Maximum misses the processor may send to memory while it
         /// holds any reserved line (`None` = unlimited).
         miss_cap: Option<u32>,
+        /// How the reserve holder treats forwarded sync requests:
+        /// queue them (default) or NACK them back to the requester.
+        sync: SyncPolicy,
     },
 }
 
 impl Policy {
     /// The plain Section 5.3 implementation.
     pub fn def2() -> Policy {
-        Policy::Def2 { drf1_refined: false, miss_cap: None }
+        Policy::Def2 { drf1_refined: false, miss_cap: None, sync: SyncPolicy::Queue }
     }
 
     /// The Section 6 refined implementation.
     pub fn def2_drf1() -> Policy {
-        Policy::Def2 { drf1_refined: true, miss_cap: None }
+        Policy::Def2 { drf1_refined: true, miss_cap: None, sync: SyncPolicy::Queue }
+    }
+
+    /// The Section 5.3 implementation with the NACK leg for sync
+    /// requests to reserved lines.
+    pub fn def2_nack() -> Policy {
+        Policy::Def2 {
+            drf1_refined: false,
+            miss_cap: None,
+            sync: SyncPolicy::Nack(NackParams::default()),
+        }
     }
 
     /// Short name for reports.
@@ -72,8 +131,19 @@ impl Policy {
         match self {
             Policy::Sc => "sc",
             Policy::Def1 => "def1",
-            Policy::Def2 { drf1_refined: false, .. } => "def2",
-            Policy::Def2 { drf1_refined: true, .. } => "def2-drf1",
+            Policy::Def2 { drf1_refined: false, sync: SyncPolicy::Queue, .. } => "def2",
+            Policy::Def2 { drf1_refined: false, sync: SyncPolicy::Nack(_), .. } => "def2-nack",
+            Policy::Def2 { drf1_refined: true, sync: SyncPolicy::Queue, .. } => "def2-drf1",
+            Policy::Def2 { drf1_refined: true, sync: SyncPolicy::Nack(_), .. } => "def2-drf1-nack",
+        }
+    }
+
+    /// The NACK parameters when the sync policy is the NACK leg (and
+    /// the budget allows NACKing at all — a zero budget *is* queueing).
+    pub fn nack_params(&self) -> Option<NackParams> {
+        match self {
+            Policy::Def2 { sync: SyncPolicy::Nack(p), .. } if p.budget > 0 => Some(*p),
+            _ => None,
         }
     }
 
@@ -211,7 +281,50 @@ mod tests {
     fn names_and_caps() {
         assert_eq!(Policy::Sc.name(), "sc");
         assert_eq!(Policy::def2().to_string(), "def2");
-        assert_eq!(Policy::Def2 { drf1_refined: false, miss_cap: Some(4) }.miss_cap(), Some(4));
+        assert_eq!(Policy::def2_nack().to_string(), "def2-nack");
+        let capped =
+            Policy::Def2 { drf1_refined: false, miss_cap: Some(4), sync: SyncPolicy::Queue };
+        assert_eq!(capped.miss_cap(), Some(4));
         assert_eq!(Policy::Def1.miss_cap(), None);
+    }
+
+    #[test]
+    fn backoff_is_monotone_until_the_cap_then_flat() {
+        let p = NackParams { budget: 4, base_backoff: 8, max_exponent: 6 };
+        let seq: Vec<u64> = (0..10).map(|r| p.backoff(r)).collect();
+        assert_eq!(&seq[..7], &[8, 16, 32, 64, 128, 256, 512], "doubling run");
+        for w in seq.windows(2) {
+            assert!(w[1] >= w[0], "monotone");
+        }
+        assert!(seq[7..].iter().all(|&d| d == 512), "flat after the cap");
+    }
+
+    #[test]
+    fn backoff_is_bounded_for_any_parameters() {
+        // Saturates instead of overflowing, and never goes below one
+        // cycle — even for degenerate parameter choices.
+        let wild = NackParams { budget: 1, base_backoff: u64::MAX, max_exponent: u32::MAX };
+        assert_eq!(wild.backoff(u32::MAX), u64::MAX);
+        let zero = NackParams { budget: 1, base_backoff: 0, max_exponent: 0 };
+        assert_eq!(zero.backoff(0), 1);
+        assert_eq!(zero.backoff(100), 1);
+        let p = NackParams::default();
+        for r in 0..=1000 {
+            assert!(p.backoff(r) <= p.backoff(p.max_exponent), "cap is the supremum");
+            assert!(p.backoff(r) >= 1);
+        }
+    }
+
+    #[test]
+    fn zero_budget_nack_is_queueing() {
+        let p = Policy::Def2 {
+            drf1_refined: false,
+            miss_cap: None,
+            sync: SyncPolicy::Nack(NackParams { budget: 0, ..NackParams::default() }),
+        };
+        assert_eq!(p.nack_params(), None, "budget 0 degenerates to the queue leg");
+        assert!(Policy::def2_nack().nack_params().is_some());
+        assert_eq!(Policy::def2().nack_params(), None);
+        assert_eq!(Policy::Sc.nack_params(), None);
     }
 }

@@ -156,6 +156,23 @@ pub enum Msg {
         /// forwards).
         sync: bool,
     },
+    /// Owner → directory: refusing a forwarded synchronization request
+    /// because the line is reserved (Section 5.1: such requests may be
+    /// "NACKed or queued" — this is the NACK leg). The directory unwinds
+    /// the transaction and bounces the requester.
+    NackHome {
+        /// The refusing owner.
+        owner: ProcId,
+        /// The line.
+        loc: Loc,
+    },
+    /// Directory → requester: your synchronization request was refused
+    /// by the reserve holder; retry from scratch (the requester's core
+    /// backs off and re-issues).
+    Nack {
+        /// The line.
+        loc: Loc,
+    },
 }
 
 impl Msg {
@@ -185,7 +202,30 @@ impl Msg {
             | Msg::WriteBack { loc, .. }
             | Msg::Evict { loc, .. }
             | Msg::EvictAck { loc, .. }
-            | Msg::Recall { loc, .. } => loc,
+            | Msg::Recall { loc, .. }
+            | Msg::NackHome { loc, .. }
+            | Msg::Nack { loc } => loc,
+        }
+    }
+
+    /// The fault-injection class the message travels under (the
+    /// `weakord_sim::fault::CLASS_*` bits), so a [`FaultPlan`] can
+    /// target e.g. only data deliveries or only acknowledgements.
+    ///
+    /// [`FaultPlan`]: weakord_sim::FaultPlan
+    pub fn fault_class(&self) -> u16 {
+        use weakord_sim::fault;
+        match self {
+            Msg::GetS { .. } | Msg::GetX { .. } => fault::CLASS_REQUEST,
+            Msg::FwdGetS { .. } | Msg::FwdGetX { .. } | Msg::Recall { .. } => fault::CLASS_FORWARD,
+            Msg::Data { .. } => fault::CLASS_DATA,
+            Msg::Inv { .. }
+            | Msg::InvAck { .. }
+            | Msg::DataAck { .. }
+            | Msg::GlobalAck { .. }
+            | Msg::EvictAck { .. } => fault::CLASS_ACK,
+            Msg::WriteBack { .. } | Msg::Evict { .. } => fault::CLASS_WRITEBACK,
+            Msg::NackHome { .. } | Msg::Nack { .. } => fault::CLASS_NACK,
         }
     }
 
@@ -205,6 +245,8 @@ impl Msg {
             Msg::Evict { .. } => "Evict",
             Msg::EvictAck { .. } => "EvictAck",
             Msg::Recall { .. } => "Recall",
+            Msg::NackHome { .. } => "NackHome",
+            Msg::Nack { .. } => "Nack",
         }
     }
 }
@@ -230,10 +272,13 @@ mod tests {
             Msg::Evict { proc: ProcId::new(2), loc: l, value: Value::ZERO, version: 0 },
             Msg::EvictAck { loc: l, accepted: true },
             Msg::Recall { loc: l, sync: false },
+            Msg::NackHome { owner: ProcId::new(1), loc: l },
+            Msg::Nack { loc: l },
         ];
         let mut names: Vec<&str> = msgs.iter().map(Msg::kind_name).collect();
         for m in &msgs {
             assert_eq!(m.loc(), l);
+            assert!(m.fault_class().count_ones() == 1, "one class per message");
         }
         names.dedup();
         assert_eq!(names.len(), msgs.len(), "kind names are distinct");

@@ -3,7 +3,9 @@
 //! Section 5.3 termination claim), determinism, and the performance
 //! shapes of Figure 3 and Section 6.
 
-use weakord_coherence::{CoherentMachine, Config, NetModel, Policy, RunResult, StallCause};
+use weakord_coherence::{
+    CoherentMachine, Config, NetModel, Policy, RunResult, StallCause, SyncPolicy,
+};
 use weakord_core::{HbMode, Value};
 use weakord_progs::workloads::{
     barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts,
@@ -210,7 +212,7 @@ fn drf1_refinement_tames_spin_broadcast() {
 #[test]
 fn miss_cap_bounds_work_but_preserves_correctness() {
     let prog = fig3_scenario(Fig3Params { extra_writes: 6, ..Fig3Params::default() });
-    let capped = Policy::Def2 { drf1_refined: false, miss_cap: Some(1) };
+    let capped = Policy::Def2 { drf1_refined: false, miss_cap: Some(1), sync: SyncPolicy::Queue };
     let r = run(&prog, capped, 2);
     r.check_appears_sc(HbMode::Drf0).unwrap();
     assert_eq!(r.outcome.regs[1][Reg::new(1).index()], Value::new(1));

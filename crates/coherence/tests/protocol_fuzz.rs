@@ -85,6 +85,15 @@ impl Harness {
                     self.sync_pending[p] = None;
                 }
             }
+            // The Section 5.1 NACK leg: the fill was aborted by a
+            // reserve holder. The access never committed, so the
+            // processor is free to issue again (the harness's analog of
+            // retry-after-backoff).
+            if let Notice::Nacked { loc } = *n {
+                if self.sync_pending[p] == Some(loc) {
+                    self.sync_pending[p] = None;
+                }
+            }
             let (loc, version) = match *n {
                 Notice::Value { loc, version, .. } | Notice::Commit { loc, version, .. } => {
                     (loc, version)
@@ -178,9 +187,15 @@ proptest! {
     #[test]
     fn protocol_invariants_hold_under_random_schedules(
         steps in proptest::collection::vec(step_strategy(), 1..120),
-        def2 in proptest::bool::ANY,
+        policy_idx in 0u8..3,
     ) {
-        let policy = if def2 { Policy::def2() } else { Policy::Def1 };
+        // Both legs of Section 5.1 for sync requests to reserved lines:
+        // queueing (`def2`) and NACK/retry (`def2_nack`).
+        let policy = match policy_idx {
+            0 => Policy::Def1,
+            1 => Policy::def2(),
+            _ => Policy::def2_nack(),
+        };
         let mut h = Harness::new(policy);
         for step in steps {
             match step {

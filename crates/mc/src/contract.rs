@@ -57,6 +57,20 @@ impl fmt::Display for ScAppearance {
     }
 }
 
+/// The SC-allowed outcome set of `prog` — the differential baseline
+/// for any implementation leg, exhaustive or timed (the fault-injected
+/// cycle-level runs check their observed outcomes against this set).
+///
+/// # Panics
+///
+/// Panics if the exhaustive SC exploration truncates: a partial outcome
+/// set would turn the subset check into a false alarm.
+pub fn sc_outcome_set(prog: &Program, limits: Limits) -> std::collections::BTreeSet<Outcome> {
+    let sc = explore(&ScMachine, prog, limits);
+    assert!(!sc.truncated, "SC exploration truncated on `{}`", prog.name);
+    sc.outcomes
+}
+
 /// Exhaustively decides whether `machine` appears sequentially
 /// consistent for `prog`: explores both the machine and the SC
 /// reference and compares outcome sets.

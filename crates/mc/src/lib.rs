@@ -43,8 +43,8 @@ mod reduce;
 mod trace;
 
 pub use contract::{
-    appears_sc, check_weak_ordering, check_weak_ordering_model, ContractReport, ContractRow,
-    ScAppearance,
+    appears_sc, check_weak_ordering, check_weak_ordering_model, sc_outcome_set, ContractReport,
+    ContractRow, ScAppearance,
 };
 pub use explore::{
     explore, explore_seq, find_witness, Exploration, ExplorationStats, Limits, Reduction,

@@ -1,0 +1,291 @@
+//! Deterministic interconnect fault injection.
+//!
+//! A [`FaultPlan`] perturbs individual message deliveries — drops,
+//! duplicates, reordering jitter, and delay spikes — per
+//! (source, destination, class), with configurable permille rates. All
+//! perturbations are drawn from a caller-supplied [`SimRng`], so a
+//! faulty run is exactly reproducible from its seed.
+//!
+//! The plan maintains an **eventual-delivery guarantee**, the weakest
+//! assumption under which the paper's protocol (and any invalidation
+//! protocol without end-to-end timeouts) can stay live:
+//!
+//! * a *drop* is modeled as a bounded link-level retransmission — each
+//!   dropped copy adds [`FaultPlan::retransmit_cycles`] of latency, and
+//!   at most [`FaultPlan::max_drops`] copies of one message are ever
+//!   dropped, so the message always arrives;
+//! * a *duplicate* schedules a second copy with its own latency. The
+//!   protocol is not idempotent, so receivers are expected to run an
+//!   end-to-end filter (sequence numbers in real hardware) that
+//!   processes whichever copy arrives first and discards the other —
+//!   duplicates therefore also exercise reordering;
+//! * *reorder* adds uniform jitter in `1..=reorder_window`, letting a
+//!   later message overtake an earlier one on the same path;
+//! * a *delay spike* adds a fixed [`FaultPlan::spike_cycles`] stall
+//!   (a congested router, a stolen link slot).
+//!
+//! Rates are in permille (`0..=1000`). A plan with all rates zero is
+//! inert and draws nothing from the RNG, so enabling the fault layer
+//! does not perturb fault-free runs.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+
+/// Message-class bit: requests (`GetS`/`GetX`).
+pub const CLASS_REQUEST: u16 = 1 << 0;
+/// Message-class bit: ownership forwards and recalls.
+pub const CLASS_FORWARD: u16 = 1 << 1;
+/// Message-class bit: data deliveries.
+pub const CLASS_DATA: u16 = 1 << 2;
+/// Message-class bit: acknowledgements and invalidations.
+pub const CLASS_ACK: u16 = 1 << 3;
+/// Message-class bit: writebacks and evictions.
+pub const CLASS_WRITEBACK: u16 = 1 << 4;
+/// Message-class bit: negative acknowledgements (the NACK leg).
+pub const CLASS_NACK: u16 = 1 << 5;
+/// All message classes.
+pub const CLASS_ALL: u16 =
+    CLASS_REQUEST | CLASS_FORWARD | CLASS_DATA | CLASS_ACK | CLASS_WRITEBACK | CLASS_NACK;
+
+/// A deterministic fault-injection plan for an interconnect.
+///
+/// `Copy` on purpose: the plan is pure configuration and rides inside
+/// run configs; all mutable state (the RNG) stays with the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the fault stream (kept separate from the latency RNG so
+    /// enabling faults does not shift fault-free latency draws).
+    pub seed: u64,
+    /// Drop probability per transmission attempt, in permille.
+    pub drop_permille: u32,
+    /// Duplication probability per message, in permille.
+    pub dup_permille: u32,
+    /// Reordering-jitter probability per message, in permille.
+    pub reorder_permille: u32,
+    /// Delay-spike probability per message, in permille.
+    pub spike_permille: u32,
+    /// Extra latency added by one dropped copy (the link-level
+    /// retransmission round-trip). Treated as at least 1.
+    pub retransmit_cycles: u64,
+    /// Upper bound on dropped copies of a single message — the
+    /// eventual-delivery guarantee. A message is delayed by at most
+    /// `max_drops * retransmit_cycles` through drops.
+    pub max_drops: u32,
+    /// Maximum reordering jitter, in cycles.
+    pub reorder_window: u64,
+    /// Latency added by a delay spike, in cycles.
+    pub spike_cycles: u64,
+    /// Bitmask of message classes the plan applies to (`CLASS_*`).
+    pub class_mask: u16,
+    /// Restrict to messages from this node (`None` = any source).
+    pub src: Option<NodeId>,
+    /// Restrict to messages to this node (`None` = any destination).
+    pub dst: Option<NodeId>,
+}
+
+/// How one message (and its optional duplicate) is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Total latency of the surviving copy (base latency + faults).
+    pub delay: u64,
+    /// Latency of a duplicated second copy, if one was injected.
+    pub duplicate_delay: Option<u64>,
+    /// Dropped (retransmitted) copies consumed on the way.
+    pub drops: u32,
+    /// Whether a delay spike hit this message.
+    pub spiked: bool,
+    /// Whether reordering jitter was added.
+    pub reordered: bool,
+}
+
+impl Delivery {
+    /// A clean delivery at `delay` cycles.
+    pub fn clean(delay: u64) -> Self {
+        Delivery { delay, duplicate_delay: None, drops: 0, spiked: false, reordered: false }
+    }
+}
+
+fn permille(p: u32) -> f64 {
+    f64::from(p.min(1000)) / 1000.0
+}
+
+impl FaultPlan {
+    /// A fault-free plan (inert: applies to no message and draws no
+    /// randomness).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            reorder_permille: 0,
+            spike_permille: 0,
+            retransmit_cycles: 20,
+            max_drops: 3,
+            reorder_window: 40,
+            spike_cycles: 400,
+            class_mask: CLASS_ALL,
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// An all-class plan with the given rates (permille) under `seed`,
+    /// using the default bounds of [`FaultPlan::none`].
+    pub fn with_rates(seed: u64, drop: u32, dup: u32, reorder: u32, spike: u32) -> Self {
+        FaultPlan {
+            seed,
+            drop_permille: drop,
+            dup_permille: dup,
+            reorder_permille: reorder,
+            spike_permille: spike,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Returns `true` if any fault rate is nonzero.
+    pub fn is_active(&self) -> bool {
+        (self.drop_permille | self.dup_permille | self.reorder_permille | self.spike_permille) > 0
+    }
+
+    /// Does the plan target this (source, destination, class) path?
+    pub fn applies(&self, src: NodeId, dst: NodeId, class: u16) -> bool {
+        self.is_active()
+            && self.class_mask & class != 0
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+
+    /// The worst-case latency the plan can add to one message (the
+    /// eventual-delivery bound).
+    pub fn worst_case_extra(&self) -> u64 {
+        u64::from(self.max_drops) * self.retransmit_cycles.max(1)
+            + self.spike_cycles
+            + self.reorder_window
+    }
+
+    /// Decides the fate of one message with fault-free latency
+    /// `base_latency`: always at least one delivery (never a loss), plus
+    /// possibly a duplicate. Deterministic in `rng`'s state.
+    pub fn deliveries(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        class: u16,
+        base_latency: u64,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        if !self.applies(src, dst, class) {
+            return Delivery::clean(base_latency);
+        }
+        let mut delay = base_latency;
+        // Bounded link-level retransmission: each dropped copy costs a
+        // retransmit round-trip; after `max_drops` the copy goes
+        // through — eventual delivery, whatever the rate says.
+        let mut drops = 0;
+        while drops < self.max_drops && rng.chance(permille(self.drop_permille)) {
+            drops += 1;
+            delay += self.retransmit_cycles.max(1);
+        }
+        let spiked = self.spike_cycles > 0 && rng.chance(permille(self.spike_permille));
+        if spiked {
+            delay += self.spike_cycles;
+        }
+        let reordered = self.reorder_window > 0 && rng.chance(permille(self.reorder_permille));
+        if reordered {
+            delay += rng.range(1..=self.reorder_window);
+        }
+        // The duplicate gets an independent delay around the base
+        // latency, so it may overtake the (possibly retransmitted)
+        // original — receivers keep whichever copy lands first.
+        let duplicate_delay = if rng.chance(permille(self.dup_permille)) {
+            Some(base_latency.max(1) + rng.range(0..=self.worst_case_extra().max(1)))
+        } else {
+            None
+        };
+        Delivery { delay, duplicate_delay, drops, spiked, reordered }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn inert_plan_is_transparent_and_draws_nothing() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        let mut rng = SimRng::new(7);
+        let before = rng.clone().next_u64();
+        let d = plan.deliveries(n(0), n(1), CLASS_DATA, 33, &mut rng);
+        assert_eq!(d, Delivery::clean(33));
+        assert_eq!(rng.next_u64(), before, "no randomness consumed");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let plan = FaultPlan::with_rates(5, 300, 200, 200, 100);
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        for i in 0..200 {
+            let da = plan.deliveries(n(0), n(1), CLASS_DATA, 10 + i, &mut a);
+            let db = plan.deliveries(n(0), n(1), CLASS_DATA, 10 + i, &mut b);
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn delivery_is_eventual_and_bounded_even_at_certain_drop() {
+        let plan = FaultPlan::with_rates(1, 1000, 0, 0, 0);
+        let mut rng = SimRng::new(1);
+        let d = plan.deliveries(n(0), n(1), CLASS_REQUEST, 50, &mut rng);
+        assert_eq!(d.drops, plan.max_drops, "drop chain is cut at the bound");
+        assert_eq!(d.delay, 50 + u64::from(plan.max_drops) * plan.retransmit_cycles);
+        assert!(d.delay <= 50 + plan.worst_case_extra());
+    }
+
+    #[test]
+    fn every_delivery_respects_the_worst_case_bound() {
+        let plan = FaultPlan::with_rates(9, 400, 300, 300, 200);
+        let mut rng = SimRng::new(9);
+        for base in 0..500 {
+            let d = plan.deliveries(n(2), n(3), CLASS_ACK, base, &mut rng);
+            assert!(d.delay >= base, "faults only delay, never accelerate");
+            assert!(d.delay <= base + plan.worst_case_extra());
+            if let Some(dd) = d.duplicate_delay {
+                assert!(dd >= base.max(1));
+                assert!(dd <= base.max(1) + plan.worst_case_extra().max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn certain_duplication_always_duplicates() {
+        let plan = FaultPlan::with_rates(3, 0, 1000, 0, 0);
+        let mut rng = SimRng::new(3);
+        for _ in 0..50 {
+            assert!(plan
+                .deliveries(n(0), n(1), CLASS_DATA, 20, &mut rng)
+                .duplicate_delay
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn class_mask_and_endpoint_filters() {
+        let mut plan = FaultPlan::with_rates(2, 1000, 0, 0, 0);
+        plan.class_mask = CLASS_DATA;
+        let mut rng = SimRng::new(2);
+        assert_eq!(plan.deliveries(n(0), n(1), CLASS_ACK, 5, &mut rng), Delivery::clean(5));
+        assert!(plan.deliveries(n(0), n(1), CLASS_DATA, 5, &mut rng).drops > 0);
+        plan.src = Some(n(4));
+        assert_eq!(plan.deliveries(n(0), n(1), CLASS_DATA, 5, &mut rng), Delivery::clean(5));
+        assert!(plan.deliveries(n(4), n(1), CLASS_DATA, 5, &mut rng).drops > 0);
+        plan.dst = Some(n(9));
+        assert_eq!(plan.deliveries(n(4), n(1), CLASS_DATA, 5, &mut rng), Delivery::clean(5));
+        assert!(plan.deliveries(n(4), n(9), CLASS_DATA, 5, &mut rng).drops > 0);
+    }
+}

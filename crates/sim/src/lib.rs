@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 mod event;
+pub mod fault;
 mod network;
 mod node;
 mod rng;
@@ -35,6 +36,7 @@ mod stats;
 mod time;
 
 pub use event::EventQueue;
+pub use fault::{Delivery, FaultPlan};
 pub use network::{AtomicBus, CongestedNet, Crossbar, GeneralNet, Interconnect, Mesh};
 pub use node::NodeId;
 pub use rng::SimRng;

@@ -14,8 +14,13 @@
 //! weakord run <workload> [opts]  timed run on the cycle-level machine
 //!   workloads: fig3 | spinlock | spinlock-tts | ticket-lock | barrier |
 //!              tree-barrier | producer-consumer | spin-broadcast
-//!   opts: --policy sc|def1|def2|def2-drf1   --seed N   --cache N
+//!   opts: --policy sc|def1|def2|def2-nack|def2-drf1   --seed N   --cache N
 //!         --net bus|crossbar|general|mesh|congested   --migrate-at N   --banks N
+//!         --drop-rate P --dup-rate P --reorder-rate P --spike-rate P  (permille)
+//! weakord faults [opts]          fault-injected conformance sweep over the
+//!                                litmus suite (differential vs. the SC explorer)
+//!   opts: --seed N   --drop-rate P   --dup-rate P   --reorder-rate P
+//!         --spike-rate P   --policy nack|queue   --schedules N
 //! ```
 
 use std::process::exit;
@@ -34,6 +39,7 @@ use weakord::progs::workloads::{
     TreeBarrierParams,
 };
 use weakord::progs::{litmus, Litmus, Program};
+use weakord::sim::FaultPlan;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,8 +53,11 @@ fn main() {
         Some((&"export", rest)) => cmd_export(rest),
         Some((&"check", rest)) => cmd_check(rest),
         Some((&"run", rest)) => cmd_run(rest),
+        Some((&"faults", rest)) => cmd_faults(rest),
         _ => {
-            eprintln!("usage: weakord <litmus|drf|delay|disasm|check|run> …  (see the README)");
+            eprintln!(
+                "usage: weakord <litmus|drf|delay|disasm|check|run|faults> …  (see the README)"
+            );
             exit(2);
         }
     }
@@ -352,6 +361,7 @@ fn cmd_run(rest: &[&str]) {
         None | Some("def2") => Policy::def2(),
         Some("sc") => Policy::Sc,
         Some("def1") => Policy::Def1,
+        Some("def2-nack") => Policy::def2_nack(),
         Some("def2-drf1") => Policy::def2_drf1(),
         Some(other) => {
             eprintln!("unknown policy `{other}`");
@@ -378,6 +388,7 @@ fn cmd_run(rest: &[&str]) {
     let no_forwarding = rest.contains(&"--no-forwarding");
     let migration = flag(rest, "--migrate-at")
         .map(|s| Migration { thread: 0, at_cycle: s.parse().expect("--migrate-at takes a cycle") });
+    let faults = fault_plan(rest, seed);
     let cfg = Config {
         policy,
         seed,
@@ -386,6 +397,7 @@ fn cmd_run(rest: &[&str]) {
         migration,
         memory_banks,
         no_forwarding,
+        faults,
         record_trace: true,
         ..Config::default()
     };
@@ -393,7 +405,16 @@ fn cmd_run(rest: &[&str]) {
         eprintln!("run failed: {e}");
         exit(1);
     });
-    println!("{} under {} (seed {seed}):", prog.name, policy.name());
+    if faults.is_active() {
+        println!(
+            "{} under {} (seed {seed}, fault seed {:#x}):",
+            prog.name,
+            policy.name(),
+            faults.seed
+        );
+    } else {
+        println!("{} under {} (seed {seed}):", prog.name, policy.name());
+    }
     println!("{result}");
     println!("\nhottest lines:");
     for (loc, st) in result.hotspots(5) {
@@ -406,5 +427,100 @@ fn cmd_run(rest: &[&str]) {
     match result.check_appears_sc(mode) {
         Ok(()) => println!("\nLemma 1: the observed execution appears sequentially consistent."),
         Err(v) => println!("\nLemma 1 VIOLATION: {v}"),
+    }
+}
+
+/// Reads the shared fault-rate flags (permille each) into a plan seeded
+/// from the run seed unless `--fault-seed` overrides it.
+fn fault_plan(rest: &[&str], seed: u64) -> FaultPlan {
+    let rate = |name: &str| {
+        flag(rest, name).map_or(0, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{name} takes a permille rate (0..=1000)");
+                exit(2);
+            })
+        })
+    };
+    let fault_seed = flag(rest, "--fault-seed")
+        .map_or(seed, |s| s.parse().expect("--fault-seed takes a number"));
+    FaultPlan::with_rates(
+        fault_seed,
+        rate("--drop-rate"),
+        rate("--dup-rate"),
+        rate("--reorder-rate"),
+        rate("--spike-rate"),
+    )
+}
+
+/// Fault-injected conformance sweep: every built-in litmus program ×
+/// the chosen sync policy × `--schedules` seeded fault plans, checked
+/// differentially against the exhaustive SC explorer for DRF0 programs.
+fn cmd_faults(rest: &[&str]) {
+    let seed = flag(rest, "--seed").map_or(0xFA01, |s| s.parse().expect("--seed takes a number"));
+    let policy = match flag(rest, "--policy").as_deref() {
+        None | Some("queue") => Policy::def2(),
+        Some("nack") => Policy::def2_nack(),
+        Some(other) => {
+            eprintln!("unknown sync policy `{other}` (expected `nack` or `queue`)");
+            exit(2);
+        }
+    };
+    let schedules: u64 =
+        flag(rest, "--schedules").map_or(8, |s| s.parse().expect("--schedules takes a number"));
+    let drop = flag(rest, "--drop-rate").map_or(40, |s| s.parse().expect("permille"));
+    let dup = flag(rest, "--dup-rate").map_or(40, |s| s.parse().expect("permille"));
+    let reorder = flag(rest, "--reorder-rate").map_or(60, |s| s.parse().expect("permille"));
+    let spike = flag(rest, "--spike-rate").map_or(20, |s| s.parse().expect("permille"));
+    println!(
+        "fault sweep under {} (seed {seed}, {schedules} schedules, drop {drop}\u{2030} dup {dup}\u{2030} reorder {reorder}\u{2030} spike {spike}\u{2030})",
+        policy.name()
+    );
+    println!(
+        "{:<16} {:<5} {:>6} {:>7} {:>6} {:>6} {:>7}  verdict",
+        "program", "DRF0", "runs", "cycles", "drops", "dups", "nacks"
+    );
+    let mut failures = 0u32;
+    for lit in litmus::all() {
+        let sc = lit.drf0.then(|| explore(&ScMachine, &lit.program, Limits::default()).outcomes);
+        let (mut cycles, mut drops, mut dups, mut nacks) = (0u64, 0u64, 0u64, 0u64);
+        let mut verdict = "ok";
+        for i in 0..schedules {
+            let faults = FaultPlan::with_rates(seed ^ (i * 0x9E37), drop, dup, reorder, spike);
+            let cfg =
+                Config { policy, seed: seed + i, faults, record_trace: true, ..Config::default() };
+            match CoherentMachine::new(&lit.program, cfg).run() {
+                Ok(r) => {
+                    cycles = cycles.max(r.cycles);
+                    drops += r.counters.get("fault-drops");
+                    dups += r.counters.get("fault-dups");
+                    nacks += r.counters.get("nacks");
+                    if let Some(sc) = &sc {
+                        if !sc.contains(&r.outcome) {
+                            verdict = "NON-SC OUTCOME";
+                            failures += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    verdict = "DID NOT TERMINATE";
+                    failures += 1;
+                    eprintln!("{} (fault seed {:#x}):\n{e}", lit.name, faults.seed);
+                }
+            }
+        }
+        println!(
+            "{:<16} {:<5} {:>6} {:>7} {:>6} {:>6} {:>7}  {verdict}",
+            lit.name,
+            if lit.drf0 { "yes" } else { "no" },
+            schedules,
+            cycles,
+            drops,
+            dups,
+            nacks
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} conformance failure(s)");
+        exit(1);
     }
 }

@@ -172,3 +172,37 @@ fn drf0_classification_is_stable_between_detector_runs() {
         assert_eq!(a.races, b.races);
     }
 }
+
+/// The contract survives an adversarial interconnect: every DRF0
+/// program in the suite keeps SC-only outcomes on the cycle-level
+/// Definition 2 machine — queueing or NACKing sync requests — under
+/// seeded fault schedules with eventual delivery (the drop/dup/reorder
+/// layer of `weakord-sim`).
+#[test]
+fn contract_sweep_holds_under_interconnect_faults() {
+    use weakord::coherence::{CoherentMachine, Config, Policy};
+    use weakord::mc::sc_outcome_set;
+    use weakord::sim::FaultPlan;
+    for prog in suite() {
+        if !check_program_drf(&prog, HbMode::Drf0, TraceLimits::default()).is_race_free() {
+            continue;
+        }
+        let sc = sc_outcome_set(&prog, Limits::default());
+        for policy in [Policy::def2(), Policy::def2_nack()] {
+            for i in 0..4u64 {
+                let faults = FaultPlan::with_rates(0xC0DE ^ i, 50, 50, 50, 20);
+                let cfg = Config { policy, seed: i, faults, ..Config::default() };
+                let r = CoherentMachine::new(&prog, cfg)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", prog.name, policy.name()));
+                assert!(
+                    sc.contains(&r.outcome),
+                    "{} under {} fault-seed {:#x}: non-SC outcome under faults",
+                    prog.name,
+                    policy.name(),
+                    faults.seed
+                );
+            }
+        }
+    }
+}

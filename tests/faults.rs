@@ -1,0 +1,225 @@
+//! Differential conformance under interconnect faults.
+//!
+//! The fault layer only ever *delays* the protocol (drops are repaired
+//! by bounded retransmission, duplicates are filtered at the receiver),
+//! so the paper's guarantees must survive it verbatim: every program
+//! terminates under every fault schedule with eventual delivery, and
+//! DRF0 programs still land inside the SC outcome set (Definition 2)
+//! with Lemma 1 holding on the observed trace — under both the queueing
+//! and the NACK/retry legs of Section 5.1.
+//!
+//! The fault rates are environment-overridable so CI can sweep a
+//! (policy × drop-rate × seed) grid over the same test body:
+//! `WEAKORD_FAULT_DROP`, `WEAKORD_FAULT_DUP`, `WEAKORD_FAULT_REORDER`,
+//! `WEAKORD_FAULT_SPIKE` (all permille), and `WEAKORD_FAULT_SEED`.
+
+use std::collections::BTreeSet;
+
+use weakord::coherence::{BlockedReason, CoherentMachine, Config, NetModel, Policy, RunError};
+use weakord::core::HbMode;
+use weakord::mc::machines::ScMachine;
+use weakord::mc::{check_program_drf, explore, Limits, TraceLimits};
+use weakord::progs::workloads::{fig3_scenario, Fig3Params};
+use weakord::progs::{litmus, parse_program, Outcome, Program};
+use weakord::sim::FaultPlan;
+
+fn load(file: &str) -> Program {
+    let path = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/litmus/{}"), file);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_program(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn env_rate(name: &str, default: u32) -> u32 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_seed() -> u64 {
+    std::env::var("WEAKORD_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFA01)
+}
+
+/// The schedule grid: ≥ 8 distinct seeded fault plans, every one with
+/// eventual delivery (drops bounded by retransmission).
+fn fault_schedules() -> Vec<FaultPlan> {
+    let base = env_seed();
+    let drop = env_rate("WEAKORD_FAULT_DROP", 40);
+    let dup = env_rate("WEAKORD_FAULT_DUP", 40);
+    let reorder = env_rate("WEAKORD_FAULT_REORDER", 60);
+    let spike = env_rate("WEAKORD_FAULT_SPIKE", 20);
+    (0..8).map(|i| FaultPlan::with_rates(base ^ (i * 0x9E37), drop, dup, reorder, spike)).collect()
+}
+
+fn programs() -> Vec<(Program, bool)> {
+    let mut progs: Vec<(Program, bool)> =
+        litmus::all().into_iter().map(|l| (l.program, l.drf0)).collect();
+    // The shipped sample files ride along, classified on the fly.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus");
+    for entry in std::fs::read_dir(dir).expect("litmus/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("litmus") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let prog = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let drf0 = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default()).is_race_free();
+        progs.push((prog, drf0));
+    }
+    // The paper's Figure 3 scenario (DRF0 by construction).
+    progs.push((fig3_scenario(Fig3Params::default()), true));
+    progs
+}
+
+fn policies() -> [Policy; 2] {
+    [Policy::def2(), Policy::def2_nack()]
+}
+
+fn run_under(
+    prog: &Program,
+    policy: Policy,
+    faults: FaultPlan,
+    seed: u64,
+) -> weakord::coherence::RunResult {
+    let cfg = Config {
+        policy,
+        seed,
+        network: NetModel::General { min: 5, max: 90 },
+        faults,
+        record_trace: true,
+        ..Config::default()
+    };
+    CoherentMachine::new(prog, cfg).run().unwrap_or_else(|e| {
+        panic!("{} under {} fault-seed {:#x}: {e}", prog.name, policy.name(), faults.seed)
+    })
+}
+
+/// Every shipped program × both sync policies × every fault schedule
+/// terminates, and DRF0 programs produce only SC-reachable outcomes
+/// (checked against the exhaustive SC explorer) with Lemma 1 intact.
+#[test]
+fn faulted_runs_of_drf0_programs_stay_inside_the_sc_outcome_set() {
+    let schedules = fault_schedules();
+    assert!(schedules.len() >= 8);
+    for (prog, drf0) in &programs() {
+        let sc_outcomes: Option<BTreeSet<Outcome>> = drf0.then(|| {
+            let sc = explore(&ScMachine, prog, Limits::default());
+            assert!(!sc.truncated, "{}", prog.name);
+            sc.outcomes
+        });
+        for policy in policies() {
+            for (i, &faults) in schedules.iter().enumerate() {
+                let r = run_under(prog, policy, faults, 7 + i as u64);
+                let Some(sc) = &sc_outcomes else { continue };
+                assert!(
+                    sc.contains(&r.outcome),
+                    "{} under {} fault-seed {:#x}: outcome not SC-reachable\n{}",
+                    prog.name,
+                    policy.name(),
+                    faults.seed,
+                    r.outcome
+                );
+                r.check_appears_sc(HbMode::Drf0).unwrap_or_else(|v| {
+                    panic!(
+                        "{} under {} fault-seed {:#x}: {v}",
+                        prog.name,
+                        policy.name(),
+                        faults.seed
+                    )
+                });
+            }
+        }
+    }
+}
+
+/// The layer is provably active: across the grid the machine records
+/// injected drops and duplicate filtering, and under the NACK policy
+/// the sync ping-pong program actually bounces.
+#[test]
+fn fault_injection_and_the_nack_leg_actually_fire() {
+    let faults = FaultPlan::with_rates(env_seed(), 80, 80, 80, 40);
+    let prog = load("nack-livelock.litmus");
+    let mut drops = 0u64;
+    let mut dups = 0u64;
+    let mut nacks = 0u64;
+    for seed in 0..8 {
+        for policy in policies() {
+            let r = run_under(&prog, policy, faults, seed);
+            drops += r.counters.get("fault-drops");
+            dups += r.counters.get("fault-dups-filtered");
+            if policy == Policy::def2_nack() {
+                nacks += r.counters.get("nacks");
+            }
+        }
+    }
+    assert!(drops > 0, "no drops injected across the whole grid");
+    assert!(dups > 0, "no duplicates filtered across the whole grid");
+    assert!(nacks > 0, "the NACK leg never fired on a lock ping-pong");
+}
+
+/// A fault-free run is byte-identical to one with an inert fault plan:
+/// the fault layer draws from its own RNG stream and an inert plan
+/// draws nothing at all.
+#[test]
+fn inert_fault_plan_leaves_runs_unchanged() {
+    for (prog, _) in &programs() {
+        for policy in policies() {
+            let base = run_under(prog, policy, FaultPlan::none(), 3);
+            let inert = run_under(prog, policy, FaultPlan::with_rates(0xDEAD, 0, 0, 0, 0), 3);
+            assert_eq!(base.outcome, inert.outcome, "{}", prog.name);
+            assert_eq!(base.cycles, inert.cycles, "{}", prog.name);
+        }
+    }
+}
+
+/// Exhausting the cycle budget yields a structured [`StallReport`]
+/// naming what every processor is blocked on — never a bare timeout.
+///
+/// [`StallReport`]: weakord::coherence::StallReport
+#[test]
+fn a_timeout_carries_a_stall_report_naming_the_blocked_resource() {
+    let prog = load("mp-handshake.litmus");
+    let cfg = Config {
+        policy: Policy::def2(),
+        seed: 1,
+        network: NetModel::General { min: 20, max: 60 },
+        max_cycles: 30,
+        ..Config::default()
+    };
+    let err = CoherentMachine::new(&prog, cfg).run().expect_err("30 cycles cannot finish");
+    let report = err.stall_report().expect("timeout carries a report");
+    assert_eq!(report.procs.len(), prog.n_procs());
+    assert!(report.blocked().count() > 0, "someone must be blocked:\n{report}");
+    for p in report.blocked() {
+        assert!(
+            !matches!(p.reason, BlockedReason::Running | BlockedReason::Halted),
+            "blocked() returned a non-blocked processor"
+        );
+    }
+    // The rendering names the resource, not just the fact of blocking.
+    let text = err.to_string();
+    assert!(
+        text.contains("waiting-on") || text.contains("in-flight") || text.contains("retrying"),
+        "unhelpful report:\n{text}"
+    );
+}
+
+/// The no-progress watchdog fires long before the cycle budget when
+/// nothing completes, and its report carries the same diagnosis.
+#[test]
+fn the_livelock_watchdog_trips_with_a_structured_report() {
+    let prog = load("mp-handshake.litmus");
+    let cfg = Config {
+        policy: Policy::def2(),
+        seed: 1,
+        network: NetModel::General { min: 50, max: 90 },
+        stall_window: Some(10),
+        ..Config::default()
+    };
+    let err = CoherentMachine::new(&prog, cfg).run().expect_err("the first fill takes ≥50 cycles");
+    match &err {
+        RunError::Stalled { window, report } => {
+            assert_eq!(*window, 10);
+            assert!(report.blocked().count() > 0, "{report}");
+            assert!(report.at.get() <= 100, "watchdog fired far too late: {}", report.at);
+        }
+        other => panic!("expected the watchdog, got {other}"),
+    }
+}

@@ -30,7 +30,7 @@ fn shipped_litmus_files_parse_and_explore() {
         assert_eq!(ex.deadlocks, 0, "{}", path.display());
         assert!(!ex.outcomes.is_empty(), "{}", path.display());
     }
-    assert!(found >= 6, "expected the shipped sample files, found {found}");
+    assert!(found >= 7, "expected the shipped sample files, found {found}");
 }
 
 fn load(file: &str) -> weakord::progs::Program {
@@ -107,8 +107,8 @@ fn coherence_co_holds_on_all_machines() {
 /// The rows tell the paper's story file by file: `dekker` needs only a
 /// write buffer to break; `iriw` additionally needs non-atomic stores
 /// (the cache substrate); `coherence-co` is per-location order, which
-/// every machine serializes; and the three synchronized programs
-/// (`counter`, `lock-handoff`, `mp-handshake`) are kept SC by every
+/// every machine serializes; and the synchronized programs
+/// (`counter`, `lock-handoff`, `mp-handshake`, `nack-livelock`) are kept SC by every
 /// *weakly ordered* machine but break on the unordered `net-reorder`
 /// and `cache-delay` configurations, which honor no synchronization.
 #[test]
@@ -199,8 +199,16 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
             Box::new(move |o| o.reg(1, r1) != Value::new(42)),
             [false, false, true, true, false, false, false, false],
         ),
+        (
+            // Sync ping-pong on `lock` plus a spinning reader: the
+            // protected write must reach the spinner on every machine
+            // that honors synchronization.
+            "nack-livelock.litmus",
+            Box::new(move |o| o.reg(2, r1) != Value::new(42)),
+            [false, false, true, true, false, false, false, false],
+        ),
     ];
-    assert_eq!(rows.len(), 6, "cover every shipped litmus file");
+    assert_eq!(rows.len(), 7, "cover every shipped litmus file");
     for (file, pred, expected) in &rows {
         let prog = load(file);
         for reduce in [false, true] {

@@ -10,7 +10,7 @@
 #![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
-use weakord::coherence::{CoherentMachine, Config, NetModel, Policy, RunResult};
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy, RunResult, SyncPolicy};
 use weakord::core::HbMode;
 use weakord::progs::gen::{race_free, racy, GenParams};
 use weakord::progs::Program;
@@ -21,7 +21,11 @@ fn any_policy() -> impl Strategy<Value = Policy> {
         Just(Policy::Def1),
         Just(Policy::def2()),
         Just(Policy::def2_drf1()),
-        (1u32..4).prop_map(|cap| Policy::Def2 { drf1_refined: false, miss_cap: Some(cap) }),
+        (1u32..4).prop_map(|cap| Policy::Def2 {
+            drf1_refined: false,
+            miss_cap: Some(cap),
+            sync: SyncPolicy::Queue
+        }),
     ]
 }
 

@@ -4,7 +4,7 @@
 //! amounts of time, deadlock can never occur… a blocked processor will
 //! always unblock and termination is guaranteed."
 
-use weakord::coherence::{CoherentMachine, Config, NetModel, Policy};
+use weakord::coherence::{CoherentMachine, Config, NetModel, Policy, SyncPolicy};
 use weakord::progs::workloads::{
     barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts,
     BarrierParams, Fig3Params, PcParams, SpinBroadcastParams, SpinlockParams,
@@ -17,8 +17,8 @@ fn policies() -> Vec<Policy> {
         Policy::Def1,
         Policy::def2(),
         Policy::def2_drf1(),
-        Policy::Def2 { drf1_refined: false, miss_cap: Some(1) },
-        Policy::Def2 { drf1_refined: true, miss_cap: Some(2) },
+        Policy::Def2 { drf1_refined: false, miss_cap: Some(1), sync: SyncPolicy::Queue },
+        Policy::Def2 { drf1_refined: true, miss_cap: Some(2), sync: SyncPolicy::Queue },
     ]
 }
 
