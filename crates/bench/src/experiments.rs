@@ -10,6 +10,7 @@
 //! | E6 | Section 5.3 termination / deadlock freedom | [`e6_termination`] |
 //! | E7 | Ablations (parallel data, miss cap, networks) | [`e7_ablations`] |
 //! | E9 | Fault-injected interconnect & the NACK leg | [`e9_faults`] |
+//! | E10 | Observability: tracer overhead & volume | [`e10_observability`] |
 
 use std::fmt::Write as _;
 
@@ -314,6 +315,7 @@ pub fn e4_figure3() -> Table {
             "cycles",
             "P0 release stall",
             "P1 acquire wait",
+            "P1 wait p95",
             "reserve stalls",
         ],
     );
@@ -355,6 +357,7 @@ pub fn e4_figure3() -> Table {
                 r.cycles.to_string(),
                 p0.to_string(),
                 p1.to_string(),
+                r.proc_stats[1].sync_wait.percentile(95.0).to_string(),
                 r.counters.get("reserve-stalls").to_string(),
             ]);
         }
@@ -780,6 +783,60 @@ pub fn e9_faults(schedules: u64) -> Table {
     t
 }
 
+/// E10 / observability: the tracer must be free when disabled and
+/// faithful when enabled. Each workload runs three times from the same
+/// config — no-op tracer, recording tracer, and a recording tracer with
+/// capture gated off — and the simulated clock must agree exactly
+/// (instrumentation lives outside the timing model).
+pub fn e10_observability() -> Table {
+    use weakord_obs::{chrome_trace, MemTracer};
+    let mut t = Table::new(
+        "E10 · observability — tracer overhead and trace volume",
+        &["workload", "policy", "cycles (off)", "cycles (on)", "events", "chrome bytes"],
+    );
+    let progs: Vec<Program> = vec![
+        fig3_scenario(Fig3Params::default()),
+        spin_broadcast(SpinBroadcastParams::default()),
+        ticket_lock(SpinlockParams::default()),
+    ];
+    let mut identical = true;
+    let mut gated_zero = true;
+    let mut events_nonzero = true;
+    let mut reserve_seen = false;
+    for prog in &progs {
+        for policy in [Policy::def2(), Policy::def2_nack()] {
+            let cfg = Config { policy, seed: 7, ..Config::default() };
+            let off = CoherentMachine::new(prog, cfg).run().expect("untraced run");
+            let (on, tracer) =
+                CoherentMachine::with_tracer(prog, cfg, MemTracer::new()).run_traced();
+            let on = on.expect("traced run");
+            let (gated, silent) =
+                CoherentMachine::with_tracer(prog, cfg, MemTracer::disabled()).run_traced();
+            gated.expect("gated run");
+            identical &= off.cycles == on.cycles && off.outcome == on.outcome;
+            gated_zero &= silent.events().is_empty();
+            let events = tracer.into_events();
+            events_nonzero &= !events.is_empty();
+            reserve_seen |= events.iter().any(|e| e.name == "reserve-set")
+                && events.iter().any(|e| e.name == "counter-dec");
+            let chrome = chrome_trace(&events);
+            t.row(vec![
+                prog.name.clone(),
+                policy.name().to_string(),
+                off.cycles.to_string(),
+                on.cycles.to_string(),
+                events.len().to_string(),
+                chrome.len().to_string(),
+            ]);
+        }
+    }
+    t.check("cycles and outcome identical with the tracer on", identical);
+    t.check("a disabled tracer records zero events (every call site is gated)", gated_zero);
+    t.check("an enabled tracer records events on every workload", events_nonzero);
+    t.check("reserve-bit and counter events appear in the sweep", reserve_seen);
+    t
+}
+
 /// All experiments, in order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -793,6 +850,7 @@ pub fn all() -> Vec<Table> {
         e7_ablations(),
         e8_state_census(),
         e9_faults(6),
+        e10_observability(),
     ]
 }
 

@@ -312,6 +312,15 @@ impl CacheCtl {
         self.reserved.contains_key(&loc)
     }
 
+    /// The currently reserved lines, sorted (for tracing: the machine
+    /// diffs this snapshot around a message delivery to emit
+    /// reserve-set/reserve-clear events deterministically).
+    pub fn reserved_lines(&self) -> Vec<Loc> {
+        let mut v: Vec<Loc> = self.reserved.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Returns `true` if a transaction (fill or eviction) is outstanding
     /// on `loc`.
     pub fn line_busy(&self, loc: Loc) -> bool {

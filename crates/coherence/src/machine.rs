@@ -14,6 +14,7 @@ use std::fmt;
 use weakord_core::{
     check_appears_sc, HbMode, IdealizedExecution, Loc, MemOp, OpId, ProcId, ScViolation, Value,
 };
+use weakord_obs::{Event, MetricsRegistry, NoopTracer, Tracer, Track};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent};
 use weakord_sim::{
     Counters, Cycle, EventQueue, FaultPlan, GeneralNet, Interconnect, NodeId, SimRng,
@@ -231,7 +232,7 @@ impl fmt::Display for BlockedReason {
 }
 
 /// One processor's entry in a [`StallReport`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcReport {
     /// The processor.
     pub proc: ProcId,
@@ -241,6 +242,9 @@ pub struct ProcReport {
     pub since: Option<Cycle>,
     /// The stall-accounting cause of the current wait, if any.
     pub cause: Option<StallCause>,
+    /// The last few trace events on this processor's timeline before
+    /// the snapshot, oldest first — empty unless the run was traced.
+    pub history: Vec<Event>,
 }
 
 /// A structured livelock/stall snapshot: every processor's
@@ -278,6 +282,9 @@ impl fmt::Display for StallReport {
                 write!(f, " [{}]", cause.name())?;
             }
             writeln!(f)?;
+            for ev in &p.history {
+                writeln!(f, "    {ev}")?;
+            }
         }
         Ok(())
     }
@@ -431,6 +438,44 @@ impl RunResult {
         v
     }
 
+    /// Folds every statistic of the run into one namespaced
+    /// [`MetricsRegistry`]: the global message/fault counters under
+    /// `coherence.*`, per-processor stalls/ops/misses under
+    /// `coherence.p<i>.*` (with sync-wait percentiles), and per-line
+    /// protocol traffic under `coherence.loc<l>.*`. This is the unified
+    /// facade the CLI's `--metrics` flag and `stats` subcommand print.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("coherence.cycles", self.cycles as f64);
+        self.counters.export("coherence", &mut reg);
+        for (p, st) in self.proc_stats.iter().enumerate() {
+            let ns = format!("coherence.p{p}");
+            reg.counter(format!("{ns}.ops"), st.ops);
+            reg.counter(format!("{ns}.misses"), st.misses);
+            reg.counter(format!("{ns}.nack-retries"), st.nack_retries);
+            for cause in StallCause::ALL {
+                let cycles = st.stall(cause);
+                if cycles > 0 {
+                    reg.counter(format!("{ns}.stall.{}", cause.name()), cycles);
+                }
+            }
+            if st.sync_wait.count() > 0 {
+                st.sync_wait.export(&format!("{ns}.sync-wait"), &mut reg);
+            }
+        }
+        for (l, st) in self.loc_stats.iter().enumerate() {
+            if st.total() == 0 {
+                continue;
+            }
+            let ns = format!("coherence.loc{l}");
+            reg.counter(format!("{ns}.getx"), st.getx);
+            reg.counter(format!("{ns}.gets"), st.gets);
+            reg.counter(format!("{ns}.invs"), st.invs);
+            reg.counter(format!("{ns}.transfers"), st.transfers);
+        }
+        reg
+    }
+
     /// Checks the observed execution against the Lemma 1 appears-SC
     /// criterion (requires `record_trace`).
     ///
@@ -459,8 +504,14 @@ enum Ev {
 }
 
 /// The simulated multiprocessor.
+///
+/// Generic over the [`Tracer`] sink: the default [`NoopTracer`]
+/// monomorphizes every instrumentation site to nothing (the overhead
+/// test at the workspace root pins the no-op path to zero extra heap
+/// allocations), while [`weakord_obs::MemTracer`] captures the full
+/// causally-ordered event timeline for the exporters.
 #[derive(Debug)]
-pub struct CoherentMachine<'p> {
+pub struct CoherentMachine<'p, T: Tracer = NoopTracer> {
     prog: &'p Program,
     config: Config,
     cores: Vec<Core>,
@@ -491,11 +542,21 @@ pub struct CoherentMachine<'p> {
     po_counter: Vec<u32>,
     trace: Vec<TraceOp>,
     commit_seq: u64,
+    tracer: T,
 }
 
 impl<'p> CoherentMachine<'p> {
-    /// Builds a machine for `prog` under `config`.
+    /// Builds a machine for `prog` under `config` with tracing off
+    /// (the zero-cost [`NoopTracer`]).
     pub fn new(prog: &'p Program, config: Config) -> Self {
+        Self::with_tracer(prog, config, NoopTracer)
+    }
+}
+
+impl<'p, T: Tracer> CoherentMachine<'p, T> {
+    /// Builds a machine for `prog` under `config` recording trace
+    /// events into `tracer`.
+    pub fn with_tracer(prog: &'p Program, config: Config, tracer: T) -> Self {
         let n = prog.n_procs();
         // One spare (cold) cache when a migration is planned.
         let n_caches = n + usize::from(config.migration.is_some());
@@ -544,12 +605,71 @@ impl<'p> CoherentMachine<'p> {
             po_counter: vec![0; n],
             trace: Vec::new(),
             commit_seq: 0,
+            tracer,
         }
     }
 
     /// The bank responsible for a line (round-robin interleaving).
     fn bank_of(&self, loc: Loc) -> usize {
         (loc.raw() % self.config.memory_banks) as usize
+    }
+
+    /// The trace track of an interconnect node (caches first, then
+    /// directory banks — the same numbering as [`NodeId`]).
+    fn node_track(&self, node: NodeId) -> Track {
+        let i = node.index();
+        if i < self.caches.len() {
+            Track::Proc(i as u16)
+        } else {
+            Track::Dir((i - self.caches.len()) as u16)
+        }
+    }
+
+    /// Snapshot of a cache's tracer-visible state (outstanding-access
+    /// counter + reserved lines). Only taken when tracing is enabled.
+    fn obs_snapshot(&self, cache: usize) -> (u32, Vec<Loc>) {
+        (self.caches[cache].counter(), self.caches[cache].reserved_lines())
+    }
+
+    /// Diffs a cache's state against a pre-handler snapshot and emits
+    /// the Section 5.3 bookkeeping events: counter-inc/counter-dec on
+    /// the processor's track (plus a sampled `outstanding` counter
+    /// series) and reserve-set/reserve-clear on the line's track.
+    fn trace_cache_diff(&mut self, cache: usize, before: &(u32, Vec<Loc>)) {
+        let now = self.queue.now().get();
+        let proc = Track::Proc(cache as u16);
+        let (ctr_before, res_before) = before;
+        let ctr_after = self.caches[cache].counter();
+        if ctr_after != *ctr_before {
+            let name = if ctr_after > *ctr_before { "counter-inc" } else { "counter-dec" };
+            self.tracer.record(
+                Event::instant(now, proc, "cache", name).arg("counter", i64::from(ctr_after)),
+            );
+            self.tracer.record(Event::counter(
+                now,
+                proc,
+                "cache",
+                "outstanding",
+                i64::from(ctr_after),
+            ));
+        }
+        let res_after = self.caches[cache].reserved_lines();
+        for loc in &res_after {
+            if !res_before.contains(loc) {
+                self.tracer.record(
+                    Event::instant(now, Track::Line(loc.raw()), "cache", "reserve-set")
+                        .arg("proc", cache as i64),
+                );
+            }
+        }
+        for loc in res_before {
+            if !res_after.contains(loc) {
+                self.tracer.record(
+                    Event::instant(now, Track::Line(loc.raw()), "cache", "reserve-clear")
+                        .arg("proc", cache as i64),
+                );
+            }
+        }
     }
 
     fn dir_node(&self, bank: usize) -> NodeId {
@@ -594,6 +714,37 @@ impl<'p> CoherentMachine<'p> {
         if d.reordered {
             self.counters.incr("fault-reorders");
         }
+        if self.tracer.enabled() {
+            // The message lifetime span (send → deliver) lands on the
+            // *destination* track: the viewer reads each timeline as
+            // "what is arriving here".
+            let now = self.queue.now().get();
+            let track = self.node_track(dst);
+            self.tracer.record(
+                Event::span(now, d.delay, track, "net", msg.kind_name())
+                    .arg("loc", i64::from(msg.loc().raw()))
+                    .arg("src", src.index() as i64),
+            );
+            for _ in 0..d.drops {
+                self.tracer.record(
+                    Event::instant(now, track, "fault", "drop")
+                        .arg("loc", i64::from(msg.loc().raw())),
+                );
+            }
+            if d.spiked {
+                self.tracer.record(
+                    Event::instant(now, track, "fault", "spike").arg("delay", d.delay as i64),
+                );
+            }
+            if d.reordered {
+                self.tracer.record(Event::instant(now, track, "fault", "reorder"));
+            }
+            if let Some(dup_delay) = d.duplicate_delay {
+                self.tracer.record(
+                    Event::instant(now, track, "fault", "dup").arg("delay", dup_delay as i64),
+                );
+            }
+        }
         match d.duplicate_delay {
             Some(dup_delay) => {
                 self.counters.incr("fault-dups");
@@ -617,6 +768,10 @@ impl<'p> CoherentMachine<'p> {
             true
         } else {
             self.counters.incr("fault-dups-filtered");
+            if self.tracer.enabled() {
+                let now = self.queue.now().get();
+                self.tracer.record(Event::instant(now, Track::Global, "fault", "dup-filtered"));
+            }
             false
         }
     }
@@ -683,6 +838,22 @@ impl<'p> CoherentMachine<'p> {
 
     fn process_notices(&mut self, cache: usize, notices: Vec<Notice>) {
         for notice in notices {
+            if self.tracer.enabled() {
+                let now = self.queue.now().get();
+                let (name, loc) = match notice {
+                    Notice::Value { loc, .. } => ("value", Some(loc)),
+                    Notice::Commit { loc, .. } => ("commit", Some(loc)),
+                    Notice::Performed { loc } => ("performed", Some(loc)),
+                    Notice::CounterZero => ("counter-zero", None),
+                    Notice::LineFree { loc } => ("line-free", Some(loc)),
+                    Notice::Nacked { loc } => ("nack", Some(loc)),
+                };
+                let mut ev = Event::instant(now, Track::Proc(cache as u16), "notice", name);
+                if let Some(loc) = loc {
+                    ev = ev.arg("loc", i64::from(loc.raw()));
+                }
+                self.tracer.record(ev);
+            }
             // Trace recording first: completion of issued misses.
             match notice {
                 Notice::Value { loc, value, version } => {
@@ -706,6 +877,18 @@ impl<'p> CoherentMachine<'p> {
                         let params = self.config.policy.nack_params().unwrap_or_default();
                         let now = self.queue.now();
                         if let Some(delay) = self.cores[t].on_nack(loc, &params, now) {
+                            if self.tracer.enabled() {
+                                self.tracer.record(
+                                    Event::instant(
+                                        now.get(),
+                                        Track::Proc(cache as u16),
+                                        "core",
+                                        "backoff",
+                                    )
+                                    .arg("loc", i64::from(loc.raw()))
+                                    .arg("delay", delay as i64),
+                                );
+                            }
                             // The retry tick lands exactly at the end of
                             // the backoff window.
                             self.queue.schedule_in(delay.max(1), Ev::Tick(t));
@@ -750,7 +933,30 @@ impl<'p> CoherentMachine<'p> {
         self.cache_of[p] = target;
         self.migrating = None;
         self.counters.incr("migrations");
+        if self.tracer.enabled() {
+            self.tracer.record(
+                Event::instant(now.get(), Track::Proc(old as u16), "core", "migrate-out")
+                    .arg("to", target as i64),
+            );
+            self.tracer.record(
+                Event::instant(now.get(), Track::Proc(target as u16), "core", "migrate-in")
+                    .arg("from", old as i64),
+            );
+        }
         true
+    }
+
+    /// Emits a stall instant on `p`'s track, named after the cause.
+    fn trace_stall(&mut self, p: usize, cause: StallCause, loc: Option<Loc>) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let now = self.queue.now().get();
+        let mut ev = Event::instant(now, Track::Proc(p as u16), "stall", cause.name());
+        if let Some(loc) = loc {
+            ev = ev.arg("loc", i64::from(loc.raw()));
+        }
+        self.tracer.record(ev);
     }
 
     fn tick(&mut self, p: usize) {
@@ -774,6 +980,14 @@ impl<'p> CoherentMachine<'p> {
             ThreadEvent::Halted => {
                 self.last_progress = now;
                 self.cores[p].set_halted(now);
+                if self.tracer.enabled() {
+                    self.tracer.record(Event::instant(
+                        now.get(),
+                        Track::Proc(p as u16),
+                        "core",
+                        "halt",
+                    ));
+                }
             }
             ThreadEvent::Delay(c) => {
                 self.cores[p].ts.complete(thread, None);
@@ -783,12 +997,36 @@ impl<'p> CoherentMachine<'p> {
                 // Definition 1's issuer gate.
                 let cache = self.cache_of[p];
                 if self.config.policy.gate_on_counter(&access) && self.caches[cache].counter() > 0 {
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            Event::instant(now.get(), Track::Proc(p as u16), "stall", "sync-gate")
+                                .arg("counter", i64::from(self.caches[cache].counter()))
+                                .arg("loc", i64::from(access.loc().raw())),
+                        );
+                    }
                     self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::SyncGate, now);
                     return;
                 }
+                let traced = self.tracer.enabled();
+                let snap = if traced { Some(self.obs_snapshot(cache)) } else { None };
                 let mut out = Vec::new();
                 let mut notices = Vec::new();
                 let outcome = self.caches[cache].issue(&access, &mut out, &mut notices);
+                if let Some(snap) = &snap {
+                    let name = match outcome {
+                        IssueOutcome::Hit { .. } => "hit",
+                        IssueOutcome::MissStarted => "miss",
+                        IssueOutcome::BlockedSameLine
+                        | IssueOutcome::BlockedMissCap
+                        | IssueOutcome::BlockedCapacity => "blocked",
+                    };
+                    self.tracer.record(
+                        Event::instant(now.get(), Track::Proc(p as u16), "core", name)
+                            .arg("loc", i64::from(access.loc().raw()))
+                            .arg("sync", i64::from(access.is_sync())),
+                    );
+                    self.trace_cache_diff(cache, snap);
+                }
                 self.route_cache_out(cache, out);
                 debug_assert!(notices.is_empty(), "issue produced notices");
                 match outcome {
@@ -831,9 +1069,11 @@ impl<'p> CoherentMachine<'p> {
                             }
                         };
                         let cause = stall_cause(&kind, &access);
+                        self.trace_stall(p, cause, Some(access.loc()));
                         self.cores[p].begin_wait(kind, cause, now);
                     }
                     IssueOutcome::BlockedSameLine => {
+                        self.trace_stall(p, StallCause::SameLine, Some(access.loc()));
                         self.cores[p].begin_wait(
                             WaitKind::LineFree(access.loc()),
                             StallCause::SameLine,
@@ -841,9 +1081,11 @@ impl<'p> CoherentMachine<'p> {
                         );
                     }
                     IssueOutcome::BlockedMissCap => {
+                        self.trace_stall(p, StallCause::MissCap, Some(access.loc()));
                         self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::MissCap, now);
                     }
                     IssueOutcome::BlockedCapacity => {
+                        self.trace_stall(p, StallCause::Capacity, Some(access.loc()));
                         self.cores[p].begin_wait(WaitKind::Capacity, StallCause::Capacity, now);
                     }
                 }
@@ -858,7 +1100,15 @@ impl<'p> CoherentMachine<'p> {
     /// [`RunError::Timeout`] if the cycle budget is exhausted,
     /// [`RunError::Deadlock`] if the system wedges (which the paper — and
     /// our test suite — says must not happen).
-    pub fn run(mut self) -> Result<RunResult, RunError> {
+    pub fn run(self) -> Result<RunResult, RunError> {
+        self.run_traced().0
+    }
+
+    /// Runs the program to completion and hands the tracer back so the
+    /// caller can export the captured event timeline. On a failed run
+    /// the tracer still carries everything up to the abort — which is
+    /// exactly what a livelock diagnosis wants.
+    pub fn run_traced(mut self) -> (Result<RunResult, RunError>, T) {
         for p in 0..self.prog.n_procs() {
             self.queue.schedule_at(Cycle::ZERO, Ev::Tick(p));
         }
@@ -867,10 +1117,9 @@ impl<'p> CoherentMachine<'p> {
         }
         while let Some((at, ev)) = self.queue.pop() {
             if at.get() > self.config.max_cycles {
-                return Err(RunError::Timeout {
-                    max_cycles: self.config.max_cycles,
-                    report: Box::new(self.build_stall_report()),
-                });
+                let report = Box::new(self.build_stall_report());
+                let err = RunError::Timeout { max_cycles: self.config.max_cycles, report };
+                return (Err(err), self.tracer);
             }
             // Livelock watchdog: deliveries alone are not progress — a
             // NACK/retry storm keeps the event queue busy forever while
@@ -879,10 +1128,14 @@ impl<'p> CoherentMachine<'p> {
             // a structured snapshot instead of burning the full budget.
             if let Some(w) = self.config.stall_window {
                 if at.since(self.last_progress) > w {
-                    return Err(RunError::Stalled {
-                        window: w,
-                        report: Box::new(self.build_stall_report()),
-                    });
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            Event::instant(at.get(), Track::Global, "core", "watchdog")
+                                .arg("window", w as i64),
+                        );
+                    }
+                    let report = Box::new(self.build_stall_report());
+                    return (Err(RunError::Stalled { window: w, report }), self.tracer);
                 }
             }
             match ev {
@@ -904,6 +1157,17 @@ impl<'p> CoherentMachine<'p> {
                     if !self.dup_passes(tag) {
                         continue;
                     }
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            Event::instant(
+                                at.get(),
+                                Track::Dir(bank as u16),
+                                "dir",
+                                msg.kind_name(),
+                            )
+                            .arg("loc", i64::from(msg.loc().raw())),
+                        );
+                    }
                     let mut out = Vec::new();
                     self.dirs[bank].handle(msg, &mut out);
                     for (to, m) in out {
@@ -914,9 +1178,27 @@ impl<'p> CoherentMachine<'p> {
                     if !self.dup_passes(tag) {
                         continue;
                     }
+                    let traced = self.tracer.enabled();
+                    let snap = if traced {
+                        self.tracer.record(
+                            Event::instant(
+                                at.get(),
+                                Track::Proc(p as u16),
+                                "cache",
+                                msg.kind_name(),
+                            )
+                            .arg("loc", i64::from(msg.loc().raw())),
+                        );
+                        Some(self.obs_snapshot(p))
+                    } else {
+                        None
+                    };
                     let mut out = Vec::new();
                     let mut notices = Vec::new();
                     self.caches[p].handle(msg, &mut out, &mut notices);
+                    if let Some(snap) = &snap {
+                        self.trace_cache_diff(p, snap);
+                    }
                     self.route_cache_out(p, out);
                     self.process_notices(p, notices);
                 }
@@ -925,29 +1207,38 @@ impl<'p> CoherentMachine<'p> {
         let stuck: Vec<ProcId> =
             self.cores.iter().filter(|c| !c.is_halted()).map(|c| c.proc).collect();
         if !stuck.is_empty() {
-            return Err(RunError::Deadlock { at: self.queue.now(), stuck });
+            return (Err(RunError::Deadlock { at: self.queue.now(), stuck }), self.tracer);
         }
         debug_assert!(
             self.dirs.iter().all(crate::directory::Directory::is_quiescent),
             "drained queue with busy directory"
         );
         debug_assert!(self.caches.iter().all(|c| c.counter() == 0));
-        Ok(self.finish())
+        let (result, tracer) = self.finish();
+        (Ok(result), tracer)
     }
 
     /// Diagnoses what every processor is blocked on right now — the
     /// structured replacement for staring at a bare timeout.
     fn build_stall_report(&self) -> StallReport {
+        // Last-K-events window per processor: with a recording tracer
+        // the report shows what each blocked core was doing right
+        // before the watchdog fired; with the no-op tracer the windows
+        // are empty and the report is the same structured snapshot as
+        // before.
+        const HISTORY_K: usize = 12;
         let procs = (0..self.prog.n_procs())
             .map(|p| {
                 let core = &self.cores[p];
                 let proc = ProcId::new(p as u16);
+                let history = self.tracer.recent(Track::Proc(p as u16), HISTORY_K);
                 if core.is_halted() {
                     return ProcReport {
                         proc,
                         reason: BlockedReason::Halted,
                         since: None,
                         cause: None,
+                        history,
                     };
                 }
                 // A NACK/retry cycle in progress outranks the wait kind:
@@ -960,6 +1251,7 @@ impl<'p> CoherentMachine<'p> {
                             reason: BlockedReason::RetryingNackedSync { loc, retries },
                             since: None,
                             cause: Some(StallCause::NackRetry),
+                            history,
                         };
                     }
                 }
@@ -969,6 +1261,7 @@ impl<'p> CoherentMachine<'p> {
                         reason: BlockedReason::Running,
                         since: None,
                         cause: None,
+                        history,
                     };
                 };
                 let reason = match kind {
@@ -995,13 +1288,13 @@ impl<'p> CoherentMachine<'p> {
                     WaitKind::LineFree(loc) => BlockedReason::WaitingOnLine { loc },
                     WaitKind::Capacity => BlockedReason::WaitingOnCapacity,
                 };
-                ProcReport { proc, reason, since: Some(since), cause: Some(cause) }
+                ProcReport { proc, reason, since: Some(since), cause: Some(cause), history }
             })
             .collect();
         StallReport { at: self.queue.now(), procs, pending_events: self.queue.len() }
     }
 
-    fn finish(mut self) -> RunResult {
+    fn finish(mut self) -> (RunResult, T) {
         let memory: Vec<Value> = (0..self.prog.n_locs)
             .map(|l| {
                 let loc = Loc::new(l);
@@ -1024,14 +1317,15 @@ impl<'p> CoherentMachine<'p> {
         let cycles =
             self.cores.iter().filter_map(|c| c.stats.halted_at).map(Cycle::get).max().unwrap_or(0);
         let execution = self.config.record_trace.then(|| build_execution(self.prog, &self.trace));
-        RunResult {
+        let result = RunResult {
             outcome,
             cycles,
             proc_stats: self.cores.into_iter().map(|c| c.stats).collect(),
             counters: self.counters,
             loc_stats: self.loc_stats,
             execution,
-        }
+        };
+        (result, self.tracer)
     }
 }
 

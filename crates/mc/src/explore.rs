@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use weakord_obs::{Event, MetricsRegistry, Tracer, Track};
 use weakord_progs::{Outcome, Program};
 
 use crate::fxhash::{fingerprint, FxBuildHasher};
@@ -148,6 +149,11 @@ pub struct ExplorationStats {
     pub pruned_arcs: u64,
     /// Why the exploration stopped early, if it did.
     pub truncation: Option<TruncationReason>,
+    /// Final visited-set size per shard (parallel engine only; `None`
+    /// for the single-set sequential searches). Shard balance is the
+    /// load-balance signal: a skewed fingerprint would show up here as
+    /// one hot shard.
+    pub shard_states: Option<[usize; N_SHARDS]>,
 }
 
 impl ExplorationStats {
@@ -182,6 +188,60 @@ impl ExplorationStats {
             self.pruned_arcs as f64 / total as f64
         } else {
             0.0
+        }
+    }
+
+    /// Folds the exploration diagnostics into `reg` under the `ns.`
+    /// prefix: state/arc/steal tallies as counters, rates and durations
+    /// as gauges, and (for the parallel engine) per-shard visited-set
+    /// sizes plus their max/min balance.
+    pub fn export_metrics(&self, ns: &str, reg: &mut MetricsRegistry) {
+        reg.counter(format!("{ns}.states"), self.distinct_states as u64);
+        reg.counter(format!("{ns}.dedup-hits"), self.dedup_hits);
+        reg.counter(format!("{ns}.dedup-probes"), self.dedup_probes);
+        reg.counter(format!("{ns}.pruned-arcs"), self.pruned_arcs);
+        reg.counter(format!("{ns}.steals"), self.steals);
+        reg.counter(format!("{ns}.peak-frontier"), self.peak_frontier as u64);
+        reg.counter(format!("{ns}.threads"), self.threads as u64);
+        reg.counter(format!("{ns}.truncated"), u64::from(self.truncation.is_some()));
+        reg.gauge(format!("{ns}.duration-ms"), self.duration.as_secs_f64() * 1e3);
+        reg.gauge(format!("{ns}.dedup-hit-rate"), self.dedup_hit_rate());
+        reg.gauge(format!("{ns}.reduction-ratio"), self.reduction_ratio());
+        let sps = self.states_per_sec();
+        if sps.is_finite() {
+            reg.gauge(format!("{ns}.states-per-sec"), sps);
+        }
+        if let Some(shards) = &self.shard_states {
+            reg.counter(format!("{ns}.shard-max"), *shards.iter().max().unwrap_or(&0) as u64);
+            reg.counter(format!("{ns}.shard-min"), *shards.iter().min().unwrap_or(&0) as u64);
+            for (s, n) in shards.iter().enumerate() {
+                if *n > 0 {
+                    reg.counter(format!("{ns}.shard{s}.states"), *n as u64);
+                }
+            }
+        }
+    }
+
+    /// Emits the per-shard visited-set sizes as counter samples on the
+    /// explorer's shard tracks at timestamp `at` (the Chrome exporter
+    /// renders one track per shard under the "explorer" process).
+    pub fn trace_shards(&self, at: u64, tracer: &mut impl Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        let Some(shards) = &self.shard_states else {
+            return;
+        };
+        for (s, n) in shards.iter().enumerate() {
+            if *n > 0 {
+                tracer.record(Event::counter(
+                    at,
+                    Track::Shard(s as u16),
+                    "mc",
+                    "states",
+                    *n as i64,
+                ));
+            }
         }
     }
 }
@@ -289,6 +349,15 @@ impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
     fn shard_of(&self, fp: u64) -> &Mutex<HashSet<S, FxBuildHasher>> {
         debug_assert!(N_SHARDS.is_power_of_two());
         &self.shards[(fp >> (64 - N_SHARDS.trailing_zeros())) as usize]
+    }
+
+    /// Final per-shard sizes (taken once the workers have quiesced).
+    fn shard_sizes(&self) -> [usize; N_SHARDS] {
+        let mut sizes = [0usize; N_SHARDS];
+        for (i, shard) in self.shards.iter().enumerate() {
+            sizes[i] = shard.lock().expect("shard poisoned").len();
+        }
+        sizes
     }
 
     /// Inserts the initial state unconditionally (mirrors the DFS,
@@ -526,6 +595,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             steals: self.steals.load(Ordering::Relaxed),
             pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
             truncation,
+            shard_states: Some(self.visited.shard_sizes()),
         };
         Exploration {
             outcomes,
@@ -634,6 +704,7 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
         steals: 0,
         pruned_arcs,
         truncation,
+        shard_states: None,
     };
     Exploration {
         outcomes,

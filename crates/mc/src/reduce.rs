@@ -475,6 +475,7 @@ pub fn explore_reduced<M: Machine>(machine: &M, prog: &Program, limits: Limits) 
         steals: 0,
         pruned_arcs,
         truncation,
+        shard_states: None,
     };
     Exploration {
         outcomes,

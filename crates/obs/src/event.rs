@@ -1,0 +1,160 @@
+//! The event model: what one timeline entry is.
+//!
+//! Events are `Copy` and carry no heap data — two fixed numeric
+//! argument slots with `&'static str` names — so recording one is a
+//! handful of stores and *constructing* one on a disabled tracer path
+//! costs nothing the optimizer cannot remove.
+
+use std::fmt;
+
+/// Which timeline an event belongs to. The Chrome exporter renders one
+/// track per variant instance (one per processor, one per directory
+/// bank, one per memory line, one per explorer shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// A processor (core + cache controller) timeline.
+    Proc(u16),
+    /// A directory / memory-bank timeline.
+    Dir(u16),
+    /// A memory line's timeline (reserve-bit history, ownership moves).
+    Line(u32),
+    /// A model-checker worker/shard timeline.
+    Shard(u16),
+    /// Machine-global events (watchdog, run boundaries).
+    Global,
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Track::Proc(p) => write!(f, "P{p}"),
+            Track::Dir(b) => write!(f, "dir{b}"),
+            Track::Line(l) => write!(f, "line{l}"),
+            Track::Shard(s) => write!(f, "shard{s}"),
+            Track::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// The temporal shape of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A point event at [`Event::at`].
+    Instant,
+    /// A span of `dur` cycles starting at [`Event::at`] (message
+    /// lifetimes: send → deliver).
+    Complete {
+        /// Span length in cycles.
+        dur: u64,
+    },
+    /// A sampled counter value (rendered as a graph track in Perfetto —
+    /// the per-processor outstanding-access counter uses this).
+    Counter {
+        /// The counter reading at [`Event::at`].
+        value: i64,
+    },
+}
+
+/// One timestamped, track-attributed trace event.
+///
+/// `cat` groups events by subsystem (`"net"`, `"fault"`, `"cache"`,
+/// `"dir"`, `"core"`, `"mc"`); `name` is the specific event. Up to two
+/// numeric arguments ride along; a slot with an empty name is unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in simulation cycles (explorer events use their own
+    /// discrete progress counter).
+    pub at: u64,
+    /// The timeline this event belongs to.
+    pub track: Track,
+    /// Instant, span, or counter sample.
+    pub phase: Phase,
+    /// Subsystem category.
+    pub cat: &'static str,
+    /// Event name.
+    pub name: &'static str,
+    /// Two optional numeric arguments; `("", _)` marks an unused slot.
+    pub args: [(&'static str, i64); 2],
+}
+
+impl Event {
+    /// A point event.
+    pub fn instant(at: u64, track: Track, cat: &'static str, name: &'static str) -> Self {
+        Event { at, track, phase: Phase::Instant, cat, name, args: [("", 0), ("", 0)] }
+    }
+
+    /// A span of `dur` cycles starting at `at`.
+    pub fn span(at: u64, dur: u64, track: Track, cat: &'static str, name: &'static str) -> Self {
+        Event { at, track, phase: Phase::Complete { dur }, cat, name, args: [("", 0), ("", 0)] }
+    }
+
+    /// A counter sample.
+    pub fn counter(
+        at: u64,
+        track: Track,
+        cat: &'static str,
+        name: &'static str,
+        value: i64,
+    ) -> Self {
+        Event { at, track, phase: Phase::Counter { value }, cat, name, args: [("", 0), ("", 0)] }
+    }
+
+    /// Attaches a numeric argument (first free slot; a third argument is
+    /// silently dropped — events are fixed-size by design).
+    #[must_use]
+    pub fn arg(mut self, name: &'static str, value: i64) -> Self {
+        for slot in &mut self.args {
+            if slot.0.is_empty() {
+                *slot = (name, value);
+                return self;
+            }
+        }
+        self
+    }
+
+    /// Iterates over the used argument slots.
+    pub fn used_args(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.args.iter().copied().filter(|(n, _)| !n.is_empty())
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:<7} {}:{}", self.at, self.track.to_string(), self.cat, self.name)?;
+        if let Phase::Complete { dur } = self.phase {
+            write!(f, " dur={dur}")?;
+        }
+        if let Phase::Counter { value } = self.phase {
+            write!(f, " value={value}")?;
+        }
+        for (n, v) in self.used_args() {
+            write!(f, " {n}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_fill_in_order_and_overflow_is_dropped() {
+        let e = Event::instant(3, Track::Proc(1), "cache", "commit")
+            .arg("loc", 4)
+            .arg("value", 7)
+            .arg("dropped", 9);
+        let used: Vec<_> = e.used_args().collect();
+        assert_eq!(used, vec![("loc", 4), ("value", 7)]);
+    }
+
+    #[test]
+    fn display_names_the_track_and_args() {
+        let e = Event::span(10, 25, Track::Dir(0), "net", "GetX").arg("loc", 1);
+        let s = e.to_string();
+        assert!(s.contains("dir0"), "{s}");
+        assert!(s.contains("net:GetX"), "{s}");
+        assert!(s.contains("dur=25"), "{s}");
+        assert!(s.contains("loc=1"), "{s}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Exporters: Chrome `trace_event` JSON (loadable in Perfetto /
+//! `chrome://tracing`), line-delimited JSONL, and the track → pid/tid
+//! mapping shared by both.
+//!
+//! Both exporters are **byte-deterministic**: the same event slice
+//! always yields the same string, which is what the trace determinism
+//! tests diff.
+
+use crate::event::{Event, Phase, Track};
+use crate::json::{self, escape, Json};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Process IDs in the Chrome trace: each event category of tracks
+/// becomes one "process" so Perfetto groups related timelines.
+const PID_MACHINE: u64 = 0; // processor tracks
+const PID_DIRECTORY: u64 = 1; // directory-bank tracks
+const PID_LINES: u64 = 2; // per-memory-line tracks
+const PID_EXPLORER: u64 = 3; // model-checker shard tracks
+const PID_GLOBAL: u64 = 4; // machine-global track
+
+/// Maps a [`Track`] onto a Chrome `(pid, tid)` pair.
+pub fn track_ids(track: Track) -> (u64, u64) {
+    match track {
+        Track::Proc(p) => (PID_MACHINE, p as u64),
+        Track::Dir(b) => (PID_DIRECTORY, b as u64),
+        Track::Line(l) => (PID_LINES, l as u64),
+        Track::Shard(s) => (PID_EXPLORER, s as u64),
+        Track::Global => (PID_GLOBAL, 0),
+    }
+}
+
+fn process_name(pid: u64) -> &'static str {
+    match pid {
+        PID_MACHINE => "machine",
+        PID_DIRECTORY => "directory",
+        PID_LINES => "lines",
+        PID_EXPLORER => "explorer",
+        _ => "global",
+    }
+}
+
+fn write_args(out: &mut String, ev: &Event) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    for (name, value) in ev.used_args() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(name), value);
+    }
+    out.push('}');
+}
+
+/// Renders events as a Chrome `trace_event` JSON document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ns"}`. Timestamps are
+/// simulation cycles emitted directly as microseconds (1 cycle = 1 µs
+/// on the viewer's axis). Metadata events name each process and
+/// thread so the viewer shows `P0`, `dir0`, `line0`, … instead of bare
+/// ids.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |piece: &str, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(piece);
+    };
+
+    // Metadata first: one process_name per pid in use, one thread_name
+    // per (pid, tid). Tracks are collected in sorted order so output is
+    // stable regardless of event order.
+    let tracks: BTreeSet<Track> = events.iter().map(|e| e.track).collect();
+    let pids: BTreeSet<u64> = tracks.iter().map(|t| track_ids(*t).0).collect();
+    for pid in &pids {
+        let piece = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            process_name(*pid)
+        );
+        emit(&piece, &mut first);
+    }
+    for track in &tracks {
+        let (pid, tid) = track_ids(*track);
+        let piece = format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(&track.to_string())
+        );
+        emit(&piece, &mut first);
+    }
+
+    for ev in events {
+        let (pid, tid) = track_ids(ev.track);
+        let mut piece = String::with_capacity(96);
+        let _ = write!(
+            piece,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},",
+            escape(ev.name),
+            escape(ev.cat),
+            ev.at
+        );
+        match ev.phase {
+            Phase::Instant => piece.push_str("\"ph\":\"i\",\"s\":\"t\","),
+            Phase::Complete { dur } => {
+                let _ = write!(piece, "\"ph\":\"X\",\"dur\":{dur},");
+            }
+            Phase::Counter { value } => {
+                // Counter events carry the sample in args; the name keys
+                // the counter series.
+                let _ =
+                    write!(piece, "\"ph\":\"C\",\"args\":{{\"{}\":{value}}}}}", escape(ev.name));
+                emit(&piece, &mut first);
+                continue;
+            }
+        }
+        write_args(&mut piece, ev);
+        piece.push('}');
+        emit(&piece, &mut first);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Renders events as JSONL: one self-contained JSON object per line,
+/// in record order. This is the machine-diffable format the trace
+/// determinism tests compare byte-for-byte.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"at\":{},\"track\":\"{}\",\"ph\":\"{}\",\"cat\":\"{}\",\"name\":\"{}\"",
+            ev.at,
+            escape(&ev.track.to_string()),
+            match ev.phase {
+                Phase::Instant => "i",
+                Phase::Complete { .. } => "X",
+                Phase::Counter { .. } => "C",
+            },
+            escape(ev.cat),
+            escape(ev.name)
+        );
+        if let Phase::Complete { dur } = ev.phase {
+            let _ = write!(out, ",\"dur\":{dur}");
+        }
+        if let Phase::Counter { value } = ev.phase {
+            let _ = write!(out, ",\"value\":{value}");
+        }
+        out.push(',');
+        write_args(&mut out, ev);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Validates that `doc` is a structurally well-formed Chrome
+/// `trace_event` document: parses as JSON, has a `traceEvents` array,
+/// and every entry carries `name`/`ph`/`pid`/`tid` (plus `ts` for
+/// non-metadata events, `dur` for complete spans).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn validate_chrome_trace(doc: &str) -> Result<(), String> {
+    let parsed = json::parse(doc)?;
+    let events = parsed
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("traceEvents[{i}]: {what}");
+        let name = ev.get("name").and_then(Json::as_str).ok_or_else(|| ctx("missing name"))?;
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or_else(|| ctx("missing ph"))?;
+        ev.get("pid").and_then(Json::as_num).ok_or_else(|| ctx("missing pid"))?;
+        ev.get("tid").and_then(Json::as_num).ok_or_else(|| ctx("missing tid"))?;
+        match ph {
+            "M" => {
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("metadata event without args.name"))?;
+            }
+            "i" | "C" => {
+                ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("missing ts"))?;
+            }
+            "X" => {
+                ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("missing ts"))?;
+                ev.get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("complete event without dur"))?;
+            }
+            other => return Err(ctx(&format!("unknown phase `{other}` on `{name}`"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::span(10, 25, Track::Proc(0), "net", "GetX").arg("loc", 1),
+            Event::instant(35, Track::Dir(0), "dir", "GetX").arg("src", 0),
+            Event::instant(40, Track::Line(1), "cache", "reserve-set").arg("proc", 0),
+            Event::counter(40, Track::Proc(0), "cache", "outstanding", 2),
+            Event::instant(7, Track::Shard(3), "mc", "frontier"),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_names_tracks() {
+        let doc = chrome_trace(&sample());
+        validate_chrome_trace(&doc).unwrap();
+        assert!(doc.contains("\"process_name\""), "{doc}");
+        assert!(doc.contains("\"P0\""), "{doc}");
+        assert!(doc.contains("\"line1\""), "{doc}");
+        assert!(doc.contains("\"reserve-set\""), "{doc}");
+        assert!(doc.contains("\"outstanding\":2"), "{doc}");
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_slice_still_validates() {
+        validate_chrome_trace(&chrome_trace(&[])).unwrap();
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse_and_are_deterministic() {
+        let events = sample();
+        let a = jsonl(&events);
+        let b = jsonl(&events);
+        assert_eq!(a, b);
+        for line in a.lines() {
+            let obj = json::parse(line).unwrap();
+            assert!(obj.get("at").is_some(), "{line}");
+            assert!(obj.get("track").is_some(), "{line}");
+        }
+        assert_eq!(a.lines().count(), events.len());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{}]}").is_err());
+        assert!(
+            validate_chrome_trace(
+                "{\"traceEvents\": [{\"name\":\"x\",\"ph\":\"X\",\"ts\":1,\"pid\":0,\"tid\":0}]}"
+            )
+            .is_err(),
+            "X without dur must fail"
+        );
+    }
+
+    #[test]
+    fn track_ids_separate_processes() {
+        let pids: BTreeSet<u64> =
+            [Track::Proc(0), Track::Dir(0), Track::Line(0), Track::Shard(0), Track::Global]
+                .into_iter()
+                .map(|t| track_ids(t).0)
+                .collect();
+        assert_eq!(pids.len(), 5, "each track family gets its own pid");
+    }
+}

@@ -1,0 +1,43 @@
+//! In-tree tracing & metrics for weakord: causally-ordered event
+//! traces, a unified metrics registry, and Chrome-trace/JSONL
+//! exporters.
+//!
+//! This crate is the *bottom* of the workspace dependency graph — it
+//! depends on nothing (not even other weakord crates) so that `sim`,
+//! `coherence`, and `mc` can all instrument themselves against one
+//! shared event model without cycles.
+//!
+//! The pieces:
+//!
+//! - [`Event`] / [`Track`] / [`Phase`] — the `Copy`, heap-free event
+//!   model. Each event lands on one timeline (a processor, a directory
+//!   bank, a memory line, an explorer shard) at a cycle timestamp.
+//! - [`Tracer`] — the sink trait. [`NoopTracer`] is the zero-cost
+//!   default (the coherent machine is generic over the tracer, so the
+//!   no-op path monomorphizes to nothing); [`MemTracer`] records
+//!   everything; [`RingTracer`] keeps a bounded recent window for stall
+//!   diagnosis.
+//! - [`MetricsRegistry`] — the namespaced `key=value` facade that the
+//!   scattered per-layer counter bags fold into.
+//! - [`chrome_trace`] / [`jsonl`] — deterministic exporters, plus
+//!   [`validate_chrome_trace`] and a minimal in-tree [`json`] reader so
+//!   CI can check the exported shape without external tools.
+//!
+//! The invariant the whole design serves: **tracing off must cost
+//! nothing**. Instrumentation sites gate on [`Tracer::enabled`] before
+//! building events, events never allocate, and the workspace overhead
+//! test pins the no-op path to zero heap allocations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod export;
+pub mod json;
+mod metrics;
+mod tracer;
+
+pub use event::{Event, Phase, Track};
+pub use export::{chrome_trace, jsonl, track_ids, validate_chrome_trace};
+pub use metrics::MetricsRegistry;
+pub use tracer::{MemTracer, NoopTracer, RingTracer, Tracer};

@@ -1,0 +1,145 @@
+//! The unified metrics registry: one namespaced facade over the
+//! counters and histograms scattered through the layers.
+//!
+//! Keys are dot-separated paths, subsystem first (`sim.fault.drops`,
+//! `coherence.p0.stall.sync-gate`, `mc.states`). Producers push into
+//! the registry via [`MetricsRegistry::counter`] / [`MetricsRegistry::gauge`]
+//! or the bulk [`MetricsRegistry::absorb`]; consumers read the flat
+//! [`MetricsRegistry::dump`] (`key=value` lines, sorted — diffable by
+//! CI and the bench harness).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A namespaced bag of monotonically increasing counters (`u64`) and
+/// point-in-time gauges (`f64`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter at `key` (creating it at zero).
+    pub fn counter(&mut self, key: impl Into<String>, n: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += n;
+    }
+
+    /// Sets the gauge at `key` (last write wins).
+    pub fn gauge(&mut self, key: impl Into<String>, value: f64) {
+        self.gauges.insert(key.into(), value);
+    }
+
+    /// Bulk-absorbs `(name, value)` counter pairs under a namespace
+    /// prefix — the adapter by which the legacy `sim::stats` bags fold
+    /// into the registry without this crate depending on them.
+    pub fn absorb<'a>(&mut self, ns: &str, pairs: impl IntoIterator<Item = (&'a str, u64)>) {
+        for (name, value) in pairs {
+            self.counter(format!("{ns}.{name}"), value);
+        }
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge, if set.
+    pub fn get_gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges
+    /// overwrite).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counter(k.clone(), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+    }
+
+    /// The flat `key=value` dump, one metric per line, keys sorted
+    /// (counters and gauges interleaved in lexicographic order). Gauges
+    /// print with a fixed three-decimal format so the dump is
+    /// byte-stable for identical runs.
+    pub fn dump(&self) -> String {
+        let mut lines: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .chain(self.gauges.iter().map(|(k, v)| format!("{k}={v:.3}")))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.dump())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_namespace() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.drops", 2);
+        r.counter("sim.drops", 3);
+        r.absorb("coherence", [("GetX", 7u64), ("nacks", 1)]);
+        assert_eq!(r.get("sim.drops"), 5);
+        assert_eq!(r.get("coherence.GetX"), 7);
+        assert_eq!(r.get("unset"), 0);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter("b.x", 1);
+        r.counter("a.y", 2);
+        r.gauge("a.z", 1.5);
+        assert_eq!(r.dump(), "a.y=2\na.z=1.500\nb.x=1\n");
+        let mut r2 = MetricsRegistry::new();
+        r2.gauge("a.z", 1.5);
+        r2.counter("a.y", 2);
+        r2.counter("b.x", 1);
+        assert_eq!(r.dump(), r2.dump(), "insertion order must not leak");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter("c", 1);
+        a.gauge("g", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter("c", 2);
+        b.gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.get("c"), 3);
+        assert_eq!(a.get_gauge("g"), Some(9.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! The [`Tracer`] trait and its three implementations: the free
+//! [`NoopTracer`], the record-everything [`MemTracer`], and the
+//! bounded-memory [`RingTracer`] for long runs where only the recent
+//! past matters (stall diagnosis).
+
+use crate::event::{Event, Track};
+
+/// A sink for trace events.
+///
+/// The contract that keeps instrumentation free when disabled: **hot
+/// paths must check [`Tracer::enabled`] before doing any work to build
+/// an event** (snapshotting state, diffing sets). [`Event`] itself is
+/// `Copy` and heap-free, so a disabled tracer path performs zero
+/// allocations — the overhead test (`tests/overhead.rs` at the
+/// workspace root) asserts exactly this with a counting allocator.
+pub trait Tracer {
+    /// Whether events are being captured. Instrumentation sites gate on
+    /// this before constructing events or snapshotting state.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event. Must be cheap; may drop events (ring buffers).
+    fn record(&mut self, ev: Event) {
+        let _ = ev;
+    }
+
+    /// The last `k` events recorded on `track`, oldest first (empty when
+    /// nothing was captured — the no-op tracer, or a ring that wrapped
+    /// past them).
+    fn recent(&self, track: Track, k: usize) -> Vec<Event> {
+        let _ = (track, k);
+        Vec::new()
+    }
+}
+
+/// The zero-cost default: captures nothing, reports disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// Records every event in order. The exporters
+/// ([`chrome_trace`](crate::chrome_trace), [`jsonl`](crate::jsonl))
+/// consume its [`MemTracer::events`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemTracer {
+    events: Vec<Event>,
+    /// When `false` the tracer reports disabled and records nothing —
+    /// used by the overhead test to prove every instrumentation site
+    /// honors the [`Tracer::enabled`] gate.
+    capture: bool,
+}
+
+impl MemTracer {
+    /// An enabled, empty tracer.
+    pub fn new() -> Self {
+        MemTracer { events: Vec::new(), capture: true }
+    }
+
+    /// A *disabled* tracer: identical type, `enabled() == false`. A run
+    /// with this must behave (and allocate) exactly like one with
+    /// [`NoopTracer`]; any event that sneaks in is a gate violation.
+    pub fn disabled() -> Self {
+        MemTracer { events: Vec::new(), capture: false }
+    }
+
+    /// All recorded events, in record order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the tracer, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Tracer for MemTracer {
+    fn enabled(&self) -> bool {
+        self.capture
+    }
+
+    fn record(&mut self, ev: Event) {
+        if self.capture {
+            self.events.push(ev);
+        }
+    }
+
+    fn recent(&self, track: Track, k: usize) -> Vec<Event> {
+        recent_from(&self.events, track, k)
+    }
+}
+
+/// A bounded ring of the most recent events: constant memory however
+/// long the run, so a livelock diagnosis can always show the window
+/// that led to the block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingTracer {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    full: bool,
+}
+
+impl RingTracer {
+    /// A ring holding the last `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        RingTracer { buf: Vec::with_capacity(cap), cap, head: 0, full: false }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        if self.full {
+            let mut v = Vec::with_capacity(self.cap);
+            v.extend_from_slice(&self.buf[self.head..]);
+            v.extend_from_slice(&self.buf[..self.head]);
+            v
+        } else {
+            self.buf.clone()
+        }
+    }
+}
+
+impl Tracer for RingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.full = true;
+        }
+    }
+
+    fn recent(&self, track: Track, k: usize) -> Vec<Event> {
+        recent_from(&self.events(), track, k)
+    }
+}
+
+/// The last `k` events on `track` out of a chronological slice,
+/// returned oldest first.
+fn recent_from(events: &[Event], track: Track, k: usize) -> Vec<Event> {
+    let mut picked: Vec<Event> =
+        events.iter().rev().filter(|e| e.track == track).take(k).copied().collect();
+    picked.reverse();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, track: Track) -> Event {
+        Event::instant(at, track, "t", "e")
+    }
+
+    #[test]
+    fn noop_captures_nothing() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.record(ev(1, Track::Global));
+        assert!(t.recent(Track::Global, 8).is_empty());
+    }
+
+    #[test]
+    fn mem_tracer_keeps_order_and_filters_recent_by_track() {
+        let mut t = MemTracer::new();
+        for at in 0..5 {
+            t.record(ev(at, Track::Proc(0)));
+            t.record(ev(at, Track::Proc(1)));
+        }
+        assert_eq!(t.events().len(), 10);
+        let recent = t.recent(Track::Proc(1), 3);
+        assert_eq!(recent.iter().map(|e| e.at).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(recent.iter().all(|e| e.track == Track::Proc(1)));
+    }
+
+    #[test]
+    fn disabled_mem_tracer_refuses_events() {
+        let mut t = MemTracer::disabled();
+        assert!(!t.enabled());
+        t.record(ev(1, Track::Global));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent() {
+        let mut t = RingTracer::new(4);
+        for at in 0..10 {
+            t.record(ev(at, Track::Proc(0)));
+        }
+        let evs = t.events();
+        assert_eq!(evs.iter().map(|e| e.at).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(
+            t.recent(Track::Proc(0), 2).iter().map(|e| e.at).collect::<Vec<_>>(),
+            vec![8, 9]
+        );
+    }
+}

@@ -1,8 +1,13 @@
 //! Lightweight simulation statistics: named counters and a latency
 //! histogram.
+//!
+//! Both bags know how to [`Counters::export`] themselves into the
+//! unified [`MetricsRegistry`](weakord_obs::MetricsRegistry), which is
+//! the namespaced facade the CLI and bench harness read.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use weakord_obs::MetricsRegistry;
 
 /// A bag of named monotonically increasing counters.
 ///
@@ -45,6 +50,11 @@ impl Counters {
     /// Iterates over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Folds every counter into `reg` under the `ns.` prefix.
+    pub fn export(&self, ns: &str, reg: &mut MetricsRegistry) {
+        reg.absorb(ns, self.iter());
     }
 }
 
@@ -113,11 +123,55 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum
     }
+
+    /// The `p`-th percentile (0–100), approximated from the
+    /// power-of-two buckets: the answer is the inclusive upper bound of
+    /// the bucket holding the rank-`⌈p·n/100⌉` sample, clamped to the
+    /// true maximum. Exact for p=100; within a factor of two below the
+    /// true value otherwise — good enough to separate "tail is the
+    /// mean" from "tail is 100× the mean" in the bench tables.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket 0 holds only zeros; bucket i holds [2^(i-1), 2^i).
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Exports summary statistics as gauges under the `ns.` prefix
+    /// (`ns.n`, `ns.mean`, `ns.p50`, `ns.p95`, `ns.p99`, `ns.max`).
+    pub fn export(&self, ns: &str, reg: &mut MetricsRegistry) {
+        reg.gauge(format!("{ns}.n"), self.count as f64);
+        reg.gauge(format!("{ns}.mean"), self.mean());
+        reg.gauge(format!("{ns}.p50"), self.percentile(50.0) as f64);
+        reg.gauge(format!("{ns}.p95"), self.percentile(95.0) as f64);
+        reg.gauge(format!("{ns}.p99"), self.percentile(99.0) as f64);
+        reg.gauge(format!("{ns}.max"), self.max as f64);
+    }
 }
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n={} mean={:.1} max={}", self.count, self.mean(), self.max)
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max
+        )
     }
 }
 
@@ -162,5 +216,56 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        // 99 small samples and one huge outlier.
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1000);
+        // p50/p95 land in the bucket holding 4 ([4, 8) → upper bound 7).
+        assert_eq!(h.percentile(50.0), 7);
+        assert_eq!(h.percentile(95.0), 7);
+        // p100 is exact; p99 still sits below the outlier's bucket here
+        // (rank 99 of 100 is a `4`).
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.percentile(99.0), 7);
+        // Percentiles never exceed the true max.
+        let mut one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.percentile(50.0), 5);
+        assert_eq!(one.percentile(99.0), 5);
+    }
+
+    #[test]
+    fn percentile_of_zeros_is_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn export_folds_into_the_registry() {
+        let mut reg = weakord_obs::MetricsRegistry::new();
+        let mut c = Counters::new();
+        c.add("msgs", 7);
+        c.export("sim", &mut reg);
+        assert_eq!(reg.get("sim.msgs"), 7);
+
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(8);
+        h.export("sim.lat", &mut reg);
+        assert_eq!(reg.get_gauge("sim.lat.n"), Some(2.0));
+        assert_eq!(reg.get_gauge("sim.lat.max"), Some(8.0));
+        assert!(reg.get_gauge("sim.lat.p50").is_some());
     }
 }

@@ -13,14 +13,21 @@
 //! weakord check <file.litmus> [--reduce] [--witness <machine>]   analyze a litmus file
 //! weakord run <workload> [opts]  timed run on the cycle-level machine
 //!   workloads: fig3 | spinlock | spinlock-tts | ticket-lock | barrier |
-//!              tree-barrier | producer-consumer | spin-broadcast
+//!              tree-barrier | producer-consumer | spin-broadcast | async-flood
 //!   opts: --policy sc|def1|def2|def2-nack|def2-drf1   --seed N   --cache N
 //!         --net bus|crossbar|general|mesh|congested   --migrate-at N   --banks N
 //!         --drop-rate P --dup-rate P --reorder-rate P --spike-rate P  (permille)
+//!         --trace out.json   Chrome trace_event JSON (load in Perfetto)
+//!         --trace-jsonl out.jsonl   line-delimited event log (byte-deterministic)
+//!         --metrics          dump the unified key=value metrics registry
+//! weakord stats <name> [opts]    metrics-registry dump for a workload (timed
+//!                                run) or a litmus test (explorer diagnostics)
 //! weakord faults [opts]          fault-injected conformance sweep over the
 //!                                litmus suite (differential vs. the SC explorer)
 //!   opts: --seed N   --drop-rate P   --dup-rate P   --reorder-rate P
 //!         --spike-rate P   --policy nack|queue   --schedules N
+//!
+//! Every subcommand accepts --help.
 //! ```
 
 use std::process::exit;
@@ -32,6 +39,7 @@ use weakord::mc::machines::{
     WriteBufferMachine,
 };
 use weakord::mc::{check_program_drf, explore, find_witness, Limits, Machine, TraceLimits};
+use weakord::obs::{chrome_trace, jsonl, MemTracer, MetricsRegistry};
 use weakord::progs::delay::delay_set;
 use weakord::progs::workloads::{
     barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts, ticket_lock,
@@ -40,6 +48,10 @@ use weakord::progs::workloads::{
 };
 use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
+
+const USAGE: &str =
+    "usage: weakord <litmus|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
+                     (every subcommand accepts --help; see the README)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,13 +65,21 @@ fn main() {
         Some((&"export", rest)) => cmd_export(rest),
         Some((&"check", rest)) => cmd_check(rest),
         Some((&"run", rest)) => cmd_run(rest),
+        Some((&"stats", rest)) => cmd_stats(rest),
         Some((&"faults", rest)) => cmd_faults(rest),
+        Some((&"--help" | &"-h", _)) => println!("{USAGE}"),
         _ => {
-            eprintln!(
-                "usage: weakord <litmus|drf|delay|disasm|check|run|faults> …  (see the README)"
-            );
+            eprintln!("{USAGE}");
             exit(2);
         }
+    }
+}
+
+/// Prints `usage` and exits 0 when the user asked for `--help`/`-h`.
+fn maybe_help(rest: &[&str], usage: &str) {
+    if rest.contains(&"--help") || rest.contains(&"-h") {
+        println!("{usage}");
+        exit(0);
     }
 }
 
@@ -71,6 +91,11 @@ fn find_litmus(name: &str) -> Litmus {
 }
 
 fn cmd_litmus(rest: &[&str]) {
+    maybe_help(
+        rest,
+        "usage: weakord litmus [<name>] [--reduce] [--witness <machine>]\n\
+         Without a name, lists the litmus suite; with one, explores it on every machine.",
+    );
     match rest.first() {
         None => {
             println!("{:<16} {:<5}  description", "name", "DRF0");
@@ -154,6 +179,7 @@ witness interleaving on `{}` for the forbidden outcome:",
 }
 
 fn cmd_drf(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord drf <litmus-name>   classify against DRF0/DRF1");
     let Some(name) = rest.first() else {
         eprintln!("usage: weakord drf <litmus-name>");
         exit(2);
@@ -174,6 +200,7 @@ fn cmd_drf(rest: &[&str]) {
 }
 
 fn cmd_delay(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord delay <litmus-name>   Shasha\u{2013}Snir delay set");
     let Some(name) = rest.first() else {
         eprintln!("usage: weakord delay <litmus-name>");
         exit(2);
@@ -183,6 +210,7 @@ fn cmd_delay(rest: &[&str]) {
 }
 
 fn cmd_disasm(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord disasm <litmus-name>   disassemble a litmus program");
     let Some(name) = rest.first() else {
         eprintln!("usage: weakord disasm <litmus-name>");
         exit(2);
@@ -191,6 +219,7 @@ fn cmd_disasm(rest: &[&str]) {
 }
 
 fn cmd_export(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord export <litmus-name>   emit the text format");
     let Some(name) = rest.first() else {
         eprintln!("usage: weakord export <litmus-name>");
         exit(2);
@@ -199,6 +228,7 @@ fn cmd_export(rest: &[&str]) {
 }
 
 fn cmd_dot(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord dot <litmus-name>   Graphviz of a round-robin execution");
     let Some(name) = rest.first() else {
         eprintln!("usage: weakord dot <litmus-name>");
         exit(2);
@@ -237,6 +267,7 @@ fn cmd_dot(rest: &[&str]) {
 }
 
 fn cmd_check(rest: &[&str]) {
+    maybe_help(rest, "usage: weakord check <file.litmus> [--reduce] [--witness <machine>]");
     let Some(path) = rest.first() else {
         eprintln!("usage: weakord check <file.litmus> [--witness <machine>]");
         exit(2);
@@ -337,12 +368,9 @@ fn flag(rest: &[&str], name: &str) -> Option<String> {
     rest.iter().position(|a| *a == name).and_then(|i| rest.get(i + 1)).map(|s| s.to_string())
 }
 
-fn cmd_run(rest: &[&str]) {
-    let Some(workload) = rest.first() else {
-        eprintln!("usage: weakord run <workload> [--policy P] [--seed N] [--net M] [--cache N] [--migrate-at N]");
-        exit(2);
-    };
-    let prog: Program = match *workload {
+/// Resolves a workload name from `weakord run`/`weakord stats` into a program.
+fn workload_program(name: &str) -> Option<Program> {
+    Some(match name {
         "fig3" => fig3_scenario(Fig3Params::default()),
         "spinlock" => spinlock(SpinlockParams::default()),
         "spinlock-tts" => spinlock_tts(SpinlockParams::default()),
@@ -352,11 +380,12 @@ fn cmd_run(rest: &[&str]) {
         "ticket-lock" => ticket_lock(SpinlockParams::default()),
         "tree-barrier" => tree_barrier(TreeBarrierParams::default()),
         "async-flood" => weakord::progs::workloads::async_flood(Default::default()),
-        other => {
-            eprintln!("unknown workload `{other}`");
-            exit(2);
-        }
-    };
+        _ => return None,
+    })
+}
+
+/// Reads the shared `run`/`stats` flags into a machine [`Config`].
+fn run_config(rest: &[&str]) -> Config {
     let policy = match flag(rest, "--policy").as_deref() {
         None | Some("def2") => Policy::def2(),
         Some("sc") => Policy::Sc,
@@ -389,7 +418,7 @@ fn cmd_run(rest: &[&str]) {
     let migration = flag(rest, "--migrate-at")
         .map(|s| Migration { thread: 0, at_cycle: s.parse().expect("--migrate-at takes a cycle") });
     let faults = fault_plan(rest, seed);
-    let cfg = Config {
+    Config {
         policy,
         seed,
         network,
@@ -400,8 +429,52 @@ fn cmd_run(rest: &[&str]) {
         faults,
         record_trace: true,
         ..Config::default()
+    }
+}
+
+const RUN_USAGE: &str = "usage: weakord run <workload> [opts]\n\
+ \u{20}workloads: fig3 | spinlock | spinlock-tts | ticket-lock | barrier |\n\
+ \u{20}           tree-barrier | producer-consumer | spin-broadcast | async-flood\n\
+ \u{20}opts: --policy sc|def1|def2|def2-nack|def2-drf1   --seed N   --cache N\n\
+ \u{20}      --net bus|crossbar|general|mesh|congested   --migrate-at N   --banks N\n\
+ \u{20}      --drop-rate P --dup-rate P --reorder-rate P --spike-rate P  (permille)\n\
+ \u{20}      --trace out.json        Chrome trace_event JSON (load in Perfetto)\n\
+ \u{20}      --trace-jsonl out.jsonl line-delimited event log (byte-deterministic)\n\
+ \u{20}      --metrics               dump the unified key=value metrics registry";
+
+fn cmd_run(rest: &[&str]) {
+    maybe_help(rest, RUN_USAGE);
+    let Some(workload) = rest.first() else {
+        eprintln!("{RUN_USAGE}");
+        exit(2);
     };
-    let result = CoherentMachine::new(&prog, cfg).run().unwrap_or_else(|e| {
+    let prog = workload_program(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload `{workload}`");
+        exit(2);
+    });
+    let cfg = run_config(rest);
+    let (policy, seed, faults) = (cfg.policy, cfg.seed, cfg.faults);
+    let trace_json = flag(rest, "--trace");
+    let trace_jsonl = flag(rest, "--trace-jsonl");
+    let want_metrics = rest.contains(&"--metrics");
+    let tracing = trace_json.is_some() || trace_jsonl.is_some();
+    // Only pay for event capture when an export was requested; the
+    // default path keeps the no-op tracer monomorphized away.
+    let (run, events) = if tracing {
+        let (run, tracer) = CoherentMachine::with_tracer(&prog, cfg, MemTracer::new()).run_traced();
+        (run, tracer.into_events())
+    } else {
+        (CoherentMachine::new(&prog, cfg).run(), Vec::new())
+    };
+    if let Some(path) = &trace_json {
+        write_or_die(path, &chrome_trace(&events));
+        eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
+    }
+    if let Some(path) = &trace_jsonl {
+        write_or_die(path, &jsonl(&events));
+        eprintln!("wrote JSONL trace ({} events) to {path}", events.len());
+    }
+    let result = run.unwrap_or_else(|e| {
         eprintln!("run failed: {e}");
         exit(1);
     });
@@ -428,6 +501,62 @@ fn cmd_run(rest: &[&str]) {
         Ok(()) => println!("\nLemma 1: the observed execution appears sequentially consistent."),
         Err(v) => println!("\nLemma 1 VIOLATION: {v}"),
     }
+    if want_metrics {
+        println!("\nmetrics:");
+        print!("{}", result.metrics().dump());
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write `{path}`: {e}");
+        exit(1);
+    });
+}
+
+const STATS_USAGE: &str = "usage: weakord stats <workload|litmus-name> [run opts] [--reduce]\n\
+  Workload names run the cycle-level machine and dump its metrics registry;\n\
+  litmus names explore the test on the wo-def2 machine and dump the\n\
+  explorer's diagnostics. `weakord run --help` lists the run opts.";
+
+/// Dumps the unified metrics registry for a timed run (workload names)
+/// or an exploration (litmus names).
+fn cmd_stats(rest: &[&str]) {
+    maybe_help(rest, STATS_USAGE);
+    let Some(name) = rest.first() else {
+        eprintln!("{STATS_USAGE}");
+        exit(2);
+    };
+    if let Some(prog) = workload_program(name) {
+        let cfg = run_config(rest);
+        let policy = cfg.policy;
+        match CoherentMachine::new(&prog, cfg).run() {
+            Ok(result) => {
+                println!("# {} under {}", prog.name, policy.name());
+                print!("{}", result.metrics().dump());
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    if litmus::all().iter().any(|l| l.name == *name) {
+        let lit = find_litmus(name);
+        let limits = if rest.contains(&"--reduce") { Limits::reduced() } else { Limits::default() };
+        let machine = WoDef2Machine::default();
+        let ex = explore(&machine, &lit.program, limits);
+        let mut reg = MetricsRegistry::new();
+        ex.stats.export_metrics("mc", &mut reg);
+        reg.counter("mc.outcomes", ex.outcomes.len() as u64);
+        reg.counter("mc.deadlocks", u64::from(ex.has_deadlock()));
+        println!("# {} explored on {}", lit.name, machine.name());
+        print!("{}", reg.dump());
+        return;
+    }
+    eprintln!("`{name}` is neither a workload nor a litmus test; `weakord litmus` lists the suite");
+    exit(2);
 }
 
 /// Reads the shared fault-rate flags (permille each) into a plan seeded
@@ -456,6 +585,14 @@ fn fault_plan(rest: &[&str], seed: u64) -> FaultPlan {
 /// the chosen sync policy × `--schedules` seeded fault plans, checked
 /// differentially against the exhaustive SC explorer for DRF0 programs.
 fn cmd_faults(rest: &[&str]) {
+    maybe_help(
+        rest,
+        "usage: weakord faults [--seed N] [--drop-rate P] [--dup-rate P]\n\
+         \u{20}                     [--reorder-rate P] [--spike-rate P]\n\
+         \u{20}                     [--policy nack|queue] [--schedules N]\n\
+         Rates are permille. Sweeps the litmus suite under injected faults and\n\
+         checks DRF0 programs differentially against the exhaustive SC explorer.",
+    );
     let seed = flag(rest, "--seed").map_or(0xFA01, |s| s.parse().expect("--seed takes a number"));
     let policy = match flag(rest, "--policy").as_deref() {
         None | Some("queue") => Policy::def2(),

@@ -49,5 +49,6 @@
 pub use weakord_coherence as coherence;
 pub use weakord_core as core;
 pub use weakord_mc as mc;
+pub use weakord_obs as obs;
 pub use weakord_progs as progs;
 pub use weakord_sim as sim;

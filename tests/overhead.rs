@@ -1,0 +1,115 @@
+//! Zero-overhead-when-disabled, enforced with a counting allocator.
+//!
+//! The tracing layer promises that the default no-op tracer costs
+//! nothing on the message hot path: the generic `CoherentMachine<_, T>`
+//! monomorphizes `NoopTracer` calls away, and every recording call
+//! site is gated on `tracer.enabled()`. This binary swaps in a global
+//! allocator that counts allocations and checks the promise directly:
+//! a run with a *disabled* recording tracer must allocate exactly as
+//! much as a run with the no-op tracer — the instrumentation may not
+//! allocate a single event when capture is off.
+//!
+//! Everything lives in one `#[test]` because the counter is global and
+//! the libtest harness runs tests on multiple threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use weakord::coherence::{CoherentMachine, Config, Policy};
+use weakord::obs::MemTracer;
+use weakord::progs::workloads::{fig3_scenario, ticket_lock, Fig3Params, SpinlockParams};
+use weakord::progs::Program;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+fn run_noop(prog: &Program, cfg: Config) -> u64 {
+    let (n, r) = allocs_during(|| CoherentMachine::new(prog, cfg).run());
+    r.expect("run terminates");
+    n
+}
+
+fn run_gated(prog: &Program, cfg: Config) -> u64 {
+    // A recording tracer with capture switched off: every `enabled()`
+    // gate in the machine must short-circuit before building an event.
+    let (n, r) = allocs_during(|| {
+        CoherentMachine::with_tracer(prog, cfg, MemTracer::disabled()).run_traced().0
+    });
+    r.expect("run terminates");
+    n
+}
+
+fn run_recording(prog: &Program, cfg: Config) -> (u64, usize) {
+    let (n, (r, tracer)) =
+        allocs_during(|| CoherentMachine::with_tracer(prog, cfg, MemTracer::new()).run_traced());
+    r.expect("run terminates");
+    (n, tracer.into_events().len())
+}
+
+#[test]
+fn disabled_tracing_allocates_nothing_extra() {
+    let workloads: Vec<Program> =
+        vec![fig3_scenario(Fig3Params::default()), ticket_lock(SpinlockParams::default())];
+    for prog in &workloads {
+        let cfg = Config { policy: Policy::def2(), seed: 7, ..Config::default() };
+        // Warm up once so lazily initialized runtime structures don't
+        // bias the first measurement.
+        run_noop(prog, cfg);
+
+        let baseline_a = run_noop(prog, cfg);
+        let baseline_b = run_noop(prog, cfg);
+        assert_eq!(
+            baseline_a, baseline_b,
+            "{}: the untraced machine should allocate deterministically",
+            prog.name
+        );
+
+        let gated = run_gated(prog, cfg);
+        assert_eq!(
+            gated, baseline_a,
+            "{}: a disabled tracer must allocate exactly like the no-op tracer \
+             (an empty Vec is allocation-free; any extra is an ungated event site)",
+            prog.name
+        );
+
+        let (recording, events) = run_recording(prog, cfg);
+        assert!(events > 0, "{}: the recording run captured nothing", prog.name);
+        assert!(
+            recording > gated,
+            "{}: recording {events} events should visibly allocate",
+            prog.name
+        );
+    }
+}

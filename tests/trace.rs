@@ -1,0 +1,145 @@
+//! Trace determinism and exporter shape.
+//!
+//! The tracer is an observer: it must not perturb the machine (same
+//! cycles and outcome with it on or off), and its output must be a
+//! pure function of (program, config) — same program, seed and fault
+//! plan ⇒ byte-identical JSONL, under both sync-policy legs. The
+//! Chrome export must parse as a well-formed trace_event document, and
+//! a Figure 3 run must surface the paper's Section 5 bookkeeping
+//! (reserve bits, outstanding-operation counters) as events
+//! attributable to specific processors and lines.
+
+use weakord::coherence::{CoherentMachine, Config, Policy};
+use weakord::obs::{chrome_trace, jsonl, validate_chrome_trace, Event, MemTracer, Phase, Track};
+use weakord::progs::workloads::{fig3_scenario, spin_broadcast, Fig3Params, SpinBroadcastParams};
+use weakord::progs::{litmus, Program};
+use weakord::sim::FaultPlan;
+
+fn traced_run(prog: &Program, cfg: Config) -> Vec<Event> {
+    let (run, tracer) = CoherentMachine::with_tracer(prog, cfg, MemTracer::new()).run_traced();
+    run.unwrap_or_else(|e| panic!("{} did not terminate: {e}", prog.name));
+    tracer.into_events()
+}
+
+fn programs() -> Vec<Program> {
+    vec![
+        litmus::fig1_dekker().program,
+        litmus::mp().program,
+        fig3_scenario(Fig3Params::default()),
+        spin_broadcast(SpinBroadcastParams::default()),
+    ]
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_reruns() {
+    for prog in &programs() {
+        for policy in [Policy::def2(), Policy::def2_nack()] {
+            let faults = FaultPlan::with_rates(0x7ACE, 30, 30, 40, 10);
+            let cfg = Config { policy, seed: 11, faults, ..Config::default() };
+            let first = jsonl(&traced_run(prog, cfg));
+            let second = jsonl(&traced_run(prog, cfg));
+            assert!(!first.is_empty(), "{}: empty trace", prog.name);
+            assert_eq!(
+                first,
+                second,
+                "{} under {}: traces diverged across identical runs",
+                prog.name,
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let prog = fig3_scenario(Fig3Params::default());
+    let a = jsonl(&traced_run(&prog, Config { seed: 1, ..Config::default() }));
+    let b = jsonl(&traced_run(&prog, Config { seed: 2, ..Config::default() }));
+    assert_ne!(a, b, "distinct seeds should shuffle network latencies into the trace");
+}
+
+#[test]
+fn chrome_export_is_well_formed() {
+    for prog in &programs() {
+        let events = traced_run(prog, Config::default());
+        let doc = chrome_trace(&events);
+        validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("{}: invalid Chrome trace: {e}", prog.name));
+    }
+}
+
+#[test]
+fn fig3_trace_carries_the_section5_bookkeeping() {
+    let prog = fig3_scenario(Fig3Params::default());
+    let events = traced_run(&prog, Config::default());
+    // Reserve-bit transitions are line-scoped and name the processor.
+    let reserve = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter(|e| matches!(e.track, Track::Line(_)))
+            .filter(|e| e.args.iter().any(|(k, _)| *k == "proc"))
+            .count()
+    };
+    assert!(reserve("reserve-set") > 0, "no line-scoped reserve-set events");
+    assert!(reserve("reserve-clear") > 0, "no line-scoped reserve-clear events");
+    // Counter transitions are processor-scoped instants plus a counter
+    // track Perfetto can plot.
+    let counter_instants = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter(|e| matches!(e.track, Track::Proc(_)))
+            .count()
+    };
+    assert!(counter_instants("counter-inc") > 0, "no counter-inc events");
+    assert!(counter_instants("counter-dec") > 0, "no counter-dec events");
+    assert!(
+        events.iter().any(|e| e.name == "outstanding" && matches!(e.phase, Phase::Counter { .. })),
+        "no outstanding-operation counter track"
+    );
+    // Message lifetimes appear as spans with a duration.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "net" && matches!(e.phase, Phase::Complete { dur } if dur > 0)),
+        "no network spans"
+    );
+    // Timestamps are causally ordered (events are recorded in
+    // simulation order, so the log must be monotone).
+    assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "event log is not time-ordered");
+}
+
+#[test]
+fn tracer_does_not_perturb_the_machine() {
+    for prog in &programs() {
+        for policy in [Policy::def2(), Policy::def2_nack(), Policy::Def1] {
+            let cfg = Config { policy, seed: 3, ..Config::default() };
+            let plain = CoherentMachine::new(prog, cfg).run().expect("untraced run");
+            let (traced, _) =
+                CoherentMachine::with_tracer(prog, cfg, MemTracer::new()).run_traced();
+            let traced = traced.expect("traced run");
+            assert_eq!(plain.cycles, traced.cycles, "{}: tracer changed the clock", prog.name);
+            assert_eq!(plain.outcome, traced.outcome, "{}: tracer changed the outcome", prog.name);
+        }
+    }
+}
+
+#[test]
+fn stall_reports_carry_recent_history() {
+    // Starve the cycle budget so the fig3 run times out mid-protocol;
+    // the resulting report must attach each processor's recent event
+    // window (rendered as `[cycle] track cat:name` lines).
+    let prog = fig3_scenario(Fig3Params::default());
+    let cfg = Config { policy: Policy::def2(), max_cycles: 60, ..Config::default() };
+    let (run, _) = CoherentMachine::with_tracer(&prog, cfg, MemTracer::new()).run_traced();
+    let err = run.expect_err("a 60-cycle budget cannot finish fig3");
+    let text = err.to_string();
+    assert!(
+        text.contains("core:") || text.contains("net:") || text.contains("cache:"),
+        "stall report lost the event history:\n{text}"
+    );
+    // Without a tracer the report still renders, just without history.
+    let untraced = CoherentMachine::new(&prog, cfg).run().expect_err("same budget, same timeout");
+    assert!(!untraced.to_string().is_empty());
+}
