@@ -67,7 +67,7 @@ impl fmt::Display for ScAppearance {
 /// set would turn the subset check into a false alarm.
 pub fn sc_outcome_set(prog: &Program, limits: Limits) -> std::collections::BTreeSet<Outcome> {
     let sc = explore(&ScMachine, prog, limits);
-    assert!(!sc.truncated, "SC exploration truncated on `{}`", prog.name);
+    assert!(!sc.truncated(), "SC exploration truncated on `{}`", prog.name);
     sc.outcomes
 }
 

@@ -25,13 +25,18 @@
 //! [`Exploration`]'s equality.
 
 use std::collections::{BTreeSet, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use weakord_obs::{Event, MetricsRegistry, Tracer, Track};
 use weakord_progs::{Outcome, Program};
 
+use crate::checkpoint::{
+    self, config_fingerprint, CheckpointCfg, CheckpointError, Codec, ParallelSnapshot,
+    PersistedCounters, Snapshot,
+};
 use crate::fxhash::{fingerprint, FxBuildHasher};
 use crate::machine::{Label, Machine};
 use crate::reduce::{ample_index, FutureTable};
@@ -114,13 +119,37 @@ impl Limits {
 }
 
 /// Why an exploration stopped before exhausting the state space.
+///
+/// Replaces the old boolean "truncated" flag wherever it leaked into
+/// the CLI and exports: a truncated result is only trustworthy if it
+/// says *why* it is partial and whether it can be continued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TruncationReason {
     /// `Limits::max_states` distinct states were admitted and another
     /// new state was reached.
-    StateCap,
+    MaxStates,
     /// `Limits::deadline` expired.
     Deadline,
+    /// Every worker died to a panic with work still queued, so part of
+    /// the state space was never expanded. (A panic that leaves at
+    /// least one worker alive does **not** truncate: the survivors
+    /// finish the requeued work and only `worker_panics` records it.)
+    WorkerPanic,
+    /// The run suspended itself at a checkpoint boundary
+    /// (the [`crate::checkpoint::CheckpointCfg::abort_after`] crash
+    /// hook); resume to continue it.
+    Resumable,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TruncationReason::MaxStates => "state cap",
+            TruncationReason::Deadline => "deadline",
+            TruncationReason::WorkerPanic => "worker panic",
+            TruncationReason::Resumable => "suspended (resumable)",
+        })
+    }
 }
 
 /// Run diagnostics for one exploration: throughput, dedup behavior, and
@@ -149,6 +178,20 @@ pub struct ExplorationStats {
     pub pruned_arcs: u64,
     /// Why the exploration stopped early, if it did.
     pub truncation: Option<TruncationReason>,
+    /// Worker panics absorbed by the engine (each one retired a worker
+    /// after requeueing its in-flight state; see
+    /// [`TruncationReason::WorkerPanic`]).
+    pub worker_panics: u32,
+    /// How far past `Limits::deadline` the slowest enforcement point
+    /// observed the clock (zero when no deadline was hit). Bounded by
+    /// one machine step now that the deadline is enforced per arc.
+    pub deadline_overshoot: Duration,
+    /// Checkpoints written during this run (0 when checkpointing is
+    /// off; cumulative across resumes).
+    pub checkpoints: u32,
+    /// Wall-clock spent serializing and writing checkpoints (the
+    /// overhead knob `--checkpoint-every` trades against).
+    pub checkpoint_time: Duration,
     /// Final visited-set size per shard (parallel engine only; `None`
     /// for the single-set sequential searches). Shard balance is the
     /// load-balance signal: a skewed fingerprint would show up here as
@@ -204,6 +247,29 @@ impl ExplorationStats {
         reg.counter(format!("{ns}.peak-frontier"), self.peak_frontier as u64);
         reg.counter(format!("{ns}.threads"), self.threads as u64);
         reg.counter(format!("{ns}.truncated"), u64::from(self.truncation.is_some()));
+        reg.counter(
+            format!("{ns}.truncated.max-states"),
+            u64::from(self.truncation == Some(TruncationReason::MaxStates)),
+        );
+        reg.counter(
+            format!("{ns}.truncated.deadline"),
+            u64::from(self.truncation == Some(TruncationReason::Deadline)),
+        );
+        reg.counter(
+            format!("{ns}.truncated.worker-panic"),
+            u64::from(self.truncation == Some(TruncationReason::WorkerPanic)),
+        );
+        reg.counter(
+            format!("{ns}.truncated.resumable"),
+            u64::from(self.truncation == Some(TruncationReason::Resumable)),
+        );
+        reg.counter(format!("{ns}.worker-panics"), u64::from(self.worker_panics));
+        reg.counter(format!("{ns}.checkpoints"), u64::from(self.checkpoints));
+        reg.gauge(format!("{ns}.checkpoint-time-ms"), self.checkpoint_time.as_secs_f64() * 1e3);
+        reg.gauge(
+            format!("{ns}.deadline-overshoot-ms"),
+            self.deadline_overshoot.as_secs_f64() * 1e3,
+        );
         reg.gauge(format!("{ns}.duration-ms"), self.duration.as_secs_f64() * 1e3);
         reg.gauge(format!("{ns}.dedup-hit-rate"), self.dedup_hit_rate());
         reg.gauge(format!("{ns}.reduction-ratio"), self.reduction_ratio());
@@ -250,7 +316,7 @@ impl std::fmt::Display for ExplorationStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{}{})",
+            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{}{}{})",
             self.distinct_states,
             self.duration,
             self.states_per_sec(),
@@ -263,10 +329,15 @@ impl std::fmt::Display for ExplorationStats {
             } else {
                 String::new()
             },
+            match (self.worker_panics, self.checkpoints) {
+                (0, 0) => String::new(),
+                (p, 0) => format!(", {p} worker panic(s)"),
+                (0, c) => format!(", {c} checkpoint(s)"),
+                (p, c) => format!(", {p} worker panic(s), {c} checkpoint(s)"),
+            },
             match self.truncation {
                 None => String::new(),
-                Some(TruncationReason::StateCap) => ", TRUNCATED: state cap".into(),
-                Some(TruncationReason::Deadline) => ", TRUNCATED: deadline".into(),
+                Some(reason) => format!(", TRUNCATED: {reason}"),
             }
         )
     }
@@ -281,9 +352,10 @@ pub struct Exploration {
     pub states: usize,
     /// Number of deadlocked states (no transitions, not terminal).
     pub deadlocks: usize,
-    /// `true` if the state cap or deadline was hit; `outcomes` is then
-    /// a lower bound.
-    pub truncated: bool,
+    /// Why the run stopped early, if it did; `outcomes` is then a
+    /// lower bound ([`TruncationReason::Resumable`] additionally means
+    /// a checkpoint holds everything needed to continue).
+    pub truncation: Option<TruncationReason>,
     /// Run diagnostics (excluded from equality: timing and scheduling
     /// vary run to run even when the semantic results are identical).
     pub stats: ExplorationStats,
@@ -294,7 +366,7 @@ impl PartialEq for Exploration {
         self.outcomes == other.outcomes
             && self.states == other.states
             && self.deadlocks == other.deadlocks
-            && self.truncated == other.truncated
+            && self.truncation == other.truncation
     }
 }
 
@@ -305,12 +377,31 @@ impl Exploration {
     pub fn has_deadlock(&self) -> bool {
         self.deadlocks > 0
     }
+
+    /// `true` if the run stopped before exhausting the state space
+    /// (see [`Exploration::truncation`] for why).
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
 }
 
-/// How often a worker re-checks the wall-clock deadline, in processed
-/// states. Checking `Instant::now()` per state would dominate small
-/// machines' transition functions.
+/// How often a worker re-checks the wall-clock deadline between state
+/// pops when no deadline is near. The deadline is *also* enforced at
+/// per-arc granularity inside [`Engine::expand`] (after every
+/// `successors` call and per admitted arc), so this coarse check only
+/// bounds how long an idle-ish worker keeps spinning.
 const DEADLINE_CHECK_EVERY: u32 = 128;
+
+/// Locks a mutex, tolerating poison: a worker that panicked while
+/// holding a shard or frontier lock must not cascade into aborting
+/// every other worker. The protected structures are valid after a
+/// panic (collection operations are atomic with respect to unwinding:
+/// an insert either happened or did not), so the data is usable; the
+/// panic itself is accounted for by the panic-isolation protocol in
+/// [`Engine::run_worker`].
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The visited set: [`N_SHARDS`] hash sets, each behind its own mutex,
 /// a state's shard chosen by the top bits of its fingerprint. Workers
@@ -355,7 +446,7 @@ impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
     fn shard_sizes(&self) -> [usize; N_SHARDS] {
         let mut sizes = [0usize; N_SHARDS];
         for (i, shard) in self.shards.iter().enumerate() {
-            sizes[i] = shard.lock().expect("shard poisoned").len();
+            sizes[i] = lock_clean(shard).len();
         }
         sizes
     }
@@ -364,7 +455,7 @@ impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
     /// which seeds its visited set before checking any cap).
     fn admit_root(&self, state: S) {
         let fp = fingerprint(&state);
-        self.shard_of(fp).lock().expect("shard lock").insert(state);
+        lock_clean(self.shard_of(fp)).insert(state);
         self.admitted.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -374,7 +465,7 @@ impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
     fn try_admit(&self, state: S, max_states: usize) -> Admit<S> {
         self.dedup_probes.fetch_add(1, Ordering::Relaxed);
         let fp = fingerprint(&state);
-        let mut shard = self.shard_of(fp).lock().expect("shard lock");
+        let mut shard = lock_clean(self.shard_of(fp));
         if shard.contains(&state) {
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
             return Admit::Seen;
@@ -393,6 +484,61 @@ impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
 }
 
 /// Everything the workers share.
+/// Serializes quiescent snapshots to stable storage. A `dyn` trait so
+/// the [`Engine`] (whose state type is *not* [`Codec`]-bounded) can
+/// hold a sink built where the bound is available
+/// ([`explore_checkpointed`] / [`resume_exploration`]).
+trait SnapshotSink<S>: Sync {
+    fn write(&self, snap: &Snapshot<S>) -> Result<(), CheckpointError>;
+}
+
+/// The file-backed sink: [`checkpoint::save`] under this run's
+/// configuration fingerprint.
+struct FileSink<'a> {
+    cfg: &'a CheckpointCfg,
+    fp: u64,
+}
+
+impl<S: Codec> SnapshotSink<S> for FileSink<'_> {
+    fn write(&self, snap: &Snapshot<S>) -> Result<(), CheckpointError> {
+        checkpoint::save(self.cfg, self.fp, snap)
+    }
+}
+
+/// Shared state of the checkpoint rendezvous (present only when the
+/// run checkpoints).
+///
+/// A consistent snapshot of a parallel exploration needs quiescence:
+/// every worker parked at its loop-top safepoint, holding no in-flight
+/// state, so that `frontier = admitted − expanded` exactly. The first
+/// worker to cross the `next_at` admission threshold elects itself
+/// coordinator (CAS on `pause`), everyone else parks, the coordinator
+/// serializes and resumes the fleet. Workers publish their local
+/// outcome/deadlock accumulators into `published` every time they park
+/// or retire, so the coordinator sees every result without joining.
+struct CkptState<'a, S> {
+    sink: &'a dyn SnapshotSink<S>,
+    /// Autosave period in admitted states (`0`: final save only).
+    every: usize,
+    /// Crash-injection hook: suspend after this many periodic saves.
+    abort_after: Option<u32>,
+    /// A coordinator holds this while the fleet is parked.
+    pause: AtomicBool,
+    /// Workers currently parked at the safepoint.
+    parked: AtomicUsize,
+    /// Next admission count that triggers a periodic save.
+    next_at: AtomicUsize,
+    /// Periodic saves completed.
+    written: AtomicU32,
+    /// Wall-clock nanoseconds spent writing checkpoints.
+    write_nanos: AtomicU64,
+    /// Set when a save failed; the run stops and reports `error`.
+    failed: AtomicBool,
+    error: Mutex<Option<CheckpointError>>,
+    /// Per-worker cumulative results, refreshed at every park/retire.
+    published: Vec<Mutex<WorkerResult>>,
+}
+
 struct Engine<'a, M: Machine> {
     machine: &'a M,
     prog: &'a Program,
@@ -412,7 +558,17 @@ struct Engine<'a, M: Machine> {
     stop: AtomicBool,
     capped: AtomicBool,
     deadline_hit: AtomicBool,
+    /// Set when the run suspends itself at a checkpoint boundary.
+    resumable: AtomicBool,
     deadline_at: Option<Instant>,
+    /// Worst observed overshoot past the deadline, in nanoseconds.
+    overshoot_nanos: AtomicU64,
+    /// Workers still in their run loop. Retiring workers (normal
+    /// drain-out, stop, or absorbed panic) decrement it so a
+    /// checkpoint coordinator never waits for the departed.
+    active: AtomicUsize,
+    /// Panics absorbed by the isolation protocol.
+    worker_panics: AtomicU64,
     steals: AtomicU64,
     peak_frontier: AtomicUsize,
     pruned_arcs: AtomicU64,
@@ -420,12 +576,41 @@ struct Engine<'a, M: Machine> {
     /// `None` when the reduction is off (or unavailable for the
     /// program).
     reduction: Option<FutureTable>,
+    /// Checkpoint rendezvous, when the run checkpoints.
+    ckpt: Option<CkptState<'a, M::State>>,
+    /// Results merged in from a resumed checkpoint (empty otherwise):
+    /// outcomes, deadlocks, checkpoints written, prior elapsed nanos.
+    base: ResumeBase,
+    /// When this leg of the run started (for cumulative elapsed time
+    /// in periodic checkpoints).
+    started: Instant,
+}
+
+/// What a resumed run inherits from its checkpoint.
+#[derive(Default)]
+struct ResumeBase {
+    outcomes: BTreeSet<Outcome>,
+    deadlocks: u64,
+    checkpoints: u32,
+    elapsed_nanos: u64,
+    checkpoint_nanos: u64,
 }
 
 /// What one worker accumulated locally; merged at join.
+#[derive(Clone, Default)]
 struct WorkerResult {
     outcomes: BTreeSet<Outcome>,
     deadlocks: usize,
+}
+
+/// How one expansion ended.
+enum Step {
+    /// The state was fully classified/expanded.
+    Done,
+    /// Truncation struck mid-expansion: the state must be requeued so
+    /// its remaining successors are recoverable (by a resume, or just
+    /// by an accurate frontier in the final checkpoint).
+    Interrupted,
 }
 
 impl<'a, M: Machine> Engine<'a, M> {
@@ -440,7 +625,11 @@ impl<'a, M: Machine> Engine<'a, M> {
             stop: AtomicBool::new(false),
             capped: AtomicBool::new(false),
             deadline_hit: AtomicBool::new(false),
+            resumable: AtomicBool::new(false),
             deadline_at: limits.deadline.map(|d| Instant::now() + d),
+            overshoot_nanos: AtomicU64::new(0),
+            active: AtomicUsize::new(workers),
+            worker_panics: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             peak_frontier: AtomicUsize::new(0),
             pruned_arcs: AtomicU64::new(0),
@@ -448,14 +637,44 @@ impl<'a, M: Machine> Engine<'a, M> {
                 Reduction::Full => None,
                 Reduction::Ample => FutureTable::new(prog),
             },
+            ckpt: None,
+            base: ResumeBase::default(),
+            started: Instant::now(),
         }
+    }
+
+    /// Attaches the checkpoint rendezvous (before workers start).
+    fn with_checkpointing(
+        mut self,
+        cfg: &'a CheckpointCfg,
+        sink: &'a dyn SnapshotSink<M::State>,
+    ) -> Self {
+        let workers = self.frontiers.len();
+        self.ckpt = Some(CkptState {
+            sink,
+            every: cfg.every,
+            abort_after: cfg.abort_after,
+            pause: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            next_at: AtomicUsize::new(if cfg.every == 0 {
+                usize::MAX
+            } else {
+                self.visited.len() + cfg.every
+            }),
+            written: AtomicU32::new(0),
+            write_nanos: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            published: (0..workers).map(|_| Mutex::new(WorkerResult::default())).collect(),
+        });
+        self
     }
 
     fn push_work(&self, worker: usize, state: M::State) {
         // Publish the obligation before the state becomes stealable, so
         // `pending` never undercounts queued work.
         self.pending.fetch_add(1, Ordering::SeqCst);
-        let mut q = self.frontiers[worker].lock().expect("frontier lock");
+        let mut q = lock_clean(&self.frontiers[worker]);
         q.push_back(state);
         let len = q.len();
         drop(q);
@@ -463,7 +682,7 @@ impl<'a, M: Machine> Engine<'a, M> {
     }
 
     fn pop_local(&self, worker: usize) -> Option<M::State> {
-        self.frontiers[worker].lock().expect("frontier lock").pop_back()
+        lock_clean(&self.frontiers[worker]).pop_back()
     }
 
     /// Steals roughly half of the first non-empty victim deque (front
@@ -474,7 +693,7 @@ impl<'a, M: Machine> Engine<'a, M> {
         for offset in 1..n {
             let victim = (worker + offset) % n;
             let mut booty: VecDeque<M::State> = {
-                let mut v = self.frontiers[victim].lock().expect("frontier lock");
+                let mut v = lock_clean(&self.frontiers[victim]);
                 let take = v.len().div_ceil(2);
                 if take == 0 {
                     continue;
@@ -484,7 +703,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             self.steals.fetch_add(1, Ordering::Relaxed);
             let first = booty.pop_front();
             if !booty.is_empty() {
-                let mut local = self.frontiers[worker].lock().expect("frontier lock");
+                let mut local = lock_clean(&self.frontiers[worker]);
                 local.extend(booty.drain(..));
             }
             return first;
@@ -494,18 +713,156 @@ impl<'a, M: Machine> Engine<'a, M> {
 
     fn truncate(&self, reason: TruncationReason) {
         match reason {
-            TruncationReason::StateCap => self.capped.store(true, Ordering::Relaxed),
+            TruncationReason::MaxStates => self.capped.store(true, Ordering::Relaxed),
             TruncationReason::Deadline => self.deadline_hit.store(true, Ordering::Relaxed),
+            TruncationReason::Resumable => self.resumable.store(true, Ordering::Relaxed),
+            // WorkerPanic is inferred at the end (work left + all dead),
+            // never raised mid-run: surviving workers may yet finish.
+            TruncationReason::WorkerPanic => {}
         }
         self.stop.store(true, Ordering::SeqCst);
     }
 
+    /// Notes the clock ran `now - deadline` past the budget.
+    fn record_overshoot(&self, deadline: Instant, now: Instant) {
+        let ns = now.saturating_duration_since(deadline).as_nanos().min(u128::from(u64::MAX));
+        self.overshoot_nanos.fetch_max(ns as u64, Ordering::Relaxed);
+    }
+
+    /// Copies a worker's cumulative results into its published slot so
+    /// a checkpoint coordinator can merge them without joining the
+    /// thread.
+    fn publish(&self, worker: usize, out: &WorkerResult) {
+        if let Some(c) = &self.ckpt {
+            *lock_clean(&c.published[worker]) = out.clone();
+        }
+    }
+
+    /// The loop-top safepoint of the checkpoint rendezvous: park if a
+    /// coordinator paused the fleet, or become the coordinator if the
+    /// periodic threshold was crossed. Called with no in-flight state,
+    /// which is what makes the resulting snapshot consistent.
+    fn ckpt_safepoint(&self, worker: usize, out: &WorkerResult) {
+        let Some(c) = &self.ckpt else { return };
+        loop {
+            if c.pause.load(Ordering::SeqCst) {
+                self.publish(worker, out);
+                c.parked.fetch_add(1, Ordering::SeqCst);
+                while c.pause.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                c.parked.fetch_sub(1, Ordering::SeqCst);
+                continue; // re-check: another save may begin immediately
+            }
+            if c.every != 0
+                && !self.stop.load(Ordering::Relaxed)
+                && !c.failed.load(Ordering::Relaxed)
+                && self.visited.len() >= c.next_at.load(Ordering::Relaxed)
+            {
+                if c.pause.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+                {
+                    self.coordinate(worker, c, out);
+                }
+                continue; // lost the race: loop around and park
+            }
+            return;
+        }
+    }
+
+    /// Runs one checkpoint as the elected coordinator: wait for every
+    /// other live worker to park, serialize the quiescent engine, then
+    /// release the fleet.
+    fn coordinate(&self, worker: usize, c: &CkptState<'a, M::State>, out: &WorkerResult) {
+        self.publish(worker, out);
+        // Workers either park (parked += 1) or retire (active -= 1);
+        // both make progress, so this terminates.
+        while c.parked.load(Ordering::SeqCst) + 1 < self.active.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let wrote = Instant::now();
+        let snap = Snapshot::Parallel(self.snapshot(None));
+        match c.sink.write(&snap) {
+            Ok(()) => {
+                c.write_nanos.fetch_add(
+                    wrote.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    Ordering::Relaxed,
+                );
+                let n = c.written.fetch_add(1, Ordering::SeqCst) + 1;
+                c.next_at.store(self.visited.len() + c.every, Ordering::SeqCst);
+                if c.abort_after.is_some_and(|k| n >= k) {
+                    self.truncate(TruncationReason::Resumable);
+                }
+            }
+            Err(e) => {
+                *lock_clean(&c.error) = Some(e);
+                c.failed.store(true, Ordering::SeqCst);
+                // Checkpointing was requested and is broken: fail fast
+                // rather than run hours more with no crash tolerance.
+                self.stop.store(true, Ordering::SeqCst);
+            }
+        }
+        c.pause.store(false, Ordering::SeqCst);
+    }
+
+    /// A consistent image of the engine. Callers guarantee quiescence
+    /// (rendezvous mid-run, or all workers joined at the end).
+    fn snapshot(&self, truncation: Option<TruncationReason>) -> ParallelSnapshot<M::State> {
+        let mut outcomes = self.base.outcomes.clone();
+        let mut deadlocks = self.base.deadlocks;
+        if let Some(c) = &self.ckpt {
+            for slot in &c.published {
+                let r = lock_clean(slot);
+                outcomes.extend(r.outcomes.iter().cloned());
+                deadlocks += r.deadlocks as u64;
+            }
+        }
+        let shards: Vec<Vec<M::State>> =
+            self.visited.shards.iter().map(|s| lock_clean(s).iter().cloned().collect()).collect();
+        let frontier: Vec<M::State> = self
+            .frontiers
+            .iter()
+            .flat_map(|f| lock_clean(f).iter().cloned().collect::<Vec<_>>())
+            .collect();
+        ParallelSnapshot {
+            outcomes,
+            deadlocks,
+            counters: self.persisted_counters(),
+            truncation,
+            shards,
+            frontier,
+        }
+    }
+
+    fn persisted_counters(&self) -> PersistedCounters {
+        let (written, write_nanos) = match &self.ckpt {
+            Some(c) => (c.written.load(Ordering::Relaxed), c.write_nanos.load(Ordering::Relaxed)),
+            None => (0, 0),
+        };
+        PersistedCounters {
+            distinct: self.visited.len() as u64,
+            dedup_hits: self.visited.dedup_hits.load(Ordering::Relaxed),
+            dedup_probes: self.visited.dedup_probes.load(Ordering::Relaxed),
+            pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            peak_frontier: self.peak_frontier.load(Ordering::Relaxed) as u64,
+            elapsed_nanos: self.base.elapsed_nanos
+                + self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            checkpoints: self.base.checkpoints + written,
+            ckpt_write_nanos: self.base.checkpoint_nanos + write_nanos,
+            worker_panics: self.worker_panics.load(Ordering::Relaxed) as u32,
+            overshoot_nanos: self.overshoot_nanos.load(Ordering::Relaxed),
+        }
+    }
+
     /// One worker's main loop.
     fn run_worker(&self, worker: usize) -> WorkerResult {
-        let mut out = WorkerResult { outcomes: BTreeSet::new(), deadlocks: 0 };
+        let mut out = WorkerResult::default();
         let mut succ: Vec<(Label, M::State)> = Vec::new();
         let mut until_deadline_check = DEADLINE_CHECK_EVERY;
         loop {
+            self.ckpt_safepoint(worker, &out);
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -521,39 +878,92 @@ impl<'a, M: Machine> Engine<'a, M> {
                 until_deadline_check -= 1;
                 if until_deadline_check == 0 {
                     until_deadline_check = DEADLINE_CHECK_EVERY;
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.record_overshoot(deadline, now);
                         self.truncate(TruncationReason::Deadline);
+                        // Keep the popped state recoverable: back into
+                        // the frontier, not dropped on the floor.
+                        self.push_work(worker, state);
                         self.pending.fetch_sub(1, Ordering::SeqCst);
                         break;
                     }
                 }
             }
-            self.expand(worker, state, &mut succ, &mut out);
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+            // Panic isolation: a machine's `successors`/`outcome` (or a
+            // state's own Hash/Eq) may panic. Absorb it, requeue the
+            // in-flight state for a surviving worker, and retire this
+            // worker — the run degrades to fewer threads instead of
+            // aborting or deadlocking the shards (which tolerate
+            // poison, see `lock_clean`).
+            let step =
+                catch_unwind(AssertUnwindSafe(|| self.expand(worker, &state, &mut succ, &mut out)));
+            match step {
+                Ok(Step::Done) => {
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(Step::Interrupted) => {
+                    // Truncation struck mid-expansion; `truncate` has
+                    // set `stop`. Requeue so the final checkpoint's
+                    // frontier stays exact.
+                    self.push_work(worker, state);
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+                Err(_) => {
+                    self.worker_panics.fetch_add(1, Ordering::SeqCst);
+                    self.push_work(worker, state);
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
         }
+        // Retire: publish final results *before* leaving the active
+        // set, so a coordinator that stops waiting for us still sees
+        // everything we found.
+        self.publish(worker, &out);
+        self.active.fetch_sub(1, Ordering::SeqCst);
         out
     }
 
     /// Classifies one state and enqueues its unseen successors.
+    ///
+    /// Interruption safety (for requeue-and-re-expand): outcomes and
+    /// deadlocks are classified *before* any successor is admitted and
+    /// return immediately, so an [`Step::Interrupted`] state was never
+    /// counted, and re-expanding it later re-derives successors whose
+    /// already-admitted prefix simply dedups away.
     fn expand(
         &self,
         worker: usize,
-        state: M::State,
+        state: &M::State,
         succ: &mut Vec<(Label, M::State)>,
         out: &mut WorkerResult,
-    ) {
-        if let Some(outcome) = self.machine.outcome(self.prog, &state) {
+    ) -> Step {
+        if let Some(outcome) = self.machine.outcome(self.prog, state) {
             out.outcomes.insert(outcome);
-            return;
+            return Step::Done;
         }
         succ.clear();
-        self.machine.successors(self.prog, &state, succ);
+        self.machine.successors(self.prog, state, succ);
+        // Per-arc deadline enforcement: `successors` is the potentially
+        // slow machine step, so re-read the clock right after it rather
+        // than letting a slow transition function overshoot the budget
+        // by up to DEADLINE_CHECK_EVERY states.
+        if let Some(deadline) = self.deadline_at {
+            let now = Instant::now();
+            if now >= deadline {
+                self.record_overshoot(deadline, now);
+                self.truncate(TruncationReason::Deadline);
+                return Step::Interrupted;
+            }
+        }
         if succ.is_empty() {
             out.deadlocks += 1;
-            return;
+            return Step::Done;
         }
         if let Some(table) = &self.reduction {
-            if let Some(keep) = ample_index(self.machine, &state, succ, table) {
+            if let Some(keep) = ample_index(self.machine, state, succ, table) {
                 self.pruned_arcs.fetch_add(succ.len() as u64 - 1, Ordering::Relaxed);
                 succ.swap(0, keep);
                 succ.truncate(1);
@@ -564,46 +974,63 @@ impl<'a, M: Machine> Engine<'a, M> {
                 Admit::New(next) => self.push_work(worker, next),
                 Admit::Seen => {}
                 Admit::Capped => {
-                    self.truncate(TruncationReason::StateCap);
-                    return;
+                    self.truncate(TruncationReason::MaxStates);
+                    return Step::Interrupted;
                 }
             }
+        }
+        Step::Done
+    }
+
+    /// Why the run stopped early, if it did — called after the workers
+    /// joined (quiescent).
+    fn truncation(&self) -> Option<TruncationReason> {
+        if self.capped.load(Ordering::Relaxed) {
+            Some(TruncationReason::MaxStates)
+        } else if self.deadline_hit.load(Ordering::Relaxed) {
+            Some(TruncationReason::Deadline)
+        } else if self.resumable.load(Ordering::Relaxed) {
+            Some(TruncationReason::Resumable)
+        } else if self.pending.load(Ordering::SeqCst) != 0 {
+            // Work was queued but nobody is left to run it: every
+            // worker died to a panic. The visited set is intact and the
+            // collected outcomes are a valid lower bound.
+            debug_assert!(self.worker_panics.load(Ordering::Relaxed) > 0);
+            Some(TruncationReason::WorkerPanic)
+        } else {
+            None
         }
     }
 
     fn into_exploration(self, results: Vec<WorkerResult>, started: Instant) -> Exploration {
-        let mut outcomes = BTreeSet::new();
-        let mut deadlocks = 0;
+        let mut outcomes = self.base.outcomes.clone();
+        let mut deadlocks = usize::try_from(self.base.deadlocks).unwrap_or(usize::MAX);
         for r in results {
             outcomes.extend(r.outcomes);
             deadlocks += r.deadlocks;
         }
-        let truncation = if self.capped.load(Ordering::Relaxed) {
-            Some(TruncationReason::StateCap)
-        } else if self.deadline_hit.load(Ordering::Relaxed) {
-            Some(TruncationReason::Deadline)
-        } else {
-            None
-        };
+        let truncation = self.truncation();
+        let counters = self.persisted_counters();
         let stats = ExplorationStats {
             distinct_states: self.visited.len(),
-            duration: started.elapsed(),
-            dedup_hits: self.visited.dedup_hits.load(Ordering::Relaxed),
-            dedup_probes: self.visited.dedup_probes.load(Ordering::Relaxed),
+            duration: Duration::from_nanos(self.base.elapsed_nanos) + started.elapsed(),
+            dedup_hits: counters.dedup_hits,
+            dedup_probes: counters.dedup_probes,
             peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
             threads: self.frontiers.len(),
-            steals: self.steals.load(Ordering::Relaxed),
-            pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
+            steals: counters.steals,
+            pruned_arcs: counters.pruned_arcs,
             truncation,
+            worker_panics: counters.worker_panics,
+            deadline_overshoot: Duration::from_nanos(counters.overshoot_nanos),
+            checkpoints: counters.checkpoints,
+            checkpoint_time: Duration::from_nanos(
+                self.base.checkpoint_nanos
+                    + self.ckpt.as_ref().map_or(0, |c| c.write_nanos.load(Ordering::Relaxed)),
+            ),
             shard_states: Some(self.visited.shard_sizes()),
         };
-        Exploration {
-            outcomes,
-            states: stats.distinct_states,
-            deadlocks,
-            truncated: truncation.is_some(),
-            stats,
-        }
+        Exploration { outcomes, states: stats.distinct_states, deadlocks, truncation, stats }
     }
 }
 
@@ -623,18 +1050,142 @@ pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Explo
     let engine = Engine::new(machine, prog, limits, workers);
     engine.visited.admit_root(machine.initial(prog));
     engine.push_work(0, machine.initial(prog));
-    let results = if workers == 1 {
+    let results = run_workers(&engine, workers);
+    engine.into_exploration(results, started)
+}
+
+/// Spawns the workers and joins them — shared by every parallel entry
+/// point. `join` cannot fail: worker panics are absorbed inside
+/// [`Engine::run_worker`], never propagated to the scope.
+fn run_workers<M: Machine>(engine: &Engine<'_, M>, workers: usize) -> Vec<WorkerResult> {
+    if workers == 1 {
         // Run in place: spawning a lone scoped thread buys nothing.
         vec![engine.run_worker(0)]
     } else {
-        let engine = &engine;
         std::thread::scope(|scope| {
             let handles: Vec<_> =
                 (0..workers).map(|w| scope.spawn(move || engine.run_worker(w))).collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panic escaped catch_unwind"))
+                .collect()
         })
+    }
+}
+
+/// Common tail of the checkpointed entry points: surface any mid-run
+/// save failure, write the final checkpoint (so deadline/cap-truncated
+/// and even *completed* runs are resumable), and fold up the result.
+fn finish_checkpointed<M: Machine>(
+    engine: Engine<'_, M>,
+    results: Vec<WorkerResult>,
+) -> Result<Exploration, CheckpointError> {
+    let started = engine.started;
+    if let Some(c) = &engine.ckpt {
+        if c.failed.load(Ordering::Relaxed) {
+            return Err(lock_clean(&c.error)
+                .take()
+                .unwrap_or(CheckpointError::Malformed("checkpoint write failed")));
+        }
+        let truncation = engine.truncation();
+        let wrote = Instant::now();
+        let snap = Snapshot::Parallel(engine.snapshot(truncation));
+        c.sink.write(&snap)?;
+        c.write_nanos.fetch_add(
+            wrote.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        c.written.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(engine.into_exploration(results, started))
+}
+
+/// [`explore`], with crash tolerance: a checkpoint is autosaved to
+/// `cfg.dir` every `cfg.every` admitted states (plus a final one when
+/// the run stops, for any reason), and [`resume_exploration`] continues
+/// a checkpointed run to the same final answer an uninterrupted run
+/// would have produced.
+pub fn explore_checkpointed<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+) -> Result<Exploration, CheckpointError>
+where
+    M::State: Codec,
+{
+    let sink = FileSink { cfg, fp: config_fingerprint(machine.name(), prog, &limits) };
+    let workers = limits.resolved_threads();
+    let engine = Engine::new(machine, prog, limits, workers).with_checkpointing(cfg, &sink);
+    engine.visited.admit_root(machine.initial(prog));
+    engine.push_work(0, machine.initial(prog));
+    let results = run_workers(&engine, workers);
+    finish_checkpointed(engine, results)
+}
+
+/// Continues an exploration from the checkpoint in `cfg.dir`.
+///
+/// The checkpoint's configuration fingerprint must match this run's
+/// machine, program, state cap, and reduction mode (thread count and
+/// deadline may differ — they are resources, not semantics). The final
+/// `outcomes`, `states`, and `deadlocks` are identical to an
+/// uninterrupted [`explore`] of the same configuration: at a checkpoint
+/// boundary the frontier is exactly the admitted-but-unexpanded states,
+/// so resuming expands each reachable state exactly once overall.
+pub fn resume_exploration<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+) -> Result<Exploration, CheckpointError>
+where
+    M::State: Codec,
+{
+    let fp = config_fingerprint(machine.name(), prog, &limits);
+    let snap = match checkpoint::load::<M::State>(cfg, fp)? {
+        Snapshot::Parallel(p) => p,
+        other => return Err(CheckpointError::EngineMismatch { found: other.engine_byte() }),
     };
-    engine.into_exploration(results, started)
+    let sink = FileSink { cfg, fp };
+    let workers = limits.resolved_threads();
+    let mut engine = Engine::new(machine, prog, limits, workers);
+    // Rebuild the visited set (shard by recomputed fingerprint) and
+    // restore the durable counters the checkpoint carried.
+    let mut admitted = 0usize;
+    for states in snap.shards {
+        for s in states {
+            let f = fingerprint(&s);
+            lock_clean(engine.visited.shard_of(f)).insert(s);
+            admitted += 1;
+        }
+    }
+    engine.visited.admitted.store(admitted, Ordering::Relaxed);
+    engine.visited.dedup_hits.store(snap.counters.dedup_hits, Ordering::Relaxed);
+    engine.visited.dedup_probes.store(snap.counters.dedup_probes, Ordering::Relaxed);
+    engine.steals.store(snap.counters.steals, Ordering::Relaxed);
+    engine.pruned_arcs.store(snap.counters.pruned_arcs, Ordering::Relaxed);
+    engine.peak_frontier.store(
+        usize::try_from(snap.counters.peak_frontier).unwrap_or(usize::MAX),
+        Ordering::Relaxed,
+    );
+    engine.worker_panics.store(u64::from(snap.counters.worker_panics), Ordering::Relaxed);
+    engine.overshoot_nanos.store(snap.counters.overshoot_nanos, Ordering::Relaxed);
+    engine.base = ResumeBase {
+        outcomes: snap.outcomes,
+        deadlocks: snap.deadlocks,
+        checkpoints: snap.counters.checkpoints,
+        elapsed_nanos: snap.counters.elapsed_nanos,
+        checkpoint_nanos: snap.counters.ckpt_write_nanos,
+    };
+    let engine = engine.with_checkpointing(cfg, &sink);
+    // Round-robin the saved frontier across the workers. An empty
+    // frontier (the run had finished) just means the workers drain out
+    // immediately and the stored results are returned as-is.
+    for (i, s) in snap.frontier.into_iter().enumerate() {
+        engine.push_work(i % workers, s);
+    }
+    let results = run_workers(&engine, workers);
+    finish_checkpointed(engine, results)
 }
 
 /// Explores the full reachable state space of `machine` running `prog`
@@ -686,7 +1237,7 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
                 continue;
             }
             if visited.len() >= limits.max_states {
-                truncation = Some(TruncationReason::StateCap);
+                truncation = Some(TruncationReason::MaxStates);
                 break 'search;
             }
             visited.insert(next.clone());
@@ -704,15 +1255,13 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
         steals: 0,
         pruned_arcs,
         truncation,
+        worker_panics: 0,
+        deadline_overshoot: Duration::ZERO,
+        checkpoints: 0,
+        checkpoint_time: Duration::ZERO,
         shard_states: None,
     };
-    Exploration {
-        outcomes,
-        states: visited.len(),
-        deadlocks,
-        truncated: truncation.is_some(),
-        stats,
-    }
+    Exploration { outcomes, states: visited.len(), deadlocks, truncation, stats }
 }
 
 #[cfg(test)]
@@ -728,7 +1277,7 @@ mod tests {
             explore_seq(&ScMachine, &lit.program, Limits::default()),
             explore(&ScMachine, &lit.program, Limits::default()),
         ] {
-            assert!(!ex.truncated);
+            assert!(!ex.truncated());
             assert_eq!(ex.deadlocks, 0);
             // SC allows (0,1), (1,0), (1,1) but never (0,0).
             assert_eq!(ex.outcomes.len(), 3);
@@ -771,8 +1320,8 @@ mod tests {
             explore_seq(&ScMachine, &lit.program, Limits::with_max_states(3)),
             explore(&ScMachine, &lit.program, Limits::with_max_states(3)),
         ] {
-            assert!(ex.truncated);
-            assert_eq!(ex.stats.truncation, Some(TruncationReason::StateCap));
+            assert!(ex.truncated());
+            assert_eq!(ex.stats.truncation, Some(TruncationReason::MaxStates));
             assert_eq!(ex.states, 3);
         }
     }
@@ -793,7 +1342,7 @@ mod tests {
         let lit = litmus::iriw();
         let limits = Limits { deadline: Some(Duration::ZERO), ..Limits::default() };
         let ex = explore(&ScMachine, &lit.program, limits);
-        assert!(ex.truncated);
+        assert!(ex.truncated());
         assert_eq!(ex.stats.truncation, Some(TruncationReason::Deadline));
     }
 

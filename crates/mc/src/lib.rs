@@ -34,27 +34,31 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod contract;
 mod explore;
 pub mod fxhash;
 mod machine;
 pub mod machines;
 mod reduce;
+pub mod shrink;
 mod trace;
 
+pub use checkpoint::{CheckpointCfg, CheckpointError, Codec};
 pub use contract::{
     appears_sc, check_weak_ordering, check_weak_ordering_model, sc_outcome_set, ContractReport,
     ContractRow, ScAppearance,
 };
 pub use explore::{
-    explore, explore_seq, find_witness, Exploration, ExplorationStats, Limits, Reduction,
-    TruncationReason, Witness, N_SHARDS,
+    explore, explore_checkpointed, explore_seq, find_witness, resume_exploration, Exploration,
+    ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
 };
 pub use machine::{
     advance_skipping_delays, outcome_if_halted, DeliveryClass, Footprint, InternalKind,
     InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,
 };
-pub use reduce::explore_reduced;
+pub use reduce::{explore_reduced, explore_reduced_checkpointed, resume_reduced};
+pub use shrink::{shrink_witness, ShrinkReport};
 pub use trace::{
     check_program_conforms, check_program_drf, ProgramConformance, ProgramDrfVerdict, TraceLimits,
 };

@@ -5,6 +5,8 @@
 //! flight, so another processor can read its own stale copy.
 
 use weakord_core::ProcId;
+
+use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
@@ -166,5 +168,15 @@ mod tests {
                 lit.name
             );
         }
+    }
+}
+
+impl Codec for CdState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.cache.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(CdState { threads: Vec::decode(r)?, cache: CacheState::decode(r)? })
     }
 }

@@ -4,6 +4,8 @@
 //! (Lamport's original observation).
 
 use weakord_core::{Loc, ProcId, Value};
+
+use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
@@ -187,5 +189,16 @@ mod tests {
                 lit.name
             );
         }
+    }
+}
+
+impl Codec for NetState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.mem.encode(out);
+        self.in_flight.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NetState { threads: Vec::decode(r)?, mem: Vec::decode(r)?, in_flight: Vec::decode(r)? })
     }
 }

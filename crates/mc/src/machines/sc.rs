@@ -2,6 +2,8 @@
 //! semantics with atomic memory.
 
 use weakord_core::{ProcId, Value};
+
+use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
@@ -132,7 +134,7 @@ mod tests {
     fn sc_forbids_every_annotated_non_sc_outcome() {
         for lit in litmus::all() {
             let ex = explore(&ScMachine, &lit.program, Limits::default());
-            assert!(!ex.truncated, "{} truncated", lit.name);
+            assert!(!ex.truncated(), "{} truncated", lit.name);
             assert_eq!(ex.deadlocks, 0, "{} deadlocked", lit.name);
             assert!(
                 ex.outcomes.iter().all(|o| !(lit.non_sc)(o)),
@@ -160,5 +162,15 @@ mod tests {
                 .count();
             assert_eq!(wins, 1, "exactly one TAS must win: {o}");
         }
+    }
+}
+
+impl Codec for ScState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.mem.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ScState { threads: Vec::decode(r)?, mem: Vec::decode(r)? })
     }
 }

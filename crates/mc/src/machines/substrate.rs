@@ -17,6 +17,8 @@
 
 use weakord_core::{Loc, ProcId, Value};
 
+use crate::checkpoint::{Codec, DecodeError, Reader};
+
 /// One cached copy: its position in the location's write order plus the
 /// value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -248,5 +250,59 @@ mod tests {
         let mut twice = once.clone();
         twice.write_atomic(l(0), Value::new(0));
         assert_eq!(once, twice);
+    }
+}
+
+// Checkpoint serialization: the fields are private to protect the
+// canonicalization invariant, so the codec lives here. Decoding trusts
+// the checkpoint checksum for integrity but must never panic; the
+// structural invariants (dense versions, sorted pending) hold because
+// encoding starts from a canonical state and decoding is structural.
+impl Codec for Line {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.value.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Line { version: u32::decode(r)?, value: Value::decode(r)? })
+    }
+}
+
+impl Codec for Inv {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.source.encode(out);
+        self.target.encode(out);
+        self.loc.encode(out);
+        self.line.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Inv {
+            source: ProcId::decode(r)?,
+            target: ProcId::decode(r)?,
+            loc: Loc::decode(r)?,
+            line: Line::decode(r)?,
+        })
+    }
+}
+
+impl Codec for CacheState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.caches.encode(out);
+        self.latest.encode(out);
+        self.pending.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let caches: Vec<Vec<Line>> = Vec::decode(r)?;
+        let latest: Vec<Line> = Vec::decode(r)?;
+        let pending: Vec<Inv> = Vec::decode(r)?;
+        let n_locs = latest.len();
+        if caches.iter().any(|c| c.len() != n_locs) {
+            return Err(DecodeError("cache shape mismatch"));
+        }
+        let n_procs = caches.len();
+        if pending.iter().any(|i| i.target.index() >= n_procs || i.loc.index() >= n_locs) {
+            return Err(DecodeError("pending message out of range"));
+        }
+        Ok(CacheState { caches, latest, pending })
     }
 }

@@ -26,6 +26,8 @@
 //! `weakord-coherence` implements the real message protocol.
 
 use weakord_core::ProcId;
+
+use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
@@ -257,7 +259,7 @@ mod tests {
 
     fn outcomes<M: Machine>(m: &M, lit: &litmus::Litmus) -> crate::explore::Exploration {
         let ex = explore(m, &lit.program, Limits::default());
-        assert!(!ex.truncated, "{} truncated on {}", m.name(), lit.name);
+        assert!(!ex.truncated(), "{} truncated on {}", m.name(), lit.name);
         ex
     }
 
@@ -417,5 +419,20 @@ mod bnr_tests {
         assert!(ex.outcomes.iter().any(|o| (lit.non_sc)(o)));
         let sc = explore(&ScMachine, &lit.program, Limits::default());
         assert!(ex.outcomes.is_superset(&sc.outcomes));
+    }
+}
+
+impl Codec for WoState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.cache.encode(out);
+        self.last_sync.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WoState {
+            threads: Vec::decode(r)?,
+            cache: CacheState::decode(r)?,
+            last_sync: Vec::decode(r)?,
+        })
     }
 }

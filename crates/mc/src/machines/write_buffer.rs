@@ -8,6 +8,8 @@
 use std::collections::VecDeque;
 
 use weakord_core::{Loc, ProcId, Value};
+
+use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
@@ -190,5 +192,16 @@ mod tests {
                 lit.name
             );
         }
+    }
+}
+
+impl Codec for WbState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.mem.encode(out);
+        self.buffers.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WbState { threads: Vec::decode(r)?, mem: Vec::decode(r)?, buffers: Vec::decode(r)? })
     }
 }

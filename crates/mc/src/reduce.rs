@@ -43,13 +43,18 @@
 //! is what collapses delivery interleavings on sync-heavy workloads.
 
 use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use weakord_core::Loc;
-use weakord_progs::{Instr, Program, ThreadState};
+use weakord_progs::{Instr, Outcome, Program, ThreadState};
 
+use crate::checkpoint::{
+    self, config_fingerprint, CheckpointCfg, CheckpointError, Codec, PersistedCounters,
+    ReducedSnapshot, Snapshot,
+};
 use crate::explore::{
-    explore_seq, Exploration, ExplorationStats, Limits, Reduction, TruncationReason,
+    explore_checkpointed, explore_seq, resume_exploration, Exploration, ExplorationStats, Limits,
+    Reduction, TruncationReason,
 };
 use crate::fxhash::FxBuildHasher;
 use crate::machine::{
@@ -379,38 +384,270 @@ fn sleep_dependent(class: ReductionClass, table: &FutureTable, a: Footprint, b: 
 /// engines. The wall-clock `deadline` is not checked here (matching
 /// [`explore_seq`]); use the cap to bound reduced runs.
 pub fn explore_reduced<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
-    let started = Instant::now();
     let Some(table) = FutureTable::new(prog) else {
         // More locations than the masks carry: no reduction available.
         return explore_seq(machine, prog, Limits { reduction: Reduction::Full, ..limits });
     };
+    let search = ReducedSearch::fresh(machine.initial(prog));
+    run_reduced(machine, prog, limits, &table, search, None)
+        .expect("reduced run without a checkpoint sink cannot fail")
+}
+
+/// [`explore_reduced`], with crash tolerance: checkpoints are autosaved
+/// to `cfg.dir` every `cfg.every` admitted states (plus a final one
+/// when the run stops), and [`resume_reduced`] continues a checkpointed
+/// run to the identical final answer.
+///
+/// Programs too wide for the reduction (no [`FutureTable`]) fall back
+/// to the checkpointed *parallel* engine with the reduction disabled,
+/// exactly mirroring [`explore_reduced`]'s fallback; [`resume_reduced`]
+/// takes the same fallback, so the checkpoint round-trips.
+pub fn explore_reduced_checkpointed<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+) -> Result<Exploration, CheckpointError>
+where
+    M::State: Codec,
+{
+    let Some(table) = FutureTable::new(prog) else {
+        return explore_checkpointed(
+            machine,
+            prog,
+            Limits { reduction: Reduction::Full, ..limits },
+            cfg,
+        );
+    };
+    let sink = ReducedFileSink { cfg, fp: config_fingerprint(machine.name(), prog, &limits) };
+    let search = ReducedSearch::fresh(machine.initial(prog));
+    run_reduced(
+        machine,
+        prog,
+        limits,
+        &table,
+        search,
+        Some(ReducedCkpt { sink: &sink, every: cfg.every, abort_after: cfg.abort_after }),
+    )
+}
+
+/// Continues a reduced exploration from the checkpoint in `cfg.dir`.
+///
+/// The reduced search is a deterministic DFS, so restoring the exact
+/// visited map (with each state's sleep set) and the exact stack
+/// continues the run as if it was never interrupted: the final
+/// `outcomes`, `states`, and `deadlocks` equal an uninterrupted
+/// [`explore_reduced`] of the same configuration.
+pub fn resume_reduced<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+) -> Result<Exploration, CheckpointError>
+where
+    M::State: Codec,
+{
+    let Some(table) = FutureTable::new(prog) else {
+        return resume_exploration(
+            machine,
+            prog,
+            Limits { reduction: Reduction::Full, ..limits },
+            cfg,
+        );
+    };
+    let fp = config_fingerprint(machine.name(), prog, &limits);
+    let snap = match checkpoint::load::<M::State>(cfg, fp)? {
+        Snapshot::Reduced(r) => r,
+        other => return Err(CheckpointError::EngineMismatch { found: other.engine_byte() }),
+    };
+    let sink = ReducedFileSink { cfg, fp };
+    let search = ReducedSearch::from_snapshot(snap);
+    run_reduced(
+        machine,
+        prog,
+        limits,
+        &table,
+        search,
+        Some(ReducedCkpt { sink: &sink, every: cfg.every, abort_after: cfg.abort_after }),
+    )
+}
+
+/// Serializes reduced-engine snapshots. A `dyn` trait for the same
+/// reason as the parallel engine's sink: the core runner stays free of
+/// `Codec` bounds, which live only on the checkpointed entry points.
+trait ReducedSink<S> {
+    fn write(&self, snap: &Snapshot<S>) -> Result<(), CheckpointError>;
+}
+
+struct ReducedFileSink<'a> {
+    cfg: &'a CheckpointCfg,
+    fp: u64,
+}
+
+impl<S: Codec> ReducedSink<S> for ReducedFileSink<'_> {
+    fn write(&self, snap: &Snapshot<S>) -> Result<(), CheckpointError> {
+        checkpoint::save(self.cfg, self.fp, snap)
+    }
+}
+
+/// Checkpointing hooks for one reduced run.
+struct ReducedCkpt<'a, S> {
+    sink: &'a dyn ReducedSink<S>,
+    /// Autosave period in admitted states (`0`: final save only).
+    every: usize,
+    /// Crash-injection hook: suspend after this many periodic saves.
+    abort_after: Option<u32>,
+}
+
+/// The resumable portion of the reduced search: everything the DFS
+/// needs to continue, plus the durable counters a checkpoint carries.
+struct ReducedSearch<S> {
+    /// State → the sleep set it was last expanded with (Godefroid's
+    /// state-matching rule; see the loop body).
+    visited: HashMap<S, Vec<Label>, FxBuildHasher>,
+    /// DFS stack of (state, sleep set), bottom first.
+    stack: Vec<(S, Vec<Label>)>,
+    outcomes: BTreeSet<Outcome>,
+    deadlocks: usize,
+    dedup_hits: u64,
+    dedup_probes: u64,
+    pruned_arcs: u64,
+    peak_frontier: usize,
+    /// Wall-clock nanos accumulated by previous legs of this run.
+    base_elapsed_nanos: u64,
+    /// Checkpoints written across all legs.
+    checkpoints: u32,
+    /// Nanos spent writing checkpoints, across all legs.
+    ckpt_write_nanos: u64,
+}
+
+impl<S: std::hash::Hash + Eq + Clone> ReducedSearch<S> {
+    fn fresh(initial: S) -> Self {
+        ReducedSearch {
+            visited: HashMap::default(),
+            stack: vec![(initial, Vec::new())],
+            outcomes: BTreeSet::new(),
+            deadlocks: 0,
+            dedup_hits: 0,
+            dedup_probes: 0,
+            pruned_arcs: 0,
+            peak_frontier: 0,
+            base_elapsed_nanos: 0,
+            checkpoints: 0,
+            ckpt_write_nanos: 0,
+        }
+    }
+
+    fn from_snapshot(snap: ReducedSnapshot<S>) -> Self {
+        ReducedSearch {
+            visited: snap.visited.into_iter().collect(),
+            stack: snap.stack,
+            outcomes: snap.outcomes,
+            deadlocks: usize::try_from(snap.deadlocks).unwrap_or(usize::MAX),
+            dedup_hits: snap.counters.dedup_hits,
+            dedup_probes: snap.counters.dedup_probes,
+            pruned_arcs: snap.counters.pruned_arcs,
+            peak_frontier: usize::try_from(snap.counters.peak_frontier).unwrap_or(usize::MAX),
+            base_elapsed_nanos: snap.counters.elapsed_nanos,
+            checkpoints: snap.counters.checkpoints,
+            ckpt_write_nanos: snap.counters.ckpt_write_nanos,
+        }
+    }
+
+    fn counters(&self, started: Instant) -> PersistedCounters {
+        PersistedCounters {
+            distinct: self.visited.len() as u64,
+            dedup_hits: self.dedup_hits,
+            dedup_probes: self.dedup_probes,
+            pruned_arcs: self.pruned_arcs,
+            steals: 0,
+            peak_frontier: self.peak_frontier as u64,
+            elapsed_nanos: self.base_elapsed_nanos
+                + started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            checkpoints: self.checkpoints,
+            ckpt_write_nanos: self.ckpt_write_nanos,
+            worker_panics: 0,
+            overshoot_nanos: 0,
+        }
+    }
+}
+
+/// Writes one checkpoint of the (quiescent-between-pops) search.
+fn save_reduced<S: std::hash::Hash + Eq + Clone>(
+    c: &ReducedCkpt<'_, S>,
+    st: &mut ReducedSearch<S>,
+    truncation: Option<TruncationReason>,
+    started: Instant,
+) -> Result<(), CheckpointError> {
+    let wrote = Instant::now();
+    let snap = Snapshot::Reduced(ReducedSnapshot {
+        outcomes: st.outcomes.clone(),
+        deadlocks: st.deadlocks as u64,
+        counters: st.counters(started),
+        truncation,
+        visited: st.visited.iter().map(|(s, sl)| (s.clone(), sl.clone())).collect(),
+        stack: st.stack.clone(),
+    });
+    c.sink.write(&snap)?;
+    st.ckpt_write_nanos += wrote.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    st.checkpoints += 1;
+    Ok(())
+}
+
+/// The sleep-set DFS proper, continuing from `st` (fresh or restored).
+///
+/// Between stack pops the search holds no in-flight state, so every
+/// loop-top is a valid checkpoint boundary; the search being a
+/// deterministic function of (visited, stack) is what makes
+/// kill-at-a-checkpoint + resume equivalent to an uninterrupted run.
+fn run_reduced<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    table: &FutureTable,
+    mut st: ReducedSearch<M::State>,
+    ckpt: Option<ReducedCkpt<'_, M::State>>,
+) -> Result<Exploration, CheckpointError> {
+    let started = Instant::now();
     let class = machine.reduction_class();
-    // State → the sleep set it was last expanded with. Re-reaching a
-    // state with a sleep set that is *not* a superset of the stored one
-    // means some transition was slept before but must be explored now:
-    // re-expand with the intersection (Godefroid's state-matching rule).
-    let mut visited: HashMap<M::State, Vec<Label>, FxBuildHasher> = HashMap::default();
-    let mut stack: Vec<(M::State, Vec<Label>)> = vec![(machine.initial(prog), Vec::new())];
-    let mut outcomes = BTreeSet::new();
-    let mut deadlocks = 0usize;
     let mut truncation = None;
-    let mut dedup_hits = 0u64;
-    let mut dedup_probes = 0u64;
-    let mut pruned_arcs = 0u64;
-    let mut peak_frontier = 0usize;
+    let mut next_at = match &ckpt {
+        Some(c) if c.every != 0 => st.visited.len() + c.every,
+        _ => usize::MAX,
+    };
+    let mut written_this_leg = 0u32;
     let mut succ: Vec<(Label, M::State)> = Vec::new();
-    'search: while let Some((state, mut sleep)) = stack.pop() {
-        let first_visit = match visited.get_mut(&state) {
+    'search: loop {
+        if st.visited.len() >= next_at {
+            let c = ckpt.as_ref().expect("next_at is finite only with a sink");
+            save_reduced(c, &mut st, None, started)?;
+            written_this_leg += 1;
+            next_at = st.visited.len() + c.every;
+            if c.abort_after.is_some_and(|k| written_this_leg >= k) {
+                truncation = Some(TruncationReason::Resumable);
+                break 'search;
+            }
+        }
+        let Some((state, mut sleep)) = st.stack.pop() else { break };
+        // Re-reaching a state with a sleep set that is *not* a superset
+        // of the stored one means some transition was slept before but
+        // must be explored now: re-expand with the intersection
+        // (Godefroid's state-matching rule).
+        let first_visit = match st.visited.get_mut(&state) {
             None => {
-                if visited.len() >= limits.max_states {
-                    truncation = Some(TruncationReason::StateCap);
+                if st.visited.len() >= limits.max_states {
+                    truncation = Some(TruncationReason::MaxStates);
+                    // Keep the popped state recoverable in the final
+                    // checkpoint's stack (mirrors the parallel engine's
+                    // requeue-on-truncation).
+                    st.stack.push((state, sleep));
                     break 'search;
                 }
-                visited.insert(state.clone(), sleep.clone());
+                st.visited.insert(state.clone(), sleep.clone());
                 true
             }
             Some(stored) => {
-                dedup_hits += 1;
+                st.dedup_hits += 1;
                 if stored.iter().all(|l| sleep.contains(l)) {
                     continue; // prior expansion covered at least this much
                 }
@@ -421,7 +658,7 @@ pub fn explore_reduced<M: Machine>(machine: &M, prog: &Program, limits: Limits) 
         };
         if let Some(outcome) = machine.outcome(prog, &state) {
             if first_visit {
-                outcomes.insert(outcome);
+                st.outcomes.insert(outcome);
             }
             continue;
         }
@@ -429,12 +666,12 @@ pub fn explore_reduced<M: Machine>(machine: &M, prog: &Program, limits: Limits) 
         machine.successors(prog, &state, &mut succ);
         if succ.is_empty() {
             if first_visit {
-                deadlocks += 1;
+                st.deadlocks += 1;
             }
             continue;
         }
-        if let Some(keep) = ample_index(machine, &state, &succ, &table) {
-            pruned_arcs += succ.len() as u64 - 1;
+        if let Some(keep) = ample_index(machine, &state, &succ, table) {
+            st.pruned_arcs += succ.len() as u64 - 1;
             succ.swap(0, keep);
             succ.truncate(1);
         }
@@ -447,43 +684,52 @@ pub fn explore_reduced<M: Machine>(machine: &M, prog: &Program, limits: Limits) 
         let mut explored: Vec<Label> = Vec::new();
         for (k, (label, next)) in succ.drain(..).enumerate() {
             if uniq[k] && sleep.contains(&label) {
-                pruned_arcs += 1;
+                st.pruned_arcs += 1;
                 continue;
             }
-            dedup_probes += 1;
+            st.dedup_probes += 1;
             let fp = label.footprint();
             let child_sleep: Vec<Label> = sleep
                 .iter()
                 .chain(explored.iter())
-                .filter(|u| !sleep_dependent(class, &table, u.footprint(), fp))
+                .filter(|u| !sleep_dependent(class, table, u.footprint(), fp))
                 .copied()
                 .collect();
-            stack.push((next, child_sleep));
-            peak_frontier = peak_frontier.max(stack.len());
+            st.stack.push((next, child_sleep));
+            st.peak_frontier = st.peak_frontier.max(st.stack.len());
             if uniq[k] {
                 explored.push(label);
             }
         }
     }
+    if let Some(c) = &ckpt {
+        // Final save: deadline/cap-truncated, suspended, and even
+        // completed runs all leave a resumable (or verifiable) image.
+        save_reduced(c, &mut st, truncation, started)?;
+    }
     let stats = ExplorationStats {
-        distinct_states: visited.len(),
-        duration: started.elapsed(),
-        dedup_hits,
-        dedup_probes,
-        peak_frontier,
+        distinct_states: st.visited.len(),
+        duration: Duration::from_nanos(st.base_elapsed_nanos) + started.elapsed(),
+        dedup_hits: st.dedup_hits,
+        dedup_probes: st.dedup_probes,
+        peak_frontier: st.peak_frontier,
         threads: 1,
         steals: 0,
-        pruned_arcs,
+        pruned_arcs: st.pruned_arcs,
         truncation,
+        worker_panics: 0,
+        deadline_overshoot: Duration::ZERO,
+        checkpoints: st.checkpoints,
+        checkpoint_time: Duration::from_nanos(st.ckpt_write_nanos),
         shard_states: None,
     };
-    Exploration {
-        outcomes,
-        states: visited.len(),
-        deadlocks,
-        truncated: truncation.is_some(),
+    Ok(Exploration {
+        outcomes: st.outcomes,
+        states: stats.distinct_states,
+        deadlocks: st.deadlocks,
+        truncation,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -543,7 +789,7 @@ mod tests {
         fn check<M: Machine>(machine: &M, prog: &Program) {
             let full = explore_seq(machine, prog, Limits::default());
             let red = explore_reduced(machine, prog, Limits::default());
-            assert!(!full.truncated && !red.truncated);
+            assert!(!full.truncated() && !red.truncated());
             assert_eq!(red.outcomes, full.outcomes, "{} × {}", machine.name(), prog.name);
             assert_eq!(red.deadlocks, full.deadlocks, "{} × {}", machine.name(), prog.name);
             assert!(

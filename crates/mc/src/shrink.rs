@@ -1,0 +1,216 @@
+//! Counterexample shrinking: delta debugging over the schedule.
+//!
+//! A witness interleaving that reaches a forbidden outcome is the
+//! explorer's most important artifact, but with faults and reduction in
+//! play the first witness found can carry steps irrelevant to the
+//! violation (retries, unrelated drains, spins). This module minimizes
+//! a witness with the classic `ddmin` algorithm [Zeller/Hildebrandt]:
+//! repeatedly try replaying the schedule with a chunk of labels
+//! removed, keep any shorter schedule that *still reproduces* the
+//! target outcome, and refine the chunk size until no single label can
+//! be dropped.
+//!
+//! Every candidate is re-validated against the machine by [`replay`] —
+//! a schedule is only accepted if each label matches an enabled
+//! transition from the current state and the run ends in a terminal
+//! outcome satisfying the predicate. The result is therefore never a
+//! guess: [`ShrinkReport::shrunk`] is itself a machine-checked witness,
+//! and it is never longer than the input (shrinking only removes).
+
+use weakord_progs::{Outcome, Program};
+
+use crate::explore::Witness;
+use crate::machine::{Label, Machine};
+
+/// The result of shrinking one witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkReport {
+    /// Length of the witness as found by the explorer.
+    pub original_len: usize,
+    /// The minimized witness (== the original if nothing could be
+    /// removed, or if the original failed to replay). Never longer than
+    /// the original.
+    pub shrunk: Witness,
+    /// Whether the *original* witness replayed to a matching outcome.
+    /// `false` means the schedule no longer reproduces (e.g. it was
+    /// recorded under a different machine or program) and no shrinking
+    /// was attempted.
+    pub reproduced: bool,
+    /// Candidate replays attempted (the cost of the shrink).
+    pub replays: usize,
+}
+
+impl ShrinkReport {
+    /// Labels removed from the original witness.
+    pub fn removed(&self) -> usize {
+        self.original_len - self.shrunk.len()
+    }
+}
+
+/// Replays `schedule` from the machine's initial state, taking at each
+/// step the first enabled transition whose label matches the next
+/// scheduled label. Returns the terminal outcome if every label
+/// matched and the final state is terminal, `None` otherwise.
+///
+/// Greedy first-match is sound for validation: whatever state the
+/// matched transitions lead to, the outcome returned is one the
+/// machine really produces under *some* schedule no longer than the
+/// input.
+pub fn replay<M: Machine>(machine: &M, prog: &Program, schedule: &[Label]) -> Option<Outcome> {
+    let mut state = machine.initial(prog);
+    let mut succ: Vec<(Label, M::State)> = Vec::new();
+    for label in schedule {
+        succ.clear();
+        machine.successors(prog, &state, &mut succ);
+        let pos = succ.iter().position(|(l, _)| l == label)?;
+        state = succ.swap_remove(pos).1;
+    }
+    machine.outcome(prog, &state)
+}
+
+/// Minimizes `witness` with delta debugging, re-validating every
+/// candidate against `machine` via [`replay`].
+///
+/// The returned schedule still reproduces an outcome satisfying
+/// `predicate` (when the original did) and is 1-minimal: removing any
+/// single remaining label breaks the reproduction.
+pub fn shrink_witness<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    witness: &[Label],
+    predicate: impl Fn(&Outcome) -> bool,
+) -> ShrinkReport {
+    let mut replays = 0usize;
+    let mut check = |cand: &[Label]| {
+        replays += 1;
+        replay(machine, prog, cand).is_some_and(|o| predicate(&o))
+    };
+    if !check(witness) {
+        return ShrinkReport {
+            original_len: witness.len(),
+            shrunk: witness.to_vec(),
+            reproduced: false,
+            replays,
+        };
+    }
+    let mut current: Vec<Label> = witness.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let cand: Vec<Label> =
+                current[..start].iter().chain(current[end..].iter()).copied().collect();
+            if !cand.is_empty() && check(&cand) {
+                // The removed chunk was irrelevant: keep the shorter
+                // schedule and re-derive the granularity.
+                current = cand;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if n == current.len() {
+                break; // already 1-minimal
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    ShrinkReport { original_len: witness.len(), shrunk: current, reproduced: true, replays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{find_witness, Limits};
+    use crate::machines::{CacheDelayMachine, ScMachine, WriteBufferMachine};
+    use weakord_progs::litmus;
+
+    #[test]
+    fn replay_validates_a_found_witness() {
+        let lit = litmus::fig1_dekker();
+        let w =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .expect("write buffer violates Dekker");
+        let outcome = replay(&WriteBufferMachine, &lit.program, &w).expect("witness replays");
+        assert!((lit.non_sc)(&outcome));
+    }
+
+    #[test]
+    fn replay_rejects_a_schedule_for_the_wrong_machine() {
+        // An SC run can never take a write-buffer drain label.
+        let lit = litmus::fig1_dekker();
+        let w =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .expect("write buffer violates Dekker");
+        assert!(
+            replay(&ScMachine, &lit.program, &w).is_none(),
+            "drain labels must not match any SC transition"
+        );
+    }
+
+    #[test]
+    fn shrunk_witnesses_stay_valid_and_never_grow() {
+        let lit = litmus::fig1_dekker();
+        for report in [
+            {
+                let w = find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| {
+                    (lit.non_sc)(o)
+                })
+                .unwrap();
+                shrink_witness(&WriteBufferMachine, &lit.program, &w, |o| (lit.non_sc)(o))
+            },
+            {
+                let w = find_witness(&CacheDelayMachine, &lit.program, Limits::default(), |o| {
+                    (lit.non_sc)(o)
+                })
+                .unwrap();
+                shrink_witness(&CacheDelayMachine, &lit.program, &w, |o| (lit.non_sc)(o))
+            },
+        ] {
+            assert!(report.reproduced);
+            assert!(report.shrunk.len() <= report.original_len, "shrinking never grows");
+            assert!(report.replays >= 1);
+        }
+        // And the shrunk schedule itself still reproduces.
+        let w =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .unwrap();
+        let report = shrink_witness(&WriteBufferMachine, &lit.program, &w, |o| (lit.non_sc)(o));
+        let outcome =
+            replay(&WriteBufferMachine, &lit.program, &report.shrunk).expect("shrunk replays");
+        assert!((lit.non_sc)(&outcome));
+    }
+
+    #[test]
+    fn shrink_is_one_minimal() {
+        let lit = litmus::fig1_dekker();
+        let w =
+            find_witness(&WriteBufferMachine, &lit.program, Limits::default(), |o| (lit.non_sc)(o))
+                .unwrap();
+        let report = shrink_witness(&WriteBufferMachine, &lit.program, &w, |o| (lit.non_sc)(o));
+        let s = &report.shrunk;
+        for skip in 0..s.len() {
+            let cand: Vec<Label> =
+                s.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, l)| *l).collect();
+            let still =
+                replay(&WriteBufferMachine, &lit.program, &cand).is_some_and(|o| (lit.non_sc)(&o));
+            assert!(!still, "label {skip} of the shrunk witness is removable");
+        }
+    }
+
+    #[test]
+    fn a_non_reproducing_witness_is_returned_unchanged() {
+        let lit = litmus::fig1_dekker();
+        // SC never reaches the forbidden outcome, so any schedule fails.
+        let w = find_witness(&ScMachine, &lit.program, Limits::default(), |o| !(lit.non_sc)(o))
+            .expect("SC has allowed outcomes");
+        let report = shrink_witness(&ScMachine, &lit.program, &w, |o| (lit.non_sc)(o));
+        assert!(!report.reproduced);
+        assert_eq!(report.shrunk, w);
+    }
+}

@@ -44,6 +44,11 @@ pub struct ProgramDrfVerdict {
     pub traces: usize,
     /// `true` if any bound was hit; a clean verdict is then
     /// bounded-exhaustive rather than a proof.
+    ///
+    /// Deliberately a bare bool, not the explorer's
+    /// [`TruncationReason`](crate::explore::TruncationReason): here the
+    /// only possible cause is the per-thread operation bound, and the
+    /// enumeration is not resumable.
     pub truncated: bool,
 }
 
@@ -219,7 +224,8 @@ pub struct ProgramConformance {
     pub violating_traces: usize,
     /// Complete traces enumerated.
     pub traces: usize,
-    /// Whether a bound was hit.
+    /// Whether a bound was hit (the trace-enumeration bound — see the
+    /// note on [`ProgramDrfVerdict::truncated`]).
     pub truncated: bool,
 }
 

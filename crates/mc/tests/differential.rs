@@ -62,7 +62,7 @@ fn suite() -> Vec<Program> {
 
 fn assert_engines_agree<M: Machine>(machine: &M, prog: &Program) {
     let seq = explore_seq(machine, prog, Limits::default());
-    assert!(!seq.truncated, "{}/{}: suite programs must fit the cap", machine.name(), prog.name);
+    assert!(!seq.truncated(), "{}/{}: suite programs must fit the cap", machine.name(), prog.name);
     for threads in THREADS {
         let par = explore(machine, prog, Limits::with_threads(threads));
         assert_eq!(
@@ -99,7 +99,7 @@ fn every_machine_agrees_on_every_program() {
 
 fn assert_reduction_agrees<M: Machine>(machine: &M, prog: &Program) {
     let seq = explore_seq(machine, prog, Limits::default());
-    assert!(!seq.truncated, "{}/{}: suite programs must fit the cap", machine.name(), prog.name);
+    assert!(!seq.truncated(), "{}/{}: suite programs must fit the cap", machine.name(), prog.name);
     // The dedicated sleep-set engine, and the ample filter inside each
     // of the two general engines: all three reduced searches must agree
     // with the full search on everything observable, in no more states.
@@ -129,7 +129,7 @@ fn assert_reduction_agrees<M: Machine>(machine: &M, prog: &Program) {
             ex.states,
             seq.states,
         );
-        assert!(!ex.truncated, "{} × {} ({engine})", machine.name(), prog.name);
+        assert!(!ex.truncated(), "{} × {} ({engine})", machine.name(), prog.name);
     }
     // Sleep sets prune arcs the ample filter alone cannot, so the
     // dedicated engine is never worse than the knob.
@@ -207,14 +207,15 @@ fn truncation_flips_exactly_at_the_state_cap() {
             explore(&machine, &prog, Limits { max_states: cap, threads: 8, ..Limits::default() });
         for (engine, ex) in [("seq", &seq), ("par", &par)] {
             assert_eq!(
-                ex.truncated, expect_truncated,
+                ex.truncated(),
+                expect_truncated,
                 "{engine}: cap {cap} of {total} states, truncated={}",
-                ex.truncated
+                ex.truncated()
             );
             assert_eq!(ex.states, total.min(cap), "{engine}: states at cap {cap}");
             assert_eq!(
                 ex.stats.truncation,
-                expect_truncated.then_some(TruncationReason::StateCap),
+                expect_truncated.then_some(TruncationReason::MaxStates),
                 "{engine}: reason at cap {cap}"
             );
         }
@@ -287,6 +288,6 @@ fn deadline_truncates_and_reports() {
     let limits =
         Limits { deadline: Some(std::time::Duration::ZERO), threads: 2, ..Limits::default() };
     let ex: Exploration = explore(&ScMachine, &prog, limits);
-    assert!(ex.truncated);
+    assert!(ex.truncated());
     assert_eq!(ex.stats.truncation, Some(TruncationReason::Deadline));
 }

@@ -45,7 +45,7 @@ proptest! {
     fn every_machine_is_a_superset_of_sc(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
         let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
         let sc = explore(&ScMachine, &prog, Limits::default());
-        prop_assert!(!sc.truncated);
+        prop_assert!(!sc.truncated());
         macro_rules! sup {
             ($m:expr) => {{
                 let ex = explore(&$m, &prog, Limits::default());

@@ -20,6 +20,9 @@ pub enum Track {
     Line(u32),
     /// A model-checker worker/shard timeline.
     Shard(u16),
+    /// The explorer's checkpoint/resume/shrink timeline (save and load
+    /// spans, shrink passes).
+    Ckpt,
     /// Machine-global events (watchdog, run boundaries).
     Global,
 }
@@ -31,6 +34,7 @@ impl fmt::Display for Track {
             Track::Dir(b) => write!(f, "dir{b}"),
             Track::Line(l) => write!(f, "line{l}"),
             Track::Shard(s) => write!(f, "shard{s}"),
+            Track::Ckpt => write!(f, "ckpt"),
             Track::Global => write!(f, "global"),
         }
     }

@@ -26,6 +26,9 @@ pub fn track_ids(track: Track) -> (u64, u64) {
         Track::Dir(b) => (PID_DIRECTORY, b as u64),
         Track::Line(l) => (PID_LINES, l as u64),
         Track::Shard(s) => (PID_EXPLORER, s as u64),
+        // Checkpoints share the explorer process, on a tid clear of any
+        // real shard id.
+        Track::Ckpt => (PID_EXPLORER, u64::from(u16::MAX) + 1),
         Track::Global => (PID_GLOBAL, 0),
     }
 }
@@ -265,5 +268,12 @@ mod tests {
                 .map(|t| track_ids(t).0)
                 .collect();
         assert_eq!(pids.len(), 5, "each track family gets its own pid");
+    }
+
+    #[test]
+    fn ckpt_track_shares_the_explorer_process_but_not_a_shard_tid() {
+        let (pid, tid) = track_ids(Track::Ckpt);
+        assert_eq!(pid, track_ids(Track::Shard(0)).0);
+        assert!(tid > u64::from(u16::MAX), "clear of every possible shard id");
     }
 }

@@ -171,6 +171,32 @@ impl ThreadState {
         self.pc
     }
 
+    /// Dumps the full interpreter state as plain data for external
+    /// serialization (the model checker's crash-tolerant checkpoints).
+    /// The status byte is `0` (ready), `1` (parked on an access), or
+    /// `2` (halted); [`ThreadState::restore`] inverts it.
+    pub fn snapshot(&self) -> (u32, [Value; N_REGS], u8) {
+        let status = match self.status {
+            Status::Ready => 0,
+            Status::AtAccess => 1,
+            Status::Halted => 2,
+        };
+        (self.pc, self.regs, status)
+    }
+
+    /// Rebuilds a thread state from a [`ThreadState::snapshot`] dump.
+    /// Returns `None` for an out-of-range status byte (a corrupt or
+    /// malicious checkpoint), never panics.
+    pub fn restore(pc: u32, regs: [Value; N_REGS], status: u8) -> Option<Self> {
+        let status = match status {
+            0 => Status::Ready,
+            1 => Status::AtAccess,
+            2 => Status::Halted,
+            _ => return None,
+        };
+        Some(ThreadState { pc, regs, status })
+    }
+
     fn eval(&self, op: Operand) -> Value {
         match op {
             Operand::Const(v) => v,

@@ -54,7 +54,7 @@ fn report<M: Machine>(machine: &M, name: &str, prog: &Program, min_shrink: usize
     println!("== {name} on `{}` ==", machine.name());
     let seq = explore_seq(machine, prog, Limits::default());
     println!("  seq      {}", seq.stats);
-    assert!(!seq.truncated, "subject should fit the state cap");
+    assert!(!seq.truncated(), "subject should fit the state cap");
     let mut best = 0.0f64;
     for threads in [1, 2, 4, 8] {
         let par = explore(machine, prog, Limits::with_threads(threads));

@@ -3,6 +3,10 @@
 //! ```text
 //! weakord litmus                 list the litmus suite
 //! weakord litmus <name>          explore one test on every machine
+//! weakord explore <name|file>    explore one machine with checkpoint/resume
+//!   crash tolerance and witness shrinking; `weakord explore --help` is the
+//!   authoritative option list (--machine --reduce --threads --max-states
+//!   --checkpoint <dir> --checkpoint-every N --resume --abort-after N --shrink)
 //! weakord litmus <name> --reduce              same, under partial-order reduction
 //! weakord litmus <name> --witness <machine>   print a forbidden-outcome interleaving
 //! weakord drf <name>             classify a litmus program against DRF0/DRF1
@@ -38,8 +42,12 @@ use weakord::mc::machines::{
     CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
     WriteBufferMachine,
 };
-use weakord::mc::{check_program_drf, explore, find_witness, Limits, Machine, TraceLimits};
-use weakord::obs::{chrome_trace, jsonl, MemTracer, MetricsRegistry};
+use weakord::mc::{
+    check_program_drf, explore, explore_checkpointed, explore_reduced,
+    explore_reduced_checkpointed, find_witness, resume_exploration, resume_reduced, shrink_witness,
+    CheckpointCfg, Codec, Limits, Machine, TraceLimits,
+};
+use weakord::obs::{chrome_trace, jsonl, Event, MemTracer, MetricsRegistry, Track};
 use weakord::progs::delay::delay_set;
 use weakord::progs::workloads::{
     barrier, fig3_scenario, producer_consumer, spin_broadcast, spinlock, spinlock_tts, ticket_lock,
@@ -50,7 +58,7 @@ use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
 
 const USAGE: &str =
-    "usage: weakord <litmus|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
+    "usage: weakord <litmus|explore|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
                      (every subcommand accepts --help; see the README)";
 
 fn main() {
@@ -58,6 +66,7 @@ fn main() {
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
     match strs.split_first() {
         Some((&"litmus", rest)) => cmd_litmus(rest),
+        Some((&"explore", rest)) => cmd_explore(rest),
         Some((&"drf", rest)) => cmd_drf(rest),
         Some((&"delay", rest)) => cmd_delay(rest),
         Some((&"disasm", rest)) => cmd_disasm(rest),
@@ -175,6 +184,172 @@ witness interleaving on `{}` for the forbidden outcome:",
         "wo-def1" => go(&WoDef1Machine, lit),
         "wo-def2" => go(&WoDef2Machine::default(), lit),
         other => eprintln!("unknown machine `{other}`"),
+    }
+}
+
+const EXPLORE_USAGE: &str = "usage: weakord explore <litmus-name|file.litmus> [opts]\n\
+ \u{20}opts: --machine sc|write-buffer|net-reorder|cache-delay|wo-def1|wo-def2\n\
+ \u{20}                               machine to explore (default wo-def2)\n\
+ \u{20}      --reduce                 partial-order reduction (sleep-set engine)\n\
+ \u{20}      --threads N              worker threads (0 = all cores)\n\
+ \u{20}      --max-states N           state cap\n\
+ \u{20}      --checkpoint <dir>       crash-tolerant autosaves into <dir>\n\
+ \u{20}      --checkpoint-every N     autosave period in admitted states (default 10000)\n\
+ \u{20}      --resume                 continue from the checkpoint in <dir>\n\
+ \u{20}      --abort-after N          suspend after N autosaves (kill/resume testing)\n\
+ \u{20}      --shrink                 delta-debug a minimal non-SC witness after the run\n\
+ \u{20}      --trace out.json         Chrome trace with checkpoint/shrink spans\n\
+ \u{20}      --trace-jsonl out.jsonl  line-delimited event log\n\
+ \u{20}      --metrics                dump the metrics registry (to stderr)\n\
+ Results (outcomes, states, deadlocks) go to stdout and are deterministic:\n\
+ a resumed run's stdout is identical to an uninterrupted run's.";
+
+/// `weakord explore`: one machine × one program, with optional
+/// checkpoint/resume crash tolerance and witness shrinking.
+fn cmd_explore(rest: &[&str]) {
+    maybe_help(rest, EXPLORE_USAGE);
+    let Some(target) = rest.first() else {
+        eprintln!("{EXPLORE_USAGE}");
+        exit(2);
+    };
+    let prog = if target.ends_with(".litmus") {
+        let src = std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("cannot read `{target}`: {e}");
+            exit(1);
+        });
+        weakord::progs::parse_program(&src).unwrap_or_else(|e| {
+            eprintln!("{target}: {e}");
+            exit(1);
+        })
+    } else {
+        find_litmus(target).program
+    };
+    let mut limits = if rest.contains(&"--reduce") { Limits::reduced() } else { Limits::default() };
+    if let Some(t) = flag(rest, "--threads") {
+        limits.threads = t.parse().expect("--threads takes a number");
+    }
+    if let Some(n) = flag(rest, "--max-states") {
+        limits.max_states = n.parse().expect("--max-states takes a number");
+    }
+    match flag(rest, "--machine").as_deref().unwrap_or("wo-def2") {
+        "sc" => explore_cli(&ScMachine, &prog, limits, rest),
+        "write-buffer" => explore_cli(&WriteBufferMachine, &prog, limits, rest),
+        "net-reorder" => explore_cli(&NetReorderMachine, &prog, limits, rest),
+        "cache-delay" => explore_cli(&CacheDelayMachine, &prog, limits, rest),
+        "wo-def1" => explore_cli(&WoDef1Machine, &prog, limits, rest),
+        "wo-def2" => explore_cli(&WoDef2Machine::default(), &prog, limits, rest),
+        other => {
+            eprintln!("unknown machine `{other}`");
+            exit(2);
+        }
+    }
+}
+
+fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str])
+where
+    M::State: Codec,
+{
+    let reduce = rest.contains(&"--reduce");
+    let resume = rest.contains(&"--resume");
+    let mut events: Vec<Event> = Vec::new();
+    let ex = match flag(rest, "--checkpoint") {
+        Some(dir) => {
+            let mut cfg = CheckpointCfg::new(dir);
+            if let Some(n) = flag(rest, "--checkpoint-every") {
+                cfg.every = n.parse().expect("--checkpoint-every takes a number");
+            }
+            cfg.abort_after = flag(rest, "--abort-after")
+                .map(|n| n.parse().expect("--abort-after takes a number"));
+            let result = match (resume, reduce) {
+                (false, false) => explore_checkpointed(m, prog, limits, &cfg),
+                (false, true) => explore_reduced_checkpointed(m, prog, limits, &cfg),
+                (true, false) => resume_exploration(m, prog, limits, &cfg),
+                (true, true) => resume_reduced(m, prog, limits, &cfg),
+            };
+            let ex = result.unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            });
+            if resume {
+                events.push(Event::instant(0, Track::Ckpt, "mc", "checkpoint-load"));
+            }
+            events.push(
+                Event::span(
+                    0,
+                    ex.stats.checkpoint_time.as_millis().min(u128::from(u64::MAX)) as u64,
+                    Track::Ckpt,
+                    "mc",
+                    "checkpoint-save",
+                )
+                .arg("count", i64::from(ex.stats.checkpoints)),
+            );
+            ex
+        }
+        None if reduce => explore_reduced(m, prog, limits),
+        None => explore(m, prog, limits),
+    };
+    // Semantic results on stdout, deterministically ordered (BTreeSet),
+    // so `diff` between a clean and a killed-and-resumed run is empty.
+    println!(
+        "{} on {}: {} outcomes, {} states, {} deadlocks",
+        prog.name,
+        m.name(),
+        ex.outcomes.len(),
+        ex.states,
+        ex.deadlocks
+    );
+    for o in &ex.outcomes {
+        println!("  {o}");
+    }
+    match ex.stats.truncation {
+        None => println!("complete"),
+        Some(r) => println!("TRUNCATED: {r}"),
+    }
+    // Run-varying diagnostics on stderr only.
+    eprintln!("{}", ex.stats);
+    if rest.contains(&"--shrink") {
+        let sc = explore(&ScMachine, prog, Limits::default());
+        let non_sc = |o: &weakord::progs::Outcome| !sc.outcomes.contains(o);
+        match find_witness(m, prog, limits, non_sc) {
+            Some(w) => {
+                let t0 = std::time::Instant::now();
+                let report = shrink_witness(m, prog, &w, non_sc);
+                events.push(
+                    Event::span(
+                        0,
+                        t0.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+                        Track::Ckpt,
+                        "mc",
+                        "shrink",
+                    )
+                    .arg("from", report.original_len as i64)
+                    .arg("to", report.shrunk.len() as i64),
+                );
+                println!(
+                    "witness shrunk {} -> {} steps ({} replays):",
+                    report.original_len,
+                    report.shrunk.len(),
+                    report.replays
+                );
+                for (i, label) in report.shrunk.iter().enumerate() {
+                    println!("  {i:>3}. {label}");
+                }
+            }
+            None => println!("no non-SC outcome reachable; nothing to shrink"),
+        }
+    }
+    if let Some(path) = flag(rest, "--trace") {
+        write_or_die(&path, &chrome_trace(&events));
+        eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
+    }
+    if let Some(path) = flag(rest, "--trace-jsonl") {
+        write_or_die(&path, &jsonl(&events));
+        eprintln!("wrote JSONL trace ({} events) to {path}", events.len());
+    }
+    if rest.contains(&"--metrics") {
+        let mut reg = MetricsRegistry::new();
+        ex.stats.export_metrics("mc", &mut reg);
+        eprint!("{}", reg.dump());
     }
 }
 

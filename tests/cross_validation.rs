@@ -37,7 +37,7 @@ fn timed_outcomes(
 fn timed_outcomes_of_drf0_programs_are_sc_outcomes() {
     for lit in litmus::all().iter().filter(|l| l.drf0) {
         let sc = explore(&ScMachine, &lit.program, Limits::default());
-        assert!(!sc.truncated);
+        assert!(!sc.truncated());
         for policy in [Policy::Sc, Policy::Def1, Policy::def2(), Policy::def2_drf1()] {
             let observed = timed_outcomes(&lit.program, policy, 0..8);
             assert!(
@@ -73,7 +73,7 @@ fn generated_drf0_programs_cross_validate() {
     for seed in 0..4 {
         let prog = gen::race_free(seed, params);
         let sc = explore(&ScMachine, &prog, Limits::default());
-        assert!(!sc.truncated, "{}", prog.name);
+        assert!(!sc.truncated(), "{}", prog.name);
         for policy in [Policy::Def1, Policy::def2()] {
             for run_seed in 0..3 {
                 let cfg =

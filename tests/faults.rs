@@ -101,7 +101,7 @@ fn faulted_runs_of_drf0_programs_stay_inside_the_sc_outcome_set() {
     for (prog, drf0) in &programs() {
         let sc_outcomes: Option<BTreeSet<Outcome>> = drf0.then(|| {
             let sc = explore(&ScMachine, prog, Limits::default());
-            assert!(!sc.truncated, "{}", prog.name);
+            assert!(!sc.truncated(), "{}", prog.name);
             sc.outcomes
         });
         for policy in policies() {

@@ -26,7 +26,7 @@ fn shipped_litmus_files_parse_and_explore() {
         assert_eq!(back.threads, prog.threads, "{}", path.display());
         // Explores without deadlock or truncation.
         let ex = explore(&ScMachine, &prog, Limits::default());
-        assert!(!ex.truncated, "{}", path.display());
+        assert!(!ex.truncated(), "{}", path.display());
         assert_eq!(ex.deadlocks, 0, "{}", path.display());
         assert!(!ex.outcomes.is_empty(), "{}", path.display());
     }
@@ -57,10 +57,10 @@ fn iriw_split_forbidden_under_sc_allowed_under_wo() {
             && o.reg(3, r1) == Value::ZERO
     };
     let sc = explore(&ScMachine, &prog, Limits::default());
-    assert!(!sc.truncated);
+    assert!(!sc.truncated());
     assert!(!sc.outcomes.iter().any(split), "SC must forbid the IRIW split");
     let wo = explore(&WoDef2Machine::default(), &prog, Limits::default());
-    assert!(!wo.truncated);
+    assert!(!wo.truncated());
     assert!(wo.outcomes.iter().any(split), "wo-def2 should reach the IRIW split");
     // Everything the weak machine adds over SC is exactly that split.
     let extra: Vec<_> = wo.outcomes.difference(&sc.outcomes).collect();
@@ -85,7 +85,7 @@ fn coherence_co_holds_on_all_machines() {
         backwards: impl Fn(&weakord::progs::Outcome) -> bool,
     ) {
         let ex = explore(m, prog, Limits::default());
-        assert!(!ex.truncated);
+        assert!(!ex.truncated());
         assert!(!ex.outcomes.iter().any(backwards), "{} violated per-location coherence", m.name());
     }
     let backwards = |o: &weakord::progs::Outcome| {
@@ -137,7 +137,7 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
         ) -> bool {
             let limits = if reduce { Limits::reduced() } else { Limits::default() };
             let ex = explore(m, prog, limits);
-            assert!(!ex.truncated, "{} truncated on `{}`", m.name(), prog.name);
+            assert!(!ex.truncated(), "{} truncated on `{}`", m.name(), prog.name);
             assert_eq!(ex.deadlocks, 0, "{} deadlocked on `{}`", m.name(), prog.name);
             if reduce {
                 // The dedicated sleep-set engine must agree with the
