@@ -993,6 +993,25 @@ impl<'p, T: Tracer> CoherentMachine<'p, T> {
                 self.cores[p].ts.complete(thread, None);
                 self.queue.schedule_in(c as u64 + 1, Ev::Tick(p));
             }
+            ThreadEvent::Fence => {
+                // A full fence waits for the core's outstanding
+                // invalidations to be acknowledged — the same issuer
+                // gate Definition 1 applies to sync accesses.
+                let cache = self.cache_of[p];
+                if self.caches[cache].counter() > 0 {
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            Event::instant(now.get(), Track::Proc(p as u16), "stall", "fence")
+                                .arg("counter", i64::from(self.caches[cache].counter())),
+                        );
+                    }
+                    self.cores[p].begin_wait(WaitKind::CounterZero, StallCause::SyncGate, now);
+                    return;
+                }
+                self.last_progress = now;
+                self.cores[p].ts.complete(thread, None);
+                self.queue.schedule_in(1, Ev::Tick(p));
+            }
             ThreadEvent::Access(access) => {
                 // Definition 1's issuer gate.
                 let cache = self.cache_of[p];

@@ -479,6 +479,7 @@ impl Codec for InternalKind {
             InternalKind::Halt => 0,
             InternalKind::Drain => 1,
             InternalKind::Deliver => 2,
+            InternalKind::Fence => 3,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -486,6 +487,7 @@ impl Codec for InternalKind {
             0 => InternalKind::Halt,
             1 => InternalKind::Drain,
             2 => InternalKind::Deliver,
+            3 => InternalKind::Fence,
             _ => return Err(DecodeError("InternalKind out of range")),
         })
     }

@@ -54,8 +54,8 @@ pub use explore::{
     ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
 };
 pub use machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, Footprint, InternalKind,
-    InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays, advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass,
+    Footprint, InternalKind, InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,
 };
 pub use reduce::{explore_reduced, explore_reduced_checkpointed, resume_reduced};
 pub use shrink::{shrink_witness, ShrinkReport};

@@ -59,6 +59,8 @@ pub enum InternalKind {
     Drain,
     /// An invalidation/update message was applied at a remote copy.
     Deliver,
+    /// A full memory fence completed (the issuer's queues were empty).
+    Fence,
 }
 
 /// An internal hardware step, carrying enough of the serviced message
@@ -87,6 +89,13 @@ impl InternalStep {
     /// A buffer/network drain of `proc`'s write to `loc` into memory.
     pub fn drain(proc: ProcId, loc: Loc) -> Self {
         InternalStep { proc, target: None, loc: Some(loc), kind: InternalKind::Drain }
+    }
+
+    /// Completion of `proc`'s full memory fence. Touches no location:
+    /// the fence's ordering force lives entirely in its enabledness
+    /// condition (the issuer's own queues must be empty).
+    pub fn fence(proc: ProcId) -> Self {
+        InternalStep { proc, target: None, loc: None, kind: InternalKind::Fence }
     }
 
     /// Delivery of `source`'s write to `loc` at `target`'s copy.
@@ -174,6 +183,7 @@ impl fmt::Display for Label {
                     ),
                     _ => write!(f, "(internal: delivery from {})", step.proc),
                 },
+                InternalKind::Fence => write!(f, "(internal: {} fence completes)", step.proc),
             },
         }
     }
@@ -290,6 +300,25 @@ pub fn advance_skipping_delays(
     loop {
         match ts.advance(thread) {
             ThreadEvent::Delay(_) => ts.complete(thread, None),
+            other => return other,
+        }
+    }
+}
+
+/// Like [`advance_skipping_delays`], but also completes `Fence` events
+/// immediately. For machines on which every write is globally performed
+/// at issue (atomic memory) or that predate fences entirely (the
+/// Definition 1/2 cache substrates and the unordered interconnect
+/// models), a fence orders nothing and is architecturally invisible.
+/// Machines with store buffers must **not** use this: their fences gate
+/// on buffer contents.
+pub fn advance_skipping_delays_and_fences(
+    ts: &mut ThreadState,
+    thread: &weakord_progs::Thread,
+) -> ThreadEvent {
+    loop {
+        match ts.advance(thread) {
+            ThreadEvent::Delay(_) | ThreadEvent::Fence => ts.complete(thread, None),
             other => return other,
         }
     }

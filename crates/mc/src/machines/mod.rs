@@ -4,6 +4,8 @@
 //! |---------|----------------|--------------|
 //! | [`ScMachine`] | Lamport's definition; the reference | n/a (everything atomic) |
 //! | [`WriteBufferMachine`] | Figure 1 configs 1 & 3 (bus, write buffers) | none |
+//! | [`TsoMachine`] | SPARC/x86 TSO (write buffer + fences/RMW as ordering points) | full |
+//! | [`PsoMachine`] | SPARC PSO (per-location buffers, STBAR) | full |
 //! | [`NetReorderMachine`] | Figure 1 config 2 (network, no caches) | none |
 //! | [`CacheDelayMachine`] | Figure 1 config 4 (caches + network) | none |
 //! | [`WoDef1Machine`] | Definition 1 (Dubois/Scheurich/Briggs) | issuer stalls |
@@ -12,14 +14,18 @@
 
 mod cache_delay;
 mod net_reorder;
+mod pso;
 mod sc;
 pub mod substrate;
+mod tso;
 mod wo;
 mod write_buffer;
 
 pub use cache_delay::{CacheDelayMachine, CdState};
 pub use net_reorder::{NetReorderMachine, NetState};
+pub use pso::{PsoMachine, PsoState};
 pub use sc::{ScMachine, ScState};
+pub use tso::{TsoMachine, TsoState};
 pub use wo::{BnrMachine, WoDef1Machine, WoDef2Machine, WoState};
 pub use write_buffer::{WbState, WriteBufferMachine};
 
@@ -31,6 +37,8 @@ const _: () = {
     const fn state<T: Send + Sync + Clone + Eq + std::hash::Hash>() {}
     state::<ScState>();
     state::<WbState>();
+    state::<TsoState>();
+    state::<PsoState>();
     state::<NetState>();
     state::<CdState>();
     state::<WoState>();

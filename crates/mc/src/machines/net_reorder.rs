@@ -9,8 +9,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
-    OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass, InternalStep, Label,
+    Machine, OpRecord, ReductionClass, SyncGate,
 };
 
 /// In-order issue into an unordered network: writes travel as in-flight
@@ -67,7 +67,8 @@ impl Machine for NetReorderMachine {
             }
             let thread = &prog.threads[t];
             let mut next = state.clone();
-            let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
+            let ThreadEvent::Access(access) =
+                advance_skipping_delays_and_fences(&mut next.threads[t], thread)
             else {
                 // The advance reached Halt: keep the halted thread state.
                 out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));

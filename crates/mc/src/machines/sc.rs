@@ -7,8 +7,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
-    OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass, InternalStep, Label,
+    Machine, OpRecord, ReductionClass, SyncGate,
 };
 
 /// Lamport's model: memory accesses of all processors execute atomically
@@ -33,7 +33,7 @@ impl ScMachine {
     /// the thread is halted.
     pub fn step_thread(prog: &Program, state: &mut ScState, t: usize) -> Option<OpRecord> {
         let thread = &prog.threads[t];
-        let event = advance_skipping_delays(&mut state.threads[t], thread);
+        let event = advance_skipping_delays_and_fences(&mut state.threads[t], thread);
         let ThreadEvent::Access(access) = event else {
             return None;
         };

@@ -31,8 +31,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
-    OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass, InternalStep, Label,
+    Machine, OpRecord, ReductionClass, SyncGate,
 };
 use crate::machines::substrate::CacheState;
 
@@ -101,7 +101,8 @@ fn successors(rule: SyncRule, prog: &Program, state: &WoState, out: &mut Vec<(La
         }
         let thread = &prog.threads[t];
         let mut next = state.clone();
-        let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
+        let ThreadEvent::Access(access) =
+            advance_skipping_delays_and_fences(&mut next.threads[t], thread)
         else {
             // The advance reached Halt: keep the halted thread state.
             out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));

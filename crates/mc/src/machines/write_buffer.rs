@@ -66,11 +66,26 @@ impl Machine for WriteBufferMachine {
             }
             let thread = &prog.threads[t];
             let mut next = state.clone();
-            let ThreadEvent::Access(access) = advance_skipping_delays(&mut next.threads[t], thread)
-            else {
+            let access = match advance_skipping_delays(&mut next.threads[t], thread) {
+                ThreadEvent::Access(access) => access,
+                ThreadEvent::Fence => {
+                    // MFENCE: executable only once the issuer's own
+                    // buffer has drained; completing it then touches
+                    // nothing. (Even sync-oblivious hardware honors an
+                    // explicit fence — it is the one ordering primitive
+                    // Figure 1's configurations were assumed to lack.)
+                    if !next.buffers[t].is_empty() {
+                        continue;
+                    }
+                    next.threads[t].complete(thread, None);
+                    out.push((Label::Internal(InternalStep::fence(ProcId::new(t as u16))), next));
+                    continue;
+                }
                 // The advance reached Halt: keep the halted thread state.
-                out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
-                continue;
+                _ => {
+                    out.push((Label::Internal(InternalStep::halt(ProcId::new(t as u16))), next));
+                    continue;
+                }
             };
             let proc = ProcId::new(t as u16);
             let kind = access.op_kind();

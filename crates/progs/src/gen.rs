@@ -12,10 +12,11 @@
 //!
 //! Generation is deterministic in the seed, so failures reproduce.
 
-use weakord_core::Loc;
+use weakord_core::{Loc, Value};
 use weakord_sim::SimRng;
 
-use crate::ir::{Program, Reg, ThreadBuilder};
+use crate::delay::{delay_set, DelayPair};
+use crate::ir::{Instr, Program, Reg, ThreadBuilder};
 
 /// Shape parameters for the generators.
 ///
@@ -136,6 +137,394 @@ fn build(seed: u64, params: GenParams, race_prob: f64) -> Program {
     Program::new(name, threads, params.n_locs()).expect("generated program is well-formed")
 }
 
+// ---------------------------------------------------------------------
+// Litmus-shape corpus.
+// ---------------------------------------------------------------------
+//
+// Classic multi-processor communication patterns, enumerated rather
+// than sampled: every cyclic conflict pattern on 2–4 threads with two
+// accesses per thread (SB, MP, LB, R, S, 2+2W and their higher-arity
+// relatives), plus the non-cyclic specials (IRIW, WRC, CoRR, CoWW).
+// Each shape comes in a *data* flavor (racy, optionally fenced), an
+// all-*sync* flavor and an *rmw* flavor (both DRF0 by construction).
+// The Shasha–Snir delay set of each program, refined per memory model
+// by [`predicts_weak`], predicts which machines admit a non-SC outcome
+// — the conformance tests check the prediction against exhaustive
+// exploration and the Definition 2 containment chain across the corpus.
+
+/// Memory-model classes the corpus classifier can predict for. Each
+/// names the *architectural relaxations* of one of the repo's machines,
+/// not the machine itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelClass {
+    /// Sequential consistency: no relaxation.
+    Sc,
+    /// The sync-oblivious write buffer of Figure 1: W→R relaxed for
+    /// *all* writes (sync included); only RMW atomicity and fences
+    /// order.
+    WriteBuffer,
+    /// SPARC/x86 TSO: data W → data R relaxed; fences, sync accesses
+    /// and RMWs are ordering points.
+    Tso,
+    /// SPARC PSO: additionally relaxes data W → data W (per-location
+    /// buffers).
+    Pso,
+    /// The weakly ordered cache substrates (Definition 1 / Definition 2
+    /// hardware): reads may return stale cached copies, so any data
+    /// edge *ending in a read* is relaxed (W→R and R→R). Writes commit
+    /// into each location's global serialization order in program
+    /// order, so W→W and R→W stay enforced — which makes these
+    /// machines incomparable with PSO (PSO reorders W→W but is
+    /// multi-copy atomic; the caches are the reverse). Fences are not
+    /// part of the architecture (no-ops).
+    Wo,
+}
+
+impl ModelClass {
+    /// All classes, strongest first.
+    pub const ALL: [ModelClass; 5] =
+        [ModelClass::Sc, ModelClass::WriteBuffer, ModelClass::Tso, ModelClass::Pso, ModelClass::Wo];
+
+    /// Short lowercase name, matching the machine registry where one
+    /// exists.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelClass::Sc => "sc",
+            ModelClass::WriteBuffer => "write-buffer",
+            ModelClass::Tso => "tso",
+            ModelClass::Pso => "pso",
+            ModelClass::Wo => "wo",
+        }
+    }
+}
+
+/// One generated litmus shape.
+#[derive(Debug, Clone)]
+pub struct LitmusShape {
+    /// Unique name, e.g. `sb`, `mp+f0`, `cyc3-ww+rr+wr+sync`.
+    pub name: String,
+    /// The program (validated).
+    pub program: Program,
+    /// Family tag: `cycle2` | `cycle3` | `cycle4` | `special`.
+    pub family: &'static str,
+    /// True for the all-sync and rmw flavors, which are DRF0 by
+    /// construction (every access is a synchronization operation).
+    pub drf: bool,
+}
+
+/// Does the Shasha–Snir analysis predict a non-SC outcome for `prog` on
+/// hardware of class `model`?
+///
+/// A program admits a weak outcome iff some delay-set cycle has an edge
+/// the model relaxes. All in-repo machines execute single-threaded code
+/// in order, so it suffices to check each [`DelayPair`] against the
+/// model's relaxation rule.
+///
+/// The rules are exact for the corpus generated here (uniform flavors:
+/// all-data, all-sync, all-rmw, with optional fences). For hand-written
+/// programs mixing data and sync accesses they are conservative about
+/// the cache substrates: `Wo` treats a sync access as ordered with its
+/// program-order neighbors, while the Definition 2 machine only orders
+/// data accesses *across* synchronization points, not against them.
+pub fn predicts_weak(prog: &Program, model: ModelClass) -> bool {
+    delay_set(prog).pairs.iter().any(|p| pair_relaxed(prog, p, model))
+}
+
+/// Is the program-order edge `first → second` relaxed on `model`?
+fn pair_relaxed(prog: &Program, p: &DelayPair, model: ModelClass) -> bool {
+    debug_assert_eq!(p.first.thread, p.second.thread);
+    let instrs = &prog.threads[p.first.thread].instrs;
+    let (i, j) = (p.first.instr, p.second.instr);
+    let fence_between = instrs[i + 1..j].iter().any(|x| matches!(x, Instr::Fence));
+    let sync = |k: usize| {
+        matches!(
+            instrs[k],
+            Instr::SyncRead { .. } | Instr::SyncWrite { .. } | Instr::SyncRmw { .. }
+        )
+    };
+    let rmw = |k: usize| matches!(instrs[k], Instr::SyncRmw { .. });
+    let pure_read = |a: &crate::delay::StaticAccess| a.reads && !a.writes;
+    match model {
+        ModelClass::Sc => false,
+        // The write buffer holds *every* plain/sync write but executes
+        // RMWs atomically at memory; reads (sync or not) bypass it.
+        ModelClass::WriteBuffer => {
+            p.first.writes && !rmw(i) && pure_read(&p.second) && !rmw(j) && !fence_between
+        }
+        // TSO: only data W → data R survives the FIFO + forwarding.
+        ModelClass::Tso => {
+            p.first.writes && !sync(i) && pure_read(&p.second) && !sync(j) && !fence_between
+        }
+        // PSO: a buffered data write may additionally pass a later data
+        // write (per-location FIFOs drain independently).
+        ModelClass::Pso => p.first.writes && !sync(i) && !sync(j) && !fence_between,
+        // The cache substrates: a data read may bind a stale local
+        // copy, so it can appear ordered before *any* program-order-
+        // earlier data access (W→R and R→R relaxed). A write is
+        // serialized into its location's global write order at commit,
+        // in program order — W→W and R→W stay enforced (no write
+        // speculation, no commit reordering). Fences are not
+        // architectural on these machines, so they do not restore
+        // order.
+        ModelClass::Wo => !sync(i) && !sync(j) && pure_read(&p.second),
+    }
+}
+
+/// One memory access in a shape blueprint: read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Acc {
+    R,
+    W,
+}
+
+impl Acc {
+    fn code(self) -> char {
+        match self {
+            Acc::R => 'r',
+            Acc::W => 'w',
+        }
+    }
+}
+
+/// A shape blueprint: per thread, the ordered list of (access, location
+/// index) pairs. Flavors and fence masks are applied at build time.
+#[derive(Debug, Clone)]
+struct Blueprint {
+    name: String,
+    family: &'static str,
+    n_locs: u32,
+    threads: Vec<Vec<(Acc, u32)>>,
+}
+
+/// How the blueprint's accesses are rendered into instructions.
+#[derive(Debug, Clone, Copy)]
+enum Flavor {
+    /// Plain reads/writes; `mask` bit `k` inserts a fence between the
+    /// accesses of the `k`-th multi-access thread.
+    Data { mask: u32 },
+    /// Every access becomes `testsync`/`setsync` (DRF0).
+    Sync,
+    /// Writes become atomic `swap`s, reads `testsync` (DRF0).
+    Rmw,
+}
+
+/// Threads eligible for a fence slot: those with at least two accesses.
+fn fence_slots(threads: &[Vec<(Acc, u32)>]) -> Vec<usize> {
+    (0..threads.len()).filter(|&t| threads[t].len() >= 2).collect()
+}
+
+/// Renders a blueprint into a validated program. Values are chosen per
+/// location (a running counter offset by the seed, mapped into 1..=7)
+/// so distinct writes to one location stay distinguishable in outcomes.
+fn build_shape(bp: &Blueprint, flavor: Flavor, seed: u64) -> Program {
+    let slots = fence_slots(&bp.threads);
+    let mut write_count = vec![0u64; bp.n_locs as usize];
+    let mut value = |loc: u32| {
+        let c = write_count[loc as usize];
+        write_count[loc as usize] += 1;
+        1 + (c + seed) % 7
+    };
+    let mut threads = Vec::with_capacity(bp.threads.len());
+    for (t, accs) in bp.threads.iter().enumerate() {
+        let mut b = ThreadBuilder::new();
+        for (k, &(acc, loc_idx)) in accs.iter().enumerate() {
+            if k > 0 {
+                if let Flavor::Data { mask } = flavor {
+                    let slot = slots.iter().position(|&s| s == t);
+                    if slot.is_some_and(|s| mask & (1 << s) != 0) {
+                        b.fence();
+                    }
+                }
+            }
+            let loc = Loc::new(loc_idx);
+            let reg = Reg::new(k as u8);
+            match (flavor, acc) {
+                (Flavor::Data { .. }, Acc::R) => b.read(reg, loc),
+                (Flavor::Data { .. }, Acc::W) => b.write(loc, value(loc_idx)),
+                (Flavor::Sync, Acc::R) | (Flavor::Rmw, Acc::R) => b.sync_read(reg, loc),
+                (Flavor::Sync, Acc::W) => b.sync_write(loc, value(loc_idx)),
+                (Flavor::Rmw, Acc::W) => b.swap(reg, loc, Value::new(value(loc_idx))),
+            };
+        }
+        b.halt();
+        threads.push(b.finish());
+    }
+    let name = shape_name(&bp.name, flavor, &slots);
+    Program::new(name, threads, bp.n_locs).expect("generated shape is well-formed")
+}
+
+fn shape_name(base: &str, flavor: Flavor, slots: &[usize]) -> String {
+    match flavor {
+        Flavor::Data { mask: 0 } => base.to_string(),
+        Flavor::Data { mask } => {
+            let which: String = slots
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| mask & (1 << s) != 0)
+                .map(|(_, t)| t.to_string())
+                .collect();
+            format!("{base}+f{which}")
+        }
+        Flavor::Sync => format!("{base}+sync"),
+        Flavor::Rmw => format!("{base}+rmw"),
+    }
+}
+
+/// The lexicographically-least rotation of a cycle-shape kind vector
+/// (rotating threads and relabeling locations consistently yields an
+/// isomorphic program, so only the canonical representative is kept).
+fn canonical_rotation(kinds: &[(Acc, Acc)]) -> Vec<(Acc, Acc)> {
+    let n = kinds.len();
+    (0..n)
+        .map(|r| {
+            let mut v: Vec<(Acc, Acc)> = kinds[r..].to_vec();
+            v.extend_from_slice(&kinds[..r]);
+            v
+        })
+        .min()
+        .expect("non-empty cycle")
+}
+
+/// All canonical valid two-access cycle shapes on `n` threads. Thread
+/// `i` accesses location `i` then location `(i+1) % n`; a shape is
+/// valid when every adjacent pair conflicts (at least one write on each
+/// shared location), so the whole access graph is one Shasha–Snir
+/// cycle.
+fn cycle_shapes(n: usize) -> Vec<Vec<(Acc, Acc)>> {
+    let accs = [Acc::R, Acc::W];
+    let mut shapes = Vec::new();
+    for code in 0..4u32.pow(n as u32) {
+        let kinds: Vec<(Acc, Acc)> = (0..n)
+            .map(|i| {
+                let k = (code >> (2 * i)) & 3;
+                (accs[(k & 1) as usize], accs[(k >> 1) as usize])
+            })
+            .collect();
+        // Location i is touched by thread i's first access and thread
+        // i-1's second access: they must conflict.
+        let valid = (0..n).all(|i| {
+            let first = kinds[i].0;
+            let second = kinds[(i + n - 1) % n].1;
+            first == Acc::W || second == Acc::W
+        });
+        if valid && kinds == canonical_rotation(&kinds) {
+            shapes.push(kinds);
+        }
+    }
+    shapes
+}
+
+/// Classic names for the canonical 2-thread cycles; higher arities get
+/// systematic `cycN-...` names.
+fn cycle_name(kinds: &[(Acc, Acc)]) -> String {
+    let classic: &[(&[(Acc, Acc)], &str)] = &[
+        (&[(Acc::W, Acc::R), (Acc::W, Acc::R)], "sb"),
+        (&[(Acc::R, Acc::W), (Acc::R, Acc::W)], "lb"),
+        (&[(Acc::W, Acc::W), (Acc::W, Acc::W)], "2+2w"),
+        (&[(Acc::W, Acc::W), (Acc::R, Acc::R)], "mp"),
+        (&[(Acc::W, Acc::W), (Acc::W, Acc::R)], "r"),
+        (&[(Acc::W, Acc::W), (Acc::R, Acc::W)], "s"),
+    ];
+    for (pattern, name) in classic {
+        if canonical_rotation(pattern) == kinds {
+            return (*name).to_string();
+        }
+    }
+    let codes: Vec<String> =
+        kinds.iter().map(|(a, b)| format!("{}{}", a.code(), b.code())).collect();
+    format!("cyc{}-{}", kinds.len(), codes.join("+"))
+}
+
+fn cycle_blueprint(kinds: &[(Acc, Acc)], family: &'static str) -> Blueprint {
+    let n = kinds.len();
+    Blueprint {
+        name: cycle_name(kinds),
+        family,
+        n_locs: n as u32,
+        threads: (0..n)
+            .map(|i| vec![(kinds[i].0, i as u32), (kinds[i].1, ((i + 1) % n) as u32)])
+            .collect(),
+    }
+}
+
+/// The non-cyclic specials: store atomicity (IRIW, WRC) and coherence
+/// (CoRR, CoWW) shapes.
+fn special_blueprints() -> Vec<Blueprint> {
+    let bp = |name: &str, n_locs: u32, threads: Vec<Vec<(Acc, u32)>>| Blueprint {
+        name: name.to_string(),
+        family: "special",
+        n_locs,
+        threads,
+    };
+    vec![
+        bp(
+            "iriw",
+            2,
+            vec![
+                vec![(Acc::W, 0)],
+                vec![(Acc::W, 1)],
+                vec![(Acc::R, 0), (Acc::R, 1)],
+                vec![(Acc::R, 1), (Acc::R, 0)],
+            ],
+        ),
+        bp(
+            "wrc",
+            2,
+            vec![vec![(Acc::W, 0)], vec![(Acc::R, 0), (Acc::W, 1)], vec![(Acc::R, 1), (Acc::R, 0)]],
+        ),
+        bp("corr", 1, vec![vec![(Acc::W, 0)], vec![(Acc::R, 0), (Acc::R, 0)]]),
+        bp("coww", 1, vec![vec![(Acc::W, 0), (Acc::W, 0)], vec![(Acc::R, 0), (Acc::R, 0)]]),
+    ]
+}
+
+/// Generates the full litmus corpus. Deterministic in `seed` (which
+/// perturbs only the written values, never the shapes), so corpus cells
+/// are stable names across runs. Yields well over 200 shapes: every
+/// canonical 2/3/4-thread cycle and the specials, each in data flavor
+/// with all fence placements (2/3-thread cycles and specials exhaust
+/// the placement masks; 4-thread cycles keep unfenced + fully-fenced to
+/// bound exploration cost), plus the all-sync and rmw DRF flavors.
+pub fn corpus(seed: u64) -> Vec<LitmusShape> {
+    let mut out = Vec::new();
+    let mut blueprints: Vec<(Blueprint, bool)> = Vec::new();
+    for n in 2..=4usize {
+        let family = match n {
+            2 => "cycle2",
+            3 => "cycle3",
+            _ => "cycle4",
+        };
+        let all_masks = n < 4;
+        for kinds in cycle_shapes(n) {
+            blueprints.push((cycle_blueprint(&kinds, family), all_masks));
+        }
+    }
+    for bp in special_blueprints() {
+        blueprints.push((bp, true));
+    }
+    for (bp, all_masks) in &blueprints {
+        let slots = fence_slots(&bp.threads).len() as u32;
+        let masks: Vec<u32> =
+            if *all_masks { (0..1 << slots).collect() } else { vec![0, (1 << slots) - 1] };
+        for mask in masks {
+            out.push(LitmusShape {
+                name: shape_name(&bp.name, Flavor::Data { mask }, &fence_slots(&bp.threads)),
+                program: build_shape(bp, Flavor::Data { mask }, seed),
+                family: bp.family,
+                drf: false,
+            });
+        }
+        for flavor in [Flavor::Sync, Flavor::Rmw] {
+            out.push(LitmusShape {
+                name: shape_name(&bp.name, flavor, &fence_slots(&bp.threads)),
+                program: build_shape(bp, flavor, seed),
+                family: bp.family,
+                drf: true,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +568,97 @@ mod tests {
     fn scaling_parameters_scale_locations() {
         let p = GenParams { n_locks: 3, data_per_lock: 2, ..GenParams::default() };
         assert_eq!(race_free(0, p).n_locs, 9);
+    }
+
+    #[test]
+    fn corpus_meets_the_size_floor_and_validates() {
+        let shapes = corpus(0);
+        assert!(shapes.len() >= 200, "corpus shrank to {} shapes", shapes.len());
+        for s in &shapes {
+            s.program.validate().unwrap_or_else(|e| panic!("{} invalid: {e:?}", s.name));
+            assert_eq!(s.name, s.program.name);
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let shapes = corpus(0);
+        let mut names: Vec<&str> = shapes.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate shape names");
+    }
+
+    #[test]
+    fn corpus_contains_the_classic_shapes() {
+        let shapes = corpus(0);
+        for want in ["sb", "mp", "lb", "2+2w", "r", "s", "iriw", "wrc", "corr", "coww"] {
+            assert!(shapes.iter().any(|s| s.name == want), "missing classic shape {want}");
+        }
+        // Fenced, sync and rmw flavors ride along.
+        for want in ["sb+f01", "mp+f0", "iriw+sync", "2+2w+rmw"] {
+            assert!(shapes.iter().any(|s| s.name == want), "missing flavor {want}");
+        }
+    }
+
+    #[test]
+    fn canonical_rotation_dedups_cycles() {
+        // (WW, RR) and (RR, WW) are the same MP shape.
+        let shapes = cycle_shapes(2);
+        assert_eq!(shapes.len(), 6, "canonical 2-thread cycles");
+        // R sorts before W, so the canonical MP representative leads
+        // with the reader thread.
+        assert!(shapes.contains(&vec![(Acc::R, Acc::R), (Acc::W, Acc::W)]));
+        assert!(!shapes.contains(&vec![(Acc::W, Acc::W), (Acc::R, Acc::R)]));
+    }
+
+    #[test]
+    fn delay_classification_matches_the_classics() {
+        let find = |name: &str| {
+            corpus(0).into_iter().find(|s| s.name == name).expect("shape exists").program
+        };
+        // SB separates SC from TSO; MP and 2+2W separate TSO from PSO;
+        // LB is SC on every in-repo machine (no R→W speculation).
+        let sb = find("sb");
+        assert!(!predicts_weak(&sb, ModelClass::Sc));
+        assert!(predicts_weak(&sb, ModelClass::Tso));
+        let mp = find("mp");
+        assert!(!predicts_weak(&mp, ModelClass::Tso));
+        assert!(predicts_weak(&mp, ModelClass::Pso));
+        assert!(predicts_weak(&find("2+2w"), ModelClass::Pso));
+        let lb = find("lb");
+        for m in ModelClass::ALL {
+            assert!(!predicts_weak(&lb, m), "LB needs speculation; {} lacks it", m.name());
+        }
+        // Fences restore order on fence-aware models but not the
+        // fence-free cache substrates.
+        let sb_fenced = find("sb+f01");
+        assert!(!predicts_weak(&sb_fenced, ModelClass::Tso));
+        assert!(!predicts_weak(&sb_fenced, ModelClass::WriteBuffer));
+        assert!(predicts_weak(&sb_fenced, ModelClass::Wo));
+        // DRF flavors are SC everywhere sync is honored; the write
+        // buffer is sync-oblivious and still breaks all-sync SB.
+        let sb_sync = find("sb+sync");
+        assert!(!predicts_weak(&sb_sync, ModelClass::Tso));
+        assert!(!predicts_weak(&sb_sync, ModelClass::Wo));
+        assert!(predicts_weak(&sb_sync, ModelClass::WriteBuffer));
+        assert!(!predicts_weak(&find("sb+rmw"), ModelClass::WriteBuffer));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_in_the_seed() {
+        let a = corpus(3);
+        let b = corpus(3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program);
+            assert_eq!((x.name.as_str(), x.family, x.drf), (y.name.as_str(), y.family, y.drf));
+        }
+        // The seed perturbs written values, not shapes.
+        let c = corpus(4);
+        assert_eq!(a.len(), c.len());
+        assert!(a.iter().zip(&c).all(|(x, y)| x.name == y.name));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.program != y.program));
     }
 }

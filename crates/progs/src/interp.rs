@@ -107,6 +107,10 @@ pub enum ThreadEvent {
     /// The thread wants to burn this many cycles of local work
     /// (`Instr::Delay`); call [`ThreadState::complete`] when done.
     Delay(u32),
+    /// The thread is at a full memory fence (`Instr::Fence`); the
+    /// machine decides when its ordering obligation is met (e.g. after
+    /// draining its store buffer) and calls [`ThreadState::complete`].
+    Fence,
     /// The thread has halted.
     Halted,
 }
@@ -261,6 +265,7 @@ impl ThreadState {
                 | Instr::SyncRead { .. }
                 | Instr::SyncWrite { .. }
                 | Instr::SyncRmw { .. }
+                | Instr::Fence
                 | Instr::Delay { .. } => {
                     self.status = Status::AtAccess;
                     return self.current_event(thread);
@@ -282,6 +287,7 @@ impl ThreadState {
                 ThreadEvent::Access(Access::Write { loc, value: self.eval(src), sync: true })
             }
             Instr::SyncRmw { loc, op, .. } => ThreadEvent::Access(Access::Rmw { loc, op }),
+            Instr::Fence => ThreadEvent::Fence,
             Instr::Delay { cycles } => ThreadEvent::Delay(cycles),
             ref other => unreachable!("parked on non-access instruction {other:?}"),
         }
@@ -303,7 +309,7 @@ impl ThreadState {
                 let v = read_value.expect("complete: access with a read component needs a value");
                 self.regs[dst.index()] = v;
             }
-            Instr::Write { .. } | Instr::SyncWrite { .. } | Instr::Delay { .. } => {
+            Instr::Write { .. } | Instr::SyncWrite { .. } | Instr::Fence | Instr::Delay { .. } => {
                 assert!(
                     read_value.is_none(),
                     "complete: access without a read component got a value"
@@ -435,6 +441,23 @@ mod tests {
             }
             e => panic!("unexpected event {e:?}"),
         }
+    }
+
+    #[test]
+    fn fence_surfaces_and_completes() {
+        let mut t = ThreadBuilder::new();
+        t.write(l(0), 1u64);
+        t.fence();
+        t.read(r(0), l(0));
+        t.halt();
+        let thread = t.finish();
+        let mut st = ThreadState::new();
+        assert!(matches!(st.advance(&thread), ThreadEvent::Access(Access::Write { .. })));
+        st.complete(&thread, None);
+        assert_eq!(st.advance(&thread), ThreadEvent::Fence);
+        assert_eq!(st.advance(&thread), ThreadEvent::Fence, "idempotent while parked");
+        st.complete(&thread, None);
+        assert!(matches!(st.advance(&thread), ThreadEvent::Access(Access::Read { .. })));
     }
 
     #[test]

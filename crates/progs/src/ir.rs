@@ -129,6 +129,11 @@ pub enum Instr {
     SyncWrite { loc: Loc, src: Operand },
     /// Read-modify-write synchronization; the old value lands in `dst`.
     SyncRmw { dst: Reg, loc: Loc, op: RmwOp },
+    /// MFENCE-style full memory fence: every earlier access by this
+    /// thread is globally performed before any later access issues.
+    /// Touches no location itself; machines without fence support
+    /// (pure Definition 1/2 cache hardware) treat it as a no-op.
+    Fence,
     /// Branch to `target` if the register is zero.
     BranchZero { reg: Reg, target: u32 },
     /// Branch to `target` if the register is non-zero.
@@ -389,6 +394,11 @@ impl ThreadBuilder {
         self.push(Instr::SyncRmw { dst, loc, op: RmwOp::Swap(v) })
     }
 
+    /// Full memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Instr::Fence)
+    }
+
     /// Branch to `target` if `reg` is zero.
     pub fn branch_zero(&mut self, reg: Reg, target: u32) -> &mut Self {
         self.push(Instr::BranchZero { reg, target })
@@ -580,6 +590,7 @@ mod tests {
         assert!(Instr::Read { dst: Reg::new(0), loc: l(0) }.is_memory());
         assert!(Instr::SyncRmw { dst: Reg::new(0), loc: l(0), op: RmwOp::TestAndSet }.is_memory());
         assert!(!Instr::Halt.is_memory());
+        assert!(!Instr::Fence.is_memory());
         assert!(!Instr::Delay { cycles: 3 }.is_memory());
         assert!(!Instr::Move { dst: Reg::new(0), src: Operand::from(1u64) }.is_memory());
     }
@@ -593,6 +604,7 @@ impl fmt::Display for Instr {
             Instr::SyncRead { dst, loc } => write!(f, "{dst} := sync.test {loc}"),
             Instr::SyncWrite { loc, src } => write!(f, "sync.set {loc} := {src}"),
             Instr::SyncRmw { dst, loc, op } => write!(f, "{dst} := sync.{op} {loc}"),
+            Instr::Fence => write!(f, "fence"),
             Instr::BranchZero { reg, target } => write!(f, "bz {reg}, @{target}"),
             Instr::BranchNonZero { reg, target } => write!(f, "bnz {reg}, @{target}"),
             Instr::Jump { target } => write!(f, "jmp @{target}"),
@@ -642,6 +654,7 @@ mod display_tests {
             (Instr::SyncRead { dst: r, loc: l }, "r1 := sync.test loc2"),
             (Instr::SyncWrite { loc: l, src: Operand::Reg(r) }, "sync.set loc2 := r1"),
             (Instr::SyncRmw { dst: r, loc: l, op: RmwOp::TestAndSet }, "r1 := sync.tas loc2"),
+            (Instr::Fence, "fence"),
             (Instr::BranchZero { reg: r, target: 4 }, "bz r1, @4"),
             (Instr::BranchNonZero { reg: r, target: 4 }, "bnz r1, @4"),
             (Instr::Jump { target: 9 }, "jmp @9"),

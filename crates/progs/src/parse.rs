@@ -32,6 +32,7 @@
 //! | `tas <loc> <reg>` | TestAndSet |
 //! | `faa <loc> <k> <reg>` | fetch-and-add `k` |
 //! | `swap <loc> <val> <reg>` | atomic swap |
+//! | `fence` | full memory fence |
 //! | `mov/add/sub <reg> <val\|reg>` | register arithmetic |
 //! | `bz/bnz <reg> <label>`, `jmp <label>` | control flow |
 //! | `delay <cycles>`, `halt` | timing / stop |
@@ -224,6 +225,10 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                         let v = Value::new(parse_u64(tokens[2], line)?);
                         b.swap(parse_reg(tokens[3], line)?, loc, v);
                     }
+                    "fence" => {
+                        need(0)?;
+                        b.fence();
+                    }
                     "mov" => {
                         need(2)?;
                         let dst = parse_reg(tokens[1], line)?;
@@ -326,6 +331,15 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.threads[0].instrs.len(), 4);
         assert_eq!(p.n_locs, 3);
+    }
+
+    #[test]
+    fn fence_parses_and_round_trips() {
+        let src = "name fenced\nthread\n  write x 1\n  fence\n  read y r0\n  halt\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.threads[0].instrs[1], Instr::Fence);
+        let back = parse_program(&unparse_program(&p)).unwrap();
+        assert_eq!(back.threads, p.threads);
     }
 
     #[test]
@@ -453,6 +467,7 @@ pub fn unparse_program(prog: &Program) -> String {
                 Instr::Move { dst, src } => format!("mov {dst} {}", operand(src)),
                 Instr::Add { dst, src } => format!("add {dst} {}", operand(src)),
                 Instr::Sub { dst, src } => format!("sub {dst} {}", operand(src)),
+                Instr::Fence => "fence".to_string(),
                 Instr::Delay { cycles } => format!("delay {cycles}"),
                 Instr::Halt => "halt".to_string(),
             };

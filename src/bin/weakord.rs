@@ -9,6 +9,8 @@
 //!   --checkpoint <dir> --checkpoint-every N --resume --abort-after N --shrink)
 //! weakord litmus <name> --reduce              same, under partial-order reduction
 //! weakord litmus <name> --witness <machine>   print a forbidden-outcome interleaving
+//! weakord corpus [opts]          generated litmus-shape corpus: list, emit,
+//!   or (--check) verify the delay-set classification and containment lattice
 //! weakord drf <name>             classify a litmus program against DRF0/DRF1
 //! weakord delay <name>           Shasha–Snir delay set of a litmus program
 //! weakord disasm <name>          disassemble a litmus program
@@ -39,13 +41,13 @@ use std::process::exit;
 use weakord::coherence::{CoherentMachine, Config, Migration, NetModel, Policy};
 use weakord::core::HbMode;
 use weakord::mc::machines::{
-    CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
-    WriteBufferMachine,
+    CacheDelayMachine, NetReorderMachine, PsoMachine, ScMachine, TsoMachine, WoDef1Machine,
+    WoDef2Machine, WriteBufferMachine,
 };
 use weakord::mc::{
     check_program_drf, explore, explore_checkpointed, explore_reduced,
     explore_reduced_checkpointed, find_witness, resume_exploration, resume_reduced, shrink_witness,
-    CheckpointCfg, Codec, Limits, Machine, TraceLimits,
+    CheckpointCfg, Codec, Exploration, Limits, Machine, TraceLimits,
 };
 use weakord::obs::{chrome_trace, jsonl, Event, MemTracer, MetricsRegistry, Track};
 use weakord::progs::delay::delay_set;
@@ -58,7 +60,7 @@ use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
 
 const USAGE: &str =
-    "usage: weakord <litmus|explore|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
+    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
                      (every subcommand accepts --help; see the README)";
 
 fn main() {
@@ -67,6 +69,7 @@ fn main() {
     match strs.split_first() {
         Some((&"litmus", rest)) => cmd_litmus(rest),
         Some((&"explore", rest)) => cmd_explore(rest),
+        Some((&"corpus", rest)) => cmd_corpus(rest),
         Some((&"drf", rest)) => cmd_drf(rest),
         Some((&"delay", rest)) => cmd_delay(rest),
         Some((&"disasm", rest)) => cmd_disasm(rest),
@@ -144,6 +147,8 @@ fn cmd_litmus(rest: &[&str]) {
             }
             row(&ScMachine, &lit, limits);
             row(&WriteBufferMachine, &lit, limits);
+            row(&TsoMachine, &lit, limits);
+            row(&PsoMachine, &lit, limits);
             row(&NetReorderMachine, &lit, limits);
             row(&CacheDelayMachine, &lit, limits);
             row(&WoDef1Machine, &lit, limits);
@@ -179,6 +184,8 @@ witness interleaving on `{}` for the forbidden outcome:",
     match machine {
         "sc" => go(&ScMachine, lit),
         "write-buffer" => go(&WriteBufferMachine, lit),
+        "tso" => go(&TsoMachine, lit),
+        "pso" => go(&PsoMachine, lit),
         "net-reorder" => go(&NetReorderMachine, lit),
         "cache-delay" => go(&CacheDelayMachine, lit),
         "wo-def1" => go(&WoDef1Machine, lit),
@@ -188,7 +195,7 @@ witness interleaving on `{}` for the forbidden outcome:",
 }
 
 const EXPLORE_USAGE: &str = "usage: weakord explore <litmus-name|file.litmus> [opts]\n\
- \u{20}opts: --machine sc|write-buffer|net-reorder|cache-delay|wo-def1|wo-def2\n\
+ \u{20}opts: --machine sc|write-buffer|tso|pso|net-reorder|cache-delay|wo-def1|wo-def2\n\
  \u{20}                               machine to explore (default wo-def2)\n\
  \u{20}      --reduce                 partial-order reduction (sleep-set engine)\n\
  \u{20}      --threads N              worker threads (0 = all cores)\n\
@@ -234,6 +241,8 @@ fn cmd_explore(rest: &[&str]) {
     match flag(rest, "--machine").as_deref().unwrap_or("wo-def2") {
         "sc" => explore_cli(&ScMachine, &prog, limits, rest),
         "write-buffer" => explore_cli(&WriteBufferMachine, &prog, limits, rest),
+        "tso" => explore_cli(&TsoMachine, &prog, limits, rest),
+        "pso" => explore_cli(&PsoMachine, &prog, limits, rest),
         "net-reorder" => explore_cli(&NetReorderMachine, &prog, limits, rest),
         "cache-delay" => explore_cli(&CacheDelayMachine, &prog, limits, rest),
         "wo-def1" => explore_cli(&WoDef1Machine, &prog, limits, rest),
@@ -350,6 +359,131 @@ where
         let mut reg = MetricsRegistry::new();
         ex.stats.export_metrics("mc", &mut reg);
         eprint!("{}", reg.dump());
+    }
+}
+
+const CORPUS_USAGE: &str = "usage: weakord corpus [opts]\n\
+ \u{20}Generated litmus-shape corpus (cycle families + IRIW/WRC/coherence\n\
+ \u{20}specials, fence/sync/rmw variants) with the static Shasha\u{2013}Snir\n\
+ \u{20}per-model classification from `progs::gen::predicts_weak`.\n\
+ \u{20}opts: --seed N       value seed (default 0; names are seed-independent)\n\
+ \u{20}      --family F     restrict to cycle2|cycle3|cycle4|special\n\
+ \u{20}      --shape NAME   restrict to one shape by exact name\n\
+ \u{20}      --emit <dir>   write each shape to <dir>/<name>.litmus and exit\n\
+ \u{20}      --check        explore every shape on sc/write-buffer/tso/pso/wo-def2\n\
+ \u{20}                     and verify the classification + SC-containment\n\
+ \u{20}      --max-states N per-exploration state cap for --check";
+
+/// `weakord corpus`: list, emit, or dynamically re-verify the generated
+/// litmus corpus that drives `tests/corpus.rs` and the containment grid.
+fn cmd_corpus(rest: &[&str]) {
+    maybe_help(rest, CORPUS_USAGE);
+    use weakord::progs::gen::{corpus, predicts_weak, ModelClass};
+    let seed = flag(rest, "--seed").map_or(0, |s| s.parse().expect("--seed takes a number"));
+    let mut shapes = corpus(seed);
+    if let Some(family) = flag(rest, "--family") {
+        shapes.retain(|s| s.family == family);
+    }
+    if let Some(name) = flag(rest, "--shape") {
+        shapes.retain(|s| s.name == name);
+    }
+    if shapes.is_empty() {
+        eprintln!("no corpus shapes match the given filters");
+        exit(2);
+    }
+    if let Some(dir) = flag(rest, "--emit") {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot create `{dir}`: {e}");
+            exit(1);
+        });
+        for s in &shapes {
+            let path = format!("{dir}/{}.litmus", s.name);
+            write_or_die(&path, &weakord::progs::unparse_program(&s.program));
+        }
+        eprintln!("wrote {} shapes to {dir}/", shapes.len());
+        return;
+    }
+    let mut limits = Limits::default();
+    if let Some(n) = flag(rest, "--max-states") {
+        limits.max_states = n.parse().expect("--max-states takes a number");
+    }
+    let check = rest.contains(&"--check");
+    println!(
+        "{:<24} {:<8} {:<4} {}",
+        "name",
+        "family",
+        "drf",
+        if check { "weak on (predicted = explored)" } else { "predicted weak on" }
+    );
+    let mut failures = 0usize;
+    for s in &shapes {
+        let predicted: Vec<&str> = ModelClass::ALL
+            .iter()
+            .filter(|c| predicts_weak(&s.program, **c))
+            .map(|c| c.name())
+            .collect();
+        let tags = if predicted.is_empty() { "-".to_string() } else { predicted.join(" ") };
+        if !check {
+            println!(
+                "{:<24} {:<8} {:<4} {tags}",
+                s.name,
+                s.family,
+                if s.drf { "yes" } else { "no" }
+            );
+            continue;
+        }
+        // Dynamic leg: exploration must agree with the static call on
+        // every modeled machine, and SC outcomes must be contained.
+        let sc = explore_reduced(&ScMachine, &s.program, limits).outcomes;
+        let mut observed: Vec<&str> = Vec::new();
+        let mut bad: Vec<String> = Vec::new();
+        let mut probe = |name: &'static str, class: ModelClass, got: Exploration| {
+            if !got.outcomes.is_superset(&sc) {
+                bad.push(format!("{name} lost SC outcomes"));
+            }
+            let weak = got.outcomes.len() > sc.len();
+            if weak {
+                observed.push(name);
+            }
+            if weak != predicts_weak(&s.program, class) {
+                bad.push(format!("{name} disagrees with the delay-set prediction"));
+            }
+        };
+        probe(
+            "write-buffer",
+            ModelClass::WriteBuffer,
+            explore_reduced(&WriteBufferMachine, &s.program, limits),
+        );
+        probe("tso", ModelClass::Tso, explore_reduced(&TsoMachine, &s.program, limits));
+        probe("pso", ModelClass::Pso, explore_reduced(&PsoMachine, &s.program, limits));
+        probe(
+            "wo-def2",
+            ModelClass::Wo,
+            explore_reduced(&WoDef2Machine::default(), &s.program, limits),
+        );
+        let shown = if observed.is_empty() { "-".to_string() } else { observed.join(" ") };
+        if bad.is_empty() {
+            println!(
+                "{:<24} {:<8} {:<4} {shown}",
+                s.name,
+                s.family,
+                if s.drf { "yes" } else { "no" }
+            );
+        } else {
+            failures += 1;
+            println!(
+                "{:<24} {:<8} {:<4} FAIL: {}",
+                s.name,
+                s.family,
+                if s.drf { "yes" } else { "no" },
+                bad.join("; ")
+            );
+        }
+    }
+    println!("{} shapes{}", shapes.len(), if check { " checked" } else { "" });
+    if failures > 0 {
+        eprintln!("{failures} shapes failed the dynamic check");
+        exit(1);
     }
 }
 
@@ -491,12 +625,16 @@ fn cmd_check(rest: &[&str]) {
     }
     row(&ScMachine, &prog, limits);
     row(&WriteBufferMachine, &prog, limits);
+    row(&TsoMachine, &prog, limits);
+    row(&PsoMachine, &prog, limits);
     row(&NetReorderMachine, &prog, limits);
     row(&CacheDelayMachine, &prog, limits);
     row(&WoDef1Machine, &prog, limits);
     row(&WoDef2Machine::default(), &prog, limits);
-    // Contract verdicts: does each weakly ordered machine appear SC?
+    // Contract verdicts: does each sync-honoring machine appear SC?
     for (name, ok) in [
+        ("tso", weakord::mc::appears_sc(&TsoMachine, &prog, Limits::default()).appears_sc),
+        ("pso", weakord::mc::appears_sc(&PsoMachine, &prog, Limits::default()).appears_sc),
         ("wo-def1", weakord::mc::appears_sc(&WoDef1Machine, &prog, Limits::default()).appears_sc),
         (
             "wo-def2",
@@ -530,6 +668,8 @@ witness interleaving on `{}` for a non-SC outcome:",
         }
         match machine.as_str() {
             "write-buffer" => wit(&WriteBufferMachine, &prog, lit_like),
+            "tso" => wit(&TsoMachine, &prog, lit_like),
+            "pso" => wit(&PsoMachine, &prog, lit_like),
             "net-reorder" => wit(&NetReorderMachine, &prog, lit_like),
             "cache-delay" => wit(&CacheDelayMachine, &prog, lit_like),
             "wo-def1" => wit(&WoDef1Machine, &prog, lit_like),

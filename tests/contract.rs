@@ -5,8 +5,8 @@
 
 use weakord::core::HbMode;
 use weakord::mc::machines::{
-    CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
-    WriteBufferMachine,
+    CacheDelayMachine, NetReorderMachine, PsoMachine, ScMachine, TsoMachine, WoDef1Machine,
+    WoDef2Machine, WriteBufferMachine,
 };
 use weakord::mc::{
     appears_sc, check_program_drf, check_weak_ordering, explore, Limits, TraceLimits,
@@ -35,6 +35,22 @@ fn weak_ordering_machines_satisfy_definition_2_wrt_drf0() {
         ),
         check_weak_ordering(
             &WoDef2Machine::default(),
+            HbMode::Drf0,
+            &programs,
+            Limits::default(),
+            TraceLimits::default(),
+        ),
+        // TSO and PSO recognize Test/Set/RMW as ordering points, so
+        // they are weakly ordered by Definition 2 as well.
+        check_weak_ordering(
+            &TsoMachine,
+            HbMode::Drf0,
+            &programs,
+            Limits::default(),
+            TraceLimits::default(),
+        ),
+        check_weak_ordering(
+            &PsoMachine,
             HbMode::Drf0,
             &programs,
             Limits::default(),
@@ -156,6 +172,8 @@ fn every_machine_appears_sc_to_single_threaded_programs() {
     }
     check!(ScMachine);
     check!(WriteBufferMachine);
+    check!(TsoMachine);
+    check!(PsoMachine);
     check!(NetReorderMachine);
     check!(CacheDelayMachine);
     check!(WoDef1Machine);
@@ -170,6 +188,172 @@ fn drf0_classification_is_stable_between_detector_runs() {
         let b = check_program_drf(&prog, HbMode::Drf0, TraceLimits::default());
         assert_eq!(a.is_race_free(), b.is_race_free());
         assert_eq!(a.races, b.races);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The machine × machine containment grid over the generated corpus.
+// ---------------------------------------------------------------------
+
+/// The grid machines, strongest first. Index order matches
+/// [`EXPECTED_SUBSET`].
+const GRID: [&str; 5] = ["sc", "write-buffer", "tso", "pso", "wo-def2"];
+
+/// `EXPECTED_SUBSET[i][j]`: does `outcomes(GRID[i]) ⊆ outcomes(GRID[j])`
+/// hold on every corpus shape? This is the *true* containment lattice
+/// of the repo's machines, checked cell by cell:
+///
+/// * `SC ⊆ TSO ⊆ PSO` — each buffer refinement only adds behaviours.
+/// * `TSO ⊆ write-buffer` — TSO is the write buffer plus *more*
+///   ordering (sync accesses drain; on all-data programs they agree).
+/// * `TSO ⊆ WO` — everything TSO relaxes (data W→R) the caches relax
+///   too, and both serialize writes in program order.
+/// * `PSO` and `WO` are **incomparable**, not a chain: PSO reorders
+///   data W→W into memory but is multi-copy atomic (one memory array),
+///   while the cache substrate commits writes in program order but
+///   lets readers see stale copies. `2+2w` separates them one way
+///   (PSO-weak, WO-SC), `iriw` the other (WO-weak, PSO-SC).
+/// * The sync-oblivious write buffer sits outside every sync-honoring
+///   machine (`sb+sync` is weak on it and SC on them).
+const EXPECTED_SUBSET: [[bool; 5]; 5] = [
+    [true, true, true, true, true],     // sc
+    [false, true, false, false, false], // write-buffer
+    [false, true, true, true, true],    // tso
+    [false, false, false, true, false], // pso
+    [false, false, false, false, true], // wo-def2
+];
+
+fn grid_outcome_sets(prog: &Program) -> [std::collections::BTreeSet<weakord::progs::Outcome>; 5] {
+    use weakord::mc::explore_reduced;
+    let run = |ex: weakord::mc::Exploration| {
+        assert!(ex.truncation.is_none(), "{} truncated", prog.name);
+        ex.outcomes
+    };
+    [
+        run(explore_reduced(&ScMachine, prog, Limits::default())),
+        run(explore_reduced(&WriteBufferMachine, prog, Limits::default())),
+        run(explore_reduced(&TsoMachine, prog, Limits::default())),
+        run(explore_reduced(&PsoMachine, prog, Limits::default())),
+        run(explore_reduced(&WoDef2Machine::default(), prog, Limits::default())),
+    ]
+}
+
+/// Shortest trace on machine `idx` reaching `outcome`, for failure
+/// messages.
+fn grid_witness(idx: usize, prog: &Program, outcome: &weakord::progs::Outcome) -> String {
+    use weakord::mc::find_witness;
+    let target = outcome.clone();
+    let w = match idx {
+        0 => find_witness(&ScMachine, prog, Limits::default(), |o| *o == target),
+        1 => find_witness(&WriteBufferMachine, prog, Limits::default(), |o| *o == target),
+        2 => find_witness(&TsoMachine, prog, Limits::default(), |o| *o == target),
+        3 => find_witness(&PsoMachine, prog, Limits::default(), |o| *o == target),
+        _ => find_witness(&WoDef2Machine::default(), prog, Limits::default(), |o| *o == target),
+    };
+    match w {
+        None => "  <no witness found>".to_string(),
+        Some(labels) => labels.iter().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n"),
+    }
+}
+
+/// Every ordered machine pair × every corpus shape: the observed
+/// outcome-set relation matches [`EXPECTED_SUBSET`], with a named
+/// witness trace whenever an expected containment breaks, and a named
+/// separator shape certifying every expected *non*-containment and the
+/// strictness of every expected containment.
+#[test]
+fn containment_grid_holds_on_the_full_corpus() {
+    let shapes = gen::corpus(0);
+    assert!(shapes.len() >= 200, "corpus shrank to {} shapes", shapes.len());
+    // separators[i][j]: first shape where i ⊄ j (an outcome of i that j
+    // lacks). strict[i][j]: first shape where i ⊊ j.
+    let mut separators: [[Option<String>; 5]; 5] = Default::default();
+    let mut strict: [[Option<String>; 5]; 5] = Default::default();
+    for shape in &shapes {
+        let sets = grid_outcome_sets(&shape.program);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i == j {
+                    continue;
+                }
+                if !sets[i].is_subset(&sets[j]) {
+                    if EXPECTED_SUBSET[i][j] {
+                        let extra = sets[i]
+                            .difference(&sets[j])
+                            .next()
+                            .expect("non-subset has an extra outcome");
+                        panic!(
+                            "{} ⊆ {} fails on corpus shape `{}`:\n\
+                             outcome {extra}\nis reachable on {} but not on {}; witness:\n{}",
+                            GRID[i],
+                            GRID[j],
+                            shape.name,
+                            GRID[i],
+                            GRID[j],
+                            grid_witness(i, &shape.program, extra),
+                        );
+                    }
+                    separators[i][j].get_or_insert_with(|| shape.name.clone());
+                }
+                if sets[i].is_subset(&sets[j]) && sets[i].len() < sets[j].len() {
+                    strict[i][j].get_or_insert_with(|| shape.name.clone());
+                }
+            }
+        }
+    }
+    for i in 0..5 {
+        for j in 0..5 {
+            if i == j {
+                continue;
+            }
+            if EXPECTED_SUBSET[i][j] {
+                assert!(
+                    strict[i][j].is_some(),
+                    "no corpus shape shows {} ⊊ {}: the pair never separates",
+                    GRID[i],
+                    GRID[j]
+                );
+            } else {
+                assert!(
+                    separators[i][j].is_some(),
+                    "no corpus shape separates {} from {}: {} ⊆ {} held everywhere \
+                     but the lattice says it must not",
+                    GRID[i],
+                    GRID[j],
+                    GRID[i],
+                    GRID[j]
+                );
+            }
+        }
+    }
+}
+
+/// Definition 2's software-side guarantee, corpus-wide: the DRF0
+/// flavors (`+sync`, `+rmw`) admit exactly the SC outcomes on every
+/// machine that recognizes synchronization operations.
+#[test]
+fn drf_corpus_shapes_appear_sc_on_every_sync_honoring_machine() {
+    use weakord::mc::machines::BnrMachine;
+    use weakord::mc::{explore_reduced, Machine};
+    for shape in gen::corpus(0).iter().filter(|s| s.drf) {
+        let sc = explore_reduced(&ScMachine, &shape.program, Limits::default()).outcomes;
+        macro_rules! check {
+            ($m:expr) => {
+                let got = explore_reduced(&$m, &shape.program, Limits::default()).outcomes;
+                assert_eq!(
+                    got,
+                    sc,
+                    "{}: DRF0 shape `{}` is not SC-only",
+                    Machine::name(&$m),
+                    shape.name
+                );
+            };
+        }
+        check!(TsoMachine);
+        check!(PsoMachine);
+        check!(WoDef1Machine);
+        check!(WoDef2Machine::default());
+        check!(BnrMachine);
     }
 }
 

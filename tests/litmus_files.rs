@@ -73,7 +73,8 @@ fn iriw_split_forbidden_under_sc_allowed_under_wo() {
 fn coherence_co_holds_on_all_machines() {
     use weakord::core::Value;
     use weakord::mc::machines::{
-        CacheDelayMachine, NetReorderMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
+        CacheDelayMachine, NetReorderMachine, PsoMachine, TsoMachine, WoDef1Machine, WoDef2Machine,
+        WriteBufferMachine,
     };
     use weakord::mc::Machine;
     use weakord::progs::Reg;
@@ -93,6 +94,8 @@ fn coherence_co_holds_on_all_machines() {
     };
     check(&ScMachine, &prog, backwards);
     check(&WriteBufferMachine, &prog, backwards);
+    check(&TsoMachine, &prog, backwards);
+    check(&PsoMachine, &prog, backwards);
     check(&NetReorderMachine, &prog, backwards);
     check(&CacheDelayMachine, &prog, backwards);
     check(&WoDef1Machine, &prog, backwards);
@@ -115,15 +118,15 @@ fn coherence_co_holds_on_all_machines() {
 fn conformance_matrix_on_every_machine_full_and_reduced() {
     use weakord::core::Value;
     use weakord::mc::machines::{
-        BnrMachine, CacheDelayMachine, NetReorderMachine, WoDef1Machine, WoDef2Machine,
-        WriteBufferMachine,
+        BnrMachine, CacheDelayMachine, NetReorderMachine, PsoMachine, TsoMachine, WoDef1Machine,
+        WoDef2Machine, WriteBufferMachine,
     };
     use weakord::mc::{explore_reduced, Machine};
     use weakord::progs::{Outcome, Program, Reg};
 
-    // Machine order: sc, write-buffer, net-reorder, cache-delay,
-    // wo-def1, wo-def2, wo-def2-drf1, wo-bnr.
-    const N_MACHINES: usize = 8;
+    // Machine order: sc, write-buffer, tso, pso, net-reorder,
+    // cache-delay, wo-def1, wo-def2, wo-def2-drf1, wo-bnr.
+    const N_MACHINES: usize = 10;
     fn verdicts(
         prog: &Program,
         pred: &dyn Fn(&Outcome) -> bool,
@@ -151,6 +154,8 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
         [
             one(&ScMachine, prog, pred, reduce),
             one(&WriteBufferMachine, prog, pred, reduce),
+            one(&TsoMachine, prog, pred, reduce),
+            one(&PsoMachine, prog, pred, reduce),
             one(&NetReorderMachine, prog, pred, reduce),
             one(&CacheDelayMachine, prog, pred, reduce),
             one(&WoDef1Machine, prog, pred, reduce),
@@ -165,11 +170,14 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
     type Pred = Box<dyn Fn(&Outcome) -> bool>;
     let rows: Vec<(&str, Pred, [bool; N_MACHINES])> = vec![
         (
+            // W→R: every buffered/relaxed machine allows the SB split.
             "dekker.litmus",
             Box::new(move |o| o.reg(0, r0) == Value::ZERO && o.reg(1, r0) == Value::ZERO),
-            [false, true, true, true, true, true, true, true],
+            [false, true, true, true, true, true, true, true, true, true],
         ),
         (
+            // Needs non-multi-copy-atomic stores: only the cache
+            // substrates split the readers (TSO/PSO keep one memory).
             "iriw.litmus",
             Box::new(move |o| {
                 o.reg(2, r0) == one
@@ -177,7 +185,7 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
                     && o.reg(3, r0) == one
                     && o.reg(3, r1) == Value::ZERO
             }),
-            [false, false, false, true, true, true, true, true],
+            [false, false, false, false, false, true, true, true, true, true],
         ),
         (
             "coherence-co.litmus",
@@ -187,17 +195,17 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
         (
             "counter.litmus",
             Box::new(|o| o.memory[1] != Value::new(2)),
-            [false, false, true, true, false, false, false, false],
+            [false, false, false, false, true, true, false, false, false, false],
         ),
         (
             "lock-handoff.litmus",
             Box::new(|o| o.memory[1] != Value::new(2)),
-            [false, false, true, true, false, false, false, false],
+            [false, false, false, false, true, true, false, false, false, false],
         ),
         (
             "mp-handshake.litmus",
             Box::new(move |o| o.reg(1, r1) != Value::new(42)),
-            [false, false, true, true, false, false, false, false],
+            [false, false, false, false, true, true, false, false, false, false],
         ),
         (
             // Sync ping-pong on `lock` plus a spinning reader: the
@@ -205,7 +213,7 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
             // that honors synchronization.
             "nack-livelock.litmus",
             Box::new(move |o| o.reg(2, r1) != Value::new(42)),
-            [false, false, true, true, false, false, false, false],
+            [false, false, false, false, true, true, false, false, false, false],
         ),
     ];
     assert_eq!(rows.len(), 7, "cover every shipped litmus file");
@@ -216,10 +224,91 @@ fn conformance_matrix_on_every_machine_full_and_reduced() {
             assert_eq!(
                 &got,
                 expected,
-                "`{file}` {} verdicts [sc, wb, net, cd, def1, def2, def2-drf1, bnr]",
+                "`{file}` {} verdicts [sc, wb, tso, pso, net, cd, def1, def2, def2-drf1, bnr]",
                 if reduce { "reduced" } else { "full" },
             );
         }
+    }
+}
+
+/// `# expect <machine> allows|forbids P<t>:r<k>=<v> [& ...]` directives
+/// embedded as comments in a litmus file: the parser proper ignores
+/// them (comment lines), and this test executes them, so one file
+/// states both the SC verdict and the relaxed-machine verdicts — and
+/// doubles as a containment assertion (each `allows` machine strictly
+/// contains the `forbids` SC outcome set) without a parallel fixture.
+#[test]
+fn dekker_expectation_directives_hold() {
+    use std::collections::BTreeSet;
+    use weakord::core::Value;
+    use weakord::mc::machines::{PsoMachine, TsoMachine, WoDef2Machine, WriteBufferMachine};
+    use weakord::progs::{Outcome, Reg};
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus/dekker.litmus");
+    let src = fs::read_to_string(path).expect("readable");
+    let prog = parse_program(&src).expect("parses");
+
+    let outcomes = |machine: &str| -> BTreeSet<Outcome> {
+        match machine {
+            "sc" => explore(&ScMachine, &prog, Limits::default()).outcomes,
+            "write-buffer" => explore(&WriteBufferMachine, &prog, Limits::default()).outcomes,
+            "tso" => explore(&TsoMachine, &prog, Limits::default()).outcomes,
+            "pso" => explore(&PsoMachine, &prog, Limits::default()).outcomes,
+            "wo-def2" => explore(&WoDef2Machine::default(), &prog, Limits::default()).outcomes,
+            other => panic!("directive names unknown machine `{other}`"),
+        }
+    };
+
+    // Parse `P<t>:r<k>=<v>` conjunction terms.
+    let parse_terms = |spec: &str| -> Vec<(usize, Reg, Value)> {
+        spec.split('&')
+            .map(|term| {
+                let term = term.trim();
+                let (proc_part, rest) = term.split_once(':').expect("P<t>:r<k>=<v>");
+                let (reg_part, val_part) = rest.split_once('=').expect("r<k>=<v>");
+                let t: usize = proc_part.strip_prefix('P').expect("P<t>").parse().expect("thread");
+                let k: u8 = reg_part.strip_prefix('r').expect("r<k>").parse().expect("register");
+                let v: u64 = val_part.parse().expect("value");
+                (t, Reg::new(k), Value::new(v))
+            })
+            .collect()
+    };
+
+    let mut sc_outcomes = None;
+    let mut allowed_machines = Vec::new();
+    let mut directives = 0;
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("# expect ") else { continue };
+        directives += 1;
+        let mut words = rest.splitn(3, ' ');
+        let machine = words.next().expect("machine name");
+        let verdict = words.next().expect("allows|forbids");
+        let terms = parse_terms(words.next().expect("outcome terms"));
+        let set = outcomes(machine);
+        let matched = set.iter().any(|o| terms.iter().all(|&(t, r, v)| o.reg(t, r) == v));
+        match verdict {
+            "allows" => {
+                assert!(matched, "`{machine}` was expected to allow {rest:?}");
+                allowed_machines.push(machine.to_string());
+            }
+            "forbids" => {
+                assert!(!matched, "`{machine}` was expected to forbid {rest:?}");
+                assert_eq!(machine, "sc", "only sc forbids the dekker split");
+                sc_outcomes = Some(set);
+            }
+            other => panic!("unknown verdict `{other}`"),
+        }
+    }
+    assert!(directives >= 5, "dekker.litmus lost its expectation directives");
+    // The containment reading: every allowing machine strictly
+    // contains the forbidding SC set.
+    let sc = sc_outcomes.expect("an `expect sc forbids` directive");
+    for machine in &allowed_machines {
+        let set = outcomes(machine);
+        assert!(
+            set.is_superset(&sc) && set.len() > sc.len(),
+            "`{machine}` should strictly contain the SC outcomes on dekker"
+        );
     }
 }
 

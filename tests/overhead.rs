@@ -49,26 +49,43 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Runs `f` and returns how many allocations it performed.
+///
+/// The counter is process-global, so allocations from libtest harness
+/// threads running concurrently can inflate a sample; callers that
+/// compare counts take the minimum over several runs (the machine is
+/// deterministic and the noise only ever adds).
 fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCS.load(Ordering::Relaxed);
     let out = f();
     (ALLOCS.load(Ordering::Relaxed) - before, out)
 }
 
+const SAMPLES: u32 = 5;
+
 fn run_noop(prog: &Program, cfg: Config) -> u64 {
-    let (n, r) = allocs_during(|| CoherentMachine::new(prog, cfg).run());
-    r.expect("run terminates");
-    n
+    (0..SAMPLES)
+        .map(|_| {
+            let (n, r) = allocs_during(|| CoherentMachine::new(prog, cfg).run());
+            r.expect("run terminates");
+            n
+        })
+        .min()
+        .unwrap()
 }
 
 fn run_gated(prog: &Program, cfg: Config) -> u64 {
     // A recording tracer with capture switched off: every `enabled()`
     // gate in the machine must short-circuit before building an event.
-    let (n, r) = allocs_during(|| {
-        CoherentMachine::with_tracer(prog, cfg, MemTracer::disabled()).run_traced().0
-    });
-    r.expect("run terminates");
-    n
+    (0..SAMPLES)
+        .map(|_| {
+            let (n, r) = allocs_during(|| {
+                CoherentMachine::with_tracer(prog, cfg, MemTracer::disabled()).run_traced().0
+            });
+            r.expect("run terminates");
+            n
+        })
+        .min()
+        .unwrap()
 }
 
 fn run_recording(prog: &Program, cfg: Config) -> (u64, usize) {
