@@ -1,0 +1,260 @@
+//! Explorer-engine benchmark: writes `BENCH_explore.json`.
+//!
+//! Measures the lock-free explorer (`weakord_mc::explore`) against the
+//! frozen pre-lock-free baseline (`weakord_mc::explore_legacy`) on
+//! three generated corpus shapes × {sc, tso, pso}, reporting states/sec,
+//! a peak-RSS proxy (live heap bytes tracked by a counting global
+//! allocator), and spill bytes for a disk-budgeted run. See
+//! EXPERIMENTS.md § E13 for the methodology and the committed numbers.
+//!
+//! ```text
+//! cargo run --release -p weakord-bench --bin explore_bench             # write BENCH_explore.json
+//! cargo run --release -p weakord-bench --bin explore_bench -- --scout  # print candidate shape sizes
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use weakord_mc::machines::{PsoMachine, ScMachine, TsoMachine};
+use weakord_mc::{explore, explore_legacy, Exploration, Limits};
+use weakord_progs::{gen, Program};
+
+/// Tracks live and peak heap bytes. "Peak RSS proxy": resident set
+/// size itself is OS-noisy and includes the binary; peak live heap is
+/// deterministic-ish and is the part the engines differ on.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                - layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+/// Resets the peak to the current live level and runs `f`, returning
+/// (result, peak-live-bytes during the run above the starting level).
+fn with_peak<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(base);
+    (out, peak as u64)
+}
+
+/// The measured corpus shapes, picked from `gen::corpus(0)` by name so
+/// the benchmark is stable under corpus growth: a small, a medium, and
+/// a large state space (on the buffer-heavy machines). `--scout` below
+/// reprints the candidates if these ever need repicking.
+const SHAPES: [&str; 3] = ["iriw", "cyc4-rw+ww+ww+ww", "cyc4-ww+ww+ww+ww"];
+
+fn shapes() -> Vec<(String, Program)> {
+    let corpus = gen::corpus(0);
+    SHAPES
+        .iter()
+        .map(|want| {
+            corpus
+                .iter()
+                .find(|s| s.name == *want)
+                .unwrap_or_else(|| panic!("shape `{want}` missing from corpus(0)"))
+        })
+        .map(|s| (s.name.clone(), s.program.clone()))
+        .collect()
+}
+
+struct Row {
+    shape: String,
+    machine: &'static str,
+    engine: &'static str,
+    states: usize,
+    secs: f64,
+    states_per_sec: f64,
+    peak_rss_bytes: u64,
+    spilled_states: u64,
+    spill_bytes: u64,
+}
+
+/// Best-of-3 wall-clock (states/sec is deterministic up to scheduler
+/// noise; best-of filters interference the same way the overhead test's
+/// min-over-samples does). Peak RSS is taken from the best-time run.
+fn measure(
+    name: &str,
+    machine: &'static str,
+    engine: &'static str,
+    run: impl Fn() -> Exploration,
+) -> Row {
+    let mut best: Option<(Exploration, u64)> = None;
+    for _ in 0..3 {
+        let (ex, peak) = with_peak(&run);
+        assert!(!ex.truncated(), "{name} on {machine}: benchmark run truncated");
+        if best.as_ref().is_none_or(|(b, _)| ex.stats.duration < b.stats.duration) {
+            best = Some((ex, peak));
+        }
+    }
+    let (ex, peak) = best.expect("three runs");
+    let secs = ex.stats.duration.as_secs_f64();
+    Row {
+        shape: name.to_string(),
+        machine,
+        engine,
+        states: ex.states,
+        secs,
+        states_per_sec: ex.states as f64 / secs,
+        peak_rss_bytes: peak,
+        spilled_states: ex.stats.spilled_states,
+        spill_bytes: ex.stats.spill_bytes,
+    }
+}
+
+fn limits() -> Limits {
+    // One worker: the comparison is per-state algorithmic cost, not
+    // parallel scaling (CI hosts may have one core; scaling has its own
+    // test in tests/lockfree.rs and the parallel suite).
+    let mut l = Limits::with_threads(1);
+    l.max_states = 4_000_000;
+    l
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--scout") {
+        scout();
+        return;
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, prog) in shapes() {
+        for (machine, run_new, run_old) in [
+            (
+                "sc",
+                &(|p: &Program, l| explore(&ScMachine, p, l))
+                    as &dyn Fn(&Program, Limits) -> Exploration,
+                &(|p: &Program, l| explore_legacy(&ScMachine, p, l))
+                    as &dyn Fn(&Program, Limits) -> Exploration,
+            ),
+            ("tso", &|p, l| explore(&TsoMachine, p, l), &|p, l| explore_legacy(&TsoMachine, p, l)),
+            ("pso", &|p, l| explore(&PsoMachine, p, l), &|p, l| explore_legacy(&PsoMachine, p, l)),
+        ] {
+            eprintln!("measuring {name} on {machine}…");
+            rows.push(measure(&name, machine, "legacy", || run_old(&prog, limits())));
+            rows.push(measure(&name, machine, "lockfree", || run_new(&prog, limits())));
+        }
+    }
+    // The spill row: the largest shape on pso under a budget well below
+    // its in-RAM footprint, proving disk-bounded capacity at full speed.
+    {
+        let (name, prog) = shapes().pop().expect("three shapes");
+        let mut l = limits();
+        l.memory_budget = Some(4 << 20);
+        eprintln!("measuring {name} on pso (spill-forced, 4 MiB budget)…");
+        let row = measure(&name, "pso", "lockfree-spill", || explore(&PsoMachine, &prog, l));
+        assert!(row.spilled_states > 0, "the spill budget was not exceeded");
+        rows.push(row);
+    }
+    // Old-vs-new verdict on the largest measured shape (the acceptance
+    // criterion: >= 3x states/sec).
+    let largest = rows
+        .iter()
+        .filter(|r| r.engine == "lockfree")
+        .max_by_key(|r| r.states)
+        .expect("lockfree rows");
+    let baseline = rows
+        .iter()
+        .find(|r| r.engine == "legacy" && r.shape == largest.shape && r.machine == largest.machine)
+        .expect("matching legacy row");
+    let speedup = largest.states_per_sec / baseline.states_per_sec;
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"explore-engine\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"threads\": 1, \"max_states\": 4000000, \"reps\": 3, \"spill_budget_bytes\": {}}},",
+        4 << 20
+    );
+    let _ = writeln!(
+        out,
+        "  \"largest_shape\": {{\"shape\": \"{}\", \"machine\": \"{}\", \"states\": {}, \"speedup_vs_legacy\": {:.2}}},",
+        json_escape(&largest.shape),
+        largest.machine,
+        largest.states,
+        speedup
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"shape\": \"{}\", \"machine\": \"{}\", \"engine\": \"{}\", \"states\": {}, \"secs\": {:.4}, \"states_per_sec\": {:.0}, \"peak_rss_bytes\": {}, \"spilled_states\": {}, \"spill_bytes\": {}}}{}\n",
+            json_escape(&r.shape),
+            r.machine,
+            r.engine,
+            r.states,
+            r.secs,
+            r.states_per_sec,
+            r.peak_rss_bytes,
+            r.spilled_states,
+            r.spill_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_explore.json", &out).expect("write BENCH_explore.json");
+    println!("{out}");
+    eprintln!(
+        "largest shape {} on {}: lockfree {:.0} vs legacy {:.0} states/s ({speedup:.2}x)",
+        largest.shape, largest.machine, largest.states_per_sec, baseline.states_per_sec
+    );
+    if speedup < 3.0 {
+        eprintln!("WARNING: speedup below the 3x acceptance bar");
+        std::process::exit(1);
+    }
+}
+
+/// Prints state counts of the larger corpus shapes on pso so the
+/// `SHAPES` selection can be re-derived.
+fn scout() {
+    let mut sized: Vec<(usize, String)> = gen::corpus(0)
+        .into_iter()
+        .map(|s| {
+            let mut l = Limits::with_threads(1);
+            l.max_states = 4_000_000;
+            let ex = explore(&PsoMachine, &s.program, l);
+            (ex.states, s.name)
+        })
+        .collect();
+    sized.sort();
+    for (states, name) in &sized {
+        println!("{states:>9}  {name}");
+    }
+}

@@ -40,6 +40,7 @@ fn main() {
     show("e8", experiments::e8_state_census());
     show("e9", experiments::e9_faults(6));
     show("e10", experiments::e10_observability());
+    show("e13", experiments::e13_explore_engines());
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed their shape check");
         std::process::exit(1);

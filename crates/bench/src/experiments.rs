@@ -11,6 +11,7 @@
 //! | E7 | Ablations (parallel data, miss cap, networks) | [`e7_ablations`] |
 //! | E9 | Fault-injected interconnect & the NACK leg | [`e9_faults`] |
 //! | E10 | Observability: tracer overhead & volume | [`e10_observability`] |
+//! | E13 | Explorer engines: lock-free vs mutex-shard throughput | [`e13_explore_engines`] |
 
 use std::fmt::Write as _;
 
@@ -19,10 +20,10 @@ use weakord_coherence::{
 };
 use weakord_core::{check_drf, figures, HbMode};
 use weakord_mc::machines::{
-    BnrMachine, CacheDelayMachine, NetReorderMachine, ScMachine, WoDef1Machine, WoDef2Machine,
-    WriteBufferMachine,
+    BnrMachine, CacheDelayMachine, NetReorderMachine, PsoMachine, ScMachine, TsoMachine,
+    WoDef1Machine, WoDef2Machine, WriteBufferMachine,
 };
-use weakord_mc::{check_weak_ordering, explore, Limits, TraceLimits};
+use weakord_mc::{check_weak_ordering, explore, explore_legacy, Limits, Machine, TraceLimits};
 use weakord_progs::workloads::{
     fig3_scenario, spin_broadcast, ticket_lock, tree_barrier, Fig3Params, SpinBroadcastParams,
     SpinlockParams, TreeBarrierParams,
@@ -837,6 +838,103 @@ pub fn e10_observability() -> Table {
     t
 }
 
+/// E13 / explorer engines: the lock-free byte-encoded explorer against
+/// the frozen mutex-shard baseline ([`explore_legacy`]), on the
+/// `BENCH_explore.json` shapes × {sc, tso, pso}. Semantic agreement is
+/// checked on every cell; throughput (best of 7 with the engines'
+/// reps interleaved so host-load phases hit both, one worker, so the
+/// ratio measures per-state algorithmic cost rather than parallel
+/// scaling) must clear 3x on the largest shape; and a disk-budgeted
+/// run must complete a state space larger than its RAM budget with
+/// identical results. Committed numbers: `BENCH_explore.json` /
+/// EXPERIMENTS.md § E13.
+pub fn e13_explore_engines() -> Table {
+    let mut t = Table::new(
+        "E13 · explorer engines — lock-free vs mutex-shard baseline",
+        &["shape", "machine", "states", "legacy st/s", "lock-free st/s", "speedup", "spilled"],
+    );
+    fn limits() -> Limits {
+        let mut l = Limits::with_threads(1);
+        l.max_states = 4_000_000;
+        l
+    }
+    /// Best-of-7 wall clock per engine, reps interleaved legacy /
+    /// lock-free so a slow host phase lands on both engines instead of
+    /// biasing whichever happened to run during it.
+    fn cell<M: Machine>(m: &M, name: &str, prog: &Program, t: &mut Table) -> (bool, f64, usize) {
+        let mut old: Option<weakord_mc::Exploration> = None;
+        let mut new: Option<weakord_mc::Exploration> = None;
+        for _ in 0..7 {
+            let o = explore_legacy(m, prog, limits());
+            if old.as_ref().is_none_or(|b| o.stats.duration < b.stats.duration) {
+                old = Some(o);
+            }
+            let n = explore(m, prog, limits());
+            if new.as_ref().is_none_or(|b| n.stats.duration < b.stats.duration) {
+                new = Some(n);
+            }
+        }
+        let (old, new) = (old.expect("seven reps"), new.expect("seven reps"));
+        let old_rate = old.states as f64 / old.stats.duration.as_secs_f64();
+        let new_rate = new.states as f64 / new.stats.duration.as_secs_f64();
+        let agree = new == old && !new.truncated();
+        let speedup = new_rate / old_rate;
+        t.row(vec![
+            name.to_string(),
+            m.name().to_string(),
+            new.states.to_string(),
+            format!("{old_rate:.0}"),
+            format!("{new_rate:.0}"),
+            format!("{speedup:.2}x"),
+            "-".to_string(),
+        ]);
+        (agree, speedup, new.states)
+    }
+    let corpus = gen::corpus(0);
+    let shape = |want: &str| {
+        let s = corpus.iter().find(|s| s.name == want).expect("bench shape in corpus");
+        (s.name.clone(), s.program.clone())
+    };
+    let mut agree_all = true;
+    let mut largest: (usize, f64) = (0, 0.0);
+    for (name, prog) in [shape("iriw"), shape("cyc4-rw+ww+ww+ww"), shape("cyc4-ww+ww+ww+ww")] {
+        for (a, speedup, states) in [
+            cell(&ScMachine, &name, &prog, &mut t),
+            cell(&TsoMachine, &name, &prog, &mut t),
+            cell(&PsoMachine, &name, &prog, &mut t),
+        ] {
+            agree_all &= a;
+            if states > largest.0 {
+                largest = (states, speedup);
+            }
+        }
+    }
+    // The capacity row: the largest shape under a 4 MiB budget — far
+    // below its ~14 MiB in-RAM footprint — must spill yet agree.
+    let (name, prog) = shape("cyc4-ww+ww+ww+ww");
+    let plain = explore(&PsoMachine, &prog, limits());
+    let mut budgeted = limits();
+    budgeted.memory_budget = Some(4 << 20);
+    let spilled = explore(&PsoMachine, &prog, budgeted);
+    let spill_rate = spilled.states as f64 / spilled.stats.duration.as_secs_f64();
+    t.row(vec![
+        name,
+        "pso @ 4 MiB".to_string(),
+        spilled.states.to_string(),
+        "-".to_string(),
+        format!("{spill_rate:.0}"),
+        "-".to_string(),
+        format!("{} st / {} B", spilled.stats.spilled_states, spilled.stats.spill_bytes),
+    ]);
+    t.check("both engines agree exactly on every shape x machine", agree_all);
+    t.check("lock-free clears 3x states/sec on the largest shape", largest.1 >= 3.0);
+    t.check(
+        "a 4 MiB budget spills most states yet changes nothing",
+        spilled == plain && spilled.stats.spilled_states > 0,
+    );
+    t
+}
+
 /// All experiments, in order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -851,6 +949,7 @@ pub fn all() -> Vec<Table> {
         e8_state_census(),
         e9_faults(6),
         e10_observability(),
+        e13_explore_engines(),
     ]
 }
 

@@ -33,10 +33,15 @@
 //! *excluded*: a resumed run may use more workers or a fresh budget
 //! without changing what is being proved.
 //!
-//! Serialization is the in-tree [`Codec`] trait (fixed-width
-//! little-endian integers, length-prefixed sequences): the repo builds
-//! offline with no serde, and the binary format round-trips machine
-//! states byte-exactly where JSON would be both larger and lossier.
+//! Serialization is the in-tree [`Codec`] trait (LEB128 varint
+//! integers, length-prefixed sequences): the repo builds offline with
+//! no serde, and the binary format round-trips machine states
+//! byte-exactly where JSON would be both larger and lossier. Varints
+//! matter beyond disk size: the lock-free explorer dedups on these
+//! bytes, so every byte saved is saved again in the per-arc encode,
+//! fingerprint, and payload-compare, and again in the spill file. A
+//! typical litmus state (tiny values, short buffers) shrinks ~5x
+//! versus the fixed-width v1 encoding.
 //! Writes go to a temp file first and are published with an atomic
 //! rename, so a crash *during* a checkpoint leaves the previous one
 //! intact.
@@ -54,8 +59,9 @@ use crate::explore::{Limits, Reduction, TruncationReason};
 use crate::fxhash::fingerprint;
 use crate::machine::{InternalKind, InternalStep, Label, OpRecord};
 
-/// Current on-disk format version.
-pub const CKPT_VERSION: u8 = 1;
+/// Current on-disk format version. v2 switched the [`Codec`] integer
+/// representation from fixed-width little-endian to LEB128 varints.
+pub const CKPT_VERSION: u8 = 2;
 
 const MAGIC: &[u8; 6] = b"WOCKPT";
 /// Offset of the first checksummed byte.
@@ -233,9 +239,16 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// In-tree binary serialization: fixed-width little-endian integers,
-/// `u32` length prefixes on sequences. Implemented by everything a
+/// In-tree binary serialization: LEB128 varint integers, varint
+/// length prefixes on sequences. Implemented by everything a
 /// checkpoint stores, including every machine's state type.
+///
+/// The encoding is *canonical*: `encode` is a deterministic function
+/// of the value and emits the minimal varint form, so equal values
+/// always produce equal bytes and (with the self-delimiting property)
+/// distinct values produce distinct byte strings even under
+/// concatenation. The exact visited set relies on this — byte
+/// equality of encodings *is* state equality.
 ///
 /// `decode` must tolerate arbitrary bytes without panicking — the
 /// checksum catches accidental corruption, but the decoder is still
@@ -247,21 +260,66 @@ pub trait Codec: Sized {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
 
-macro_rules! int_codec {
+impl Codec for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+/// Appends `v` in minimal LEB128 form: 7 value bits per byte, high bit
+/// set on every byte but the last. Small values — almost everything a
+/// machine state holds — cost one byte instead of a fixed width.
+fn encode_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn decode_varint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = r.take(1)?[0];
+        let chunk = u64::from(b & 0x7f);
+        // The 10th byte holds bit 63 only; anything above overflows.
+        if shift == 63 && chunk > 1 {
+            return Err(DecodeError("varint overflows u64"));
+        }
+        v |= chunk << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError("varint too long"));
+        }
+    }
+}
+
+macro_rules! varint_codec {
     ($($t:ty),*) => {$(
         impl Codec for $t {
             fn encode(&self, out: &mut Vec<u8>) {
-                out.extend_from_slice(&self.to_le_bytes());
+                encode_varint(u64::from(*self), out);
             }
             fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-                let bytes = r.take(std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                <$t>::try_from(decode_varint(r)?)
+                    .map_err(|_| DecodeError("varint out of range for type"))
             }
         }
     )*};
 }
 
-int_codec!(u8, u16, u32, u64);
+varint_codec!(u16, u32, u64);
 
 impl Codec for usize {
     fn encode(&self, out: &mut Vec<u8>) {

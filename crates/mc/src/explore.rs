@@ -8,16 +8,26 @@
 //! Two engines share one result type:
 //!
 //! * [`explore`] — the parallel engine: `limits.threads` workers under
-//!   [`std::thread::scope`], a visited set sharded [`N_SHARDS`] ways by
-//!   the top bits of each state's FxHash [`fingerprint`] (one mutex per
-//!   shard, so admission contention scales with shard count, not
-//!   worker count), per-worker frontier deques with work-stealing when
-//!   a local deque drains, and per-worker outcome/deadlock accumulators
-//!   merged at join.
-//! * [`explore_seq`] — the classic single-threaded DFS, kept as the
-//!   reference for differential testing.
+//!   [`std::thread::scope`] over the lock-free [`VisitedSet`] (an
+//!   open-addressing fingerprint table indexing an exact store of
+//!   [`Codec`]-encoded states — see [`crate::visited`]). Frontiers hold
+//!   the visited set's `u64` ids, not boxed state clones: a successor
+//!   is encoded exactly once (the encode doubles as the hash walk) and
+//!   decoded back only when expanded. Each worker keeps a bounded *hot
+//!   tail* of its newest admissions decoded — expanded LIFO without a
+//!   decode — so the depth-first spine pays no codec round-trip, and
+//!   recycles retired successor states through a pool
+//!   ([`Machine::successors_into`]) so steady-state expansion performs
+//!   no per-arc heap allocation. With
+//!   [`Limits::memory_budget`] set, encoded states past the budget
+//!   spill to disk and capacity is bounded by disk, not RAM.
+//! * [`explore_seq`] — the classic single-threaded DFS over a plain
+//!   `HashSet`, kept as the reference for differential testing.
 //!
-//! Both visit exactly the same set of states, so `outcomes` (an
+//! (A third, [`crate::explore_legacy`], freezes the pre-lock-free
+//! mutex-shard engine as the benchmark baseline.)
+//!
+//! Both engines visit exactly the same set of states, so `outcomes` (an
 //! order-insensitive `BTreeSet`), `states`, and `deadlocks` are
 //! identical across engines and across runs whenever the exploration is
 //! not truncated. Run-specific diagnostics live in
@@ -35,15 +45,14 @@ use weakord_progs::{Outcome, Program};
 
 use crate::checkpoint::{
     self, config_fingerprint, CheckpointCfg, CheckpointError, Codec, ParallelSnapshot,
-    PersistedCounters, Snapshot,
+    PersistedCounters, Reader, Snapshot,
 };
-use crate::fxhash::{fingerprint, FxBuildHasher};
+use crate::fxhash::{hash_bytes, FxBuildHasher};
 use crate::machine::{Label, Machine};
 use crate::reduce::{ample_index, FutureTable};
+use crate::visited::{Admit, ProbeTelemetry, VisitedSet};
 
-/// Number of visited-set shards. A power of two; the shard of a state
-/// is the top `log2(N_SHARDS)` bits of its fingerprint.
-pub const N_SHARDS: usize = 64;
+pub use crate::visited::N_SHARDS;
 
 /// Exploration bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +71,14 @@ pub struct Limits {
     /// [`crate::reduce`]. Outcome and deadlock sets are preserved;
     /// `states` and `stats` shrink.
     pub reduction: Reduction,
+    /// RAM ceiling, in bytes, for the visited set's resident footprint
+    /// (encoded payloads + index). `None` (the default) keeps
+    /// everything in RAM; with a budget, admissions past it spill
+    /// encoded states to a temp file, so exploration capacity is
+    /// bounded by disk instead. A resource knob, not a semantic one:
+    /// excluded from the checkpoint configuration fingerprint, and the
+    /// results are identical with or without it.
+    pub memory_budget: Option<usize>,
 }
 
 /// Successor-pruning mode for the exploration engines.
@@ -79,16 +96,23 @@ pub enum Reduction {
 
 impl Default for Limits {
     /// 4M states, one worker per hardware thread, no deadline, no
-    /// reduction. The state cap can be tightened (never raised) from
-    /// the environment via `WEAKORD_MAX_STATES` — CI uses this to turn
-    /// a state-space blowup into a fast failure instead of a timeout.
+    /// reduction, no memory budget. The state cap can be tightened
+    /// (never raised) from the environment via `WEAKORD_MAX_STATES` —
+    /// CI uses this to turn a state-space blowup into a fast failure
+    /// instead of a timeout.
     fn default() -> Self {
         let max_states = std::env::var("WEAKORD_MAX_STATES")
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&n| n > 0)
             .map_or(4_000_000, |n: usize| n.min(4_000_000));
-        Limits { max_states, threads: 0, deadline: None, reduction: Reduction::Full }
+        Limits {
+            max_states,
+            threads: 0,
+            deadline: None,
+            reduction: Reduction::Full,
+            memory_budget: None,
+        }
     }
 }
 
@@ -106,6 +130,11 @@ impl Limits {
     /// Default limits with ample-set reduction enabled.
     pub fn reduced() -> Self {
         Limits { reduction: Reduction::Ample, ..Limits::default() }
+    }
+
+    /// Default limits with a visited-set memory budget (bytes).
+    pub fn with_memory_budget(bytes: usize) -> Self {
+        Limits { memory_budget: Some(bytes), ..Limits::default() }
     }
 
     /// The worker count [`explore`] will actually use.
@@ -192,6 +221,23 @@ pub struct ExplorationStats {
     /// Wall-clock spent serializing and writing checkpoints (the
     /// overhead knob `--checkpoint-every` trades against).
     pub checkpoint_time: Duration,
+    /// Total slot inspections across all visited-set probes (parallel
+    /// engine only; average probe length = `probe_steps /
+    /// dedup_probes`). Restarts at 0 on a resumed leg.
+    pub probe_steps: u64,
+    /// Total slots across every shard's active fingerprint level
+    /// (parallel engine only); occupancy = `distinct_states /
+    /// table_capacity`.
+    pub table_capacity: u64,
+    /// Encoded states whose payload lives in the disk spill (0 without
+    /// a [`Limits::memory_budget`]).
+    pub spilled_states: u64,
+    /// Bytes appended to the disk spill.
+    pub spill_bytes: u64,
+    /// Resident bytes of the visited set's in-RAM payloads (parallel
+    /// engine only; what [`Limits::memory_budget`] bounds, together
+    /// with the index).
+    pub mem_bytes: u64,
     /// Final visited-set size per shard (parallel engine only; `None`
     /// for the single-set sequential searches). Shard balance is the
     /// load-balance signal: a skewed fingerprint would show up here as
@@ -234,10 +280,31 @@ impl ExplorationStats {
         }
     }
 
+    /// Load factor of the fingerprint table's active levels (`0.0` for
+    /// the sequential engines).
+    pub fn table_occupancy(&self) -> f64 {
+        if self.table_capacity > 0 {
+            self.distinct_states as f64 / self.table_capacity as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Average slots inspected per visited-set probe (`0.0` when
+    /// nothing was probed or the engine does not count steps).
+    pub fn avg_probe_len(&self) -> f64 {
+        if self.dedup_probes > 0 && self.probe_steps > 0 {
+            self.probe_steps as f64 / self.dedup_probes as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Folds the exploration diagnostics into `reg` under the `ns.`
     /// prefix: state/arc/steal tallies as counters, rates and durations
     /// as gauges, and (for the parallel engine) per-shard visited-set
-    /// sizes plus their max/min balance.
+    /// sizes plus their max/min balance and the fingerprint-table /
+    /// spill gauges.
     pub fn export_metrics(&self, ns: &str, reg: &mut MetricsRegistry) {
         reg.counter(format!("{ns}.states"), self.distinct_states as u64);
         reg.counter(format!("{ns}.dedup-hits"), self.dedup_hits);
@@ -276,6 +343,14 @@ impl ExplorationStats {
         let sps = self.states_per_sec();
         if sps.is_finite() {
             reg.gauge(format!("{ns}.states-per-sec"), sps);
+        }
+        if self.table_capacity > 0 {
+            reg.counter(format!("{ns}.table-capacity"), self.table_capacity);
+            reg.gauge(format!("{ns}.table-occupancy"), self.table_occupancy());
+            reg.gauge(format!("{ns}.avg-probe-len"), self.avg_probe_len());
+            reg.counter(format!("{ns}.mem-bytes"), self.mem_bytes);
+            reg.counter(format!("{ns}.spilled-states"), self.spilled_states);
+            reg.counter(format!("{ns}.spill-bytes"), self.spill_bytes);
         }
         if let Some(shards) = &self.shard_states {
             reg.counter(format!("{ns}.shard-max"), *shards.iter().max().unwrap_or(&0) as u64);
@@ -316,7 +391,7 @@ impl std::fmt::Display for ExplorationStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{}{}{})",
+            "{} states in {:.1?} ({:.0} states/s, {:.0}% dedup, peak frontier {}, {} thread(s), {} steals{}{}{}{}",
             self.distinct_states,
             self.duration,
             self.states_per_sec(),
@@ -326,6 +401,14 @@ impl std::fmt::Display for ExplorationStats {
             self.steals,
             if self.pruned_arcs > 0 {
                 format!(", {:.0}% arcs pruned", 100.0 * self.reduction_ratio())
+            } else {
+                String::new()
+            },
+            if self.spilled_states > 0 {
+                format!(
+                    ", spilled {} states ({} bytes) to disk",
+                    self.spilled_states, self.spill_bytes
+                )
             } else {
                 String::new()
             },
@@ -339,7 +422,8 @@ impl std::fmt::Display for ExplorationStats {
                 None => String::new(),
                 Some(reason) => format!(", TRUNCATED: {reason}"),
             }
-        )
+        )?;
+        f.write_str(")")
     }
 }
 
@@ -392,102 +476,37 @@ impl Exploration {
 /// bounds how long an idle-ish worker keeps spinning.
 const DEADLINE_CHECK_EVERY: u32 = 128;
 
+/// Per-worker cap on decoded states kept in the hot tail. Beyond it the
+/// oldest entries park in the shared frontier as bare ids: worker
+/// memory stays bounded at `HOT_CAP` states while deep depth-first
+/// spines still skip (nearly) every decode.
+const HOT_CAP: usize = 1024;
+
+/// Per-worker cap on retired states kept for reuse; more would just be
+/// dead weight, since one expansion never needs more scratch states
+/// than its arc count.
+const POOL_CAP: usize = 64;
+
+/// Returns a retired state to `pool` unless it is already full.
+fn recycle<S>(pool: &mut Vec<S>, s: S) {
+    if pool.len() < POOL_CAP {
+        pool.push(s);
+    }
+}
+
 /// Locks a mutex, tolerating poison: a worker that panicked while
-/// holding a shard or frontier lock must not cascade into aborting
-/// every other worker. The protected structures are valid after a
-/// panic (collection operations are atomic with respect to unwinding:
-/// an insert either happened or did not), so the data is usable; the
-/// panic itself is accounted for by the panic-isolation protocol in
+/// holding a frontier lock must not cascade into aborting every other
+/// worker. The protected structures are valid after a panic (collection
+/// operations are atomic with respect to unwinding: a push either
+/// happened or did not), so the data is usable; the panic itself is
+/// accounted for by the panic-isolation protocol in
 /// [`Engine::run_worker`].
-fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// The visited set: [`N_SHARDS`] hash sets, each behind its own mutex,
-/// a state's shard chosen by the top bits of its fingerprint. Workers
-/// only contend when they probe states that fingerprint into the same
-/// shard at the same moment.
-struct ShardedSet<S> {
-    shards: Vec<Mutex<HashSet<S, FxBuildHasher>>>,
-    /// Distinct states admitted across all shards (the cap ledger:
-    /// incremented only when a slot under `max_states` is reserved).
-    admitted: AtomicUsize,
-    dedup_hits: AtomicU64,
-    dedup_probes: AtomicU64,
-}
-
-/// The verdict of probing one successor state against the visited set.
-enum Admit<S> {
-    /// New state, admitted under the cap; caller owns it and must
-    /// enqueue it.
-    New(S),
-    /// Already visited (or lost an admission race to another worker).
-    Seen,
-    /// New state, but the cap is full: the exploration is truncated.
-    Capped,
-}
-
-impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
-    fn new() -> Self {
-        ShardedSet {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(HashSet::default())).collect(),
-            admitted: AtomicUsize::new(0),
-            dedup_hits: AtomicU64::new(0),
-            dedup_probes: AtomicU64::new(0),
-        }
-    }
-
-    fn shard_of(&self, fp: u64) -> &Mutex<HashSet<S, FxBuildHasher>> {
-        debug_assert!(N_SHARDS.is_power_of_two());
-        &self.shards[(fp >> (64 - N_SHARDS.trailing_zeros())) as usize]
-    }
-
-    /// Final per-shard sizes (taken once the workers have quiesced).
-    fn shard_sizes(&self) -> [usize; N_SHARDS] {
-        let mut sizes = [0usize; N_SHARDS];
-        for (i, shard) in self.shards.iter().enumerate() {
-            sizes[i] = lock_clean(shard).len();
-        }
-        sizes
-    }
-
-    /// Inserts the initial state unconditionally (mirrors the DFS,
-    /// which seeds its visited set before checking any cap).
-    fn admit_root(&self, state: S) {
-        let fp = fingerprint(&state);
-        lock_clean(self.shard_of(fp)).insert(state);
-        self.admitted.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Probes `state`: dedup against the shard, then reserve a slot
-    /// under `max_states`. The shard lock is held across both steps so
-    /// two workers can't admit the same state twice.
-    fn try_admit(&self, state: S, max_states: usize) -> Admit<S> {
-        self.dedup_probes.fetch_add(1, Ordering::Relaxed);
-        let fp = fingerprint(&state);
-        let mut shard = lock_clean(self.shard_of(fp));
-        if shard.contains(&state) {
-            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-            return Admit::Seen;
-        }
-        if self.admitted.fetch_add(1, Ordering::Relaxed) >= max_states {
-            self.admitted.fetch_sub(1, Ordering::Relaxed);
-            return Admit::Capped;
-        }
-        shard.insert(state.clone());
-        Admit::New(state)
-    }
-
-    fn len(&self) -> usize {
-        self.admitted.load(Ordering::Relaxed)
-    }
-}
-
-/// Everything the workers share.
 /// Serializes quiescent snapshots to stable storage. A `dyn` trait so
-/// the [`Engine`] (whose state type is *not* [`Codec`]-bounded) can
-/// hold a sink built where the bound is available
-/// ([`explore_checkpointed`] / [`resume_exploration`]).
+/// the [`Engine`] can hold a sink without caring where it writes.
 trait SnapshotSink<S>: Sync {
     fn write(&self, snap: &Snapshot<S>) -> Result<(), CheckpointError>;
 }
@@ -510,12 +529,14 @@ impl<S: Codec> SnapshotSink<S> for FileSink<'_> {
 ///
 /// A consistent snapshot of a parallel exploration needs quiescence:
 /// every worker parked at its loop-top safepoint, holding no in-flight
-/// state, so that `frontier = admitted − expanded` exactly. The first
-/// worker to cross the `next_at` admission threshold elects itself
-/// coordinator (CAS on `pause`), everyone else parks, the coordinator
-/// serializes and resumes the fleet. Workers publish their local
-/// outcome/deadlock accumulators into `published` every time they park
-/// or retire, so the coordinator sees every result without joining.
+/// state (the depth-first hot tail included — it is parked back into the
+/// deque first), so that `frontier = admitted − expanded` exactly. The
+/// first worker to cross the `next_at` admission threshold elects
+/// itself coordinator (CAS on `pause`), everyone else parks, the
+/// coordinator serializes and resumes the fleet. Workers publish their
+/// local outcome/deadlock accumulators into `published` every time they
+/// park or retire, so the coordinator sees every result without
+/// joining.
 struct CkptState<'a, S> {
     sink: &'a dyn SnapshotSink<S>,
     /// Autosave period in admitted states (`0`: final save only).
@@ -543,16 +564,19 @@ struct Engine<'a, M: Machine> {
     machine: &'a M,
     prog: &'a Program,
     limits: Limits,
-    visited: ShardedSet<M::State>,
-    /// One frontier deque per worker. The owner pushes and pops at the
-    /// back (depth-first, cache-friendly); thieves take from the front,
-    /// where the shallowest — and therefore usually largest — subtrees
-    /// sit.
-    frontiers: Vec<Mutex<VecDeque<M::State>>>,
-    /// States enqueued or currently being expanded. Workers may only
-    /// retire when this reaches zero: an empty frontier alone does not
-    /// mean the exploration is done (a peer may be mid-expansion and
-    /// about to publish new work).
+    /// The lock-free visited set; also the arena every frontier id
+    /// points into.
+    visited: VisitedSet,
+    /// One frontier deque of visited-set ids per worker. The owner
+    /// pushes and pops at the back (depth-first); thieves take from the
+    /// front, where the shallowest — and therefore usually largest —
+    /// subtrees sit. Ids are 8 bytes, so steals move words, not states.
+    frontiers: Vec<Mutex<VecDeque<u64>>>,
+    /// States admitted but not yet fully expanded (queued, in a
+    /// worker's hot tail, or mid-expansion). Workers may only retire when
+    /// this reaches zero: an empty frontier alone does not mean the
+    /// exploration is done (a peer may be mid-expansion and about to
+    /// publish new work).
     pending: AtomicUsize,
     /// Set on truncation: everyone drains out immediately.
     stop: AtomicBool,
@@ -619,7 +643,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             machine,
             prog,
             limits,
-            visited: ShardedSet::new(),
+            visited: VisitedSet::new(limits.memory_budget),
             frontiers: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
@@ -670,29 +694,39 @@ impl<'a, M: Machine> Engine<'a, M> {
         self
     }
 
-    fn push_work(&self, worker: usize, state: M::State) {
-        // Publish the obligation before the state becomes stealable, so
-        // `pending` never undercounts queued work.
+    /// Admits the initial state unconditionally (mirrors the DFS, which
+    /// seeds its visited set before checking any cap) and queues it.
+    fn seed_root(&self) {
+        let mut buf = Vec::new();
+        self.machine.initial(self.prog).encode(&mut buf);
+        let (id, _) = self.visited.insert(hash_bytes(&buf), &buf);
         self.pending.fetch_add(1, Ordering::SeqCst);
+        self.push_id(0, id);
+    }
+
+    /// Queues an admitted-but-unexpanded state's id. The `pending`
+    /// obligation for it was taken at admission and is untouched here,
+    /// so requeues (deadline, panic, hot-tail parking) are balanced.
+    fn push_id(&self, worker: usize, id: u64) {
         let mut q = lock_clean(&self.frontiers[worker]);
-        q.push_back(state);
+        q.push_back(id);
         let len = q.len();
         drop(q);
         self.peak_frontier.fetch_max(len, Ordering::Relaxed);
     }
 
-    fn pop_local(&self, worker: usize) -> Option<M::State> {
+    fn pop_local(&self, worker: usize) -> Option<u64> {
         lock_clean(&self.frontiers[worker]).pop_back()
     }
 
     /// Steals roughly half of the first non-empty victim deque (front
     /// half: the shallowest states, whose subtrees amortize the steal),
-    /// moves it into the local deque, and returns one state to run.
-    fn steal_into(&self, worker: usize) -> Option<M::State> {
+    /// moves it into the local deque, and returns one id to run.
+    fn steal_into(&self, worker: usize) -> Option<u64> {
         let n = self.frontiers.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
-            let mut booty: VecDeque<M::State> = {
+            let mut booty: VecDeque<u64> = {
                 let mut v = lock_clean(&self.frontiers[victim]);
                 let take = v.len().div_ceil(2);
                 if take == 0 {
@@ -709,6 +743,13 @@ impl<'a, M: Machine> Engine<'a, M> {
             return first;
         }
         None
+    }
+
+    /// Decodes the state an id names back out of the exact store.
+    fn decode_state(&self, id: u64) -> M::State {
+        self.visited.with_bytes(id, |b| {
+            M::State::decode(&mut Reader::new(b)).expect("visited-set bytes decode to a state")
+        })
     }
 
     fn truncate(&self, reason: TruncationReason) {
@@ -738,15 +779,30 @@ impl<'a, M: Machine> Engine<'a, M> {
         }
     }
 
+    /// `true` when a checkpoint rendezvous is requested or due, which
+    /// is when a worker must park its hot tail (it would otherwise
+    /// keep it out of the safepoint for an entire depth-first spine).
+    fn ckpt_pending(&self) -> bool {
+        self.ckpt.as_ref().is_some_and(|c| {
+            c.pause.load(Ordering::SeqCst)
+                || (c.every != 0
+                    && !c.failed.load(Ordering::Relaxed)
+                    && self.visited.len() >= c.next_at.load(Ordering::Relaxed))
+        })
+    }
+
     /// The loop-top safepoint of the checkpoint rendezvous: park if a
     /// coordinator paused the fleet, or become the coordinator if the
     /// periodic threshold was crossed. Called with no in-flight state,
     /// which is what makes the resulting snapshot consistent.
-    fn ckpt_safepoint(&self, worker: usize, out: &WorkerResult) {
+    fn ckpt_safepoint(&self, worker: usize, out: &WorkerResult, tel: &mut ProbeTelemetry) {
         let Some(c) = &self.ckpt else { return };
         loop {
             if c.pause.load(Ordering::SeqCst) {
                 self.publish(worker, out);
+                // Snapshots read the shared counters while the fleet is
+                // parked: our batch must land first.
+                self.visited.flush_telemetry(tel);
                 c.parked.fetch_add(1, Ordering::SeqCst);
                 while c.pause.load(Ordering::SeqCst) {
                     std::hint::spin_loop();
@@ -762,6 +818,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             {
                 if c.pause.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok()
                 {
+                    self.visited.flush_telemetry(tel);
                     self.coordinate(worker, c, out);
                 }
                 continue; // lost the race: loop around and park
@@ -806,8 +863,10 @@ impl<'a, M: Machine> Engine<'a, M> {
         c.pause.store(false, Ordering::SeqCst);
     }
 
-    /// A consistent image of the engine. Callers guarantee quiescence
-    /// (rendezvous mid-run, or all workers joined at the end).
+    /// A consistent image of the engine, decoded back out of the exact
+    /// store. Callers guarantee quiescence (rendezvous mid-run, or all
+    /// workers joined at the end); every hot tail is parked in a deque at
+    /// those points, so the frontier below is exact.
     fn snapshot(&self, truncation: Option<TruncationReason>) -> ParallelSnapshot<M::State> {
         let mut outcomes = self.base.outcomes.clone();
         let mut deadlocks = self.base.deadlocks;
@@ -818,12 +877,23 @@ impl<'a, M: Machine> Engine<'a, M> {
                 deadlocks += r.deadlocks as u64;
             }
         }
-        let shards: Vec<Vec<M::State>> =
-            self.visited.shards.iter().map(|s| lock_clean(s).iter().cloned().collect()).collect();
+        let shards: Vec<Vec<M::State>> = (0..N_SHARDS)
+            .map(|s| {
+                let mut v = Vec::new();
+                self.visited.for_each_in_shard(s, |b| {
+                    v.push(
+                        M::State::decode(&mut Reader::new(b))
+                            .expect("visited-set bytes decode to a state"),
+                    );
+                });
+                v
+            })
+            .collect();
         let frontier: Vec<M::State> = self
             .frontiers
             .iter()
-            .flat_map(|f| lock_clean(f).iter().cloned().collect::<Vec<_>>())
+            .flat_map(|f| lock_clean(f).iter().copied().collect::<Vec<_>>())
+            .map(|id| self.decode_state(id))
             .collect();
         ParallelSnapshot {
             outcomes,
@@ -840,10 +910,11 @@ impl<'a, M: Machine> Engine<'a, M> {
             Some(c) => (c.written.load(Ordering::Relaxed), c.write_nanos.load(Ordering::Relaxed)),
             None => (0, 0),
         };
+        let v = self.visited.counters();
         PersistedCounters {
             distinct: self.visited.len() as u64,
-            dedup_hits: self.visited.dedup_hits.load(Ordering::Relaxed),
-            dedup_probes: self.visited.dedup_probes.load(Ordering::Relaxed),
+            dedup_hits: v.dedup_hits,
+            dedup_probes: v.dedup_probes,
             pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             peak_frontier: self.peak_frontier.load(Ordering::Relaxed) as u64,
@@ -860,19 +931,54 @@ impl<'a, M: Machine> Engine<'a, M> {
     fn run_worker(&self, worker: usize) -> WorkerResult {
         let mut out = WorkerResult::default();
         let mut succ: Vec<(Label, M::State)> = Vec::new();
+        // Encode scratch, reused across every successor of every state.
+        let mut buf: Vec<u8> = Vec::new();
+        // The newest admissions, kept decoded (newest at the back):
+        // expanding them LIFO — exactly what pop_local would return —
+        // skips the codec round-trip on the whole depth-first spine.
+        // Bounded: overflow parks the *oldest* entry by id, keeping
+        // worker memory at HOT_CAP states while stealers still see
+        // parked work.
+        let mut hot: VecDeque<(u64, M::State)> = VecDeque::new();
+        // Retired successor states, recycled through
+        // `Machine::successors_into` so steady-state expansion reuses
+        // their heap allocations instead of cloning fresh.
+        let mut pool: Vec<M::State> = Vec::new();
+        // Probe counters batch locally and flush at the quiescence
+        // points (park, retire): three shared `fetch_add`s per arc
+        // would ping-pong one cache line between every worker.
+        let mut tel = ProbeTelemetry::default();
         let mut until_deadline_check = DEADLINE_CHECK_EVERY;
         loop {
-            self.ckpt_safepoint(worker, &out);
-            if self.stop.load(Ordering::Relaxed) {
-                break;
-            }
-            let Some(state) = self.pop_local(worker).or_else(|| self.steal_into(worker)) else {
-                if self.pending.load(Ordering::SeqCst) == 0 {
-                    break; // No queued work, no peer mid-expansion: done.
+            // Park the hot tail before stopping or entering a
+            // rendezvous: snapshots must see it in the frontier, and a
+            // coordinator must not wait on a worker that never reaches
+            // the safepoint because its hot tail keeps refilling.
+            if !hot.is_empty() && (self.stop.load(Ordering::Relaxed) || self.ckpt_pending()) {
+                while let Some((id, s)) = hot.pop_front() {
+                    self.push_id(worker, id);
+                    recycle(&mut pool, s);
                 }
-                std::hint::spin_loop();
-                std::thread::yield_now();
-                continue;
+            }
+            if hot.is_empty() {
+                self.ckpt_safepoint(worker, &out, &mut tel);
+                if self.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            let (id, pre) = match hot.pop_back() {
+                Some((id, s)) => (id, Some(s)),
+                None => match self.pop_local(worker).or_else(|| self.steal_into(worker)) {
+                    Some(id) => (id, None),
+                    None => {
+                        if self.pending.load(Ordering::SeqCst) == 0 {
+                            break; // No queued work, no peer mid-expansion: done.
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                        continue;
+                    }
+                },
             };
             if let Some(deadline) = self.deadline_at {
                 until_deadline_check -= 1;
@@ -882,22 +988,29 @@ impl<'a, M: Machine> Engine<'a, M> {
                     if now >= deadline {
                         self.record_overshoot(deadline, now);
                         self.truncate(TruncationReason::Deadline);
-                        // Keep the popped state recoverable: back into
+                        // Keep the popped id recoverable: back into
                         // the frontier, not dropped on the floor.
-                        self.push_work(worker, state);
-                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                        self.push_id(worker, id);
                         break;
                     }
                 }
             }
-            // Panic isolation: a machine's `successors`/`outcome` (or a
-            // state's own Hash/Eq) may panic. Absorb it, requeue the
-            // in-flight state for a surviving worker, and retire this
-            // worker — the run degrades to fewer threads instead of
-            // aborting or deadlocking the shards (which tolerate
-            // poison, see `lock_clean`).
-            let step =
-                catch_unwind(AssertUnwindSafe(|| self.expand(worker, &state, &mut succ, &mut out)));
+            // Panic isolation: a machine's `successors`/`outcome` (or
+            // the codec) may panic. Absorb it, requeue the in-flight id
+            // for a surviving worker, and retire this worker — the run
+            // degrades to fewer threads instead of aborting or
+            // deadlocking (the locks tolerate poison, see `lock_clean`).
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                let state = match pre {
+                    Some(s) => s,
+                    None => self.decode_state(id),
+                };
+                let step = self.expand(
+                    worker, &state, &mut succ, &mut buf, &mut hot, &mut pool, &mut tel, &mut out,
+                );
+                recycle(&mut pool, state);
+                step
+            }));
             match step {
                 Ok(Step::Done) => {
                     self.pending.fetch_sub(1, Ordering::SeqCst);
@@ -905,22 +1018,27 @@ impl<'a, M: Machine> Engine<'a, M> {
                 Ok(Step::Interrupted) => {
                     // Truncation struck mid-expansion; `truncate` has
                     // set `stop`. Requeue so the final checkpoint's
-                    // frontier stays exact.
-                    self.push_work(worker, state);
-                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    // frontier stays exact (the admission obligation is
+                    // untouched — see `push_id`).
+                    self.push_id(worker, id);
                     break;
                 }
                 Err(_) => {
                     self.worker_panics.fetch_add(1, Ordering::SeqCst);
-                    self.push_work(worker, state);
-                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.push_id(worker, id);
                     break;
                 }
             }
         }
+        // Any hot tail survives the break paths above; park it so peers
+        // (or the final snapshot) pick it up.
+        while let Some((id, _)) = hot.pop_front() {
+            self.push_id(worker, id);
+        }
         // Retire: publish final results *before* leaving the active
         // set, so a coordinator that stops waiting for us still sees
         // everything we found.
+        self.visited.flush_telemetry(&mut tel);
         self.publish(worker, &out);
         self.active.fetch_sub(1, Ordering::SeqCst);
         out
@@ -938,6 +1056,10 @@ impl<'a, M: Machine> Engine<'a, M> {
         worker: usize,
         state: &M::State,
         succ: &mut Vec<(Label, M::State)>,
+        buf: &mut Vec<u8>,
+        hot: &mut VecDeque<(u64, M::State)>,
+        pool: &mut Vec<M::State>,
+        tel: &mut ProbeTelemetry,
         out: &mut WorkerResult,
     ) -> Step {
         if let Some(outcome) = self.machine.outcome(self.prog, state) {
@@ -945,7 +1067,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             return Step::Done;
         }
         succ.clear();
-        self.machine.successors(self.prog, state, succ);
+        self.machine.successors_into(self.prog, state, succ, pool);
         // Per-arc deadline enforcement: `successors` is the potentially
         // slow machine step, so re-read the clock right after it rather
         // than letting a slow transition function overshoot the budget
@@ -970,9 +1092,26 @@ impl<'a, M: Machine> Engine<'a, M> {
             }
         }
         for (_, next) in succ.drain(..) {
-            match self.visited.try_admit(next, self.limits.max_states) {
-                Admit::New(next) => self.push_work(worker, next),
-                Admit::Seen => {}
+            // The encode is the hash walk: one traversal produces the
+            // dedup key, the fingerprint, and (on admission) the stored
+            // payload.
+            buf.clear();
+            next.encode(buf);
+            let fp = hash_bytes(buf);
+            match self.visited.admit_batched(fp, buf, self.limits.max_states, tel) {
+                Admit::New(id) => {
+                    self.pending.fetch_add(1, Ordering::SeqCst);
+                    // Keep the admission decoded in the hot tail (its
+                    // back is exactly what pop_local would return
+                    // next); overflow parks the oldest entry by id.
+                    hot.push_back((id, next));
+                    if hot.len() > HOT_CAP {
+                        let (old, s) = hot.pop_front().expect("over capacity");
+                        self.push_id(worker, old);
+                        recycle(pool, s);
+                    }
+                }
+                Admit::Seen(_) => recycle(pool, next),
                 Admit::Capped => {
                     self.truncate(TruncationReason::MaxStates);
                     return Step::Interrupted;
@@ -1011,6 +1150,7 @@ impl<'a, M: Machine> Engine<'a, M> {
         }
         let truncation = self.truncation();
         let counters = self.persisted_counters();
+        let v = self.visited.counters();
         let stats = ExplorationStats {
             distinct_states: self.visited.len(),
             duration: Duration::from_nanos(self.base.elapsed_nanos) + started.elapsed(),
@@ -1028,6 +1168,11 @@ impl<'a, M: Machine> Engine<'a, M> {
                 self.base.checkpoint_nanos
                     + self.ckpt.as_ref().map_or(0, |c| c.write_nanos.load(Ordering::Relaxed)),
             ),
+            probe_steps: v.probe_steps,
+            table_capacity: v.table_capacity,
+            spilled_states: v.spilled_states,
+            spill_bytes: v.spill_bytes,
+            mem_bytes: v.mem_bytes,
             shard_states: Some(self.visited.shard_sizes()),
         };
         Exploration { outcomes, states: stats.distinct_states, deadlocks, truncation, stats }
@@ -1040,7 +1185,7 @@ impl<'a, M: Machine> Engine<'a, M> {
 ///
 /// `outcomes`, `states`, `deadlocks`, and `truncated` are identical to
 /// [`explore_seq`]'s whenever the exploration is not truncated — the
-/// engines differ only in visit order, which the full-state visited set
+/// engines differ only in visit order, which the exact visited set
 /// makes unobservable. Truncated explorations stop at the same state
 /// count but may retain a different (schedule-dependent) sample of
 /// outcomes; both are lower bounds.
@@ -1048,8 +1193,7 @@ pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Explo
     let started = Instant::now();
     let workers = limits.resolved_threads();
     let engine = Engine::new(machine, prog, limits, workers);
-    engine.visited.admit_root(machine.initial(prog));
-    engine.push_work(0, machine.initial(prog));
+    engine.seed_root();
     let results = run_workers(&engine, workers);
     engine.into_exploration(results, started)
 }
@@ -1110,15 +1254,11 @@ pub fn explore_checkpointed<M: Machine>(
     prog: &Program,
     limits: Limits,
     cfg: &CheckpointCfg,
-) -> Result<Exploration, CheckpointError>
-where
-    M::State: Codec,
-{
+) -> Result<Exploration, CheckpointError> {
     let sink = FileSink { cfg, fp: config_fingerprint(machine.name(), prog, &limits) };
     let workers = limits.resolved_threads();
     let engine = Engine::new(machine, prog, limits, workers).with_checkpointing(cfg, &sink);
-    engine.visited.admit_root(machine.initial(prog));
-    engine.push_work(0, machine.initial(prog));
+    engine.seed_root();
     let results = run_workers(&engine, workers);
     finish_checkpointed(engine, results)
 }
@@ -1126,21 +1266,19 @@ where
 /// Continues an exploration from the checkpoint in `cfg.dir`.
 ///
 /// The checkpoint's configuration fingerprint must match this run's
-/// machine, program, state cap, and reduction mode (thread count and
-/// deadline may differ — they are resources, not semantics). The final
-/// `outcomes`, `states`, and `deadlocks` are identical to an
-/// uninterrupted [`explore`] of the same configuration: at a checkpoint
-/// boundary the frontier is exactly the admitted-but-unexpanded states,
-/// so resuming expands each reachable state exactly once overall.
+/// machine, program, state cap, and reduction mode (thread count,
+/// deadline, and memory budget may differ — they are resources, not
+/// semantics). The final `outcomes`, `states`, and `deadlocks` are
+/// identical to an uninterrupted [`explore`] of the same configuration:
+/// at a checkpoint boundary the frontier is exactly the
+/// admitted-but-unexpanded states, so resuming expands each reachable
+/// state exactly once overall.
 pub fn resume_exploration<M: Machine>(
     machine: &M,
     prog: &Program,
     limits: Limits,
     cfg: &CheckpointCfg,
-) -> Result<Exploration, CheckpointError>
-where
-    M::State: Codec,
-{
+) -> Result<Exploration, CheckpointError> {
     let fp = config_fingerprint(machine.name(), prog, &limits);
     let snap = match checkpoint::load::<M::State>(cfg, fp)? {
         Snapshot::Parallel(p) => p,
@@ -1149,19 +1287,18 @@ where
     let sink = FileSink { cfg, fp };
     let workers = limits.resolved_threads();
     let mut engine = Engine::new(machine, prog, limits, workers);
-    // Rebuild the visited set (shard by recomputed fingerprint) and
-    // restore the durable counters the checkpoint carried.
-    let mut admitted = 0usize;
+    // Rebuild the visited set (re-encoding each state; shard and id
+    // assignment are recomputed) and restore the durable counters the
+    // checkpoint carried.
+    let mut buf = Vec::new();
     for states in snap.shards {
         for s in states {
-            let f = fingerprint(&s);
-            lock_clean(engine.visited.shard_of(f)).insert(s);
-            admitted += 1;
+            buf.clear();
+            s.encode(&mut buf);
+            engine.visited.insert(hash_bytes(&buf), &buf);
         }
     }
-    engine.visited.admitted.store(admitted, Ordering::Relaxed);
-    engine.visited.dedup_hits.store(snap.counters.dedup_hits, Ordering::Relaxed);
-    engine.visited.dedup_probes.store(snap.counters.dedup_probes, Ordering::Relaxed);
+    engine.visited.restore_probe_counters(snap.counters.dedup_hits, snap.counters.dedup_probes);
     engine.steals.store(snap.counters.steals, Ordering::Relaxed);
     engine.pruned_arcs.store(snap.counters.pruned_arcs, Ordering::Relaxed);
     engine.peak_frontier.store(
@@ -1178,11 +1315,18 @@ where
         checkpoint_nanos: snap.counters.ckpt_write_nanos,
     };
     let engine = engine.with_checkpointing(cfg, &sink);
-    // Round-robin the saved frontier across the workers. An empty
-    // frontier (the run had finished) just means the workers drain out
-    // immediately and the stored results are returned as-is.
+    // Round-robin the saved frontier across the workers, mapped back
+    // to ids (every frontier state is in the visited set by the
+    // checkpoint invariant, so `insert` is a pure lookup here). An
+    // empty frontier (the run had finished) just means the workers
+    // drain out immediately and the stored results are returned as-is.
     for (i, s) in snap.frontier.into_iter().enumerate() {
-        engine.push_work(i % workers, s);
+        buf.clear();
+        s.encode(&mut buf);
+        let (id, fresh) = engine.visited.insert(hash_bytes(&buf), &buf);
+        debug_assert!(!fresh, "checkpoint frontier states are admitted by construction");
+        engine.pending.fetch_add(1, Ordering::SeqCst);
+        engine.push_id(i % workers, id);
     }
     let results = run_workers(&engine, workers);
     finish_checkpointed(engine, results)
@@ -1259,6 +1403,11 @@ pub fn explore_seq<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> E
         deadline_overshoot: Duration::ZERO,
         checkpoints: 0,
         checkpoint_time: Duration::ZERO,
+        probe_steps: 0,
+        table_capacity: 0,
+        spilled_states: 0,
+        spill_bytes: 0,
+        mem_bytes: 0,
         shard_states: None,
     };
     Exploration { outcomes, states: visited.len(), deadlocks, truncation, stats }
@@ -1355,8 +1504,30 @@ mod tests {
         assert!(ex.stats.dedup_hit_rate() > 0.0, "dekker revisits states");
         assert!(ex.stats.states_per_sec() > 0.0);
         assert!(ex.stats.peak_frontier > 0);
+        assert!(ex.stats.table_capacity > 0, "parallel runs report table capacity");
+        assert!(ex.stats.avg_probe_len() >= 1.0, "every probe inspects a slot");
+        assert!(ex.stats.mem_bytes > 0, "unbudgeted runs keep payloads resident");
+        assert_eq!(ex.stats.spilled_states, 0);
         let line = ex.stats.to_string();
         assert!(line.contains("states/s"), "{line}");
+    }
+
+    /// A memory budget small enough to force spilling must not change
+    /// any semantic result — the acceptance property of the disk-backed
+    /// capacity path, at unit scale.
+    #[test]
+    fn a_tiny_memory_budget_spills_without_changing_results() {
+        let lit = litmus::iriw();
+        let plain = explore(&ScMachine, &lit.program, Limits::with_threads(2));
+        let mut limits = Limits::with_memory_budget(1);
+        limits.threads = 2;
+        let spilled = explore(&ScMachine, &lit.program, limits);
+        assert_eq!(spilled, plain);
+        assert_eq!(spilled.stats.spilled_states as usize, spilled.states);
+        assert!(spilled.stats.spill_bytes > 0);
+        assert_eq!(spilled.stats.mem_bytes, 0, "payloads all went to disk");
+        let line = spilled.stats.to_string();
+        assert!(line.contains("spilled"), "{line}");
     }
 }
 

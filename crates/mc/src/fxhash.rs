@@ -100,6 +100,17 @@ pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// The 64-bit fingerprint of a raw byte string, fed through the hasher
+/// directly (no `Hash` length prefix). This is the visited-set
+/// fingerprint of an encoded state: stable across threads and runs,
+/// and cheap — the byte path consumes 8-byte words.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,369 @@
+//! The pre-lock-free parallel explorer, frozen as a benchmark baseline.
+//!
+//! This is the engine [`crate::explore`] shipped with before the
+//! visited set moved to the lock-free fingerprint table
+//! ([`crate::visited`]): [`crate::N_SHARDS`] mutex-guarded
+//! `HashSet<State>` shards, frontier deques of full boxed state clones,
+//! and work-stealing. It is kept — verbatim in its per-state cost
+//! structure, minus checkpointing — so `BENCH_explore.json` can carry
+//! honest old-vs-new rows measured from the same binary, and so the
+//! differential suite can triangulate three independent engines.
+//!
+//! Per-state cost profile this baseline pays that the lock-free engine
+//! does not: a deep `clone` of every admitted state, a full `Hash` walk
+//! per probe *plus* `Eq` walks inside the `HashSet`, per-probe shard
+//! mutex traffic, and `HashSet` rehash storms as shards grow.
+//!
+//! Frozen: do not optimize this module; it exists to stay slow the way
+//! the old engine was slow.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use weakord_progs::{Outcome, Program};
+
+use crate::explore::{
+    lock_clean, Exploration, ExplorationStats, Limits, Reduction, TruncationReason, N_SHARDS,
+};
+use crate::fxhash::{fingerprint, FxBuildHasher};
+use crate::machine::{Label, Machine};
+use crate::reduce::{ample_index, FutureTable};
+
+/// The old visited set: [`N_SHARDS`] hash sets of full states, each
+/// behind its own mutex, a state's shard chosen by the top bits of its
+/// fingerprint.
+struct ShardedSet<S> {
+    shards: Vec<Mutex<HashSet<S, FxBuildHasher>>>,
+    /// Distinct states admitted across all shards (the cap ledger:
+    /// incremented only when a slot under `max_states` is reserved).
+    admitted: AtomicUsize,
+    dedup_hits: AtomicU64,
+    dedup_probes: AtomicU64,
+}
+
+/// The verdict of probing one successor state against the visited set.
+enum Admit<S> {
+    /// New state, admitted under the cap; caller owns it and must
+    /// enqueue it.
+    New(S),
+    /// Already visited (or lost an admission race to another worker).
+    Seen,
+    /// New state, but the cap is full: the exploration is truncated.
+    Capped,
+}
+
+impl<S: std::hash::Hash + Eq + Clone> ShardedSet<S> {
+    fn new() -> Self {
+        ShardedSet {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashSet::default())).collect(),
+            admitted: AtomicUsize::new(0),
+            dedup_hits: AtomicU64::new(0),
+            dedup_probes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, fp: u64) -> &Mutex<HashSet<S, FxBuildHasher>> {
+        debug_assert!(N_SHARDS.is_power_of_two());
+        &self.shards[(fp >> (64 - N_SHARDS.trailing_zeros())) as usize]
+    }
+
+    /// Final per-shard sizes (taken once the workers have quiesced).
+    fn shard_sizes(&self) -> [usize; N_SHARDS] {
+        let mut sizes = [0usize; N_SHARDS];
+        for (i, shard) in self.shards.iter().enumerate() {
+            sizes[i] = lock_clean(shard).len();
+        }
+        sizes
+    }
+
+    /// Inserts the initial state unconditionally (mirrors the DFS,
+    /// which seeds its visited set before checking any cap).
+    fn admit_root(&self, state: S) {
+        let fp = fingerprint(&state);
+        lock_clean(self.shard_of(fp)).insert(state);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probes `state`: dedup against the shard, then reserve a slot
+    /// under `max_states`. The shard lock is held across both steps so
+    /// two workers can't admit the same state twice.
+    fn try_admit(&self, state: S, max_states: usize) -> Admit<S> {
+        self.dedup_probes.fetch_add(1, Ordering::Relaxed);
+        let fp = fingerprint(&state);
+        let mut shard = lock_clean(self.shard_of(fp));
+        if shard.contains(&state) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Admit::Seen;
+        }
+        if self.admitted.fetch_add(1, Ordering::Relaxed) >= max_states {
+            self.admitted.fetch_sub(1, Ordering::Relaxed);
+            return Admit::Capped;
+        }
+        shard.insert(state.clone());
+        Admit::New(state)
+    }
+
+    fn len(&self) -> usize {
+        self.admitted.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the legacy workers share.
+struct Engine<'a, M: Machine> {
+    machine: &'a M,
+    prog: &'a Program,
+    limits: Limits,
+    visited: ShardedSet<M::State>,
+    /// One frontier deque of *full states* per worker (the old layout:
+    /// every queued state is a heap clone).
+    frontiers: Vec<Mutex<VecDeque<M::State>>>,
+    /// States queued but not yet fully expanded.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    capped: AtomicBool,
+    deadline_hit: AtomicBool,
+    deadline_at: Option<Instant>,
+    steals: AtomicU64,
+    peak_frontier: AtomicUsize,
+    pruned_arcs: AtomicU64,
+    reduction: Option<FutureTable>,
+}
+
+#[derive(Default)]
+struct WorkerResult {
+    outcomes: BTreeSet<Outcome>,
+    deadlocks: usize,
+}
+
+/// How often a worker re-checks the wall-clock deadline between pops.
+const DEADLINE_CHECK_EVERY: u32 = 128;
+
+impl<'a, M: Machine> Engine<'a, M> {
+    fn new(machine: &'a M, prog: &'a Program, limits: Limits, workers: usize) -> Self {
+        Engine {
+            machine,
+            prog,
+            limits,
+            visited: ShardedSet::new(),
+            frontiers: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            capped: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            deadline_at: limits.deadline.map(|d| Instant::now() + d),
+            steals: AtomicU64::new(0),
+            peak_frontier: AtomicUsize::new(0),
+            pruned_arcs: AtomicU64::new(0),
+            reduction: match limits.reduction {
+                Reduction::Full => None,
+                Reduction::Ample => FutureTable::new(prog),
+            },
+        }
+    }
+
+    fn push_work(&self, worker: usize, state: M::State) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let mut q = lock_clean(&self.frontiers[worker]);
+        q.push_back(state);
+        let len = q.len();
+        drop(q);
+        self.peak_frontier.fetch_max(len, Ordering::Relaxed);
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<M::State> {
+        lock_clean(&self.frontiers[worker]).pop_back()
+    }
+
+    fn steal_into(&self, worker: usize) -> Option<M::State> {
+        let n = self.frontiers.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            let mut booty: VecDeque<M::State> = {
+                let mut v = lock_clean(&self.frontiers[victim]);
+                let take = v.len().div_ceil(2);
+                if take == 0 {
+                    continue;
+                }
+                v.drain(..take).collect()
+            };
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            let first = booty.pop_front();
+            if !booty.is_empty() {
+                let mut local = lock_clean(&self.frontiers[worker]);
+                local.extend(booty.drain(..));
+            }
+            return first;
+        }
+        None
+    }
+
+    fn truncate(&self, reason: TruncationReason) {
+        match reason {
+            TruncationReason::MaxStates => self.capped.store(true, Ordering::Relaxed),
+            TruncationReason::Deadline => self.deadline_hit.store(true, Ordering::Relaxed),
+            _ => {}
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn run_worker(&self, worker: usize) -> WorkerResult {
+        let mut out = WorkerResult::default();
+        let mut succ: Vec<(Label, M::State)> = Vec::new();
+        let mut until_deadline_check = DEADLINE_CHECK_EVERY;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Some(state) = self.pop_local(worker).or_else(|| self.steal_into(worker)) else {
+                if self.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            };
+            if let Some(deadline) = self.deadline_at {
+                until_deadline_check -= 1;
+                if until_deadline_check == 0 {
+                    until_deadline_check = DEADLINE_CHECK_EVERY;
+                    if Instant::now() >= deadline {
+                        self.truncate(TruncationReason::Deadline);
+                        self.push_work(worker, state);
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            self.expand(worker, state, &mut succ, &mut out);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        out
+    }
+
+    fn expand(
+        &self,
+        worker: usize,
+        state: M::State,
+        succ: &mut Vec<(Label, M::State)>,
+        out: &mut WorkerResult,
+    ) {
+        if let Some(outcome) = self.machine.outcome(self.prog, &state) {
+            out.outcomes.insert(outcome);
+            return;
+        }
+        succ.clear();
+        self.machine.successors(self.prog, &state, succ);
+        if succ.is_empty() {
+            out.deadlocks += 1;
+            return;
+        }
+        if let Some(table) = &self.reduction {
+            if let Some(keep) = ample_index(self.machine, &state, succ, table) {
+                self.pruned_arcs.fetch_add(succ.len() as u64 - 1, Ordering::Relaxed);
+                succ.swap(0, keep);
+                succ.truncate(1);
+            }
+        }
+        for (_, next) in succ.drain(..) {
+            match self.visited.try_admit(next, self.limits.max_states) {
+                Admit::New(next) => self.push_work(worker, next),
+                Admit::Seen => {}
+                Admit::Capped => {
+                    self.truncate(TruncationReason::MaxStates);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn into_exploration(self, results: Vec<WorkerResult>, started: Instant) -> Exploration {
+        let mut outcomes = BTreeSet::new();
+        let mut deadlocks = 0usize;
+        for r in results {
+            outcomes.extend(r.outcomes);
+            deadlocks += r.deadlocks;
+        }
+        let truncation = if self.capped.load(Ordering::Relaxed) {
+            Some(TruncationReason::MaxStates)
+        } else if self.deadline_hit.load(Ordering::Relaxed) {
+            Some(TruncationReason::Deadline)
+        } else {
+            None
+        };
+        let stats = ExplorationStats {
+            distinct_states: self.visited.len(),
+            duration: started.elapsed(),
+            dedup_hits: self.visited.dedup_hits.load(Ordering::Relaxed),
+            dedup_probes: self.visited.dedup_probes.load(Ordering::Relaxed),
+            peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
+            threads: self.frontiers.len(),
+            steals: self.steals.load(Ordering::Relaxed),
+            pruned_arcs: self.pruned_arcs.load(Ordering::Relaxed),
+            truncation,
+            worker_panics: 0,
+            deadline_overshoot: Duration::ZERO,
+            checkpoints: 0,
+            checkpoint_time: Duration::ZERO,
+            probe_steps: 0,
+            table_capacity: 0,
+            spilled_states: 0,
+            spill_bytes: 0,
+            mem_bytes: 0,
+            shard_states: Some(self.visited.shard_sizes()),
+        };
+        Exploration { outcomes, states: stats.distinct_states, deadlocks, truncation, stats }
+    }
+}
+
+/// Explores with the frozen pre-lock-free engine (mutex-shard visited
+/// set, full-state frontiers). Same semantic results as
+/// [`crate::explore`] / [`crate::explore_seq`]; kept only as the
+/// benchmark baseline and a third engine for differential testing. No
+/// checkpointing, no panic isolation.
+pub fn explore_legacy<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
+    let started = Instant::now();
+    let workers = limits.resolved_threads();
+    let engine = Engine::new(machine, prog, limits, workers);
+    engine.visited.admit_root(machine.initial(prog));
+    engine.push_work(0, machine.initial(prog));
+    let results = if workers == 1 {
+        vec![engine.run_worker(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let eng = &engine;
+            let handles: Vec<_> =
+                (0..workers).map(|w| scope.spawn(move || eng.run_worker(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("legacy workers do not panic")).collect()
+        })
+    };
+    engine.into_exploration(results, started)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_seq, Limits};
+    use crate::machines::ScMachine;
+    use weakord_progs::litmus;
+
+    #[test]
+    fn legacy_engine_matches_the_sequential_reference() {
+        for lit in [litmus::fig1_dekker(), litmus::iriw()] {
+            let seq = explore_seq(&ScMachine, &lit.program, Limits::default());
+            for threads in [1, 2] {
+                let old = explore_legacy(&ScMachine, &lit.program, Limits::with_threads(threads));
+                assert_eq!(old, seq, "{} @ {threads} threads", lit.name);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_engine_honors_the_state_cap() {
+        let lit = litmus::iriw();
+        let ex = explore_legacy(&ScMachine, &lit.program, Limits::with_max_states(3));
+        assert_eq!(ex.stats.truncation, Some(TruncationReason::MaxStates));
+        assert_eq!(ex.states, 3);
+    }
+}

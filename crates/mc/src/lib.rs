@@ -38,11 +38,13 @@ pub mod checkpoint;
 pub mod contract;
 mod explore;
 pub mod fxhash;
+mod legacy;
 mod machine;
 pub mod machines;
 mod reduce;
 pub mod shrink;
 mod trace;
+pub mod visited;
 
 pub use checkpoint::{CheckpointCfg, CheckpointError, Codec};
 pub use contract::{
@@ -53,6 +55,7 @@ pub use explore::{
     explore, explore_checkpointed, explore_seq, find_witness, resume_exploration, Exploration,
     ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
 };
+pub use legacy::explore_legacy;
 pub use machine::{
     advance_skipping_delays, advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass,
     Footprint, InternalKind, InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,

@@ -11,6 +11,8 @@
 use std::fmt;
 use std::hash::Hash;
 
+use crate::checkpoint::Codec;
+
 use weakord_core::{Loc, OpKind, ProcId, Value};
 use weakord_progs::{Outcome, Program, ThreadEvent, ThreadState};
 
@@ -258,7 +260,15 @@ impl ReductionClass {
 /// mutability, no shared handles), so both bounds auto-derive.
 pub trait Machine: Sync {
     /// The machine's state: thread states plus memory-system contents.
-    type State: Clone + Eq + Hash + fmt::Debug + Send + Sync;
+    ///
+    /// The [`Codec`] bound is what lets the parallel explorer store
+    /// every admitted state *encoded* (one compact heap block instead
+    /// of a boxed clone), spill encoded states to disk under a memory
+    /// budget, and checkpoint/resume runs. Codec round-trip identity
+    /// (`decode(encode(s)) == s`, pinned by the checkpoint tests) makes
+    /// the encoding injective, which keeps dedup-by-encoded-bytes
+    /// semantically exact.
+    type State: Clone + Eq + Hash + fmt::Debug + Send + Sync + Codec;
 
     /// Short display name, e.g. `"sc"` or `"wo-def2"`.
     fn name(&self) -> &'static str;
@@ -270,6 +280,31 @@ pub trait Machine: Sync {
     /// Appends every enabled transition from `state` to `out` (cleared
     /// by the caller). An empty set on a non-final state is a deadlock.
     fn successors(&self, prog: &Program, state: &Self::State, out: &mut Vec<(Label, Self::State)>);
+
+    /// [`Machine::successors`] with a recycling pool of states the
+    /// caller no longer needs. Implementations draw scratch states from
+    /// `pool` (see [`pooled_clone`]) — overwriting them in place reuses
+    /// their heap allocations, turning each successor clone into a
+    /// field copy — and return abandoned scratch states to it.
+    ///
+    /// This only pays off for callers that *discard* most successor
+    /// states: the lock-free explorer keeps admitted states encoded (a
+    /// flat byte block), so every decoded successor it is handed flows
+    /// back into the pool and the per-arc allocation chain disappears.
+    /// Engines that retain owned states (the frozen legacy engine, the
+    /// sequential reference) cannot recycle and use plain
+    /// [`Machine::successors`]. The default ignores the pool; machines
+    /// on the benchmark path override it.
+    fn successors_into(
+        &self,
+        prog: &Program,
+        state: &Self::State,
+        out: &mut Vec<(Label, Self::State)>,
+        pool: &mut Vec<Self::State>,
+    ) {
+        let _ = pool;
+        self.successors(prog, state, out);
+    }
 
     /// Returns the observable outcome if `state` is terminal: all
     /// threads halted *and* all internal queues drained (every write
@@ -287,6 +322,21 @@ pub trait Machine: Sync {
     /// contents; machines with sharper structure override it.
     fn reduction_class(&self) -> ReductionClass {
         ReductionClass::conservative()
+    }
+}
+
+/// Pops a recycled state from `pool` and overwrites it with `src` via
+/// `clone_from` — reusing its heap allocations — or clones fresh when
+/// the pool is dry. The workhorse of [`Machine::successors_into`]:
+/// states whose `clone_from` reuses nested buffers (hand-written on the
+/// benchmark machines) make this allocation-free in steady state.
+pub fn pooled_clone<S: Clone>(pool: &mut Vec<S>, src: &S) -> S {
+    match pool.pop() {
+        Some(mut s) => {
+            s.clone_from(src);
+            s
+        }
+        None => src.clone(),
     }
 }
 

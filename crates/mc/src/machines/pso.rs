@@ -14,8 +14,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
-    OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays, outcome_if_halted, pooled_clone, DeliveryClass, InternalStep, Label,
+    Machine, OpRecord, ReductionClass, SyncGate,
 };
 
 /// The PSO machine. Strictly weaker than [`crate::machines::TsoMachine`]
@@ -31,7 +31,7 @@ pub struct PsoMachine;
 /// entries) makes states canonical: two interleavings that buffered the
 /// same writes to different locations in different orders are the same
 /// hardware configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct PsoState {
     /// Architectural thread states.
     pub threads: Vec<ThreadState>,
@@ -45,6 +45,25 @@ pub struct PsoState {
 impl PsoState {
     fn buffers_empty(&self, t: usize) -> bool {
         self.buffers[t].iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Hand-written so `clone_from` reuses the nested buffer allocations
+/// (the derived impl's `clone_from` falls back to a fresh clone):
+/// overwriting a recycled state is then a handful of memcpys, which is
+/// what makes [`Machine::successors_into`]'s pooling worthwhile.
+impl Clone for PsoState {
+    fn clone(&self) -> Self {
+        PsoState {
+            threads: self.threads.clone(),
+            mem: self.mem.clone(),
+            buffers: self.buffers.clone(),
+        }
+    }
+    fn clone_from(&mut self, src: &Self) {
+        self.threads.clone_from(&src.threads);
+        self.mem.clone_from(&src.mem);
+        self.buffers.clone_from(&src.buffers);
     }
 }
 
@@ -64,19 +83,62 @@ impl Machine for PsoMachine {
     }
 
     fn successors(&self, prog: &Program, state: &PsoState, out: &mut Vec<(Label, PsoState)>) {
+        self.succs(prog, state, out, &mut Vec::new());
+    }
+
+    fn successors_into(
+        &self,
+        prog: &Program,
+        state: &PsoState,
+        out: &mut Vec<(Label, PsoState)>,
+        pool: &mut Vec<PsoState>,
+    ) {
+        self.succs(prog, state, out, pool);
+    }
+
+    fn outcome(&self, _prog: &Program, state: &PsoState) -> Option<Outcome> {
+        if !(0..state.buffers.len()).all(|t| state.buffers_empty(t)) {
+            return None;
+        }
+        outcome_if_halted(&state.threads, state.mem.clone())
+    }
+
+    fn threads<'a>(&self, state: &'a PsoState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Identical argument to TSO: all gating is on the issuer's own
+        // buffers; drains write the single shared memory.
+        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
+    }
+}
+
+impl PsoMachine {
+    /// The single successor body behind both trait entry points:
+    /// scratch states come from `pool` and every path that abandons one
+    /// puts it back.
+    fn succs(
+        &self,
+        prog: &Program,
+        state: &PsoState,
+        out: &mut Vec<(Label, PsoState)>,
+        pool: &mut Vec<PsoState>,
+    ) {
         // Thread transitions.
         for t in 0..state.threads.len() {
             if state.threads[t].is_halted() {
                 continue;
             }
             let thread = &prog.threads[t];
-            let mut next = state.clone();
+            let mut next = pooled_clone(pool, state);
             let access = match advance_skipping_delays(&mut next.threads[t], thread) {
                 ThreadEvent::Access(access) => access,
                 ThreadEvent::Fence => {
                     // STBAR/MFENCE: waits for every per-location buffer
                     // of the issuer to drain.
                     if !next.buffers_empty(t) {
+                        pool.push(next);
                         continue;
                     }
                     next.threads[t].complete(thread, None);
@@ -92,6 +154,7 @@ impl Machine for PsoMachine {
             // Every synchronization access is an ordering point: it
             // waits for all of the issuer's buffers and bypasses them.
             if access.is_sync() && !next.buffers_empty(t) {
+                pool.push(next);
                 continue;
             }
             let proc = ProcId::new(t as u16);
@@ -149,30 +212,13 @@ impl Machine for PsoMachine {
                 if state.buffers[t][l].is_empty() {
                     continue;
                 }
-                let mut next = state.clone();
+                let mut next = pooled_clone(pool, state);
                 let v = next.buffers[t][l].pop_front().expect("non-empty");
                 next.mem[l] = v;
                 let loc = Loc::new(l as u32);
                 out.push((Label::Internal(InternalStep::drain(ProcId::new(t as u16), loc)), next));
             }
         }
-    }
-
-    fn outcome(&self, _prog: &Program, state: &PsoState) -> Option<Outcome> {
-        if !(0..state.buffers.len()).all(|t| state.buffers_empty(t)) {
-            return None;
-        }
-        outcome_if_halted(&state.threads, state.mem.clone())
-    }
-
-    fn threads<'a>(&self, state: &'a PsoState) -> &'a [ThreadState] {
-        &state.threads
-    }
-
-    fn reduction_class(&self) -> ReductionClass {
-        // Identical argument to TSO: all gating is on the issuer's own
-        // buffers; drains write the single shared memory.
-        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
     }
 }
 

@@ -7,8 +7,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays_and_fences, outcome_if_halted, DeliveryClass, InternalStep, Label,
-    Machine, OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays_and_fences, outcome_if_halted, pooled_clone, DeliveryClass,
+    InternalStep, Label, Machine, OpRecord, ReductionClass, SyncGate,
 };
 
 /// Lamport's model: memory accesses of all processors execute atomically
@@ -19,12 +19,25 @@ use crate::machine::{
 pub struct ScMachine;
 
 /// State of [`ScMachine`]: thread states plus one flat memory.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct ScState {
     /// Architectural thread states.
     pub threads: Vec<ThreadState>,
     /// Atomic shared memory, indexed by location.
     pub mem: Vec<Value>,
+}
+
+/// Hand-written so `clone_from` reuses the two vector allocations (the
+/// derived impl's `clone_from` falls back to a fresh clone), making
+/// [`Machine::successors_into`]'s state recycling allocation-free.
+impl Clone for ScState {
+    fn clone(&self) -> Self {
+        ScState { threads: self.threads.clone(), mem: self.mem.clone() }
+    }
+    fn clone_from(&mut self, src: &Self) {
+        self.threads.clone_from(&src.threads);
+        self.mem.clone_from(&src.mem);
+    }
 }
 
 impl ScMachine {
@@ -78,11 +91,23 @@ impl Machine for ScMachine {
     }
 
     fn successors(&self, prog: &Program, state: &ScState, out: &mut Vec<(Label, ScState)>) {
+        self.successors_into(prog, state, out, &mut Vec::new());
+    }
+
+    fn successors_into(
+        &self,
+        prog: &Program,
+        state: &ScState,
+        out: &mut Vec<(Label, ScState)>,
+        pool: &mut Vec<ScState>,
+    ) {
+        // Every scratch state is pushed (no abandon paths), so the two
+        // entry points share this body directly.
         for t in 0..state.threads.len() {
             if state.threads[t].is_halted() {
                 continue;
             }
-            let mut next = state.clone();
+            let mut next = pooled_clone(pool, state);
             match ScMachine::step_thread(prog, &mut next, t) {
                 Some(record) => out.push((Label::Op(record), next)),
                 // The advance reached Halt: record the halting as an

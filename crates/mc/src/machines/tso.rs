@@ -15,8 +15,8 @@ use crate::checkpoint::{Codec, DecodeError, Reader};
 use weakord_progs::{Access, Outcome, Program, ThreadEvent, ThreadState};
 
 use crate::machine::{
-    advance_skipping_delays, outcome_if_halted, DeliveryClass, InternalStep, Label, Machine,
-    OpRecord, ReductionClass, SyncGate,
+    advance_skipping_delays, outcome_if_halted, pooled_clone, DeliveryClass, InternalStep, Label,
+    Machine, OpRecord, ReductionClass, SyncGate,
 };
 
 /// The TSO machine. Unlike [`crate::machines::WriteBufferMachine`] —
@@ -31,7 +31,7 @@ pub struct TsoMachine;
 
 /// State of [`TsoMachine`]: identical shape to the write-buffer
 /// machine's — one global-FIFO store buffer per processor.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct TsoState {
     /// Architectural thread states.
     pub threads: Vec<ThreadState>,
@@ -45,6 +45,24 @@ pub struct TsoState {
 impl TsoState {
     fn forwarded(&self, t: usize, loc: Loc) -> Option<Value> {
         self.buffers[t].iter().rev().find(|(l, _)| *l == loc).map(|(_, v)| *v)
+    }
+}
+
+/// Hand-written so `clone_from` reuses the buffer allocations (the
+/// derived impl's `clone_from` falls back to a fresh clone), making
+/// [`Machine::successors_into`]'s state recycling allocation-free.
+impl Clone for TsoState {
+    fn clone(&self) -> Self {
+        TsoState {
+            threads: self.threads.clone(),
+            mem: self.mem.clone(),
+            buffers: self.buffers.clone(),
+        }
+    }
+    fn clone_from(&mut self, src: &Self) {
+        self.threads.clone_from(&src.threads);
+        self.mem.clone_from(&src.mem);
+        self.buffers.clone_from(&src.buffers);
     }
 }
 
@@ -64,18 +82,62 @@ impl Machine for TsoMachine {
     }
 
     fn successors(&self, prog: &Program, state: &TsoState, out: &mut Vec<(Label, TsoState)>) {
+        self.succs(prog, state, out, &mut Vec::new());
+    }
+
+    fn successors_into(
+        &self,
+        prog: &Program,
+        state: &TsoState,
+        out: &mut Vec<(Label, TsoState)>,
+        pool: &mut Vec<TsoState>,
+    ) {
+        self.succs(prog, state, out, pool);
+    }
+
+    fn outcome(&self, _prog: &Program, state: &TsoState) -> Option<Outcome> {
+        if state.buffers.iter().any(|b| !b.is_empty()) {
+            return None;
+        }
+        outcome_if_halted(&state.threads, state.mem.clone())
+    }
+
+    fn threads<'a>(&self, state: &'a TsoState) -> &'a [ThreadState] {
+        &state.threads
+    }
+
+    fn reduction_class(&self) -> ReductionClass {
+        // Fences, sync accesses and RMWs gate only on the issuer's
+        // *own* buffer (a same-processor dependence); drains write the
+        // single shared memory.
+        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
+    }
+}
+
+impl TsoMachine {
+    /// The single successor body behind both trait entry points:
+    /// scratch states come from `pool` and every path that abandons one
+    /// puts it back.
+    fn succs(
+        &self,
+        prog: &Program,
+        state: &TsoState,
+        out: &mut Vec<(Label, TsoState)>,
+        pool: &mut Vec<TsoState>,
+    ) {
         // Thread transitions.
         for t in 0..state.threads.len() {
             if state.threads[t].is_halted() {
                 continue;
             }
             let thread = &prog.threads[t];
-            let mut next = state.clone();
+            let mut next = pooled_clone(pool, state);
             let access = match advance_skipping_delays(&mut next.threads[t], thread) {
                 ThreadEvent::Access(access) => access,
                 ThreadEvent::Fence => {
                     // MFENCE: waits for the issuer's buffer to drain.
                     if !next.buffers[t].is_empty() {
+                        pool.push(next);
                         continue;
                     }
                     next.threads[t].complete(thread, None);
@@ -91,6 +153,7 @@ impl Machine for TsoMachine {
             // Every synchronization access is an ordering point: it
             // waits for the issuer's own buffer and bypasses it.
             if access.is_sync() && !next.buffers[t].is_empty() {
+                pool.push(next);
                 continue;
             }
             let proc = ProcId::new(t as u16);
@@ -144,29 +207,11 @@ impl Machine for TsoMachine {
             if state.buffers[t].is_empty() {
                 continue;
             }
-            let mut next = state.clone();
+            let mut next = pooled_clone(pool, state);
             let (loc, v) = next.buffers[t].pop_front().expect("non-empty");
             next.mem[loc.index()] = v;
             out.push((Label::Internal(InternalStep::drain(ProcId::new(t as u16), loc)), next));
         }
-    }
-
-    fn outcome(&self, _prog: &Program, state: &TsoState) -> Option<Outcome> {
-        if state.buffers.iter().any(|b| !b.is_empty()) {
-            return None;
-        }
-        outcome_if_halted(&state.threads, state.mem.clone())
-    }
-
-    fn threads<'a>(&self, state: &'a TsoState) -> &'a [ThreadState] {
-        &state.threads
-    }
-
-    fn reduction_class(&self) -> ReductionClass {
-        // Fences, sync accesses and RMWs gate only on the issuer's
-        // *own* buffer (a same-processor dependence); drains write the
-        // single shared memory.
-        ReductionClass { sync_gate: SyncGate::None, delivery: DeliveryClass::Memory }
     }
 }
 

@@ -407,10 +407,7 @@ pub fn explore_reduced_checkpointed<M: Machine>(
     prog: &Program,
     limits: Limits,
     cfg: &CheckpointCfg,
-) -> Result<Exploration, CheckpointError>
-where
-    M::State: Codec,
-{
+) -> Result<Exploration, CheckpointError> {
     let Some(table) = FutureTable::new(prog) else {
         return explore_checkpointed(
             machine,
@@ -443,10 +440,7 @@ pub fn resume_reduced<M: Machine>(
     prog: &Program,
     limits: Limits,
     cfg: &CheckpointCfg,
-) -> Result<Exploration, CheckpointError>
-where
-    M::State: Codec,
-{
+) -> Result<Exploration, CheckpointError> {
     let Some(table) = FutureTable::new(prog) else {
         return resume_exploration(
             machine,
@@ -721,6 +715,11 @@ fn run_reduced<M: Machine>(
         deadline_overshoot: Duration::ZERO,
         checkpoints: st.checkpoints,
         checkpoint_time: Duration::from_nanos(st.ckpt_write_nanos),
+        probe_steps: 0,
+        table_capacity: 0,
+        spilled_states: 0,
+        spill_bytes: 0,
+        mem_bytes: 0,
         shard_states: None,
     };
     Ok(Exploration {

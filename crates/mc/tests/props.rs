@@ -7,11 +7,16 @@
 // after restoring the dev-dependency (see DESIGN.md).
 #![cfg(feature = "proptest")]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use proptest::prelude::*;
 use weakord_core::HbMode;
+use weakord_mc::fxhash::hash_bytes;
 use weakord_mc::machines::{
-    BnrMachine, CacheDelayMachine, ScMachine, WoDef1Machine, WoDef2Machine, WriteBufferMachine,
+    BnrMachine, CacheDelayMachine, ScMachine, TsoMachine, WoDef1Machine, WoDef2Machine,
+    WriteBufferMachine,
 };
+use weakord_mc::visited::{Admit, VisitedSet};
 use weakord_mc::{check_program_drf, explore, explore_reduced, explore_seq, Limits, TraceLimits};
 use weakord_progs::gen::{race_free, racy, GenParams};
 
@@ -146,5 +151,83 @@ proptest! {
             let refined = explore(&WoDef2Machine { drf1_refined: true }, &prog, Limits::default());
             prop_assert!(refined.outcomes.is_subset(&sc.outcomes), "{}", prog.name);
         }
+    }
+
+    /// Exactness of the lock-free visited set under contention: for a
+    /// proptest-generated workload of payload streams — overlapping
+    /// across threads, with fingerprints optionally crushed into a
+    /// handful of values so every insert collides onto the same probe
+    /// chains — no insertion is lost, and `Admit::New` fires exactly
+    /// once per distinct payload (no false already-seen).
+    #[test]
+    fn visited_set_is_exact_under_concurrent_inserters(
+        threads in 2usize..6,
+        distinct in 1usize..400,
+        payload_len in 1usize..48,
+        overlap in 1usize..4,
+        // 0: adversarial same-slot collisions (fp = payload index mod
+        // fp_mod, so `fp_mod` chains in shard 0 carry everything);
+        // otherwise honest content hashing.
+        fp_mod in 0u64..5,
+    ) {
+        let v = VisitedSet::new(None);
+        let news = AtomicUsize::new(0);
+        let fp_of = |k: usize, bytes: &[u8]| -> u64 {
+            if fp_mod == 0 { hash_bytes(bytes) } else { k as u64 % fp_mod }
+        };
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let v = &v;
+                let news = &news;
+                let fp_of = &fp_of;
+                s.spawn(move || {
+                    // Each thread walks `overlap` full passes over the
+                    // keyspace starting at a thread-dependent offset, so
+                    // streams overlap heavily and race on every payload.
+                    for i in 0..distinct * overlap {
+                        let k = (t * 7 + i) % distinct;
+                        let bytes: Vec<u8> = (0..payload_len)
+                            .map(|j| (k.wrapping_mul(31).wrapping_add(j)) as u8)
+                            .collect();
+                        match v.admit(fp_of(k, &bytes), &bytes, usize::MAX) {
+                            Admit::New(_) => { news.fetch_add(1, Ordering::Relaxed); }
+                            Admit::Seen(_) => {}
+                            Admit::Capped => panic!("uncapped run capped"),
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(v.len(), distinct, "lost insertions");
+        prop_assert_eq!(news.load(Ordering::Relaxed), distinct, "false already-seen or double admit");
+        for k in 0..distinct {
+            let bytes: Vec<u8> = (0..payload_len)
+                .map(|j| (k.wrapping_mul(31).wrapping_add(j)) as u8)
+                .collect();
+            prop_assert!(v.find(fp_of(k, &bytes), &bytes).is_some(), "payload {} unfindable", k);
+        }
+    }
+
+    /// The spill round-trip on generated programs: exploring under a
+    /// memory budget of a single byte (every payload on disk) produces
+    /// exactly the in-RAM exploration, on a plain and a buffer-heavy
+    /// machine.
+    #[test]
+    fn spilled_exploration_equals_in_ram_run(seed in 0u64..200, racy_prog in proptest::bool::ANY) {
+        let prog = if racy_prog { racy(seed, small()) } else { race_free(seed, small()) };
+        let mut budgeted = Limits::default();
+        budgeted.memory_budget = Some(1);
+        macro_rules! same {
+            ($m:expr) => {{
+                let plain = explore(&$m, &prog, Limits::default());
+                let spilled = explore(&$m, &prog, budgeted);
+                prop_assert_eq!(&spilled, &plain, "{} on {}",
+                    weakord_mc::Machine::name(&$m), prog.name);
+                prop_assert_eq!(spilled.stats.spilled_states as usize, spilled.states);
+                prop_assert_eq!(spilled.stats.mem_bytes, 0);
+            }};
+        }
+        same!(ScMachine);
+        same!(TsoMachine);
     }
 }

@@ -47,7 +47,7 @@ use weakord::mc::machines::{
 use weakord::mc::{
     check_program_drf, explore, explore_checkpointed, explore_reduced,
     explore_reduced_checkpointed, find_witness, resume_exploration, resume_reduced, shrink_witness,
-    CheckpointCfg, Codec, Exploration, Limits, Machine, TraceLimits,
+    CheckpointCfg, Exploration, Limits, Machine, TraceLimits,
 };
 use weakord::obs::{chrome_trace, jsonl, Event, MemTracer, MetricsRegistry, Track};
 use weakord::progs::delay::delay_set;
@@ -200,6 +200,9 @@ const EXPLORE_USAGE: &str = "usage: weakord explore <litmus-name|file.litmus> [o
  \u{20}      --reduce                 partial-order reduction (sleep-set engine)\n\
  \u{20}      --threads N              worker threads (0 = all cores)\n\
  \u{20}      --max-states N           state cap\n\
+ \u{20}      --memory-budget BYTES    visited-set RAM ceiling (K/M/G suffix ok);\n\
+ \u{20}                               states past it spill to a temp file, so\n\
+ \u{20}                               capacity is bounded by disk, not RAM\n\
  \u{20}      --checkpoint <dir>       crash-tolerant autosaves into <dir>\n\
  \u{20}      --checkpoint-every N     autosave period in admitted states (default 10000)\n\
  \u{20}      --resume                 continue from the checkpoint in <dir>\n\
@@ -238,6 +241,12 @@ fn cmd_explore(rest: &[&str]) {
     if let Some(n) = flag(rest, "--max-states") {
         limits.max_states = n.parse().expect("--max-states takes a number");
     }
+    if let Some(b) = flag(rest, "--memory-budget") {
+        limits.memory_budget = Some(parse_bytes(&b).unwrap_or_else(|| {
+            eprintln!("--memory-budget takes bytes (K/M/G suffix ok), got `{b}`");
+            exit(2);
+        }));
+    }
     match flag(rest, "--machine").as_deref().unwrap_or("wo-def2") {
         "sc" => explore_cli(&ScMachine, &prog, limits, rest),
         "write-buffer" => explore_cli(&WriteBufferMachine, &prog, limits, rest),
@@ -254,10 +263,25 @@ fn cmd_explore(rest: &[&str]) {
     }
 }
 
-fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str])
-where
-    M::State: Codec,
-{
+/// Parses a byte count with an optional K/M/G (or KiB-style) suffix.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        None => (t, 1usize),
+        Some((i, _)) => {
+            let mult = match t[i..].to_ascii_uppercase().as_str() {
+                "K" | "KB" | "KIB" => 1usize << 10,
+                "M" | "MB" | "MIB" => 1 << 20,
+                "G" | "GB" | "GIB" => 1 << 30,
+                _ => return None,
+            };
+            (&t[..i], mult)
+        }
+    };
+    digits.parse::<usize>().ok()?.checked_mul(mult)
+}
+
+fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str]) {
     let reduce = rest.contains(&"--reduce");
     let resume = rest.contains(&"--resume");
     let mut events: Vec<Event> = Vec::new();

@@ -9,11 +9,16 @@
 //! much as a run with the no-op tracer — the instrumentation may not
 //! allocate a single event when capture is off.
 //!
-//! Everything lives in one `#[test]` because the counter is global and
-//! the libtest harness runs tests on multiple threads.
+//! Deflaked (PR 7): the counter is **per-thread**, so allocations from
+//! concurrent libtest-harness threads (the ~1-in-5 flake PR 6 noted)
+//! can no longer leak into a measurement — only the measuring thread
+//! increments the count it reads. A test-local lock additionally
+//! serializes the measured sections, so even same-file tests added
+//! later cannot interleave inside one sample.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::Mutex;
 
 use weakord::coherence::{CoherentMachine, Config, Policy};
 use weakord::obs::MemTracer;
@@ -22,21 +27,34 @@ use weakord::progs::Program;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Allocations performed *by this thread*. `const`-initialized so
+    /// reading it never itself allocates (a lazily-initialized
+    /// thread-local can allocate its control block inside the
+    /// allocator, recursing).
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps the calling thread's counter; silently skips threads whose
+/// thread-local storage is already torn down (allocations during
+/// thread exit must not abort the process).
+fn count() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -48,16 +66,18 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Runs `f` and returns how many allocations it performed.
-///
-/// The counter is process-global, so allocations from libtest harness
-/// threads running concurrently can inflate a sample; callers that
-/// compare counts take the minimum over several runs (the machine is
-/// deterministic and the noise only ever adds).
+/// Serializes measured sections within this test binary.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under the measurement lock and returns how many allocations
+/// *this thread* performed during it. Exact for single-threaded `f`
+/// (the machines under test here are single-threaded): other threads'
+/// allocations land on their own counters.
 fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let _serialized = MEASURE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = ALLOCS.with(Cell::get);
     let out = f();
-    (ALLOCS.load(Ordering::Relaxed) - before, out)
+    (ALLOCS.with(Cell::get) - before, out)
 }
 
 const SAMPLES: u32 = 5;
