@@ -95,6 +95,7 @@ struct Row {
     shape: String,
     machine: &'static str,
     engine: &'static str,
+    threads: usize,
     states: usize,
     secs: f64,
     states_per_sec: f64,
@@ -110,6 +111,7 @@ fn measure(
     name: &str,
     machine: &'static str,
     engine: &'static str,
+    threads: usize,
     run: impl Fn() -> Exploration,
 ) -> Row {
     let mut best: Option<(Exploration, u64)> = None;
@@ -126,6 +128,7 @@ fn measure(
         shape: name.to_string(),
         machine,
         engine,
+        threads,
         states: ex.states,
         secs,
         states_per_sec: ex.states as f64 / secs,
@@ -136,10 +139,14 @@ fn measure(
 }
 
 fn limits() -> Limits {
-    // One worker: the comparison is per-state algorithmic cost, not
-    // parallel scaling (CI hosts may have one core; scaling has its own
-    // test in tests/lockfree.rs and the parallel suite).
-    let mut l = Limits::with_threads(1);
+    limits_for(1)
+}
+
+fn limits_for(threads: usize) -> Limits {
+    // The engine comparison runs on one worker (per-state algorithmic
+    // cost, not parallel scaling); the thread-sweep rows below vary
+    // this. Scaling correctness has its own test in tests/lockfree.rs.
+    let mut l = Limits::with_threads(threads);
     l.max_states = 4_000_000;
     l
 }
@@ -168,8 +175,8 @@ fn main() {
             ("pso", &|p, l| explore(&PsoMachine, p, l), &|p, l| explore_legacy(&PsoMachine, p, l)),
         ] {
             eprintln!("measuring {name} on {machine}…");
-            rows.push(measure(&name, machine, "legacy", || run_old(&prog, limits())));
-            rows.push(measure(&name, machine, "lockfree", || run_new(&prog, limits())));
+            rows.push(measure(&name, machine, "legacy", 1, || run_old(&prog, limits())));
+            rows.push(measure(&name, machine, "lockfree", 1, || run_new(&prog, limits())));
         }
     }
     // The spill row: the largest shape on pso under a budget well below
@@ -179,15 +186,27 @@ fn main() {
         let mut l = limits();
         l.memory_budget = Some(4 << 20);
         eprintln!("measuring {name} on pso (spill-forced, 4 MiB budget)…");
-        let row = measure(&name, "pso", "lockfree-spill", || explore(&PsoMachine, &prog, l));
+        let row = measure(&name, "pso", "lockfree-spill", 1, || explore(&PsoMachine, &prog, l));
         assert!(row.spilled_states > 0, "the spill budget was not exceeded");
         rows.push(row);
+    }
+    // Multi-worker rows: the largest shape on pso at 2/4/8 engine
+    // threads. On a one-core host these document the (absent) scaling
+    // honestly; on wider hosts they show the shared-frontier speedup.
+    {
+        let (name, prog) = shapes().pop().expect("three shapes");
+        for threads in [2usize, 4, 8] {
+            eprintln!("measuring {name} on pso ({threads} threads)…");
+            rows.push(measure(&name, "pso", "lockfree", threads, || {
+                explore(&PsoMachine, &prog, limits_for(threads))
+            }));
+        }
     }
     // Old-vs-new verdict on the largest measured shape (the acceptance
     // criterion: >= 3x states/sec).
     let largest = rows
         .iter()
-        .filter(|r| r.engine == "lockfree")
+        .filter(|r| r.engine == "lockfree" && r.threads == 1)
         .max_by_key(|r| r.states)
         .expect("lockfree rows");
     let baseline = rows
@@ -200,7 +219,7 @@ fn main() {
     out.push_str("{\n  \"bench\": \"explore-engine\",\n");
     let _ = writeln!(
         out,
-        "  \"config\": {{\"threads\": 1, \"max_states\": 4000000, \"reps\": 3, \"spill_budget_bytes\": {}}},",
+        "  \"config\": {{\"threads\": 1, \"thread_sweep\": [2, 4, 8], \"max_states\": 4000000, \"reps\": 3, \"spill_budget_bytes\": {}}},",
         4 << 20
     );
     let _ = writeln!(
@@ -215,10 +234,11 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"shape\": \"{}\", \"machine\": \"{}\", \"engine\": \"{}\", \"states\": {}, \"secs\": {:.4}, \"states_per_sec\": {:.0}, \"peak_rss_bytes\": {}, \"spilled_states\": {}, \"spill_bytes\": {}}}{}\n",
+            "    {{\"shape\": \"{}\", \"machine\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \"states\": {}, \"secs\": {:.4}, \"states_per_sec\": {:.0}, \"peak_rss_bytes\": {}, \"spilled_states\": {}, \"spill_bytes\": {}}}{}\n",
             json_escape(&r.shape),
             r.machine,
             r.engine,
+            r.threads,
             r.states,
             r.secs,
             r.states_per_sec,

@@ -1,0 +1,202 @@
+//! Load generator for the `weakord serve` daemon: writes `BENCH_serve.json`.
+//!
+//! Two legs against an in-process daemon (same code path as the
+//! standalone binary, no socket setup flakiness):
+//!
+//! 1. **Latency** — concurrent clients stream distinct litmus jobs at a
+//!    two-worker pool; per-submit wall time lands in a
+//!    [`weakord_obs::Histogram`] and the committed p50/p95/p99 feed
+//!    EXPERIMENTS.md § E14. Every job must come back `done`.
+//! 2. **Overload** — a one-worker, four-slot daemon is offered 2×
+//!    its capacity in long-running jobs. The invariant under test is
+//!    *explicitness*: every submission resolves to `done` or `shed`,
+//!    shed count is nonzero, and `done + shed == offered` (zero silent
+//!    drops, zero errors).
+//!
+//! Exits 1 if either leg violates its invariants.
+//!
+//! ```text
+//! cargo run --release -p weakord-bench --bin serve_loadgen
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use weakord_obs::Histogram;
+use weakord_serve::{Client, ServeConfig, Server, SubmitKind};
+
+/// The latency-leg job mix: (machine, litmus) pairs cycled by the
+/// clients. `max_states` is offset per submission so every job has a
+/// distinct id — the leg measures exploration latency, not cache hits.
+const MIX: &[(&str, &str)] = &[
+    ("sc", "mp"),
+    ("tso", "mp"),
+    ("pso", "lb"),
+    ("wo-def2", "iriw"),
+    ("tso", "dekker-sync"),
+    ("sc", "coherence-corr"),
+];
+
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: usize = 30;
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("weakord-loadgen-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct LatencyLeg {
+    done: usize,
+    cached: usize,
+    failures: usize,
+    hist: Histogram,
+    secs: f64,
+}
+
+fn latency_leg() -> LatencyLeg {
+    let cfg = ServeConfig { state_dir: state_dir("latency"), workers: 2, ..ServeConfig::default() };
+    let server = Server::start(cfg).expect("latency server");
+    let addr = server.addr();
+    let hist = Mutex::new(Histogram::new());
+    let tallies = Mutex::new((0usize, 0usize, 0usize)); // done, cached, failures
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let hist = &hist;
+            let tallies = &tallies;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                for j in 0..JOBS_PER_CLIENT {
+                    let (machine, litmus) = MIX[(c * JOBS_PER_CLIENT + j) % MIX.len()];
+                    // Distinct cap per submission ⇒ distinct job id.
+                    let cap = 50_000 + c * JOBS_PER_CLIENT + j;
+                    let line = format!(
+                        "{{\"op\":\"submit\",\"machine\":\"{machine}\",\"litmus\":\"{litmus}\",\"max_states\":{cap}}}"
+                    );
+                    let t = Instant::now();
+                    let reply = client.submit(&line).expect("submit round-trips");
+                    let us = t.elapsed().as_micros() as u64;
+                    let mut tl = tallies.lock().unwrap();
+                    match reply.kind {
+                        SubmitKind::Done { cached } => {
+                            tl.0 += 1;
+                            if cached {
+                                tl.1 += 1;
+                            }
+                            hist.lock().unwrap().record(us);
+                        }
+                        _ => tl.2 += 1,
+                    }
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    let (done, cached, failures) = *tallies.lock().unwrap();
+    LatencyLeg { done, cached, failures, hist: hist.into_inner().unwrap(), secs }
+}
+
+struct OverloadLeg {
+    workers: usize,
+    max_queue: usize,
+    offered: usize,
+    done: usize,
+    shed: usize,
+    errors: usize,
+}
+
+fn overload_leg() -> OverloadLeg {
+    let (workers, max_queue) = (1usize, 4usize);
+    let cfg = ServeConfig {
+        state_dir: state_dir("overload"),
+        workers,
+        max_queue,
+        test_hooks: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("overload server");
+    let addr = server.addr();
+    // 2× capacity: the pool can hold (workers + max_queue) jobs, offer
+    // twice that in one concurrent burst of slow (300 ms) jobs.
+    let offered = 2 * (workers + max_queue);
+    let tallies = Mutex::new((0usize, 0usize, 0usize)); // done, shed, errors
+    std::thread::scope(|s| {
+        for i in 0..offered {
+            let tallies = &tallies;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let line = format!(
+                    "{{\"op\":\"submit\",\"machine\":\"sc\",\"litmus\":\"mp\",\"max_states\":{},\"test_sleep_ms\":300}}",
+                    10_000 + i
+                );
+                let reply = client.submit(&line).expect("submit round-trips");
+                let mut tl = tallies.lock().unwrap();
+                match reply.kind {
+                    SubmitKind::Done { .. } => tl.0 += 1,
+                    SubmitKind::Shed => tl.1 += 1,
+                    SubmitKind::Error(_) => tl.2 += 1,
+                }
+            });
+        }
+    });
+    server.shutdown();
+    let (done, shed, errors) = *tallies.lock().unwrap();
+    OverloadLeg { workers, max_queue, offered, done, shed, errors }
+}
+
+fn main() {
+    eprintln!("latency leg: {CLIENTS} clients × {JOBS_PER_CLIENT} jobs, 2 workers…");
+    let lat = latency_leg();
+    eprintln!("overload leg: 2× capacity burst at a 1-worker, 4-slot pool…");
+    let ovl = overload_leg();
+
+    let (p50, p95, p99) = lat.hist.quantile_summary();
+    let silent = ovl.offered - ovl.done - ovl.shed - ovl.errors;
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"serve-loadgen\",\n");
+    let _ = writeln!(
+        out,
+        "  \"latency\": {{\"clients\": {CLIENTS}, \"jobs\": {}, \"workers\": 2, \"done\": {}, \"cached\": {}, \"failures\": {}, \"mean_us\": {:.0}, \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}, \"throughput_jobs_per_sec\": {:.1}}},",
+        CLIENTS * JOBS_PER_CLIENT,
+        lat.done,
+        lat.cached,
+        lat.failures,
+        lat.hist.mean(),
+        lat.done as f64 / lat.secs,
+    );
+    let _ = writeln!(
+        out,
+        "  \"overload\": {{\"workers\": {}, \"max_queue\": {}, \"offered\": {}, \"done\": {}, \"shed\": {}, \"errors\": {}, \"silent_drops\": {silent}}}",
+        ovl.workers, ovl.max_queue, ovl.offered, ovl.done, ovl.shed, ovl.errors,
+    );
+    out.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    println!("{out}");
+
+    let mut failed = false;
+    if lat.failures > 0 || lat.done != CLIENTS * JOBS_PER_CLIENT {
+        eprintln!("FAIL: latency leg lost jobs ({} done, {} failures)", lat.done, lat.failures);
+        failed = true;
+    }
+    if ovl.shed == 0 {
+        eprintln!("FAIL: overload leg shed nothing — backpressure never engaged");
+        failed = true;
+    }
+    if silent != 0 || ovl.errors != 0 {
+        eprintln!(
+            "FAIL: overload leg was not explicit ({silent} silent drops, {} errors)",
+            ovl.errors
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: p50 {p50} µs, p95 {p95} µs, p99 {p99} µs; overload {}/{} done, {} shed, 0 silent",
+        ovl.done, ovl.offered, ovl.shed
+    );
+}

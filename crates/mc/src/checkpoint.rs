@@ -135,6 +135,8 @@ pub enum CheckpointError {
     /// The checkpoint belongs to the other engine (parallel vs
     /// reduced).
     EngineMismatch {
+        /// Engine kind byte the resuming run expected.
+        expected: u8,
         /// Engine kind byte found in the file.
         found: u8,
     },
@@ -163,15 +165,16 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::ConfigMismatch { expected, found } => write!(
                 f,
-                "checkpoint was taken under a different configuration (fingerprint \
-                 {found:#018x}, this run is {expected:#018x}): machine, program, state cap, \
-                 and reduction mode must match to resume"
+                "checkpoint was taken under a different configuration: its fingerprint is \
+                 {found:#018x}, this run computed {expected:#018x} — machine, program, state \
+                 cap, and reduction mode must all match to resume"
             ),
-            CheckpointError::EngineMismatch { found } => write!(
+            CheckpointError::EngineMismatch { expected, found } => write!(
                 f,
-                "checkpoint belongs to the {} engine; resume with the matching engine \
-                 (--reduce flag must match)",
-                if *found == 1 { "reduced" } else { "parallel" }
+                "checkpoint was written by the {} engine but this run resumes with the {} \
+                 engine (the --reduce flag must match the original run)",
+                engine_name(*found),
+                engine_name(*expected),
             ),
             CheckpointError::Malformed(what) => {
                 write!(f, "checkpoint payload is malformed ({what}); delete it and re-run")
@@ -181,6 +184,16 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// Human name of an engine kind byte (unknown bytes print as such
+/// rather than panicking — this renders inside error messages).
+fn engine_name(byte: u8) -> &'static str {
+    match byte {
+        0 => "parallel",
+        1 => "reduced",
+        _ => "unknown",
+    }
+}
 
 /// FNV-1a 64-bit, the format's integrity check: tiny, dependency-free,
 /// and plenty for detecting torn writes and bit rot (it is not a MAC).
@@ -597,6 +610,7 @@ impl Codec for TruncationReason {
             TruncationReason::Deadline => 1,
             TruncationReason::WorkerPanic => 2,
             TruncationReason::Resumable => 3,
+            TruncationReason::Cancelled => 4,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -605,6 +619,7 @@ impl Codec for TruncationReason {
             1 => TruncationReason::Deadline,
             2 => TruncationReason::WorkerPanic,
             3 => TruncationReason::Resumable,
+            4 => TruncationReason::Cancelled,
             _ => return Err(DecodeError("TruncationReason out of range")),
         })
     }
@@ -920,6 +935,17 @@ mod tests {
         assert_eq!(Option::<u32>::decode(&mut r).unwrap(), None);
         assert_eq!(Vec::<u64>::decode(&mut r).unwrap(), vec![1, 2, 3]);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn mismatch_errors_name_both_sides() {
+        let msg =
+            CheckpointError::ConfigMismatch { expected: 0xdead_beef, found: 0xcafe }.to_string();
+        assert!(msg.contains("0x00000000deadbeef"), "{msg}");
+        assert!(msg.contains("0x000000000000cafe"), "{msg}");
+        let msg = CheckpointError::EngineMismatch { expected: 1, found: 0 }.to_string();
+        assert!(msg.contains("parallel"), "{msg}");
+        assert!(msg.contains("reduced"), "{msg}");
     }
 
     #[test]

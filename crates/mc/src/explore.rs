@@ -37,7 +37,7 @@
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use weakord_obs::{Event, MetricsRegistry, Tracer, Track};
@@ -147,6 +147,41 @@ impl Limits {
     }
 }
 
+/// A cooperative, job-granular cancellation hook for the parallel
+/// engine.
+///
+/// Cloning shares the flag: hand one clone to the exploration (via
+/// [`explore_with_cancel`] and friends) and keep the other; calling
+/// [`CancelToken::cancel`] from any thread stops the run at the next
+/// worker safepoint — the same per-arc granularity as the wall-clock
+/// deadline, so a cancel lands within one machine step per worker. A
+/// cancelled run truncates with [`TruncationReason::Cancelled`]; when
+/// checkpointing is on, the final checkpoint is still written, so a
+/// cancelled job is resumable exactly like a suspended one.
+///
+/// This is what lets a serving layer shed or abort one in-flight job
+/// without tearing down the pool: the token is per-exploration, not
+/// process-global.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Why an exploration stopped before exhausting the state space.
 ///
 /// Replaces the old boolean "truncated" flag wherever it leaked into
@@ -168,6 +203,10 @@ pub enum TruncationReason {
     /// (the [`crate::checkpoint::CheckpointCfg::abort_after`] crash
     /// hook); resume to continue it.
     Resumable,
+    /// A [`CancelToken`] was triggered; the run stopped at the next
+    /// worker safepoint. With checkpointing on, the final checkpoint
+    /// makes the job resumable.
+    Cancelled,
 }
 
 impl std::fmt::Display for TruncationReason {
@@ -177,6 +216,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::Deadline => "deadline",
             TruncationReason::WorkerPanic => "worker panic",
             TruncationReason::Resumable => "suspended (resumable)",
+            TruncationReason::Cancelled => "cancelled",
         })
     }
 }
@@ -329,6 +369,10 @@ impl ExplorationStats {
         reg.counter(
             format!("{ns}.truncated.resumable"),
             u64::from(self.truncation == Some(TruncationReason::Resumable)),
+        );
+        reg.counter(
+            format!("{ns}.truncated.cancelled"),
+            u64::from(self.truncation == Some(TruncationReason::Cancelled)),
         );
         reg.counter(format!("{ns}.worker-panics"), u64::from(self.worker_panics));
         reg.counter(format!("{ns}.checkpoints"), u64::from(self.checkpoints));
@@ -584,6 +628,11 @@ struct Engine<'a, M: Machine> {
     deadline_hit: AtomicBool,
     /// Set when the run suspends itself at a checkpoint boundary.
     resumable: AtomicBool,
+    /// Set when the run's [`CancelToken`] fired.
+    cancelled: AtomicBool,
+    /// Cooperative cancellation, checked at the same safepoints as the
+    /// deadline (`None`: not cancellable).
+    cancel: Option<CancelToken>,
     deadline_at: Option<Instant>,
     /// Worst observed overshoot past the deadline, in nanoseconds.
     overshoot_nanos: AtomicU64,
@@ -650,6 +699,8 @@ impl<'a, M: Machine> Engine<'a, M> {
             capped: AtomicBool::new(false),
             deadline_hit: AtomicBool::new(false),
             resumable: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            cancel: None,
             deadline_at: limits.deadline.map(|d| Instant::now() + d),
             overshoot_nanos: AtomicU64::new(0),
             active: AtomicUsize::new(workers),
@@ -665,6 +716,12 @@ impl<'a, M: Machine> Engine<'a, M> {
             base: ResumeBase::default(),
             started: Instant::now(),
         }
+    }
+
+    /// Attaches a cancellation token (before workers start).
+    fn with_cancel(mut self, cancel: Option<&CancelToken>) -> Self {
+        self.cancel = cancel.cloned();
+        self
     }
 
     /// Attaches the checkpoint rendezvous (before workers start).
@@ -757,6 +814,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             TruncationReason::MaxStates => self.capped.store(true, Ordering::Relaxed),
             TruncationReason::Deadline => self.deadline_hit.store(true, Ordering::Relaxed),
             TruncationReason::Resumable => self.resumable.store(true, Ordering::Relaxed),
+            TruncationReason::Cancelled => self.cancelled.store(true, Ordering::Relaxed),
             // WorkerPanic is inferred at the end (work left + all dead),
             // never raised mid-run: surviving workers may yet finish.
             TruncationReason::WorkerPanic => {}
@@ -966,6 +1024,10 @@ impl<'a, M: Machine> Engine<'a, M> {
                     break;
                 }
             }
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.truncate(TruncationReason::Cancelled);
+                continue; // loop top parks the hot tail, then breaks
+            }
             let (id, pre) = match hot.pop_back() {
                 Some((id, s)) => (id, Some(s)),
                 None => match self.pop_local(worker).or_else(|| self.steal_into(worker)) {
@@ -1068,6 +1130,13 @@ impl<'a, M: Machine> Engine<'a, M> {
         }
         succ.clear();
         self.machine.successors_into(self.prog, state, succ, pool);
+        // Per-arc cancellation: like the deadline below, re-checked
+        // right after the potentially slow machine step so a cancel
+        // lands within one step per worker.
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.truncate(TruncationReason::Cancelled);
+            return Step::Interrupted;
+        }
         // Per-arc deadline enforcement: `successors` is the potentially
         // slow machine step, so re-read the clock right after it rather
         // than letting a slow transition function overshoot the budget
@@ -1128,6 +1197,8 @@ impl<'a, M: Machine> Engine<'a, M> {
             Some(TruncationReason::MaxStates)
         } else if self.deadline_hit.load(Ordering::Relaxed) {
             Some(TruncationReason::Deadline)
+        } else if self.cancelled.load(Ordering::Relaxed) {
+            Some(TruncationReason::Cancelled)
         } else if self.resumable.load(Ordering::Relaxed) {
             Some(TruncationReason::Resumable)
         } else if self.pending.load(Ordering::SeqCst) != 0 {
@@ -1190,9 +1261,31 @@ impl<'a, M: Machine> Engine<'a, M> {
 /// count but may retain a different (schedule-dependent) sample of
 /// outcomes; both are lower bounds.
 pub fn explore<M: Machine>(machine: &M, prog: &Program, limits: Limits) -> Exploration {
+    explore_inner(machine, prog, limits, None)
+}
+
+/// [`explore`], stoppable mid-run through `cancel` — see
+/// [`CancelToken`] for the granularity guarantee. A cancelled run
+/// truncates with [`TruncationReason::Cancelled`] and its `outcomes`
+/// are a lower bound, exactly like a deadline truncation.
+pub fn explore_with_cancel<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cancel: &CancelToken,
+) -> Exploration {
+    explore_inner(machine, prog, limits, Some(cancel))
+}
+
+fn explore_inner<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cancel: Option<&CancelToken>,
+) -> Exploration {
     let started = Instant::now();
     let workers = limits.resolved_threads();
-    let engine = Engine::new(machine, prog, limits, workers);
+    let engine = Engine::new(machine, prog, limits, workers).with_cancel(cancel);
     engine.seed_root();
     let results = run_workers(&engine, workers);
     engine.into_exploration(results, started)
@@ -1255,9 +1348,34 @@ pub fn explore_checkpointed<M: Machine>(
     limits: Limits,
     cfg: &CheckpointCfg,
 ) -> Result<Exploration, CheckpointError> {
+    explore_checkpointed_inner(machine, prog, limits, cfg, None)
+}
+
+/// [`explore_checkpointed`] with a [`CancelToken`]: a cancelled run
+/// still writes its final checkpoint, so the job it served can be
+/// resumed later exactly like a suspended one.
+pub fn explore_checkpointed_with_cancel<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: &CancelToken,
+) -> Result<Exploration, CheckpointError> {
+    explore_checkpointed_inner(machine, prog, limits, cfg, Some(cancel))
+}
+
+fn explore_checkpointed_inner<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: Option<&CancelToken>,
+) -> Result<Exploration, CheckpointError> {
     let sink = FileSink { cfg, fp: config_fingerprint(machine.name(), prog, &limits) };
     let workers = limits.resolved_threads();
-    let engine = Engine::new(machine, prog, limits, workers).with_checkpointing(cfg, &sink);
+    let engine = Engine::new(machine, prog, limits, workers)
+        .with_cancel(cancel)
+        .with_checkpointing(cfg, &sink);
     engine.seed_root();
     let results = run_workers(&engine, workers);
     finish_checkpointed(engine, results)
@@ -1279,10 +1397,34 @@ pub fn resume_exploration<M: Machine>(
     limits: Limits,
     cfg: &CheckpointCfg,
 ) -> Result<Exploration, CheckpointError> {
+    resume_inner(machine, prog, limits, cfg, None)
+}
+
+/// [`resume_exploration`] with a [`CancelToken`], for resumed jobs that
+/// must remain individually stoppable.
+pub fn resume_with_cancel<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: &CancelToken,
+) -> Result<Exploration, CheckpointError> {
+    resume_inner(machine, prog, limits, cfg, Some(cancel))
+}
+
+fn resume_inner<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: Option<&CancelToken>,
+) -> Result<Exploration, CheckpointError> {
     let fp = config_fingerprint(machine.name(), prog, &limits);
     let snap = match checkpoint::load::<M::State>(cfg, fp)? {
         Snapshot::Parallel(p) => p,
-        other => return Err(CheckpointError::EngineMismatch { found: other.engine_byte() }),
+        other => {
+            return Err(CheckpointError::EngineMismatch { expected: 0, found: other.engine_byte() })
+        }
     };
     let sink = FileSink { cfg, fp };
     let workers = limits.resolved_threads();
@@ -1314,7 +1456,7 @@ pub fn resume_exploration<M: Machine>(
         elapsed_nanos: snap.counters.elapsed_nanos,
         checkpoint_nanos: snap.counters.ckpt_write_nanos,
     };
-    let engine = engine.with_checkpointing(cfg, &sink);
+    let engine = engine.with_cancel(cancel).with_checkpointing(cfg, &sink);
     // Round-robin the saved frontier across the workers, mapped back
     // to ids (every frontier state is in the visited set by the
     // checkpoint invariant, so `insert` is a pure lookup here). An
@@ -1510,6 +1652,48 @@ mod tests {
         assert_eq!(ex.stats.spilled_states, 0);
         let line = ex.stats.to_string();
         assert!(line.contains("states/s"), "{line}");
+    }
+
+    #[test]
+    fn a_cancelled_token_truncates_instead_of_exploring() {
+        let lit = litmus::iriw();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ex = explore_with_cancel(&ScMachine, &lit.program, Limits::default(), &cancel);
+        assert!(ex.truncated());
+        assert_eq!(ex.stats.truncation, Some(TruncationReason::Cancelled));
+        // The workers stopped before expanding anything beyond at most
+        // the states already popped when the flag landed.
+        assert!(ex.states < explore(&ScMachine, &lit.program, Limits::default()).states);
+    }
+
+    /// A cancelled checkpointed run leaves a resumable checkpoint: the
+    /// service contract is "cancel ≈ suspend", so resuming the same
+    /// config later must reach the full uninterrupted answer.
+    #[test]
+    fn a_cancelled_checkpointed_run_resumes_to_the_full_answer() {
+        let lit = litmus::iriw();
+        let dir = std::env::temp_dir().join(format!("weakord-cancel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CheckpointCfg { dir: dir.clone(), every: 1, abort_after: None };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cut = explore_checkpointed_with_cancel(
+            &ScMachine,
+            &lit.program,
+            Limits::default(),
+            &cfg,
+            &cancel,
+        )
+        .expect("cancelled run still writes its final checkpoint");
+        assert_eq!(cut.stats.truncation, Some(TruncationReason::Cancelled));
+        let resumed = resume_exploration(&ScMachine, &lit.program, Limits::default(), &cfg)
+            .expect("cancelled checkpoint resumes");
+        let clean = explore(&ScMachine, &lit.program, Limits::default());
+        assert_eq!(resumed.outcomes, clean.outcomes);
+        assert_eq!(resumed.states, clean.states);
+        assert_eq!(resumed.deadlocks, clean.deadlocks);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A memory budget small enough to force spilling must not change

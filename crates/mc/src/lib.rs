@@ -52,8 +52,9 @@ pub use contract::{
     ContractRow, ScAppearance,
 };
 pub use explore::{
-    explore, explore_checkpointed, explore_seq, find_witness, resume_exploration, Exploration,
-    ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
+    explore, explore_checkpointed, explore_checkpointed_with_cancel, explore_seq,
+    explore_with_cancel, find_witness, resume_exploration, resume_with_cancel, CancelToken,
+    Exploration, ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
 };
 pub use legacy::explore_legacy;
 pub use machine::{

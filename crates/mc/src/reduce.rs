@@ -452,7 +452,9 @@ pub fn resume_reduced<M: Machine>(
     let fp = config_fingerprint(machine.name(), prog, &limits);
     let snap = match checkpoint::load::<M::State>(cfg, fp)? {
         Snapshot::Reduced(r) => r,
-        other => return Err(CheckpointError::EngineMismatch { found: other.engine_byte() }),
+        other => {
+            return Err(CheckpointError::EngineMismatch { expected: 1, found: other.engine_byte() })
+        }
     };
     let sink = ReducedFileSink { cfg, fp };
     let search = ReducedSearch::from_snapshot(snap);

@@ -19,6 +19,9 @@
 //!   diagnosis.
 //! - [`MetricsRegistry`] — the namespaced `key=value` facade that the
 //!   scattered per-layer counter bags fold into.
+//! - [`Histogram`] — the fixed-footprint log2 latency histogram the
+//!   serve layer records per-job latencies into (p50/p95/p99 with ≤2×
+//!   relative error, lossless merge across workers).
 //! - [`chrome_trace`] / [`jsonl`] — deterministic exporters, plus
 //!   [`validate_chrome_trace`] and a minimal in-tree [`json`] reader so
 //!   CI can check the exported shape without external tools.
@@ -33,11 +36,13 @@
 
 mod event;
 mod export;
+mod histogram;
 pub mod json;
 mod metrics;
 mod tracer;
 
 pub use event::{Event, Phase, Track};
 pub use export::{chrome_trace, jsonl, track_ids, validate_chrome_trace};
+pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
 pub use tracer::{MemTracer, NoopTracer, RingTracer, Tracer};

@@ -1,0 +1,109 @@
+//! A small blocking client for the serve protocol — used by
+//! `weakord submit`, the load generator, and the test suites.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use weakord_obs::json::{self, Json};
+
+/// How a submit concluded, as seen on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitKind {
+    /// Terminal `done` event; `cached` tells whether the outcome-set
+    /// cache served it.
+    Done {
+        /// `true` when no exploration ran for this reply.
+        cached: bool,
+    },
+    /// Explicit load-shed rejection (bounded queue full).
+    Shed,
+    /// Structured `error` reply with its `kind`.
+    Error(String),
+}
+
+/// The terminal reply to a submit, with every raw line that led to it.
+#[derive(Debug, Clone)]
+pub struct SubmitReply {
+    /// Classification of the final line.
+    pub kind: SubmitKind,
+    /// The raw final line (the embedded `result` object for `done`).
+    pub line: String,
+    /// `accepted`/progress lines received before the final one.
+    pub progress: Vec<String>,
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// Sends one raw line and reads one reply line (ping, status,
+    /// cancel, shutdown — every op with a single-line answer).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.read_line()
+    }
+
+    /// Sends a submit line and reads events until the terminal reply.
+    pub fn submit(&mut self, line: &str) -> std::io::Result<SubmitReply> {
+        writeln!(self.writer, "{line}")?;
+        let mut progress = Vec::new();
+        loop {
+            let reply = self.read_line()?;
+            let event = json::parse(&reply)
+                .ok()
+                .and_then(|v| v.get("event").and_then(Json::as_str).map(String::from))
+                .unwrap_or_default();
+            match event.as_str() {
+                "done" => {
+                    let cached = json::parse(&reply)
+                        .ok()
+                        .and_then(|v| match v.get("cached") {
+                            Some(Json::Bool(b)) => Some(*b),
+                            _ => None,
+                        })
+                        .unwrap_or(false);
+                    return Ok(SubmitReply {
+                        kind: SubmitKind::Done { cached },
+                        line: reply,
+                        progress,
+                    });
+                }
+                "shed" => return Ok(SubmitReply { kind: SubmitKind::Shed, line: reply, progress }),
+                "error" => {
+                    let kind = json::parse(&reply)
+                        .ok()
+                        .and_then(|v| v.get("kind").and_then(Json::as_str).map(String::from))
+                        .unwrap_or_default();
+                    return Ok(SubmitReply {
+                        kind: SubmitKind::Error(kind),
+                        line: reply,
+                        progress,
+                    });
+                }
+                _ => progress.push(reply),
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}

@@ -1,0 +1,40 @@
+//! # weakord-serve — a crash-tolerant, load-shedding checking service
+//!
+//! The paper's Definition 2 argument is only useful at scale if
+//! checking is cheap to *ask for*. This crate wraps the checkpointable
+//! explorer (`weakord-mc`) in a daemon that serves verification jobs to
+//! many concurrent clients over a line-oriented JSONL protocol, and is
+//! robust end-to-end:
+//!
+//! * **Bounded admission** — a full queue sheds with an explicit
+//!   structured rejection; nothing is ever dropped silently.
+//! * **Durable accepts** — every accepted job is journaled before the
+//!   accept reply, and a SIGKILL'd daemon replays the journal on
+//!   restart, resuming each job from its checkpoint to the
+//!   byte-identical result an uninterrupted run writes.
+//! * **Per-job deadlines and cancellation** — both act at the
+//!   explorer's worker safepoints via [`weakord_mc::CancelToken`] and
+//!   the engine's deadline truncation.
+//! * **Panic containment** — a job that panics retries with
+//!   exponential backoff up to a poison-pill cap, so one crashing
+//!   input cannot livelock the pool.
+//! * **Outcome-set cache** — the job id is the PR 5 config
+//!   fingerprint, so identical submissions (from any client, any
+//!   daemon life) hit the cache instead of the explorer.
+//!
+//! See `protocol` for the wire vocabulary, `DESIGN.md` §16 for the
+//! lifecycle state machine, and `weakord serve --help` for the CLI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+mod job;
+mod pool;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, SubmitKind, SubmitReply};
+pub use job::{cacheable, job_identity, poisoned_line, result_line, run_attempt};
+pub use protocol::{error_line, parse_request, JobSpec, Request, MACHINES, MAX_LINE};
+pub use server::{run, ServeConfig, Server};

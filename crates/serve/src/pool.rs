@@ -1,0 +1,466 @@
+//! The shared job pool: bounded admission, retry with backoff, poison
+//! pills, and durable finalization.
+//!
+//! ## Job lifecycle
+//!
+//! ```text
+//!             submit
+//!               │
+//!      ┌── cache hit? ──► done (cached)
+//!      │
+//!      ├── already queued/running? ──► join the in-flight job
+//!      │
+//!      ├── queue full? ──► SHED (explicit structured rejection)
+//!      │
+//!      ▼
+//!   journal to jobs/<id>.json  (durable accept — survives SIGKILL)
+//!      │
+//!      ▼
+//!   queued ──► running ──┬─► complete ─► results/<id>.json, journal
+//!      ▲                 │              and checkpoint removed
+//!      │                 ├─► deadline/cancel ─► reported, journal kept
+//!      │     (backoff)   │                      only if resumable
+//!      └───── retry ◄────┴─► panic
+//!                │
+//!                └─ attempts ≥ cap ─► poisoned (durable, explicit)
+//! ```
+//!
+//! Every transition out of `running` notifies all waiting connections;
+//! nothing is ever dropped silently — a job that cannot run *tells*
+//! its submitters why.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job;
+use crate::protocol::JobSpec;
+use crate::server::ServeConfig;
+use weakord_mc::{CancelToken, Exploration, TruncationReason};
+use weakord_obs::{Histogram, MetricsRegistry};
+use weakord_progs::Program;
+
+/// Where a job stands, from a connection's point of view.
+#[derive(Clone)]
+pub(crate) enum JobState {
+    /// Waiting in the ready or retry queue.
+    Queued,
+    /// On a worker; the token cancels it at the next safepoint.
+    Running(CancelToken),
+    /// Finished, one way or another: the final reply line, plus
+    /// whether future submissions may reuse it from the cache.
+    Done { line: Arc<str>, cacheable: bool },
+}
+
+/// One queued attempt.
+struct QueuedJob {
+    id: String,
+    spec: JobSpec,
+    prog: Program,
+    attempt: u32,
+}
+
+/// A panicked job waiting out its backoff.
+struct RetryJob {
+    ready_at: Instant,
+    job: QueuedJob,
+}
+
+#[derive(Default)]
+struct QueueState {
+    ready: VecDeque<QueuedJob>,
+    retry: Vec<RetryJob>,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.ready.len() + self.retry.len()
+    }
+}
+
+/// State shared by the acceptor, every connection, and every worker.
+pub(crate) struct Shared {
+    pub cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    jobs: Mutex<HashMap<String, JobState>>,
+    done_cv: Condvar,
+    pub metrics: Mutex<MetricsRegistry>,
+    pub latency: Mutex<Histogram>,
+    pub shutdown: AtomicBool,
+}
+
+/// What admission decided for one submit.
+pub(crate) enum Admission {
+    /// Served from the outcome-set cache; here is the stored line.
+    Cached(Arc<str>),
+    /// An identical job is already in flight; wait alongside it.
+    Joined,
+    /// Journaled and queued.
+    Accepted {
+        /// Queue depth right after the push (for the accepted event).
+        depth: usize,
+    },
+    /// Load shed: the bounded queue is full.
+    Shed {
+        /// Depth at rejection time.
+        depth: usize,
+    },
+    /// The daemon is draining for shutdown.
+    Refused,
+    /// Journaling failed; the job was NOT accepted.
+    JournalError(String),
+}
+
+impl Shared {
+    pub fn new(cfg: ServeConfig) -> Shared {
+        Shared {
+            cfg,
+            queue: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            latency: Mutex::new(Histogram::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn journal_path(&self, id: &str) -> PathBuf {
+        self.cfg.state_dir.join("jobs").join(format!("{id}.json"))
+    }
+
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.cfg.state_dir.join("results").join(format!("{id}.json"))
+    }
+
+    fn ckpt_dir(&self, id: &str) -> PathBuf {
+        self.cfg.state_dir.join("ckpt").join(id)
+    }
+
+    fn count(&self, key: &str) {
+        self.metrics.lock().unwrap().counter(key, 1);
+    }
+
+    /// Admission control for one submit, in cache → dedup → capacity
+    /// order. On `Accepted` the job is journaled durably *before* it
+    /// becomes visible to workers, so a SIGKILL after the accept reply
+    /// can never lose it.
+    pub fn admit(&self, id: &str, spec: &JobSpec, prog: &Program) -> Admission {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Admission::Refused;
+        }
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            match jobs.get(id) {
+                Some(JobState::Done { line, cacheable: true }) => {
+                    self.count("serve.jobs.cache_hits");
+                    return Admission::Cached(line.clone());
+                }
+                // A non-cacheable terminal state (deadline-truncated,
+                // cancelled, poisoned) is recomputed on re-submission.
+                Some(JobState::Done { cacheable: false, .. }) | None => {}
+                Some(JobState::Queued) | Some(JobState::Running(_)) => {
+                    self.count("serve.jobs.joined");
+                    return Admission::Joined;
+                }
+            }
+            // Cold cache: a previous daemon life may have left a
+            // durable result.
+            if let Some(line) = self.load_disk_result(id) {
+                let cacheable = !line.contains("\"ok\":false") && job_line_is_cacheable(&line);
+                let line: Arc<str> = line.into();
+                jobs.insert(id.to_string(), JobState::Done { line: line.clone(), cacheable });
+                if cacheable {
+                    self.count("serve.jobs.cache_hits");
+                    return Admission::Cached(line);
+                }
+            }
+            let mut q = self.queue.lock().unwrap();
+            if q.depth() >= self.cfg.max_queue {
+                self.count("serve.jobs.shed");
+                return Admission::Shed { depth: q.depth() };
+            }
+            if let Err(e) = write_atomic(&self.journal_path(id), spec.to_json_line().as_bytes()) {
+                return Admission::JournalError(e.to_string());
+            }
+            jobs.insert(id.to_string(), JobState::Queued);
+            q.ready.push_back(QueuedJob {
+                id: id.to_string(),
+                spec: spec.clone(),
+                prog: prog.clone(),
+                attempt: 0,
+            });
+            let depth = q.depth();
+            drop(q);
+            drop(jobs);
+            self.count("serve.jobs.accepted");
+            self.work_cv.notify_one();
+            Admission::Accepted { depth }
+        }
+    }
+
+    /// Requeues a journaled job found at startup (recovery path). Not
+    /// bounded by `max_queue`: these were already accepted by a
+    /// previous daemon life and must not be shed now.
+    pub fn requeue_recovered(&self, id: String, spec: JobSpec, prog: Program) {
+        self.jobs.lock().unwrap().insert(id.clone(), JobState::Queued);
+        self.queue.lock().unwrap().ready.push_back(QueuedJob { id, spec, prog, attempt: 0 });
+        self.count("serve.jobs.recovered");
+        self.work_cv.notify_one();
+    }
+
+    fn load_disk_result(&self, id: &str) -> Option<String> {
+        std::fs::read_to_string(self.result_path(id)).ok()
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// final line.
+    pub fn wait_done(&self, id: &str) -> Arc<str> {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(JobState::Done { line, .. }) = jobs.get(id) {
+                return line.clone();
+            }
+            jobs = self.done_cv.wait(jobs).unwrap();
+        }
+    }
+
+    /// Cancels a queued or running job. Returns a client-facing
+    /// description of what happened, or `None` if the id is unknown.
+    pub fn cancel(&self, id: &str) -> Option<&'static str> {
+        let mut jobs = self.jobs.lock().unwrap();
+        match jobs.get(id) {
+            Some(JobState::Running(token)) => {
+                token.cancel();
+                Some("cancelling at the next safepoint")
+            }
+            Some(JobState::Queued) => {
+                let mut q = self.queue.lock().unwrap();
+                q.ready.retain(|j| j.id != id);
+                q.retry.retain(|r| r.job.id != id);
+                drop(q);
+                let line: Arc<str> =
+                    format!("{{\"id\":\"{id}\",\"ok\":false,\"kind\":\"cancelled\"}}").into();
+                jobs.insert(id.to_string(), JobState::Done { line, cacheable: false });
+                let _ = std::fs::remove_file(self.journal_path(id));
+                self.count("serve.jobs.cancelled");
+                self.done_cv.notify_all();
+                Some("removed from the queue")
+            }
+            Some(JobState::Done { .. }) => Some("already finished"),
+            None => None,
+        }
+    }
+
+    /// Current queue depth (ready + backoff).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap().depth()
+    }
+
+    /// Number of jobs currently on a worker.
+    pub fn running_count(&self) -> usize {
+        self.jobs.lock().unwrap().values().filter(|s| matches!(s, JobState::Running(_))).count()
+    }
+
+    /// Begins a drain: refuse new work, cancel running jobs at their
+    /// next safepoint (they suspend resumably), and wake everyone.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for state in self.jobs.lock().unwrap().values() {
+            if let JobState::Running(token) = state {
+                token.cancel();
+            }
+        }
+        self.work_cv.notify_all();
+    }
+
+    /// After the workers have exited: resolve every job that will not
+    /// run in this daemon life so no connection waits forever. The
+    /// journals stay on disk — the next life recovers them.
+    pub fn resolve_stranded(&self) {
+        let mut jobs = self.jobs.lock().unwrap();
+        for (id, state) in jobs.iter_mut() {
+            if !matches!(state, JobState::Done { .. }) {
+                let line: Arc<str> = format!(
+                    "{{\"id\":\"{id}\",\"ok\":false,\"kind\":\"shutdown\",\"error\":\"daemon is draining; the job was journaled and will resume on restart\"}}"
+                )
+                .into();
+                *state = JobState::Done { line, cacheable: false };
+            }
+        }
+        drop(jobs);
+        self.done_cv.notify_all();
+    }
+
+    /// The worker thread body: pop, run, finalize, repeat.
+    pub fn worker_loop(&self) {
+        loop {
+            let Some(job) = self.next_job() else { return };
+            self.run_one(job);
+        }
+    }
+
+    /// Blocks for the next runnable job; `None` means shutdown.
+    fn next_job(&self) -> Option<QueuedJob> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let now = Instant::now();
+            // Promote retries whose backoff has elapsed.
+            let mut i = 0;
+            while i < q.retry.len() {
+                if q.retry[i].ready_at <= now {
+                    let r = q.retry.swap_remove(i);
+                    q.ready.push_back(r.job);
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(j) = q.ready.pop_front() {
+                return Some(j);
+            }
+            q = match q.retry.iter().map(|r| r.ready_at).min() {
+                Some(at) => {
+                    let dur = at.saturating_duration_since(now).max(Duration::from_millis(1));
+                    self.work_cv.wait_timeout(q, dur).unwrap().0
+                }
+                None => self.work_cv.wait(q).unwrap(),
+            };
+        }
+    }
+
+    fn run_one(&self, job: QueuedJob) {
+        let token = CancelToken::new();
+        self.jobs.lock().unwrap().insert(job.id.clone(), JobState::Running(token.clone()));
+        self.count("serve.jobs.started");
+        let started = Instant::now();
+        if self.cfg.test_hooks && job.spec.test_sleep_ms > 0 {
+            // Sleep in small slices so cancellation stays prompt.
+            let until = started + Duration::from_millis(job.spec.test_sleep_ms);
+            while Instant::now() < until && !token.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        if self.cfg.test_hooks && job.attempt < job.spec.test_panics {
+            self.retry_or_poison(job, started);
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            job::run_attempt(
+                &job.spec,
+                &job.prog,
+                &self.ckpt_dir(&job.id),
+                self.cfg.ckpt_every,
+                self.cfg.job_threads,
+                &token,
+            )
+        }));
+        match outcome {
+            Ok(Ok(ex)) => match ex.truncation {
+                Some(TruncationReason::WorkerPanic) => self.retry_or_poison(job, started),
+                Some(TruncationReason::Cancelled) => self.finish_cancelled(&job),
+                _ => self.finish_explored(&job, &ex, started),
+            },
+            Ok(Err(e)) => self.finish_error(&job, &e.to_string()),
+            Err(_) => self.retry_or_poison(job, started),
+        }
+    }
+
+    /// Success path (including deadline and state-cap truncations): the
+    /// exploration produced its final answer for this job's resources.
+    fn finish_explored(&self, job: &QueuedJob, ex: &Exploration, started: Instant) {
+        let line = job::result_line(&job.id, &job.spec, ex);
+        let cacheable = job::cacheable(ex.truncation);
+        if let Err(e) = write_atomic(&self.result_path(&job.id), line.as_bytes()) {
+            self.finish_error(job, &format!("result write failed: {e}"));
+            return;
+        }
+        let _ = std::fs::remove_file(self.journal_path(&job.id));
+        let _ = std::fs::remove_dir_all(self.ckpt_dir(&job.id));
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.latency.lock().unwrap().record(micros);
+        {
+            let mut m = self.metrics.lock().unwrap();
+            m.counter("serve.jobs.completed", 1);
+            m.counter("serve.states.explored", ex.states as u64);
+            if ex.truncation.is_some() {
+                m.counter("serve.jobs.truncated", 1);
+            }
+        }
+        self.settle(&job.id, line, cacheable);
+    }
+
+    /// Cancelled at a safepoint: the final checkpoint is on disk and
+    /// the journal stays, so the job resumes if resubmitted or after a
+    /// restart. Waiters are told explicitly.
+    fn finish_cancelled(&self, job: &QueuedJob) {
+        self.count("serve.jobs.cancelled");
+        let line = format!("{{\"id\":\"{}\",\"ok\":false,\"kind\":\"cancelled\"}}", job.id);
+        self.settle(&job.id, line, false);
+    }
+
+    /// Non-retryable infrastructure failure (checkpoint I/O and kin).
+    fn finish_error(&self, job: &QueuedJob, msg: &str) {
+        self.count("serve.jobs.errors");
+        let line = format!(
+            "{{\"id\":\"{}\",\"ok\":false,\"kind\":\"job-error\",\"error\":\"{}\"}}",
+            job.id,
+            weakord_obs::json::escape(msg)
+        );
+        self.settle(&job.id, line, false);
+    }
+
+    /// The panic path: exponential backoff up to the poison cap.
+    fn retry_or_poison(&self, mut job: QueuedJob, _started: Instant) {
+        job.attempt += 1;
+        if job.attempt < self.cfg.retry_max {
+            let backoff =
+                Duration::from_millis(self.cfg.backoff_base_ms << (job.attempt - 1).min(16));
+            self.count("serve.jobs.retried");
+            self.jobs.lock().unwrap().insert(job.id.clone(), JobState::Queued);
+            let mut q = self.queue.lock().unwrap();
+            q.retry.push(RetryJob { ready_at: Instant::now() + backoff, job });
+            drop(q);
+            self.work_cv.notify_one();
+            return;
+        }
+        // Poison pill: give up durably, so neither this life nor the
+        // next one livelocks on it.
+        self.count("serve.jobs.poisoned");
+        let line = job::poisoned_line(&job.id, job.attempt);
+        let _ = write_atomic(&self.result_path(&job.id), line.as_bytes());
+        let _ = std::fs::remove_file(self.journal_path(&job.id));
+        let _ = std::fs::remove_dir_all(self.ckpt_dir(&job.id));
+        self.settle(&job.id, line, false);
+    }
+
+    fn settle(&self, id: &str, line: String, cacheable: bool) {
+        let line: Arc<str> = line.into();
+        self.jobs.lock().unwrap().insert(id.to_string(), JobState::Done { line, cacheable });
+        self.done_cv.notify_all();
+    }
+}
+
+/// `true` when a durable result line read back from disk may serve
+/// future cache hits (complete or state-cap truncated — see
+/// [`job::cacheable`]).
+fn job_line_is_cacheable(line: &str) -> bool {
+    line.contains("\"truncated\":null") || line.contains("\"truncated\":\"max-states\"")
+}
+
+/// Write-then-rename, the same durability idiom as the checkpoint
+/// sink: a reader never observes a half-written file.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}

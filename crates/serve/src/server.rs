@@ -1,0 +1,372 @@
+//! The daemon: TCP accept loop, per-connection protocol driver, and
+//! the durable state directory.
+//!
+//! ## State directory layout
+//!
+//! ```text
+//! <state_dir>/
+//!   jobs/<id>.json      accept journal — one line per accepted,
+//!                       unfinished job (the recovery work-list)
+//!   results/<id>.json   durable final result, timing-free, written
+//!                       atomically (tmp + rename)
+//!   ckpt/<id>/ckpt.bin  the job's exploration checkpoint while it is
+//!                       in flight
+//! ```
+//!
+//! On startup the daemon replays `jobs/` minus `results/`: every
+//! accepted-but-unfinished job is requeued (resuming from its
+//! checkpoint when one exists), so a SIGKILL at any point loses no
+//! accepted job and every replayed job produces the byte-identical
+//! result file an uninterrupted run would have written.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::job;
+use crate::pool::{write_atomic, Admission, Shared};
+use crate::protocol::{error_line, parse_request, JobSpec, Request, MAX_LINE};
+use weakord_obs::json;
+
+/// Daemon configuration. `Default` is suitable for tests: loopback,
+/// ephemeral port, and a temp-ish state dir the caller should replace.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Durable state directory (journals, results, checkpoints).
+    pub state_dir: PathBuf,
+    /// Pool width: how many jobs run concurrently.
+    pub workers: usize,
+    /// Engine threads per job (a server resource, not a client knob).
+    pub job_threads: usize,
+    /// Bounded admission: queued jobs past this are shed explicitly.
+    pub max_queue: usize,
+    /// Checkpoint cadence in admitted states, per job.
+    pub ckpt_every: usize,
+    /// Attempt cap: a job that panics this many times is poisoned.
+    pub retry_max: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Honor the `test_panics`/`test_sleep_ms` fault-injection fields.
+    pub test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: PathBuf::from("weakord-serve-state"),
+            workers: 2,
+            job_threads: 1,
+            max_queue: 64,
+            ckpt_every: 10_000,
+            retry_max: 3,
+            backoff_base_ms: 10,
+            test_hooks: false,
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send the `shutdown` op) for a clean drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Creates the state directory, recovers journaled jobs, binds the
+    /// socket, and spawns the pool and the accept loop.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        for sub in ["jobs", "results", "ckpt"] {
+            std::fs::create_dir_all(cfg.state_dir.join(sub))?;
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared::new(cfg));
+        recover(&shared);
+        let handles = (0..workers)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.worker_loop())
+            })
+            .collect();
+        let acceptor = {
+            let s = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &s))
+        };
+        Ok(Server { addr, shared, workers: handles, acceptor: Some(acceptor) })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends the `shutdown` op, then drains.
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.drain();
+    }
+
+    /// Initiates and completes a drain: running jobs suspend at their
+    /// next safepoint (checkpoints + journals stay for the next life),
+    /// queued jobs are resolved as `shutdown`, workers join.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shared.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.resolve_stranded();
+    }
+}
+
+/// Requeues every journaled job that has no durable result yet, in
+/// filename order (deterministic recovery).
+fn recover(shared: &Arc<Shared>) {
+    let jobs_dir = shared.cfg.state_dir.join("jobs");
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&jobs_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(_) => return,
+    };
+    entries.sort();
+    for path in entries {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+            continue;
+        };
+        if shared.result_path(&stem).exists() {
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let spec = match json::parse(&text).and_then(|v| JobSpec::from_json(&v, false)) {
+            Ok(s) => s,
+            Err(_) => {
+                // A tampered journal is quarantined, not fatal.
+                let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+                continue;
+            }
+        };
+        match job::job_identity(&spec, shared.cfg.job_threads) {
+            Ok((prog, id)) if id == stem => shared.requeue_recovered(id, spec, prog),
+            _ => {
+                let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let s = shared.clone();
+        std::thread::spawn(move || {
+            let _ = handle_conn(stream, &s);
+        });
+    }
+}
+
+/// One bounded request line, or why there isn't one.
+enum Line {
+    Eof,
+    Text(String),
+    Overlong,
+    Binary,
+}
+
+/// Reads one newline-terminated line of at most [`MAX_LINE`] bytes.
+/// Overlong lines are drained to the next newline so the connection
+/// can resynchronize after the error reply.
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Line> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(MAX_LINE as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Line::Eof);
+    }
+    if buf.len() > MAX_LINE {
+        // Drain the remainder of the oversized line.
+        let mut sink = Vec::new();
+        while !buf.ends_with(b"\n") {
+            sink.clear();
+            let n = reader.by_ref().take(MAX_LINE as u64).read_until(b'\n', &mut sink)?;
+            if n == 0 {
+                break;
+            }
+            buf = sink.clone();
+        }
+        return Ok(Line::Overlong);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Line::Text(s)),
+        Err(_) => Ok(Line::Binary),
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line(&mut reader)? {
+            Line::Eof => return Ok(()),
+            Line::Overlong => {
+                shared.metrics.lock().unwrap().counter("serve.proto.errors", 1);
+                writeln!(
+                    writer,
+                    "{}",
+                    error_line("overlong", &format!("request line exceeds {MAX_LINE} bytes"))
+                )?;
+                continue;
+            }
+            Line::Binary => {
+                shared.metrics.lock().unwrap().counter("serve.proto.errors", 1);
+                writeln!(writer, "{}", error_line("bad-request", "request is not UTF-8"))?;
+                continue;
+            }
+            Line::Text(s) => s,
+        };
+        match parse_request(&line) {
+            Err(msg) => {
+                shared.metrics.lock().unwrap().counter("serve.proto.errors", 1);
+                writeln!(writer, "{}", error_line("bad-request", &msg))?;
+            }
+            Ok(Request::Ping) => writeln!(writer, "{{\"event\":\"pong\"}}")?,
+            Ok(Request::Status) => writeln!(writer, "{}", status_line(shared))?,
+            Ok(Request::Cancel(id)) => match shared.cancel(&id) {
+                Some(what) => writeln!(
+                    writer,
+                    "{{\"event\":\"ok\",\"id\":\"{}\",\"detail\":\"{}\"}}",
+                    json::escape(&id),
+                    what
+                )?,
+                None => writeln!(
+                    writer,
+                    "{}",
+                    error_line("unknown-job", &format!("no job with id `{id}`"))
+                )?,
+            },
+            Ok(Request::Shutdown) => {
+                writeln!(writer, "{{\"event\":\"ok\",\"detail\":\"draining\"}}")?;
+                shared.begin_shutdown();
+                // An accepted socket's local address *is* the listening
+                // address — one no-op connect unblocks the acceptor so
+                // `Server::wait` can return.
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+                }
+                return Ok(());
+            }
+            Ok(Request::Submit(spec)) => handle_submit(&mut writer, shared, spec)?,
+        }
+    }
+}
+
+fn handle_submit(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    spec: JobSpec,
+) -> std::io::Result<()> {
+    if (spec.test_panics > 0 || spec.test_sleep_ms > 0) && !shared.cfg.test_hooks {
+        writeln!(
+            writer,
+            "{}",
+            error_line("bad-request", "test hooks are disabled on this daemon (--test-hooks)")
+        )?;
+        return Ok(());
+    }
+    let (prog, id) = match job::job_identity(&spec, shared.cfg.job_threads) {
+        Ok(v) => v,
+        Err(msg) => {
+            writeln!(writer, "{}", error_line("bad-request", &msg))?;
+            return Ok(());
+        }
+    };
+    match shared.admit(&id, &spec, &prog) {
+        Admission::Cached(line) => {
+            writeln!(writer, "{{\"event\":\"done\",\"cached\":true,\"result\":{line}}}")
+        }
+        Admission::Shed { depth } => writeln!(
+            writer,
+            "{{\"event\":\"shed\",\"id\":\"{id}\",\"queue_depth\":{depth},\"error\":\"admission queue is full; retry with backoff\"}}"
+        ),
+        Admission::Refused => {
+            writeln!(writer, "{}", error_line("shutting-down", "daemon is draining"))
+        }
+        Admission::JournalError(e) => {
+            writeln!(writer, "{}", error_line("journal-error", &e))
+        }
+        joined_or_accepted => {
+            let joined = matches!(joined_or_accepted, Admission::Joined);
+            let depth = match joined_or_accepted {
+                Admission::Accepted { depth } => depth,
+                _ => shared.queue_depth(),
+            };
+            writeln!(
+                writer,
+                "{{\"event\":\"accepted\",\"id\":\"{id}\",\"joined\":{joined},\"queue_depth\":{depth}}}"
+            )?;
+            writer.flush()?;
+            let line = shared.wait_done(&id);
+            writeln!(writer, "{{\"event\":\"done\",\"cached\":false,\"result\":{line}}}")
+        }
+    }
+}
+
+/// The `status` reply: queue/running gauges, all counters, and the
+/// latency histogram's quantile summary — the JSONL form of the per-job
+/// metrics stream.
+fn status_line(shared: &Arc<Shared>) -> String {
+    let (p50, p95, p99, count, mean) = {
+        let h = shared.latency.lock().unwrap();
+        let (p50, p95, p99) = h.quantile_summary();
+        (p50, p95, p99, h.count(), h.mean())
+    };
+    let counters: String = {
+        let m = shared.metrics.lock().unwrap();
+        m.counters()
+            .map(|(k, v)| format!("\"{}\":{v}", json::escape(k)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"event\":\"status\",\"queue_depth\":{},\"running\":{},\"counters\":{{{counters}}},\"latency_us\":{{\"count\":{count},\"mean\":{mean:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}}}",
+        shared.queue_depth(),
+        shared.running_count(),
+    )
+}
+
+/// Runs the daemon in the foreground until a client sends `shutdown`
+/// — the `weakord serve` entry point. Prints the bound address to
+/// stdout (load generators and CI read it to find an ephemeral port).
+pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
+    let server = Server::start(cfg)?;
+    println!("listening {}", server.addr());
+    // Make the address durable too, so sibling processes (CI) can
+    // find a daemon that was started with port 0.
+    let addr_file = server.shared.cfg.state_dir.join("addr");
+    write_atomic(&addr_file, server.addr().to_string().as_bytes())?;
+    server.wait();
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Malformed-input battery for the serve daemon (satellite 3).
+//!
+//! Truncated, overlong, garbage, and binary JSONL lines — plus
+//! mid-line disconnects — must each produce a structured `error` reply
+//! or a clean close, never a panic and never a wedged pool. The final
+//! act of every scenario is a *valid* request on a *fresh* connection,
+//! proving the daemon still serves.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use weakord_serve::{Client, ServeConfig, Server, SubmitKind};
+
+fn test_server(tag: &str) -> Server {
+    let dir = std::env::temp_dir().join(format!("weakord-fuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg =
+        ServeConfig { state_dir: dir, workers: 1, test_hooks: true, ..ServeConfig::default() };
+    Server::start(cfg).expect("server starts")
+}
+
+fn raw_conn(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s
+}
+
+/// Sends one raw blob (newline included by the caller if wanted) and
+/// reads one reply line.
+fn one_shot(server: &Server, payload: &[u8]) -> String {
+    let mut s = raw_conn(server);
+    s.write_all(payload).expect("write");
+    let mut reader = BufReader::new(s);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply is valid UTF-8 with newline");
+    line
+}
+
+#[test]
+fn garbage_lines_get_structured_errors_and_never_wedge() {
+    let server = test_server("garbage");
+    let cases: &[&[u8]] = &[
+        b"\n",
+        b"   \n",
+        b"{\n",
+        b"}{\n",
+        b"[1,2,3]\n",
+        b"nonsense\n",
+        b"{\"op\":42}\n",
+        b"{\"op\":\"frobnicate\"}\n",
+        b"{\"op\":\"submit\"}\n",
+        b"{\"op\":\"submit\",\"machine\":\"bogus\",\"litmus\":\"mp\"}\n",
+        b"{\"op\":\"submit\",\"litmus\":\"no-such-test\"}\n",
+        b"{\"op\":\"submit\",\"program\":\"this is not a program\"}\n",
+        b"{\"op\":\"submit\",\"litmus\":\"mp\",\"max_states\":0}\n",
+        b"{\"op\":\"submit\",\"litmus\":\"mp\",\"max_states\":2.5}\n",
+        b"{\"op\":\"cancel\"}\n",
+        b"\xff\xfe\x00\x01garbage bytes\n",
+    ];
+    for case in cases {
+        let reply = one_shot(&server, case);
+        assert!(
+            reply.contains("\"event\":\"error\""),
+            "expected a structured error for {case:?}, got {reply:?}"
+        );
+    }
+    // One connection, the whole battery back to back, then a valid op.
+    {
+        let mut s = raw_conn(&server);
+        for case in cases {
+            s.write_all(case).unwrap();
+        }
+        s.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let reader = BufReader::new(s.try_clone().unwrap());
+        let replies: Vec<String> =
+            reader.lines().take(cases.len() + 1).map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), cases.len() + 1);
+        assert!(
+            replies.last().unwrap().contains("\"event\":\"pong\""),
+            "connection must resynchronize after every error: {replies:?}"
+        );
+    }
+    // The pool still runs real jobs.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply =
+        client.submit(r#"{"op":"submit","machine":"sc","litmus":"mp","max_states":5000}"#).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Done { .. }), "{reply:?}");
+    server.shutdown();
+}
+
+#[test]
+fn overlong_lines_are_drained_and_refused() {
+    let server = test_server("overlong");
+    let mut s = raw_conn(&server);
+    // 2 MiB of 'a' — twice MAX_LINE — then a newline and a valid ping.
+    let big = vec![b'a'; 2 << 20];
+    s.write_all(&big).unwrap();
+    s.write_all(b"\n{\"op\":\"ping\"}\n").unwrap();
+    let mut reader = BufReader::new(s);
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    assert!(first.contains("\"kind\":\"overlong\""), "{first:?}");
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    assert!(second.contains("\"event\":\"pong\""), "{second:?}");
+    server.shutdown();
+}
+
+#[test]
+fn mid_line_disconnects_leave_the_daemon_serving() {
+    let server = test_server("disconnect");
+    for fragment in [&b"{\"op\":\"sub"[..], &b"{\"op\":\"submit\",\"litmus\":\"mp\""[..], &b"x"[..]]
+    {
+        let mut s = raw_conn(&server);
+        s.write_all(fragment).unwrap();
+        drop(s); // disconnect mid-line, no newline ever sent
+    }
+    // A half-open connection that sends nothing at all, then closes.
+    drop(raw_conn(&server));
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = Client::connect(server.addr()).unwrap();
+    let pong = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert!(pong.contains("pong"), "{pong}");
+    let reply = client
+        .submit(r#"{"op":"submit","machine":"tso","litmus":"mp","max_states":5000}"#)
+        .unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Done { .. }), "{reply:?}");
+    server.shutdown();
+}
+
+#[test]
+fn test_hooks_are_refused_when_disabled() {
+    let dir = std::env::temp_dir().join(format!("weakord-fuzz-nohooks-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg =
+        ServeConfig { state_dir: dir, workers: 1, test_hooks: false, ..ServeConfig::default() };
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply =
+        client.submit(r#"{"op":"submit","machine":"sc","litmus":"mp","test_panics":3}"#).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Error(ref k) if k == "bad-request"), "{reply:?}");
+    server.shutdown();
+}
+
+#[test]
+fn a_slow_loris_byte_stream_cannot_block_other_clients() {
+    let server = test_server("loris");
+    // A client that trickles a request one byte at a time…
+    let addr = server.addr();
+    let loris = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        for b in b"{\"op\":\"ping\"}" {
+            s.write_all(&[*b]).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        s.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(s);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    });
+    // …must not delay a well-behaved one.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let pong = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert!(pong.contains("pong"));
+    assert!(loris.join().unwrap().contains("pong"));
+    server.shutdown();
+}
+
+#[test]
+fn binary_flood_is_bounded_and_refused() {
+    let server = test_server("flood");
+    let mut s = raw_conn(&server);
+    // A megabyte of newline-free random-ish binary, then EOF.
+    let junk: Vec<u8> =
+        (0..1_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let junk: Vec<u8> = junk.into_iter().map(|b| if b == b'\n' { 0 } else { b }).collect();
+    s.write_all(&junk).unwrap();
+    drop(s);
+    // Daemon unharmed.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.request(r#"{"op":"ping"}"#).unwrap().contains("pong"));
+    server.shutdown();
+}

@@ -32,6 +32,15 @@
 //!                                litmus suite (differential vs. the SC explorer)
 //!   opts: --seed N   --drop-rate P   --dup-rate P   --reorder-rate P
 //!         --spike-rate P   --policy nack|queue   --schedules N
+//! weakord serve [opts]           crash-tolerant checking daemon (JSONL/TCP):
+//!   bounded admission with explicit load shedding, journaled accepts,
+//!   checkpointed jobs that resume byte-identically after a kill -9,
+//!   retry-with-backoff panic isolation, and a fingerprint-keyed cache
+//!   opts: --addr HOST:PORT --state-dir <dir> --workers N --job-threads N
+//!         --max-queue N --checkpoint-every N --retry-max N --test-hooks
+//! weakord submit [opts] <request...>   client for a serve daemon: send one
+//!   JSONL request (or build a submit from --litmus/--machine flags) and
+//!   print every reply line
 //!
 //! Every subcommand accepts --help.
 //! ```
@@ -60,7 +69,7 @@ use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
 
 const USAGE: &str =
-    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults> …\n\
+    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults|serve|submit> …\n\
                      (every subcommand accepts --help; see the README)";
 
 fn main() {
@@ -79,6 +88,8 @@ fn main() {
         Some((&"run", rest)) => cmd_run(rest),
         Some((&"stats", rest)) => cmd_stats(rest),
         Some((&"faults", rest)) => cmd_faults(rest),
+        Some((&"serve", rest)) => cmd_serve(rest),
+        Some((&"submit", rest)) => cmd_submit(rest),
         Some((&"--help" | &"-h", _)) => println!("{USAGE}"),
         _ => {
             eprintln!("{USAGE}");
@@ -997,6 +1008,158 @@ fn cmd_faults(rest: &[&str]) {
     }
     if failures > 0 {
         eprintln!("{failures} conformance failure(s)");
+        exit(1);
+    }
+}
+
+const SERVE_USAGE: &str = "usage: weakord serve [opts]\n\
+ \u{20}opts: --addr HOST:PORT         bind address (default 127.0.0.1:0; the\n\
+ \u{20}                               chosen port is printed and written to\n\
+ \u{20}                               <state-dir>/addr)\n\
+ \u{20}      --state-dir <dir>        durable state: accept journals, results,\n\
+ \u{20}                               per-job checkpoints (default ./weakord-serve-state)\n\
+ \u{20}      --workers N              concurrent jobs (default 2)\n\
+ \u{20}      --job-threads N          engine threads per job (default 1)\n\
+ \u{20}      --max-queue N            bounded admission; beyond it submits are\n\
+ \u{20}                               shed with an explicit rejection (default 64)\n\
+ \u{20}      --checkpoint-every N     per-job autosave cadence in admitted\n\
+ \u{20}                               states (default 10000)\n\
+ \u{20}      --retry-max N            panic retry cap before a job is poisoned\n\
+ \u{20}                               (default 3)\n\
+ \u{20}      --test-hooks             honor test_panics/test_sleep_ms fault\n\
+ \u{20}                               injection in submits (tests/CI only)\n\
+  The daemon accepts one JSON request per line (see `weakord submit --help`)\n\
+  and exits on the `shutdown` op. kill -9 is always safe: accepted jobs are\n\
+  journaled and resume byte-identically on the next start.";
+
+/// `weakord serve`: run the checking daemon in the foreground.
+fn cmd_serve(rest: &[&str]) {
+    maybe_help(rest, SERVE_USAGE);
+    let mut cfg = weakord::serve::ServeConfig::default();
+    if let Some(addr) = flag(rest, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(dir) = flag(rest, "--state-dir") {
+        cfg.state_dir = dir.into();
+    }
+    let num = |name: &str, dflt: usize| {
+        flag(rest, name).map_or(dflt, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{name} takes a number");
+                exit(2);
+            })
+        })
+    };
+    cfg.workers = num("--workers", cfg.workers);
+    cfg.job_threads = num("--job-threads", cfg.job_threads);
+    cfg.max_queue = num("--max-queue", cfg.max_queue);
+    cfg.ckpt_every = num("--checkpoint-every", cfg.ckpt_every);
+    cfg.retry_max = num("--retry-max", cfg.retry_max as usize) as u32;
+    cfg.test_hooks = rest.contains(&"--test-hooks");
+    if let Err(e) = weakord::serve::run(cfg) {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    }
+}
+
+const SUBMIT_USAGE: &str = "usage: weakord submit --addr HOST:PORT [request...]\n\
+ \u{20}Sends requests to a running `weakord serve` daemon and prints every\n\
+ \u{20}reply line (JSONL in, JSONL out).\n\
+ \u{20}opts: --addr HOST:PORT   daemon address (or --state-dir <dir> to read\n\
+ \u{20}      --state-dir <dir>  the address the daemon wrote at startup)\n\
+ \u{20}      --litmus NAME      build a submit for a built-in litmus test\n\
+ \u{20}      --machine M        machine for --litmus (default wo-def2)\n\
+ \u{20}      --max-states N     state cap for --litmus\n\
+ \u{20}      --reduce           partial-order reduction for --litmus\n\
+ \u{20}      --status           send a status request\n\
+ \u{20}      --shutdown         ask the daemon to drain and exit\n\
+ \u{20}Any remaining argument is sent verbatim as one raw JSONL request line.";
+
+/// `weakord submit`: thin client for the serve daemon.
+fn cmd_submit(rest: &[&str]) {
+    maybe_help(rest, SUBMIT_USAGE);
+    let addr = flag(rest, "--addr").or_else(|| {
+        flag(rest, "--state-dir")
+            .and_then(|d| std::fs::read_to_string(std::path::Path::new(&d).join("addr")).ok())
+    });
+    let Some(addr) = addr else {
+        eprintln!("{SUBMIT_USAGE}");
+        exit(2);
+    };
+    let mut client = weakord::serve::Client::connect(addr.trim()).unwrap_or_else(|e| {
+        eprintln!("cannot reach daemon at {addr}: {e}");
+        exit(1);
+    });
+    let mut requests: Vec<String> = Vec::new();
+    if let Some(name) = flag(rest, "--litmus") {
+        let machine = flag(rest, "--machine").unwrap_or_else(|| "wo-def2".to_string());
+        let mut req =
+            format!("{{\"op\":\"submit\",\"machine\":\"{machine}\",\"litmus\":\"{name}\"");
+        if let Some(n) = flag(rest, "--max-states") {
+            req.push_str(&format!(",\"max_states\":{n}"));
+        }
+        if rest.contains(&"--reduce") {
+            req.push_str(",\"reduce\":true");
+        }
+        req.push('}');
+        requests.push(req);
+    }
+    if rest.contains(&"--status") {
+        requests.push("{\"op\":\"status\"}".to_string());
+    }
+    if rest.contains(&"--shutdown") {
+        requests.push("{\"op\":\"shutdown\"}".to_string());
+    }
+    // Raw JSON lines passed as positional arguments.
+    let mut skip = false;
+    for (i, a) in rest.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match *a {
+            "--addr" | "--state-dir" | "--litmus" | "--machine" | "--max-states" => skip = true,
+            "--reduce" | "--status" | "--shutdown" => {}
+            raw => {
+                let _ = i;
+                requests.push(raw.to_string());
+            }
+        }
+    }
+    if requests.is_empty() {
+        eprintln!("{SUBMIT_USAGE}");
+        exit(2);
+    }
+    let mut failed = false;
+    for req in requests {
+        let is_submit = req.contains("\"op\":\"submit\"");
+        if is_submit {
+            match client.submit(&req) {
+                Ok(reply) => {
+                    for line in &reply.progress {
+                        println!("{line}");
+                    }
+                    println!("{}", reply.line);
+                    if !matches!(reply.kind, weakord::serve::SubmitKind::Done { .. }) {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("submit failed: {e}");
+                    exit(1);
+                }
+            }
+        } else {
+            match client.request(&req) {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    if failed {
         exit(1);
     }
 }

@@ -19,6 +19,8 @@
 //! * [`coherence`]: the cycle-level directory-based multiprocessor
 //!   implementing Section 5.3's counters and reserve bits, with
 //!   ordering policies `sc` / `def1` / `def2` / `def2-drf1`.
+//! * [`serve`]: the crash-tolerant, load-shedding model-checking
+//!   daemon behind `weakord serve` / `weakord submit`.
 //!
 //! See the `examples/` directory for runnable walkthroughs, and
 //! `weakord-bench` for the figure-regeneration harness.
@@ -51,4 +53,5 @@ pub use weakord_core as core;
 pub use weakord_mc as mc;
 pub use weakord_obs as obs;
 pub use weakord_progs as progs;
+pub use weakord_serve as serve;
 pub use weakord_sim as sim;
