@@ -182,6 +182,178 @@ impl CancelToken {
     }
 }
 
+/// Live progress counters for an in-flight exploration, published
+/// atomically by the engine and readable from any thread.
+///
+/// Construction follows [`CancelToken`]: cloning shares the counters,
+/// so hand one clone to the exploration (via [`explore_with_progress`]
+/// and friends) and keep the other to [`ProgressSink::sample`] from a
+/// monitor thread. The engine samples at the existing worker
+/// safepoints — the same loop-top/per-pop cadence as the deadline and
+/// cancel checks — and batches like [`ProbeTelemetry`]: one worker
+/// elects itself publisher when the sampling interval elapses (a CAS
+/// on the next-due time), flushes its local probe batch, and stores a
+/// consistent-enough snapshot into plain atomics. No locks, no
+/// allocation, no cross-worker rendezvous: a run with no sink attached
+/// pays one untaken branch per `PROGRESS_CHECK_EVERY` pops, and
+/// `tests/overhead.rs` pins even the *attached* path to zero extra
+/// heap allocations.
+///
+/// Every published counter except `frontier` (a gauge) is monotone
+/// non-decreasing over the lifetime of one engine, and `seq` increments
+/// with every publication, so readers can detect staleness.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressSink {
+    inner: Arc<ProgressShared>,
+}
+
+#[derive(Debug)]
+struct ProgressShared {
+    /// Sampling period; a publisher is elected at most this often.
+    interval_nanos: u64,
+    /// When the sink was created (the elapsed-time epoch for `next_due`).
+    epoch: Instant,
+    /// Nanos-since-epoch of the next due sample; CAS-claimed by the
+    /// publishing worker.
+    next_due: AtomicU64,
+    /// Publication count (bumped last, `Release`; readers pair with
+    /// `Acquire` so a changed `seq` implies fresh counters).
+    seq: AtomicU64,
+    states: AtomicU64,
+    frontier: AtomicU64,
+    dedup_hits: AtomicU64,
+    dedup_probes: AtomicU64,
+    pruned_arcs: AtomicU64,
+    steals: AtomicU64,
+    worker_panics: AtomicU64,
+    table_capacity: AtomicU64,
+    mem_bytes: AtomicU64,
+    elapsed_nanos: AtomicU64,
+}
+
+impl Default for ProgressShared {
+    fn default() -> Self {
+        ProgressShared::with_interval(Duration::from_millis(100))
+    }
+}
+
+impl ProgressShared {
+    fn with_interval(interval: Duration) -> Self {
+        ProgressShared {
+            interval_nanos: interval.as_nanos().min(u128::from(u64::MAX)) as u64,
+            epoch: Instant::now(),
+            next_due: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            states: AtomicU64::new(0),
+            frontier: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            dedup_probes: AtomicU64::new(0),
+            pruned_arcs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            table_capacity: AtomicU64::new(0),
+            mem_bytes: AtomicU64::new(0),
+            elapsed_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ProgressSink {
+    /// A fresh sink publishing at most every 100ms.
+    pub fn new() -> Self {
+        ProgressSink::default()
+    }
+
+    /// A fresh sink publishing at most every `interval`
+    /// ([`Duration::ZERO`]: at every safepoint check).
+    pub fn with_interval(interval: Duration) -> Self {
+        ProgressSink { inner: Arc::new(ProgressShared::with_interval(interval)) }
+    }
+
+    /// The most recently published counters (all zero until the engine
+    /// publishes its first sample).
+    pub fn sample(&self) -> ProgressSnapshot {
+        let p = &self.inner;
+        let seq = p.seq.load(Ordering::Acquire);
+        ProgressSnapshot {
+            seq,
+            states: p.states.load(Ordering::Relaxed),
+            frontier: p.frontier.load(Ordering::Relaxed),
+            dedup_hits: p.dedup_hits.load(Ordering::Relaxed),
+            dedup_probes: p.dedup_probes.load(Ordering::Relaxed),
+            pruned_arcs: p.pruned_arcs.load(Ordering::Relaxed),
+            steals: p.steals.load(Ordering::Relaxed),
+            worker_panics: p.worker_panics.load(Ordering::Relaxed),
+            table_capacity: p.table_capacity.load(Ordering::Relaxed),
+            mem_bytes: p.mem_bytes.load(Ordering::Relaxed),
+            elapsed: Duration::from_nanos(p.elapsed_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One point-in-time sample of a running exploration, read through
+/// [`ProgressSink::sample`].
+///
+/// `Copy` and heap-free by construction, like [`weakord_obs::Event`]:
+/// sampling never allocates on either side. All counters are monotone
+/// within one engine except `frontier`, which is the instantaneous
+/// admitted-but-unexpanded population (a gauge that rises and falls).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProgressSnapshot {
+    /// Publication count; 0 means nothing was published yet.
+    pub seq: u64,
+    /// Distinct states admitted to the visited set so far.
+    pub states: u64,
+    /// States admitted but not yet expanded (frontier depth).
+    pub frontier: u64,
+    /// Successor arcs that landed on an already-visited state.
+    pub dedup_hits: u64,
+    /// Successor arcs probed against the visited set.
+    pub dedup_probes: u64,
+    /// Arcs pruned by the partial-order reduction.
+    pub pruned_arcs: u64,
+    /// Successful work-steals.
+    pub steals: u64,
+    /// Worker panics absorbed so far.
+    pub worker_panics: u64,
+    /// Slots across the fingerprint table's active levels.
+    pub table_capacity: u64,
+    /// Resident bytes of the visited set's in-RAM payloads.
+    pub mem_bytes: u64,
+    /// Cumulative exploration wall-clock (across resume legs).
+    pub elapsed: Duration,
+}
+
+impl ProgressSnapshot {
+    /// Distinct states per second of exploration wall-clock so far.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Load factor of the fingerprint table's active levels.
+    pub fn table_occupancy(&self) -> f64 {
+        if self.table_capacity > 0 {
+            self.states as f64 / self.table_capacity as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of probed arcs deduplicated away.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_probes > 0 {
+            self.dedup_hits as f64 / self.dedup_probes as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Why an exploration stopped before exhausting the state space.
 ///
 /// Replaces the old boolean "truncated" flag wherever it leaked into
@@ -520,6 +692,11 @@ impl Exploration {
 /// bounds how long an idle-ish worker keeps spinning.
 const DEADLINE_CHECK_EVERY: u32 = 128;
 
+/// How often a worker re-checks whether a progress sample is due,
+/// in state pops. Only decremented when a [`ProgressSink`] is attached;
+/// without one the progress path is a single untaken branch per pop.
+const PROGRESS_CHECK_EVERY: u32 = 64;
+
 /// Per-worker cap on decoded states kept in the hot tail. Beyond it the
 /// oldest entries park in the shared frontier as bare ids: worker
 /// memory stays bounded at `HOT_CAP` states while deep depth-first
@@ -633,6 +810,9 @@ struct Engine<'a, M: Machine> {
     /// Cooperative cancellation, checked at the same safepoints as the
     /// deadline (`None`: not cancellable).
     cancel: Option<CancelToken>,
+    /// Live progress counters, published at the same safepoints
+    /// (`None`: no monitoring, no cost beyond one untaken branch).
+    progress: Option<ProgressSink>,
     deadline_at: Option<Instant>,
     /// Worst observed overshoot past the deadline, in nanoseconds.
     overshoot_nanos: AtomicU64,
@@ -701,6 +881,7 @@ impl<'a, M: Machine> Engine<'a, M> {
             resumable: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
             cancel: None,
+            progress: None,
             deadline_at: limits.deadline.map(|d| Instant::now() + d),
             overshoot_nanos: AtomicU64::new(0),
             active: AtomicUsize::new(workers),
@@ -721,6 +902,12 @@ impl<'a, M: Machine> Engine<'a, M> {
     /// Attaches a cancellation token (before workers start).
     fn with_cancel(mut self, cancel: Option<&CancelToken>) -> Self {
         self.cancel = cancel.cloned();
+        self
+    }
+
+    /// Attaches a progress sink (before workers start).
+    fn with_progress(mut self, progress: Option<&ProgressSink>) -> Self {
+        self.progress = progress.cloned();
         self
     }
 
@@ -826,6 +1013,58 @@ impl<'a, M: Machine> Engine<'a, M> {
     fn record_overshoot(&self, deadline: Instant, now: Instant) {
         let ns = now.saturating_duration_since(deadline).as_nanos().min(u128::from(u64::MAX));
         self.overshoot_nanos.fetch_max(ns as u64, Ordering::Relaxed);
+    }
+
+    /// The progress safepoint: if a sample is due, elect this worker
+    /// publisher (CAS on the due time), flush its probe batch so the
+    /// shared counters are fresh, and store the snapshot. Loses of the
+    /// CAS race and not-yet-due calls return after one clock read —
+    /// and none of the paths allocates.
+    fn progress_tick(&self, tel: &mut ProbeTelemetry) {
+        let Some(p) = &self.progress else { return };
+        let p = &p.inner;
+        let now = p.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let due = p.next_due.load(Ordering::Relaxed);
+        if now < due
+            || p.next_due
+                .compare_exchange(
+                    due,
+                    now.saturating_add(p.interval_nanos),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+        {
+            return;
+        }
+        self.visited.flush_telemetry(tel);
+        self.publish_progress();
+    }
+
+    /// Stores the current engine counters into the attached sink (a
+    /// no-op without one). Monotonicity: every source here is itself
+    /// monotone within one engine except `pending`, which is published
+    /// as the `frontier` gauge.
+    fn publish_progress(&self) {
+        let Some(p) = &self.progress else { return };
+        let p = &p.inner;
+        let v = self.visited.counters();
+        p.states.store(self.visited.len() as u64, Ordering::Relaxed);
+        p.frontier.store(self.pending.load(Ordering::Relaxed) as u64, Ordering::Relaxed);
+        p.dedup_hits.store(v.dedup_hits, Ordering::Relaxed);
+        p.dedup_probes.store(v.dedup_probes, Ordering::Relaxed);
+        p.pruned_arcs.store(self.pruned_arcs.load(Ordering::Relaxed), Ordering::Relaxed);
+        p.steals.store(self.steals.load(Ordering::Relaxed), Ordering::Relaxed);
+        p.worker_panics.store(self.worker_panics.load(Ordering::Relaxed), Ordering::Relaxed);
+        p.table_capacity.store(v.table_capacity, Ordering::Relaxed);
+        p.mem_bytes.store(v.mem_bytes, Ordering::Relaxed);
+        p.elapsed_nanos.store(
+            self.base
+                .elapsed_nanos
+                .saturating_add(self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64),
+            Ordering::Relaxed,
+        );
+        p.seq.fetch_add(1, Ordering::Release);
     }
 
     /// Copies a worker's cumulative results into its published slot so
@@ -1007,6 +1246,7 @@ impl<'a, M: Machine> Engine<'a, M> {
         // would ping-pong one cache line between every worker.
         let mut tel = ProbeTelemetry::default();
         let mut until_deadline_check = DEADLINE_CHECK_EVERY;
+        let mut until_progress_check = PROGRESS_CHECK_EVERY;
         loop {
             // Park the hot tail before stopping or entering a
             // rendezvous: snapshots must see it in the frontier, and a
@@ -1036,12 +1276,25 @@ impl<'a, M: Machine> Engine<'a, M> {
                         if self.pending.load(Ordering::SeqCst) == 0 {
                             break; // No queued work, no peer mid-expansion: done.
                         }
+                        // Keep samples flowing while idling on a peer's
+                        // in-flight expansion (the due-time gate makes
+                        // this a clock read, not a publish storm).
+                        if self.progress.is_some() {
+                            self.progress_tick(&mut tel);
+                        }
                         std::hint::spin_loop();
                         std::thread::yield_now();
                         continue;
                     }
                 },
             };
+            if self.progress.is_some() {
+                until_progress_check -= 1;
+                if until_progress_check == 0 {
+                    until_progress_check = PROGRESS_CHECK_EVERY;
+                    self.progress_tick(&mut tel);
+                }
+            }
             if let Some(deadline) = self.deadline_at {
                 until_deadline_check -= 1;
                 if until_deadline_check == 0 {
@@ -1213,6 +1466,9 @@ impl<'a, M: Machine> Engine<'a, M> {
     }
 
     fn into_exploration(self, results: Vec<WorkerResult>, started: Instant) -> Exploration {
+        // Final publication: monitors watching the sink see the closing
+        // counters even when the run ends inside one sampling interval.
+        self.publish_progress();
         let mut outcomes = self.base.outcomes.clone();
         let mut deadlocks = usize::try_from(self.base.deadlocks).unwrap_or(usize::MAX);
         for r in results {
@@ -1277,15 +1533,41 @@ pub fn explore_with_cancel<M: Machine>(
     explore_inner(machine, prog, limits, Some(cancel))
 }
 
+/// [`explore`], with live monitoring (and optionally cancellation):
+/// the engine publishes periodic [`ProgressSnapshot`]s into `progress`
+/// at the same worker safepoints the cancel/deadline checks use. The
+/// results are identical to an unmonitored run — progress is read-only
+/// observation, never perturbation.
+pub fn explore_with_progress<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cancel: Option<&CancelToken>,
+    progress: &ProgressSink,
+) -> Exploration {
+    explore_full(machine, prog, limits, cancel, Some(progress))
+}
+
 fn explore_inner<M: Machine>(
     machine: &M,
     prog: &Program,
     limits: Limits,
     cancel: Option<&CancelToken>,
 ) -> Exploration {
+    explore_full(machine, prog, limits, cancel, None)
+}
+
+fn explore_full<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cancel: Option<&CancelToken>,
+    progress: Option<&ProgressSink>,
+) -> Exploration {
     let started = Instant::now();
     let workers = limits.resolved_threads();
-    let engine = Engine::new(machine, prog, limits, workers).with_cancel(cancel);
+    let engine =
+        Engine::new(machine, prog, limits, workers).with_cancel(cancel).with_progress(progress);
     engine.seed_root();
     let results = run_workers(&engine, workers);
     engine.into_exploration(results, started)
@@ -1364,6 +1646,20 @@ pub fn explore_checkpointed_with_cancel<M: Machine>(
     explore_checkpointed_inner(machine, prog, limits, cfg, Some(cancel))
 }
 
+/// [`explore_checkpointed_with_cancel`] with live monitoring — the
+/// full-service entry point for a daemon running observable,
+/// cancellable, crash-tolerant jobs.
+pub fn explore_checkpointed_with_progress<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: &CancelToken,
+    progress: &ProgressSink,
+) -> Result<Exploration, CheckpointError> {
+    explore_checkpointed_full(machine, prog, limits, cfg, Some(cancel), Some(progress))
+}
+
 fn explore_checkpointed_inner<M: Machine>(
     machine: &M,
     prog: &Program,
@@ -1371,10 +1667,22 @@ fn explore_checkpointed_inner<M: Machine>(
     cfg: &CheckpointCfg,
     cancel: Option<&CancelToken>,
 ) -> Result<Exploration, CheckpointError> {
+    explore_checkpointed_full(machine, prog, limits, cfg, cancel, None)
+}
+
+fn explore_checkpointed_full<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: Option<&CancelToken>,
+    progress: Option<&ProgressSink>,
+) -> Result<Exploration, CheckpointError> {
     let sink = FileSink { cfg, fp: config_fingerprint(machine.name(), prog, &limits) };
     let workers = limits.resolved_threads();
     let engine = Engine::new(machine, prog, limits, workers)
         .with_cancel(cancel)
+        .with_progress(progress)
         .with_checkpointing(cfg, &sink);
     engine.seed_root();
     let results = run_workers(&engine, workers);
@@ -1412,12 +1720,37 @@ pub fn resume_with_cancel<M: Machine>(
     resume_inner(machine, prog, limits, cfg, Some(cancel))
 }
 
+/// [`resume_with_cancel`] with live monitoring, for resumed jobs whose
+/// progress must stay observable across legs (the published counters
+/// are cumulative: a resume restores its checkpoint's totals).
+pub fn resume_with_progress<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: &CancelToken,
+    progress: &ProgressSink,
+) -> Result<Exploration, CheckpointError> {
+    resume_full(machine, prog, limits, cfg, Some(cancel), Some(progress))
+}
+
 fn resume_inner<M: Machine>(
     machine: &M,
     prog: &Program,
     limits: Limits,
     cfg: &CheckpointCfg,
     cancel: Option<&CancelToken>,
+) -> Result<Exploration, CheckpointError> {
+    resume_full(machine, prog, limits, cfg, cancel, None)
+}
+
+fn resume_full<M: Machine>(
+    machine: &M,
+    prog: &Program,
+    limits: Limits,
+    cfg: &CheckpointCfg,
+    cancel: Option<&CancelToken>,
+    progress: Option<&ProgressSink>,
 ) -> Result<Exploration, CheckpointError> {
     let fp = config_fingerprint(machine.name(), prog, &limits);
     let snap = match checkpoint::load::<M::State>(cfg, fp)? {
@@ -1456,7 +1789,7 @@ fn resume_inner<M: Machine>(
         elapsed_nanos: snap.counters.elapsed_nanos,
         checkpoint_nanos: snap.counters.ckpt_write_nanos,
     };
-    let engine = engine.with_cancel(cancel).with_checkpointing(cfg, &sink);
+    let engine = engine.with_cancel(cancel).with_progress(progress).with_checkpointing(cfg, &sink);
     // Round-robin the saved frontier across the workers, mapped back
     // to ids (every frontier state is in the visited set by the
     // checkpoint invariant, so `insert` is a pure lookup here). An
@@ -1694,6 +2027,59 @@ mod tests {
         assert_eq!(resumed.states, clean.states);
         assert_eq!(resumed.deadlocks, clean.deadlocks);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Progress monitoring is pure observation: the exploration result
+    /// is identical with a sink attached, the final publication matches
+    /// the result, and every counter is monotone across samples.
+    #[test]
+    fn a_progress_sink_observes_without_perturbing() {
+        let lit = litmus::iriw();
+        let plain = explore(&ScMachine, &lit.program, Limits::with_threads(2));
+        let sink = ProgressSink::with_interval(Duration::ZERO);
+        let watched =
+            explore_with_progress(&ScMachine, &lit.program, Limits::with_threads(2), None, &sink);
+        assert_eq!(watched, plain, "progress must not perturb results");
+        let last = sink.sample();
+        assert!(last.seq > 0, "the final publication always lands");
+        assert_eq!(last.states as usize, watched.states);
+        assert_eq!(last.frontier, 0, "a finished run has an empty frontier");
+        assert_eq!(last.dedup_probes, watched.stats.dedup_probes);
+        assert!(last.elapsed > Duration::ZERO);
+        assert!(last.states_per_sec() > 0.0);
+        // A concurrent monitor sees monotone counters.
+        let sink = ProgressSink::with_interval(Duration::ZERO);
+        let (final_states, samples) = std::thread::scope(|s| {
+            let monitor = {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut last = ProgressSnapshot::default();
+                    for _ in 0..10_000 {
+                        let cur = sink.sample();
+                        if cur.seq != last.seq {
+                            assert!(cur.states >= last.states, "states regressed");
+                            assert!(cur.dedup_probes >= last.dedup_probes, "probes regressed");
+                            assert!(cur.seq > last.seq, "seq regressed");
+                            seen.push(cur);
+                            last = cur;
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            };
+            let ex = explore_with_progress(
+                &ScMachine,
+                &lit.program,
+                Limits::with_threads(2),
+                None,
+                &sink,
+            );
+            (ex.states, monitor.join().expect("monitor thread"))
+        });
+        assert!(!samples.is_empty(), "at least the final publication is visible");
+        assert!(samples.last().expect("non-empty").states as usize <= final_states);
     }
 
     /// A memory budget small enough to force spilling must not change

@@ -52,9 +52,11 @@ pub use contract::{
     ContractRow, ScAppearance,
 };
 pub use explore::{
-    explore, explore_checkpointed, explore_checkpointed_with_cancel, explore_seq,
-    explore_with_cancel, find_witness, resume_exploration, resume_with_cancel, CancelToken,
-    Exploration, ExplorationStats, Limits, Reduction, TruncationReason, Witness, N_SHARDS,
+    explore, explore_checkpointed, explore_checkpointed_with_cancel,
+    explore_checkpointed_with_progress, explore_seq, explore_with_cancel, explore_with_progress,
+    find_witness, resume_exploration, resume_with_cancel, resume_with_progress, CancelToken,
+    Exploration, ExplorationStats, Limits, ProgressSink, ProgressSnapshot, Reduction,
+    TruncationReason, Witness, N_SHARDS,
 };
 pub use legacy::explore_legacy;
 pub use machine::{

@@ -126,6 +126,24 @@ impl Histogram {
     pub fn quantile_summary(&self) -> (u64, u64, u64) {
         (self.percentile(50.0), self.percentile(95.0), self.percentile(99.0))
     }
+
+    /// Folds the distribution into `reg` under the `ns.` prefix: the
+    /// sample count as a counter, min/mean/p50/p95/p99/max as gauges.
+    /// Empty histograms contribute only the zero count, so a dump does
+    /// not invent quantiles for data that never arrived.
+    pub fn export_metrics(&self, ns: &str, reg: &mut crate::MetricsRegistry) {
+        reg.counter(format!("{ns}.count"), self.count());
+        if self.is_empty() {
+            return;
+        }
+        let (p50, p95, p99) = self.quantile_summary();
+        reg.gauge(format!("{ns}.min"), self.min() as f64);
+        reg.gauge(format!("{ns}.mean"), self.mean());
+        reg.gauge(format!("{ns}.p50"), p50 as f64);
+        reg.gauge(format!("{ns}.p95"), p95 as f64);
+        reg.gauge(format!("{ns}.p99"), p99 as f64);
+        reg.gauge(format!("{ns}.max"), self.max() as f64);
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +158,23 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn export_metrics_writes_count_and_quantile_gauges() {
+        let mut reg = crate::MetricsRegistry::new();
+        Histogram::new().export_metrics("lat", &mut reg);
+        assert_eq!(reg.get("lat.count"), 0);
+        assert_eq!(reg.get_gauge("lat.p50"), None, "no quantiles without samples");
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        h.export_metrics("lat", &mut reg);
+        assert_eq!(reg.get("lat.count"), 3);
+        assert_eq!(reg.get_gauge("lat.min"), Some(10.0));
+        assert_eq!(reg.get_gauge("lat.max"), Some(30.0));
+        assert!(reg.get_gauge("lat.p95").is_some());
     }
 
     #[test]

@@ -75,6 +75,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// The change since `baseline`, for rate computation over periodic
+    /// snapshots: counters subtract (saturating, so a restarted source
+    /// reads as zero rather than wrapping), gauges keep their latest
+    /// value (a gauge is a point-in-time reading — deltas of it are
+    /// meaningless). Keys present only in `baseline` are dropped:
+    /// a metric that stopped being published has no current rate.
+    pub fn delta(&self, baseline: &MetricsRegistry) -> MetricsRegistry {
+        MetricsRegistry {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(baseline.get(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+        }
+    }
+
     /// The flat `key=value` dump, one metric per line, keys sorted
     /// (counters and gauges interleaved in lexicographic order). Gauges
     /// print with a fixed three-decimal format so the dump is
@@ -128,6 +145,26 @@ mod tests {
         r2.counter("a.y", 2);
         r2.counter("b.x", 1);
         assert_eq!(r.dump(), r2.dump(), "insertion order must not leak");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_latest_gauges() {
+        let mut before = MetricsRegistry::new();
+        before.counter("jobs", 3);
+        before.counter("gone", 9);
+        before.gauge("depth", 4.0);
+        let mut after = MetricsRegistry::new();
+        after.counter("jobs", 8);
+        after.counter("fresh", 2);
+        after.gauge("depth", 1.0);
+        let d = after.delta(&before);
+        assert_eq!(d.get("jobs"), 5);
+        assert_eq!(d.get("fresh"), 2);
+        assert_eq!(d.get("gone"), 0, "vanished keys are dropped, not negative");
+        assert!(!d.counters().any(|(k, _)| k == "gone"));
+        assert_eq!(d.get_gauge("depth"), Some(1.0), "gauges are point-in-time");
+        // A restarted source (counter went backwards) clamps to zero.
+        assert_eq!(before.delta(&after).get("jobs"), 0);
     }
 
     #[test]

@@ -55,6 +55,18 @@ impl Client {
 
     /// Sends a submit line and reads events until the terminal reply.
     pub fn submit(&mut self, line: &str) -> std::io::Result<SubmitReply> {
+        self.submit_streaming(line, |_| {})
+    }
+
+    /// [`Client::submit`], invoking `on_event` on every non-terminal
+    /// line (accepted, progress) as it arrives — the live leg of
+    /// `weakord submit --stream`. The lines are still collected into
+    /// [`SubmitReply::progress`].
+    pub fn submit_streaming(
+        &mut self,
+        line: &str,
+        mut on_event: impl FnMut(&str),
+    ) -> std::io::Result<SubmitReply> {
         writeln!(self.writer, "{line}")?;
         let mut progress = Vec::new();
         loop {
@@ -90,7 +102,10 @@ impl Client {
                         progress,
                     });
                 }
-                _ => progress.push(reply),
+                _ => {
+                    on_event(&reply);
+                    progress.push(reply);
+                }
             }
         }
     }

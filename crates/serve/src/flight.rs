@@ -1,0 +1,129 @@
+//! The crash flight recorder: a bounded ring of recent lifecycle and
+//! progress events per pool worker, dumped to the state directory when
+//! something goes wrong.
+//!
+//! A poison pill tells an operator *that* a job kept dying, not what it
+//! was doing in the seconds before. Each pool worker therefore records
+//! its job lifecycle (start, done, panic, retry, poison, cancel) into a
+//! per-worker [`RingTracer`] holding the last [`FLIGHT_RING_CAP`]
+//! events, and the watchdog folds periodic progress samples of the
+//! running job into the same ring. On a worker panic, a poison pill, or
+//! a watchdog stall the ring is dumped to
+//! `<state_dir>/flight/<id>.<reason>.<seq>.jsonl` — a JSONL file whose
+//! first line is a header object and whose remaining lines are the
+//! events oldest-first (the same rendering as `weakord_obs::jsonl`),
+//! so crashes leave a readable trace instead of just a pill.
+//!
+//! Recording is a short mutex hold on a fixed-size ring — a handful of
+//! events per job plus one progress sample per watchdog tick, nowhere
+//! near any hot path. Dumping happens only on failure.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::pool::write_atomic;
+use weakord_obs::{jsonl, Event, RingTracer, Tracer, Track};
+
+/// Events retained per worker ring (the "last K events" window).
+pub(crate) const FLIGHT_RING_CAP: usize = 64;
+
+/// One per daemon: the per-worker rings plus the dump directory.
+pub(crate) struct FlightRecorder {
+    rings: Vec<Mutex<RingTracer>>,
+    /// Timestamp epoch: event `at` fields are µs since daemon start.
+    epoch: Instant,
+    dir: PathBuf,
+    /// Monotonic dump counter, so repeated failures of one job never
+    /// overwrite each other's evidence.
+    seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub fn new(workers: usize, state_dir: &Path) -> FlightRecorder {
+        FlightRecorder {
+            rings: (0..workers).map(|_| Mutex::new(RingTracer::new(FLIGHT_RING_CAP))).collect(),
+            epoch: Instant::now(),
+            dir: state_dir.join("flight"),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since daemon start — the `at` for recorded events.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one lifecycle event on `worker`'s ring. `name` must be
+    /// static (the [`Event`] contract); numeric context goes in args.
+    pub fn record(&self, worker: usize, name: &'static str, args: [(&'static str, i64); 2]) {
+        let Some(ring) = self.rings.get(worker) else { return };
+        let mut ev = Event::instant(self.now_us(), Track::Shard(worker as u16), "serve", name);
+        for (k, v) in args {
+            if !k.is_empty() {
+                ev = ev.arg(k, v);
+            }
+        }
+        ring.lock().unwrap().record(ev);
+    }
+
+    /// Dumps `worker`'s ring for job `id` with a failure `reason`
+    /// (`panic`, `poison`, or `stall`). Returns the dump path; failures
+    /// to write are reported to the caller but must never take the
+    /// daemon down (evidence is best-effort, service is not).
+    pub fn dump(&self, worker: usize, id: &str, reason: &str) -> std::io::Result<PathBuf> {
+        let Some(ring) = self.rings.get(worker) else {
+            return Err(std::io::Error::new(std::io::ErrorKind::NotFound, "no such worker"));
+        };
+        let events: Vec<Event> = ring.lock().unwrap().events();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut text = format!(
+            "{{\"flight\":1,\"worker\":{worker},\"id\":\"{}\",\"reason\":\"{}\",\"at_us\":{},\"events\":{}}}\n",
+            weakord_obs::json::escape(id),
+            weakord_obs::json::escape(reason),
+            self.now_us(),
+            events.len(),
+        );
+        text.push_str(&jsonl(&events));
+        let path = self.dir.join(format!("{id}.{reason}.{seq}.jsonl"));
+        write_atomic(&path, text.as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakord_obs::json::{self, Json};
+
+    #[test]
+    fn rings_are_bounded_and_dumps_parse_line_by_line() {
+        let dir = std::env::temp_dir().join(format!("weakord-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(2, &dir);
+        for i in 0..(FLIGHT_RING_CAP as i64 + 10) {
+            fr.record(0, "job-start", [("attempt", i), ("", 0)]);
+        }
+        let path = fr.dump(0, "deadbeef", "panic").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), FLIGHT_RING_CAP + 1, "header + bounded ring");
+        let header = json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("reason").and_then(Json::as_str), Some("panic"));
+        assert_eq!(header.get("id").and_then(Json::as_str), Some("deadbeef"));
+        for line in &lines[1..] {
+            json::parse(line).unwrap_or_else(|e| panic!("unparseable dump line {line}: {e}"));
+        }
+        // The ring kept the *newest* K: the oldest surviving attempt is 10.
+        let first = json::parse(lines[1]).unwrap();
+        assert_eq!(
+            first.get("args").and_then(|a| a.get("attempt")).and_then(Json::as_num),
+            Some(10.0)
+        );
+        // A second dump gets a fresh sequence number, preserving both.
+        let path2 = fr.dump(0, "deadbeef", "panic").unwrap();
+        assert_ne!(path, path2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,8 +21,8 @@ use weakord_mc::machines::{
     WoDef2Machine, WriteBufferMachine,
 };
 use weakord_mc::{
-    explore_checkpointed_with_cancel, resume_with_cancel, CancelToken, CheckpointCfg,
-    CheckpointError, Exploration, TruncationReason,
+    explore_checkpointed_with_progress, resume_with_progress, CancelToken, CheckpointCfg,
+    CheckpointError, Exploration, ProgressSink, TruncationReason,
 };
 use weakord_obs::json::escape;
 use weakord_progs::{parse_program, Program};
@@ -84,6 +84,10 @@ pub fn job_identity(spec: &JobSpec, threads: usize) -> Result<(Program, String),
 /// directory when one exists (the daemon was killed mid-job), starts
 /// fresh otherwise. A corrupt checkpoint is demoted to a fresh start —
 /// crash tolerance must degrade to "recompute", never to "refuse".
+///
+/// `progress` receives periodic counter snapshots for the status
+/// listing and streaming connections. It observes the exploration but
+/// cannot perturb it — the result line depends only on spec semantics.
 pub fn run_attempt(
     spec: &JobSpec,
     prog: &Program,
@@ -91,12 +95,13 @@ pub fn run_attempt(
     ckpt_every: usize,
     threads: usize,
     cancel: &CancelToken,
+    progress: &ProgressSink,
 ) -> Result<Exploration, CheckpointError> {
     let limits = spec.limits(threads);
     let cfg = CheckpointCfg { dir: ckpt_dir.to_path_buf(), every: ckpt_every, abort_after: None };
     with_machine!(spec.machine.as_str(), |m| {
         if cfg.file().exists() {
-            match resume_with_cancel(&m, prog, limits, &cfg, cancel) {
+            match resume_with_progress(&m, prog, limits, &cfg, cancel, progress) {
                 Ok(ex) => return Ok(ex),
                 // A config/engine mismatch cannot be recomputed away —
                 // the id *is* the fingerprint, so this is a real bug or
@@ -111,7 +116,7 @@ pub fn run_attempt(
                 }
             }
         }
-        explore_checkpointed_with_cancel(&m, prog, limits, &cfg, cancel)
+        explore_checkpointed_with_progress(&m, prog, limits, &cfg, cancel, progress)
     })
 }
 
@@ -209,7 +214,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("weakord-job-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cancel = CancelToken::new();
-        let ex = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel).unwrap();
+        let progress = ProgressSink::new();
+        let ex = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress).unwrap();
         let line = result_line(&id, &spec, &ex);
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
@@ -221,7 +227,7 @@ mod tests {
             "outcomes must serialize in BTreeSet order (deterministic)"
         );
         // Resume from the final checkpoint reproduces the identical line.
-        let resumed = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel).unwrap();
+        let resumed = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress).unwrap();
         assert_eq!(result_line(&id, &spec, &resumed), line);
         let _ = std::fs::remove_dir_all(&dir);
     }

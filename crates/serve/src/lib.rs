@@ -21,6 +21,14 @@
 //! * **Outcome-set cache** — the job id is the PR 5 config
 //!   fingerprint, so identical submissions (from any client, any
 //!   daemon life) hit the cache instead of the explorer.
+//! * **Live progress plane** — a streaming submit (`"stream": true`)
+//!   receives monotone `progress` lines between `accepted` and `done`,
+//!   `status` lists every known job with live counters, `metrics`
+//!   dumps the full registry as text exposition, and a per-worker
+//!   flight recorder dumps the last-K-events window to the state dir
+//!   on panic, poison, or watchdog stall. All of it observes the
+//!   engine through [`weakord_mc::ProgressSink`] — result lines are
+//!   byte-identical with streaming on or off.
 //!
 //! See `protocol` for the wire vocabulary, `DESIGN.md` §16 for the
 //! lifecycle state machine, and `weakord serve --help` for the CLI.
@@ -29,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 mod client;
+mod flight;
 mod job;
 mod pool;
 pub mod protocol;

@@ -36,23 +36,50 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::flight::FlightRecorder;
 use crate::job;
 use crate::protocol::JobSpec;
 use crate::server::ServeConfig;
-use weakord_mc::{CancelToken, Exploration, TruncationReason};
+use weakord_mc::{CancelToken, Exploration, ProgressSink, TruncationReason};
 use weakord_obs::{Histogram, MetricsRegistry};
 use weakord_progs::Program;
+
+/// The live view of one running job, shared between the worker driving
+/// it and every connection streaming or listing it. Observation only:
+/// nothing here feeds back into the exploration except `cancel`.
+pub(crate) struct JobMonitor {
+    /// Cancels the exploration at its next safepoint.
+    pub cancel: CancelToken,
+    /// The engine's live progress counters.
+    pub progress: ProgressSink,
+    /// When this attempt went on a worker.
+    pub started: Instant,
+    /// 1-based attempt number (> 1 after panic retries).
+    pub attempt: u32,
+    /// Which pool worker is running it (the flight-ring index).
+    pub worker: usize,
+}
 
 /// Where a job stands, from a connection's point of view.
 #[derive(Clone)]
 pub(crate) enum JobState {
     /// Waiting in the ready or retry queue.
     Queued,
-    /// On a worker; the token cancels it at the next safepoint.
-    Running(CancelToken),
-    /// Finished, one way or another: the final reply line, plus
-    /// whether future submissions may reuse it from the cache.
-    Done { line: Arc<str>, cacheable: bool },
+    /// On a worker; the monitor carries the cancel token and the live
+    /// progress counters.
+    Running(Arc<JobMonitor>),
+    /// Finished, one way or another: the final reply line, whether
+    /// future submissions may reuse it from the cache, and the closing
+    /// progress numbers for the status listing.
+    Done { line: Arc<str>, cacheable: bool, states: u64, elapsed_ms: u64 },
+}
+
+/// One row of the `status` per-job listing.
+pub(crate) struct JobRow {
+    pub id: String,
+    pub phase: &'static str,
+    pub states: u64,
+    pub elapsed_ms: u64,
 }
 
 /// One queued attempt.
@@ -91,6 +118,10 @@ pub(crate) struct Shared {
     pub metrics: Mutex<MetricsRegistry>,
     pub latency: Mutex<Histogram>,
     pub shutdown: AtomicBool,
+    /// Per-worker crash flight recorder (see [`crate::flight`]).
+    pub flight: FlightRecorder,
+    /// Daemon start, for the uptime gauge.
+    pub started: Instant,
 }
 
 /// What admission decided for one submit.
@@ -117,6 +148,7 @@ pub(crate) enum Admission {
 
 impl Shared {
     pub fn new(cfg: ServeConfig) -> Shared {
+        let flight = FlightRecorder::new(cfg.workers.max(1), &cfg.state_dir);
         Shared {
             cfg,
             queue: Mutex::new(QueueState::default()),
@@ -126,6 +158,8 @@ impl Shared {
             metrics: Mutex::new(MetricsRegistry::new()),
             latency: Mutex::new(Histogram::new()),
             shutdown: AtomicBool::new(false),
+            flight,
+            started: Instant::now(),
         }
     }
 
@@ -156,7 +190,7 @@ impl Shared {
         {
             let mut jobs = self.jobs.lock().unwrap();
             match jobs.get(id) {
-                Some(JobState::Done { line, cacheable: true }) => {
+                Some(JobState::Done { line, cacheable: true, .. }) => {
                     self.count("serve.jobs.cache_hits");
                     return Admission::Cached(line.clone());
                 }
@@ -172,8 +206,12 @@ impl Shared {
             // durable result.
             if let Some(line) = self.load_disk_result(id) {
                 let cacheable = !line.contains("\"ok\":false") && job_line_is_cacheable(&line);
+                let states = line_states(&line);
                 let line: Arc<str> = line.into();
-                jobs.insert(id.to_string(), JobState::Done { line: line.clone(), cacheable });
+                jobs.insert(
+                    id.to_string(),
+                    JobState::Done { line: line.clone(), cacheable, states, elapsed_ms: 0 },
+                );
                 if cacheable {
                     self.count("serve.jobs.cache_hits");
                     return Admission::Cached(line);
@@ -229,13 +267,88 @@ impl Shared {
         }
     }
 
+    /// [`Shared::wait_done`] with a timeout, for streaming connections
+    /// that interleave progress emission with the wait: `None` means
+    /// the job is still in flight after `dur`.
+    pub fn wait_done_for(&self, id: &str, dur: Duration) -> Option<Arc<str>> {
+        let deadline = Instant::now() + dur;
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(JobState::Done { line, .. }) = jobs.get(id) {
+                return Some(line.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            jobs = self.done_cv.wait_timeout(jobs, deadline - now).unwrap().0;
+        }
+    }
+
+    /// The live monitor of a running job, if it is currently on a
+    /// worker.
+    pub fn monitor(&self, id: &str) -> Option<Arc<JobMonitor>> {
+        match self.jobs.lock().unwrap().get(id) {
+            Some(JobState::Running(m)) => Some(m.clone()),
+            _ => None,
+        }
+    }
+
+    /// Every running job's monitor, for the watchdog sweep.
+    pub fn running_monitors(&self) -> Vec<(String, Arc<JobMonitor>)> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(id, s)| match s {
+                JobState::Running(m) => Some((id.clone(), m.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The per-job listing for `status`: one row per known job, sorted
+    /// by id (deterministic output order). Running rows carry live
+    /// progress counters; done rows their closing numbers.
+    pub fn jobs_overview(&self) -> Vec<JobRow> {
+        let mut rows: Vec<JobRow> = self
+            .jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, s)| match s {
+                JobState::Queued => {
+                    JobRow { id: id.clone(), phase: "queued", states: 0, elapsed_ms: 0 }
+                }
+                JobState::Running(m) => {
+                    let p = m.progress.sample();
+                    JobRow {
+                        id: id.clone(),
+                        phase: "running",
+                        states: p.states,
+                        elapsed_ms: u64::try_from(m.started.elapsed().as_millis())
+                            .unwrap_or(u64::MAX),
+                    }
+                }
+                JobState::Done { states, elapsed_ms, .. } => JobRow {
+                    id: id.clone(),
+                    phase: "done",
+                    states: *states,
+                    elapsed_ms: *elapsed_ms,
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| a.id.cmp(&b.id));
+        rows
+    }
+
     /// Cancels a queued or running job. Returns a client-facing
     /// description of what happened, or `None` if the id is unknown.
     pub fn cancel(&self, id: &str) -> Option<&'static str> {
         let mut jobs = self.jobs.lock().unwrap();
         match jobs.get(id) {
-            Some(JobState::Running(token)) => {
-                token.cancel();
+            Some(JobState::Running(m)) => {
+                m.cancel.cancel();
                 Some("cancelling at the next safepoint")
             }
             Some(JobState::Queued) => {
@@ -245,7 +358,10 @@ impl Shared {
                 drop(q);
                 let line: Arc<str> =
                     format!("{{\"id\":\"{id}\",\"ok\":false,\"kind\":\"cancelled\"}}").into();
-                jobs.insert(id.to_string(), JobState::Done { line, cacheable: false });
+                jobs.insert(
+                    id.to_string(),
+                    JobState::Done { line, cacheable: false, states: 0, elapsed_ms: 0 },
+                );
                 let _ = std::fs::remove_file(self.journal_path(id));
                 self.count("serve.jobs.cancelled");
                 self.done_cv.notify_all();
@@ -271,8 +387,8 @@ impl Shared {
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for state in self.jobs.lock().unwrap().values() {
-            if let JobState::Running(token) = state {
-                token.cancel();
+            if let JobState::Running(m) = state {
+                m.cancel.cancel();
             }
         }
         self.work_cv.notify_all();
@@ -289,18 +405,19 @@ impl Shared {
                     "{{\"id\":\"{id}\",\"ok\":false,\"kind\":\"shutdown\",\"error\":\"daemon is draining; the job was journaled and will resume on restart\"}}"
                 )
                 .into();
-                *state = JobState::Done { line, cacheable: false };
+                *state = JobState::Done { line, cacheable: false, states: 0, elapsed_ms: 0 };
             }
         }
         drop(jobs);
         self.done_cv.notify_all();
     }
 
-    /// The worker thread body: pop, run, finalize, repeat.
-    pub fn worker_loop(&self) {
+    /// The worker thread body: pop, run, finalize, repeat. `worker` is
+    /// this thread's pool index — also its flight-ring index.
+    pub fn worker_loop(&self, worker: usize) {
         loop {
             let Some(job) = self.next_job() else { return };
-            self.run_one(job);
+            self.run_one(worker, job);
         }
     }
 
@@ -335,11 +452,19 @@ impl Shared {
         }
     }
 
-    fn run_one(&self, job: QueuedJob) {
-        let token = CancelToken::new();
-        self.jobs.lock().unwrap().insert(job.id.clone(), JobState::Running(token.clone()));
+    fn run_one(&self, worker: usize, job: QueuedJob) {
+        let monitor = Arc::new(JobMonitor {
+            cancel: CancelToken::new(),
+            progress: ProgressSink::with_interval(Duration::from_millis(25)),
+            started: Instant::now(),
+            attempt: job.attempt + 1,
+            worker,
+        });
+        self.jobs.lock().unwrap().insert(job.id.clone(), JobState::Running(monitor.clone()));
         self.count("serve.jobs.started");
-        let started = Instant::now();
+        self.flight.record(worker, "job-start", [("attempt", i64::from(job.attempt + 1)), ("", 0)]);
+        let token = monitor.cancel.clone();
+        let started = monitor.started;
         if self.cfg.test_hooks && job.spec.test_sleep_ms > 0 {
             // Sleep in small slices so cancellation stays prompt.
             let until = started + Duration::from_millis(job.spec.test_sleep_ms);
@@ -348,7 +473,7 @@ impl Shared {
             }
         }
         if self.cfg.test_hooks && job.attempt < job.spec.test_panics {
-            self.retry_or_poison(job, started);
+            self.retry_or_poison(worker, job, started);
             return;
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -359,16 +484,30 @@ impl Shared {
                 self.cfg.ckpt_every,
                 self.cfg.job_threads,
                 &token,
+                &monitor.progress,
             )
         }));
         match outcome {
             Ok(Ok(ex)) => match ex.truncation {
-                Some(TruncationReason::WorkerPanic) => self.retry_or_poison(job, started),
-                Some(TruncationReason::Cancelled) => self.finish_cancelled(&job),
-                _ => self.finish_explored(&job, &ex, started),
+                Some(TruncationReason::WorkerPanic) => self.retry_or_poison(worker, job, started),
+                Some(TruncationReason::Cancelled) => {
+                    self.flight.record(worker, "job-cancelled", [("", 0), ("", 0)]);
+                    self.finish_cancelled(&job);
+                }
+                _ => {
+                    self.flight.record(
+                        worker,
+                        "job-done",
+                        [("states", i64::try_from(ex.states).unwrap_or(i64::MAX)), ("", 0)],
+                    );
+                    self.finish_explored(&job, &ex, started);
+                }
             },
-            Ok(Err(e)) => self.finish_error(&job, &e.to_string()),
-            Err(_) => self.retry_or_poison(job, started),
+            Ok(Err(e)) => {
+                self.flight.record(worker, "job-error", [("", 0), ("", 0)]);
+                self.finish_error(&job, &e.to_string());
+            }
+            Err(_) => self.retry_or_poison(worker, job, started),
         }
     }
 
@@ -416,9 +555,13 @@ impl Shared {
         self.settle(&job.id, line, false);
     }
 
-    /// The panic path: exponential backoff up to the poison cap.
-    fn retry_or_poison(&self, mut job: QueuedJob, _started: Instant) {
+    /// The panic path: exponential backoff up to the poison cap. Every
+    /// panic dumps the worker's flight ring — the evidence of what the
+    /// job was doing just before it died.
+    fn retry_or_poison(&self, worker: usize, mut job: QueuedJob, _started: Instant) {
         job.attempt += 1;
+        self.flight.record(worker, "job-panic", [("attempt", i64::from(job.attempt)), ("", 0)]);
+        self.dump_flight(worker, &job.id, "panic");
         if job.attempt < self.cfg.retry_max {
             let backoff =
                 Duration::from_millis(self.cfg.backoff_base_ms << (job.attempt - 1).min(16));
@@ -433,6 +576,8 @@ impl Shared {
         // Poison pill: give up durably, so neither this life nor the
         // next one livelocks on it.
         self.count("serve.jobs.poisoned");
+        self.flight.record(worker, "job-poisoned", [("attempts", i64::from(job.attempt)), ("", 0)]);
+        self.dump_flight(worker, &job.id, "poison");
         let line = job::poisoned_line(&job.id, job.attempt);
         let _ = write_atomic(&self.result_path(&job.id), line.as_bytes());
         let _ = std::fs::remove_file(self.journal_path(&job.id));
@@ -440,11 +585,40 @@ impl Shared {
         self.settle(&job.id, line, false);
     }
 
+    /// Flight dumps are evidence, not service: count failures, never
+    /// let them take a worker down.
+    pub(crate) fn dump_flight(&self, worker: usize, id: &str, reason: &str) {
+        match self.flight.dump(worker, id, reason) {
+            Ok(_) => self.count("serve.flight.dumps"),
+            Err(_) => self.count("serve.flight.dump_errors"),
+        }
+    }
+
     fn settle(&self, id: &str, line: String, cacheable: bool) {
         let line: Arc<str> = line.into();
-        self.jobs.lock().unwrap().insert(id.to_string(), JobState::Done { line, cacheable });
+        let mut jobs = self.jobs.lock().unwrap();
+        // Close out the status row with the monitor's final numbers
+        // before the Running state (and its monitor) is replaced.
+        let (states, elapsed_ms) = match jobs.get(id) {
+            Some(JobState::Running(m)) => (
+                m.progress.sample().states,
+                u64::try_from(m.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            ),
+            _ => (0, 0),
+        };
+        jobs.insert(id.to_string(), JobState::Done { line, cacheable, states, elapsed_ms });
+        drop(jobs);
         self.done_cv.notify_all();
     }
+}
+
+/// Pulls the `"states"` count out of a stored result line, for the
+/// status listing (0 when absent or unparseable).
+fn line_states(line: &str) -> u64 {
+    weakord_obs::json::parse(line)
+        .ok()
+        .and_then(|v| v.get("states").and_then(|s| s.as_num()))
+        .map_or(0, |n| n as u64)
 }
 
 /// `true` when a durable result line read back from disk may serve

@@ -6,8 +6,9 @@
 //!
 //! | request `op` | reply `event`s |
 //! |---|---|
-//! | `submit`   | `accepted` then `done`, or `shed`, or `error` |
-//! | `status`   | `status` |
+//! | `submit`   | `accepted` (then `progress`…) then `done`, or `shed`, or `error` |
+//! | `status`   | `status` (gauges, counters, latency, per-job listing) |
+//! | `metrics`  | `metrics` (full registry dump, `key=value` text) |
 //! | `ping`     | `pong` |
 //! | `cancel`   | `ok` or `error` |
 //! | `shutdown` | `ok` (daemon then drains and exits) |
@@ -19,6 +20,13 @@
 //! through parse→unparse at admission, so every equivalent submission
 //! maps to the same job id (the PR 5 config fingerprint in hex) and
 //! hits the same cache entry.
+//!
+//! A `submit` may also set `"stream": true` to receive periodic
+//! `{"event":"progress",...}` lines between `accepted` and `done`.
+//! Streaming is a property of the *connection*, not the job: the flag
+//! lives outside [`JobSpec`], so it can never reach the accept journal,
+//! the config fingerprint, or the outcome cache, and the terminal
+//! result line is byte-identical with streaming on or off.
 //!
 //! Malformed input never panics and never wedges the connection: every
 //! parse failure maps to one structured `error` reply and the reader
@@ -42,9 +50,18 @@ pub const MACHINES: &[&str] =
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run (or join, or fetch from cache) a checking job.
-    Submit(JobSpec),
-    /// Metrics + latency snapshot.
+    Submit {
+        /// The validated, canonicalized job.
+        spec: JobSpec,
+        /// Emit `progress` events while the job runs (a per-connection
+        /// choice — deliberately *not* part of [`JobSpec`], so it never
+        /// reaches the journal, the job id, or the cache).
+        stream: bool,
+    },
+    /// Gauges + counters + latency snapshot + per-job listing.
     Status,
+    /// Full metrics-registry dump in `key=value` text exposition.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Cancel a queued or running job by id.
@@ -208,12 +225,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "cancel" => {
             let id = v.get("id").and_then(Json::as_str).ok_or("`cancel` needs a string `id`")?;
             Ok(Request::Cancel(id.to_string()))
         }
-        "submit" => Ok(Request::Submit(JobSpec::from_json(&v, true)?)),
+        "submit" => {
+            let stream = match v.get("stream") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("`stream` must be a boolean".to_string()),
+            };
+            Ok(Request::Submit { spec: JobSpec::from_json(&v, true)?, stream })
+        }
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -230,7 +255,8 @@ mod tests {
     #[test]
     fn submit_by_litmus_name_canonicalizes() {
         let r = parse_request(r#"{"op":"submit","machine":"tso","litmus":"mp"}"#).unwrap();
-        let Request::Submit(spec) = r else { panic!("not a submit") };
+        let Request::Submit { spec, stream } = r else { panic!("not a submit") };
+        assert!(!stream, "streaming is opt-in");
         assert_eq!(spec.machine, "tso");
         assert!(spec.program.starts_with("name "), "{}", spec.program);
         // Round-trips through the journal form.
@@ -244,13 +270,43 @@ mod tests {
         let text = unparse_program(&lit.program);
         let line =
             format!(r#"{{"op":"submit","machine":"sc","program":"{}"}}"#, json::escape(&text));
-        let Request::Submit(a) = parse_request(&line).unwrap() else { panic!() };
-        let Request::Submit(b) =
+        let Request::Submit { spec: a, .. } = parse_request(&line).unwrap() else { panic!() };
+        let Request::Submit { spec: b, .. } =
             parse_request(r#"{"op":"submit","machine":"sc","litmus":"mp"}"#).unwrap()
         else {
             panic!()
         };
         assert_eq!(a, b, "same job id no matter how the program arrived");
+    }
+
+    /// The cache-exclusion argument, at the type level: `stream` rides
+    /// the request, not the spec, so a streamed and an unstreamed
+    /// submit produce the *same* [`JobSpec`] — same journal line, same
+    /// config fingerprint, same cache entry.
+    #[test]
+    fn streaming_never_reaches_the_spec_or_the_journal() {
+        let Request::Submit { spec: on, stream: s_on } =
+            parse_request(r#"{"op":"submit","machine":"sc","litmus":"mp","stream":true}"#).unwrap()
+        else {
+            panic!()
+        };
+        let Request::Submit { spec: off, stream: s_off } =
+            parse_request(r#"{"op":"submit","machine":"sc","litmus":"mp","stream":false}"#)
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert!(s_on && !s_off);
+        assert_eq!(on, off, "stream must not differentiate specs");
+        assert_eq!(on.to_json_line(), off.to_json_line(), "journal lines identical");
+        assert!(!on.to_json_line().contains("stream"), "journals never mention streaming");
+        let err = parse_request(r#"{"op":"submit","litmus":"mp","stream":"yes"}"#).unwrap_err();
+        assert!(err.contains("stream"), "{err}");
+    }
+
+    #[test]
+    fn metrics_op_parses() {
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //! accepted job and every replayed job produces the byte-identical
 //! result file an uninterrupted run would have written.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::job;
 use crate::pool::{write_atomic, Admission, Shared};
@@ -53,6 +54,12 @@ pub struct ServeConfig {
     pub backoff_base_ms: u64,
     /// Honor the `test_panics`/`test_sleep_ms` fault-injection fields.
     pub test_hooks: bool,
+    /// Cadence of `progress` lines on streaming submits, milliseconds.
+    pub progress_every_ms: u64,
+    /// Watchdog: a running job whose state count has not moved for this
+    /// long gets its worker's flight ring dumped (`stall`), once per
+    /// stall episode.
+    pub stall_after_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +74,8 @@ impl Default for ServeConfig {
             retry_max: 3,
             backoff_base_ms: 10,
             test_hooks: false,
+            progress_every_ms: 200,
+            stall_after_ms: 30_000,
         }
     }
 }
@@ -78,11 +87,12 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Creates the state directory, recovers journaled jobs, binds the
-    /// socket, and spawns the pool and the accept loop.
+    /// socket, and spawns the pool, the watchdog, and the accept loop.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         for sub in ["jobs", "results", "ckpt"] {
             std::fs::create_dir_all(cfg.state_dir.join(sub))?;
@@ -93,16 +103,26 @@ impl Server {
         let shared = Arc::new(Shared::new(cfg));
         recover(&shared);
         let handles = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let s = shared.clone();
-                std::thread::spawn(move || s.worker_loop())
+                std::thread::spawn(move || s.worker_loop(i))
             })
             .collect();
+        let watchdog = {
+            let s = shared.clone();
+            std::thread::spawn(move || watchdog_loop(&s))
+        };
         let acceptor = {
             let s = shared.clone();
             std::thread::spawn(move || accept_loop(&listener, &s))
         };
-        Ok(Server { addr, shared, workers: handles, acceptor: Some(acceptor) })
+        Ok(Server {
+            addr,
+            shared,
+            workers: handles,
+            acceptor: Some(acceptor),
+            watchdog: Some(watchdog),
+        })
     }
 
     /// The actual bound address (resolves ephemeral ports).
@@ -136,7 +156,64 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
         self.shared.resolve_stranded();
+    }
+}
+
+/// The stall watchdog: samples every running job's progress counters a
+/// few times a second, folds the sample into the owning worker's flight
+/// ring (so a later crash dump shows the trajectory, not just
+/// lifecycle edges), and dumps the ring once per stall episode when a
+/// job's state count stops moving for `stall_after_ms`.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    struct StallTrack {
+        states: u64,
+        since: Instant,
+        dumped: bool,
+    }
+    let stall_after = Duration::from_millis(shared.cfg.stall_after_ms);
+    // Sample well inside the stall window (tests shrink it to tens of
+    // milliseconds), but never busier than 10ms or lazier than 100ms.
+    let tick = Duration::from_millis((shared.cfg.stall_after_ms / 4).clamp(10, 100));
+    let mut tracks: HashMap<String, StallTrack> = HashMap::new();
+    while !shared.shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        let running = shared.running_monitors();
+        let mut seen: Vec<&str> = Vec::with_capacity(running.len());
+        for (id, m) in &running {
+            let p = m.progress.sample();
+            shared.flight.record(
+                m.worker,
+                "progress",
+                [
+                    ("states", i64::try_from(p.states).unwrap_or(i64::MAX)),
+                    ("frontier", i64::try_from(p.frontier).unwrap_or(i64::MAX)),
+                ],
+            );
+            let now = Instant::now();
+            let t = tracks.entry(id.clone()).or_insert(StallTrack {
+                states: p.states,
+                since: now,
+                dumped: false,
+            });
+            if p.states != t.states {
+                t.states = p.states;
+                t.since = now;
+                t.dumped = false;
+            } else if !t.dumped && now.duration_since(t.since) >= stall_after {
+                shared.flight.record(m.worker, "stall", [("", 0), ("", 0)]);
+                shared.dump_flight(m.worker, id, "stall");
+                shared.metrics.lock().unwrap().counter("serve.jobs.stalled", 1);
+                t.dumped = true;
+            }
+        }
+        for (id, _) in &running {
+            seen.push(id);
+        }
+        tracks.retain(|id, _| seen.contains(&id.as_str()));
+        std::thread::sleep(tick);
     }
 }
 
@@ -254,6 +331,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
             }
             Ok(Request::Ping) => writeln!(writer, "{{\"event\":\"pong\"}}")?,
             Ok(Request::Status) => writeln!(writer, "{}", status_line(shared))?,
+            Ok(Request::Metrics) => writeln!(writer, "{}", metrics_line(shared))?,
             Ok(Request::Cancel(id)) => match shared.cancel(&id) {
                 Some(what) => writeln!(
                     writer,
@@ -278,7 +356,9 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
                 }
                 return Ok(());
             }
-            Ok(Request::Submit(spec)) => handle_submit(&mut writer, shared, spec)?,
+            Ok(Request::Submit { spec, stream }) => {
+                handle_submit(&mut writer, shared, spec, stream)?;
+            }
         }
     }
 }
@@ -287,6 +367,7 @@ fn handle_submit(
     writer: &mut TcpStream,
     shared: &Arc<Shared>,
     spec: JobSpec,
+    stream: bool,
 ) -> std::io::Result<()> {
     if (spec.test_panics > 0 || spec.test_sleep_ms > 0) && !shared.cfg.test_hooks {
         writeln!(
@@ -328,15 +409,74 @@ fn handle_submit(
                 "{{\"event\":\"accepted\",\"id\":\"{id}\",\"joined\":{joined},\"queue_depth\":{depth}}}"
             )?;
             writer.flush()?;
-            let line = shared.wait_done(&id);
+            let line = if stream {
+                stream_until_done(writer, shared, &id)?
+            } else {
+                shared.wait_done(&id)
+            };
             writeln!(writer, "{{\"event\":\"done\",\"cached\":false,\"result\":{line}}}")
         }
     }
 }
 
-/// The `status` reply: queue/running gauges, all counters, and the
-/// latency histogram's quantile summary — the JSONL form of the per-job
-/// metrics stream.
+/// Counter floor carried across one connection's progress lines, so the
+/// stream a client sees is monotone even when the daemon retries a
+/// panicked attempt from scratch underneath it.
+#[derive(Default)]
+struct StreamFloor {
+    attempt: u64,
+    states: u64,
+    dedup_hits: u64,
+    pruned_arcs: u64,
+}
+
+/// Raises `floor` to `v` if needed and returns the clamped value.
+fn bump(floor: &mut u64, v: u64) -> u64 {
+    *floor = (*floor).max(v);
+    *floor
+}
+
+/// The streaming leg of a submit: between `accepted` and `done`, emit
+/// one `progress` line per `progress_every_ms` until the job settles.
+/// Purely observational — a slow or vanished reader errors out of this
+/// connection's thread and the job runs on for every other submitter.
+fn stream_until_done(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    id: &str,
+) -> std::io::Result<Arc<str>> {
+    let every = Duration::from_millis(shared.cfg.progress_every_ms.max(1));
+    let accepted_at = Instant::now();
+    let mut floor = StreamFloor::default();
+    let mut seq = 0u64;
+    loop {
+        if let Some(line) = shared.wait_done_for(id, every) {
+            return Ok(line);
+        }
+        seq += 1;
+        let (phase, attempt, p) = match shared.monitor(id) {
+            Some(m) => ("running", u64::from(m.attempt), m.progress.sample()),
+            None => ("queued", 0, Default::default()),
+        };
+        let attempt = bump(&mut floor.attempt, attempt);
+        let states = bump(&mut floor.states, p.states);
+        let dedup_hits = bump(&mut floor.dedup_hits, p.dedup_hits);
+        let pruned_arcs = bump(&mut floor.pruned_arcs, p.pruned_arcs);
+        let elapsed_ms = u64::try_from(accepted_at.elapsed().as_millis()).unwrap_or(u64::MAX);
+        writeln!(
+            writer,
+            "{{\"event\":\"progress\",\"id\":\"{id}\",\"seq\":{seq},\"phase\":\"{phase}\",\"attempt\":{attempt},\"states\":{states},\"frontier\":{},\"dedup_hits\":{dedup_hits},\"pruned_arcs\":{pruned_arcs},\"states_per_sec\":{:.1},\"table_occupancy\":{:.4},\"elapsed_ms\":{elapsed_ms}}}",
+            p.frontier,
+            p.states_per_sec(),
+            p.table_occupancy(),
+        )?;
+        writer.flush()?;
+    }
+}
+
+/// The `status` reply: daemon gauges (queue, running, uptime), all
+/// counters, the latency histogram's quantile summary, and one row per
+/// known job (id-sorted, so the listing is deterministic).
 fn status_line(shared: &Arc<Shared>) -> String {
     let (p50, p95, p99, count, mean) = {
         let h = shared.latency.lock().unwrap();
@@ -350,10 +490,42 @@ fn status_line(shared: &Arc<Shared>) -> String {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let jobs: String = shared
+        .jobs_overview()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"phase\":\"{}\",\"states\":{},\"elapsed_ms\":{}}}",
+                json::escape(&r.id),
+                r.phase,
+                r.states,
+                r.elapsed_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
     format!(
-        "{{\"event\":\"status\",\"queue_depth\":{},\"running\":{},\"counters\":{{{counters}}},\"latency_us\":{{\"count\":{count},\"mean\":{mean:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}}}",
+        "{{\"event\":\"status\",\"queue_depth\":{},\"running\":{},\"uptime_ms\":{uptime_ms},\"counters\":{{{counters}}},\"latency_us\":{{\"count\":{count},\"mean\":{mean:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}},\"jobs\":[{jobs}]}}",
         shared.queue_depth(),
         shared.running_count(),
+    )
+}
+
+/// The `metrics` reply: the full [`weakord_obs::MetricsRegistry`]
+/// snapshot — every counter, the latency distribution folded in as
+/// `serve.latency_us.*`, and point-in-time daemon gauges — rendered as
+/// the registry's sorted `key=value` text exposition and shipped inside
+/// one JSON line (the protocol's one-line-per-reply invariant).
+fn metrics_line(shared: &Arc<Shared>) -> String {
+    let mut reg = shared.metrics.lock().unwrap().clone();
+    shared.latency.lock().unwrap().export_metrics("serve.latency_us", &mut reg);
+    reg.gauge("serve.queue_depth", shared.queue_depth() as f64);
+    reg.gauge("serve.running", shared.running_count() as f64);
+    reg.gauge("serve.uptime_ms", shared.started.elapsed().as_millis() as f64);
+    format!(
+        "{{\"event\":\"metrics\",\"format\":\"kv\",\"dump\":\"{}\"}}",
+        json::escape(&reg.dump())
     )
 }
 

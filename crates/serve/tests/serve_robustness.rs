@@ -154,6 +154,49 @@ fn killed_and_resumed_results_are_byte_identical() {
     let _ = std::fs::remove_dir_all(&killed_dir);
 }
 
+/// PR 9 acceptance: streaming is pure observation. A daemon serving
+/// `"stream": true` submits (at an aggressive 5ms cadence) produces
+/// `done` reply lines and durable result files byte-identical to a
+/// daemon serving the same jobs without streaming.
+#[test]
+fn result_lines_are_byte_identical_with_streaming_on_and_off() {
+    let jobs: &[(&str, &str, usize)] =
+        &[("mp", "sc", 100_000), ("iriw", "tso", 100_000), ("lb", "pso", 100_000)];
+    let dir_off = fresh_dir("stream-off");
+    let dir_on = fresh_dir("stream-on");
+    let server_off = Server::start(cfg_for(dir_off.clone())).unwrap();
+    let server_on =
+        Server::start(ServeConfig { progress_every_ms: 5, ..cfg_for(dir_on.clone()) }).unwrap();
+    let mut off = Client::connect(server_off.addr()).unwrap();
+    let mut on = Client::connect(server_on.addr()).unwrap();
+    let mut saw_progress = false;
+    for (l, m, cap) in jobs {
+        let plain = off.submit(&submit_line(l, m, *cap)).unwrap();
+        let streamed = on
+            .submit(&format!(
+                r#"{{"op":"submit","machine":"{m}","litmus":"{l}","max_states":{cap},"stream":true}}"#
+            ))
+            .unwrap();
+        assert!(matches!(plain.kind, SubmitKind::Done { cached: false }), "{plain:?}");
+        assert!(matches!(streamed.kind, SubmitKind::Done { cached: false }), "{streamed:?}");
+        assert_eq!(plain.line, streamed.line, "{l}/{m}: done lines must be byte-identical");
+        saw_progress |= streamed.progress.iter().any(|p| p.contains(r#""event":"progress""#));
+        let spec = spec_for(l, m, *cap);
+        let (_, id) = job_identity(&spec, 1).unwrap();
+        let file = format!("{id}.json");
+        assert_eq!(
+            std::fs::read_to_string(dir_off.join("results").join(&file)).unwrap(),
+            std::fs::read_to_string(dir_on.join("results").join(&file)).unwrap(),
+            "{l}/{m}: durable results must be byte-identical"
+        );
+    }
+    assert!(saw_progress, "at least one job must actually have streamed progress lines");
+    server_off.shutdown();
+    server_on.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
 #[test]
 fn the_outcome_cache_serves_warm_and_cold_hits() {
     let dir = fresh_dir("cache");

@@ -6,7 +6,8 @@
 //! weakord explore <name|file>    explore one machine with checkpoint/resume
 //!   crash tolerance and witness shrinking; `weakord explore --help` is the
 //!   authoritative option list (--machine --reduce --threads --max-states
-//!   --checkpoint <dir> --checkpoint-every N --resume --abort-after N --shrink)
+//!   --checkpoint <dir> --checkpoint-every N --resume --abort-after N --shrink
+//!   --progress)
 //! weakord litmus <name> --reduce              same, under partial-order reduction
 //! weakord litmus <name> --witness <machine>   print a forbidden-outcome interleaving
 //! weakord corpus [opts]          generated litmus-shape corpus: list, emit,
@@ -38,9 +39,13 @@
 //!   retry-with-backoff panic isolation, and a fingerprint-keyed cache
 //!   opts: --addr HOST:PORT --state-dir <dir> --workers N --job-threads N
 //!         --max-queue N --checkpoint-every N --retry-max N --test-hooks
+//!         --progress-every-ms N --stall-after-ms N
 //! weakord submit [opts] <request...>   client for a serve daemon: send one
 //!   JSONL request (or build a submit from --litmus/--machine flags) and
-//!   print every reply line
+//!   print every reply line; --stream adds live progress lines, --metrics
+//!   prints the daemon's key=value metrics exposition
+//! weakord watch [opts]           live refreshing table of a serve daemon's
+//!   jobs and gauges (--addr/--state-dir --interval MS --once)
 //!
 //! Every subcommand accepts --help.
 //! ```
@@ -54,9 +59,10 @@ use weakord::mc::machines::{
     WoDef2Machine, WriteBufferMachine,
 };
 use weakord::mc::{
-    check_program_drf, explore, explore_checkpointed, explore_reduced,
-    explore_reduced_checkpointed, find_witness, resume_exploration, resume_reduced, shrink_witness,
-    CheckpointCfg, Exploration, Limits, Machine, TraceLimits,
+    check_program_drf, explore, explore_checkpointed, explore_checkpointed_with_progress,
+    explore_reduced, explore_reduced_checkpointed, explore_with_progress, find_witness,
+    resume_exploration, resume_reduced, resume_with_progress, shrink_witness, CancelToken,
+    CheckpointCfg, Exploration, Limits, Machine, ProgressSink, TraceLimits,
 };
 use weakord::obs::{chrome_trace, jsonl, Event, MemTracer, MetricsRegistry, Track};
 use weakord::progs::delay::delay_set;
@@ -69,7 +75,7 @@ use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
 
 const USAGE: &str =
-    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults|serve|submit> …\n\
+    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults|serve|submit|watch> …\n\
                      (every subcommand accepts --help; see the README)";
 
 fn main() {
@@ -90,6 +96,7 @@ fn main() {
         Some((&"faults", rest)) => cmd_faults(rest),
         Some((&"serve", rest)) => cmd_serve(rest),
         Some((&"submit", rest)) => cmd_submit(rest),
+        Some((&"watch", rest)) => cmd_watch(rest),
         Some((&"--help" | &"-h", _)) => println!("{USAGE}"),
         _ => {
             eprintln!("{USAGE}");
@@ -219,6 +226,8 @@ const EXPLORE_USAGE: &str = "usage: weakord explore <litmus-name|file.litmus> [o
  \u{20}      --resume                 continue from the checkpoint in <dir>\n\
  \u{20}      --abort-after N          suspend after N autosaves (kill/resume testing)\n\
  \u{20}      --shrink                 delta-debug a minimal non-SC witness after the run\n\
+ \u{20}      --progress               heartbeat lines on stderr while exploring\n\
+ \u{20}                               (parallel engine only; ignored with --reduce)\n\
  \u{20}      --trace out.json         Chrome trace with checkpoint/shrink spans\n\
  \u{20}      --trace-jsonl out.jsonl  line-delimited event log\n\
  \u{20}      --metrics                dump the metrics registry (to stderr)\n\
@@ -292,10 +301,51 @@ fn parse_bytes(s: &str) -> Option<usize> {
     digits.parse::<usize>().ok()?.checked_mul(mult)
 }
 
+/// Spawns the `--progress` heartbeat: a sink the engine publishes into
+/// plus a thread that prints a stderr line whenever a fresh sample
+/// lands. Returns the stop flag and handle to join after the run.
+fn spawn_heartbeat(
+) -> (ProgressSink, std::sync::Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<()>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let sink = ProgressSink::with_interval(std::time::Duration::from_millis(500));
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let (s, flag) = (sink.clone(), stop.clone());
+    let handle = std::thread::spawn(move || {
+        let mut last_seq = 0;
+        while !flag.load(Ordering::Relaxed) {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            let p = s.sample();
+            if p.seq != last_seq {
+                last_seq = p.seq;
+                eprintln!(
+                    "progress: {} states, frontier {}, {:.0} states/s, {:.1}s",
+                    p.states,
+                    p.frontier,
+                    p.states_per_sec(),
+                    p.elapsed.as_secs_f64()
+                );
+            }
+        }
+    });
+    (sink, stop, handle)
+}
+
 fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str]) {
     let reduce = rest.contains(&"--reduce");
     let resume = rest.contains(&"--resume");
     let mut events: Vec<Event> = Vec::new();
+    let heartbeat = if rest.contains(&"--progress") {
+        if reduce {
+            // The sleep-set engine has no worker safepoints to sample.
+            eprintln!("note: --progress is not supported with --reduce; ignoring");
+            None
+        } else {
+            Some(spawn_heartbeat())
+        }
+    } else {
+        None
+    };
+    let sink = heartbeat.as_ref().map(|(s, _, _)| s);
     let ex = match flag(rest, "--checkpoint") {
         Some(dir) => {
             let mut cfg = CheckpointCfg::new(dir);
@@ -304,11 +354,16 @@ fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str])
             }
             cfg.abort_after = flag(rest, "--abort-after")
                 .map(|n| n.parse().expect("--abort-after takes a number"));
-            let result = match (resume, reduce) {
-                (false, false) => explore_checkpointed(m, prog, limits, &cfg),
-                (false, true) => explore_reduced_checkpointed(m, prog, limits, &cfg),
-                (true, false) => resume_exploration(m, prog, limits, &cfg),
-                (true, true) => resume_reduced(m, prog, limits, &cfg),
+            let cancel = CancelToken::new();
+            let result = match (resume, reduce, sink) {
+                (false, false, Some(s)) => {
+                    explore_checkpointed_with_progress(m, prog, limits, &cfg, &cancel, s)
+                }
+                (false, false, None) => explore_checkpointed(m, prog, limits, &cfg),
+                (false, true, _) => explore_reduced_checkpointed(m, prog, limits, &cfg),
+                (true, false, Some(s)) => resume_with_progress(m, prog, limits, &cfg, &cancel, s),
+                (true, false, None) => resume_exploration(m, prog, limits, &cfg),
+                (true, true, _) => resume_reduced(m, prog, limits, &cfg),
             };
             let ex = result.unwrap_or_else(|e| {
                 eprintln!("error: {e}");
@@ -330,8 +385,22 @@ fn explore_cli<M: Machine>(m: &M, prog: &Program, limits: Limits, rest: &[&str])
             ex
         }
         None if reduce => explore_reduced(m, prog, limits),
-        None => explore(m, prog, limits),
+        None => match sink {
+            Some(s) => explore_with_progress(m, prog, limits, None, s),
+            None => explore(m, prog, limits),
+        },
     };
+    if let Some((s, stop, handle)) = heartbeat {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+        let p = s.sample();
+        eprintln!(
+            "progress: finished — {} states in {:.1}s ({:.0} states/s)",
+            p.states,
+            p.elapsed.as_secs_f64(),
+            p.states_per_sec()
+        );
+    }
     // Semantic results on stdout, deterministically ordered (BTreeSet),
     // so `diff` between a clean and a killed-and-resumed run is empty.
     println!(
@@ -1028,9 +1097,16 @@ const SERVE_USAGE: &str = "usage: weakord serve [opts]\n\
  \u{20}                               (default 3)\n\
  \u{20}      --test-hooks             honor test_panics/test_sleep_ms fault\n\
  \u{20}                               injection in submits (tests/CI only)\n\
+ \u{20}      --progress-every-ms N    cadence of progress lines on streaming\n\
+ \u{20}                               submits (default 200)\n\
+ \u{20}      --stall-after-ms N       watchdog: dump a running job's flight\n\
+ \u{20}                               ring after N ms without state-count\n\
+ \u{20}                               movement (default 30000)\n\
   The daemon accepts one JSON request per line (see `weakord submit --help`)\n\
   and exits on the `shutdown` op. kill -9 is always safe: accepted jobs are\n\
-  journaled and resume byte-identically on the next start.";
+  journaled and resume byte-identically on the next start. On worker panic,\n\
+  poison, or stall the last-K-events flight ring is dumped under\n\
+  <state-dir>/flight/.";
 
 /// `weakord serve`: run the checking daemon in the foreground.
 fn cmd_serve(rest: &[&str]) {
@@ -1056,6 +1132,8 @@ fn cmd_serve(rest: &[&str]) {
     cfg.ckpt_every = num("--checkpoint-every", cfg.ckpt_every);
     cfg.retry_max = num("--retry-max", cfg.retry_max as usize) as u32;
     cfg.test_hooks = rest.contains(&"--test-hooks");
+    cfg.progress_every_ms = num("--progress-every-ms", cfg.progress_every_ms as usize) as u64;
+    cfg.stall_after_ms = num("--stall-after-ms", cfg.stall_after_ms as usize) as u64;
     if let Err(e) = weakord::serve::run(cfg) {
         eprintln!("serve failed: {e}");
         exit(1);
@@ -1071,7 +1149,10 @@ const SUBMIT_USAGE: &str = "usage: weakord submit --addr HOST:PORT [request...]\
  \u{20}      --machine M        machine for --litmus (default wo-def2)\n\
  \u{20}      --max-states N     state cap for --litmus\n\
  \u{20}      --reduce           partial-order reduction for --litmus\n\
+ \u{20}      --stream           ask for live progress lines on submits and\n\
+ \u{20}                         print them as they arrive\n\
  \u{20}      --status           send a status request\n\
+ \u{20}      --metrics          print the daemon's key=value metrics exposition\n\
  \u{20}      --shutdown         ask the daemon to drain and exit\n\
  \u{20}Any remaining argument is sent verbatim as one raw JSONL request line.";
 
@@ -1101,11 +1182,17 @@ fn cmd_submit(rest: &[&str]) {
         if rest.contains(&"--reduce") {
             req.push_str(",\"reduce\":true");
         }
+        if rest.contains(&"--stream") {
+            req.push_str(",\"stream\":true");
+        }
         req.push('}');
         requests.push(req);
     }
     if rest.contains(&"--status") {
         requests.push("{\"op\":\"status\"}".to_string());
+    }
+    if rest.contains(&"--metrics") {
+        requests.push("{\"op\":\"metrics\"}".to_string());
     }
     if rest.contains(&"--shutdown") {
         requests.push("{\"op\":\"shutdown\"}".to_string());
@@ -1119,7 +1206,7 @@ fn cmd_submit(rest: &[&str]) {
         }
         match *a {
             "--addr" | "--state-dir" | "--litmus" | "--machine" | "--max-states" => skip = true,
-            "--reduce" | "--status" | "--shutdown" => {}
+            "--reduce" | "--stream" | "--status" | "--metrics" | "--shutdown" => {}
             raw => {
                 let _ = i;
                 requests.push(raw.to_string());
@@ -1134,11 +1221,10 @@ fn cmd_submit(rest: &[&str]) {
     for req in requests {
         let is_submit = req.contains("\"op\":\"submit\"");
         if is_submit {
-            match client.submit(&req) {
+            // Print non-terminal lines as they arrive — for a streaming
+            // submit that *is* the point.
+            match client.submit_streaming(&req, |line| println!("{line}")) {
                 Ok(reply) => {
-                    for line in &reply.progress {
-                        println!("{line}");
-                    }
                     println!("{}", reply.line);
                     if !matches!(reply.kind, weakord::serve::SubmitKind::Done { .. }) {
                         failed = true;
@@ -1151,6 +1237,7 @@ fn cmd_submit(rest: &[&str]) {
             }
         } else {
             match client.request(&req) {
+                Ok(line) if req.contains("\"op\":\"metrics\"") => print_metrics_reply(&line),
                 Ok(line) => println!("{line}"),
                 Err(e) => {
                     eprintln!("request failed: {e}");
@@ -1162,4 +1249,114 @@ fn cmd_submit(rest: &[&str]) {
     if failed {
         exit(1);
     }
+}
+
+/// Unwraps a `metrics` reply into its key=value text exposition (falls
+/// back to the raw line on anything unexpected).
+fn print_metrics_reply(line: &str) {
+    use weakord::obs::json::{self, Json};
+    match json::parse(line)
+        .ok()
+        .and_then(|v| v.get("dump").and_then(Json::as_str).map(String::from))
+    {
+        Some(dump) => print!("{dump}"),
+        None => println!("{line}"),
+    }
+}
+
+const WATCH_USAGE: &str = "usage: weakord watch [opts]\n\
+ \u{20}Live refreshing table of a serve daemon's jobs and gauges, built from\n\
+ \u{20}the `status` op.\n\
+ \u{20}opts: --addr HOST:PORT   daemon address (or --state-dir <dir> to read\n\
+ \u{20}      --state-dir <dir>  the address the daemon wrote at startup)\n\
+ \u{20}      --interval MS      refresh period in milliseconds (default 1000)\n\
+ \u{20}      --once             print one snapshot and exit (no screen clear)";
+
+/// `weakord watch`: poll `status` and render a refreshing table.
+fn cmd_watch(rest: &[&str]) {
+    maybe_help(rest, WATCH_USAGE);
+    let addr = flag(rest, "--addr").or_else(|| {
+        flag(rest, "--state-dir")
+            .and_then(|d| std::fs::read_to_string(std::path::Path::new(&d).join("addr")).ok())
+    });
+    let Some(addr) = addr else {
+        eprintln!("{WATCH_USAGE}");
+        exit(2);
+    };
+    let addr = addr.trim().to_string();
+    let once = rest.contains(&"--once");
+    let interval = std::time::Duration::from_millis(flag(rest, "--interval").map_or(1000, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--interval takes milliseconds");
+            exit(2);
+        })
+    }));
+    let mut client: Option<weakord::serve::Client> = None;
+    loop {
+        if client.is_none() {
+            client = weakord::serve::Client::connect(&addr).ok();
+        }
+        let status = client.as_mut().and_then(|c| c.request("{\"op\":\"status\"}").ok());
+        match status {
+            Some(line) => render_status(&addr, &line, !once),
+            None => {
+                // Daemon gone (or not yet up): reconnect next tick.
+                client = None;
+                if once {
+                    eprintln!("cannot reach daemon at {addr}");
+                    exit(1);
+                }
+                println!("waiting for daemon at {addr} …");
+            }
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One `watch` frame: gauges header plus the per-job table.
+fn render_status(addr: &str, line: &str, clear: bool) {
+    use weakord::obs::json::{self, Json};
+    let Ok(v) = json::parse(line) else {
+        println!("{line}");
+        return;
+    };
+    if clear {
+        // ANSI clear + home, the classic `watch(1)` refresh.
+        print!("\u{1b}[2J\u{1b}[H");
+    }
+    let num = |k: &str| v.get(k).and_then(Json::as_num).unwrap_or(0.0);
+    println!(
+        "weakord daemon {addr} — up {:.1}s  queue {}  running {}",
+        num("uptime_ms") / 1000.0,
+        num("queue_depth") as u64,
+        num("running") as u64
+    );
+    if let Some(l) = v.get("latency_us") {
+        let ln = |k: &str| l.get(k).and_then(Json::as_num).unwrap_or(0.0);
+        println!(
+            "latency µs: count {}  mean {:.0}  p50 {}  p95 {}  p99 {}",
+            ln("count") as u64,
+            ln("mean"),
+            ln("p50") as u64,
+            ln("p95") as u64,
+            ln("p99") as u64
+        );
+    }
+    println!("{:<18} {:<8} {:>12} {:>12}", "JOB", "PHASE", "STATES", "ELAPSED-MS");
+    match v.get("jobs").and_then(Json::as_arr) {
+        Some(jobs) if !jobs.is_empty() => {
+            for j in jobs {
+                let id = j.get("id").and_then(Json::as_str).unwrap_or("?");
+                let phase = j.get("phase").and_then(Json::as_str).unwrap_or("?");
+                let jn = |k: &str| j.get(k).and_then(Json::as_num).unwrap_or(0.0) as u64;
+                println!("{:<18} {:<8} {:>12} {:>12}", id, phase, jn("states"), jn("elapsed_ms"));
+            }
+        }
+        _ => println!("  (no jobs yet)"),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
 }

@@ -21,9 +21,11 @@ use std::cell::Cell;
 use std::sync::Mutex;
 
 use weakord::coherence::{CoherentMachine, Config, Policy};
+use weakord::mc::machines::WoDef1Machine;
+use weakord::mc::{explore, explore_with_progress, Limits, ProgressSink};
 use weakord::obs::MemTracer;
 use weakord::progs::workloads::{fig3_scenario, ticket_lock, Fig3Params, SpinlockParams};
-use weakord::progs::Program;
+use weakord::progs::{litmus, Program};
 
 struct CountingAlloc;
 
@@ -113,6 +115,51 @@ fn run_recording(prog: &Program, cfg: Config) -> (u64, usize) {
         allocs_during(|| CoherentMachine::with_tracer(prog, cfg, MemTracer::new()).run_traced());
     r.expect("run terminates");
     (n, tracer.into_events().len())
+}
+
+/// Allocations of one single-threaded exploration (`threads: 1` runs
+/// in place, so the per-thread counter sees every engine allocation).
+fn explore_allocs(prog: &Program, sink: Option<&ProgressSink>) -> u64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let limits = Limits { threads: 1, ..Limits::default() };
+            let (n, ex) = allocs_during(|| match sink {
+                Some(s) => explore_with_progress(&WoDef1Machine, prog, limits, None, s),
+                None => explore(&WoDef1Machine, prog, limits),
+            });
+            assert!(ex.states > 0);
+            n
+        })
+        .min()
+        .unwrap()
+}
+
+/// The progress plane's core promise: sampling is free. An exploration
+/// with a [`ProgressSink`] attached — publishing on *every* progress
+/// check (interval zero) — must allocate exactly like one without; the
+/// publish path is atomic stores into a pre-allocated shared block.
+/// (With no sink attached the check is a single untaken `Option`
+/// branch, so it is covered a fortiori by the same equality.)
+#[test]
+fn progress_sampling_allocates_nothing_extra() {
+    let prog = litmus::all().into_iter().find(|l| l.name == "iriw").unwrap().program;
+    // Warm-up, then a determinism guard on the baseline itself.
+    explore_allocs(&prog, None);
+    let baseline_a = explore_allocs(&prog, None);
+    let baseline_b = explore_allocs(&prog, None);
+    assert_eq!(
+        baseline_a, baseline_b,
+        "single-threaded exploration should allocate deterministically"
+    );
+    let sink = ProgressSink::with_interval(std::time::Duration::ZERO);
+    let attached = explore_allocs(&prog, Some(&sink));
+    assert_eq!(
+        attached, baseline_a,
+        "an attached progress sink must not allocate: publishing is atomic stores only"
+    );
+    let last = sink.sample();
+    assert!(last.seq > 0, "the sink did publish (the equality above is not vacuous)");
+    assert!(last.states > 0);
 }
 
 #[test]
