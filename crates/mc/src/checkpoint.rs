@@ -50,6 +50,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use weakord_core::{Loc, OpKind, ProcId, Value};
@@ -69,8 +70,75 @@ const BODY_AT: usize = 16;
 /// File name inside the checkpoint directory.
 const FILE_NAME: &str = "weakord.ckpt";
 
+/// The IO seam every durable checkpoint goes through.
+///
+/// The engines never touch the filesystem directly: `save`/`load`
+/// route through this trait, so a caller can substitute a faulty or
+/// instrumented store (the serve crate's `Vfs` adapters do exactly
+/// that) without the engines knowing. The contract is small on
+/// purpose — one crash-safe publish, one whole-file read, one
+/// best-effort delete — so that every implementation can uphold it
+/// under fault injection.
+pub trait CkptStore: Send + Sync {
+    /// Atomically publish `bytes` at `path`: after `Ok(())`, a crash
+    /// at any later instant must surface either these bytes or a
+    /// previously published version, never a torn mix.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Remove the file at `path` (used to demote a corrupt checkpoint
+    /// to a fresh start).
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+}
+
+/// Default [`CkptStore`]: the real filesystem, with the audited fsync
+/// discipline. The temp file is `sync_all`'d *before* the rename (so
+/// the rename never publishes bytes that have not hit the platter)
+/// and the parent directory is fsynced *after* it (so the rename
+/// itself — a directory-entry update — survives a crash too).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiskStore;
+
+impl DiskStore {
+    /// Fsync `dir` so a just-renamed directory entry is durable.
+    /// Returns `Ok(())` on platforms/filesystems where opening a
+    /// directory for sync is not supported.
+    pub fn sync_parent_dir(dir: &Path) -> std::io::Result<()> {
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            // Not being able to open the directory (e.g. exotic
+            // filesystems) must not fail the write that already
+            // landed; the rename is still atomic, just not yet
+            // guaranteed durable.
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+impl CkptStore for DiskStore {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let parent = path.parent().unwrap_or_else(|| Path::new("."));
+        std::fs::create_dir_all(parent)?;
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        DiskStore::sync_parent_dir(parent)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
 /// How an exploration persists and restores its progress.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct CheckpointCfg {
     /// Directory the checkpoint file lives in (created if missing).
     pub dir: PathBuf,
@@ -84,22 +152,57 @@ pub struct CheckpointCfg {
     /// equivalence harness injects a deterministic "crash" exactly at
     /// a checkpoint boundary.
     pub abort_after: Option<u32>,
+    /// The store checkpoint IO goes through; `None` means the real
+    /// filesystem ([`DiskStore`]). Ignored by `Debug`/`PartialEq`:
+    /// two configs that checkpoint the same file with the same cadence
+    /// describe the same run, whatever disk they land on.
+    pub store: Option<Arc<dyn CkptStore>>,
 }
+
+impl fmt::Debug for CheckpointCfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointCfg")
+            .field("dir", &self.dir)
+            .field("every", &self.every)
+            .field("abort_after", &self.abort_after)
+            .field("store", &self.store.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
+}
+
+impl PartialEq for CheckpointCfg {
+    fn eq(&self, other: &Self) -> bool {
+        self.dir == other.dir && self.every == other.every && self.abort_after == other.abort_after
+    }
+}
+
+impl Eq for CheckpointCfg {}
 
 impl CheckpointCfg {
     /// Checkpoint into `dir` every 10 000 admitted states.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        CheckpointCfg { dir: dir.into(), every: 10_000, abort_after: None }
+        CheckpointCfg { dir: dir.into(), every: 10_000, abort_after: None, store: None }
     }
 
     /// Same, with an explicit autosave period.
     pub fn every(dir: impl Into<PathBuf>, every: usize) -> Self {
-        CheckpointCfg { dir: dir.into(), every, abort_after: None }
+        CheckpointCfg { dir: dir.into(), every, abort_after: None, store: None }
+    }
+
+    /// Route this config's checkpoint IO through `store`.
+    pub fn with_store(mut self, store: Arc<dyn CkptStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Path of the checkpoint file.
     pub fn file(&self) -> PathBuf {
         self.dir.join(FILE_NAME)
+    }
+
+    /// The store this config's IO goes through.
+    pub(crate) fn store(&self) -> Arc<dyn CkptStore> {
+        self.store.clone().unwrap_or_else(|| Arc::new(DiskStore))
     }
 }
 
@@ -855,9 +958,11 @@ impl<S> Snapshot<S> {
 // File I/O.
 // ---------------------------------------------------------------------
 
-/// Serializes `snap` and atomically publishes it at
-/// `cfg.file()` (temp file + rename: a crash mid-write leaves the
-/// previous checkpoint intact). Creates the directory if needed.
+/// Serializes `snap` and atomically publishes it at `cfg.file()`
+/// through the config's [`CkptStore`] (temp file + fsync + rename +
+/// parent-directory fsync on the default [`DiskStore`]: a crash
+/// mid-write leaves the previous checkpoint intact, and a crash
+/// after the write cannot lose it). Creates the directory if needed.
 pub fn save<S: Codec>(
     cfg: &CheckpointCfg,
     config_fp: u64,
@@ -873,24 +978,26 @@ pub fn save<S: Codec>(
     let sum = fnv1a(&bytes[BODY_AT..]);
     bytes[8..16].copy_from_slice(&sum.to_le_bytes());
 
-    std::fs::create_dir_all(&cfg.dir).map_err(|e| CheckpointError::Io(cfg.dir.clone(), e))?;
     let path = cfg.file();
-    let tmp = cfg.dir.join(format!("{FILE_NAME}.tmp"));
-    let write = |p: &Path| -> std::io::Result<()> {
-        let mut f = std::fs::File::create(p)?;
-        f.write_all(&bytes)?;
-        f.sync_all()
-    };
-    write(&tmp).map_err(|e| CheckpointError::Io(tmp.clone(), e))?;
-    std::fs::rename(&tmp, &path).map_err(|e| CheckpointError::Io(path.clone(), e))?;
-    Ok(())
+    cfg.store().write_atomic(&path, &bytes).map_err(|e| CheckpointError::Io(path, e))
 }
 
 /// Loads, verifies (magic, version, checksum, configuration
 /// fingerprint), and decodes the checkpoint at `cfg.file()`.
 pub fn load<S: Codec>(cfg: &CheckpointCfg, config_fp: u64) -> Result<Snapshot<S>, CheckpointError> {
     let path = cfg.file();
-    let bytes = std::fs::read(&path).map_err(|e| CheckpointError::Io(path.clone(), e))?;
+    let bytes = cfg.store().read(&path).map_err(|e| CheckpointError::Io(path.clone(), e))?;
+    let mut r = verify_header(&bytes)?;
+    let stored_fp = u64::decode(&mut r).map_err(|e| CheckpointError::Malformed(e.0))?;
+    if stored_fp != config_fp {
+        return Err(CheckpointError::ConfigMismatch { expected: config_fp, found: stored_fp });
+    }
+    Snapshot::decode(&mut r).map_err(|e| CheckpointError::Malformed(e.0))
+}
+
+/// Checks magic, version, and checksum; on success returns a reader
+/// positioned at the checksummed body (fingerprint first).
+fn verify_header(bytes: &[u8]) -> Result<Reader<'_>, CheckpointError> {
     if bytes.len() < BODY_AT || &bytes[..6] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
@@ -902,12 +1009,21 @@ pub fn load<S: Codec>(cfg: &CheckpointCfg, config_fp: u64) -> Result<Snapshot<S>
     if expected != found {
         return Err(CheckpointError::BadChecksum { expected, found });
     }
-    let mut r = Reader::new(&bytes[BODY_AT..]);
-    let stored_fp = u64::decode(&mut r).map_err(|e| CheckpointError::Malformed(e.0))?;
-    if stored_fp != config_fp {
-        return Err(CheckpointError::ConfigMismatch { expected: config_fp, found: stored_fp });
-    }
-    Snapshot::decode(&mut r).map_err(|e| CheckpointError::Malformed(e.0))
+    Ok(Reader::new(&bytes[BODY_AT..]))
+}
+
+/// Validates a checkpoint image without decoding its engine payload:
+/// magic, version, whole-body checksum. This is what a scrub pass
+/// wants — "is this file intact?" — independent of which run's
+/// fingerprint it belongs to.
+pub fn verify_bytes(bytes: &[u8]) -> Result<(), CheckpointError> {
+    verify_header(bytes).map(|_| ())
+}
+
+/// [`verify_bytes`] for a file on disk.
+pub fn verify_file(path: &Path) -> Result<(), CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(path.to_path_buf(), e))?;
+    verify_bytes(&bytes)
 }
 
 #[cfg(test)]

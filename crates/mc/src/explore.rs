@@ -2008,7 +2008,7 @@ mod tests {
         let lit = litmus::iriw();
         let dir = std::env::temp_dir().join(format!("weakord-cancel-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = CheckpointCfg { dir: dir.clone(), every: 1, abort_after: None };
+        let cfg = CheckpointCfg { dir: dir.clone(), every: 1, abort_after: None, store: None };
         let cancel = CancelToken::new();
         cancel.cancel();
         let cut = explore_checkpointed_with_cancel(

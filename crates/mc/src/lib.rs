@@ -46,7 +46,7 @@ pub mod shrink;
 mod trace;
 pub mod visited;
 
-pub use checkpoint::{CheckpointCfg, CheckpointError, Codec};
+pub use checkpoint::{CheckpointCfg, CheckpointError, CkptStore, Codec, DiskStore};
 pub use contract::{
     appears_sc, check_weak_ordering, check_weak_ordering_model, sc_outcome_set, ContractReport,
     ContractRow, ScAppearance,

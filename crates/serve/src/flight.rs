@@ -20,10 +20,10 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::pool::write_atomic;
+use crate::store::{write_with_retry, Vfs};
 use weakord_obs::{jsonl, Event, RingTracer, Tracer, Track};
 
 /// Events retained per worker ring (the "last K events" window).
@@ -38,15 +38,18 @@ pub(crate) struct FlightRecorder {
     /// Monotonic dump counter, so repeated failures of one job never
     /// overwrite each other's evidence.
     seq: AtomicU64,
+    /// The storage plane dumps go through (fault-injectable).
+    vfs: Arc<dyn Vfs>,
 }
 
 impl FlightRecorder {
-    pub fn new(workers: usize, state_dir: &Path) -> FlightRecorder {
+    pub fn new(workers: usize, state_dir: &Path, vfs: Arc<dyn Vfs>) -> FlightRecorder {
         FlightRecorder {
             rings: (0..workers).map(|_| Mutex::new(RingTracer::new(FLIGHT_RING_CAP))).collect(),
             epoch: Instant::now(),
             dir: state_dir.join("flight"),
             seq: AtomicU64::new(0),
+            vfs,
         }
     }
 
@@ -87,7 +90,7 @@ impl FlightRecorder {
         );
         text.push_str(&jsonl(&events));
         let path = self.dir.join(format!("{id}.{reason}.{seq}.jsonl"));
-        write_atomic(&path, text.as_bytes())?;
+        write_with_retry(&*self.vfs, &path, text.as_bytes())?;
         Ok(path)
     }
 }
@@ -101,7 +104,7 @@ mod tests {
     fn rings_are_bounded_and_dumps_parse_line_by_line() {
         let dir = std::env::temp_dir().join(format!("weakord-flight-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let fr = FlightRecorder::new(2, &dir);
+        let fr = FlightRecorder::new(2, &dir, Arc::new(crate::store::RealVfs::new()));
         for i in 0..(FLIGHT_RING_CAP as i64 + 10) {
             fr.record(0, "job-start", [("attempt", i), ("", 0)]);
         }

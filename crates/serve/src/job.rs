@@ -13,8 +13,10 @@
 //! an uninterrupted run writes.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::protocol::JobSpec;
+use crate::store::{cleanup_file, Vfs, VfsCkptStore};
 use weakord_mc::checkpoint::config_fingerprint;
 use weakord_mc::machines::{
     CacheDelayMachine, NetReorderMachine, PsoMachine, ScMachine, TsoMachine, WoDef1Machine,
@@ -96,11 +98,17 @@ pub fn run_attempt(
     threads: usize,
     cancel: &CancelToken,
     progress: &ProgressSink,
+    vfs: &Arc<dyn Vfs>,
 ) -> Result<Exploration, CheckpointError> {
     let limits = spec.limits(threads);
-    let cfg = CheckpointCfg { dir: ckpt_dir.to_path_buf(), every: ckpt_every, abort_after: None };
+    let cfg = CheckpointCfg {
+        dir: ckpt_dir.to_path_buf(),
+        every: ckpt_every,
+        abort_after: None,
+        store: Some(Arc::new(VfsCkptStore::new(vfs.clone()))),
+    };
     with_machine!(spec.machine.as_str(), |m| {
-        if cfg.file().exists() {
+        if vfs.exists(&cfg.file()) {
             match resume_with_progress(&m, prog, limits, &cfg, cancel, progress) {
                 Ok(ex) => return Ok(ex),
                 // A config/engine mismatch cannot be recomputed away —
@@ -112,7 +120,7 @@ pub fn run_attempt(
                     | CheckpointError::EngineMismatch { .. }),
                 ) => return Err(e),
                 Err(_) => {
-                    let _ = std::fs::remove_file(cfg.file());
+                    cleanup_file(&**vfs, &cfg.file());
                 }
             }
         }
@@ -215,7 +223,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cancel = CancelToken::new();
         let progress = ProgressSink::new();
-        let ex = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress).unwrap();
+        let vfs: Arc<dyn Vfs> = Arc::new(crate::store::RealVfs::new());
+        let ex = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress, &vfs).unwrap();
         let line = result_line(&id, &spec, &ex);
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
@@ -227,7 +236,7 @@ mod tests {
             "outcomes must serialize in BTreeSet order (deterministic)"
         );
         // Resume from the final checkpoint reproduces the identical line.
-        let resumed = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress).unwrap();
+        let resumed = run_attempt(&spec, &prog, &dir, 10_000, 1, &cancel, &progress, &vfs).unwrap();
         assert_eq!(result_line(&id, &spec, &resumed), line);
         let _ = std::fs::remove_dir_all(&dir);
     }

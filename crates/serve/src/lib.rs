@@ -29,9 +29,18 @@
 //!   on panic, poison, or watchdog stall. All of it observes the
 //!   engine through [`weakord_mc::ProgressSink`] — result lines are
 //!   byte-identical with streaming on or off.
+//! * **An audited storage plane** — every durable byte goes through
+//!   the [`store::Vfs`] trait: [`store::RealVfs`] with the full fsync
+//!   discipline in production, [`store::FaultVfs`] (seeded torn
+//!   writes, failed renames, ENOSPC, transient EIO, crash points)
+//!   under test. Startup runs a [`scrub`] pass that quarantines
+//!   corrupt artifacts with a structured report, ENOSPC on the accept
+//!   path sheds explicitly with a `retry_after_ms` hint, and in-flight
+//!   jobs degrade to RAM-only checkpointing when the disk fills.
 //!
-//! See `protocol` for the wire vocabulary, `DESIGN.md` §16 for the
-//! lifecycle state machine, and `weakord serve --help` for the CLI.
+//! See `protocol` for the wire vocabulary, `DESIGN.md` §16/§18 for the
+//! lifecycle state machine and the storage contract, and
+//! `weakord serve --help` for the CLI.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,9 +50,16 @@ mod flight;
 mod job;
 mod pool;
 pub mod protocol;
+pub mod scrub;
 mod server;
+pub mod store;
 
 pub use client::{Client, SubmitKind, SubmitReply};
 pub use job::{cacheable, job_identity, poisoned_line, result_line, run_attempt};
 pub use protocol::{error_line, parse_request, JobSpec, Request, MACHINES, MAX_LINE};
-pub use server::{run, ServeConfig, Server};
+pub use scrub::{quarantine, scrub, ScrubFinding, ScrubReport};
+pub use server::{run, run_with_vfs, ServeConfig, Server, DISK_FULL_RETRY_MS, QUEUE_FULL_RETRY_MS};
+pub use store::{
+    parse_class_mask, FaultVfs, PathClass, RealVfs, StoreFaultPlan, StoreStats, Vfs, VfsCkptStore,
+    CLASS_ALL, CLASS_CKPT, CLASS_FLIGHT, CLASS_JOURNAL, CLASS_RESULT,
+};

@@ -40,6 +40,7 @@ use crate::flight::FlightRecorder;
 use crate::job;
 use crate::protocol::JobSpec;
 use crate::server::ServeConfig;
+use crate::store::{cleanup_dir, cleanup_file, is_disk_full, write_with_retry, Vfs};
 use weakord_mc::{CancelToken, Exploration, ProgressSink, TruncationReason};
 use weakord_obs::{Histogram, MetricsRegistry};
 use weakord_progs::Program;
@@ -122,6 +123,10 @@ pub(crate) struct Shared {
     pub flight: FlightRecorder,
     /// Daemon start, for the uptime gauge.
     pub started: Instant,
+    /// The storage plane every durable byte goes through (see
+    /// [`crate::store`]); real disk in production, fault-injected in
+    /// the crash-point matrix.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 /// What admission decided for one submit.
@@ -142,13 +147,17 @@ pub(crate) enum Admission {
     },
     /// The daemon is draining for shutdown.
     Refused,
-    /// Journaling failed; the job was NOT accepted.
+    /// The state volume is full: the accept-path journal write hit
+    /// ENOSPC, so the job was NOT accepted. Rendered as an explicit
+    /// shed with a `retry_after_ms` hint — never a silent drop.
+    DiskFull,
+    /// Journaling failed (non-ENOSPC); the job was NOT accepted.
     JournalError(String),
 }
 
 impl Shared {
-    pub fn new(cfg: ServeConfig) -> Shared {
-        let flight = FlightRecorder::new(cfg.workers.max(1), &cfg.state_dir);
+    pub fn new(cfg: ServeConfig, vfs: Arc<dyn Vfs>) -> Shared {
+        let flight = FlightRecorder::new(cfg.workers.max(1), &cfg.state_dir, vfs.clone());
         Shared {
             cfg,
             queue: Mutex::new(QueueState::default()),
@@ -160,6 +169,7 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             flight,
             started: Instant::now(),
+            vfs,
         }
     }
 
@@ -222,9 +232,19 @@ impl Shared {
                 self.count("serve.jobs.shed");
                 return Admission::Shed { depth: q.depth() };
             }
-            if let Err(e) = write_atomic(&self.journal_path(id), spec.to_json_line().as_bytes()) {
+            if let Err(e) =
+                write_with_retry(&*self.vfs, &self.journal_path(id), spec.to_json_line().as_bytes())
+            {
+                if is_disk_full(&e) {
+                    self.vfs.stats().disk_full.store(true, Ordering::Relaxed);
+                    self.count("serve.jobs.shed_disk_full");
+                    return Admission::DiskFull;
+                }
                 return Admission::JournalError(e.to_string());
             }
+            // An accept-path write landed: if we were in disk-full
+            // degradation, space is back.
+            self.vfs.stats().disk_full.store(false, Ordering::Relaxed);
             jobs.insert(id.to_string(), JobState::Queued);
             q.ready.push_back(QueuedJob {
                 id: id.to_string(),
@@ -252,7 +272,7 @@ impl Shared {
     }
 
     fn load_disk_result(&self, id: &str) -> Option<String> {
-        std::fs::read_to_string(self.result_path(id)).ok()
+        self.vfs.read_to_string(&self.result_path(id)).ok()
     }
 
     /// Blocks until the job reaches a terminal state and returns its
@@ -362,7 +382,7 @@ impl Shared {
                     id.to_string(),
                     JobState::Done { line, cacheable: false, states: 0, elapsed_ms: 0 },
                 );
-                let _ = std::fs::remove_file(self.journal_path(id));
+                cleanup_file(&*self.vfs, &self.journal_path(id));
                 self.count("serve.jobs.cancelled");
                 self.done_cv.notify_all();
                 Some("removed from the queue")
@@ -485,6 +505,7 @@ impl Shared {
                 self.cfg.job_threads,
                 &token,
                 &monitor.progress,
+                &self.vfs,
             )
         }));
         match outcome {
@@ -516,12 +537,26 @@ impl Shared {
     fn finish_explored(&self, job: &QueuedJob, ex: &Exploration, started: Instant) {
         let line = job::result_line(&job.id, &job.spec, ex);
         let cacheable = job::cacheable(ex.truncation);
-        if let Err(e) = write_atomic(&self.result_path(&job.id), line.as_bytes()) {
-            self.finish_error(job, &format!("result write failed: {e}"));
+        if let Err(e) = write_with_retry(&*self.vfs, &self.result_path(&job.id), line.as_bytes()) {
+            // The journal stays in place and the terminal state is
+            // non-cacheable, so the job re-runs cleanly — on restart
+            // (recovery replays the journal) or on resubmission —
+            // and completes byte-identically once the disk behaves.
+            if is_disk_full(&e) {
+                self.vfs.stats().disk_full.store(true, Ordering::Relaxed);
+                self.count("serve.jobs.result_no_space");
+                self.finish_error(
+                    job,
+                    "result write failed: state volume is full; the job stays journaled and will re-run",
+                );
+            } else {
+                self.finish_error(job, &format!("result write failed: {e}"));
+            }
             return;
         }
-        let _ = std::fs::remove_file(self.journal_path(&job.id));
-        let _ = std::fs::remove_dir_all(self.ckpt_dir(&job.id));
+        self.vfs.stats().disk_full.store(false, Ordering::Relaxed);
+        cleanup_file(&*self.vfs, &self.journal_path(&job.id));
+        cleanup_dir(&*self.vfs, &self.ckpt_dir(&job.id));
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.latency.lock().unwrap().record(micros);
         {
@@ -579,9 +614,14 @@ impl Shared {
         self.flight.record(worker, "job-poisoned", [("attempts", i64::from(job.attempt)), ("", 0)]);
         self.dump_flight(worker, &job.id, "poison");
         let line = job::poisoned_line(&job.id, job.attempt);
-        let _ = write_atomic(&self.result_path(&job.id), line.as_bytes());
-        let _ = std::fs::remove_file(self.journal_path(&job.id));
-        let _ = std::fs::remove_dir_all(self.ckpt_dir(&job.id));
+        // A pill that fails to persist is still a pill for this life;
+        // the next life will re-run and (if it keeps panicking)
+        // re-poison. Count the miss instead of swallowing it.
+        if write_with_retry(&*self.vfs, &self.result_path(&job.id), line.as_bytes()).is_err() {
+            self.count("serve.jobs.result_write_errors");
+        }
+        cleanup_file(&*self.vfs, &self.journal_path(&job.id));
+        cleanup_dir(&*self.vfs, &self.ckpt_dir(&job.id));
         self.settle(&job.id, line, false);
     }
 
@@ -626,15 +666,4 @@ fn line_states(line: &str) -> u64 {
 /// [`job::cacheable`]).
 fn job_line_is_cacheable(line: &str) -> bool {
     line.contains("\"truncated\":null") || line.contains("\"truncated\":\"max-states\"")
-}
-
-/// Write-then-rename, the same durability idiom as the checkpoint
-/// sink: a reader never observes a half-written file.
-pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
 }

@@ -1,0 +1,368 @@
+//! Startup scrub: validate every durable artifact in a state
+//! directory and quarantine the corrupt ones.
+//!
+//! The daemon's recovery path used to discover corruption lazily —
+//! a journal that failed to parse was renamed `*.corrupt` in place
+//! (clobbering any previous corrupt artifact with the same stem), a
+//! bad checkpoint was discovered only when a resume tripped over it,
+//! and a torn result line would sit in `results/` masquerading as a
+//! finished job. The scrub pass makes corruption a first-class,
+//! *reported* event: every journal must parse as a `JobSpec` whose
+//! identity matches its file name, every result line must be valid
+//! JSON with a matching id, every `WOCKPT` checkpoint must pass its
+//! whole-body checksum, every flight dump must be line-parseable, and
+//! stranded `*.tmp` files (a failed publishing rename) are swept.
+//! Anything that fails moves to `<state-dir>/quarantine/` under a
+//! monotonically-suffixed name — evidence is preserved, never
+//! clobbered — and the pass returns a structured [`ScrubReport`].
+//!
+//! Scrub is intentionally *conservative*: it never deletes, only
+//! moves, and it validates integrity (parse, checksum), not
+//! semantics — a checkpoint for a config this daemon will never run
+//! again is still a valid checkpoint.
+
+use std::path::{Path, PathBuf};
+
+use weakord_obs::json::{self};
+
+use crate::protocol::JobSpec;
+use crate::store::{PathClass, Vfs};
+
+/// One corrupt (or stranded) artifact found by a scrub pass.
+#[derive(Debug)]
+pub struct ScrubFinding {
+    /// Where the artifact was found.
+    pub path: PathBuf,
+    /// Its [`PathClass`] name (`journal`, `result`, `ckpt`, ...).
+    pub class: &'static str,
+    /// Why it was quarantined, one line.
+    pub reason: String,
+    /// Where it went; `None` if the quarantine move itself failed
+    /// (the artifact is left in place and the reason says so).
+    pub quarantined_to: Option<PathBuf>,
+}
+
+/// The structured result of a scrub pass.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Artifacts examined.
+    pub examined: usize,
+    /// Artifacts that validated clean.
+    pub ok: usize,
+    /// Artifacts quarantined (or that failed to quarantine).
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// How many artifacts actually moved to quarantine.
+    pub fn quarantined(&self) -> usize {
+        self.findings.iter().filter(|f| f.quarantined_to.is_some()).count()
+    }
+
+    /// One-line JSON rendering (the `weakord scrub --json` output).
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"event\":\"scrub\",\"examined\":{},\"ok\":{},\"quarantined\":{},\"findings\":[",
+            self.examined,
+            self.ok,
+            self.quarantined()
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":{},\"class\":{},\"reason\":{}{}}}",
+                json::escape(&f.path.display().to_string()),
+                json::escape(f.class),
+                json::escape(&f.reason),
+                match &f.quarantined_to {
+                    Some(q) =>
+                        format!(",\"quarantined_to\":{}", json::escape(&q.display().to_string())),
+                    None => String::new(),
+                }
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Multi-line human rendering (the default `weakord scrub` output).
+    pub fn render_human(&self) -> String {
+        let mut s = format!(
+            "scrub: {} examined, {} ok, {} quarantined\n",
+            self.examined,
+            self.ok,
+            self.quarantined()
+        );
+        for f in &self.findings {
+            s.push_str(&format!("  [{}] {} — {}", f.class, f.path.display(), f.reason));
+            match &f.quarantined_to {
+                Some(q) => s.push_str(&format!(" -> {}\n", q.display())),
+                None => s.push_str(" (quarantine move FAILED; left in place)\n"),
+            }
+        }
+        s
+    }
+}
+
+/// Move `path` into `<state_dir>/quarantine/` under a monotonically
+/// suffixed name that never clobbers an earlier arrival: the base
+/// name is `<parent-dir>.<file-name>` when the parent is a per-job
+/// subdirectory (checkpoints) and just `<file-name>` otherwise, and
+/// the suffix is one past the highest suffix already present.
+pub fn quarantine(vfs: &dyn Vfs, state_dir: &Path, path: &Path) -> std::io::Result<PathBuf> {
+    let qdir = state_dir.join("quarantine");
+    vfs.create_dir_all(&qdir)?;
+    let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let base = match path.parent().and_then(|p| p.file_name()).and_then(|n| n.to_str()) {
+        // Checkpoints all share the file name `weakord.ckpt`; keep
+        // the job id from the per-job subdirectory as provenance.
+        Some(parent) if PathClass::of(path) == PathClass::Checkpoint && parent != "ckpt" => {
+            format!("{parent}.{file}")
+        }
+        _ => file.to_string(),
+    };
+    let next = vfs
+        .read_dir_sorted(&qdir)?
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(str::to_string))
+        .filter_map(|name| {
+            let rest = name.strip_prefix(&base)?;
+            rest.strip_prefix('.')?.parse::<u64>().ok()
+        })
+        .max()
+        .map_or(0, |n| n + 1);
+    let dest = qdir.join(format!("{base}.{next}"));
+    vfs.rename(path, &dest)?;
+    Ok(dest)
+}
+
+/// Validate every artifact under `state_dir`, quarantining what fails.
+pub fn scrub(vfs: &dyn Vfs, state_dir: &Path) -> std::io::Result<ScrubReport> {
+    let mut report = ScrubReport::default();
+
+    let jobs = state_dir.join("jobs");
+    for path in vfs.read_dir_sorted(&jobs)? {
+        inspect(vfs, state_dir, &mut report, &path, "journal", |text| {
+            let v = json::parse(text).map_err(|e| format!("journal is not JSON: {e}"))?;
+            let spec = JobSpec::from_json(&v, false)
+                .map_err(|e| format!("journal is not a job spec: {e}"))?;
+            let (_, id) = crate::job::job_identity(&spec, 1)
+                .map_err(|e| format!("journal program does not parse: {e}"))?;
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if id != stem {
+                return Err(format!("journal id {id} does not match file name"));
+            }
+            Ok(())
+        });
+    }
+
+    let results = state_dir.join("results");
+    for path in vfs.read_dir_sorted(&results)? {
+        inspect(vfs, state_dir, &mut report, &path, "result", |text| {
+            let v = json::parse(text.trim_end()).map_err(|e| format!("result is not JSON: {e}"))?;
+            let id = v
+                .get("id")
+                .and_then(|j| j.as_str())
+                .ok_or_else(|| "result has no id field".to_string())?;
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if id != stem {
+                return Err(format!("result id {id} does not match file name"));
+            }
+            Ok(())
+        });
+    }
+
+    let ckpts = state_dir.join("ckpt");
+    for jobdir in vfs.read_dir_sorted(&ckpts)? {
+        for path in vfs.read_dir_sorted(&jobdir)? {
+            report.examined += 1;
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                push_finding(
+                    vfs,
+                    state_dir,
+                    &mut report,
+                    &path,
+                    "ckpt",
+                    "stranded temp file".into(),
+                );
+                continue;
+            }
+            match weakord_mc::checkpoint::verify_file(&path) {
+                Ok(()) => report.ok += 1,
+                Err(e) => push_finding(vfs, state_dir, &mut report, &path, "ckpt", e.to_string()),
+            }
+        }
+    }
+
+    let flight = state_dir.join("flight");
+    for path in vfs.read_dir_sorted(&flight)? {
+        inspect(vfs, state_dir, &mut report, &path, "flight", |text| {
+            for (i, line) in text.lines().enumerate() {
+                json::parse(line)
+                    .map_err(|e| format!("flight dump line {} is not JSON: {e}", i + 1))?;
+            }
+            Ok(())
+        });
+    }
+
+    Ok(report)
+}
+
+/// Examine one plain-file artifact: stranded temp files and
+/// unreadable files are quarantined outright; otherwise `check`
+/// decides.
+fn inspect(
+    vfs: &dyn Vfs,
+    state_dir: &Path,
+    report: &mut ScrubReport,
+    path: &Path,
+    class: &'static str,
+    check: impl FnOnce(&str) -> Result<(), String>,
+) {
+    report.examined += 1;
+    if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+        push_finding(vfs, state_dir, report, path, class, "stranded temp file".into());
+        return;
+    }
+    let text = match vfs.read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            push_finding(vfs, state_dir, report, path, class, format!("unreadable: {e}"));
+            return;
+        }
+    };
+    match check(&text) {
+        Ok(()) => report.ok += 1,
+        Err(reason) => push_finding(vfs, state_dir, report, path, class, reason),
+    }
+}
+
+fn push_finding(
+    vfs: &dyn Vfs,
+    state_dir: &Path,
+    report: &mut ScrubReport,
+    path: &Path,
+    class: &'static str,
+    reason: String,
+) {
+    let quarantined_to = match quarantine(vfs, state_dir, path) {
+        Ok(dest) => Some(dest),
+        Err(e) => {
+            vfs.stats().note_cleanup_error();
+            report.findings.push(ScrubFinding {
+                path: path.to_path_buf(),
+                class,
+                reason: format!("{reason}; quarantine failed: {e}"),
+                quarantined_to: None,
+            });
+            return;
+        }
+    };
+    report.findings.push(ScrubFinding { path: path.to_path_buf(), class, reason, quarantined_to });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RealVfs;
+
+    fn state(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("weakord-scrub-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        for sub in ["jobs", "results", "ckpt", "flight"] {
+            std::fs::create_dir_all(d.join(sub)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn a_clean_state_dir_scrubs_clean() {
+        let d = state("clean");
+        let vfs = RealVfs::new();
+        let lit = weakord_progs::litmus::all().into_iter().find(|l| l.name == "mp").unwrap();
+        let spec = JobSpec {
+            machine: "sc".into(),
+            program: weakord_progs::unparse_program(&lit.program),
+            max_states: 100_000,
+            deadline_ms: None,
+            reduce: false,
+            test_panics: 0,
+            test_sleep_ms: 0,
+        };
+        let (_, id) = crate::job::job_identity(&spec, 1).unwrap();
+        std::fs::write(d.join("jobs").join(format!("{id}.json")), spec.to_json_line()).unwrap();
+        let report = scrub(&vfs, &d).unwrap();
+        assert_eq!(report.examined, 1);
+        assert_eq!(report.ok, 1);
+        assert!(report.findings.is_empty());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_quarantined_with_monotonic_suffixes() {
+        let d = state("corrupt");
+        let vfs = RealVfs::new();
+        // A torn journal, a result with the wrong id, a bad ckpt, a
+        // stranded temp file.
+        std::fs::write(d.join("jobs/abcd.json"), "{\"mach").unwrap();
+        std::fs::write(d.join("results/beef.json"), "{\"id\":\"not-beef\"}\n").unwrap();
+        std::fs::create_dir_all(d.join("ckpt/feed")).unwrap();
+        std::fs::write(d.join("ckpt/feed/weakord.ckpt"), b"NOTWOCKPT").unwrap();
+        std::fs::write(d.join("jobs/abcd.tmp"), "half").unwrap();
+        let report = scrub(&vfs, &d).unwrap();
+        assert_eq!(report.examined, 4);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.quarantined(), 4);
+        assert!(d.join("quarantine/abcd.json.0").exists());
+        assert!(d.join("quarantine/abcd.tmp.0").exists());
+        assert!(d.join("quarantine/beef.json.0").exists());
+        assert!(d.join("quarantine/feed.weakord.ckpt.0").exists());
+
+        // A second corrupt arrival with the same name never clobbers
+        // the first: the suffix is monotonic.
+        std::fs::write(d.join("jobs/abcd.json"), "{\"still-torn").unwrap();
+        let report2 = scrub(&vfs, &d).unwrap();
+        assert_eq!(report2.quarantined(), 1);
+        assert!(d.join("quarantine/abcd.json.0").exists());
+        assert!(d.join("quarantine/abcd.json.1").exists());
+        let json_line = report2.to_json_line();
+        assert!(json_line.contains("\"quarantined\":1"), "{json_line}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn a_valid_checkpoint_passes_verification() {
+        // Round-trip through the real save path: header + checksum.
+        let d = state("ckpt-ok");
+        std::fs::create_dir_all(d.join("ckpt/j")).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"WOCKPT");
+        bytes.push(weakord_mc::checkpoint::CKPT_VERSION);
+        bytes.push(0);
+        bytes.extend_from_slice(&[0u8; 8]);
+        bytes.extend_from_slice(&[1, 2, 3]);
+        // Backpatch the checksum the same way save() does.
+        let sum = fnv1a_ref(&bytes[16..]);
+        bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(d.join("ckpt/j/weakord.ckpt"), &bytes).unwrap();
+        let report = scrub(&RealVfs::new(), &d).unwrap();
+        assert_eq!(report.ok, 1, "{report:?}");
+        // Flip one payload bit: the checksum must now fail.
+        bytes[18] ^= 0x40;
+        std::fs::write(d.join("ckpt/j/weakord.ckpt"), &bytes).unwrap();
+        let report = scrub(&RealVfs::new(), &d).unwrap();
+        assert_eq!(report.quarantined(), 1, "{report:?}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn fnv1a_ref(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}

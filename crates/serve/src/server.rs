@@ -27,9 +27,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::job;
-use crate::pool::{write_atomic, Admission, Shared};
+use crate::pool::{Admission, Shared};
 use crate::protocol::{error_line, parse_request, JobSpec, Request, MAX_LINE};
+use crate::scrub;
+use crate::store::{cleanup_file, RealVfs, Vfs};
 use weakord_obs::json;
+
+/// The `retry_after_ms` hint on a disk-full shed: long enough for an
+/// operator (or a log rotation) to free space, short enough that
+/// well-behaved clients re-probe promptly.
+pub const DISK_FULL_RETRY_MS: u64 = 2_000;
+/// The `retry_after_ms` hint on a queue-full shed: one backoff notch.
+pub const QUEUE_FULL_RETRY_MS: u64 = 250;
 
 /// Daemon configuration. `Default` is suitable for tests: loopback,
 /// ephemeral port, and a temp-ish state dir the caller should replace.
@@ -91,16 +100,35 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates the state directory, recovers journaled jobs, binds the
-    /// socket, and spawns the pool, the watchdog, and the accept loop.
+    /// Creates the state directory, scrubs it, recovers journaled
+    /// jobs, binds the socket, and spawns the pool, the watchdog, and
+    /// the accept loop. Durable IO goes through the real disk with
+    /// the audited fsync discipline; use [`Server::start_with_vfs`]
+    /// to substitute a fault-injected storage plane.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        Server::start_with_vfs(cfg, Arc::new(RealVfs::new()))
+    }
+
+    /// [`Server::start`] with an explicit storage plane — the seam the
+    /// crash-point matrix uses to run the daemon on a `FaultVfs`.
+    pub fn start_with_vfs(cfg: ServeConfig, vfs: Arc<dyn Vfs>) -> std::io::Result<Server> {
         for sub in ["jobs", "results", "ckpt"] {
-            std::fs::create_dir_all(cfg.state_dir.join(sub))?;
+            vfs.create_dir_all(&cfg.state_dir.join(sub))?;
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
-        let shared = Arc::new(Shared::new(cfg));
+        let shared = Arc::new(Shared::new(cfg, vfs));
+        // Scrub before recovery: corrupt artifacts move to quarantine
+        // with a structured report, so recovery only ever sees intact
+        // journals and results.
+        let report = scrub::scrub(&*shared.vfs, &shared.cfg.state_dir)?;
+        {
+            let mut m = shared.metrics.lock().unwrap();
+            m.counter("storage.scrub.examined", report.examined as u64);
+            m.counter("storage.scrub.ok", report.ok as u64);
+            m.counter("storage.scrub.quarantined", report.quarantined() as u64);
+        }
         recover(&shared);
         let handles = (0..workers)
             .map(|i| {
@@ -218,36 +246,42 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 }
 
 /// Requeues every journaled job that has no durable result yet, in
-/// filename order (deterministic recovery).
+/// filename order (deterministic recovery). The startup scrub has
+/// already quarantined corrupt journals; anything that *still* fails
+/// to validate here (a journal torn between scrub and recovery, a
+/// tampered file) goes to the same quarantine — monotonically
+/// suffixed, never clobbering earlier evidence the way the old
+/// `.corrupt` rename did.
 fn recover(shared: &Arc<Shared>) {
     let jobs_dir = shared.cfg.state_dir.join("jobs");
-    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&jobs_dir) {
-        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
-        Err(_) => return,
-    };
-    entries.sort();
+    let entries: Vec<PathBuf> = shared.vfs.read_dir_sorted(&jobs_dir).unwrap_or_default();
+    let quarantine_journal =
+        |path: &PathBuf| match scrub::quarantine(&*shared.vfs, &shared.cfg.state_dir, path) {
+            Ok(_) => shared.metrics.lock().unwrap().counter("storage.recover.quarantined", 1),
+            Err(_) => shared.vfs.stats().note_cleanup_error(),
+        };
     for path in entries {
         let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
             continue;
         };
-        if shared.result_path(&stem).exists() {
-            let _ = std::fs::remove_file(&path);
+        if shared.vfs.exists(&shared.result_path(&stem)) {
+            cleanup_file(&*shared.vfs, &path);
             continue;
         }
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(text) = shared.vfs.read_to_string(&path) else {
+            quarantine_journal(&path);
+            continue;
+        };
         let spec = match json::parse(&text).and_then(|v| JobSpec::from_json(&v, false)) {
             Ok(s) => s,
             Err(_) => {
-                // A tampered journal is quarantined, not fatal.
-                let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+                quarantine_journal(&path);
                 continue;
             }
         };
         match job::job_identity(&spec, shared.cfg.job_threads) {
             Ok((prog, id)) if id == stem => shared.requeue_recovered(id, spec, prog),
-            _ => {
-                let _ = std::fs::rename(&path, path.with_extension("corrupt"));
-            }
+            _ => quarantine_journal(&path),
         }
     }
 }
@@ -390,7 +424,12 @@ fn handle_submit(
         }
         Admission::Shed { depth } => writeln!(
             writer,
-            "{{\"event\":\"shed\",\"id\":\"{id}\",\"queue_depth\":{depth},\"error\":\"admission queue is full; retry with backoff\"}}"
+            "{{\"event\":\"shed\",\"id\":\"{id}\",\"reason\":\"queue-full\",\"queue_depth\":{depth},\"retry_after_ms\":{QUEUE_FULL_RETRY_MS},\"error\":\"admission queue is full; retry with backoff\"}}"
+        ),
+        Admission::DiskFull => writeln!(
+            writer,
+            "{{\"event\":\"shed\",\"id\":\"{id}\",\"reason\":\"disk-full\",\"queue_depth\":{},\"retry_after_ms\":{DISK_FULL_RETRY_MS},\"error\":\"state volume is full; the job was not accepted — retry after freeing space\"}}",
+            shared.queue_depth()
         ),
         Admission::Refused => {
             writeln!(writer, "{}", error_line("shutting-down", "daemon is draining"))
@@ -484,12 +523,20 @@ fn status_line(shared: &Arc<Shared>) -> String {
         (p50, p95, p99, h.count(), h.mean())
     };
     let counters: String = {
-        let m = shared.metrics.lock().unwrap();
+        let mut m = shared.metrics.lock().unwrap().clone();
+        shared.vfs.stats().export_into(&mut m);
         m.counters()
             .map(|(k, v)| format!("\"{}\":{v}", json::escape(k)))
             .collect::<Vec<_>>()
             .join(",")
     };
+    let stats = shared.vfs.stats();
+    let storage = format!(
+        "{{\"disk_full\":{},\"ckpt_ram_only\":{},\"cleanup_errors\":{}}}",
+        stats.disk_full.load(std::sync::atomic::Ordering::Relaxed),
+        stats.ckpt_ram_only.load(std::sync::atomic::Ordering::Relaxed),
+        stats.cleanup_errors.load(std::sync::atomic::Ordering::Relaxed),
+    );
     let jobs: String = shared
         .jobs_overview()
         .iter()
@@ -506,7 +553,7 @@ fn status_line(shared: &Arc<Shared>) -> String {
         .join(",");
     let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
     format!(
-        "{{\"event\":\"status\",\"queue_depth\":{},\"running\":{},\"uptime_ms\":{uptime_ms},\"counters\":{{{counters}}},\"latency_us\":{{\"count\":{count},\"mean\":{mean:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}},\"jobs\":[{jobs}]}}",
+        "{{\"event\":\"status\",\"queue_depth\":{},\"running\":{},\"uptime_ms\":{uptime_ms},\"storage\":{storage},\"counters\":{{{counters}}},\"latency_us\":{{\"count\":{count},\"mean\":{mean:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}},\"jobs\":[{jobs}]}}",
         shared.queue_depth(),
         shared.running_count(),
     )
@@ -520,6 +567,7 @@ fn status_line(shared: &Arc<Shared>) -> String {
 fn metrics_line(shared: &Arc<Shared>) -> String {
     let mut reg = shared.metrics.lock().unwrap().clone();
     shared.latency.lock().unwrap().export_metrics("serve.latency_us", &mut reg);
+    shared.vfs.stats().export_into(&mut reg);
     reg.gauge("serve.queue_depth", shared.queue_depth() as f64);
     reg.gauge("serve.running", shared.running_count() as f64);
     reg.gauge("serve.uptime_ms", shared.started.elapsed().as_millis() as f64);
@@ -533,12 +581,19 @@ fn metrics_line(shared: &Arc<Shared>) -> String {
 /// — the `weakord serve` entry point. Prints the bound address to
 /// stdout (load generators and CI read it to find an ephemeral port).
 pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
-    let server = Server::start(cfg)?;
+    run_with_vfs(cfg, Arc::new(RealVfs::new()))
+}
+
+/// [`run`] on an explicit storage plane — how `weakord serve` with
+/// `--store-fault-*` flags drives a whole daemon process on a
+/// [`crate::store::FaultVfs`] for the CI crash-point grid.
+pub fn run_with_vfs(cfg: ServeConfig, vfs: Arc<dyn Vfs>) -> std::io::Result<()> {
+    let server = Server::start_with_vfs(cfg, vfs)?;
     println!("listening {}", server.addr());
     // Make the address durable too, so sibling processes (CI) can
     // find a daemon that was started with port 0.
     let addr_file = server.shared.cfg.state_dir.join("addr");
-    write_atomic(&addr_file, server.addr().to_string().as_bytes())?;
+    server.shared.vfs.write_atomic(&addr_file, server.addr().to_string().as_bytes())?;
     server.wait();
     Ok(())
 }

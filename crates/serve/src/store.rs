@@ -1,0 +1,822 @@
+//! The storage plane: one `Vfs` trait behind which every durable
+//! byte of daemon state — journals, results, checkpoints, flight
+//! dumps, the addr file — is written, read, and deleted.
+//!
+//! This is PR 3's interconnect lesson applied to the filesystem. The
+//! durable-state contract ("results are byte-identical across kills
+//! and restarts") is only as strong as the storage assumptions under
+//! it, and before this module those assumptions were implicit: writes
+//! never tear, renames never fail, disks never fill. [`RealVfs`]
+//! makes the real-disk discipline explicit and audited — temp file,
+//! `sync_all` *before* the publishing rename, parent-directory fsync
+//! *after* it — while [`FaultVfs`] is a seeded, per-path-class fault
+//! plan (torn write at byte k, failed rename that strands the temp,
+//! ENOSPC, transient EIO, and a crash mode that loses unsynced data)
+//! in the spirit of `weakord-sim`'s `FaultPlan`. An all-faults-off
+//! `FaultVfs` is inert: byte-identical behavior to `RealVfs`.
+//!
+//! The same seam reaches down into the engines: [`VfsCkptStore`]
+//! adapts a `Vfs` to `weakord-mc`'s `CkptStore`, adding the daemon's
+//! degradation policy — ENOSPC on a checkpoint write flips the run to
+//! RAM-only checkpointing (gauge raised, run keeps going) instead of
+//! failing it, and transient EIO gets a bounded retry with backoff.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use weakord_mc::{CkptStore, DiskStore};
+use weakord_obs::MetricsRegistry;
+
+// ---------------------------------------------------------------------
+// Path classes.
+// ---------------------------------------------------------------------
+
+/// Which durable artifact a path belongs to, derived from the state
+/// directory layout (`jobs/`, `results/`, `ckpt/`, `flight/`,
+/// `quarantine/`; everything else is `Meta`, e.g. the `addr` file).
+/// Fault plans target classes, not paths: "tear journal writes" is a
+/// statement about a *kind* of artifact, robust to renames of
+/// individual files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// Accepted-job journal lines under `jobs/`.
+    Journal,
+    /// Finished result lines under `results/`.
+    Result,
+    /// Engine checkpoints under `ckpt/`.
+    Checkpoint,
+    /// Flight-recorder dumps under `flight/`.
+    Flight,
+    /// Quarantined corrupt artifacts under `quarantine/`.
+    Quarantine,
+    /// Everything else (the `addr` file, the state dir root).
+    Meta,
+}
+
+impl PathClass {
+    /// Classify `path` by the nearest ancestor directory name that
+    /// matches a known state-dir component.
+    pub fn of(path: &Path) -> PathClass {
+        for anc in path.ancestors().skip(1) {
+            match anc.file_name().and_then(|n| n.to_str()) {
+                Some("jobs") => return PathClass::Journal,
+                Some("results") => return PathClass::Result,
+                Some("ckpt") => return PathClass::Checkpoint,
+                Some("flight") => return PathClass::Flight,
+                Some("quarantine") => return PathClass::Quarantine,
+                _ => {}
+            }
+        }
+        PathClass::Meta
+    }
+
+    /// Stable lowercase name, used in fault-class flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathClass::Journal => "journal",
+            PathClass::Result => "result",
+            PathClass::Checkpoint => "ckpt",
+            PathClass::Flight => "flight",
+            PathClass::Quarantine => "quarantine",
+            PathClass::Meta => "meta",
+        }
+    }
+
+    /// This class's bit in a [`StoreFaultPlan::class_mask`].
+    pub fn bit(self) -> u8 {
+        match self {
+            PathClass::Journal => CLASS_JOURNAL,
+            PathClass::Result => CLASS_RESULT,
+            PathClass::Checkpoint => CLASS_CKPT,
+            PathClass::Flight => CLASS_FLIGHT,
+            PathClass::Quarantine => 1 << 4,
+            PathClass::Meta => 1 << 5,
+        }
+    }
+}
+
+/// Fault-class bit: journal writes.
+pub const CLASS_JOURNAL: u8 = 1 << 0;
+/// Fault-class bit: result writes.
+pub const CLASS_RESULT: u8 = 1 << 1;
+/// Fault-class bit: checkpoint writes.
+pub const CLASS_CKPT: u8 = 1 << 2;
+/// Fault-class bit: flight-recorder dumps.
+pub const CLASS_FLIGHT: u8 = 1 << 3;
+/// Fault-class bit set covering every durable artifact class.
+pub const CLASS_ALL: u8 = 0xff;
+
+/// Parse a comma-separated class list (`journal,result,ckpt,flight`
+/// or `all`) into a [`StoreFaultPlan::class_mask`].
+pub fn parse_class_mask(s: &str) -> Result<u8, String> {
+    let mut mask = 0u8;
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        mask |= match part {
+            "all" => CLASS_ALL,
+            "journal" | "jobs" => CLASS_JOURNAL,
+            "result" | "results" => CLASS_RESULT,
+            "ckpt" | "checkpoint" => CLASS_CKPT,
+            "flight" => CLASS_FLIGHT,
+            other => return Err(format!("unknown storage class `{other}`")),
+        };
+    }
+    if mask == 0 {
+        return Err("empty storage class list".into());
+    }
+    Ok(mask)
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------
+
+/// Lock-free storage-plane telemetry, owned by a [`Vfs`] and merged
+/// into the daemon's metrics registry on every `status`/`metrics`
+/// reply. Counters are cumulative since daemon start; the two booleans
+/// export as 0/1 gauges.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Durable atomic writes attempted.
+    pub writes: AtomicU64,
+    /// Transient-error retries performed by [`write_with_retry`].
+    pub write_retries: AtomicU64,
+    /// Cleanup deletions (`remove_file`/`remove_dir_all`) that failed.
+    /// Before this counter those errors were silently discarded with
+    /// `let _ =`; now every leaked file is at least visible.
+    pub cleanup_errors: AtomicU64,
+    /// Checkpoint writes skipped because the disk was full (the run
+    /// degraded to RAM-only checkpointing instead of failing).
+    pub ckpt_skipped_no_space: AtomicU64,
+    /// Injected torn writes ([`FaultVfs`] only).
+    pub faults_torn: AtomicU64,
+    /// Injected rename failures ([`FaultVfs`] only).
+    pub faults_rename: AtomicU64,
+    /// Injected ENOSPC failures ([`FaultVfs`] only).
+    pub faults_enospc: AtomicU64,
+    /// Injected transient EIO failures ([`FaultVfs`] only).
+    pub faults_eio: AtomicU64,
+    /// Operations refused because the simulated disk already crashed
+    /// ([`FaultVfs`] only).
+    pub faults_post_crash: AtomicU64,
+    /// True while the most recent accept-path write hit ENOSPC.
+    pub disk_full: AtomicBool,
+    /// True while at least the latest checkpoint write was skipped
+    /// for lack of space (RAM-only checkpointing in effect).
+    pub ckpt_ram_only: AtomicBool,
+}
+
+impl StoreStats {
+    /// Record a failed cleanup deletion.
+    pub fn note_cleanup_error(&self) {
+        self.cleanup_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge every counter and gauge into `reg` under `storage.*`.
+    pub fn export_into(&self, reg: &mut MetricsRegistry) {
+        let c = |reg: &mut MetricsRegistry, key: &str, v: &AtomicU64| {
+            reg.counter(key, v.load(Ordering::Relaxed));
+        };
+        c(reg, "storage.writes", &self.writes);
+        c(reg, "storage.write_retries", &self.write_retries);
+        c(reg, "storage.cleanup_errors", &self.cleanup_errors);
+        c(reg, "storage.ckpt_skipped_no_space", &self.ckpt_skipped_no_space);
+        c(reg, "storage.fault.torn", &self.faults_torn);
+        c(reg, "storage.fault.rename", &self.faults_rename);
+        c(reg, "storage.fault.enospc", &self.faults_enospc);
+        c(reg, "storage.fault.eio", &self.faults_eio);
+        c(reg, "storage.fault.post_crash", &self.faults_post_crash);
+        reg.gauge(
+            "storage.disk_full",
+            if self.disk_full.load(Ordering::Relaxed) { 1.0 } else { 0.0 },
+        );
+        reg.gauge(
+            "storage.ckpt_ram_only",
+            if self.ckpt_ram_only.load(Ordering::Relaxed) { 1.0 } else { 0.0 },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The trait.
+// ---------------------------------------------------------------------
+
+/// Every durable-state IO operation the daemon performs. One
+/// implementation is the audited real disk; the other is a seeded
+/// faulty disk. Nothing above this trait may call `std::fs` for
+/// state-dir paths.
+pub trait Vfs: Send + Sync {
+    /// Atomically publish `bytes` at `path`: after `Ok(())` a crash at
+    /// any later instant surfaces either these bytes or a previously
+    /// published version, never a torn mix. Creates parent dirs.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Read the entire file.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Read the entire file as UTF-8.
+    fn read_to_string(&self, path: &Path) -> std::io::Result<String> {
+        let bytes = self.read(path)?;
+        String::from_utf8(bytes)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "not UTF-8"))
+    }
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+    /// Delete a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+    /// Rename `from` to `to` (same filesystem; used by quarantine).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Directory entries of `dir`, sorted by file name for
+    /// deterministic iteration order. Missing dir reads as empty.
+    fn read_dir_sorted(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>>;
+    /// Does `path` exist?
+    fn exists(&self, path: &Path) -> bool;
+    /// This store's telemetry.
+    fn stats(&self) -> &StoreStats;
+}
+
+/// Best-effort cleanup: delete `path`, counting (not swallowing) a
+/// failure in `storage.cleanup_errors`. "Already gone" is success.
+pub(crate) fn cleanup_file(vfs: &dyn Vfs, path: &Path) {
+    match vfs.remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(_) => vfs.stats().note_cleanup_error(),
+    }
+}
+
+/// [`cleanup_file`] for directory trees.
+pub(crate) fn cleanup_dir(vfs: &dyn Vfs, path: &Path) {
+    match vfs.remove_dir_all(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(_) => vfs.stats().note_cleanup_error(),
+    }
+}
+
+/// Is this error "the disk is full"? ENOSPC (and EDQUOT via
+/// `StorageFull` on newer kernels/toolchains).
+pub fn is_disk_full(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::StorageFull || e.raw_os_error() == Some(28)
+}
+
+/// Is this error worth an immediate bounded retry? Transient IO
+/// (EIO), interruptions, and timeouts; *not* ENOSPC (space does not
+/// come back in milliseconds) and not logical errors.
+pub fn is_transient(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::Interrupted | std::io::ErrorKind::TimedOut)
+        || e.raw_os_error() == Some(5)
+}
+
+/// Attempts beyond the first that [`write_with_retry`] makes for a
+/// transient error.
+pub const WRITE_RETRY_MAX: u32 = 3;
+
+/// Durable write with bounded retry-with-backoff for transient
+/// errors: up to [`WRITE_RETRY_MAX`] extra attempts, 1/2/4 ms apart.
+/// ENOSPC and non-transient errors return immediately.
+pub fn write_with_retry(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut attempt = 0u32;
+    loop {
+        match vfs.write_atomic(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) && attempt < WRITE_RETRY_MAX => {
+                attempt += 1;
+                vfs.stats().write_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1).min(4)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RealVfs.
+// ---------------------------------------------------------------------
+
+/// The real filesystem with the audited fsync discipline (shared with
+/// `weakord-mc`'s `DiskStore`): temp file, `sync_all` before the
+/// publishing rename, parent-directory fsync after it.
+#[derive(Debug, Default)]
+pub struct RealVfs {
+    stats: StoreStats,
+}
+
+impl RealVfs {
+    /// A fresh real-disk store.
+    pub fn new() -> Self {
+        RealVfs::default()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        DiskStore.write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)?;
+        if let Some(parent) = to.parent() {
+            DiskStore::sync_parent_dir(parent)?;
+        }
+        Ok(())
+    }
+
+    fn read_dir_sorted(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let rd = match std::fs::read_dir(dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultVfs.
+// ---------------------------------------------------------------------
+
+/// A seeded storage fault plan, the disk-shaped sibling of
+/// `weakord-sim`'s interconnect `FaultPlan`. Rates are permille
+/// (0–1000) per durable write; `class_mask` restricts which artifact
+/// classes the rates apply to. A plan with every rate zero and no
+/// crash point is *inert*: [`FaultVfs`] under it behaves
+/// byte-identically to [`RealVfs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    /// RNG seed for fault draws and torn-write offsets.
+    pub seed: u64,
+    /// Permille of writes published torn: a seeded strict prefix of
+    /// the bytes lands at the *final* path (simulating lost unsynced
+    /// data) and the write reports EIO.
+    pub torn_permille: u32,
+    /// Permille of writes whose publishing rename fails: the temp
+    /// file is written in full and stranded, the final path is
+    /// untouched, and the write reports EIO.
+    pub rename_permille: u32,
+    /// Permille of writes that fail with ENOSPC before any byte lands.
+    pub enospc_permille: u32,
+    /// Permille of writes that fail with a *transient* EIO: at most
+    /// [`StoreFaultPlan::EIO_MAX_CONSECUTIVE`] consecutive failures,
+    /// then the next attempt succeeds — so a bounded retry always
+    /// clears it.
+    pub eio_permille: u32,
+    /// Which [`PathClass`]es the rates above apply to (`CLASS_*` bits).
+    pub class_mask: u8,
+    /// Crash-point mode: the `n`-th durable write (0-based, counted
+    /// across *all* classes) loses its unsynced data — a seeded strict
+    /// prefix lands at the final path — and every later operation
+    /// fails as if the disk were gone, until the daemon is restarted
+    /// on a fresh [`Vfs`]. This is how the crash-point matrix
+    /// enumerates the journal→run→checkpoint→result lifecycle.
+    pub crash_after_writes: Option<u64>,
+}
+
+impl StoreFaultPlan {
+    /// Most consecutive injected transient-EIO failures per store.
+    pub const EIO_MAX_CONSECUTIVE: u32 = 2;
+
+    /// The inert plan: no faults, no crash point.
+    pub fn none() -> Self {
+        StoreFaultPlan {
+            seed: 0,
+            torn_permille: 0,
+            rename_permille: 0,
+            enospc_permille: 0,
+            eio_permille: 0,
+            class_mask: CLASS_ALL,
+            crash_after_writes: None,
+        }
+    }
+
+    /// A seeded rate plan over the given classes.
+    pub fn with_rates(seed: u64, torn: u32, rename: u32, enospc: u32, eio: u32, mask: u8) -> Self {
+        StoreFaultPlan {
+            seed,
+            torn_permille: torn,
+            rename_permille: rename,
+            enospc_permille: enospc,
+            eio_permille: eio,
+            class_mask: mask,
+            crash_after_writes: None,
+        }
+    }
+
+    /// A plan whose only fault is the deterministic crash at write
+    /// `n` (see [`StoreFaultPlan::crash_after_writes`]).
+    pub fn crash_at(n: u64) -> Self {
+        StoreFaultPlan {
+            crash_after_writes: Some(n),
+            seed: n ^ 0x9e37_79b9_7f4a_7c15,
+            ..StoreFaultPlan::none()
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.torn_permille > 0
+            || self.rename_permille > 0
+            || self.enospc_permille > 0
+            || self.eio_permille > 0
+            || self.crash_after_writes.is_some()
+    }
+}
+
+/// SplitMix64 — the same tiny in-tree generator the sim crate uses;
+/// good enough for fault draws and torn offsets, zero dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`Vfs`] that injects the faults of a [`StoreFaultPlan`] in front
+/// of a real [`RealVfs`]. With the inert plan it is a transparent
+/// pass-through. Tests keep an `Arc<FaultVfs>` handle to flip faults
+/// off mid-run ([`FaultVfs::disable`]) — "space came back".
+pub struct FaultVfs {
+    inner: RealVfs,
+    plan: StoreFaultPlan,
+    rng: Mutex<u64>,
+    stats: StoreStats,
+    /// Durable writes seen so far (the crash-point op counter).
+    write_ops: AtomicU64,
+    /// Set once the simulated disk has crashed; every later op fails.
+    crashed: AtomicBool,
+    /// Cleared by [`FaultVfs::disable`] to stop injecting.
+    active: AtomicBool,
+    /// Consecutive injected EIOs, reset on each success.
+    eio_streak: AtomicU64,
+}
+
+impl FaultVfs {
+    /// A faulty store driving `plan` over the real filesystem.
+    pub fn new(plan: StoreFaultPlan) -> Self {
+        FaultVfs {
+            inner: RealVfs::new(),
+            plan,
+            rng: Mutex::new(plan.seed ^ 0x5851_f42d_4c95_7f2d),
+            stats: StoreStats::default(),
+            write_ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            active: AtomicBool::new(true),
+            eio_streak: AtomicU64::new(0),
+        }
+    }
+
+    /// Total durable writes attempted so far — the crash-point matrix
+    /// measures a clean run with this, then replays crashes at each
+    /// op index.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Has the simulated disk crashed?
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Stop injecting faults from now on (e.g. "space came back").
+    /// A crashed disk stays crashed — restart on a fresh store.
+    pub fn disable(&self) {
+        self.active.store(false, Ordering::SeqCst);
+    }
+
+    fn injecting(&self) -> bool {
+        self.active.load(Ordering::SeqCst) && self.plan.is_active()
+    }
+
+    fn class_applies(&self, path: &Path) -> bool {
+        self.plan.class_mask & PathClass::of(path).bit() != 0
+    }
+
+    fn draw_permille(&self, rate: u32) -> bool {
+        if rate == 0 {
+            return false;
+        }
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        (splitmix64(&mut rng) % 1000) < u64::from(rate)
+    }
+
+    /// A seeded strict-prefix length for a torn write of `len` bytes.
+    fn torn_len(&self, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        (splitmix64(&mut rng) as usize) % len
+    }
+
+    fn crash_error(&self) -> std::io::Error {
+        self.stats.faults_post_crash.fetch_add(1, Ordering::Relaxed);
+        std::io::Error::from_raw_os_error(5)
+    }
+
+    /// Tear `bytes` onto the final path: a seeded strict prefix,
+    /// written directly (the unsynced tail is lost).
+    fn tear_onto(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let keep = self.torn_len(bytes.len());
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&bytes[..keep])?;
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let op = self.write_ops.fetch_add(1, Ordering::SeqCst);
+        if !self.injecting() {
+            return DiskStore.write_atomic(path, bytes);
+        }
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(self.crash_error());
+        }
+        if let Some(n) = self.plan.crash_after_writes {
+            if op == n {
+                // The crash point: this write's synced prefix
+                // survives, its unsynced tail and everything after
+                // are gone.
+                self.crashed.store(true, Ordering::SeqCst);
+                self.stats.faults_torn.fetch_add(1, Ordering::Relaxed);
+                let _ = self.tear_onto(path, bytes);
+                return Err(std::io::Error::from_raw_os_error(5));
+            }
+        }
+        if self.class_applies(path) {
+            if self.draw_permille(self.plan.enospc_permille) {
+                self.stats.faults_enospc.fetch_add(1, Ordering::Relaxed);
+                return Err(std::io::Error::from_raw_os_error(28));
+            }
+            if self.draw_permille(self.plan.eio_permille) {
+                let streak = self.eio_streak.fetch_add(1, Ordering::SeqCst);
+                if streak < u64::from(StoreFaultPlan::EIO_MAX_CONSECUTIVE) {
+                    self.stats.faults_eio.fetch_add(1, Ordering::Relaxed);
+                    return Err(std::io::Error::from_raw_os_error(5));
+                }
+                self.eio_streak.store(0, Ordering::SeqCst);
+            }
+            if self.draw_permille(self.plan.torn_permille) {
+                self.stats.faults_torn.fetch_add(1, Ordering::Relaxed);
+                self.tear_onto(path, bytes)?;
+                return Err(std::io::Error::from_raw_os_error(5));
+            }
+            if self.draw_permille(self.plan.rename_permille) {
+                // The temp file lands in full; the publishing rename
+                // fails, stranding it for scrub to find.
+                self.stats.faults_rename.fetch_add(1, Ordering::Relaxed);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(path.with_extension("tmp"), bytes)?;
+                return Err(std::io::Error::from_raw_os_error(5));
+            }
+        }
+        self.eio_streak.store(0, Ordering::SeqCst);
+        DiskStore.write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        if self.crashed.load(Ordering::SeqCst) && self.injecting() {
+            return Err(self.crash_error());
+        }
+        self.inner.read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) && self.injecting() {
+            return Err(self.crash_error());
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) && self.injecting() {
+            return Err(self.crash_error());
+        }
+        self.inner.remove_dir_all(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) && self.injecting() {
+            return Err(self.crash_error());
+        }
+        self.inner.create_dir_all(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) && self.injecting() {
+            return Err(self.crash_error());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn read_dir_sorted(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.inner.read_dir_sorted(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint adapter.
+// ---------------------------------------------------------------------
+
+/// Adapts a [`Vfs`] to `weakord-mc`'s [`CkptStore`], adding the
+/// daemon's degradation policy: transient EIO gets the bounded retry,
+/// and ENOSPC on a checkpoint write is *absorbed* — the write is
+/// skipped, `storage.ckpt_ram_only` is raised, and the run keeps
+/// going on in-memory state. Correctness is preserved because resume
+/// from *any* earlier checkpoint is equivalence-preserving (PR 8's
+/// resume contract); only resumability freshness degrades. A later
+/// successful checkpoint write clears the gauge.
+pub struct VfsCkptStore {
+    vfs: Arc<dyn Vfs>,
+}
+
+impl VfsCkptStore {
+    /// Wrap `vfs` for engine checkpoint IO.
+    pub fn new(vfs: Arc<dyn Vfs>) -> Self {
+        VfsCkptStore { vfs }
+    }
+}
+
+impl CkptStore for VfsCkptStore {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        match write_with_retry(&*self.vfs, path, bytes) {
+            Ok(()) => {
+                self.vfs.stats().ckpt_ram_only.store(false, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) if is_disk_full(&e) => {
+                self.vfs.stats().ckpt_skipped_no_space.fetch_add(1, Ordering::Relaxed);
+                self.vfs.stats().ckpt_ram_only.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.vfs.read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        let r = self.vfs.remove_file(path);
+        if let Err(e) = &r {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                self.vfs.stats().note_cleanup_error();
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("weakord-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn path_classes_follow_the_state_dir_layout() {
+        let d = Path::new("/s");
+        assert_eq!(PathClass::of(&d.join("jobs/x.json")), PathClass::Journal);
+        assert_eq!(PathClass::of(&d.join("results/x.json")), PathClass::Result);
+        assert_eq!(PathClass::of(&d.join("ckpt/x/weakord.ckpt")), PathClass::Checkpoint);
+        assert_eq!(PathClass::of(&d.join("flight/x.jsonl")), PathClass::Flight);
+        assert_eq!(PathClass::of(&d.join("quarantine/x.0")), PathClass::Quarantine);
+        assert_eq!(PathClass::of(&d.join("addr")), PathClass::Meta);
+    }
+
+    #[test]
+    fn class_mask_parses_names_and_all() {
+        assert_eq!(parse_class_mask("all").unwrap(), CLASS_ALL);
+        assert_eq!(parse_class_mask("journal,result").unwrap(), CLASS_JOURNAL | CLASS_RESULT);
+        assert_eq!(parse_class_mask("ckpt").unwrap(), CLASS_CKPT);
+        assert!(parse_class_mask("disk").is_err());
+        assert!(parse_class_mask("").is_err());
+    }
+
+    #[test]
+    fn inert_fault_vfs_round_trips_bytes_exactly() {
+        let d = tmp("inert");
+        let vfs = FaultVfs::new(StoreFaultPlan::none());
+        let p = d.join("jobs/a.json");
+        vfs.write_atomic(&p, b"{\"id\":\"a\"}\n").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"{\"id\":\"a\"}\n");
+        assert_eq!(vfs.stats().faults_torn.load(Ordering::Relaxed), 0);
+        assert!(!vfs.has_crashed());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn crash_point_tears_the_nth_write_and_kills_the_rest() {
+        let d = tmp("crash");
+        let vfs = FaultVfs::new(StoreFaultPlan::crash_at(1));
+        let a = d.join("jobs/a.json");
+        let b = d.join("jobs/b.json");
+        vfs.write_atomic(&a, b"aaaa-aaaa").unwrap();
+        let err = vfs.write_atomic(&b, b"bbbb-bbbb").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(vfs.has_crashed());
+        // The torn survivor is a strict prefix.
+        let torn = std::fs::read(&b).unwrap();
+        assert!(torn.len() < 9, "torn write kept {} bytes", torn.len());
+        assert!(b"bbbb-bbbb".starts_with(&torn[..]));
+        // Everything after the crash fails.
+        assert!(vfs.write_atomic(&a, b"x").is_err());
+        assert!(vfs.read(&a).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn enospc_is_classified_and_not_retried() {
+        let full = std::io::Error::from_raw_os_error(28);
+        assert!(is_disk_full(&full));
+        assert!(!is_transient(&full));
+        let eio = std::io::Error::from_raw_os_error(5);
+        assert!(is_transient(&eio));
+        assert!(!is_disk_full(&eio));
+    }
+
+    #[test]
+    fn transient_eio_is_cleared_by_bounded_retry() {
+        let d = tmp("eio");
+        let vfs = FaultVfs::new(StoreFaultPlan::with_rates(7, 0, 0, 0, 1000, CLASS_ALL));
+        let p = d.join("results/r.json");
+        write_with_retry(&vfs, &p, b"ok\n").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"ok\n");
+        assert!(vfs.stats().faults_eio.load(Ordering::Relaxed) >= 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn rename_fault_strands_the_temp_file() {
+        let d = tmp("rename");
+        let vfs = FaultVfs::new(StoreFaultPlan::with_rates(3, 0, 1000, 0, 0, CLASS_JOURNAL));
+        let p = d.join("jobs/j.json");
+        assert!(vfs.write_atomic(&p, b"spec\n").is_err());
+        assert!(!p.exists());
+        assert!(p.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn ckpt_adapter_absorbs_enospc_and_raises_the_gauge() {
+        let d = tmp("ckpt-enospc");
+        let vfs: Arc<dyn Vfs> =
+            Arc::new(FaultVfs::new(StoreFaultPlan::with_rates(9, 0, 0, 1000, 0, CLASS_CKPT)));
+        let store = VfsCkptStore::new(Arc::clone(&vfs));
+        let p = d.join("ckpt/j/weakord.ckpt");
+        store.write_atomic(&p, b"WOCKPT-ish").unwrap(); // absorbed, not an error
+        assert!(!vfs.exists(&p));
+        assert!(vfs.stats().ckpt_ram_only.load(Ordering::Relaxed));
+        assert_eq!(vfs.stats().ckpt_skipped_no_space.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

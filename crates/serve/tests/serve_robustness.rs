@@ -122,6 +122,7 @@ fn killed_and_resumed_results_are_byte_identical() {
             dir: killed_dir.join("ckpt").join(&id),
             every: 20,
             abort_after: Some(1),
+            store: None,
         };
         assert_eq!(
             interrupted_run(&spec, &prog, &ckpt),

@@ -1,0 +1,351 @@
+//! The storage fault battery: the daemon's durable-state contract
+//! under a misbehaving disk.
+//!
+//! * **Inertness** — a daemon on an all-faults-disabled `FaultVfs`
+//!   produces byte-identical result files to one on `RealVfs`.
+//! * **Crash-point matrix** — for every durable write op in the
+//!   journal→run→checkpoint→result lifecycle, a daemon whose disk
+//!   dies exactly there (losing the op's unsynced tail) restarts into
+//!   byte-identical results or a clean re-run: no wedged daemon, no
+//!   silently-empty result, no corrupt cache hit.
+//! * **Disk-full degradation** — ENOSPC on the accept path sheds
+//!   explicitly with a `retry_after_ms` hint; ENOSPC on checkpoint
+//!   writes degrades the run to RAM-only checkpointing; ENOSPC on a
+//!   result write neither caches nor poisons the job, which completes
+//!   byte-identically once space returns.
+//! * **Startup scrub** — corrupt artifacts are quarantined with a
+//!   structured report and zero recoverable jobs are lost.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use weakord_progs::{litmus, unparse_program};
+use weakord_serve::{
+    job_identity, Client, FaultVfs, JobSpec, ServeConfig, Server, StoreFaultPlan, SubmitKind,
+    CLASS_CKPT, CLASS_JOURNAL, CLASS_RESULT,
+};
+
+/// The job mix every test drives: two small, fast explorations on
+/// different machines, so the lifecycle has journals, several
+/// checkpoint autosaves each, and two result writes.
+const JOBS: &[(&str, &str, usize)] = &[("mp", "sc", 2_000), ("lb", "tso", 2_000)];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("weakord-stfault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg_for(dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        state_dir: dir,
+        workers: 2,
+        max_queue: 8,
+        ckpt_every: 200,
+        test_hooks: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn spec_for(litmus_name: &str, machine: &str, max_states: usize) -> JobSpec {
+    let lit = litmus::all().into_iter().find(|l| l.name == litmus_name).unwrap();
+    JobSpec {
+        machine: machine.to_string(),
+        program: unparse_program(&lit.program),
+        max_states,
+        deadline_ms: None,
+        reduce: false,
+        test_panics: 0,
+        test_sleep_ms: 0,
+    }
+}
+
+fn submit_line(litmus_name: &str, machine: &str, max_states: usize) -> String {
+    format!(
+        r#"{{"op":"submit","machine":"{machine}","litmus":"{litmus_name}","max_states":{max_states}}}"#
+    )
+}
+
+/// Every result file in `<dir>/results`, name → bytes.
+fn results_snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let Ok(rd) = std::fs::read_dir(dir.join("results")) else { return out };
+    for e in rd.filter_map(Result::ok) {
+        out.insert(e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap());
+    }
+    out
+}
+
+/// Submits every job in [`JOBS`] and returns each reply's kind.
+fn submit_all(server: &Server) -> Vec<SubmitKind> {
+    let mut client = Client::connect(server.addr()).unwrap();
+    JOBS.iter().map(|(l, m, cap)| client.submit(&submit_line(l, m, *cap)).unwrap().kind).collect()
+}
+
+/// The oracle: an uninterrupted RealVfs daemon life over [`JOBS`].
+fn oracle_results(tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let dir = fresh_dir(tag);
+    let server = Server::start(cfg_for(dir.clone())).unwrap();
+    for kind in submit_all(&server) {
+        assert!(matches!(kind, SubmitKind::Done { .. }), "oracle job failed: {kind:?}");
+    }
+    server.shutdown();
+    let snap = results_snapshot(&dir);
+    assert_eq!(snap.len(), JOBS.len(), "oracle must finish every job");
+    let _ = std::fs::remove_dir_all(&dir);
+    snap
+}
+
+#[test]
+fn an_inert_fault_vfs_daemon_is_byte_identical_to_real_vfs() {
+    let oracle = oracle_results("inert-oracle");
+    let dir = fresh_dir("inert");
+    let fvfs = Arc::new(FaultVfs::new(StoreFaultPlan::none()));
+    let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+    for kind in submit_all(&server) {
+        assert!(matches!(kind, SubmitKind::Done { .. }), "{kind:?}");
+    }
+    server.shutdown();
+    assert_eq!(results_snapshot(&dir), oracle, "inert FaultVfs must be transparent");
+    assert!(!fvfs.has_crashed());
+    assert!(fvfs.write_ops() > 0, "the daemon's writes must route through the Vfs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance property. For each sampled crash point k:
+/// life A runs on a disk that dies at durable write k (that write's
+/// unsynced tail is lost, every later op fails); every submit still
+/// gets an explicit terminal reply (done or error — never a hang);
+/// life B restarts the same state dir on a healthy disk, scrubs,
+/// recovers, re-serves the same jobs, and must end with result files
+/// byte-identical to the uninterrupted oracle.
+#[test]
+fn crash_point_matrix_restarts_to_byte_identical_results() {
+    let oracle = oracle_results("matrix-oracle");
+
+    // Measure the clean lifecycle's durable write count W on an inert
+    // FaultVfs, then sample crash points across [0, W].
+    let probe_dir = fresh_dir("matrix-probe");
+    let probe = Arc::new(FaultVfs::new(StoreFaultPlan::none()));
+    let server = Server::start_with_vfs(cfg_for(probe_dir.clone()), probe.clone()).unwrap();
+    submit_all(&server);
+    server.shutdown();
+    let w = probe.write_ops();
+    assert!(w >= 4, "lifecycle too small to be a matrix: {w} writes");
+    let _ = std::fs::remove_dir_all(&probe_dir);
+
+    // Always hit the first few ops (journal writes) and the last one
+    // (a result write); sample the middle evenly.
+    let mut points: Vec<u64> = vec![0, 1, 2, w - 1];
+    let step = (w / 8).max(1);
+    points.extend((3..w.saturating_sub(1)).step_by(step as usize));
+    points.sort_unstable();
+    points.dedup();
+
+    for &k in &points {
+        let dir = fresh_dir(&format!("matrix-{k}"));
+        // Life A: the disk dies at write k.
+        let fvfs = Arc::new(FaultVfs::new(StoreFaultPlan::crash_at(k)));
+        let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+        for kind in submit_all(&server) {
+            // Explicit terminal replies only; SubmitKind::Error covers
+            // journal-error replies for jobs refused by the dead disk.
+            assert!(
+                matches!(kind, SubmitKind::Done { .. } | SubmitKind::Error(_)),
+                "crash point {k}: non-terminal reply {kind:?}"
+            );
+        }
+        server.shutdown();
+
+        // Life B: healthy disk, same state dir. Startup scrubs the
+        // torn artifact and recovery replays surviving journals.
+        let server = Server::start_with_vfs(
+            cfg_for(dir.clone()),
+            Arc::new(FaultVfs::new(StoreFaultPlan::none())),
+        )
+        .unwrap();
+        for (i, kind) in submit_all(&server).into_iter().enumerate() {
+            assert!(
+                matches!(kind, SubmitKind::Done { .. }),
+                "crash point {k}: job {i} did not complete after restart: {kind:?}"
+            );
+        }
+        server.shutdown();
+
+        let snap = results_snapshot(&dir);
+        assert_eq!(snap, oracle, "crash point {k}: restart must converge to the oracle's bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn enospc_on_the_accept_path_sheds_explicitly_with_a_retry_hint() {
+    let dir = fresh_dir("enospc-accept");
+    let plan = StoreFaultPlan::with_rates(11, 0, 0, 1000, 0, CLASS_JOURNAL);
+    let fvfs = Arc::new(FaultVfs::new(plan));
+    let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (l, m, cap) = JOBS[0];
+    let reply = client.submit(&submit_line(l, m, cap)).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Shed), "{reply:?}");
+    assert!(reply.line.contains("\"reason\":\"disk-full\""), "{}", reply.line);
+    assert!(reply.line.contains("\"retry_after_ms\":"), "{}", reply.line);
+
+    // The shed is visible in telemetry, not just on the wire.
+    let status = client.request("{\"op\":\"status\"}").unwrap();
+    assert!(status.contains("\"storage.fault.enospc\":"), "{status}");
+    assert!(status.contains("\"serve.jobs.shed_disk_full\":1"), "{status}");
+    assert!(status.contains("\"disk_full\":true"), "{status}");
+
+    // Space comes back: the same submission is accepted and finishes.
+    fvfs.disable();
+    let reply = client.submit(&submit_line(l, m, cap)).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Done { .. }), "{reply:?}");
+    let status = client.request("{\"op\":\"status\"}").unwrap();
+    assert!(status.contains("\"disk_full\":false"), "{status}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ckpt_enospc_degrades_to_ram_only_and_still_answers_byte_identically() {
+    let oracle = oracle_results("ramonly-oracle");
+    let dir = fresh_dir("ramonly");
+    let plan = StoreFaultPlan::with_rates(13, 0, 0, 1000, 0, CLASS_CKPT);
+    let fvfs = Arc::new(FaultVfs::new(plan));
+    let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+    for kind in submit_all(&server) {
+        assert!(matches!(kind, SubmitKind::Done { .. }), "{kind:?}");
+    }
+    let mut client = Client::connect(server.addr()).unwrap();
+    let status = client.request("{\"op\":\"status\"}").unwrap();
+    assert!(status.contains("\"ckpt_ram_only\":true"), "{status}");
+    assert!(status.contains("\"storage.ckpt_skipped_no_space\":"), "{status}");
+    server.shutdown();
+    assert_eq!(results_snapshot(&dir), oracle, "RAM-only checkpointing must not change answers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ENOSPC-mid-result-write satellite: the job must not enter the
+/// outcome cache, must not become a poison pill, and must complete
+/// with a byte-identical result once space returns.
+#[test]
+fn enospc_mid_result_write_neither_caches_nor_poisons_and_completes_later() {
+    let oracle = oracle_results("resultspace-oracle");
+    let dir = fresh_dir("resultspace");
+    let plan = StoreFaultPlan::with_rates(17, 0, 0, 1000, 0, CLASS_RESULT);
+    let fvfs = Arc::new(FaultVfs::new(plan));
+    let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (l, m, cap) = JOBS[0];
+    let spec = spec_for(l, m, cap);
+    let (_, id) = job_identity(&spec, 1).unwrap();
+
+    let reply = client.submit(&submit_line(l, m, cap)).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Done { .. }), "{reply:?}");
+    assert!(reply.line.contains("\"ok\":false"), "{}", reply.line);
+    assert!(reply.line.contains("job-error"), "{}", reply.line);
+    assert!(!reply.line.contains("poisoned"), "{}", reply.line);
+    assert!(
+        !dir.join("results").join(format!("{id}.json")).exists(),
+        "a failed result write must not leave a result file"
+    );
+    assert!(
+        dir.join("jobs").join(format!("{id}.json")).exists(),
+        "the journal must survive a failed result write (the job re-runs)"
+    );
+
+    // Resubmission re-RUNS (no corrupt cache hit): with the disk
+    // still full it fails again instead of serving a cached error.
+    let reply = client.submit(&submit_line(l, m, cap)).unwrap();
+    assert!(reply.line.contains("\"ok\":false"), "{}", reply.line);
+    assert!(!reply.line.contains("\"cached\":true"), "{}", reply.line);
+
+    // Space returns: same submission completes, byte-identically.
+    fvfs.disable();
+    let reply = client.submit(&submit_line(l, m, cap)).unwrap();
+    assert!(matches!(reply.kind, SubmitKind::Done { .. }), "{reply:?}");
+    assert!(reply.line.contains("\"ok\":true"), "{}", reply.line);
+    server.shutdown();
+
+    let snap = results_snapshot(&dir);
+    let name = format!("{id}.json");
+    assert_eq!(snap.get(&name), oracle.get(&name), "post-recovery result must match the oracle");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn startup_scrub_quarantines_corruption_and_recovers_every_intact_job() {
+    let oracle = oracle_results("scrub-oracle");
+    let dir = fresh_dir("scrub");
+    std::fs::create_dir_all(dir.join("jobs")).unwrap();
+    std::fs::create_dir_all(dir.join("results")).unwrap();
+
+    // One intact journaled job (a SIGKILL'd accept), with a
+    // bit-flipped checkpoint next to it.
+    let (l, m, cap) = JOBS[0];
+    let spec = spec_for(l, m, cap);
+    let (_, id) = job_identity(&spec, 1).unwrap();
+    std::fs::write(dir.join("jobs").join(format!("{id}.json")), spec.to_json_line()).unwrap();
+    std::fs::create_dir_all(dir.join("ckpt").join(&id)).unwrap();
+    std::fs::write(dir.join("ckpt").join(&id).join("weakord.ckpt"), b"WOCKPTgarbage").unwrap();
+    // A torn journal, a half-written result, and a stranded temp.
+    std::fs::write(dir.join("jobs/deadbeef00000000.json"), "{\"machine\":\"sc").unwrap();
+    std::fs::write(dir.join("results/feedface00000000.json"), "{\"id\":\"feedf").unwrap();
+    std::fs::write(dir.join("results/feedface00000000.tmp"), "{}").unwrap();
+
+    let server = Server::start(cfg_for(dir.clone())).unwrap();
+    // Recovery finishes the intact job with no client attached.
+    let result_path = dir.join("results").join(format!("{id}.json"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !result_path.exists() {
+        assert!(Instant::now() < deadline, "recovered job did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut client = Client::connect(server.addr()).unwrap();
+    let status = client.request("{\"op\":\"status\"}").unwrap();
+    assert!(status.contains("\"storage.scrub.quarantined\":4"), "{status}");
+    server.shutdown();
+
+    let name = format!("{id}.json");
+    assert_eq!(
+        std::fs::read(&result_path).ok().as_deref(),
+        oracle.get(&name).map(Vec::as_slice),
+        "the recovered job must match the oracle byte-for-byte"
+    );
+    // Every corrupt artifact is in quarantine, names suffixed.
+    let q: Vec<String> = std::fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+        .collect();
+    assert_eq!(q.len(), 4, "{q:?}");
+    assert!(q.iter().any(|n| n == "deadbeef00000000.json.0"), "{q:?}");
+    assert!(q.iter().any(|n| n == "feedface00000000.json.0"), "{q:?}");
+    assert!(q.iter().any(|n| n == "feedface00000000.tmp.0"), "{q:?}");
+    assert!(q.iter().any(|n| n == &format!("{id}.weakord.ckpt.0")), "{q:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_eio_on_the_accept_path_is_absorbed_by_bounded_retry() {
+    let dir = fresh_dir("eio");
+    // Every write draws an EIO, but the fault is transient (at most
+    // two consecutive failures), so the bounded retry always lands.
+    let plan = StoreFaultPlan::with_rates(19, 0, 0, 0, 1000, CLASS_JOURNAL | CLASS_RESULT);
+    let fvfs = Arc::new(FaultVfs::new(plan));
+    let server = Server::start_with_vfs(cfg_for(dir.clone()), fvfs.clone()).unwrap();
+    for kind in submit_all(&server) {
+        assert!(matches!(kind, SubmitKind::Done { .. }), "{kind:?}");
+    }
+    let mut client = Client::connect(server.addr()).unwrap();
+    let status = client.request("{\"op\":\"status\"}").unwrap();
+    assert!(status.contains("\"storage.fault.eio\":"), "{status}");
+    assert!(status.contains("\"storage.write_retries\":"), "{status}");
+    server.shutdown();
+    assert_eq!(results_snapshot(&dir).len(), JOBS.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,6 +46,10 @@
 //!   prints the daemon's key=value metrics exposition
 //! weakord watch [opts]           live refreshing table of a serve daemon's
 //!   jobs and gauges (--addr/--state-dir --interval MS --once)
+//! weakord scrub --state-dir <dir> [--json]   validate every durable artifact
+//!   in a daemon state dir (journal JSON, result lines, WOCKPT checksums,
+//!   flight dumps, stranded temp files) and quarantine corrupt ones into
+//!   <state-dir>/quarantine/ with a structured report
 //!
 //! Every subcommand accepts --help.
 //! ```
@@ -75,7 +79,7 @@ use weakord::progs::{litmus, Litmus, Program};
 use weakord::sim::FaultPlan;
 
 const USAGE: &str =
-    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults|serve|submit|watch> …\n\
+    "usage: weakord <litmus|explore|corpus|drf|delay|disasm|dot|export|check|run|stats|faults|serve|submit|watch|scrub> …\n\
                      (every subcommand accepts --help; see the README)";
 
 fn main() {
@@ -97,6 +101,7 @@ fn main() {
         Some((&"serve", rest)) => cmd_serve(rest),
         Some((&"submit", rest)) => cmd_submit(rest),
         Some((&"watch", rest)) => cmd_watch(rest),
+        Some((&"scrub", rest)) => cmd_scrub(rest),
         Some((&"--help" | &"-h", _)) => println!("{USAGE}"),
         _ => {
             eprintln!("{USAGE}");
@@ -1102,6 +1107,19 @@ const SERVE_USAGE: &str = "usage: weakord serve [opts]\n\
  \u{20}      --stall-after-ms N       watchdog: dump a running job's flight\n\
  \u{20}                               ring after N ms without state-count\n\
  \u{20}                               movement (default 30000)\n\
+ \u{20}storage fault injection (requires --test-hooks; tests/CI only):\n\
+ \u{20}      --store-fault-seed N     RNG seed for the storage fault plan\n\
+ \u{20}      --store-fault-torn P     permille of writes published torn\n\
+ \u{20}      --store-fault-rename P   permille of writes whose publishing\n\
+ \u{20}                               rename fails (temp file stranded)\n\
+ \u{20}      --store-fault-enospc P   permille of writes failing with ENOSPC\n\
+ \u{20}      --store-fault-eio P      permille of writes failing with a\n\
+ \u{20}                               transient EIO (cleared by bounded retry)\n\
+ \u{20}      --store-fault-class C    comma list of classes the rates hit:\n\
+ \u{20}                               journal,result,ckpt,flight or all\n\
+ \u{20}      --store-crash-after N    deterministic crash point: the N-th\n\
+ \u{20}                               durable write loses its unsynced tail\n\
+ \u{20}                               and the simulated disk dies\n\
   The daemon accepts one JSON request per line (see `weakord submit --help`)\n\
   and exits on the `shutdown` op. kill -9 is always safe: accepted jobs are\n\
   journaled and resume byte-identically on the next start. On worker panic,\n\
@@ -1134,9 +1152,80 @@ fn cmd_serve(rest: &[&str]) {
     cfg.test_hooks = rest.contains(&"--test-hooks");
     cfg.progress_every_ms = num("--progress-every-ms", cfg.progress_every_ms as usize) as u64;
     cfg.stall_after_ms = num("--stall-after-ms", cfg.stall_after_ms as usize) as u64;
-    if let Err(e) = weakord::serve::run(cfg) {
+    let fault_flags = [
+        "--store-fault-seed",
+        "--store-fault-torn",
+        "--store-fault-rename",
+        "--store-fault-enospc",
+        "--store-fault-eio",
+        "--store-fault-class",
+        "--store-crash-after",
+    ];
+    let any_faults = fault_flags.iter().any(|f| flag(rest, f).is_some());
+    let outcome = if any_faults {
+        if !cfg.test_hooks {
+            eprintln!("storage fault injection requires --test-hooks");
+            exit(2);
+        }
+        let mut plan = weakord::serve::StoreFaultPlan::none();
+        plan.seed = num("--store-fault-seed", 0) as u64;
+        plan.torn_permille = num("--store-fault-torn", 0) as u32;
+        plan.rename_permille = num("--store-fault-rename", 0) as u32;
+        plan.enospc_permille = num("--store-fault-enospc", 0) as u32;
+        plan.eio_permille = num("--store-fault-eio", 0) as u32;
+        if let Some(classes) = flag(rest, "--store-fault-class") {
+            plan.class_mask = weakord::serve::parse_class_mask(&classes).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            });
+        }
+        if flag(rest, "--store-crash-after").is_some() {
+            plan.crash_after_writes = Some(num("--store-crash-after", 0) as u64);
+        }
+        let vfs = std::sync::Arc::new(weakord::serve::FaultVfs::new(plan));
+        weakord::serve::run_with_vfs(cfg, vfs)
+    } else {
+        weakord::serve::run(cfg)
+    };
+    if let Err(e) = outcome {
         eprintln!("serve failed: {e}");
         exit(1);
+    }
+}
+
+const SCRUB_USAGE: &str = "usage: weakord scrub --state-dir <dir> [--json]\n\
+ \u{20}Validates every durable artifact in a serve daemon's state directory —\n\
+ \u{20}journal JSON and job identity, result lines, WOCKPT checkpoint\n\
+ \u{20}checksums, flight dumps, stranded *.tmp files — and moves corrupt ones\n\
+ \u{20}into <state-dir>/quarantine/ under monotonically-suffixed names (the\n\
+ \u{20}same pass the daemon runs at startup before recovery).\n\
+ \u{20}opts: --state-dir <dir>  the state directory to scrub (required)\n\
+ \u{20}      --json             print the structured one-line JSON report\n\
+ \u{20}Exits 0 on a clean dir, 3 when anything was quarantined.";
+
+/// `weakord scrub`: offline scrub of a daemon state directory.
+fn cmd_scrub(rest: &[&str]) {
+    maybe_help(rest, SCRUB_USAGE);
+    let Some(dir) = flag(rest, "--state-dir") else {
+        eprintln!("{SCRUB_USAGE}");
+        exit(2);
+    };
+    let vfs = weakord::serve::RealVfs::new();
+    match weakord::serve::scrub(&vfs, std::path::Path::new(&dir)) {
+        Ok(report) => {
+            if rest.contains(&"--json") {
+                println!("{}", report.to_json_line());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.quarantined() > 0 {
+                exit(3);
+            }
+        }
+        Err(e) => {
+            eprintln!("scrub failed: {e}");
+            exit(1);
+        }
     }
 }
 
@@ -1343,6 +1432,15 @@ fn render_status(addr: &str, line: &str, clear: bool) {
             ln("p50") as u64,
             ln("p95") as u64,
             ln("p99") as u64
+        );
+    }
+    if let Some(s) = v.get("storage") {
+        let b = |k: &str| matches!(s.get(k), Some(Json::Bool(true)));
+        let cleanup = s.get("cleanup_errors").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        println!(
+            "storage: cleanup_errors {cleanup}  disk_full {}  ckpt_ram_only {}",
+            if b("disk_full") { "YES" } else { "no" },
+            if b("ckpt_ram_only") { "YES" } else { "no" },
         );
     }
     println!("{:<18} {:<8} {:>12} {:>12}", "JOB", "PHASE", "STATES", "ELAPSED-MS");
